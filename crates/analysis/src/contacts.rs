@@ -1,0 +1,304 @@
+//! Temporal analysis: contact opportunities between users (paper §3.1).
+//!
+//! Definitions, following Chaintreau et al. (the paper's reference \[4\]):
+//!
+//! * **Contact time (CT)** — the time interval in which two users are
+//!   within communication range `r` of each other. With snapshots every
+//!   τ, a contact observed in `k` consecutive snapshots contributes
+//!   `k·τ` (each sample witnesses τ seconds of contact).
+//! * **Inter-contact time (ICT)** — for a pair with successive contact
+//!   intervals, the gap between the end of the k-th and the start of
+//!   the (k+1)-th: `ICT_k = t_start(k+1) − t_end(k)`.
+//! * **First-contact time (FT)** — per user, the waiting time from the
+//!   user's first appearance to the first snapshot in which they have
+//!   at least one neighbor ("the waiting time for a user to contact her
+//!   first neighbor (ever)").
+//!
+//! Seated avatars (the `{0,0,0}` sentinel) carry no usable position and
+//! are skipped, as are explicitly excluded users (the crawler itself).
+
+use serde::{Deserialize, Serialize};
+use sl_graph::proximity_edges;
+use sl_trace::{Trace, UserId};
+use std::collections::{HashMap, HashSet};
+
+/// Extracted contact-opportunity samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ContactSamples {
+    /// Completed contact durations, seconds.
+    pub contact_times: Vec<f64>,
+    /// Inter-contact gaps, seconds.
+    pub inter_contact_times: Vec<f64>,
+    /// First-contact waiting times, seconds (users who met someone).
+    pub first_contact_times: Vec<f64>,
+    /// Contacts still open when the trace ended (censored; not included
+    /// in `contact_times`).
+    pub censored_contacts: usize,
+    /// Users who never had a neighbor during the whole trace (censored;
+    /// not included in `first_contact_times`).
+    pub never_contacted: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenContact {
+    start: f64,
+    last_seen: f64,
+    snapshots: u32,
+}
+
+/// Extract CT / ICT / FT samples from a trace at communication range
+/// `range`, ignoring `exclude`d users (e.g. the measuring crawler).
+pub fn extract_contacts(trace: &Trace, range: f64, exclude: &[UserId]) -> ContactSamples {
+    let tau = trace.meta.tau;
+    let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+
+    let mut open: HashMap<(UserId, UserId), OpenContact> = HashMap::new();
+    let mut last_end: HashMap<(UserId, UserId), f64> = HashMap::new();
+    let mut first_seen: HashMap<UserId, f64> = HashMap::new();
+    let mut first_contact: HashMap<UserId, f64> = HashMap::new();
+
+    let mut out = ContactSamples::default();
+
+    for snap in &trace.snapshots {
+        // Users with usable positions in this snapshot.
+        let mut users: Vec<UserId> = Vec::with_capacity(snap.entries.len());
+        let mut points: Vec<(f64, f64)> = Vec::with_capacity(snap.entries.len());
+        for obs in &snap.entries {
+            if excluded.contains(&obs.user) || obs.pos.is_seated_sentinel() {
+                continue;
+            }
+            first_seen.entry(obs.user).or_insert(snap.t);
+            users.push(obs.user);
+            points.push(obs.pos.xy());
+        }
+
+        // Pairs in range right now.
+        let mut now_pairs: HashSet<(UserId, UserId)> = HashSet::new();
+        for (i, j) in proximity_edges(&points, range) {
+            let (a, b) = (users[i as usize], users[j as usize]);
+            let key = if a < b { (a, b) } else { (b, a) };
+            now_pairs.insert(key);
+            // First contact bookkeeping for both endpoints.
+            for u in [key.0, key.1] {
+                first_contact.entry(u).or_insert(snap.t);
+            }
+        }
+
+        // Close contacts that did not survive into this snapshot. A
+        // contact "survives" only if the pair is in range at the very
+        // next snapshot; a single missed snapshot ends it (τ is the
+        // measurement resolution).
+        let mut closed: Vec<(UserId, UserId)> = Vec::new();
+        for (key, oc) in &open {
+            if !now_pairs.contains(key) {
+                out.contact_times.push(oc.snapshots as f64 * tau);
+                last_end.insert(*key, oc.last_seen);
+                closed.push(*key);
+            }
+        }
+        for key in closed {
+            open.remove(&key);
+        }
+
+        // Extend or open contacts present now.
+        for key in now_pairs {
+            match open.get_mut(&key) {
+                Some(oc) => {
+                    oc.last_seen = snap.t;
+                    oc.snapshots += 1;
+                }
+                None => {
+                    if let Some(&prev_end) = last_end.get(&key) {
+                        out.inter_contact_times.push(snap.t - prev_end);
+                    }
+                    open.insert(
+                        key,
+                        OpenContact {
+                            start: snap.t,
+                            last_seen: snap.t,
+                            snapshots: 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    out.censored_contacts = open.len();
+    // Suppress "unused" on `start`: kept for debuggability of open
+    // contacts; assert the invariant instead.
+    debug_assert!(open.values().all(|oc| oc.last_seen >= oc.start));
+
+    for (user, &t0) in &first_seen {
+        match first_contact.get(user) {
+            Some(&tc) => out.first_contact_times.push(tc - t0),
+            None => out.never_contacted += 1,
+        }
+    }
+
+    // Deterministic output order regardless of hash iteration.
+    out.contact_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.inter_contact_times
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.first_contact_times
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_trace::{LandMeta, Position, Snapshot, Trace};
+
+    /// Build a trace from a schedule: per snapshot, (user, x) pairs.
+    /// All users share y = 0; tau = 10.
+    fn trace_of(schedule: &[&[(u32, f64)]]) -> Trace {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        for (k, entries) in schedule.iter().enumerate() {
+            let mut s = Snapshot::new((k as f64 + 1.0) * 10.0);
+            for &(u, x) in *entries {
+                s.push(UserId(u), Position::new(x, 0.0, 22.0));
+            }
+            t.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn simple_contact_duration() {
+        // Users 1,2 together for 3 snapshots, then apart for the rest.
+        let t = trace_of(&[
+            &[(1, 0.0), (2, 5.0)],
+            &[(1, 0.0), (2, 5.0)],
+            &[(1, 0.0), (2, 5.0)],
+            &[(1, 0.0), (2, 100.0)],
+            &[(1, 0.0), (2, 100.0)],
+        ]);
+        let c = extract_contacts(&t, 10.0, &[]);
+        assert_eq!(c.contact_times, vec![30.0]);
+        assert_eq!(c.censored_contacts, 0);
+        // Both users met at their first snapshot: FT = 0 for both.
+        assert_eq!(c.first_contact_times, vec![0.0, 0.0]);
+        assert!(c.inter_contact_times.is_empty());
+    }
+
+    #[test]
+    fn inter_contact_gap_measured() {
+        // In contact at snapshots 1-2 (t=10..20), apart 3-4 (t=30..40),
+        // together again at 5 (t=50): ICT = 50 - 20 = 30.
+        let t = trace_of(&[
+            &[(1, 0.0), (2, 5.0)],
+            &[(1, 0.0), (2, 5.0)],
+            &[(1, 0.0), (2, 50.0)],
+            &[(1, 0.0), (2, 50.0)],
+            &[(1, 0.0), (2, 5.0)],
+        ]);
+        let c = extract_contacts(&t, 10.0, &[]);
+        assert_eq!(c.inter_contact_times, vec![30.0]);
+        // First contact closed with 2 snapshots -> 20 s; second contact
+        // censored at trace end.
+        assert_eq!(c.contact_times, vec![20.0]);
+        assert_eq!(c.censored_contacts, 1);
+    }
+
+    #[test]
+    fn first_contact_waiting_time() {
+        // User 3 appears at t=10 but only meets user 1 at t=40: FT = 30.
+        let t = trace_of(&[
+            &[(1, 0.0), (3, 200.0)],
+            &[(1, 0.0), (3, 150.0)],
+            &[(1, 0.0), (3, 80.0)],
+            &[(1, 0.0), (3, 5.0)],
+        ]);
+        let c = extract_contacts(&t, 10.0, &[]);
+        // User 1's FT is also 30 (nobody near it earlier).
+        assert_eq!(c.first_contact_times, vec![30.0, 30.0]);
+        assert_eq!(c.never_contacted, 0);
+    }
+
+    #[test]
+    fn never_contacted_counted_not_sampled() {
+        let t = trace_of(&[
+            &[(1, 0.0), (2, 200.0)],
+            &[(1, 0.0), (2, 200.0)],
+        ]);
+        let c = extract_contacts(&t, 10.0, &[]);
+        assert!(c.first_contact_times.is_empty());
+        assert_eq!(c.never_contacted, 2);
+        assert!(c.contact_times.is_empty());
+    }
+
+    #[test]
+    fn departure_ends_contact() {
+        // User 2 leaves the land after snapshot 2.
+        let t = trace_of(&[
+            &[(1, 0.0), (2, 5.0)],
+            &[(1, 0.0), (2, 5.0)],
+            &[(1, 0.0)],
+            &[(1, 0.0)],
+        ]);
+        let c = extract_contacts(&t, 10.0, &[]);
+        assert_eq!(c.contact_times, vec![20.0]);
+    }
+
+    #[test]
+    fn range_matters() {
+        // 50 m apart: contact at r=80, none at r=10.
+        let t = trace_of(&[&[(1, 0.0), (2, 50.0)], &[(1, 0.0), (2, 50.0)]]);
+        let cb = extract_contacts(&t, 10.0, &[]);
+        let cw = extract_contacts(&t, 80.0, &[]);
+        assert_eq!(cb.never_contacted, 2);
+        assert_eq!(cw.censored_contacts, 1);
+        assert_eq!(cw.never_contacted, 0);
+    }
+
+    #[test]
+    fn excluded_user_invisible() {
+        // User 9 (the crawler) sits next to user 1 the whole time.
+        let t = trace_of(&[
+            &[(1, 0.0), (9, 1.0)],
+            &[(1, 0.0), (9, 1.0)],
+        ]);
+        let c = extract_contacts(&t, 10.0, &[UserId(9)]);
+        assert!(c.contact_times.is_empty());
+        assert_eq!(c.censored_contacts, 0);
+        assert_eq!(c.never_contacted, 1, "only user 1 is counted at all");
+    }
+
+    #[test]
+    fn seated_users_skipped() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        let mut s = Snapshot::new(10.0);
+        s.push(UserId(1), Position::new(5.0, 0.0, 22.0));
+        s.push(UserId(2), Position::SEATED);
+        t.push(s);
+        let mut s = Snapshot::new(20.0);
+        s.push(UserId(1), Position::new(5.0, 0.0, 22.0));
+        s.push(UserId(2), Position::SEATED);
+        t.push(s);
+        let c = extract_contacts(&t, 10.0, &[]);
+        // The seated user is at {0,0,0}, 5 m from user 1 — but must not
+        // produce a contact: the coordinates are a sentinel, not a place.
+        assert!(c.contact_times.is_empty());
+        assert_eq!(c.censored_contacts, 0);
+    }
+
+    #[test]
+    fn three_way_group_counts_all_pairs() {
+        let t = trace_of(&[
+            &[(1, 0.0), (2, 4.0), (3, 8.0)],
+            &[(1, 0.0), (2, 4.0), (3, 8.0)],
+            &[(1, 0.0), (2, 100.0), (3, 200.0)],
+        ]);
+        let c = extract_contacts(&t, 10.0, &[]);
+        // Pairs (1,2), (2,3), (1,3) all in range (8 <= 10) for 2 snaps.
+        assert_eq!(c.contact_times, vec![20.0, 20.0, 20.0]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(LandMeta::standard("T", 10.0));
+        let c = extract_contacts(&t, 10.0, &[]);
+        assert_eq!(c, ContactSamples::default());
+    }
+}

@@ -1,0 +1,42 @@
+//! # sl-analysis
+//!
+//! The paper's measurement methodology (§3), applied to traces:
+//!
+//! * [`contacts`] — temporal analysis: contact time (CT), inter-contact
+//!   time (ICT) and first-contact time (FT) extraction at a given
+//!   communication range (Fig. 1);
+//! * [`los`] — line-of-sight network analysis: aggregated node degree,
+//!   per-snapshot diameter of the largest connected component, and mean
+//!   clustering coefficient (Fig. 2);
+//! * [`spatial`] — zone occupation over L × L cells (Fig. 3);
+//! * [`trips`] — trip analysis: travel length, effective travel time
+//!   and travel (login) time (Fig. 4);
+//! * [`report`] — figure assembly, CSV export and ASCII rendering;
+//! * [`pipeline`] — one-call per-land analysis producing every figure.
+//!
+//! Beyond the paper (its stated future work, implemented here):
+//!
+//! * [`relations`] — the acquaintance ("relation") graph with per-pair
+//!   contact frequency and strength;
+//! * [`mod@mobility_metrics`] — radius of gyration, jump lengths, pause
+//!   durations, visitation rank/frequency.
+
+#![warn(missing_docs)]
+
+pub mod contacts;
+pub mod los;
+pub mod mobility_metrics;
+pub mod pipeline;
+pub mod relations;
+pub mod report;
+pub mod spatial;
+pub mod trips;
+
+pub use contacts::{extract_contacts, ContactSamples};
+pub use los::{los_metrics, LosMetrics};
+pub use mobility_metrics::{mobility_metrics, MobilityMetrics};
+pub use pipeline::{analyze_land, LandAnalysis};
+pub use relations::{RelationEdge, RelationGraph};
+pub use report::{Figure, FigureSet};
+pub use spatial::{zone_occupation, ZoneOccupation};
+pub use trips::{trip_metrics, TripMetrics};

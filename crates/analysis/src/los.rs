@@ -1,0 +1,160 @@
+//! Line-of-sight network analysis (paper §3.2, Fig. 2).
+//!
+//! For every snapshot, the users in range `r` of each other form a
+//! communication graph. Fig. 2 reports, aggregated over the whole
+//! measurement period: the CCDF of node degree (one sample per user per
+//! snapshot), the CDF of the diameter of the largest connected
+//! component (one sample per snapshot), and the CDF of the mean
+//! clustering coefficient (one sample per snapshot).
+
+use serde::{Deserialize, Serialize};
+use sl_graph::{diameter_largest_component, mean_clustering, proximity_graph};
+use sl_trace::{Trace, UserId};
+use std::collections::HashSet;
+
+/// Aggregated line-of-sight metrics for one trace at one range.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LosMetrics {
+    /// Node degrees, one sample per (user, snapshot).
+    pub degrees: Vec<f64>,
+    /// Diameter of the largest connected component, one per non-empty
+    /// snapshot.
+    pub diameters: Vec<f64>,
+    /// Mean local clustering coefficient, one per non-empty snapshot.
+    pub clusterings: Vec<f64>,
+    /// Fraction of degree samples equal to zero (the paper's "users
+    /// with no neighbors").
+    pub isolated_fraction: f64,
+}
+
+/// Compute line-of-sight metrics at communication range `range`,
+/// ignoring `exclude`d users and seated avatars.
+pub fn los_metrics(trace: &Trace, range: f64, exclude: &[UserId]) -> LosMetrics {
+    let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+    let mut out = LosMetrics::default();
+    let mut zero_count = 0usize;
+
+    for snap in &trace.snapshots {
+        let points: Vec<(f64, f64)> = snap
+            .entries
+            .iter()
+            .filter(|o| !excluded.contains(&o.user) && !o.pos.is_seated_sentinel())
+            .map(|o| o.pos.xy())
+            .collect();
+        if points.is_empty() {
+            continue;
+        }
+        let g = proximity_graph(&points, range);
+        for d in g.degrees() {
+            if d == 0 {
+                zero_count += 1;
+            }
+            out.degrees.push(d as f64);
+        }
+        out.diameters.push(diameter_largest_component(&g) as f64);
+        out.clusterings
+            .push(mean_clustering(&g).expect("non-empty graph"));
+    }
+
+    out.isolated_fraction = if out.degrees.is_empty() {
+        0.0
+    } else {
+        zero_count as f64 / out.degrees.len() as f64
+    };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_trace::{LandMeta, Position, Snapshot, Trace};
+
+    fn snap_at(t: f64, xs: &[(u32, f64, f64)]) -> Snapshot {
+        let mut s = Snapshot::new(t);
+        for &(u, x, y) in xs {
+            s.push(UserId(u), Position::new(x, y, 22.0));
+        }
+        s
+    }
+
+    #[test]
+    fn degrees_aggregate_over_snapshots() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        // Snapshot 1: a close pair and a loner.
+        t.push(snap_at(10.0, &[(1, 0.0, 0.0), (2, 5.0, 0.0), (3, 100.0, 100.0)]));
+        // Snapshot 2: all isolated.
+        t.push(snap_at(20.0, &[(1, 0.0, 0.0), (2, 50.0, 0.0), (3, 100.0, 100.0)]));
+        let m = los_metrics(&t, 10.0, &[]);
+        assert_eq!(m.degrees.len(), 6);
+        let ones = m.degrees.iter().filter(|&&d| d == 1.0).count();
+        let zeros = m.degrees.iter().filter(|&&d| d == 0.0).count();
+        assert_eq!(ones, 2);
+        assert_eq!(zeros, 4);
+        assert!((m.isolated_fraction - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_per_snapshot() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        // Chain 0-8-16 at r=10: path of 3 -> diameter 2.
+        t.push(snap_at(
+            10.0,
+            &[(1, 0.0, 0.0), (2, 8.0, 0.0), (3, 16.0, 0.0)],
+        ));
+        // Pair only -> diameter 1.
+        t.push(snap_at(20.0, &[(1, 0.0, 0.0), (2, 8.0, 0.0)]));
+        let m = los_metrics(&t, 10.0, &[]);
+        assert_eq!(m.diameters, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn clustering_of_triangle_snapshot() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        t.push(snap_at(
+            10.0,
+            &[(1, 0.0, 0.0), (2, 6.0, 0.0), (3, 3.0, 5.0)],
+        ));
+        let m = los_metrics(&t, 10.0, &[]);
+        assert_eq!(m.clusterings, vec![1.0]);
+    }
+
+    #[test]
+    fn larger_range_shrinks_isolation() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        t.push(snap_at(
+            10.0,
+            &[(1, 0.0, 0.0), (2, 50.0, 0.0), (3, 100.0, 0.0)],
+        ));
+        let mb = los_metrics(&t, 10.0, &[]);
+        let mw = los_metrics(&t, 80.0, &[]);
+        assert_eq!(mb.isolated_fraction, 1.0);
+        assert_eq!(mw.isolated_fraction, 0.0);
+        // Chain at r=80: diameter 2; nothing at r=10: diameter 0.
+        assert_eq!(mb.diameters, vec![0.0]);
+        assert_eq!(mw.diameters, vec![2.0]);
+    }
+
+    #[test]
+    fn excluded_and_seated_filtered() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        let mut s = Snapshot::new(10.0);
+        s.push(UserId(1), Position::new(0.0, 0.0, 22.0));
+        s.push(UserId(2), Position::new(5.0, 0.0, 22.0));
+        s.push(UserId(9), Position::new(2.0, 0.0, 22.0)); // crawler
+        s.push(UserId(3), Position::SEATED);
+        t.push(s);
+        let m = los_metrics(&t, 10.0, &[UserId(9)]);
+        assert_eq!(m.degrees.len(), 2, "only users 1 and 2 count");
+        assert!(m.degrees.iter().all(|&d| d == 1.0));
+    }
+
+    #[test]
+    fn empty_snapshots_skipped() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        t.push(Snapshot::new(10.0));
+        t.push(snap_at(20.0, &[(1, 0.0, 0.0)]));
+        let m = los_metrics(&t, 10.0, &[]);
+        assert_eq!(m.diameters.len(), 1);
+        assert_eq!(m.degrees.len(), 1);
+    }
+}

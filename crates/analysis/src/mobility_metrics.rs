@@ -1,0 +1,221 @@
+//! Extended human-mobility metrics — the paper's other future-work
+//! thread ("further study in the specification of new metrics to
+//! define human mobility are required"). These are the metrics the
+//! post-2008 literature converged on for comparing mobility processes:
+//!
+//! * **radius of gyration** per session (González et al. 2008);
+//! * **jump lengths** — displacement between consecutive snapshots
+//!   while moving;
+//! * **pause durations** — maximal runs of standing still;
+//! * **visitation frequency** — rank/frequency of the cells a user
+//!   visits (Zipf-like for humans).
+
+use serde::{Deserialize, Serialize};
+use sl_trace::{extract_sessions, Trace, UserId};
+use std::collections::{HashMap, HashSet};
+
+/// Displacement below this (meters) between consecutive snapshots
+/// counts as standing still.
+pub const STILL_EPSILON: f64 = 0.5;
+
+/// The extended metric set for one trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MobilityMetrics {
+    /// Radius of gyration per session, meters.
+    pub radii_of_gyration: Vec<f64>,
+    /// Per-step displacements while moving, meters.
+    pub jump_lengths: Vec<f64>,
+    /// Still-run durations, seconds.
+    pub pause_durations: Vec<f64>,
+    /// Aggregated visitation rank curve: `visit_rank_frequency[k]` is
+    /// the mean fraction of a user's observations spent at their
+    /// (k+1)-th most visited cell (computed over users with at least
+    /// two visited cells).
+    pub visit_rank_frequency: Vec<f64>,
+}
+
+/// Radius of gyration of a point set: RMS distance to the centroid.
+pub fn radius_of_gyration(points: &[(f64, f64)]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let n = points.len() as f64;
+    let (cx, cy) = points
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), &(x, y)| (sx + x, sy + y));
+    let (cx, cy) = (cx / n, cy / n);
+    let ms = points
+        .iter()
+        .map(|&(x, y)| {
+            let (dx, dy) = (x - cx, y - cy);
+            dx * dx + dy * dy
+        })
+        .sum::<f64>()
+        / n;
+    ms.sqrt()
+}
+
+/// Compute the extended metrics. `cell` is the visitation-grid cell
+/// side (meters); `exclude`d users and seated observations are skipped.
+pub fn mobility_metrics(trace: &Trace, cell: f64, exclude: &[UserId]) -> MobilityMetrics {
+    assert!(cell > 0.0, "cell side must be positive");
+    let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+    let mut out = MobilityMetrics::default();
+
+    // Per-user visitation counts.
+    let mut visits: HashMap<UserId, HashMap<(i64, i64), u64>> = HashMap::new();
+
+    for session in extract_sessions(trace, crate::trips::SESSION_GAP_TOLERANCE) {
+        if excluded.contains(&session.user) {
+            continue;
+        }
+        let path: Vec<(f64, (f64, f64))> = session
+            .path
+            .iter()
+            .filter(|(_, p)| !p.is_seated_sentinel())
+            .map(|&(t, p)| (t, p.xy()))
+            .collect();
+        if path.is_empty() {
+            continue;
+        }
+        let points: Vec<(f64, f64)> = path.iter().map(|&(_, p)| p).collect();
+        out.radii_of_gyration.push(radius_of_gyration(&points));
+
+        // Jumps and pauses.
+        let mut pause_start: Option<f64> = None;
+        for w in path.windows(2) {
+            let ((t0, (x0, y0)), (t1, (x1, y1))) = (w[0], w[1]);
+            let d = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+            if d > STILL_EPSILON {
+                out.jump_lengths.push(d);
+                if let Some(ps) = pause_start.take() {
+                    out.pause_durations.push(t0 - ps);
+                }
+            } else if pause_start.is_none() {
+                pause_start = Some(t0);
+            }
+            let _ = t1;
+        }
+        if let Some(ps) = pause_start {
+            out.pause_durations.push(path.last().unwrap().0 - ps);
+        }
+
+        // Visitation counts.
+        let user_visits = visits.entry(session.user).or_default();
+        for &(_, (x, y)) in &path {
+            let key = ((x / cell).floor() as i64, (y / cell).floor() as i64);
+            *user_visits.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    // Aggregate rank/frequency over users with >= 2 cells.
+    let mut rank_sums: Vec<f64> = Vec::new();
+    let mut rank_counts: Vec<u64> = Vec::new();
+    for per_cell in visits.values() {
+        if per_cell.len() < 2 {
+            continue;
+        }
+        let total: u64 = per_cell.values().sum();
+        let mut counts: Vec<u64> = per_cell.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        for (rank, &c) in counts.iter().enumerate() {
+            if rank_sums.len() <= rank {
+                rank_sums.push(0.0);
+                rank_counts.push(0);
+            }
+            rank_sums[rank] += c as f64 / total as f64;
+            rank_counts[rank] += 1;
+        }
+    }
+    out.visit_rank_frequency = rank_sums
+        .iter()
+        .zip(&rank_counts)
+        .map(|(&s, &n)| if n == 0 { 0.0 } else { s / n as f64 })
+        .collect();
+
+    // Deterministic sample order for serialization and comparisons.
+    out.radii_of_gyration
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.jump_lengths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.pause_durations
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_trace::{LandMeta, Position, Snapshot};
+
+    fn single_user_trace(path: &[(f64, f64)]) -> Trace {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        for (k, &(x, y)) in path.iter().enumerate() {
+            let mut s = Snapshot::new((k as f64 + 1.0) * 10.0);
+            s.push(UserId(1), Position::new(x, y, 22.0));
+            t.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn gyration_of_symmetric_square() {
+        // Four corners of a square around (5,5), side 10: every point
+        // at distance sqrt(50) from the centroid.
+        let r = radius_of_gyration(&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)]);
+        assert!((r - 50.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gyration_of_point_is_zero() {
+        assert_eq!(radius_of_gyration(&[(3.0, 4.0)]), 0.0);
+        assert_eq!(radius_of_gyration(&[]), 0.0);
+    }
+
+    #[test]
+    fn jumps_and_pauses_extracted() {
+        // Move, still, still, move: one pause of 20 s between jumps.
+        let t = single_user_trace(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 0.0),
+            (20.0, 0.0),
+        ]);
+        let m = mobility_metrics(&t, 20.0, &[]);
+        assert_eq!(m.jump_lengths, vec![10.0, 10.0]);
+        assert_eq!(m.pause_durations, vec![20.0]);
+        assert_eq!(m.radii_of_gyration.len(), 1);
+    }
+
+    #[test]
+    fn trailing_pause_counted() {
+        let t = single_user_trace(&[(0.0, 0.0), (10.0, 0.0), (10.0, 0.0), (10.0, 0.0)]);
+        let m = mobility_metrics(&t, 20.0, &[]);
+        assert_eq!(m.pause_durations, vec![20.0]);
+    }
+
+    #[test]
+    fn rank_frequency_decreases() {
+        // A user spending 3 snapshots in one cell, 1 in another.
+        let t = single_user_trace(&[(5.0, 5.0), (6.0, 5.0), (5.0, 6.0), (100.0, 100.0)]);
+        let m = mobility_metrics(&t, 20.0, &[]);
+        assert_eq!(m.visit_rank_frequency.len(), 2);
+        assert!((m.visit_rank_frequency[0] - 0.75).abs() < 1e-9);
+        assert!((m.visit_rank_frequency[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn excluded_user_ignored() {
+        let t = single_user_trace(&[(0.0, 0.0), (10.0, 0.0)]);
+        let m = mobility_metrics(&t, 20.0, &[UserId(1)]);
+        assert_eq!(m, MobilityMetrics::default());
+    }
+
+    #[test]
+    fn gyration_bounded_by_max_distance() {
+        // RoG can never exceed the largest distance from centroid.
+        let pts = [(0.0, 0.0), (0.0, 100.0), (3.0, 55.0), (1.0, 20.0)];
+        let r = radius_of_gyration(&pts);
+        assert!(r > 0.0 && r < 100.0);
+    }
+}

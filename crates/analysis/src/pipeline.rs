@@ -1,0 +1,326 @@
+//! One-call per-land analysis and paper-figure assembly.
+//!
+//! [`analyze_land`] runs the complete methodology of §3 on a trace at
+//! both communication ranges; [`paper_figures`] lays the per-land
+//! results out as the twelve panels of Figs. 1–4 plus the Fig. 3 zone
+//! plot, with one series per land — exactly the shape of the paper's
+//! evaluation section.
+
+use crate::contacts::{extract_contacts, ContactSamples};
+use crate::los::{los_metrics, LosMetrics};
+use crate::report::{Figure, FigureSet, Scale};
+use crate::spatial::{zone_occupation, ZoneOccupation};
+use crate::trips::{trip_metrics, TripMetrics};
+use serde::{Deserialize, Serialize};
+use sl_stats::ecdf::{Ccdf, Ecdf};
+use sl_stats::fit::{fit_two_phase, TwoPhaseFit};
+use sl_trace::{Trace, TraceSummary, UserId};
+
+/// Bluetooth range (paper rb = 10 m).
+pub const RB: f64 = 10.0;
+/// WiFi range (paper rw = 80 m).
+pub const RW: f64 = 80.0;
+/// Zone-occupation cell side (paper L = 20 m).
+pub const ZONE_L: f64 = 20.0;
+
+/// Temporal analysis at one communication range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalAnalysis {
+    /// The communication range, meters.
+    pub range: f64,
+    /// Raw CT/ICT/FT samples.
+    pub samples: ContactSamples,
+    /// Median contact time, seconds (`None` when no contacts closed).
+    pub median_ct: Option<f64>,
+    /// Median inter-contact time, seconds.
+    pub median_ict: Option<f64>,
+    /// Median first-contact time, seconds.
+    pub median_ft: Option<f64>,
+    /// Two-phase (power-law head, exponential tail) fit of CT.
+    pub ct_fit: Option<TwoPhaseFit>,
+    /// Two-phase fit of ICT.
+    pub ict_fit: Option<TwoPhaseFit>,
+}
+
+fn median_of(xs: &[f64]) -> Option<f64> {
+    (!xs.is_empty()).then(|| Ecdf::new(xs.to_vec()).median())
+}
+
+impl TemporalAnalysis {
+    fn run(trace: &Trace, range: f64, exclude: &[UserId]) -> Self {
+        let samples = extract_contacts(trace, range, exclude);
+        TemporalAnalysis {
+            range,
+            median_ct: median_of(&samples.contact_times),
+            median_ict: median_of(&samples.inter_contact_times),
+            median_ft: median_of(&samples.first_contact_times),
+            ct_fit: fit_two_phase(&samples.contact_times, 0.9, 0.25),
+            ict_fit: fit_two_phase(&samples.inter_contact_times, 0.9, 0.25),
+            samples,
+        }
+    }
+}
+
+/// The full per-land analysis: everything the paper reports about one
+/// target land.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LandAnalysis {
+    /// Land name (from the trace metadata).
+    pub land: String,
+    /// Trace summary (Table 1 equivalent).
+    pub summary: TraceSummary,
+    /// Temporal analysis at rb = 10 m.
+    pub bluetooth: TemporalAnalysis,
+    /// Temporal analysis at rw = 80 m.
+    pub wifi: TemporalAnalysis,
+    /// Line-of-sight metrics at rb.
+    pub los_bluetooth: LosMetrics,
+    /// Line-of-sight metrics at rw.
+    pub los_wifi: LosMetrics,
+    /// Zone occupation at L = 20 m.
+    pub zones: ZoneOccupation,
+    /// Trip metrics.
+    pub trips: TripMetrics,
+}
+
+/// Run the complete §3 methodology on one trace, excluding the given
+/// users (the measuring crawler's own avatar).
+pub fn analyze_land(trace: &Trace, exclude: &[UserId]) -> LandAnalysis {
+    LandAnalysis {
+        land: trace.meta.name.clone(),
+        summary: TraceSummary::of(trace),
+        bluetooth: TemporalAnalysis::run(trace, RB, exclude),
+        wifi: TemporalAnalysis::run(trace, RW, exclude),
+        los_bluetooth: los_metrics(trace, RB, exclude),
+        los_wifi: los_metrics(trace, RW, exclude),
+        zones: zone_occupation(trace, ZONE_L, exclude),
+        trips: trip_metrics(trace, exclude),
+    }
+}
+
+fn ccdf_series(label: &str, xs: &[f64], log_points: usize) -> sl_stats::ecdf::Series {
+    if xs.is_empty() {
+        return sl_stats::ecdf::Series::new(label, vec![], vec![]);
+    }
+    Ccdf::new(xs.to_vec()).series_log_grid(label, log_points)
+}
+
+fn cdf_series(label: &str, xs: &[f64]) -> sl_stats::ecdf::Series {
+    if xs.is_empty() {
+        return sl_stats::ecdf::Series::new(label, vec![], vec![]);
+    }
+    Ecdf::new(xs.to_vec()).series(label)
+}
+
+/// Selector returning one temporal-metric sample vector.
+type TemporalGetter = fn(&TemporalAnalysis) -> &Vec<f64>;
+/// Selector returning one trip-metric sample vector.
+type TripGetter = fn(&TripMetrics) -> &Vec<f64>;
+
+/// Assemble the paper's figures from per-land analyses (one series per
+/// land, in the order given).
+pub fn paper_figures(lands: &[LandAnalysis]) -> FigureSet {
+    let mut set = FigureSet::default();
+    const GRID: usize = 80;
+
+    // Fig. 1: temporal CCDFs at both ranges.
+    let temporal: [(&str, &str, TemporalGetter); 3] = [
+        ("ct", "Contact Time CCDF", |t| &t.samples.contact_times),
+        ("ict", "Inter-Contact Time CCDF", |t| {
+            &t.samples.inter_contact_times
+        }),
+        ("ft", "First Contact Time CCDF", |t| {
+            &t.samples.first_contact_times
+        }),
+    ];
+    for (ri, (rname, pick)) in [("r=10m", 0usize), ("r=80m", 1)].iter().enumerate() {
+        for (mi, (mid, mtitle, getter)) in temporal.iter().enumerate() {
+            let panel = (b'a' + (ri * 3 + mi) as u8) as char;
+            let mut fig = Figure::new(
+                format!("fig1{panel}_{mid}"),
+                format!("{mtitle}, {rname}"),
+                "Time (s)",
+                "1-F(x)",
+                Scale::Log,
+            );
+            for la in lands {
+                let ta = if *pick == 0 { &la.bluetooth } else { &la.wifi };
+                fig.push(ccdf_series(&la.land, getter(ta), GRID));
+            }
+            set.push(fig);
+        }
+    }
+
+    // Fig. 2: line-of-sight network metrics at both ranges.
+    for (ri, (rname, pick)) in [("r=10m", 0usize), ("r=80m", 1)].iter().enumerate() {
+        fn los_of(la: &LandAnalysis, pick: usize) -> &LosMetrics {
+            if pick == 0 {
+                &la.los_bluetooth
+            } else {
+                &la.los_wifi
+            }
+        }
+        let panel_base = ri * 3;
+        let mut deg = Figure::new(
+            format!("fig2{}_degree", (b'a' + panel_base as u8) as char),
+            format!("Node Degree CCDF, {rname}"),
+            "Degree",
+            "1-F(x)",
+            Scale::Linear,
+        );
+        let mut dia = Figure::new(
+            format!("fig2{}_diameter", (b'a' + panel_base as u8 + 1) as char),
+            format!("Network Diameter CDF, {rname}"),
+            "Diameter",
+            "F(x)",
+            Scale::Linear,
+        );
+        let mut clu = Figure::new(
+            format!("fig2{}_clustering", (b'a' + panel_base as u8 + 2) as char),
+            format!("Clustering Coefficient CDF, {rname}"),
+            "Coefficient",
+            "F(x)",
+            Scale::Linear,
+        );
+        for la in lands {
+            let m = los_of(la, *pick);
+            // Degree is a CCDF on a linear axis: use the step series.
+            if m.degrees.is_empty() {
+                deg.push(sl_stats::ecdf::Series::new(la.land.clone(), vec![], vec![]));
+            } else {
+                deg.push(Ccdf::new(m.degrees.clone()).series(la.land.clone()));
+            }
+            dia.push(cdf_series(&la.land, &m.diameters));
+            clu.push(cdf_series(&la.land, &m.clusterings));
+        }
+        set.push(deg);
+        set.push(dia);
+        set.push(clu);
+    }
+
+    // Fig. 3: zone occupation CDF.
+    let mut zones = Figure::new(
+        "fig3_zones",
+        "Zone Occupation CDF, L=20m",
+        "Number of users per cell",
+        "F(x)",
+        Scale::Linear,
+    );
+    for la in lands {
+        zones.push(cdf_series(&la.land, &la.zones.counts));
+    }
+    set.push(zones);
+
+    // Fig. 4: trip analysis CDFs.
+    let trips: [(&str, &str, &str, TripGetter); 3] = [
+        ("fig4a_travel_length", "Travel Length CDF", "Length (m)", |t| {
+            &t.travel_lengths
+        }),
+        (
+            "fig4b_effective_travel_time",
+            "Effective Travel Time CDF",
+            "Time (s)",
+            |t| &t.effective_travel_times,
+        ),
+        ("fig4c_travel_time", "Travel Time CDF", "Time (s)", |t| {
+            &t.travel_times
+        }),
+    ];
+    for (id, title, xlabel, getter) in trips {
+        let mut fig = Figure::new(id, title, xlabel, "F(x)", Scale::Linear);
+        for la in lands {
+            fig.push(cdf_series(&la.land, getter(&la.trips)));
+        }
+        set.push(fig);
+    }
+
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_trace::{LandMeta, Position, Snapshot, Trace};
+
+    /// A small synthetic trace with a tight pair and a wanderer.
+    fn synthetic_trace() -> Trace {
+        let mut t = Trace::new(LandMeta::standard("Synth", 10.0));
+        for k in 1..=60i64 {
+            let mut s = Snapshot::new(k as f64 * 10.0);
+            // Pair dancing around (50, 50).
+            let wiggle = (k % 3) as f64;
+            s.push(UserId(1), Position::new(50.0 + wiggle, 50.0, 22.0));
+            s.push(UserId(2), Position::new(53.0, 50.0 + wiggle, 22.0));
+            // A wanderer crossing the land at 2 m/s.
+            if k <= 40 {
+                s.push(UserId(3), Position::new(20.0 + 2.0 * 10.0 * k as f64 / 10.0, 200.0, 22.0));
+            }
+            t.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn full_analysis_runs() {
+        let trace = synthetic_trace();
+        let a = analyze_land(&trace, &[]);
+        assert_eq!(a.land, "Synth");
+        assert_eq!(a.summary.unique_users, 3);
+        // The tight pair is always in contact: censored, not completed.
+        assert_eq!(a.bluetooth.samples.censored_contacts, 1);
+        assert!(a.bluetooth.median_ft.is_some());
+        assert!(!a.zones.counts.is_empty());
+        assert_eq!(a.trips.sessions, 3);
+    }
+
+    #[test]
+    fn wifi_dominates_bluetooth_contacts() {
+        let trace = synthetic_trace();
+        let a = analyze_land(&trace, &[]);
+        let bt_contacts =
+            a.bluetooth.samples.contact_times.len() + a.bluetooth.samples.censored_contacts;
+        let wifi_contacts = a.wifi.samples.contact_times.len() + a.wifi.samples.censored_contacts;
+        assert!(
+            wifi_contacts >= bt_contacts,
+            "larger range cannot see fewer contacts"
+        );
+    }
+
+    #[test]
+    fn figures_have_paper_layout() {
+        let trace = synthetic_trace();
+        let a = analyze_land(&trace, &[]);
+        let set = paper_figures(&[a]);
+        // 6 (fig1) + 6 (fig2) + 1 (fig3) + 3 (fig4) = 16 panels.
+        assert_eq!(set.figures.len(), 16);
+        assert!(set.get("fig1a_ct").is_some());
+        assert!(set.get("fig1f_ft").is_some());
+        assert!(set.get("fig2a_degree").is_some());
+        assert!(set.get("fig2f_clustering").is_some());
+        assert!(set.get("fig3_zones").is_some());
+        assert!(set.get("fig4c_travel_time").is_some());
+        // One series per land.
+        assert_eq!(set.get("fig3_zones").unwrap().series.len(), 1);
+    }
+
+    #[test]
+    fn figures_multi_land() {
+        let trace = synthetic_trace();
+        let a1 = analyze_land(&trace, &[]);
+        let mut a2 = a1.clone();
+        a2.land = "Other".into();
+        let set = paper_figures(&[a1, a2]);
+        let fig = set.get("fig4a_travel_length").unwrap();
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[1].label, "Other");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let trace = synthetic_trace();
+        let a = analyze_land(&trace, &[]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: LandAnalysis = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,308 @@
+//! The relation graph — the paper's future work, implemented.
+//!
+//! §5: "Another interesting area of future research would be to build
+//! the network of 'relationships' among SL users. Based on the
+//! 'relation graph', new questions can be addressed such as the
+//! frequency and the strength of contact between acquaintances."
+//!
+//! Definition used here: users become *acquainted* after meeting at
+//! least `min_contacts` separate times for a cumulative
+//! `min_total_time` seconds within range `r`. Each acquaintance edge
+//! carries its contact *frequency* (number of distinct contact
+//! episodes) and *strength* (total time in contact).
+
+use serde::{Deserialize, Serialize};
+use sl_graph::{proximity_edges, Graph};
+use sl_trace::{Trace, UserId};
+use std::collections::{HashMap, HashSet};
+
+/// One pair's aggregated contact history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelationEdge {
+    /// Lower user id of the pair.
+    pub a: UserId,
+    /// Higher user id of the pair.
+    pub b: UserId,
+    /// Number of distinct contact episodes ("frequency of contact").
+    pub contacts: u32,
+    /// Cumulative contact time, seconds ("strength of contact").
+    pub total_time: f64,
+    /// Time of the first meeting.
+    pub first_met: f64,
+    /// Time of the last meeting.
+    pub last_met: f64,
+}
+
+/// The aggregated relation graph of a trace.
+///
+/// ```
+/// use sl_analysis::relations::RelationGraph;
+/// use sl_world::presets::dance_island;
+/// use sl_world::World;
+///
+/// let mut world = World::new(dance_island().config, 7);
+/// world.warm_up(3600.0);
+/// let trace = world.run_trace(3600.0, 10.0);
+/// // Acquaintance: met >= 2 times for >= 60 s in Bluetooth range.
+/// let rel = RelationGraph::from_trace(&trace, 10.0, 2, 60.0, &[]);
+/// assert!(rel.edge_count() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationGraph {
+    /// Communication range used to define contact.
+    pub range: f64,
+    /// Acquaintance threshold: minimum contact episodes.
+    pub min_contacts: u32,
+    /// Acquaintance threshold: minimum cumulative contact seconds.
+    pub min_total_time: f64,
+    /// All users that appear in at least one edge-qualifying contact,
+    /// sorted. Vertex `i` of [`RelationGraph::topology`] is `users[i]`.
+    pub users: Vec<UserId>,
+    /// Acquaintance edges (pairs meeting the thresholds).
+    pub edges: Vec<RelationEdge>,
+}
+
+impl RelationGraph {
+    /// Build from a trace. Pairs that never meet the thresholds do not
+    /// appear; `exclude`d users (the crawler) are invisible.
+    pub fn from_trace(
+        trace: &Trace,
+        range: f64,
+        min_contacts: u32,
+        min_total_time: f64,
+        exclude: &[UserId],
+    ) -> Self {
+        let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+        let tau = trace.meta.tau;
+
+        // Aggregate per-pair episode counts and total contact time by
+        // replaying the same sampled-contact semantics the temporal
+        // analysis uses.
+        struct PairAgg {
+            contacts: u32,
+            total_time: f64,
+            first_met: f64,
+            last_met: f64,
+        }
+        let mut pairs: HashMap<(UserId, UserId), PairAgg> = HashMap::new();
+        // Pairs currently in an open episode — kept separately so the
+        // closing sweep scans O(open) per snapshot, not O(all pairs
+        // ever seen) (which grows without bound over a 24 h trace).
+        let mut open: HashSet<(UserId, UserId)> = HashSet::new();
+
+        for snap in &trace.snapshots {
+            let mut users = Vec::with_capacity(snap.entries.len());
+            let mut points = Vec::with_capacity(snap.entries.len());
+            for obs in &snap.entries {
+                if excluded.contains(&obs.user) || obs.pos.is_seated_sentinel() {
+                    continue;
+                }
+                users.push(obs.user);
+                points.push(obs.pos.xy());
+            }
+            let mut now: HashSet<(UserId, UserId)> = HashSet::new();
+            for (i, j) in proximity_edges(&points, range) {
+                let (a, b) = (users[i as usize], users[j as usize]);
+                now.insert(if a < b { (a, b) } else { (b, a) });
+            }
+            // Close episodes that ended.
+            open.retain(|key| now.contains(key));
+            // Extend/open current episodes; every in-contact snapshot
+            // contributes τ seconds of strength.
+            for key in now {
+                let agg = pairs.entry(key).or_insert(PairAgg {
+                    contacts: 0,
+                    total_time: 0.0,
+                    first_met: snap.t,
+                    last_met: snap.t,
+                });
+                if open.insert(key) {
+                    agg.contacts += 1;
+                }
+                agg.total_time += tau;
+                agg.last_met = snap.t;
+            }
+        }
+
+        let mut edges: Vec<RelationEdge> = pairs
+            .into_iter()
+            .filter(|(_, agg)| agg.contacts >= min_contacts && agg.total_time >= min_total_time)
+            .map(|((a, b), agg)| RelationEdge {
+                a,
+                b,
+                contacts: agg.contacts,
+                total_time: agg.total_time,
+                first_met: agg.first_met,
+                last_met: agg.last_met,
+            })
+            .collect();
+        edges.sort_by_key(|e| (e.a, e.b));
+
+        let mut users: Vec<UserId> = edges.iter().flat_map(|e| [e.a, e.b]).collect();
+        users.sort_unstable();
+        users.dedup();
+
+        RelationGraph {
+            range,
+            min_contacts,
+            min_total_time,
+            users,
+            edges,
+        }
+    }
+
+    /// Number of acquaintance edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of users with at least one acquaintance.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Per-user acquaintance counts ("social degree").
+    pub fn acquaintance_degrees(&self) -> Vec<f64> {
+        let mut counts: HashMap<UserId, u32> = HashMap::new();
+        for e in &self.edges {
+            *counts.entry(e.a).or_insert(0) += 1;
+            *counts.entry(e.b).or_insert(0) += 1;
+        }
+        let mut out: Vec<f64> = self
+            .users
+            .iter()
+            .map(|u| *counts.get(u).unwrap_or(&0) as f64)
+            .collect();
+        out.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        out
+    }
+
+    /// Edge strengths (total contact seconds), sorted ascending.
+    pub fn strengths(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self.edges.iter().map(|e| e.total_time).collect();
+        out.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        out
+    }
+
+    /// Edge frequencies (contact episodes), sorted ascending.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self.edges.iter().map(|e| e.contacts as f64).collect();
+        out.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        out
+    }
+
+    /// Project onto an unweighted [`Graph`] (vertex `i` = `users[i]`)
+    /// for topological analysis (clustering, components).
+    pub fn topology(&self) -> Graph {
+        let index: HashMap<UserId, u32> = self
+            .users
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, i as u32))
+            .collect();
+        let edges: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .map(|e| (index[&e.a], index[&e.b]))
+            .collect();
+        Graph::from_edges(self.users.len(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_trace::{LandMeta, Position, Snapshot};
+
+    /// Schedule: per snapshot, the (user, x) entries; y = 0, tau = 10.
+    fn trace_of(schedule: &[&[(u32, f64)]]) -> Trace {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        for (k, entries) in schedule.iter().enumerate() {
+            let mut s = Snapshot::new((k as f64 + 1.0) * 10.0);
+            for &(u, x) in *entries {
+                s.push(UserId(u), Position::new(x, 0.0, 22.0));
+            }
+            t.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn repeated_meetings_become_acquaintance() {
+        // Users 1,2 meet twice (episodes separated by an apart phase);
+        // users 1,3 brush once.
+        let t = trace_of(&[
+            &[(1, 0.0), (2, 5.0), (3, 100.0)],
+            &[(1, 0.0), (2, 5.0), (3, 100.0)],
+            &[(1, 0.0), (2, 50.0), (3, 5.0)],
+            &[(1, 0.0), (2, 5.0), (3, 100.0)],
+            &[(1, 0.0), (2, 5.0), (3, 100.0)],
+        ]);
+        let rel = RelationGraph::from_trace(&t, 10.0, 2, 0.0, &[]);
+        assert_eq!(rel.edge_count(), 1, "only the (1,2) pair met twice");
+        let e = &rel.edges[0];
+        assert_eq!((e.a, e.b), (UserId(1), UserId(2)));
+        assert_eq!(e.contacts, 2);
+        assert_eq!(e.total_time, 40.0, "4 in-contact snapshots x tau");
+        assert_eq!(e.first_met, 10.0);
+        assert_eq!(e.last_met, 50.0);
+        assert_eq!(rel.users, vec![UserId(1), UserId(2)]);
+    }
+
+    #[test]
+    fn strength_threshold_filters() {
+        let t = trace_of(&[
+            &[(1, 0.0), (2, 5.0)],
+            &[(1, 0.0), (2, 5.0)],
+        ]);
+        let strict = RelationGraph::from_trace(&t, 10.0, 1, 30.0, &[]);
+        assert_eq!(strict.edge_count(), 0, "20 s < 30 s threshold");
+        let loose = RelationGraph::from_trace(&t, 10.0, 1, 20.0, &[]);
+        assert_eq!(loose.edge_count(), 1);
+    }
+
+    #[test]
+    fn excluded_users_form_no_relations() {
+        let t = trace_of(&[
+            &[(1, 0.0), (9, 5.0)],
+            &[(1, 0.0), (9, 5.0)],
+            &[(1, 0.0), (9, 5.0)],
+        ]);
+        let rel = RelationGraph::from_trace(&t, 10.0, 1, 0.0, &[UserId(9)]);
+        assert_eq!(rel.edge_count(), 0);
+    }
+
+    #[test]
+    fn degrees_and_strengths_consistent() {
+        // A triangle of mutual acquaintances: 1-2, 2-3, 1-3.
+        let t = trace_of(&[
+            &[(1, 0.0), (2, 5.0), (3, 9.0)],
+            &[(1, 0.0), (2, 5.0), (3, 9.0)],
+        ]);
+        let rel = RelationGraph::from_trace(&t, 10.0, 1, 0.0, &[]);
+        assert_eq!(rel.edge_count(), 3);
+        assert_eq!(rel.acquaintance_degrees(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(rel.strengths().len(), 3);
+        assert_eq!(rel.frequencies(), vec![1.0, 1.0, 1.0]);
+        let g = rel.topology();
+        assert_eq!(sl_graph::mean_clustering(&g), Some(1.0));
+    }
+
+    #[test]
+    fn empty_trace_empty_graph() {
+        let t = Trace::new(LandMeta::standard("T", 10.0));
+        let rel = RelationGraph::from_trace(&t, 10.0, 1, 0.0, &[]);
+        assert_eq!(rel.edge_count(), 0);
+        assert_eq!(rel.user_count(), 0);
+        assert_eq!(rel.topology().len(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = trace_of(&[&[(1, 0.0), (2, 5.0)], &[(1, 0.0), (2, 5.0)]]);
+        let rel = RelationGraph::from_trace(&t, 10.0, 1, 0.0, &[]);
+        let json = serde_json::to_string(&rel).unwrap();
+        let back: RelationGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(rel, back);
+    }
+}

@@ -1,0 +1,266 @@
+//! Figure assembly and export: the bridge between raw metric samples
+//! and the artifacts the paper prints (CCDF/CDF plots). Figures can be
+//! exported as CSV (for external plotting) and rendered as ASCII charts
+//! (for terminal-first reproduction runs).
+
+use serde::{Deserialize, Serialize};
+use sl_stats::ecdf::Series;
+use std::io::Write;
+
+/// Axis scale of a figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Logarithmic axis (base 10).
+    Log,
+}
+
+/// One figure: several labelled series over shared axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Identifier matching the paper ("fig1a", "fig3", …).
+    pub id: String,
+    /// Human title ("Contact Time CCDF, r=10m").
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// X-axis scale.
+    pub xscale: Scale,
+    /// The series (one per land, typically).
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Create an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+        xscale: Scale,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            xscale,
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Write the figure as long-format CSV: `series,x,y`.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "series,x,y")?;
+        for s in &self.series {
+            for (x, y) in s.x.iter().zip(&s.y) {
+                writeln!(w, "{},{x},{y}", s.label)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Render an ASCII chart (width × height characters of plot area).
+    ///
+    /// Each series gets a distinct glyph; the legend maps glyphs to
+    /// labels. Intended for quick shape inspection in a terminal, not
+    /// for publication.
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        assert!(width >= 16 && height >= 4, "canvas too small");
+        let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+        let mut canvas = vec![vec![' '; width]; height];
+
+        // Global axis ranges across series.
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for (&x, &y) in s.x.iter().zip(&s.y) {
+                let xv = match self.xscale {
+                    Scale::Linear => x,
+                    Scale::Log => {
+                        if x <= 0.0 {
+                            continue;
+                        }
+                        x.log10()
+                    }
+                };
+                x_min = x_min.min(xv);
+                x_max = x_max.max(xv);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+        if !x_min.is_finite() || x_max <= x_min {
+            return format!("{} — (no data)\n", self.title);
+        }
+        if y_max <= y_min {
+            y_max = y_min + 1.0;
+        }
+
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = glyphs[si % glyphs.len()];
+            for (&x, &y) in s.x.iter().zip(&s.y) {
+                let xv = match self.xscale {
+                    Scale::Linear => x,
+                    Scale::Log => {
+                        if x <= 0.0 {
+                            continue;
+                        }
+                        x.log10()
+                    }
+                };
+                let cx = ((xv - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - cy.min(height - 1);
+                canvas[row][cx.min(width - 1)] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{} [{}]\n", self.title, self.id));
+        for (i, row) in canvas.iter().enumerate() {
+            let y_val = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
+            out.push_str(&format!("{y_val:7.2} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        let x_lo = match self.xscale {
+            Scale::Linear => format!("{x_min:.1}"),
+            Scale::Log => format!("1e{x_min:.1}"),
+        };
+        let x_hi = match self.xscale {
+            Scale::Linear => format!("{x_max:.1}"),
+            Scale::Log => format!("1e{x_max:.1}"),
+        };
+        out.push_str(&format!(
+            "        +{}\n         {} .. {} ({})\n",
+            "-".repeat(width),
+            x_lo,
+            x_hi,
+            self.xlabel
+        ));
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "         {} {}\n",
+                glyphs[si % glyphs.len()],
+                s.label
+            ));
+        }
+        out
+    }
+}
+
+/// A collection of figures keyed by id — one experiment's full output.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FigureSet {
+    /// Figures in paper order.
+    pub figures: Vec<Figure>,
+}
+
+impl FigureSet {
+    /// Add a figure.
+    pub fn push(&mut self, f: Figure) {
+        self.figures.push(f);
+    }
+
+    /// Look up a figure by id.
+    pub fn get(&self, id: &str) -> Option<&Figure> {
+        self.figures.iter().find(|f| f.id == id)
+    }
+
+    /// Write every figure as `<dir>/<id>.csv`.
+    pub fn write_csv_dir(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for f in &self.figures {
+            let file = std::fs::File::create(dir.join(format!("{}.csv", f.id)))?;
+            f.write_csv(std::io::BufWriter::new(file))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_figure() -> Figure {
+        let mut f = Figure::new("fig_t", "Test", "Time (s)", "1-F(x)", Scale::Log);
+        f.push(Series::new(
+            "Apfelland",
+            vec![10.0, 100.0, 1000.0],
+            vec![1.0, 0.5, 0.1],
+        ));
+        f.push(Series::new(
+            "Dance",
+            vec![10.0, 100.0, 1000.0],
+            vec![1.0, 0.7, 0.2],
+        ));
+        f
+    }
+
+    #[test]
+    fn csv_format() {
+        let f = sample_figure();
+        let mut buf = Vec::new();
+        f.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "series,x,y");
+        assert_eq!(lines[1], "Apfelland,10,1");
+        assert_eq!(lines.len(), 7);
+    }
+
+    #[test]
+    fn ascii_render_contains_title_and_legend() {
+        let f = sample_figure();
+        let art = f.render_ascii(40, 10);
+        assert!(art.contains("Test [fig_t]"));
+        assert!(art.contains("* Apfelland"));
+        assert!(art.contains("o Dance"));
+        // Plot rows + axis + legend.
+        assert!(art.lines().count() >= 13);
+    }
+
+    #[test]
+    fn ascii_render_empty_figure() {
+        let f = Figure::new("e", "Empty", "x", "y", Scale::Linear);
+        let art = f.render_ascii(40, 10);
+        assert!(art.contains("no data"));
+    }
+
+    #[test]
+    fn log_scale_skips_nonpositive() {
+        let mut f = Figure::new("l", "Log", "x", "y", Scale::Log);
+        f.push(Series::new("s", vec![0.0, 10.0, 100.0], vec![1.0, 0.5, 0.1]));
+        let art = f.render_ascii(30, 6);
+        assert!(art.contains("1e1.0 .. 1e2.0"));
+    }
+
+    #[test]
+    fn figure_set_lookup_and_csv_dir() {
+        let mut set = FigureSet::default();
+        set.push(sample_figure());
+        assert!(set.get("fig_t").is_some());
+        assert!(set.get("nope").is_none());
+        let dir = std::env::temp_dir().join(format!("sl_figset_{}", std::process::id()));
+        set.write_csv_dir(&dir).unwrap();
+        assert!(dir.join("fig_t.csv").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = sample_figure();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Figure = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

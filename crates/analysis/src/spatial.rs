@@ -1,0 +1,125 @@
+//! Spatial distribution of users: zone occupation (paper Fig. 3).
+//!
+//! Lands are divided into L × L cells (L = 20 m in the paper) and the
+//! number of users per cell is counted in every snapshot. The reported
+//! CDF aggregates cell-occupancy samples over all cells and snapshots:
+//! its message is that "a large fraction of the land has no users" while
+//! "some lands (e.g. Dance Island) are characterized by hot-spots with
+//! several tens of users".
+
+use serde::{Deserialize, Serialize};
+use sl_stats::binning::cell_counts;
+use sl_trace::{Trace, UserId};
+use std::collections::HashSet;
+
+/// Zone-occupation samples for one trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ZoneOccupation {
+    /// Cell side L, meters.
+    pub cell_size: f64,
+    /// Occupancy samples: users-per-cell, over all cells × snapshots.
+    pub counts: Vec<f64>,
+    /// Fraction of cell samples that are empty.
+    pub empty_fraction: f64,
+    /// Largest single-cell occupancy observed (the hot-spot peak).
+    pub max_occupancy: u32,
+}
+
+/// Compute zone occupation at cell side `cell_size` (paper: 20 m),
+/// ignoring `exclude`d users and seated avatars.
+pub fn zone_occupation(trace: &Trace, cell_size: f64, exclude: &[UserId]) -> ZoneOccupation {
+    assert!(cell_size > 0.0, "cell size must be positive");
+    let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+    let mut out = ZoneOccupation {
+        cell_size,
+        ..Default::default()
+    };
+    let mut empty = 0usize;
+    for snap in &trace.snapshots {
+        let points: Vec<(f64, f64)> = snap
+            .entries
+            .iter()
+            .filter(|o| !excluded.contains(&o.user) && !o.pos.is_seated_sentinel())
+            .map(|o| o.pos.xy())
+            .collect();
+        let grid = cell_counts(&points, trace.meta.width, trace.meta.height, cell_size);
+        for &c in &grid.counts {
+            if c == 0 {
+                empty += 1;
+            }
+            out.max_occupancy = out.max_occupancy.max(c);
+            out.counts.push(c as f64);
+        }
+    }
+    out.empty_fraction = if out.counts.is_empty() {
+        1.0
+    } else {
+        empty as f64 / out.counts.len() as f64
+    };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_trace::{LandMeta, Position, Snapshot, Trace};
+
+    #[test]
+    fn counts_cells_and_hotspots() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        let mut s = Snapshot::new(10.0);
+        // Five users piled into one 20 m cell, one loner elsewhere.
+        for u in 0..5 {
+            s.push(UserId(u), Position::new(10.0 + u as f64, 10.0, 22.0));
+        }
+        s.push(UserId(99), Position::new(200.0, 200.0, 22.0));
+        t.push(s);
+        let z = zone_occupation(&t, 20.0, &[]);
+        // 13x13 = 169 cells for a single snapshot.
+        assert_eq!(z.counts.len(), 169);
+        assert_eq!(z.max_occupancy, 5);
+        let occupied = z.counts.iter().filter(|&&c| c > 0.0).count();
+        assert_eq!(occupied, 2);
+        assert!((z.empty_fraction - 167.0 / 169.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_over_snapshots() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        for k in 1..=3 {
+            let mut s = Snapshot::new(k as f64 * 10.0);
+            s.push(UserId(1), Position::new(5.0, 5.0, 22.0));
+            t.push(s);
+        }
+        let z = zone_occupation(&t, 20.0, &[]);
+        assert_eq!(z.counts.len(), 3 * 169);
+        assert_eq!(z.counts.iter().filter(|&&c| c > 0.0).count(), 3);
+    }
+
+    #[test]
+    fn seated_and_excluded_ignored() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        let mut s = Snapshot::new(10.0);
+        s.push(UserId(1), Position::SEATED);
+        s.push(UserId(2), Position::new(30.0, 30.0, 22.0));
+        t.push(s);
+        let z = zone_occupation(&t, 20.0, &[UserId(2)]);
+        assert_eq!(z.max_occupancy, 0);
+        assert_eq!(z.empty_fraction, 1.0);
+    }
+
+    #[test]
+    fn empty_trace_is_all_empty() {
+        let t = Trace::new(LandMeta::standard("T", 10.0));
+        let z = zone_occupation(&t, 20.0, &[]);
+        assert!(z.counts.is_empty());
+        assert_eq!(z.empty_fraction, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_cell() {
+        let t = Trace::new(LandMeta::standard("T", 10.0));
+        zone_occupation(&t, 0.0, &[]);
+    }
+}

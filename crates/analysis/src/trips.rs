@@ -1,0 +1,188 @@
+//! Trip analysis (paper §3.2 and Fig. 4): per-user travel length,
+//! effective travel time, and travel (login/connection) time.
+//!
+//! Metrics are computed per *session* reconstructed from snapshot
+//! presence (a user visiting twice contributes two samples, matching
+//! what a presence-based crawler can actually observe):
+//!
+//! * **Travel length** — cumulative ground distance covered between the
+//!   user's login and logout positions (Fig. 4a);
+//! * **Effective travel time** — total time spent moving, excluding
+//!   pause times (Fig. 4b);
+//! * **Travel time** — total connection time to the monitored land
+//!   (Fig. 4c, the paper's "login time").
+
+use serde::{Deserialize, Serialize};
+use sl_trace::{extract_sessions, Trace, UserId};
+use std::collections::HashSet;
+
+/// Movement threshold (meters between consecutive snapshots) below
+/// which a user counts as standing still: SL avatars idle-shift by
+/// centimeters, which must not count as travel.
+pub const STILL_EPSILON: f64 = 0.5;
+
+/// Snapshot gaps (in τ units) bridged when reconstructing sessions; a
+/// crawler reconnect blanking one snapshot must not split every session
+/// in two.
+pub const SESSION_GAP_TOLERANCE: usize = 2;
+
+/// Per-session trip samples for one trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TripMetrics {
+    /// Cumulative path lengths, meters.
+    pub travel_lengths: Vec<f64>,
+    /// Time spent moving, seconds.
+    pub effective_travel_times: Vec<f64>,
+    /// Session durations, seconds.
+    pub travel_times: Vec<f64>,
+    /// Number of sessions analyzed.
+    pub sessions: usize,
+}
+
+/// Compute trip metrics, ignoring `exclude`d users (the crawler) and
+/// sessions consisting of a single snapshot (no motion observable).
+pub fn trip_metrics(trace: &Trace, exclude: &[UserId]) -> TripMetrics {
+    let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+    let mut out = TripMetrics::default();
+    for session in extract_sessions(trace, SESSION_GAP_TOLERANCE) {
+        if excluded.contains(&session.user) || session.path.len() < 2 {
+            continue;
+        }
+        // Seated observations carry no position; a session that is
+        // mostly sentinel would corrupt the length sum. Skip sentinel
+        // points within the path.
+        let mut length = 0.0;
+        let mut moving_time = 0.0;
+        let mut prev: Option<(f64, sl_trace::Position)> = None;
+        for &(t, pos) in &session.path {
+            if pos.is_seated_sentinel() {
+                prev = None;
+                continue;
+            }
+            if let Some((pt, ppos)) = prev {
+                let d = ppos.distance_xy(&pos);
+                length += d;
+                if d > STILL_EPSILON {
+                    moving_time += t - pt;
+                }
+            }
+            prev = Some((t, pos));
+        }
+        out.travel_lengths.push(length);
+        out.effective_travel_times.push(moving_time);
+        out.travel_times.push(session.duration());
+        out.sessions += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_trace::{LandMeta, Position, Snapshot, Trace};
+
+    fn push_user(t: &mut Trace, times_pos: &[(f64, f64, f64)], user: u32) {
+        // Rebuild: each entry is (time, x, y) for a single-user trace.
+        for &(time, x, y) in times_pos {
+            let mut s = Snapshot::new(time);
+            s.push(UserId(user), Position::new(x, y, 22.0));
+            t.push(s);
+        }
+    }
+
+    #[test]
+    fn length_and_times() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        push_user(
+            &mut t,
+            &[
+                (10.0, 0.0, 0.0),
+                (20.0, 30.0, 0.0),  // moved 30 m
+                (30.0, 30.0, 0.0),  // still
+                (40.0, 30.0, 40.0), // moved 40 m
+            ],
+            1,
+        );
+        let m = trip_metrics(&t, &[]);
+        assert_eq!(m.sessions, 1);
+        assert!((m.travel_lengths[0] - 70.0).abs() < 1e-9);
+        assert!((m.effective_travel_times[0] - 20.0).abs() < 1e-9);
+        assert!((m.travel_times[0] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_shift_not_counted_as_motion() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        push_user(
+            &mut t,
+            &[(10.0, 0.0, 0.0), (20.0, 0.3, 0.0), (30.0, 0.5, 0.0)],
+            1,
+        );
+        let m = trip_metrics(&t, &[]);
+        assert_eq!(m.effective_travel_times[0], 0.0, "sub-epsilon shifts are idling");
+        assert!(m.travel_lengths[0] < 0.6);
+    }
+
+    #[test]
+    fn single_snapshot_session_skipped() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        push_user(&mut t, &[(10.0, 5.0, 5.0)], 1);
+        let m = trip_metrics(&t, &[]);
+        assert_eq!(m.sessions, 0);
+    }
+
+    #[test]
+    fn crawler_excluded() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        for k in 1..=3 {
+            let mut s = Snapshot::new(k as f64 * 10.0);
+            s.push(UserId(1), Position::new(k as f64, 0.0, 22.0));
+            s.push(UserId(9), Position::new(0.0, k as f64 * 10.0, 22.0));
+            t.push(s);
+        }
+        let m = trip_metrics(&t, &[UserId(9)]);
+        assert_eq!(m.sessions, 1);
+    }
+
+    #[test]
+    fn two_visits_two_sessions() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        // Present at t=10..20, absent until t=100 (gap of 7 snapshots >
+        // tolerance 2), present again 100..110.
+        let mut times = vec![];
+        for &time in &[10.0, 20.0, 100.0, 110.0] {
+            times.push((time, time, 0.0));
+        }
+        push_user(&mut t, &times, 1);
+        let m = trip_metrics(&t, &[]);
+        assert_eq!(m.sessions, 2);
+    }
+
+    #[test]
+    fn seated_points_break_path_without_poisoning_length() {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        let path = [
+            (10.0, Position::new(10.0, 0.0, 22.0)),
+            (20.0, Position::SEATED),
+            (30.0, Position::new(12.0, 0.0, 22.0)),
+        ];
+        for (time, pos) in path {
+            let mut s = Snapshot::new(time);
+            s.push(UserId(1), pos);
+            t.push(s);
+        }
+        let m = trip_metrics(&t, &[]);
+        assert_eq!(m.sessions, 1);
+        // Without sentinel handling the length would include two ~10 m
+        // hops to and from the origin; with it, nothing is counted
+        // across the seated gap.
+        assert_eq!(m.travel_lengths[0], 0.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(LandMeta::standard("T", 10.0));
+        let m = trip_metrics(&t, &[]);
+        assert_eq!(m, TripMetrics::default());
+    }
+}

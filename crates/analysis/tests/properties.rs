@@ -1,0 +1,150 @@
+//! Property-based tests: the §3 metric extractors must satisfy their
+//! structural invariants on arbitrary valid traces.
+
+use proptest::prelude::*;
+use sl_analysis::contacts::extract_contacts;
+use sl_analysis::los::los_metrics;
+use sl_analysis::relations::RelationGraph;
+use sl_analysis::spatial::zone_occupation;
+use sl_analysis::trips::trip_metrics;
+use sl_trace::{LandMeta, Position, Snapshot, Trace, UserId};
+
+/// Arbitrary valid traces: increasing times, unique users per snapshot,
+/// in-bounds coordinates, occasional seated sentinels.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let snapshot = prop::collection::btree_map(
+        0u32..30,
+        (0.0f64..256.0, 0.0f64..256.0, prop::bool::weighted(0.1)),
+        0..10,
+    );
+    prop::collection::vec(snapshot, 1..30).prop_map(|snaps| {
+        let mut trace = Trace::new(LandMeta::standard("Prop", 10.0));
+        for (k, users) in snaps.into_iter().enumerate() {
+            let mut s = Snapshot::new((k as f64 + 1.0) * 10.0);
+            for (u, (x, y, seated)) in users {
+                let pos = if seated {
+                    Position::SEATED
+                } else {
+                    Position::new(x, y, 22.0)
+                };
+                s.push(UserId(u), pos);
+            }
+            trace.push(s);
+        }
+        trace
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn contact_samples_are_well_formed(trace in arb_trace(), range in 1.0f64..120.0) {
+        let c = extract_contacts(&trace, range, &[]);
+        // CT samples are positive multiples of tau.
+        for &ct in &c.contact_times {
+            prop_assert!(ct > 0.0);
+            prop_assert!((ct / 10.0).fract().abs() < 1e-9, "CT {ct} not a tau multiple");
+        }
+        // ICT gaps are strictly positive.
+        for &ict in &c.inter_contact_times {
+            prop_assert!(ict > 0.0);
+        }
+        // FT waits are non-negative and bounded by the trace span.
+        for &ft in &c.first_contact_times {
+            prop_assert!(ft >= 0.0 && ft <= trace.duration());
+        }
+        // Sorted outputs (determinism contract).
+        prop_assert!(c.contact_times.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(c.inter_contact_times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn wider_range_sees_no_fewer_contact_episodes(trace in arb_trace(), r in 1.0f64..60.0, extra in 0.0f64..60.0) {
+        let narrow = extract_contacts(&trace, r, &[]);
+        let wide = extract_contacts(&trace, r + extra, &[]);
+        // Every pair in range at r is in range at r+extra in each
+        // snapshot; episodes can merge (fewer, longer), so compare
+        // total in-contact time (closed + surviving) instead of counts.
+        let total_time = |c: &sl_analysis::ContactSamples| c.contact_times.iter().sum::<f64>();
+        prop_assert!(total_time(&wide) >= total_time(&narrow) - 1e-9
+            || wide.censored_contacts >= narrow.censored_contacts);
+        // And nobody who met someone at r is isolated at r+extra.
+        prop_assert!(wide.never_contacted <= narrow.never_contacted);
+    }
+
+    #[test]
+    fn los_degree_samples_match_observed_population(trace in arb_trace(), range in 1.0f64..120.0) {
+        let m = los_metrics(&trace, range, &[]);
+        let expected: usize = trace
+            .snapshots
+            .iter()
+            .map(|s| s.entries.iter().filter(|o| !o.pos.is_seated_sentinel()).count())
+            .sum();
+        prop_assert_eq!(m.degrees.len(), expected);
+        prop_assert!((0.0..=1.0).contains(&m.isolated_fraction));
+        for &c in &m.clusterings {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn zone_counts_conserve_standing_users(trace in arb_trace()) {
+        let z = zone_occupation(&trace, 20.0, &[]);
+        let standing: usize = trace
+            .snapshots
+            .iter()
+            .map(|s| s.entries.iter().filter(|o| !o.pos.is_seated_sentinel()).count())
+            .sum();
+        let counted: f64 = z.counts.iter().sum();
+        prop_assert_eq!(counted as usize, standing);
+        prop_assert!((0.0..=1.0).contains(&z.empty_fraction));
+    }
+
+    #[test]
+    fn trip_metrics_are_bounded(trace in arb_trace()) {
+        let m = trip_metrics(&trace, &[]);
+        let span = trace.duration();
+        for ((&len, &eff), &tt) in m
+            .travel_lengths
+            .iter()
+            .zip(&m.effective_travel_times)
+            .zip(&m.travel_times)
+        {
+            prop_assert!(len >= 0.0);
+            prop_assert!(eff >= 0.0 && eff <= tt + 1e-9, "effective {eff} > session {tt}");
+            prop_assert!(tt <= span + 1e-9);
+        }
+    }
+
+    #[test]
+    fn relation_graph_edges_respect_thresholds(
+        trace in arb_trace(),
+        min_contacts in 1u32..4,
+        min_time in 0.0f64..100.0
+    ) {
+        let rel = RelationGraph::from_trace(&trace, 10.0, min_contacts, min_time, &[]);
+        for e in &rel.edges {
+            prop_assert!(e.contacts >= min_contacts);
+            prop_assert!(e.total_time >= min_time);
+            prop_assert!(e.a < e.b);
+            prop_assert!(e.first_met <= e.last_met);
+        }
+        // Users list exactly covers edge endpoints.
+        let mut endpoint_users: Vec<UserId> =
+            rel.edges.iter().flat_map(|e| [e.a, e.b]).collect();
+        endpoint_users.sort_unstable();
+        endpoint_users.dedup();
+        prop_assert_eq!(endpoint_users, rel.users.clone());
+    }
+
+    #[test]
+    fn excluding_everyone_yields_empty_metrics(trace in arb_trace()) {
+        let everyone = trace.unique_users();
+        let c = extract_contacts(&trace, 80.0, &everyone);
+        prop_assert!(c.contact_times.is_empty());
+        prop_assert_eq!(c.never_contacted, 0);
+        let m = los_metrics(&trace, 80.0, &everyone);
+        prop_assert!(m.degrees.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! DTN bench: trace-driven forwarding over a Dance Island fixture, one
+//! measurement per protocol (the paper's motivating application).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl_bench::dance_fixture;
+use sl_dtn::sim::uniform_workload;
+use sl_dtn::{simulate, ContactTimeline, DtnConfig, Protocol};
+use sl_stats::rng::Rng;
+
+fn bench_dtn(c: &mut Criterion) {
+    let trace = dance_fixture();
+    let timeline = ContactTimeline::from_trace(&trace, 10.0, &[]);
+    let mut rng = Rng::new(1);
+    let messages = uniform_workload(&timeline, 100, &mut rng);
+
+    let mut group = c.benchmark_group("dtn_forwarding");
+    group.sample_size(20);
+    group.bench_function("timeline_build", |b| {
+        b.iter(|| ContactTimeline::from_trace(&trace, 10.0, &[]))
+    });
+    for protocol in Protocol::standard_suite() {
+        group.bench_function(protocol.label(), |b| {
+            b.iter(|| {
+                simulate(
+                    &timeline,
+                    &messages,
+                    DtnConfig {
+                        protocol,
+                        ttl: 3600.0,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtn);
+criterion_main!(benches);

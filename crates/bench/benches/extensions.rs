@@ -1,0 +1,62 @@
+//! Benches for the future-work extensions: relation-graph construction,
+//! extended mobility metrics, and the multi-land grid engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl_analysis::mobility_metrics::mobility_metrics;
+use sl_analysis::relations::RelationGraph;
+use sl_bench::dance_fixture;
+use sl_world::grid::{Grid, GridConfig};
+use sl_world::presets::{apfel_land, dance_island, isle_of_view};
+use sl_world::session::{ArrivalProcess, DiurnalProfile, SessionDurations};
+
+fn bench_extensions(c: &mut Criterion) {
+    let trace = dance_fixture();
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(20);
+
+    group.bench_function("relation_graph_build", |b| {
+        b.iter(|| RelationGraph::from_trace(&trace, 10.0, 2, 60.0, &[]))
+    });
+    let rel = RelationGraph::from_trace(&trace, 10.0, 2, 60.0, &[]);
+    group.bench_function("relation_graph_metrics", |b| {
+        b.iter(|| {
+            let degrees = rel.acquaintance_degrees();
+            let topo = rel.topology();
+            (degrees, sl_graph::mean_clustering(&topo))
+        })
+    });
+
+    group.bench_function("mobility_metrics", |b| {
+        b.iter(|| mobility_metrics(&trace, 20.0, &[]))
+    });
+
+    group.bench_function("grid_hour_three_lands", |b| {
+        b.iter(|| {
+            let mut grid = Grid::new(
+                GridConfig {
+                    lands: vec![
+                        (dance_island().config, 3.0),
+                        (apfel_land().config, 1.0),
+                        (isle_of_view().config, 4.0),
+                    ],
+                    arrivals: ArrivalProcess::with_expected(
+                        6000.0,
+                        86_400.0,
+                        DiurnalProfile::evening(),
+                    ),
+                    sessions: SessionDurations::new(400.0, 1600.0, 14_400.0),
+                    hop_prob: 0.5,
+                    max_hops: 5,
+                },
+                1,
+            );
+            grid.warm_up(3600.0);
+            grid.population()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

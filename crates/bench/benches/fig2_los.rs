@@ -1,0 +1,38 @@
+//! Fig. 2 bench: line-of-sight network metrics (degree, diameter of the
+//! largest component, clustering) per snapshot, aggregated over a trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl_analysis::los::los_metrics;
+use sl_bench::dance_fixture;
+use sl_graph::{diameter_largest_component, mean_clustering, proximity_graph};
+
+fn bench_los(c: &mut Criterion) {
+    let trace = dance_fixture();
+    let mut group = c.benchmark_group("fig2_los");
+    group.sample_size(20);
+    group.bench_function("full_trace_rb10", |b| {
+        b.iter(|| los_metrics(&trace, 10.0, &[]))
+    });
+    group.bench_function("full_trace_rw80", |b| {
+        b.iter(|| los_metrics(&trace, 80.0, &[]))
+    });
+    // Per-snapshot costs on the densest snapshot.
+    let densest = trace
+        .snapshots
+        .iter()
+        .max_by_key(|s| s.len())
+        .expect("nonempty trace");
+    let points = densest.positions_xy();
+    group.bench_function("snapshot_graph_build", |b| {
+        b.iter(|| proximity_graph(&points, 10.0))
+    });
+    let g = proximity_graph(&points, 10.0);
+    group.bench_function("snapshot_diameter", |b| {
+        b.iter(|| diameter_largest_component(&g))
+    });
+    group.bench_function("snapshot_clustering", |b| b.iter(|| mean_clustering(&g)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_los);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Fig. 3 bench: zone-occupation CDF over L = 20 m cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl_analysis::spatial::zone_occupation;
+use sl_bench::{apfel_fixture, dance_fixture};
+
+fn bench_zones(c: &mut Criterion) {
+    let dance = dance_fixture();
+    let apfel = apfel_fixture();
+    let mut group = c.benchmark_group("fig3_zones");
+    group.sample_size(20);
+    group.bench_function("dance_l20", |b| b.iter(|| zone_occupation(&dance, 20.0, &[])));
+    group.bench_function("apfel_l20", |b| b.iter(|| zone_occupation(&apfel, 20.0, &[])));
+    group.bench_function("dance_l5_fine", |b| b.iter(|| zone_occupation(&dance, 5.0, &[])));
+    group.finish();
+}
+
+criterion_group!(benches, bench_zones);
+criterion_main!(benches);

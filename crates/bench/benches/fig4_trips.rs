@@ -1,0 +1,23 @@
+//! Fig. 4 bench: trip analysis (travel length, effective travel time,
+//! travel time) from reconstructed sessions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl_analysis::trips::trip_metrics;
+use sl_bench::{apfel_fixture, dance_fixture};
+use sl_trace::extract_sessions;
+
+fn bench_trips(c: &mut Criterion) {
+    let dance = dance_fixture();
+    let apfel = apfel_fixture();
+    let mut group = c.benchmark_group("fig4_trips");
+    group.sample_size(20);
+    group.bench_function("dance_full", |b| b.iter(|| trip_metrics(&dance, &[])));
+    group.bench_function("apfel_full", |b| b.iter(|| trip_metrics(&apfel, &[])));
+    group.bench_function("session_extraction", |b| {
+        b.iter(|| extract_sessions(&dance, 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trips);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Substrate micro-benches: RNG, sampling, spatial index, codec, ECDF —
+//! the building blocks every experiment leans on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sl_proto::codec::{decode_frame, encode_frame};
+use sl_proto::message::{MapItem, Message};
+use sl_stats::dist::{Alias, Sample, TruncatedPareto};
+use sl_stats::ecdf::Ecdf;
+use sl_stats::rng::Rng;
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+
+    group.bench_function("rng_u64_x1000", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            acc
+        })
+    });
+
+    group.bench_function("truncated_pareto_x1000", |b| {
+        let mut rng = Rng::new(2);
+        let d = TruncatedPareto::new(30.0, 7200.0, 1.2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += d.sample(&mut rng);
+            }
+            acc
+        })
+    });
+
+    group.bench_function("alias_table_x1000", |b| {
+        let mut rng = Rng::new(3);
+        let weights: Vec<f64> = (1..=64).map(|i| i as f64).collect();
+        let alias = Alias::new(&weights);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1000 {
+                acc += alias.sample(&mut rng);
+            }
+            acc
+        })
+    });
+
+    // Proximity graph on a dense 100-avatar snapshot.
+    let mut rng = Rng::new(4);
+    let points: Vec<(f64, f64)> = (0..100)
+        .map(|_| (rng.range_f64(0.0, 256.0), rng.range_f64(0.0, 256.0)))
+        .collect();
+    group.bench_function("proximity_graph_100", |b| {
+        b.iter(|| sl_graph::proximity_graph(&points, 10.0))
+    });
+
+    group.bench_function("ecdf_build_10k", |b| {
+        let mut rng = Rng::new(5);
+        let samples: Vec<f64> = (0..10_000).map(|_| rng.f64()).collect();
+        b.iter_batched(
+            || samples.clone(),
+            Ecdf::new,
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Protocol codec on a full map reply.
+    let items: Vec<MapItem> = (0..100)
+        .map(|i| MapItem {
+            agent: i,
+            x: i as f32,
+            y: 256.0 - i as f32,
+            z: 22.0,
+        })
+        .collect();
+    let msg = Message::MapReply {
+        time: 86_400.0,
+        items,
+    };
+    group.bench_function("codec_encode_map_reply", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::with_capacity(4096);
+            encode_frame(&msg, &mut buf);
+            buf
+        })
+    });
+    let mut encoded = bytes::BytesMut::new();
+    encode_frame(&msg, &mut encoded);
+    group.bench_function("codec_decode_map_reply", |b| {
+        b.iter_batched(
+            || encoded.clone(),
+            |mut buf| decode_frame(&mut buf).unwrap().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! T1 bench: the trace-summary table (unique users, average
+//! concurrency) plus the cost of generating the underlying world trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl_bench::dance_fixture;
+use sl_trace::TraceSummary;
+use sl_world::presets::dance_island;
+use sl_world::World;
+
+fn bench_summary(c: &mut Criterion) {
+    let trace = dance_fixture();
+    let mut group = c.benchmark_group("t1_summary");
+    group.sample_size(20);
+    group.bench_function("summary", |b| b.iter(|| TraceSummary::of(&trace)));
+    group.bench_function("world_hour_simulation", |b| {
+        b.iter(|| {
+            let mut w = World::new(dance_island().config, 1);
+            w.run_trace(3600.0, 10.0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_summary);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run -p sl-bench --bin repro --release -- --all           # full 24 h, all lands
+//! cargo run -p sl-bench --bin repro --release -- --quick         # 2 h smoke run
+//! cargo run -p sl-bench --bin repro --release -- --seed 7 --out results/
+//! ```
+//!
+//! Outputs, under `--out` (default `repro_out/`):
+//!
+//! * `figures/<id>.csv` — every panel of Figs. 1–4 as long-format CSV;
+//! * `figures/<id>.txt` — ASCII rendering of each panel;
+//! * `analysis/<land>.json` — the full per-land analysis;
+//! * `scorecard.md` — paper vs measured for every target metric;
+//! * `summary.txt` — the §3 trace-summary table (T1).
+
+use sl_core::ablation::{ablation_markdown, mobility_ablation};
+use sl_core::experiment::run_paper_reproduction;
+use sl_core::scorecard::{aggregate, aggregate_to_markdown, scorecard, to_markdown};
+use std::io::Write;
+use std::path::PathBuf;
+
+struct Args {
+    seed: u64,
+    duration: f64,
+    out: PathBuf,
+    ascii: bool,
+    ablation: bool,
+    relations: bool,
+    seeds: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        duration: 24.0 * 3600.0,
+        out: PathBuf::from("repro_out"),
+        ascii: true,
+        ablation: false,
+        relations: false,
+        seeds: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => {}
+            "--quick" => args.duration = 2.0 * 3600.0,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--hours" => {
+                let hours: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--hours needs a number"));
+                args.duration = hours * 3600.0;
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--no-ascii" => args.ascii = false,
+            "--ablation" => args.ablation = true,
+            "--seeds" => {
+                args.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--seeds needs a positive integer"));
+            }
+            "--relations" => args.relations = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--all | --quick | --hours H] [--seed N] [--seeds K] [--out DIR] [--no-ascii] [--ablation] [--relations]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Reproducing the paper: 3 lands x {:.1} h at seed {} ...",
+        args.duration / 3600.0,
+        args.seed
+    );
+    let t0 = std::time::Instant::now();
+    let run = run_paper_reproduction(args.seed, args.duration);
+    println!("simulated + analyzed in {:.1} s\n", t0.elapsed().as_secs_f64());
+
+    std::fs::create_dir_all(args.out.join("figures")).expect("create output dir");
+    std::fs::create_dir_all(args.out.join("analysis")).expect("create output dir");
+
+    // ---- T1: trace summary table -----------------------------------
+    let mut summary = String::from("T1 — trace summary (paper: IoV 2656/65, Dance 3347/34, Apfel 1568/13)\n\n");
+    for land in &run.lands {
+        summary.push_str(&format!("{}\n", land.analysis.summary));
+    }
+    println!("{summary}");
+    std::fs::write(args.out.join("summary.txt"), &summary).expect("write summary");
+
+    // ---- Figures -----------------------------------------------------
+    run.figures
+        .write_csv_dir(&args.out.join("figures"))
+        .expect("write figure CSVs");
+    for fig in &run.figures.figures {
+        let art = fig.render_ascii(72, 18);
+        std::fs::write(
+            args.out.join("figures").join(format!("{}.txt", fig.id)),
+            &art,
+        )
+        .expect("write figure art");
+        if args.ascii {
+            println!("{art}");
+        }
+    }
+
+    // ---- Per-land analysis JSON + scorecard -------------------------
+    let mut all_rows = Vec::new();
+    for land in &run.lands {
+        let json = serde_json::to_string_pretty(&land.analysis).expect("serialize analysis");
+        let file = args
+            .out
+            .join("analysis")
+            .join(format!("{}.json", land.preset.name.replace(' ', "_")));
+        std::fs::write(file, json).expect("write analysis");
+        all_rows.extend(scorecard(&land.analysis, &land.preset.targets));
+    }
+    let md = to_markdown(&all_rows);
+    println!("Scorecard (paper vs measured):\n\n{md}");
+    let mut f = std::fs::File::create(args.out.join("scorecard.md")).expect("create scorecard");
+    writeln!(f, "# Paper vs measured (seed {}, {:.1} h)\n", args.seed, args.duration / 3600.0)
+        .unwrap();
+    f.write_all(md.as_bytes()).unwrap();
+
+    // ---- Optional: multi-seed sweep -----------------------------------
+    if args.seeds > 1 {
+        println!("Sweeping {} additional seeds for confidence intervals...", args.seeds - 1);
+        let mut per_seed = vec![all_rows.clone()];
+        for k in 1..args.seeds as u64 {
+            let run_k = run_paper_reproduction(args.seed + k, args.duration);
+            per_seed.push(
+                run_k
+                    .lands
+                    .iter()
+                    .flat_map(|land| scorecard(&land.analysis, &land.preset.targets))
+                    .collect(),
+            );
+        }
+        let agg = aggregate(&per_seed);
+        let md = aggregate_to_markdown(&agg);
+        println!("Scorecard over {} seeds:\n\n{md}", args.seeds);
+        std::fs::write(args.out.join("scorecard_sweep.md"), &md).expect("write sweep");
+    }
+
+    // ---- Optional: mobility-model ablation ---------------------------
+    if args.ablation {
+        println!("Running mobility-model ablation on Dance Island...");
+        let arms = mobility_ablation(args.seed, args.duration.min(4.0 * 3600.0));
+        let md = ablation_markdown(&arms);
+        println!("\n{md}");
+        std::fs::write(args.out.join("ablation.md"), &md).expect("write ablation");
+    }
+
+    // ---- Optional: relation graphs (paper future work) ---------------
+    if args.relations {
+        let mut text = String::from(
+            "Relation graphs (acquaintance = >=3 contact episodes, >=60 s total, rb=10 m)\n\n",
+        );
+        for land in &run.lands {
+            let rel = sl_analysis::relations::RelationGraph::from_trace(
+                &land.trace,
+                10.0,
+                3,
+                60.0,
+                &[],
+            );
+            let strengths = rel.strengths();
+            let top = strengths.last().copied().unwrap_or(0.0);
+            let med = strengths.get(strengths.len() / 2).copied().unwrap_or(0.0);
+            let topo = rel.topology();
+            let clu = sl_graph::mean_clustering(&topo).unwrap_or(0.0);
+            text.push_str(&format!(
+                "{}: {} acquainted users, {} ties; strength median {med:.0} s, max {top:.0} s; relation-graph clustering {clu:.2}\n",
+                land.preset.name,
+                rel.user_count(),
+                rel.edge_count(),
+            ));
+        }
+        println!("\n{text}");
+        std::fs::write(args.out.join("relations.txt"), &text).expect("write relations");
+    }
+
+    println!("All outputs under {}", args.out.display());
+}

@@ -1,0 +1,137 @@
+//! `trace_tool` — operate on mobility trace files (the "publicly
+//! available traces" deliverable: the paper published its traces for
+//! trace-driven simulation; this is the toolbox a downstream user needs).
+//!
+//! ```sh
+//! trace_tool generate dance 4 out.jsonl        # 4 h of Dance Island
+//! trace_tool summary out.jsonl                 # T1-style summary
+//! trace_tool validate out.jsonl                # structural checks
+//! trace_tool analyze out.jsonl                 # full §3 analysis (JSON)
+//! trace_tool convert out.jsonl out.bin         # JSONL <-> binary
+//! trace_tool merge a.jsonl b.jsonl merged.jsonl
+//! ```
+
+use sl_analysis::pipeline::analyze_land;
+use sl_stats::bootstrap::{bootstrap_ci, median_stat};
+use sl_stats::rng::Rng;
+use sl_trace::io::{decode_binary, encode_binary, read_jsonl, write_jsonl};
+use sl_trace::{merge, validate, Trace, TraceSummary};
+use std::path::Path;
+
+fn die(msg: &str) -> ! {
+    eprintln!("trace_tool: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Trace {
+    // Detect the format by content, not extension: binary traces start
+    // with the "SLTR" magic; JSONL starts with '{'.
+    let raw = std::fs::read(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+    if raw.starts_with(b"SLTR") {
+        decode_binary(bytes::Bytes::from(raw))
+            .unwrap_or_else(|e| die(&format!("decode {path}: {e}")))
+    } else {
+        read_jsonl(std::io::Cursor::new(raw))
+            .unwrap_or_else(|e| die(&format!("parse {path}: {e}")))
+    }
+}
+
+fn store(trace: &Trace, path: &str) {
+    let p = Path::new(path);
+    if p.extension().is_some_and(|e| e == "bin") {
+        std::fs::write(p, encode_binary(trace))
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    } else {
+        let file =
+            std::fs::File::create(p).unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+        write_jsonl(trace, std::io::BufWriter::new(file))
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => {
+            let [_, land, hours, out] = &args[..] else {
+                die("usage: generate <apfel|dance|iov> <hours> <out.(jsonl|bin)>");
+            };
+            let preset = match land.as_str() {
+                "apfel" => sl_world::presets::apfel_land(),
+                "dance" => sl_world::presets::dance_island(),
+                "iov" => sl_world::presets::isle_of_view(),
+                other => die(&format!("unknown land {other} (apfel|dance|iov)")),
+            };
+            let hours: f64 = hours.parse().unwrap_or_else(|_| die("hours must be a number"));
+            let mut world = sl_world::World::new(preset.config, 42);
+            world.warm_up(2.0 * 3600.0);
+            let trace = world.run_trace(hours * 3600.0, 10.0);
+            store(&trace, out);
+            println!("wrote {} ({} snapshots)", out, trace.len());
+        }
+        Some("summary") => {
+            let [_, path] = &args[..] else { die("usage: summary <trace>") };
+            let trace = load(path);
+            println!("{}", TraceSummary::of(&trace));
+        }
+        Some("validate") => {
+            let [_, path] = &args[..] else { die("usage: validate <trace>") };
+            let trace = load(path);
+            match validate(&trace) {
+                Ok(()) => println!("{path}: valid ({} snapshots)", trace.len()),
+                Err(e) => die(&format!("{path}: INVALID: {e}")),
+            }
+        }
+        Some("analyze") => {
+            let [_, path] = &args[..] else { die("usage: analyze <trace>") };
+            let trace = load(path);
+            let analysis = analyze_land(&trace, &[]);
+            // Headline numbers with bootstrap CIs, then the full JSON.
+            let mut rng = Rng::new(0);
+            if !analysis.bluetooth.samples.contact_times.is_empty() {
+                let ci = bootstrap_ci(
+                    &analysis.bluetooth.samples.contact_times,
+                    median_stat,
+                    1000,
+                    0.95,
+                    &mut rng,
+                );
+                eprintln!(
+                    "median CT rb: {:.0} s (95% CI {:.0}..{:.0})",
+                    ci.point, ci.lo, ci.hi
+                );
+            }
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&analysis).expect("analysis serializes")
+            );
+        }
+        Some("convert") => {
+            let [_, input, output] = &args[..] else {
+                die("usage: convert <in.(jsonl|bin)> <out.(jsonl|bin)>");
+            };
+            let trace = load(input);
+            store(&trace, output);
+            println!("converted {input} -> {output}");
+        }
+        Some("merge") => {
+            if args.len() < 4 {
+                die("usage: merge <in1> <in2> [...] <out>");
+            }
+            let inputs = &args[1..args.len() - 1];
+            let output = &args[args.len() - 1];
+            let traces: Vec<Trace> = inputs.iter().map(|p| load(p)).collect();
+            let merged = merge(&traces).unwrap_or_else(|e| die(&format!("merge: {e}")));
+            store(&merged, output);
+            println!(
+                "merged {} traces -> {output} ({} snapshots)",
+                traces.len(),
+                merged.len()
+            );
+        }
+        _ => {
+            eprintln!("trace_tool <generate|summary|validate|analyze|convert|merge> ...");
+            std::process::exit(2);
+        }
+    }
+}

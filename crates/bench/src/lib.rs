@@ -1,0 +1,44 @@
+//! # sl-bench
+//!
+//! Benchmark support: shared fixtures for the criterion benches (one
+//! bench target per paper table/figure, plus substrate micro-benches)
+//! and the `repro` binary that regenerates every figure and table.
+
+#![warn(missing_docs)]
+
+use sl_trace::Trace;
+use sl_world::presets::LandPreset;
+use sl_world::World;
+
+/// Generate a deterministic fixture trace for benches: `hours` of the
+/// given preset at τ = 10 s after a one-hour warm-up.
+pub fn fixture_trace(preset: LandPreset, seed: u64, hours: f64) -> Trace {
+    let mut world = World::new(preset.config, seed);
+    world.warm_up(3600.0);
+    world.run_trace(hours * 3600.0, 10.0)
+}
+
+/// The standard bench fixture: one hour of Dance Island (the densest
+/// land, so contact extraction costs are representative).
+pub fn dance_fixture() -> Trace {
+    fixture_trace(sl_world::presets::dance_island(), 42, 1.0)
+}
+
+/// A sparse fixture: one hour of Apfel Land.
+pub fn apfel_fixture() -> Trace {
+    fixture_trace(sl_world::presets::apfel_land(), 42, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_nonempty_and_deterministic() {
+        let a = dance_fixture();
+        let b = dance_fixture();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 360);
+        assert!(!apfel_fixture().is_empty());
+    }
+}

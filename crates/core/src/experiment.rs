@@ -1,0 +1,136 @@
+//! In-process experiment pipeline.
+
+use sl_analysis::pipeline::{analyze_land, paper_figures, LandAnalysis};
+use sl_analysis::report::FigureSet;
+use sl_trace::Trace;
+use sl_world::presets::{all_presets, LandPreset, DAY, TAU, WARM_UP};
+use sl_world::World;
+
+/// Configuration of one land experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The land preset (world parameters + paper targets).
+    pub preset: LandPreset,
+    /// RNG seed; same seed ⇒ identical trace and figures.
+    pub seed: u64,
+    /// Measured duration, virtual seconds (paper: 24 h).
+    pub duration: f64,
+    /// Snapshot granularity, virtual seconds (paper: 10 s).
+    pub tau: f64,
+    /// Unrecorded warm-up so the land is in steady state.
+    pub warm_up: f64,
+}
+
+impl ExperimentConfig {
+    /// Paper-faithful configuration: 24 h at τ = 10 s after a 2 h
+    /// warm-up.
+    pub fn new(preset: LandPreset, seed: u64) -> Self {
+        ExperimentConfig {
+            preset,
+            seed,
+            duration: DAY,
+            tau: TAU,
+            warm_up: WARM_UP,
+        }
+    }
+
+    /// Shortened run (same shape, less wall time) for tests/examples.
+    pub fn quick(preset: LandPreset, seed: u64, duration: f64) -> Self {
+        ExperimentConfig {
+            preset,
+            seed,
+            duration,
+            tau: TAU,
+            warm_up: 3600.0,
+        }
+    }
+}
+
+/// Everything one land experiment produced.
+#[derive(Debug, Clone)]
+pub struct LandOutcome {
+    /// The recorded trace.
+    pub trace: Trace,
+    /// The full analysis.
+    pub analysis: LandAnalysis,
+    /// The preset it ran under (with paper targets).
+    pub preset: LandPreset,
+}
+
+/// Run one land end-to-end in-process (perfect observer).
+pub fn run_land(config: &ExperimentConfig) -> LandOutcome {
+    let mut world = World::new(config.preset.config.clone(), config.seed);
+    world.warm_up(config.warm_up);
+    let trace = world.run_trace(config.duration, config.tau);
+    let analysis = analyze_land(&trace, &[]);
+    LandOutcome {
+        trace,
+        analysis,
+        preset: config.preset.clone(),
+    }
+}
+
+/// The complete paper reproduction: all three lands and all figures.
+#[derive(Debug, Clone)]
+pub struct PaperRun {
+    /// Per-land outcomes, paper order (Apfel, Dance, Isle of View).
+    pub lands: Vec<LandOutcome>,
+    /// Figures 1–4.
+    pub figures: FigureSet,
+}
+
+/// Run the full reproduction at the given seed and duration
+/// (`duration = DAY` matches the paper).
+pub fn run_paper_reproduction(seed: u64, duration: f64) -> PaperRun {
+    let lands: Vec<LandOutcome> = all_presets()
+        .into_iter()
+        .map(|preset| {
+            run_land(&ExperimentConfig {
+                duration,
+                ..ExperimentConfig::new(preset, seed)
+            })
+        })
+        .collect();
+    let analyses: Vec<LandAnalysis> = lands.iter().map(|l| l.analysis.clone()).collect();
+    let figures = paper_figures(&analyses);
+    PaperRun { lands, figures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_world::presets::dance_island;
+
+    #[test]
+    fn quick_run_produces_everything() {
+        let cfg = ExperimentConfig::quick(dance_island(), 1, 2.0 * 3600.0);
+        let outcome = run_land(&cfg);
+        assert_eq!(outcome.trace.len(), 720);
+        assert!(outcome.analysis.summary.unique_users > 50);
+        assert!(outcome.analysis.bluetooth.median_ct.is_some());
+        assert!(!outcome.analysis.zones.counts.is_empty());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = ExperimentConfig::quick(dance_island(), 7, 1800.0);
+        let a = run_land(&cfg);
+        let b = run_land(&cfg);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.analysis, b.analysis);
+    }
+
+    #[test]
+    fn reproduction_covers_all_lands_and_figures() {
+        // Short duration: structure check, not calibration check.
+        let run = run_paper_reproduction(3, 1800.0);
+        assert_eq!(run.lands.len(), 3);
+        assert_eq!(run.figures.figures.len(), 16);
+        let names: Vec<&str> = run.lands.iter().map(|l| l.preset.name).collect();
+        assert_eq!(names, vec!["Apfel Land", "Dance Island", "Isle of View"]);
+        // Every figure has three series (one per land).
+        for fig in &run.figures.figures {
+            assert_eq!(fig.series.len(), 3, "figure {}", fig.id);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # sl-core
+//!
+//! The umbrella crate: one-call experiment pipelines reproducing the
+//! paper end-to-end.
+//!
+//! * [`experiment`] — in-process pipeline: preset → world → trace →
+//!   full §3/§4 analysis (the fast path used by the figure harness);
+//! * [`live`] — the honest path: a real [`sl_server::LandServer`] on
+//!   localhost, crawled over TCP by [`sl_crawler::Crawler`], analysis
+//!   excluding the crawler's avatars;
+//! * [`sensors`] — the sensor-network architecture end-to-end,
+//!   including HTTP posting to the web sink, with coverage scored
+//!   against ground truth (the §2 architecture comparison);
+//! * [`mod@scorecard`] — paper-vs-measured comparison rows feeding
+//!   EXPERIMENTS.md.
+//!
+//! ```no_run
+//! use sl_core::experiment::{run_land, ExperimentConfig};
+//! use sl_world::presets::dance_island;
+//!
+//! let cfg = ExperimentConfig::new(dance_island(), 42);
+//! let outcome = run_land(&cfg);
+//! println!("{}", outcome.analysis.summary);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod experiment;
+pub mod live;
+pub mod scorecard;
+pub mod sensors;
+pub mod survey;
+
+pub use experiment::{run_land, run_paper_reproduction, ExperimentConfig, LandOutcome, PaperRun};
+pub use scorecard::{scorecard, ScoreRow};
+
+// Re-export the workspace API surface for downstream users.
+pub use sl_analysis as analysis;
+pub use sl_crawler as crawler;
+pub use sl_dtn as dtn;
+pub use sl_graph as graph;
+pub use sl_proto as proto;
+pub use sl_script as script;
+pub use sl_server as server;
+pub use sl_stats as stats;
+pub use sl_trace as trace;
+pub use sl_world as world;

@@ -1,0 +1,146 @@
+//! The honest measurement path: serve a land over TCP on localhost and
+//! crawl it over the network, exactly as the paper's crawler measured
+//! Second Life — then analyze the crawled trace with the crawler's own
+//! avatars excluded.
+
+use sl_analysis::pipeline::{analyze_land, LandAnalysis};
+use sl_crawler::{CrawlError, Crawler, CrawlerConfig, MimicryConfig};
+use sl_server::{LandServer, ServerConfig};
+use sl_world::presets::LandPreset;
+use sl_world::World;
+
+/// Configuration of a live crawl.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// The land preset.
+    pub preset: LandPreset,
+    /// World / crawler seed.
+    pub seed: u64,
+    /// Virtual duration to monitor.
+    pub duration: f64,
+    /// Snapshot granularity τ (virtual seconds).
+    pub tau: f64,
+    /// Virtual warm-up before the server starts accepting.
+    pub warm_up: f64,
+    /// Virtual seconds per wall second: 600 ⇒ a 24 h trace in 2.4 wall
+    /// minutes (the crawler polls proportionally faster).
+    pub time_scale: f64,
+    /// Crawler behaviour (mimic vs naive).
+    pub mimicry: MimicryConfig,
+    /// Server-side fault injection.
+    pub faults: sl_server::FaultConfig,
+}
+
+impl LiveConfig {
+    /// A fast live crawl of `preset` for `duration` virtual seconds.
+    pub fn new(preset: LandPreset, seed: u64, duration: f64) -> Self {
+        LiveConfig {
+            preset,
+            seed,
+            duration,
+            tau: 10.0,
+            warm_up: 3600.0,
+            time_scale: 600.0,
+            mimicry: MimicryConfig::mimic(),
+            faults: sl_server::FaultConfig::none(),
+        }
+    }
+}
+
+/// What a live crawl produced.
+#[derive(Debug)]
+pub struct LiveOutcome {
+    /// Analysis of the crawled trace (crawler avatars excluded).
+    pub analysis: LandAnalysis,
+    /// The raw trace as crawled (crawler avatars included).
+    pub trace: sl_trace::Trace,
+    /// Avatar identities the crawler held.
+    pub own_agents: Vec<sl_trace::UserId>,
+    /// Reconnections performed.
+    pub reconnects: u32,
+    /// Polls throttled by the server.
+    pub throttled: u64,
+}
+
+/// Serve + crawl + analyze.
+pub async fn crawl_live(config: LiveConfig) -> Result<LiveOutcome, CrawlError> {
+    let mut world = World::new(config.preset.config.clone(), config.seed);
+    world.warm_up(config.warm_up);
+
+    let server = LandServer::bind(
+        "127.0.0.1:0",
+        world,
+        ServerConfig {
+            time_scale: config.time_scale,
+            // Generous rate limit: τ=10 s at scale 600 is one poll per
+            // 16 ms wall; the bucket must sustain that.
+            map_rate: (50.0, 2.0 * config.time_scale / config.tau),
+            faults: config.faults,
+            ..Default::default()
+        },
+    )
+    .await
+    .expect("bind localhost");
+
+    let crawler = Crawler::new(CrawlerConfig {
+        tau: config.tau,
+        mimicry: config.mimicry,
+        seed: config.seed,
+        ..CrawlerConfig::new(server.addr().to_string(), config.duration)
+    });
+    let result = crawler.run().await?;
+    server.shutdown();
+
+    let analysis = analyze_land(&result.trace, &result.own_agents);
+    Ok(LiveOutcome {
+        analysis,
+        trace: result.trace,
+        own_agents: result.own_agents,
+        reconnects: result.reconnects,
+        throttled: result.throttled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_world::presets::dance_island;
+
+    #[tokio::test]
+    async fn live_crawl_matches_summary_shape() {
+        let config = LiveConfig {
+            time_scale: 1200.0,
+            ..LiveConfig::new(dance_island(), 11, 1800.0)
+        };
+        let outcome = crawl_live(config).await.unwrap();
+        // ~180 snapshots over 30 virtual minutes.
+        assert!(outcome.trace.len() >= 120, "got {}", outcome.trace.len());
+        assert!(outcome.analysis.summary.unique_users > 10);
+        // The raw trace contains the crawler's avatar; the analysis
+        // excluded it (its session would otherwise dominate trip stats).
+        for agent in &outcome.own_agents {
+            assert!(outcome
+                .trace
+                .snapshots
+                .iter()
+                .any(|s| s.get(*agent).is_some()));
+        }
+        assert!(outcome.analysis.trips.sessions > 0);
+    }
+
+    #[tokio::test]
+    async fn live_crawl_with_faults_reconnects() {
+        let config = LiveConfig {
+            time_scale: 1200.0,
+            faults: sl_server::FaultConfig {
+                kick_prob: 0.05,
+                delay_prob: 0.0,
+                delay_ms: 0,
+            },
+            ..LiveConfig::new(dance_island(), 12, 1500.0)
+        };
+        let outcome = crawl_live(config).await.unwrap();
+        assert!(outcome.reconnects > 0);
+        assert_eq!(outcome.own_agents.len() as u32, outcome.reconnects + 1);
+    }
+}

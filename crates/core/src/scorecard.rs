@@ -1,0 +1,249 @@
+//! Paper-vs-measured scorecard: the table EXPERIMENTS.md is built from.
+
+use serde::{Deserialize, Serialize};
+use sl_analysis::pipeline::LandAnalysis;
+use sl_stats::ecdf::Ecdf;
+use sl_world::presets::PaperTargets;
+
+/// One comparison row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreRow {
+    /// Land name.
+    pub land: String,
+    /// Metric name.
+    pub metric: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// measured / paper (NaN-free: 0 when paper is 0 and measured is 0,
+    /// infinity-free: capped at 99).
+    pub ratio: f64,
+}
+
+fn row(land: &str, metric: &str, paper: f64, measured: f64) -> ScoreRow {
+    let ratio = if paper == 0.0 {
+        if measured.abs() < 1e-9 {
+            1.0
+        } else {
+            99.0
+        }
+    } else {
+        (measured / paper).min(99.0)
+    };
+    ScoreRow {
+        land: land.into(),
+        metric: metric.into(),
+        paper,
+        measured,
+        ratio,
+    }
+}
+
+/// Build the scorecard for one land.
+pub fn scorecard(analysis: &LandAnalysis, targets: &PaperTargets) -> Vec<ScoreRow> {
+    let land = &analysis.land;
+    let mut rows = vec![row(
+        land,
+        "unique users (24h)",
+        targets.unique_users,
+        analysis.summary.unique_users as f64,
+    )];
+    rows.push(row(
+        land,
+        "avg concurrent users",
+        targets.avg_concurrent,
+        analysis.summary.avg_concurrent,
+    ));
+    rows.push(row(
+        land,
+        "median CT @ rb=10m (s)",
+        targets.median_ct_rb,
+        analysis.bluetooth.median_ct.unwrap_or(0.0),
+    ));
+    rows.push(row(
+        land,
+        "median CT @ rw=80m (s)",
+        targets.median_ct_rw,
+        analysis.wifi.median_ct.unwrap_or(0.0),
+    ));
+    rows.push(row(
+        land,
+        "median ICT @ rb=10m (s)",
+        targets.median_ict_rb,
+        analysis.bluetooth.median_ict.unwrap_or(0.0),
+    ));
+    rows.push(row(
+        land,
+        "median FT @ rb=10m (s)",
+        targets.median_ft_rb,
+        analysis.bluetooth.median_ft.unwrap_or(0.0),
+    ));
+    rows.push(row(
+        land,
+        "isolated fraction @ rb",
+        targets.isolated_rb,
+        analysis.los_bluetooth.isolated_fraction,
+    ));
+    let travel_p90 = if analysis.trips.travel_lengths.is_empty() {
+        0.0
+    } else {
+        Ecdf::new(analysis.trips.travel_lengths.clone()).quantile(0.9)
+    };
+    rows.push(row(
+        land,
+        "travel length p90 (m)",
+        targets.travel_p90,
+        travel_p90,
+    ));
+    rows
+}
+
+/// A metric aggregated over several seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateRow {
+    /// Land name.
+    pub land: String,
+    /// Metric name.
+    pub metric: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Mean measured value over seeds.
+    pub mean: f64,
+    /// Sample standard deviation over seeds.
+    pub sd: f64,
+    /// Number of seeds.
+    pub seeds: usize,
+}
+
+/// Aggregate per-seed scorecards (each produced by [`scorecard`]) into
+/// mean ± sd rows. All inputs must cover the same (land, metric) grid
+/// in the same order; panics otherwise (a mixed-up sweep is a bug, not
+/// data).
+pub fn aggregate(per_seed: &[Vec<ScoreRow>]) -> Vec<AggregateRow> {
+    assert!(!per_seed.is_empty(), "aggregate needs at least one seed");
+    let template = &per_seed[0];
+    for rows in per_seed {
+        assert_eq!(rows.len(), template.len(), "scorecards must align");
+    }
+    template
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let values: Vec<f64> = per_seed
+                .iter()
+                .map(|rows| {
+                    let r = &rows[i];
+                    assert_eq!(r.metric, t.metric, "scorecards must align");
+                    assert_eq!(r.land, t.land, "scorecards must align");
+                    r.measured
+                })
+                .collect();
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let sd = if values.len() < 2 {
+                0.0
+            } else {
+                (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+            };
+            AggregateRow {
+                land: t.land.clone(),
+                metric: t.metric.clone(),
+                paper: t.paper,
+                mean,
+                sd,
+                seeds: values.len(),
+            }
+        })
+        .collect()
+}
+
+/// Render aggregated rows as a markdown table.
+pub fn aggregate_to_markdown(rows: &[AggregateRow]) -> String {
+    let mut out = String::from(
+        "| land | metric | paper | measured (mean ± sd) | seeds |\n|---|---|---:|---:|---:|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {:.2} | {:.2} ± {:.2} | {} |\n",
+            r.land, r.metric, r.paper, r.mean, r.sd, r.seeds
+        ));
+    }
+    out
+}
+
+/// Render rows as a markdown table.
+pub fn to_markdown(rows: &[ScoreRow]) -> String {
+    let mut out = String::from("| land | metric | paper | measured | ratio |\n|---|---|---:|---:|---:|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {:.2} | {:.2} | {:.2} |\n",
+            r.land, r.metric, r.paper, r.measured, r.ratio
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_land, ExperimentConfig};
+    use sl_world::presets::dance_island;
+
+    #[test]
+    fn scorecard_has_all_metrics() {
+        let preset = dance_island();
+        let targets = preset.targets;
+        let outcome = run_land(&ExperimentConfig::quick(preset, 5, 3600.0));
+        let rows = scorecard(&outcome.analysis, &targets);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.land == "Dance Island"));
+        assert!(rows.iter().all(|r| r.ratio.is_finite()));
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        assert_eq!(row("L", "m", 0.0, 0.0).ratio, 1.0);
+        assert_eq!(row("L", "m", 0.0, 5.0).ratio, 99.0);
+        assert_eq!(row("L", "m", 10.0, 5.0).ratio, 0.5);
+    }
+
+    #[test]
+    fn markdown_renders() {
+        let rows = vec![row("L", "metric", 10.0, 12.0)];
+        let md = to_markdown(&rows);
+        assert!(md.contains("| L | metric | 10.00 | 12.00 | 1.20 |"));
+    }
+
+    #[test]
+    fn aggregate_mean_and_sd() {
+        let per_seed = vec![
+            vec![row("L", "m", 10.0, 8.0)],
+            vec![row("L", "m", 10.0, 12.0)],
+            vec![row("L", "m", 10.0, 10.0)],
+        ];
+        let agg = aggregate(&per_seed);
+        assert_eq!(agg.len(), 1);
+        assert!((agg[0].mean - 10.0).abs() < 1e-12);
+        assert!((agg[0].sd - 2.0).abs() < 1e-12);
+        assert_eq!(agg[0].seeds, 3);
+        let md = aggregate_to_markdown(&agg);
+        assert!(md.contains("10.00 ± 2.00"));
+    }
+
+    #[test]
+    fn aggregate_single_seed_zero_sd() {
+        let agg = aggregate(&[vec![row("L", "m", 10.0, 9.0)]]);
+        assert_eq!(agg[0].sd, 0.0);
+        assert_eq!(agg[0].seeds, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn aggregate_rejects_misaligned() {
+        aggregate(&[
+            vec![row("L", "m", 10.0, 9.0)],
+            vec![row("L", "other", 10.0, 9.0)],
+        ]);
+    }
+}

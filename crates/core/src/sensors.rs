@@ -1,0 +1,195 @@
+//! The sensor-network architecture end-to-end: deploy a sensor grid on
+//! the land, drive scans while the world runs, post every flush over
+//! real HTTP to the web sink, reconstruct the observed trace, and score
+//! it against ground truth — the §2 architecture comparison.
+
+use sl_crawler::{post_report, WebSink};
+use sl_script::sink::Coverage;
+use sl_script::{coverage, ReportSink, SensorNetwork, SensorSpec};
+use sl_trace::{LandMeta, Trace};
+use sl_world::land::DeployError;
+use sl_world::presets::LandPreset;
+use sl_world::World;
+
+/// Configuration of a sensor-architecture experiment.
+#[derive(Debug, Clone)]
+pub struct SensorExperimentConfig {
+    /// The land preset.
+    pub preset: LandPreset,
+    /// World seed.
+    pub seed: u64,
+    /// Virtual duration to monitor.
+    pub duration: f64,
+    /// Virtual warm-up.
+    pub warm_up: f64,
+    /// Sensor parameters (defaults are the paper's SL constants).
+    pub spec: SensorSpec,
+    /// Replication interval for expired sensors, virtual seconds.
+    pub replication_interval: f64,
+    /// Whether deployment is authorized (private lands).
+    pub authorized: bool,
+}
+
+impl SensorExperimentConfig {
+    /// Default experiment on a preset.
+    pub fn new(preset: LandPreset, seed: u64, duration: f64) -> Self {
+        SensorExperimentConfig {
+            preset,
+            seed,
+            duration,
+            warm_up: 3600.0,
+            spec: SensorSpec::default(),
+            replication_interval: 600.0,
+            authorized: false,
+        }
+    }
+}
+
+/// Results of the sensor experiment.
+#[derive(Debug)]
+pub struct SensorOutcome {
+    /// Trace reconstructed from sensor reports.
+    pub observed: Trace,
+    /// Ground-truth trace over the same interval.
+    pub truth: Trace,
+    /// Coverage of observed vs truth.
+    pub coverage: Coverage,
+    /// Aggregate sensor counters (drops, truncations, offline scans).
+    pub stats: sl_script::sensor::SensorStats,
+    /// Number of deployed sensors.
+    pub sensors: usize,
+    /// Reports that reached the sink.
+    pub reports: usize,
+}
+
+/// Run the sensor architecture fully in-process (reports go straight
+/// into a [`ReportSink`]). Fails with [`DeployError::PrivateLand`] on
+/// private lands without authorization — the paper's show-stopper.
+pub fn run_sensors_inprocess(config: &SensorExperimentConfig) -> Result<SensorOutcome, DeployError> {
+    let mut world = World::new(config.preset.config.clone(), config.seed);
+    world.warm_up(config.warm_up);
+    let mut net = SensorNetwork::deploy(
+        &mut world,
+        config.spec,
+        config.replication_interval,
+        config.authorized,
+    )?;
+    let mut sink = ReportSink::new();
+
+    let meta = LandMeta {
+        name: world.land().name.clone(),
+        width: world.land().area.width,
+        height: world.land().area.height,
+        tau: config.spec.scan_period,
+    };
+    let mut truth = Trace::new(meta.clone());
+
+    let steps = (config.duration / config.spec.scan_period).floor() as u64;
+    let start = world.clock();
+    for k in 1..=steps {
+        world.advance_to(start + k as f64 * config.spec.scan_period);
+        truth.push(world.snapshot());
+        sink.ingest_all(net.step(&mut world));
+    }
+    // Final drain: flush whatever the throttle now allows.
+    let observed = sink.reconstruct(meta, 22.0);
+    let cov = coverage(&truth, &observed);
+    Ok(SensorOutcome {
+        observed,
+        truth,
+        coverage: cov,
+        stats: net.total_stats(),
+        sensors: net.len(),
+        reports: sink.len(),
+    })
+}
+
+/// Same experiment, but every report travels over real HTTP to a
+/// [`WebSink`] before reconstruction — the full architecture with its
+/// web server, as deployed in the paper.
+pub async fn run_sensors_http(config: &SensorExperimentConfig) -> Result<SensorOutcome, DeployError> {
+    let mut world = World::new(config.preset.config.clone(), config.seed);
+    world.warm_up(config.warm_up);
+    let mut net = SensorNetwork::deploy(
+        &mut world,
+        config.spec,
+        config.replication_interval,
+        config.authorized,
+    )?;
+    let sink = WebSink::bind("127.0.0.1:0").await.expect("bind web sink");
+
+    let meta = LandMeta {
+        name: world.land().name.clone(),
+        width: world.land().area.width,
+        height: world.land().area.height,
+        tau: config.spec.scan_period,
+    };
+    let mut truth = Trace::new(meta.clone());
+
+    let steps = (config.duration / config.spec.scan_period).floor() as u64;
+    let start = world.clock();
+    let mut posted = 0usize;
+    for k in 1..=steps {
+        world.advance_to(start + k as f64 * config.spec.scan_period);
+        truth.push(world.snapshot());
+        for report in net.step(&mut world) {
+            let code = post_report(&sink.addr(), &report)
+                .await
+                .expect("post to sink");
+            assert_eq!(code, 200, "sink rejected a report");
+            posted += 1;
+        }
+    }
+    let observed = sink.with_sink(|s| s.reconstruct(meta, 22.0));
+    let cov = coverage(&truth, &observed);
+    let outcome = SensorOutcome {
+        observed,
+        truth,
+        coverage: cov,
+        stats: net.total_stats(),
+        sensors: net.len(),
+        reports: posted,
+    };
+    sink.shutdown();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_world::presets::{apfel_land, dance_island};
+
+    #[test]
+    fn sensors_fail_on_private_dance_island() {
+        let config = SensorExperimentConfig::new(dance_island(), 1, 600.0);
+        assert!(matches!(
+            run_sensors_inprocess(&config),
+            Err(DeployError::PrivateLand)
+        ));
+    }
+
+    #[test]
+    fn sensors_observe_apfel_with_losses() {
+        let config = SensorExperimentConfig::new(apfel_land(), 2, 2.0 * 3600.0);
+        let outcome = run_sensors_inprocess(&config).unwrap();
+        assert_eq!(outcome.sensors, 4);
+        assert!(outcome.coverage.recall > 0.0, "sensors must see something");
+        assert!(
+            outcome.coverage.recall < 1.0,
+            "the sensor architecture is lossy by design (recall {})",
+            outcome.coverage.recall
+        );
+        assert!(outcome.reports > 0);
+    }
+
+    #[tokio::test]
+    async fn sensors_over_http_match_inprocess_coverage() {
+        let config = SensorExperimentConfig::new(apfel_land(), 3, 3600.0);
+        let inproc = run_sensors_inprocess(&config).unwrap();
+        let http = run_sensors_http(&config).await.unwrap();
+        // Same world seed, same schedule: identical observations either
+        // way — HTTP transport must not change the data.
+        assert_eq!(inproc.observed, http.observed);
+        assert_eq!(inproc.coverage, http.coverage);
+    }
+}

@@ -1,0 +1,167 @@
+//! Target-land selection — the methodology behind the paper's §3
+//! remark: "Choosing an appropriate target land in the SL metaverse is
+//! not an easy task because a large number of lands host very few
+//! users and lands with a large population are usually built to
+//! distribute virtual money: all a user has to do is to sit and wait."
+//!
+//! The paper's authors surveyed candidates manually; this module
+//! automates the triage: probe each candidate with a short crawl,
+//! measure population *and activity*, and rank. Camping lands score
+//! high on population but near zero on activity (seated avatars and
+//! idlers); deserted lands score near zero on population.
+
+use serde::{Deserialize, Serialize};
+use sl_trace::Trace;
+use sl_world::presets::LandPreset;
+use sl_world::World;
+
+/// Probe measurements for one candidate land.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LandSurvey {
+    /// Land name.
+    pub name: String,
+    /// Mean concurrent users during the probe.
+    pub avg_concurrent: f64,
+    /// Fraction of observations with usable positions that moved more
+    /// than 0.5 m since the previous snapshot (the *activity* signal).
+    pub moving_fraction: f64,
+    /// Fraction of observations reporting the seated `{0,0,0}`
+    /// sentinel (the camping-land signal).
+    pub seated_fraction: f64,
+    /// Composite suitability score (population × activity, seated
+    /// observations discounted).
+    pub score: f64,
+}
+
+/// Probe one candidate: warm it up and observe `probe_duration` virtual
+/// seconds at τ = 10 s.
+pub fn survey_land(preset: &LandPreset, seed: u64, probe_duration: f64) -> LandSurvey {
+    let mut world = World::new(preset.config.clone(), seed);
+    world.warm_up(2.0 * 3600.0);
+    let trace = world.run_trace(probe_duration, 10.0);
+    survey_trace(preset.name, &trace)
+}
+
+/// Compute survey statistics from an already collected trace.
+pub fn survey_trace(name: &str, trace: &Trace) -> LandSurvey {
+    let mut observations = 0usize;
+    let mut seated = 0usize;
+    let mut moved = 0usize;
+    let mut movable = 0usize;
+    let mut prev: std::collections::HashMap<sl_trace::UserId, (f64, f64)> =
+        std::collections::HashMap::new();
+    for snap in &trace.snapshots {
+        let mut now = std::collections::HashMap::new();
+        for obs in &snap.entries {
+            observations += 1;
+            if obs.pos.is_seated_sentinel() {
+                seated += 1;
+                continue;
+            }
+            let xy = obs.pos.xy();
+            if let Some(&(px, py)) = prev.get(&obs.user) {
+                movable += 1;
+                let d = ((xy.0 - px).powi(2) + (xy.1 - py).powi(2)).sqrt();
+                if d > 0.5 {
+                    moved += 1;
+                }
+            }
+            now.insert(obs.user, xy);
+        }
+        prev = now;
+    }
+    let snapshots = trace.snapshots.len().max(1);
+    let avg_concurrent = observations as f64 / snapshots as f64;
+    let moving_fraction = if movable == 0 {
+        0.0
+    } else {
+        moved as f64 / movable as f64
+    };
+    let seated_fraction = if observations == 0 {
+        0.0
+    } else {
+        seated as f64 / observations as f64
+    };
+    // Suitability: population matters, but only its *mobile* part;
+    // seated observations are useless to a mobility study.
+    let score = avg_concurrent * moving_fraction * (1.0 - seated_fraction);
+    LandSurvey {
+        name: name.to_string(),
+        avg_concurrent,
+        moving_fraction,
+        seated_fraction,
+        score,
+    }
+}
+
+/// Survey all candidates and return them ranked by score (best first).
+pub fn rank_candidates(
+    candidates: &[LandPreset],
+    seed: u64,
+    probe_duration: f64,
+) -> Vec<LandSurvey> {
+    let mut surveys: Vec<LandSurvey> = candidates
+        .iter()
+        .map(|p| survey_land(p, seed, probe_duration))
+        .collect();
+    surveys.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    surveys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_world::presets::{dance_island, empty_meadow, money_park};
+
+    #[test]
+    fn camping_land_has_population_but_no_activity() {
+        let survey = survey_land(&money_park(), 5, 3600.0);
+        assert!(
+            survey.avg_concurrent > 10.0,
+            "camping lands are populous ({})",
+            survey.avg_concurrent
+        );
+        assert!(
+            survey.seated_fraction > 0.4,
+            "campers sit ({})",
+            survey.seated_fraction
+        );
+        assert!(
+            survey.moving_fraction < 0.2,
+            "campers barely move ({})",
+            survey.moving_fraction
+        );
+    }
+
+    #[test]
+    fn deserted_land_has_no_population() {
+        let survey = survey_land(&empty_meadow(), 5, 3600.0);
+        assert!(
+            survey.avg_concurrent < 3.0,
+            "the meadow should be near-empty ({})",
+            survey.avg_concurrent
+        );
+    }
+
+    #[test]
+    fn selection_picks_the_active_land() {
+        let candidates = vec![money_park(), empty_meadow(), dance_island()];
+        let ranked = rank_candidates(&candidates, 7, 1800.0);
+        assert_eq!(
+            ranked[0].name, "Dance Island",
+            "the mobility study must target the active land, got {ranked:#?}"
+        );
+        // The camping land must not rank above the active land, no
+        // matter how populous it is.
+        let park = ranked.iter().find(|s| s.name == "Money Park").unwrap();
+        assert!(park.score < ranked[0].score);
+    }
+
+    #[test]
+    fn empty_trace_survey_is_zero() {
+        let trace = Trace::new(sl_trace::LandMeta::standard("X", 10.0));
+        let s = survey_trace("X", &trace);
+        assert_eq!(s.avg_concurrent, 0.0);
+        assert_eq!(s.score, 0.0);
+    }
+}

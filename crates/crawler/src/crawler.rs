@@ -1,0 +1,468 @@
+//! The crawler client: connect, log in, poll the map every τ, mimic a
+//! user, survive kicks, record a trace.
+
+use crate::mimicry::{Mimicry, MimicryAction, MimicryConfig};
+use sl_proto::framed::{FramedError, FramedReader, FramedWriter};
+use sl_proto::message::{Message, PROTOCOL_VERSION};
+use sl_trace::{LandMeta, Position, Snapshot, Trace, UserId};
+use std::time::Duration;
+use tokio::net::TcpStream;
+
+/// Reconnection policy after kicks or connection errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconnectPolicy {
+    /// Give up after this many consecutive failed connection attempts.
+    pub max_attempts: u32,
+    /// Base backoff between attempts (doubles per consecutive failure).
+    pub base_backoff: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Crawler configuration.
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// Server address, e.g. "127.0.0.1:7777".
+    pub server: String,
+    /// Snapshot granularity τ in *virtual* seconds (paper: 10 s). The
+    /// wall polling interval is derived from the server's time scale.
+    pub tau: f64,
+    /// Virtual duration to monitor.
+    pub duration: f64,
+    /// Mimicry behaviour.
+    pub mimicry: MimicryConfig,
+    /// Reconnection policy.
+    pub reconnect: ReconnectPolicy,
+    /// Account name to log in with.
+    pub username: String,
+    /// RNG seed for mimicry.
+    pub seed: u64,
+}
+
+impl CrawlerConfig {
+    /// Sensible defaults against `server` for `duration` virtual secs.
+    pub fn new(server: impl Into<String>, duration: f64) -> Self {
+        CrawlerConfig {
+            server: server.into(),
+            tau: 10.0,
+            duration,
+            mimicry: MimicryConfig::mimic(),
+            reconnect: ReconnectPolicy::default(),
+            username: "crawler".into(),
+            seed: 0,
+        }
+    }
+}
+
+/// What a crawl produced.
+#[derive(Debug)]
+pub struct CrawlResult {
+    /// The recorded trace.
+    pub trace: Trace,
+    /// Every avatar identity the crawler held (one per (re)connection);
+    /// analyses must exclude these users.
+    pub own_agents: Vec<UserId>,
+    /// Number of reconnections performed (0 = a clean single session).
+    pub reconnects: u32,
+    /// Map polls answered.
+    pub polls: u64,
+    /// Map polls denied by the server's rate limiter.
+    pub throttled: u64,
+}
+
+/// Crawl failure.
+#[derive(Debug)]
+pub enum CrawlError {
+    /// Could not (re)connect within the policy.
+    ConnectFailed {
+        /// Attempts made.
+        attempts: u32,
+        /// Last error.
+        last: String,
+    },
+    /// Server rejected the login.
+    LoginRejected(String),
+    /// Protocol violation from the server.
+    Protocol(String),
+}
+
+impl std::fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrawlError::ConnectFailed { attempts, last } => {
+                write!(f, "connect failed after {attempts} attempts: {last}")
+            }
+            CrawlError::LoginRejected(msg) => write!(f, "login rejected: {msg}"),
+            CrawlError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {}
+
+/// The crawler.
+#[derive(Debug)]
+pub struct Crawler {
+    config: CrawlerConfig,
+}
+
+struct Session {
+    reader: FramedReader<tokio::net::tcp::OwnedReadHalf>,
+    writer: FramedWriter<tokio::net::tcp::OwnedWriteHalf>,
+    agent: UserId,
+    land: String,
+    size: (f32, f32),
+    time_scale: f64,
+}
+
+impl Crawler {
+    /// Create a crawler.
+    pub fn new(config: CrawlerConfig) -> Self {
+        Crawler { config }
+    }
+
+    /// Run the crawl to completion.
+    pub async fn run(&self) -> Result<CrawlResult, CrawlError> {
+        let mut session = self.connect().await?;
+        let meta = LandMeta {
+            name: session.land.clone(),
+            width: session.size.0 as f64,
+            height: session.size.1 as f64,
+            tau: self.config.tau,
+        };
+        let mut trace = Trace::new(meta);
+        let mut own_agents = vec![session.agent];
+        let mut reconnects = 0u32;
+        let mut polls = 0u64;
+        let mut throttled = 0u64;
+
+        let wall_tick = Duration::from_secs_f64(self.config.tau / session.time_scale);
+        let mut ticker = tokio::time::interval(wall_tick);
+        ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+
+        let spawn = (
+            session.size.0 as f64 / 2.0,
+            session.size.1 as f64 / 2.0,
+        );
+        let mut mimicry = Mimicry::new(
+            self.config.mimicry.clone(),
+            self.config.seed,
+            spawn,
+            (session.size.0 as f64, session.size.1 as f64),
+            0.0,
+        );
+
+        let mut first_virtual: Option<f64> = None;
+        let mut last_virtual = f64::NEG_INFINITY;
+        loop {
+            ticker.tick().await;
+            match self.poll_once(&mut session).await {
+                Ok(PollOutcome::Snapshot(snap)) => {
+                    polls += 1;
+                    let t = snap.t;
+                    if first_virtual.is_none() {
+                        first_virtual = Some(t);
+                    }
+                    if t > last_virtual {
+                        last_virtual = t;
+                        trace.push(snap);
+                    }
+                    // Mimicry actions due at this virtual time.
+                    for action in mimicry.tick(t) {
+                        let msg = match action {
+                            MimicryAction::MoveTo { x, y } => Message::AgentUpdate {
+                                x: x as f32,
+                                y: y as f32,
+                            },
+                            MimicryAction::Chat(text) => Message::ChatFromViewer { text },
+                        };
+                        if session.writer.send(&msg).await.is_err() {
+                            // Treat as a dropped connection below.
+                            break;
+                        }
+                    }
+                    if let Some(t0) = first_virtual {
+                        if t - t0 >= self.config.duration {
+                            let _ = session.writer.send(&Message::Logout).await;
+                            break;
+                        }
+                    }
+                }
+                Ok(PollOutcome::Throttled) => {
+                    throttled += 1;
+                }
+                Ok(PollOutcome::Disconnected) | Err(_) => {
+                    // Kicked or broken: reconnect and continue the trace
+                    // under a new identity.
+                    reconnects += 1;
+                    session = self.connect().await?;
+                    own_agents.push(session.agent);
+                    mimicry = Mimicry::new(
+                        self.config.mimicry.clone(),
+                        self.config.seed ^ reconnects as u64,
+                        spawn,
+                        (session.size.0 as f64, session.size.1 as f64),
+                        last_virtual.max(0.0),
+                    );
+                }
+            }
+        }
+
+        Ok(CrawlResult {
+            trace,
+            own_agents,
+            reconnects,
+            polls,
+            throttled,
+        })
+    }
+
+    async fn connect(&self) -> Result<Session, CrawlError> {
+        let mut last_err = String::from("never attempted");
+        for attempt in 0..self.config.reconnect.max_attempts {
+            if attempt > 0 {
+                let backoff = self.config.reconnect.base_backoff * 2u32.pow(attempt.min(6) - 1);
+                tokio::time::sleep(backoff).await;
+            }
+            match TcpStream::connect(&self.config.server).await {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    let (r, w) = stream.into_split();
+                    let mut reader = FramedReader::new(r);
+                    let mut writer = FramedWriter::new(w);
+                    let login = Message::LoginRequest {
+                        version: PROTOCOL_VERSION,
+                        username: self.config.username.clone(),
+                        password: "hunter2".into(),
+                    };
+                    if let Err(e) = writer.send(&login).await {
+                        last_err = e.to_string();
+                        continue;
+                    }
+                    match reader.next().await {
+                        Ok(Some(Message::LoginReply {
+                            agent,
+                            land,
+                            size,
+                            time_scale,
+                        })) => {
+                            return Ok(Session {
+                                reader,
+                                writer,
+                                agent: UserId(agent),
+                                land,
+                                size,
+                                time_scale: time_scale as f64,
+                            });
+                        }
+                        Ok(Some(Message::Error { message, .. })) => {
+                            return Err(CrawlError::LoginRejected(message));
+                        }
+                        Ok(other) => {
+                            last_err = format!("unexpected login response: {other:?}");
+                        }
+                        Err(e) => {
+                            last_err = e.to_string();
+                        }
+                    }
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                }
+            }
+        }
+        Err(CrawlError::ConnectFailed {
+            attempts: self.config.reconnect.max_attempts,
+            last: last_err,
+        })
+    }
+
+    async fn poll_once(&self, session: &mut Session) -> Result<PollOutcome, FramedError> {
+        session.writer.send(&Message::MapRequest).await?;
+        loop {
+            match session.reader.next().await? {
+                Some(Message::MapReply { time, items }) => {
+                    let mut snap = Snapshot::new(time);
+                    for it in items {
+                        snap.push(
+                            UserId(it.agent),
+                            Position::new(it.x as f64, it.y as f64, it.z as f64),
+                        );
+                    }
+                    snap.entries.sort_by_key(|o| o.user);
+                    return Ok(PollOutcome::Snapshot(snap));
+                }
+                Some(Message::Error { code, .. })
+                    if code == sl_server_error_codes::RATE_LIMITED =>
+                {
+                    return Ok(PollOutcome::Throttled);
+                }
+                Some(Message::Kick { .. }) | None => return Ok(PollOutcome::Disconnected),
+                // Chat, pongs and anything else interleaved with the
+                // map poll is consumed and ignored.
+                Some(_) => continue,
+            }
+        }
+    }
+}
+
+enum PollOutcome {
+    Snapshot(Snapshot),
+    Throttled,
+    Disconnected,
+}
+
+/// Error-code mirror (sl-crawler does not depend on sl-server; the
+/// codes are part of the protocol contract).
+mod sl_server_error_codes {
+    /// Map requests arriving faster than the rate limit.
+    pub const RATE_LIMITED: u16 = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_server::{FaultConfig, LandServer, ServerConfig};
+    use sl_world::presets::dance_island;
+    use sl_world::World;
+
+    fn world(seed: u64) -> World {
+        let mut w = World::new(dance_island().config, seed);
+        w.warm_up(1800.0);
+        w
+    }
+
+    async fn server(cfg: ServerConfig) -> LandServer {
+        LandServer::bind("127.0.0.1:0", world(5), cfg).await.unwrap()
+    }
+
+    #[tokio::test]
+    async fn crawl_collects_snapshots() {
+        let server = server(ServerConfig {
+            time_scale: 1200.0,
+            map_rate: (1000.0, 1000.0),
+            ..Default::default()
+        })
+        .await;
+        let config = CrawlerConfig {
+            seed: 1,
+            ..CrawlerConfig::new(server.addr().to_string(), 300.0)
+        };
+        let result = Crawler::new(config).run().await.unwrap();
+        assert!(result.trace.len() >= 20, "got {} snapshots", result.trace.len());
+        assert_eq!(result.reconnects, 0);
+        assert_eq!(result.own_agents.len(), 1);
+        // Times strictly increase.
+        for w in result.trace.snapshots.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+        // The crawler's avatar is visible in its own snapshots (as in
+        // SL) — exclusion is the analysis layer's job.
+        let me = result.own_agents[0];
+        assert!(result
+            .trace
+            .snapshots
+            .iter()
+            .any(|s| s.get(me).is_some()));
+    }
+
+    #[tokio::test]
+    async fn survives_kicks_with_reconnect() {
+        let server = server(ServerConfig {
+            time_scale: 1200.0,
+            map_rate: (1000.0, 1000.0),
+            faults: FaultConfig {
+                kick_prob: 0.08,
+                delay_prob: 0.0,
+                delay_ms: 0,
+            },
+            ..Default::default()
+        })
+        .await;
+        let config = CrawlerConfig {
+            seed: 2,
+            ..CrawlerConfig::new(server.addr().to_string(), 400.0)
+        };
+        let result = Crawler::new(config).run().await.unwrap();
+        assert!(result.reconnects > 0, "the flaky grid should have kicked us");
+        assert_eq!(
+            result.own_agents.len(),
+            result.reconnects as usize + 1,
+            "one identity per session"
+        );
+        assert!(result.trace.len() >= 10);
+    }
+
+    #[tokio::test]
+    async fn connect_failure_reported() {
+        // Nothing listens on this port.
+        let config = CrawlerConfig {
+            reconnect: ReconnectPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(1),
+            },
+            ..CrawlerConfig::new("127.0.0.1:1", 10.0)
+        };
+        match Crawler::new(config).run().await {
+            Err(CrawlError::ConnectFailed { attempts: 2, .. }) => {}
+            other => panic!("expected ConnectFailed, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn naive_crawler_never_moves_or_chats() {
+        let server = server(ServerConfig {
+            time_scale: 1200.0,
+            map_rate: (1000.0, 1000.0),
+            ..Default::default()
+        })
+        .await;
+        let config = CrawlerConfig {
+            mimicry: MimicryConfig::naive(),
+            seed: 3,
+            ..CrawlerConfig::new(server.addr().to_string(), 200.0)
+        };
+        let result = Crawler::new(config).run().await.unwrap();
+        // The naive crawler stays at its login position in every snapshot.
+        let me = result.own_agents[0];
+        let mut positions: Vec<(f64, f64)> = result
+            .trace
+            .snapshots
+            .iter()
+            .filter_map(|s| s.get(me).map(|p| (p.x, p.y)))
+            .collect();
+        positions.dedup();
+        assert_eq!(positions.len(), 1, "naive crawler must not move");
+    }
+
+    #[tokio::test]
+    async fn mimic_crawler_moves() {
+        let server = server(ServerConfig {
+            time_scale: 2400.0,
+            map_rate: (1000.0, 1000.0),
+            ..Default::default()
+        })
+        .await;
+        let config = CrawlerConfig {
+            seed: 4,
+            ..CrawlerConfig::new(server.addr().to_string(), 600.0)
+        };
+        let result = Crawler::new(config).run().await.unwrap();
+        let me = result.own_agents[0];
+        let mut positions: Vec<(f64, f64)> = result
+            .trace
+            .snapshots
+            .iter()
+            .filter_map(|s| s.get(me).map(|p| (p.x, p.y)))
+            .collect();
+        positions.dedup();
+        assert!(positions.len() > 1, "mimic crawler should move around");
+    }
+}

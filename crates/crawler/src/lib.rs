@@ -1,0 +1,29 @@
+//! # sl-crawler
+//!
+//! The paper's measurement tool (§2, "Monitoring using an external
+//! crawler"): a client that logs into the land server as a normal
+//! avatar, polls the land map every τ, and records snapshots — plus the
+//! counter-measures the paper had to engineer:
+//!
+//! * **User mimicry** ([`mimicry`]): the crawler is an avatar, so an
+//!   inert avatar attracts curious users and perturbs the measurement.
+//!   The mimic crawler "randomly moves over the target land and
+//!   broadcasts chat messages chosen from a small set of pre-defined
+//!   phrases".
+//! * **Reconnection** ([`crawler`]): the grid kicks clients now and
+//!   then (libsecondlife instability); the crawler resumes the trace
+//!   under a fresh avatar identity and reports all identities it used,
+//!   so the analysis can exclude them.
+//! * **Web sink** ([`websink`]): the external web server of the sensor
+//!   architecture — a minimal HTTP/1.1 endpoint receiving sensor
+//!   reports as JSON `POST`s.
+
+#![warn(missing_docs)]
+
+pub mod crawler;
+pub mod mimicry;
+pub mod websink;
+
+pub use crawler::{CrawlError, CrawlResult, Crawler, CrawlerConfig, ReconnectPolicy};
+pub use mimicry::{Mimicry, MimicryConfig};
+pub use websink::{post_report, WebSink};

@@ -1,0 +1,218 @@
+//! User mimicry: what makes the crawler look human.
+//!
+//! "To mitigate this perturbing effect we designed a crawler that
+//! mimics the behavior of a normal user: our crawler randomly moves
+//! over the target land and broadcasts chat messages chosen from a
+//! small set of pre-defined phrases."
+
+use serde::{Deserialize, Serialize};
+use sl_stats::rng::Rng;
+
+/// The pre-defined phrase set. Deliberately banal: the goal is to look
+/// like any other user, not to start conversations.
+pub const DEFAULT_PHRASES: &[&str] = &[
+    "hi :)",
+    "cool place",
+    "anyone know where the music is from?",
+    "brb",
+    "nice build!",
+    "hehe",
+    "wow, busy today",
+    "afk a sec",
+];
+
+/// Mimicry configuration (virtual-time periods).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MimicryConfig {
+    /// Master switch: a naive crawler disables mimicry entirely (the
+    /// configuration whose perturbation the paper observed).
+    pub enabled: bool,
+    /// Mean virtual seconds between random moves.
+    pub move_period: f64,
+    /// Mean virtual seconds between chat messages.
+    pub chat_period: f64,
+    /// Maximum distance of one random move, meters.
+    pub step: f64,
+    /// Phrases to choose from.
+    pub phrases: Vec<String>,
+}
+
+impl MimicryConfig {
+    /// The paper's mimic crawler.
+    pub fn mimic() -> Self {
+        MimicryConfig {
+            enabled: true,
+            move_period: 45.0,
+            chat_period: 180.0,
+            step: 40.0,
+            phrases: DEFAULT_PHRASES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The naive crawler: connects and sits still, silently.
+    pub fn naive() -> Self {
+        MimicryConfig {
+            enabled: false,
+            move_period: f64::INFINITY,
+            chat_period: f64::INFINITY,
+            step: 0.0,
+            phrases: Vec::new(),
+        }
+    }
+}
+
+/// Scheduled mimicry actions within one polling interval.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MimicryAction {
+    /// Move to this land position.
+    MoveTo {
+        /// Target x, meters.
+        x: f64,
+        /// Target y, meters.
+        y: f64,
+    },
+    /// Say this phrase in local chat.
+    Chat(String),
+}
+
+/// Stateful mimicry driver: decides, per elapsed virtual interval, what
+/// (if anything) the crawler avatar should do.
+#[derive(Debug)]
+pub struct Mimicry {
+    config: MimicryConfig,
+    rng: Rng,
+    pos: (f64, f64),
+    land: (f64, f64),
+    next_move: f64,
+    next_chat: f64,
+}
+
+impl Mimicry {
+    /// Create a driver. `land` is the (width, height); the avatar
+    /// starts at `pos`; `now` is current virtual time.
+    pub fn new(config: MimicryConfig, seed: u64, pos: (f64, f64), land: (f64, f64), now: f64) -> Self {
+        let mut rng = Rng::new(seed);
+        let next_move = now + exp_draw(&mut rng, config.move_period);
+        let next_chat = now + exp_draw(&mut rng, config.chat_period);
+        Mimicry {
+            config,
+            rng,
+            pos,
+            land,
+            next_move,
+            next_chat,
+        }
+    }
+
+    /// Advance to virtual time `now`, returning the actions due.
+    pub fn tick(&mut self, now: f64) -> Vec<MimicryAction> {
+        if !self.config.enabled {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        while self.next_move <= now {
+            let angle = self.rng.angle();
+            let dist = self.config.step * self.rng.f64().sqrt();
+            let x = (self.pos.0 + dist * angle.cos()).clamp(0.0, self.land.0);
+            let y = (self.pos.1 + dist * angle.sin()).clamp(0.0, self.land.1);
+            self.pos = (x, y);
+            actions.push(MimicryAction::MoveTo { x, y });
+            self.next_move += exp_draw(&mut self.rng, self.config.move_period);
+        }
+        while self.next_chat <= now {
+            let phrase = if self.config.phrases.is_empty() {
+                String::new()
+            } else {
+                self.config.phrases[self.rng.index(self.config.phrases.len())].clone()
+            };
+            actions.push(MimicryAction::Chat(phrase));
+            self.next_chat += exp_draw(&mut self.rng, self.config.chat_period);
+        }
+        actions
+    }
+
+    /// Current believed avatar position.
+    pub fn position(&self) -> (f64, f64) {
+        self.pos
+    }
+}
+
+fn exp_draw(rng: &mut Rng, mean: f64) -> f64 {
+    if !mean.is_finite() {
+        return f64::INFINITY;
+    }
+    -rng.f64_open().ln() * mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_never_acts() {
+        let mut m = Mimicry::new(MimicryConfig::naive(), 1, (128.0, 128.0), (256.0, 256.0), 0.0);
+        assert!(m.tick(1e9).is_empty());
+    }
+
+    #[test]
+    fn mimic_moves_and_chats() {
+        let mut m = Mimicry::new(MimicryConfig::mimic(), 2, (128.0, 128.0), (256.0, 256.0), 0.0);
+        let actions = m.tick(3600.0);
+        let moves = actions
+            .iter()
+            .filter(|a| matches!(a, MimicryAction::MoveTo { .. }))
+            .count();
+        let chats = actions
+            .iter()
+            .filter(|a| matches!(a, MimicryAction::Chat(_)))
+            .count();
+        // Mean rates: 80 moves/h, 20 chats/h; accept broad bounds.
+        assert!((40..160).contains(&moves), "moves {moves}");
+        assert!((5..60).contains(&chats), "chats {chats}");
+    }
+
+    #[test]
+    fn moves_stay_in_land() {
+        let mut m = Mimicry::new(MimicryConfig::mimic(), 3, (5.0, 5.0), (256.0, 256.0), 0.0);
+        for a in m.tick(7200.0) {
+            if let MimicryAction::MoveTo { x, y } = a {
+                assert!((0.0..=256.0).contains(&x));
+                assert!((0.0..=256.0).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn chats_use_phrase_set() {
+        let mut m = Mimicry::new(MimicryConfig::mimic(), 4, (128.0, 128.0), (256.0, 256.0), 0.0);
+        for a in m.tick(7200.0) {
+            if let MimicryAction::Chat(text) = a {
+                assert!(DEFAULT_PHRASES.contains(&text.as_str()), "unknown phrase {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_ticks_match_position_tracking() {
+        let mut m = Mimicry::new(MimicryConfig::mimic(), 5, (128.0, 128.0), (256.0, 256.0), 0.0);
+        let mut last_pos = m.position();
+        for step in 1..=100 {
+            let actions = m.tick(step as f64 * 30.0);
+            for a in &actions {
+                if let MimicryAction::MoveTo { x, y } = a {
+                    last_pos = (*x, *y);
+                }
+            }
+        }
+        assert_eq!(m.position(), last_pos);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut m = Mimicry::new(MimicryConfig::mimic(), seed, (0.0, 0.0), (256.0, 256.0), 0.0);
+            m.tick(3600.0)
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,320 @@
+//! The sensor architecture's external web server: a minimal HTTP/1.1
+//! endpoint accepting `POST /report` with a JSON [`Report`] body, plus
+//! the client helper the in-world sensor bridge uses to post.
+//!
+//! Deliberately small (no HTTP library): request line, headers with
+//! `Content-Length`, body. Anything else gets a 4xx — exactly the
+//! robustness surface the paper's web server needed.
+
+use parking_lot::Mutex;
+use sl_script::spec::Report;
+use sl_script::ReportSink;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+/// Maximum accepted body size (a full 16 KiB sensor cache serializes to
+/// well under this).
+const MAX_BODY: usize = 256 * 1024;
+
+/// A running web sink.
+pub struct WebSink {
+    sink: Arc<Mutex<ReportSink>>,
+    addr: SocketAddr,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl std::fmt::Debug for WebSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WebSink").field("addr", &self.addr).finish()
+    }
+}
+
+impl WebSink {
+    /// Bind and serve (port 0 for ephemeral).
+    pub async fn bind(addr: &str) -> std::io::Result<WebSink> {
+        let listener = TcpListener::bind(addr).await?;
+        let addr = listener.local_addr()?;
+        let sink = Arc::new(Mutex::new(ReportSink::new()));
+        let accept_sink = sink.clone();
+        let accept_task = tokio::spawn(async move {
+            while let Ok((stream, _)) = listener.accept().await {
+                let sink = accept_sink.clone();
+                tokio::spawn(async move {
+                    let _ = handle_http(stream, sink).await;
+                });
+            }
+        });
+        Ok(WebSink {
+            sink,
+            addr,
+            accept_task,
+        })
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of reports received so far.
+    pub fn report_count(&self) -> usize {
+        self.sink.lock().len()
+    }
+
+    /// Take a snapshot of the collected sink (clones the reports held
+    /// so far into a fresh `ReportSink` via serde round-trip-free move:
+    /// we drain and re-ingest to keep the server collecting).
+    pub fn with_sink<T>(&self, f: impl FnOnce(&ReportSink) -> T) -> T {
+        f(&self.sink.lock())
+    }
+
+    /// Stop accepting.
+    pub fn shutdown(&self) {
+        self.accept_task.abort();
+    }
+}
+
+impl Drop for WebSink {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+async fn handle_http(mut stream: TcpStream, sink: Arc<Mutex<ReportSink>>) -> std::io::Result<()> {
+    // Serve sequential requests on one connection (keep-alive).
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    loop {
+        // Read until we have a complete header block.
+        let header_end = loop {
+            if let Some(pos) = find_header_end(&buf) {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = stream.read(&mut chunk).await?;
+            if n == 0 {
+                return Ok(()); // client went away
+            }
+            buf.extend_from_slice(&chunk[..n]);
+            if buf.len() > MAX_BODY {
+                respond(&mut stream, 431, "headers too large").await?;
+                return Ok(());
+            }
+        };
+        let header_text = String::from_utf8_lossy(&buf[..header_end]).to_string();
+        let mut lines = header_text.split("\r\n");
+        let request_line = lines.next().unwrap_or_default().to_string();
+        let mut content_length: Option<usize> = None;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                }
+            }
+        }
+        buf.drain(..header_end + 4);
+
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or_default().to_string();
+        let path = parts.next().unwrap_or_default().to_string();
+
+        match (method.as_str(), path.as_str()) {
+            ("POST", "/report") => {
+                let Some(len) = content_length else {
+                    // Without a length we cannot find the body's end, so
+                    // any body bytes already sent would desynchronize the
+                    // next request — close instead of continuing.
+                    respond(&mut stream, 411, "length required").await?;
+                    return Ok(());
+                };
+                if len > MAX_BODY {
+                    respond(&mut stream, 413, "body too large").await?;
+                    return Ok(());
+                }
+                while buf.len() < len {
+                    let mut chunk = [0u8; 4096];
+                    let n = stream.read(&mut chunk).await?;
+                    if n == 0 {
+                        return Ok(());
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                let body: Vec<u8> = buf.drain(..len).collect();
+                match serde_json::from_slice::<Report>(&body) {
+                    Ok(report) => {
+                        sink.lock().ingest(report);
+                        respond(&mut stream, 200, "ok").await?;
+                    }
+                    Err(_) => {
+                        respond(&mut stream, 400, "bad report json").await?;
+                    }
+                }
+            }
+            ("GET", "/health") => {
+                respond(&mut stream, 200, "alive").await?;
+            }
+            _ => {
+                respond(&mut stream, 404, "not found").await?;
+            }
+        }
+    }
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+async fn respond(stream: &mut TcpStream, code: u16, body: &str) -> std::io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Length: {}\r\nContent-Type: text/plain\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes()).await?;
+    stream.flush().await
+}
+
+/// Post one report to a web sink; returns the HTTP status code.
+pub async fn post_report(addr: &SocketAddr, report: &Report) -> std::io::Result<u16> {
+    let mut stream = TcpStream::connect(addr).await?;
+    let body = serde_json::to_vec(report).expect("report serializes");
+    let request = format!(
+        "POST /report HTTP/1.1\r\nHost: sink\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).await?;
+    stream.write_all(&body).await?;
+    stream.flush().await?;
+    // Read the status line.
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk).await?;
+        if n == 0 {
+            break;
+        }
+        response.extend_from_slice(&chunk[..n]);
+        if find_header_end(&response).is_some() {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&response);
+    let code = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    Ok(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_script::spec::Detection;
+    use sl_trace::UserId;
+    use sl_world::Vec2;
+
+    fn sample_report() -> Report {
+        Report {
+            sensor: 1,
+            sensor_pos: Vec2::new(64.0, 64.0),
+            t: 120.0,
+            detections: vec![Detection {
+                t: 110.0,
+                user: UserId(7),
+                x: 60.0,
+                y: 61.0,
+            }],
+        }
+    }
+
+    #[tokio::test]
+    async fn post_and_collect() {
+        let sink = WebSink::bind("127.0.0.1:0").await.unwrap();
+        let code = post_report(&sink.addr(), &sample_report()).await.unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(sink.report_count(), 1);
+        sink.with_sink(|s| {
+            let trace = s.reconstruct(sl_trace::LandMeta::standard("T", 10.0), 22.0);
+            assert_eq!(trace.len(), 1);
+            assert_eq!(trace.snapshots[0].entries[0].user, UserId(7));
+        });
+    }
+
+    #[tokio::test]
+    async fn multiple_posts_one_connection_each() {
+        let sink = WebSink::bind("127.0.0.1:0").await.unwrap();
+        for _ in 0..5 {
+            assert_eq!(post_report(&sink.addr(), &sample_report()).await.unwrap(), 200);
+        }
+        assert_eq!(sink.report_count(), 5);
+    }
+
+    #[tokio::test]
+    async fn bad_json_is_400() {
+        let sink = WebSink::bind("127.0.0.1:0").await.unwrap();
+        let mut stream = TcpStream::connect(sink.addr()).await.unwrap();
+        let body = b"not json";
+        let req = format!(
+            "POST /report HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).await.unwrap();
+        stream.write_all(body).await.unwrap();
+        let mut response = vec![0u8; 1024];
+        let n = stream.read(&mut response).await.unwrap();
+        let text = String::from_utf8_lossy(&response[..n]);
+        assert!(text.starts_with("HTTP/1.1 400"), "got {text}");
+        assert_eq!(sink.report_count(), 0);
+    }
+
+    #[tokio::test]
+    async fn unknown_path_is_404() {
+        let sink = WebSink::bind("127.0.0.1:0").await.unwrap();
+        let mut stream = TcpStream::connect(sink.addr()).await.unwrap();
+        stream
+            .write_all(b"GET /nope HTTP/1.1\r\n\r\n")
+            .await
+            .unwrap();
+        let mut response = vec![0u8; 1024];
+        let n = stream.read(&mut response).await.unwrap();
+        assert!(String::from_utf8_lossy(&response[..n]).starts_with("HTTP/1.1 404"));
+    }
+
+    #[tokio::test]
+    async fn missing_length_is_411() {
+        let sink = WebSink::bind("127.0.0.1:0").await.unwrap();
+        let mut stream = TcpStream::connect(sink.addr()).await.unwrap();
+        stream
+            .write_all(b"POST /report HTTP/1.1\r\n\r\n")
+            .await
+            .unwrap();
+        let mut response = vec![0u8; 1024];
+        let n = stream.read(&mut response).await.unwrap();
+        assert!(String::from_utf8_lossy(&response[..n]).starts_with("HTTP/1.1 411"));
+    }
+
+    #[tokio::test]
+    async fn health_endpoint() {
+        let sink = WebSink::bind("127.0.0.1:0").await.unwrap();
+        let mut stream = TcpStream::connect(sink.addr()).await.unwrap();
+        stream
+            .write_all(b"GET /health HTTP/1.1\r\n\r\n")
+            .await
+            .unwrap();
+        let mut response = vec![0u8; 1024];
+        let n = stream.read(&mut response).await.unwrap();
+        let text = String::from_utf8_lossy(&response[..n]);
+        assert!(text.starts_with("HTTP/1.1 200"));
+        assert!(text.ends_with("alive"));
+    }
+}

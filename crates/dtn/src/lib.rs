@@ -1,0 +1,24 @@
+//! # sl-dtn
+//!
+//! Trace-driven delay-tolerant-network forwarding — the application the
+//! paper motivates its traces with: "the traces collected in this work
+//! can be very useful for trace-driven simulations of communication
+//! schemes in delay tolerant networks and their performance evaluation."
+//!
+//! * [`timeline`] — converts a mobility trace plus a communication
+//!   range into a per-snapshot sequence of contact pair-sets;
+//! * [`protocol`] — forwarding protocols: epidemic, direct delivery,
+//!   two-hop relay, binary spray-and-wait;
+//! * [`sim`] — the message-level simulation: workload generation,
+//!   forwarding over the contact timeline, delivery/delay/overhead
+//!   metrics.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod sim;
+pub mod timeline;
+
+pub use protocol::Protocol;
+pub use sim::{simulate, DtnConfig, DtnReport, MessageSpec};
+pub use timeline::{ContactTimeline, PairSet};

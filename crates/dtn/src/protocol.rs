@@ -1,0 +1,62 @@
+//! Forwarding protocols.
+
+use serde::{Deserialize, Serialize};
+
+/// A DTN forwarding protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Flood: every contact copies every missing message. The delivery
+    /// upper bound (and overhead upper bound).
+    Epidemic,
+    /// Only the source carries the message; delivery requires a direct
+    /// source–destination contact. The lower bound.
+    DirectDelivery,
+    /// The source hands one copy to every node it meets; relays forward
+    /// only to the destination (Grossglauser–Tse).
+    TwoHopRelay,
+    /// Binary spray-and-wait with an initial copy budget: a carrier
+    /// with more than one logical copy gives half to an uninfected
+    /// peer; single-copy carriers deliver only to the destination.
+    SprayAndWait {
+        /// Initial number of logical copies at the source.
+        copies: u32,
+    },
+}
+
+impl Protocol {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Protocol::Epidemic => "epidemic".into(),
+            Protocol::DirectDelivery => "direct".into(),
+            Protocol::TwoHopRelay => "two-hop".into(),
+            Protocol::SprayAndWait { copies } => format!("spray&wait(L={copies})"),
+        }
+    }
+
+    /// All standard protocols at default parameters, for comparisons.
+    pub fn standard_suite() -> Vec<Protocol> {
+        vec![
+            Protocol::Epidemic,
+            Protocol::TwoHopRelay,
+            Protocol::SprayAndWait { copies: 8 },
+            Protocol::DirectDelivery,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Protocol::Epidemic.label(), "epidemic");
+        assert_eq!(Protocol::SprayAndWait { copies: 4 }.label(), "spray&wait(L=4)");
+    }
+
+    #[test]
+    fn suite_has_four() {
+        assert_eq!(Protocol::standard_suite().len(), 4);
+    }
+}

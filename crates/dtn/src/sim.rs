@@ -1,0 +1,462 @@
+//! Message-level DTN simulation over a contact timeline.
+
+use crate::protocol::Protocol;
+use crate::timeline::ContactTimeline;
+use serde::{Deserialize, Serialize};
+use sl_stats::rng::Rng;
+use sl_trace::UserId;
+use std::collections::HashMap;
+
+/// One message to deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageSpec {
+    /// Source node.
+    pub src: UserId,
+    /// Destination node.
+    pub dst: UserId,
+    /// Creation time (virtual seconds).
+    pub created: f64,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DtnConfig {
+    /// Forwarding protocol.
+    pub protocol: Protocol,
+    /// Message time-to-live, seconds (copies expire afterwards).
+    pub ttl: f64,
+}
+
+/// Per-message outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageOutcome {
+    /// The message.
+    pub spec: MessageSpec,
+    /// Delivery time, if delivered before TTL.
+    pub delivered_at: Option<f64>,
+    /// Transmissions performed for this message (copies + delivery).
+    pub transmissions: u64,
+}
+
+/// Aggregate results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DtnReport {
+    /// Protocol label.
+    pub protocol: String,
+    /// Communication range of the timeline.
+    pub range: f64,
+    /// Messages simulated.
+    pub messages: usize,
+    /// Messages delivered within TTL.
+    pub delivered: usize,
+    /// Delivery ratio.
+    pub delivery_ratio: f64,
+    /// Median delivery delay over delivered messages, seconds.
+    pub median_delay: Option<f64>,
+    /// Mean transmissions per message (delivered or not).
+    pub mean_transmissions: f64,
+    /// Per-message outcomes.
+    pub outcomes: Vec<MessageOutcome>,
+}
+
+/// Carrier state for one in-flight message.
+#[derive(Debug)]
+struct Flight {
+    spec: MessageSpec,
+    /// Logical copy counts per carrier (spray-and-wait semantics; the
+    /// other protocols use it as a membership set).
+    carriers: HashMap<UserId, u32>,
+    delivered_at: Option<f64>,
+    transmissions: u64,
+}
+
+/// Generate a uniform workload: `count` messages at random creation
+/// times in `[t0, t1)`, with source and destination drawn from the
+/// users present at the chosen snapshot. Returns fewer messages when a
+/// snapshot holds fewer than two users.
+pub fn uniform_workload(
+    timeline: &ContactTimeline,
+    count: usize,
+    rng: &mut Rng,
+) -> Vec<MessageSpec> {
+    let eligible: Vec<&crate::timeline::PairSet> = timeline
+        .steps
+        .iter()
+        .filter(|s| s.present.len() >= 2)
+        .collect();
+    if eligible.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let step = eligible[rng.index(eligible.len())];
+        let i = rng.index(step.present.len());
+        let j = {
+            let mut j = rng.index(step.present.len() - 1);
+            if j >= i {
+                j += 1;
+            }
+            j
+        };
+        out.push(MessageSpec {
+            src: step.present[i],
+            dst: step.present[j],
+            created: step.t,
+        });
+    }
+    out.sort_by(|a, b| a.created.partial_cmp(&b.created).unwrap());
+    out
+}
+
+/// Run the forwarding simulation.
+///
+/// ```
+/// use sl_dtn::{simulate, ContactTimeline, DtnConfig, Protocol};
+/// use sl_dtn::sim::uniform_workload;
+/// use sl_stats::rng::Rng;
+/// use sl_world::presets::dance_island;
+/// use sl_world::World;
+///
+/// let mut world = World::new(dance_island().config, 3);
+/// world.warm_up(3600.0);
+/// let trace = world.run_trace(1800.0, 10.0);
+/// let timeline = ContactTimeline::from_trace(&trace, 80.0, &[]);
+/// let messages = uniform_workload(&timeline, 20, &mut Rng::new(1));
+/// let report = simulate(&timeline, &messages, DtnConfig {
+///     protocol: Protocol::Epidemic,
+///     ttl: 1800.0,
+/// });
+/// assert!(report.delivery_ratio > 0.0);
+/// ```
+pub fn simulate(timeline: &ContactTimeline, messages: &[MessageSpec], config: DtnConfig) -> DtnReport {
+    assert!(config.ttl > 0.0, "TTL must be positive");
+    let initial_copies = match config.protocol {
+        Protocol::SprayAndWait { copies } => copies.max(1),
+        _ => 1,
+    };
+
+    let mut pending: Vec<Flight> = messages
+        .iter()
+        .map(|&spec| Flight {
+            spec,
+            carriers: HashMap::new(),
+            delivered_at: None,
+            transmissions: 0,
+        })
+        .collect();
+
+    for step in &timeline.steps {
+        let t = step.t;
+        for flight in pending.iter_mut() {
+            if flight.delivered_at.is_some() {
+                continue;
+            }
+            // Activate at creation time.
+            if t >= flight.spec.created && flight.carriers.is_empty() && flight.transmissions == 0
+            {
+                flight.carriers.insert(flight.spec.src, initial_copies);
+            }
+            // Expire.
+            if t - flight.spec.created > config.ttl {
+                flight.carriers.clear();
+                continue;
+            }
+            if flight.carriers.is_empty() {
+                continue;
+            }
+            for &(a, b) in &step.pairs {
+                exchange(flight, a, b, t, config.protocol);
+                if flight.delivered_at.is_some() {
+                    break;
+                }
+                exchange(flight, b, a, t, config.protocol);
+                if flight.delivered_at.is_some() {
+                    break;
+                }
+            }
+        }
+    }
+
+    let outcomes: Vec<MessageOutcome> = pending
+        .iter()
+        .map(|f| MessageOutcome {
+            spec: f.spec,
+            delivered_at: f.delivered_at,
+            transmissions: f.transmissions,
+        })
+        .collect();
+    let delivered = outcomes.iter().filter(|o| o.delivered_at.is_some()).count();
+    let mut delays: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.delivered_at.map(|t| t - o.spec.created))
+        .collect();
+    delays.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_delay = if delays.is_empty() {
+        None
+    } else {
+        Some(delays[delays.len() / 2])
+    };
+    let mean_transmissions = if outcomes.is_empty() {
+        0.0
+    } else {
+        outcomes.iter().map(|o| o.transmissions as f64).sum::<f64>() / outcomes.len() as f64
+    };
+
+    DtnReport {
+        protocol: config.protocol.label(),
+        range: timeline.range,
+        messages: messages.len(),
+        delivered,
+        delivery_ratio: if messages.is_empty() {
+            0.0
+        } else {
+            delivered as f64 / messages.len() as f64
+        },
+        median_delay,
+        mean_transmissions,
+        outcomes,
+    }
+}
+
+/// One directed exchange opportunity: carrier `from` meets `to`.
+fn exchange(flight: &mut Flight, from: UserId, to: UserId, t: f64, protocol: Protocol) {
+    let Some(&copies) = flight.carriers.get(&from) else {
+        return;
+    };
+    // Delivery always happens on contact with the destination.
+    if to == flight.spec.dst {
+        flight.delivered_at = Some(t);
+        flight.transmissions += 1;
+        return;
+    }
+    if flight.carriers.contains_key(&to) {
+        return;
+    }
+    match protocol {
+        Protocol::Epidemic => {
+            flight.carriers.insert(to, 1);
+            flight.transmissions += 1;
+        }
+        Protocol::DirectDelivery => {
+            // Source never relays.
+        }
+        Protocol::TwoHopRelay => {
+            // Only the source sprays copies; relays hold silently.
+            if from == flight.spec.src {
+                flight.carriers.insert(to, 1);
+                flight.transmissions += 1;
+            }
+        }
+        Protocol::SprayAndWait { .. } => {
+            if copies > 1 {
+                let give = copies / 2;
+                flight.carriers.insert(to, give);
+                flight.carriers.insert(from, copies - give);
+                flight.transmissions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::PairSet;
+
+    fn u(n: u32) -> UserId {
+        UserId(n)
+    }
+
+    /// One hand-built step: (time, pairs, present users).
+    type RawStep = (f64, Vec<(u32, u32)>, Vec<u32>);
+
+    /// Hand-built timeline from raw steps.
+    fn timeline(steps: Vec<RawStep>) -> ContactTimeline {
+        ContactTimeline {
+            range: 10.0,
+            steps: steps
+                .into_iter()
+                .map(|(t, pairs, present)| PairSet {
+                    t,
+                    pairs: pairs.into_iter().map(|(a, b)| (u(a), u(b))).collect(),
+                    present: present.into_iter().map(u).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    fn msg(src: u32, dst: u32, created: f64) -> MessageSpec {
+        MessageSpec {
+            src: u(src),
+            dst: u(dst),
+            created,
+        }
+    }
+
+    #[test]
+    fn direct_delivery_on_contact() {
+        let tl = timeline(vec![
+            (10.0, vec![], vec![1, 2]),
+            (20.0, vec![(1, 2)], vec![1, 2]),
+        ]);
+        let report = simulate(
+            &tl,
+            &[msg(1, 2, 10.0)],
+            DtnConfig {
+                protocol: Protocol::DirectDelivery,
+                ttl: 1000.0,
+            },
+        );
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.outcomes[0].delivered_at, Some(20.0));
+        assert_eq!(report.median_delay, Some(10.0));
+    }
+
+    #[test]
+    fn epidemic_uses_relay_direct_does_not() {
+        // 1 meets 3 at t=20; 3 meets 2 at t=30. 1 never meets 2.
+        let tl = timeline(vec![
+            (10.0, vec![], vec![1, 2, 3]),
+            (20.0, vec![(1, 3)], vec![1, 2, 3]),
+            (30.0, vec![(2, 3)], vec![1, 2, 3]),
+        ]);
+        let spec = [msg(1, 2, 10.0)];
+        let cfg = |p| DtnConfig {
+            protocol: p,
+            ttl: 1000.0,
+        };
+        let epidemic = simulate(&tl, &spec, cfg(Protocol::Epidemic));
+        assert_eq!(epidemic.delivered, 1);
+        assert_eq!(epidemic.outcomes[0].delivered_at, Some(30.0));
+        let direct = simulate(&tl, &spec, cfg(Protocol::DirectDelivery));
+        assert_eq!(direct.delivered, 0);
+        assert_eq!(direct.delivery_ratio, 0.0);
+    }
+
+    #[test]
+    fn two_hop_relays_once() {
+        // 1→3 (relay), 3→4 must NOT propagate, 3→2 delivers.
+        let tl = timeline(vec![
+            (10.0, vec![(1, 3)], vec![1, 2, 3, 4]),
+            (20.0, vec![(3, 4)], vec![1, 2, 3, 4]),
+            (30.0, vec![(4, 2)], vec![1, 2, 3, 4]),
+            (40.0, vec![(3, 2)], vec![1, 2, 3, 4]),
+        ]);
+        let report = simulate(
+            &tl,
+            &[msg(1, 2, 10.0)],
+            DtnConfig {
+                protocol: Protocol::TwoHopRelay,
+                ttl: 1000.0,
+            },
+        );
+        // Node 4 never got a copy, so delivery waits for 3 meeting 2.
+        assert_eq!(report.outcomes[0].delivered_at, Some(40.0));
+    }
+
+    #[test]
+    fn spray_and_wait_respects_budget() {
+        // Source 1 with L=2: can infect exactly one relay (binary split
+        // leaves both with 1 copy), after which nobody sprays further.
+        let tl = timeline(vec![
+            (10.0, vec![(1, 3)], vec![1, 2, 3, 4, 5]),
+            (20.0, vec![(1, 4)], vec![1, 2, 3, 4, 5]),
+            (30.0, vec![(3, 5)], vec![1, 2, 3, 4, 5]),
+            (40.0, vec![(5, 2)], vec![1, 2, 3, 4, 5]),
+            (50.0, vec![(3, 2)], vec![1, 2, 3, 4, 5]),
+        ]);
+        let report = simulate(
+            &tl,
+            &[msg(1, 2, 10.0)],
+            DtnConfig {
+                protocol: Protocol::SprayAndWait { copies: 2 },
+                ttl: 1000.0,
+            },
+        );
+        // 3 got the only sprayed copy; 4 and 5 never carry; delivery at
+        // t=50 when carrier 3 meets destination 2.
+        assert_eq!(report.outcomes[0].delivered_at, Some(50.0));
+        // Transmissions: 1 spray + 1 delivery.
+        assert_eq!(report.outcomes[0].transmissions, 2);
+    }
+
+    #[test]
+    fn ttl_expires_copies() {
+        let tl = timeline(vec![
+            (10.0, vec![], vec![1, 2]),
+            (500.0, vec![(1, 2)], vec![1, 2]),
+        ]);
+        let report = simulate(
+            &tl,
+            &[msg(1, 2, 10.0)],
+            DtnConfig {
+                protocol: Protocol::Epidemic,
+                ttl: 100.0,
+            },
+        );
+        assert_eq!(report.delivered, 0, "contact after TTL must not deliver");
+    }
+
+    #[test]
+    fn epidemic_overhead_exceeds_direct() {
+        // A clique meeting repeatedly: epidemic floods, direct doesn't.
+        let everyone: Vec<u32> = (1..=6).collect();
+        let all_pairs: Vec<(u32, u32)> = (1..=6u32)
+            .flat_map(|a| ((a + 1)..=6).map(move |b| (a, b)))
+            .collect();
+        let tl = timeline(vec![
+            (10.0, vec![], everyone.clone()),
+            (20.0, all_pairs.clone(), everyone.clone()),
+            (30.0, all_pairs, everyone),
+        ]);
+        let spec = [msg(1, 6, 10.0)];
+        let cfg = |p| DtnConfig {
+            protocol: p,
+            ttl: 1000.0,
+        };
+        let epidemic = simulate(&tl, &spec, cfg(Protocol::Epidemic));
+        let direct = simulate(&tl, &spec, cfg(Protocol::DirectDelivery));
+        assert!(epidemic.mean_transmissions >= direct.mean_transmissions);
+        assert_eq!(direct.delivered, 1, "1 and 6 meet directly in the clique");
+    }
+
+    #[test]
+    fn workload_generation_is_valid() {
+        let tl = timeline(vec![
+            (10.0, vec![], vec![1, 2, 3]),
+            (20.0, vec![], vec![4, 5]),
+        ]);
+        let mut rng = Rng::new(1);
+        let msgs = uniform_workload(&tl, 50, &mut rng);
+        assert_eq!(msgs.len(), 50);
+        for m in &msgs {
+            assert_ne!(m.src, m.dst, "src and dst must differ");
+            assert!(m.created == 10.0 || m.created == 20.0);
+        }
+        // Sorted by creation.
+        for w in msgs.windows(2) {
+            assert!(w[0].created <= w[1].created);
+        }
+    }
+
+    #[test]
+    fn empty_workload_on_empty_timeline() {
+        let tl = timeline(vec![(10.0, vec![], vec![1])]);
+        let mut rng = Rng::new(2);
+        assert!(uniform_workload(&tl, 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn message_created_before_first_step_activates() {
+        let tl = timeline(vec![(10.0, vec![(1, 2)], vec![1, 2])]);
+        let report = simulate(
+            &tl,
+            &[msg(1, 2, 0.0)],
+            DtnConfig {
+                protocol: Protocol::DirectDelivery,
+                ttl: 1000.0,
+            },
+        );
+        assert_eq!(report.delivered, 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Contact timelines extracted from mobility traces.
+
+use sl_graph::proximity_edges;
+use sl_trace::{Trace, UserId};
+use std::collections::HashSet;
+
+/// The users in contact at one snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairSet {
+    /// Snapshot time.
+    pub t: f64,
+    /// Unordered in-range pairs, each stored as `(min, max)`.
+    pub pairs: Vec<(UserId, UserId)>,
+    /// Users present at this snapshot (contactable or not).
+    pub present: Vec<UserId>,
+}
+
+/// A full contact timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContactTimeline {
+    /// The communication range used.
+    pub range: f64,
+    /// Per-snapshot pair sets, time-ordered.
+    pub steps: Vec<PairSet>,
+}
+
+impl ContactTimeline {
+    /// Build from a trace at the given range, excluding the given users
+    /// (the crawler) and seated avatars.
+    pub fn from_trace(trace: &Trace, range: f64, exclude: &[UserId]) -> Self {
+        let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+        let mut steps = Vec::with_capacity(trace.snapshots.len());
+        for snap in &trace.snapshots {
+            let mut users = Vec::new();
+            let mut points = Vec::new();
+            for obs in &snap.entries {
+                if excluded.contains(&obs.user) || obs.pos.is_seated_sentinel() {
+                    continue;
+                }
+                users.push(obs.user);
+                points.push(obs.pos.xy());
+            }
+            let mut pairs: Vec<(UserId, UserId)> = proximity_edges(&points, range)
+                .into_iter()
+                .map(|(i, j)| {
+                    let (a, b) = (users[i as usize], users[j as usize]);
+                    if a < b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                })
+                .collect();
+            pairs.sort_unstable();
+            steps.push(PairSet {
+                t: snap.t,
+                pairs,
+                present: users,
+            });
+        }
+        ContactTimeline { range, steps }
+    }
+
+    /// Total pair-contact samples across the timeline.
+    pub fn total_pairs(&self) -> usize {
+        self.steps.iter().map(|s| s.pairs.len()).sum()
+    }
+
+    /// All users ever present.
+    pub fn users(&self) -> Vec<UserId> {
+        let mut v: Vec<UserId> = self
+            .steps
+            .iter()
+            .flat_map(|s| s.present.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_trace::{LandMeta, Position, Snapshot, Trace};
+
+    fn trace_two_meet() -> Trace {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        for k in 1..=3 {
+            let mut s = Snapshot::new(k as f64 * 10.0);
+            s.push(UserId(1), Position::new(0.0, 0.0, 22.0));
+            s.push(
+                UserId(2),
+                Position::new(if k == 2 { 5.0 } else { 100.0 }, 0.0, 22.0),
+            );
+            t.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn pairs_only_when_in_range() {
+        let tl = ContactTimeline::from_trace(&trace_two_meet(), 10.0, &[]);
+        assert_eq!(tl.steps.len(), 3);
+        assert!(tl.steps[0].pairs.is_empty());
+        assert_eq!(tl.steps[1].pairs, vec![(UserId(1), UserId(2))]);
+        assert!(tl.steps[2].pairs.is_empty());
+        assert_eq!(tl.total_pairs(), 1);
+    }
+
+    #[test]
+    fn users_collected() {
+        let tl = ContactTimeline::from_trace(&trace_two_meet(), 10.0, &[]);
+        assert_eq!(tl.users(), vec![UserId(1), UserId(2)]);
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let tl = ContactTimeline::from_trace(&trace_two_meet(), 10.0, &[UserId(2)]);
+        assert_eq!(tl.total_pairs(), 0);
+        assert_eq!(tl.users(), vec![UserId(1)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests: forwarding-protocol dominance laws must hold
+//! on arbitrary contact timelines, not just hand-picked ones.
+
+use proptest::prelude::*;
+use sl_dtn::sim::uniform_workload;
+use sl_dtn::timeline::PairSet;
+use sl_dtn::{simulate, ContactTimeline, DtnConfig, Protocol};
+use sl_stats::rng::Rng;
+use sl_trace::UserId;
+
+/// Arbitrary timeline: N users, per-step random pair sets.
+fn arb_timeline() -> impl Strategy<Value = ContactTimeline> {
+    (3u32..12, 2usize..40).prop_flat_map(|(n_users, n_steps)| {
+        let step = prop::collection::vec((0..n_users, 0..n_users), 0..8);
+        prop::collection::vec(step, n_steps).prop_map(move |raw_steps| {
+            let present: Vec<UserId> = (0..n_users).map(UserId).collect();
+            let steps = raw_steps
+                .into_iter()
+                .enumerate()
+                .map(|(k, raw)| {
+                    let mut pairs: Vec<(UserId, UserId)> = raw
+                        .into_iter()
+                        .filter(|(a, b)| a != b)
+                        .map(|(a, b)| {
+                            let (a, b) = (UserId(a), UserId(b));
+                            if a < b {
+                                (a, b)
+                            } else {
+                                (b, a)
+                            }
+                        })
+                        .collect();
+                    pairs.sort_unstable();
+                    pairs.dedup();
+                    PairSet {
+                        t: (k as f64 + 1.0) * 10.0,
+                        pairs,
+                        present: present.clone(),
+                    }
+                })
+                .collect();
+            ContactTimeline { range: 10.0, steps }
+        })
+    })
+}
+
+fn run(tl: &ContactTimeline, msgs: &[sl_dtn::MessageSpec], p: Protocol, ttl: f64) -> sl_dtn::DtnReport {
+    simulate(tl, msgs, DtnConfig { protocol: p, ttl })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn epidemic_dominates_everything(tl in arb_timeline(), seed: u64) {
+        let mut rng = Rng::new(seed);
+        let msgs = uniform_workload(&tl, 20, &mut rng);
+        let epidemic = run(&tl, &msgs, Protocol::Epidemic, 1e6);
+        for p in [Protocol::DirectDelivery, Protocol::TwoHopRelay, Protocol::SprayAndWait { copies: 4 }] {
+            let other = run(&tl, &msgs, p, 1e6);
+            prop_assert!(
+                epidemic.delivered >= other.delivered,
+                "epidemic {} < {} {}",
+                epidemic.delivered, other.protocol, other.delivered
+            );
+        }
+    }
+
+    #[test]
+    fn direct_is_the_floor(tl in arb_timeline(), seed: u64) {
+        let mut rng = Rng::new(seed);
+        let msgs = uniform_workload(&tl, 20, &mut rng);
+        let direct = run(&tl, &msgs, Protocol::DirectDelivery, 1e6);
+        for p in [Protocol::Epidemic, Protocol::TwoHopRelay, Protocol::SprayAndWait { copies: 4 }] {
+            let other = run(&tl, &msgs, p, 1e6);
+            prop_assert!(other.delivered >= direct.delivered);
+        }
+    }
+
+    #[test]
+    fn epidemic_per_message_delay_is_minimal(tl in arb_timeline(), seed: u64) {
+        let mut rng = Rng::new(seed);
+        let msgs = uniform_workload(&tl, 15, &mut rng);
+        let epidemic = run(&tl, &msgs, Protocol::Epidemic, 1e6);
+        for p in [Protocol::DirectDelivery, Protocol::TwoHopRelay] {
+            let other = run(&tl, &msgs, p, 1e6);
+            for (e, o) in epidemic.outcomes.iter().zip(&other.outcomes) {
+                if let (Some(te), Some(to)) = (e.delivered_at, o.delivered_at) {
+                    prop_assert!(
+                        te <= to + 1e-9,
+                        "epidemic delivered later ({te}) than {} ({to})",
+                        other.protocol
+                    );
+                }
+                // Anything another protocol delivers, epidemic delivers.
+                if o.delivered_at.is_some() {
+                    prop_assert!(e.delivered_at.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn longer_ttl_never_hurts(tl in arb_timeline(), seed: u64) {
+        let mut rng = Rng::new(seed);
+        let msgs = uniform_workload(&tl, 20, &mut rng);
+        for p in Protocol::standard_suite() {
+            let short = run(&tl, &msgs, p, 50.0);
+            let long = run(&tl, &msgs, p, 1e6);
+            prop_assert!(
+                long.delivered >= short.delivered,
+                "{}: ttl extension lost deliveries",
+                long.protocol
+            );
+        }
+    }
+
+    #[test]
+    fn spray_respects_its_budget(tl in arb_timeline(), seed: u64, copies in 1u32..6) {
+        let mut rng = Rng::new(seed);
+        let msgs = uniform_workload(&tl, 15, &mut rng);
+        let report = run(&tl, &msgs, Protocol::SprayAndWait { copies }, 1e6);
+        for o in &report.outcomes {
+            // Binary spray makes at most `copies - 1` relay handoffs
+            // plus one delivery transmission.
+            prop_assert!(
+                o.transmissions <= copies as u64,
+                "message used {} transmissions with budget {copies}",
+                o.transmissions
+            );
+        }
+    }
+
+    #[test]
+    fn delivery_never_precedes_creation(tl in arb_timeline(), seed: u64) {
+        let mut rng = Rng::new(seed);
+        let msgs = uniform_workload(&tl, 20, &mut rng);
+        for p in Protocol::standard_suite() {
+            let report = run(&tl, &msgs, p, 1e6);
+            for o in &report.outcomes {
+                if let Some(t) = o.delivered_at {
+                    prop_assert!(t >= o.spec.created);
+                }
+            }
+        }
+    }
+}

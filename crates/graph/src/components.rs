@@ -1,0 +1,74 @@
+//! Connected components.
+
+use crate::dsu::Dsu;
+use crate::graph::Graph;
+
+/// Connected components of a graph, each a sorted vertex list; the
+/// result is sorted by descending size, so index 0 is the largest
+/// component (the one the paper computes its diameter on).
+pub fn connected_components(g: &Graph) -> Vec<Vec<u32>> {
+    let n = g.len();
+    let mut dsu = Dsu::new(n);
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            if u < v {
+                dsu.union(u, v);
+            }
+        }
+    }
+    let mut buckets: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for u in 0..n as u32 {
+        buckets.entry(dsu.find(u)).or_default().push(u);
+    }
+    let mut comps: Vec<Vec<u32>> = buckets.into_values().collect();
+    for c in &mut comps {
+        c.sort_unstable();
+    }
+    // Descending size; ties broken by smallest vertex id for determinism.
+    comps.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_into_components() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (3, 4)]);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 4);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        // Two singletons, ordered by vertex id.
+        assert_eq!(comps[2], vec![5]);
+        assert_eq!(comps[3], vec![6]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(connected_components(&g).is_empty());
+    }
+
+    #[test]
+    fn fully_connected() {
+        let mut g = Graph::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                g.add_edge(u, v);
+            }
+        }
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn all_isolated() {
+        let g = Graph::new(3);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+}

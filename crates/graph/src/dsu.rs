@@ -1,0 +1,95 @@
+//! Union–find (disjoint-set union) with path halving and union by size.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns true when they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// Current number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.component_count(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(!d.union(1, 0), "repeat union is a no-op");
+        assert_eq!(d.component_count(), 3);
+        assert!(d.same(0, 1));
+        assert!(!d.same(0, 2));
+        d.union(1, 3);
+        assert!(d.same(0, 2));
+        assert_eq!(d.set_size(3), 4);
+        assert_eq!(d.set_size(4), 1);
+        assert_eq!(d.component_count(), 2);
+    }
+
+    #[test]
+    fn transitive_chain() {
+        let mut d = Dsu::new(100);
+        for i in 0..99 {
+            d.union(i, i + 1);
+        }
+        assert_eq!(d.component_count(), 1);
+        assert!(d.same(0, 99));
+        assert_eq!(d.set_size(50), 100);
+    }
+}

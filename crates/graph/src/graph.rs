@@ -1,0 +1,186 @@
+//! Compact undirected graph.
+
+/// An undirected graph over vertices `0..n` with adjacency lists.
+///
+/// Line-of-sight snapshots have at most a few hundred vertices (the SL
+/// architecture caps concurrent users per land around 100), so adjacency
+/// lists of `u32` are both compact and cache-friendly.
+///
+/// ```
+/// use sl_graph::Graph;
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.bfs_distances(0), vec![0, 1, 2, u32::MAX]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Create an edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Build from an edge list. Self-loops are rejected; duplicate edges
+    /// are deduplicated.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Add an undirected edge; ignores duplicates, panics on self-loops
+    /// or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert_ne!(u, v, "self-loops are not meaningful in contact graphs");
+        let n = self.adj.len() as u32;
+        assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+        if self.adj[u as usize].contains(&v) {
+            return;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.edges += 1;
+    }
+
+    /// True when `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj
+            .get(u as usize)
+            .map(|ns| ns.contains(&v))
+            .unwrap_or(false)
+    }
+
+    /// Neighbors of `u`.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Degrees of all vertices.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adj.iter().map(|ns| ns.len()).collect()
+    }
+
+    /// BFS distances from `src`; `u32::MAX` marks unreachable vertices.
+    pub fn bfs_distances(&self, src: u32) -> Vec<u32> {
+        let n = self.adj.len();
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &v in &self.adj[u as usize] {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Eccentricity of `src` within its connected component (the longest
+    /// shortest path from `src` to any reachable vertex).
+    pub fn eccentricity(&self, src: u32) -> u32 {
+        self.bfs_distances(src)
+            .into_iter()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 1)]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 2, "duplicate edge must be ignored");
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn degrees_vector() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.degrees(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.bfs_distances(2), vec![2, 1, 0, 1, 2]);
+        assert_eq!(g.eccentricity(0), 4);
+        assert_eq!(g.eccentricity(2), 2);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let d = g.bfs_distances(0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+        assert_eq!(d[3], u32::MAX);
+        assert_eq!(g.eccentricity(0), 1);
+    }
+
+    #[test]
+    fn isolated_vertex_eccentricity_zero() {
+        let g = Graph::new(3);
+        assert_eq!(g.eccentricity(1), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_self_loop() {
+        Graph::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range() {
+        Graph::new(2).add_edge(0, 5);
+    }
+}

@@ -1,0 +1,27 @@
+//! # sl-graph
+//!
+//! Graph substrate for line-of-sight network analysis (paper §3.2,
+//! Fig. 2). Provides:
+//!
+//! * [`graph`] — a compact undirected graph with adjacency lists;
+//! * [`spatial`] — a uniform-grid spatial index turning avatar position
+//!   snapshots into proximity ("line of sight") graphs in O(n) expected
+//!   time for bounded densities;
+//! * [`dsu`] — union–find used by component extraction;
+//! * [`components`] — connected components;
+//! * [`metrics`] — degree distributions, the diameter of the largest
+//!   connected component (the paper's diameter metric), and
+//!   Watts–Strogatz local clustering coefficients.
+
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod dsu;
+pub mod graph;
+pub mod metrics;
+pub mod spatial;
+
+pub use components::connected_components;
+pub use graph::Graph;
+pub use metrics::{clustering_coefficients, diameter_largest_component, mean_clustering};
+pub use spatial::{proximity_edges, proximity_graph, GridIndex};

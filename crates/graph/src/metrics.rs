@@ -1,0 +1,160 @@
+//! Graph metrics used by the paper's Fig. 2: node degree, network
+//! diameter (longest shortest path of the largest connected component),
+//! and the Watts–Strogatz clustering coefficient.
+
+use crate::components::connected_components;
+use crate::graph::Graph;
+
+/// Diameter of the largest connected component.
+///
+/// The paper: "computed as the longest shortest path of the largest
+/// connected component of the communication network formed by the
+/// users", because for a given `r` the network may be disconnected.
+/// Returns 0 for an empty graph or when the largest component is a
+/// single vertex.
+pub fn diameter_largest_component(g: &Graph) -> u32 {
+    let comps = connected_components(g);
+    let Some(largest) = comps.first() else {
+        return 0;
+    };
+    // Exact diameter by BFS from every vertex of the component; SL land
+    // components are at most ~100 vertices, so this is cheap and exact.
+    let mut diameter = 0;
+    for &u in largest {
+        let dist = g.bfs_distances(u);
+        for &v in largest {
+            let d = dist[v as usize];
+            if d != u32::MAX {
+                diameter = diameter.max(d);
+            }
+        }
+    }
+    diameter
+}
+
+/// Watts–Strogatz local clustering coefficient for every vertex:
+/// `C_i = 2 e_i / (k_i (k_i - 1))` where `e_i` counts edges among the
+/// neighbors of `i`. Vertices with degree < 2 get `C_i = 0`, following
+/// the convention of the paper's reference \[10\].
+pub fn clustering_coefficients(g: &Graph) -> Vec<f64> {
+    let n = g.len();
+    let mut out = vec![0.0; n];
+    for u in 0..n as u32 {
+        let ns = g.neighbors(u);
+        let k = ns.len();
+        if k < 2 {
+            continue;
+        }
+        let mut links = 0usize;
+        for (a, &x) in ns.iter().enumerate() {
+            for &y in &ns[a + 1..] {
+                if g.has_edge(x, y) {
+                    links += 1;
+                }
+            }
+        }
+        out[u as usize] = 2.0 * links as f64 / (k * (k - 1)) as f64;
+    }
+    out
+}
+
+/// Mean local clustering coefficient over all vertices — the paper
+/// computes the per-user coefficient "and take\[s\] the mean value to be
+/// representative of the whole communication network". Returns `None`
+/// for an empty graph.
+pub fn mean_clustering(g: &Graph) -> Option<f64> {
+    if g.is_empty() {
+        return None;
+    }
+    let cs = clustering_coefficients(g);
+    Some(cs.iter().sum::<f64>() / cs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_clustering_is_one() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(clustering_coefficients(&g), vec![1.0, 1.0, 1.0]);
+        assert_eq!(mean_clustering(&g), Some(1.0));
+        assert_eq!(diameter_largest_component(&g), 1);
+    }
+
+    #[test]
+    fn path_clustering_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(clustering_coefficients(&g).iter().all(|&c| c == 0.0));
+        assert_eq!(diameter_largest_component(&g), 3);
+    }
+
+    #[test]
+    fn star_center_zero_leaves_zero() {
+        // Star K1,4: center has degree 4 but no neighbor links.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(mean_clustering(&g), Some(0.0));
+        assert_eq!(diameter_largest_component(&g), 2);
+    }
+
+    #[test]
+    fn paper_diameter_convention_largest_component_only() {
+        // A long path (6 vertices, diameter 5) plus a larger dense blob
+        // (7 vertices, diameter 2): the metric must follow the blob.
+        let mut edges = vec![(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5)];
+        // Blob on 6..13: wheel around 6.
+        for v in 7..13u32 {
+            edges.push((6, v));
+        }
+        edges.push((7, 8));
+        let g = Graph::from_edges(13, &edges);
+        assert_eq!(diameter_largest_component(&g), 2);
+    }
+
+    #[test]
+    fn apfel_land_artifact_small_components_small_diameter() {
+        // The paper's Apfel Land anomaly: at small r, many small
+        // components -> small diameter; at large r one big component ->
+        // larger diameter. Model with two cliques vs one path.
+        let small_r = Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        assert_eq!(diameter_largest_component(&small_r), 1);
+        let large_r = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert_eq!(diameter_largest_component(&large_r), 5);
+    }
+
+    #[test]
+    fn barbell_partial_clustering() {
+        // Vertex 2 in a triangle with a pendant: k=3, links among
+        // neighbors = 1 -> C = 1/3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let cs = clustering_coefficients(&g);
+        assert!((cs[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cs[3], 0.0);
+    }
+
+    #[test]
+    fn empty_graph_conventions() {
+        let g = Graph::new(0);
+        assert_eq!(diameter_largest_component(&g), 0);
+        assert_eq!(mean_clustering(&g), None);
+    }
+
+    #[test]
+    fn isolated_vertices_only() {
+        let g = Graph::new(4);
+        assert_eq!(diameter_largest_component(&g), 0);
+        assert_eq!(mean_clustering(&g), Some(0.0));
+    }
+
+    #[test]
+    fn complete_graph_diameter_one_clustering_one() {
+        let mut g = Graph::new(6);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                g.add_edge(u, v);
+            }
+        }
+        assert_eq!(diameter_largest_component(&g), 1);
+        assert_eq!(mean_clustering(&g), Some(1.0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Uniform-grid spatial index and proximity-graph construction.
+//!
+//! The paper defines a line-of-sight link between users `vi`, `vj`
+//! whenever their distance is below the communication range `r`
+//! (rb = 10 m for Bluetooth, rw = 80 m for 802.11a), assuming an ideal
+//! channel with no obstacles. A snapshot of ~100 avatars is tiny, but a
+//! 24 h trace holds 8 640 snapshots per land and the contact extractor
+//! touches every one at two ranges — the grid keeps the whole analysis
+//! linear instead of quadratic.
+
+use crate::graph::Graph;
+
+/// Uniform-grid spatial index over 2-D points.
+///
+/// Cell side equals the query radius, so a radius query only visits the
+/// 3×3 neighborhood of the query point's cell.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    /// Per-cell point indices.
+    cells: Vec<Vec<u32>>,
+    points: Vec<(f64, f64)>,
+}
+
+impl GridIndex {
+    /// Build an index for `points` with the given query radius. Points
+    /// may lie anywhere; coordinates are clamped into the bounding box
+    /// of the data for cell assignment.
+    pub fn new(points: &[(f64, f64)], radius: f64) -> Self {
+        assert!(radius > 0.0 && radius.is_finite(), "radius must be > 0");
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in points {
+            assert!(x.is_finite() && y.is_finite(), "points must be finite");
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+        if points.is_empty() {
+            return GridIndex {
+                cell: radius,
+                nx: 1,
+                ny: 1,
+                cells: vec![Vec::new()],
+                points: Vec::new(),
+            };
+        }
+        let w = (max_x - min_x).max(radius);
+        let h = (max_y - min_y).max(radius);
+        let nx = ((w / radius).ceil() as usize).max(1);
+        let ny = ((h / radius).ceil() as usize).max(1);
+        let mut idx = GridIndex {
+            cell: radius,
+            nx,
+            ny,
+            cells: vec![Vec::new(); nx * ny],
+            points: points.to_vec(),
+        };
+        // Shift into the bounding box origin for stable cell math.
+        for (i, &(x, y)) in points.iter().enumerate() {
+            let c = idx.cell_of(x - min_x, y - min_y);
+            idx.cells[c].push(i as u32);
+        }
+        // Keep the origin by storing shifted coordinates alongside.
+        idx.points = points.iter().map(|&(x, y)| (x - min_x, y - min_y)).collect();
+        idx
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> usize {
+        let cx = ((x / self.cell) as usize).min(self.nx - 1);
+        let cy = ((y / self.cell) as usize).min(self.ny - 1);
+        cy * self.nx + cx
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All unordered pairs `(i, j)` with `i < j` whose distance is at
+    /// most `radius` (the radius the index was built with).
+    pub fn pairs_within(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let r2 = self.cell * self.cell;
+        for cy in 0..self.ny {
+            for cx in 0..self.nx {
+                let here = &self.cells[cy * self.nx + cx];
+                // Pairs within this cell.
+                for (a, &i) in here.iter().enumerate() {
+                    for &j in &here[a + 1..] {
+                        if self.dist2(i, j) <= r2 {
+                            out.push((i.min(j), i.max(j)));
+                        }
+                    }
+                }
+                // Pairs against forward neighbor cells only (E, SW, S, SE)
+                // so each cell pair is visited once.
+                for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
+                    let (ncx, ncy) = (cx as isize + dx, cy as isize + dy);
+                    if ncx < 0 || ncy < 0 || ncx >= self.nx as isize || ncy >= self.ny as isize {
+                        continue;
+                    }
+                    let there = &self.cells[ncy as usize * self.nx + ncx as usize];
+                    for &i in here {
+                        for &j in there {
+                            if self.dist2(i, j) <= r2 {
+                                out.push((i.min(j), i.max(j)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn dist2(&self, i: u32, j: u32) -> f64 {
+        let (xi, yi) = self.points[i as usize];
+        let (xj, yj) = self.points[j as usize];
+        let (dx, dy) = (xi - xj, yi - yj);
+        dx * dx + dy * dy
+    }
+}
+
+/// All unordered index pairs within `radius` of each other.
+pub fn proximity_edges(points: &[(f64, f64)], radius: f64) -> Vec<(u32, u32)> {
+    GridIndex::new(points, radius).pairs_within()
+}
+
+/// Build the line-of-sight graph of a position snapshot: vertex `i` is
+/// `points[i]`, edges connect pairs within `radius`.
+pub fn proximity_graph(points: &[(f64, f64)], radius: f64) -> Graph {
+    Graph::from_edges(points.len(), &proximity_edges(points, radius))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n^2) reference for cross-checking the grid.
+    fn brute_force(points: &[(f64, f64)], r: f64) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                let (dx, dy) = (points[i].0 - points[j].0, points[i].1 - points[j].1);
+                if dx * dx + dy * dy <= r * r {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let mut rng = sl_stats::rng::Rng::new(42);
+        for trial in 0..20 {
+            let n = 50 + trial * 10;
+            let points: Vec<(f64, f64)> = (0..n)
+                .map(|_| (rng.range_f64(0.0, 256.0), rng.range_f64(0.0, 256.0)))
+                .collect();
+            for r in [10.0, 80.0, 300.0] {
+                let got = sorted(proximity_edges(&points, r));
+                let want = sorted(brute_force(&points, r));
+                assert_eq!(got, want, "n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_boundary_inclusive() {
+        let points = [(0.0, 0.0), (10.0, 0.0), (10.0 + 1e-9, 0.0)];
+        let edges = sorted(proximity_edges(&points, 10.0));
+        // (0,1) at exactly r is included; (0,2) just beyond is not.
+        assert!(edges.contains(&(0, 1)));
+        assert!(!edges.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(proximity_edges(&[], 10.0).is_empty());
+        assert!(proximity_edges(&[(5.0, 5.0)], 10.0).is_empty());
+    }
+
+    #[test]
+    fn clustered_points_fully_connected() {
+        // All points inside one meter: every pair connected at r=10.
+        let points: Vec<(f64, f64)> = (0..10)
+            .map(|i| (100.0 + i as f64 * 0.05, 100.0))
+            .collect();
+        let g = proximity_graph(&points, 10.0);
+        assert_eq!(g.edge_count(), 10 * 9 / 2);
+    }
+
+    #[test]
+    fn graph_vertex_count_matches_points() {
+        let points = [(0.0, 0.0), (50.0, 50.0), (200.0, 200.0)];
+        let g = proximity_graph(&points, 10.0);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn negative_coordinates_supported() {
+        let points = [(-100.0, -100.0), (-95.0, -100.0), (100.0, 100.0)];
+        let edges = sorted(proximity_edges(&points, 10.0));
+        assert_eq!(edges, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the graph substrate: the grid index must
+//! agree with brute force, and the metrics must respect their
+//! mathematical invariants on arbitrary graphs.
+
+use proptest::prelude::*;
+use sl_graph::{
+    clustering_coefficients, connected_components, diameter_largest_component, proximity_edges,
+    proximity_graph, Graph,
+};
+
+fn brute_force(points: &[(f64, f64)], r: f64) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let (dx, dy) = (points[i].0 - points[j].0, points[i].1 - points[j].1);
+            if dx * dx + dy * dy <= r * r {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..256.0, 0.0f64..256.0), 0..max)
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..n * 2)
+            .prop_map(move |edges| {
+                let filtered: Vec<(u32, u32)> =
+                    edges.into_iter().filter(|(a, b)| a != b).collect();
+                Graph::from_edges(n, &filtered)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn grid_index_matches_brute_force(points in arb_points(80), r in 1.0f64..120.0) {
+        let mut got = proximity_edges(&points, r);
+        let mut want = brute_force(&points, r);
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn components_partition_vertices(g in arb_graph()) {
+        let comps = connected_components(&g);
+        let mut all: Vec<u32> = comps.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..g.len() as u32).collect();
+        prop_assert_eq!(all, expect, "components must partition the vertex set");
+        // Sizes descend.
+        for w in comps.windows(2) {
+            prop_assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    #[test]
+    fn edges_stay_within_components(g in arb_graph()) {
+        let comps = connected_components(&g);
+        let mut comp_of = vec![usize::MAX; g.len()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &v in comp {
+                comp_of[v as usize] = ci;
+            }
+        }
+        for u in 0..g.len() as u32 {
+            for &v in g.neighbors(u) {
+                prop_assert_eq!(comp_of[u as usize], comp_of[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_in_unit_interval(g in arb_graph()) {
+        for (i, c) in clustering_coefficients(&g).into_iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(&c), "vertex {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn diameter_bounded_by_component_size(g in arb_graph()) {
+        let comps = connected_components(&g);
+        let d = diameter_largest_component(&g);
+        let largest = comps.first().map(|c| c.len()).unwrap_or(0);
+        prop_assert!((d as usize) < largest.max(1),
+            "diameter {d} must be < component size {largest}");
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_steps(g in arb_graph(), src_raw: u32) {
+        prop_assume!(!g.is_empty());
+        let src = src_raw % g.len() as u32;
+        let dist = g.bfs_distances(src);
+        prop_assert_eq!(dist[src as usize], 0);
+        // Adjacent vertices differ by at most one level.
+        for u in 0..g.len() as u32 {
+            for &v in g.neighbors(u) {
+                let (du, dv) = (dist[u as usize], dist[v as usize]);
+                if du != u32::MAX && dv != u32::MAX {
+                    prop_assert!(du.abs_diff(dv) <= 1);
+                } else {
+                    // Either both reachable or both not: neighbors share
+                    // reachability.
+                    prop_assert_eq!(du == u32::MAX, dv == u32::MAX);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proximity_graph_degrees_monotone_in_range(
+        points in arb_points(50),
+        r1 in 1.0f64..60.0,
+        extra in 0.0f64..60.0
+    ) {
+        let r2 = r1 + extra;
+        let g1 = proximity_graph(&points, r1);
+        let g2 = proximity_graph(&points, r2);
+        for u in 0..points.len() as u32 {
+            prop_assert!(g1.degree(u) <= g2.degree(u),
+                "degree must grow with range");
+        }
+        prop_assert!(g1.edge_count() <= g2.edge_count());
+    }
+}

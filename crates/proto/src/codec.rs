@@ -1,0 +1,197 @@
+//! Sans-io frame codec: `u32` length (tag + payload) + `u8` tag +
+//! payload. No sockets here — [`encode_frame`] appends to a `BytesMut`,
+//! [`decode_frame`] consumes from one, and both are driven by the
+//! framed IO adapters (or by tests, byte by byte).
+
+use crate::message::Message;
+use crate::wire::WireError;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Maximum frame length (tag + payload). A `MapReply` with 400 items is
+/// ~6.4 KiB; 64 KiB leaves ample headroom while bounding memory per
+/// connection against hostile length fields.
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Codec failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// Frame length field exceeded [`MAX_FRAME_LEN`].
+    FrameTooLong {
+        /// Claimed length.
+        len: usize,
+    },
+    /// A declared frame had zero length (no room for the tag).
+    EmptyFrame,
+    /// The payload failed to parse.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::FrameTooLong { len } => {
+                write!(f, "frame of {len} bytes exceeds limit {MAX_FRAME_LEN}")
+            }
+            CodecError::EmptyFrame => write!(f, "zero-length frame"),
+            CodecError::Wire(e) => write!(f, "malformed payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for CodecError {
+    fn from(e: WireError) -> Self {
+        CodecError::Wire(e)
+    }
+}
+
+/// Append one message as a frame to `out`.
+///
+/// ```
+/// use bytes::BytesMut;
+/// use sl_proto::codec::{decode_frame, encode_frame};
+/// use sl_proto::message::Message;
+///
+/// let mut buf = BytesMut::new();
+/// encode_frame(&Message::Ping { nonce: 7 }, &mut buf);
+/// assert_eq!(
+///     decode_frame(&mut buf).unwrap(),
+///     Some(Message::Ping { nonce: 7 })
+/// );
+/// ```
+pub fn encode_frame(msg: &Message, out: &mut BytesMut) {
+    let payload = msg.encode_payload();
+    let len = 1 + payload.len();
+    assert!(len <= MAX_FRAME_LEN, "outgoing frame exceeds MAX_FRAME_LEN");
+    out.put_u32(len as u32);
+    out.put_u8(msg.tag());
+    out.put_slice(&payload);
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed (the caller should
+/// read more from the socket), `Ok(Some(msg))` after consuming exactly
+/// one frame, or an error for malformed input (the connection should be
+/// dropped — there is no way to resynchronize a corrupt length-prefixed
+/// stream).
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, CodecError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len == 0 {
+        return Err(CodecError::EmptyFrame);
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(CodecError::FrameTooLong { len });
+    }
+    if buf.len() < 4 + len {
+        // Reserve so the caller's next read can complete the frame
+        // without reallocation churn.
+        buf.reserve(4 + len - buf.len());
+        return Ok(None);
+    }
+    buf.advance(4);
+    let tag = buf[0];
+    buf.advance(1);
+    let payload = buf.split_to(len - 1).freeze();
+    Ok(Some(Message::decode_payload(tag, payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_single() {
+        let msg = Message::Ping { nonce: 77 };
+        let mut buf = BytesMut::new();
+        encode_frame(&msg, &mut buf);
+        let got = decode_frame(&mut buf).unwrap().unwrap();
+        assert_eq!(got, msg);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let msgs = vec![
+            Message::MapRequest,
+            Message::Ping { nonce: 1 },
+            Message::ChatFromViewer {
+                text: "hey".into(),
+            },
+        ];
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            encode_frame(m, &mut buf);
+        }
+        for want in &msgs {
+            let got = decode_frame(&mut buf).unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn partial_frame_needs_more() {
+        let msg = Message::ChatFromViewer {
+            text: "partial".into(),
+        };
+        let mut whole = BytesMut::new();
+        encode_frame(&msg, &mut whole);
+        // Feed the bytes one at a time; only the last byte completes it.
+        let mut buf = BytesMut::new();
+        let total = whole.len();
+        for (i, b) in whole.iter().enumerate() {
+            buf.put_u8(*b);
+            let res = decode_frame(&mut buf).unwrap();
+            if i + 1 < total {
+                assert!(res.is_none(), "byte {i} must not complete the frame");
+            } else {
+                assert_eq!(res, Some(msg.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_buffering() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(10_000_000);
+        let err = decode_frame(&mut buf).unwrap_err();
+        assert_eq!(err, CodecError::FrameTooLong { len: 10_000_000 });
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(0);
+        assert_eq!(decode_frame(&mut buf).unwrap_err(), CodecError::EmptyFrame);
+    }
+
+    #[test]
+    fn corrupt_payload_reported() {
+        let mut buf = BytesMut::new();
+        // A LoginRequest frame with a truncated body.
+        buf.put_u32(2);
+        buf.put_u8(1); // LoginRequest tag
+        buf.put_u8(0); // half of the version field
+        let err = decode_frame(&mut buf).unwrap_err();
+        assert!(matches!(err, CodecError::Wire(_)));
+    }
+
+    #[test]
+    fn error_display_chains() {
+        let e = CodecError::Wire(crate::wire::WireError::BadUtf8 { field: "x" });
+        assert!(e.to_string().contains("malformed payload"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,211 @@
+//! Tokio adapters over the sans-io codec: a [`FramedReader`] that turns
+//! an `AsyncRead` into a stream of [`Message`]s and a [`FramedWriter`]
+//! that writes messages to an `AsyncWrite`. Manual framing (no
+//! tokio-util dependency), following the Tokio tutorial's framing
+//! chapter.
+
+use crate::codec::{decode_frame, encode_frame, CodecError};
+use crate::message::Message;
+use bytes::BytesMut;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Errors from framed IO.
+#[derive(Debug)]
+pub enum FramedError {
+    /// Socket error.
+    Io(std::io::Error),
+    /// Protocol error (malformed frame); the connection is unusable.
+    Codec(CodecError),
+    /// The peer closed the connection mid-frame.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for FramedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FramedError::Io(e) => write!(f, "io: {e}"),
+            FramedError::Codec(e) => write!(f, "codec: {e}"),
+            FramedError::UnexpectedEof => write!(f, "connection closed mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FramedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FramedError::Io(e) => Some(e),
+            FramedError::Codec(e) => Some(e),
+            FramedError::UnexpectedEof => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FramedError {
+    fn from(e: std::io::Error) -> Self {
+        FramedError::Io(e)
+    }
+}
+
+impl From<CodecError> for FramedError {
+    fn from(e: CodecError) -> Self {
+        FramedError::Codec(e)
+    }
+}
+
+/// Reads length-prefixed frames from an async source.
+#[derive(Debug)]
+pub struct FramedReader<R> {
+    inner: R,
+    buf: BytesMut,
+}
+
+impl<R: AsyncRead + Unpin> FramedReader<R> {
+    /// Wrap a reader.
+    pub fn new(inner: R) -> Self {
+        FramedReader {
+            inner,
+            buf: BytesMut::with_capacity(8 * 1024),
+        }
+    }
+
+    /// Read the next message. Returns `Ok(None)` on a clean EOF at a
+    /// frame boundary; mid-frame EOF is an error.
+    pub async fn next(&mut self) -> Result<Option<Message>, FramedError> {
+        loop {
+            if let Some(msg) = decode_frame(&mut self.buf)? {
+                return Ok(Some(msg));
+            }
+            let n = self.inner.read_buf(&mut self.buf).await?;
+            if n == 0 {
+                return if self.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(FramedError::UnexpectedEof)
+                };
+            }
+        }
+    }
+}
+
+/// Writes length-prefixed frames to an async sink.
+#[derive(Debug)]
+pub struct FramedWriter<W> {
+    inner: W,
+    buf: BytesMut,
+}
+
+impl<W: AsyncWrite + Unpin> FramedWriter<W> {
+    /// Wrap a writer.
+    pub fn new(inner: W) -> Self {
+        FramedWriter {
+            inner,
+            buf: BytesMut::with_capacity(8 * 1024),
+        }
+    }
+
+    /// Encode and send one message, flushing the socket.
+    pub async fn send(&mut self, msg: &Message) -> Result<(), FramedError> {
+        self.buf.clear();
+        encode_frame(msg, &mut self.buf);
+        self.inner.write_all(&self.buf).await?;
+        self.inner.flush().await?;
+        Ok(())
+    }
+
+    /// Flush without sending (for shutdown paths).
+    pub async fn flush(&mut self) -> Result<(), FramedError> {
+        self.inner.flush().await?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokio::io::duplex;
+
+    #[tokio::test]
+    async fn round_trip_over_duplex() {
+        let (a, b) = duplex(1024);
+        let mut writer = FramedWriter::new(a);
+        let mut reader = FramedReader::new(b);
+        let msgs = vec![
+            Message::LoginRequest {
+                version: 1,
+                username: "u".into(),
+                password: "p".into(),
+            },
+            Message::MapRequest,
+            Message::Ping { nonce: 3 },
+        ];
+        for m in &msgs {
+            writer.send(m).await.unwrap();
+        }
+        for want in &msgs {
+            let got = reader.next().await.unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+    }
+
+    #[tokio::test]
+    async fn clean_eof_returns_none() {
+        let (a, b) = duplex(64);
+        let mut writer = FramedWriter::new(a);
+        writer.send(&Message::Logout).await.unwrap();
+        drop(writer);
+        let mut reader = FramedReader::new(b);
+        assert_eq!(reader.next().await.unwrap(), Some(Message::Logout));
+        assert!(reader.next().await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn mid_frame_eof_is_error() {
+        let (mut a, b) = duplex(64);
+        // Write a length header promising 100 bytes, then close.
+        use tokio::io::AsyncWriteExt;
+        a.write_all(&100u32.to_be_bytes()).await.unwrap();
+        a.write_all(&[1, 2, 3]).await.unwrap();
+        drop(a);
+        let mut reader = FramedReader::new(b);
+        match reader.next().await {
+            Err(FramedError::UnexpectedEof) => {}
+            other => panic!("expected UnexpectedEof, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn corrupt_stream_is_codec_error() {
+        let (mut a, b) = duplex(64);
+        use tokio::io::AsyncWriteExt;
+        a.write_all(&0u32.to_be_bytes()).await.unwrap();
+        drop(a);
+        let mut reader = FramedReader::new(b);
+        assert!(matches!(reader.next().await, Err(FramedError::Codec(_))));
+    }
+
+    #[tokio::test]
+    async fn large_map_reply_crosses_buffer_boundaries() {
+        let (a, b) = duplex(97); // deliberately odd buffer size
+        let items: Vec<crate::message::MapItem> = (0..100)
+            .map(|i| crate::message::MapItem {
+                agent: i,
+                x: i as f32,
+                y: 256.0 - i as f32,
+                z: 22.0,
+            })
+            .collect();
+        let msg = Message::MapReply {
+            time: 1234.5,
+            items,
+        };
+        let msg2 = msg.clone();
+        let send = tokio::spawn(async move {
+            let mut w = FramedWriter::new(a);
+            w.send(&msg2).await.unwrap();
+        });
+        let mut reader = FramedReader::new(b);
+        let got = reader.next().await.unwrap().unwrap();
+        send.await.unwrap();
+        assert_eq!(got, msg);
+    }
+}

@@ -1,0 +1,29 @@
+//! # sl-proto
+//!
+//! The wire protocol spoken between the land server (`sl-server`) and
+//! clients (`sl-crawler`) — the stand-in for the libsecondlife protocol
+//! the paper's crawler used. Design follows the sans-io idiom: the
+//! codec in [`codec`] encodes/decodes frames against byte buffers with
+//! no sockets attached, so it is unit- and property-testable in
+//! isolation; [`framed`] wraps it over any tokio `AsyncRead`/`AsyncWrite`.
+//!
+//! Protocol summary (version 1):
+//!
+//! * Frames are `u32` big-endian length + `u8` message tag + payload.
+//! * A session starts with `LoginRequest` → `LoginReply`.
+//! * The crawler polls `MapRequest` → `MapReply` (every avatar's
+//!   position on the land — the libsecondlife "map" feature).
+//! * `AgentUpdate` moves the client's avatar; `ChatFromViewer`
+//!   broadcasts chat (both are the crawler's user-mimicry tools).
+//! * `Ping`/`Pong` measure liveness; `Error` and `Kick` end sessions.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod framed;
+pub mod message;
+pub mod wire;
+
+pub use codec::{decode_frame, encode_frame, CodecError, MAX_FRAME_LEN};
+pub use framed::{FramedReader, FramedWriter};
+pub use message::{MapItem, Message, PROTOCOL_VERSION};

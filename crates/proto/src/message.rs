@@ -1,0 +1,409 @@
+//! Protocol messages.
+
+use crate::wire::{Reader, WireError, Writer};
+use bytes::Bytes;
+
+/// Protocol version carried in `LoginRequest` and checked by the server.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on avatars in one `MapReply` (the SL architecture caps
+/// concurrent users per land around 100; 4× headroom).
+pub const MAX_MAP_ITEMS: usize = 400;
+/// Upper bound on string fields.
+pub const MAX_STRING: usize = 512;
+
+/// One avatar on the land map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapItem {
+    /// Avatar identity (server-assigned user id).
+    pub agent: u32,
+    /// East–west position, meters.
+    pub x: f32,
+    /// North–south position, meters.
+    pub y: f32,
+    /// Altitude, meters ({0,0,0} for seated avatars, as in SL).
+    pub z: f32,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: open a session.
+    LoginRequest {
+        /// Protocol version of the client.
+        version: u16,
+        /// Account name (free-form; the simulated grid accepts any).
+        username: String,
+        /// Password (unchecked by the simulated grid, present for
+        /// protocol fidelity).
+        password: String,
+    },
+    /// Server → client: session opened.
+    LoginReply {
+        /// The avatar id assigned to this client.
+        agent: u32,
+        /// Land name.
+        land: String,
+        /// Land extent (width, height), meters.
+        size: (f32, f32),
+        /// Virtual seconds per wall-clock second on this server.
+        time_scale: f32,
+    },
+    /// Client → server: move own avatar to a position.
+    AgentUpdate {
+        /// Target x, meters.
+        x: f32,
+        /// Target y, meters.
+        y: f32,
+    },
+    /// Client → server: say something in local chat.
+    ChatFromViewer {
+        /// Chat text.
+        text: String,
+    },
+    /// Server → client: chat heard near the avatar.
+    ChatFromSimulator {
+        /// Speaking avatar.
+        from: u32,
+        /// Chat text.
+        text: String,
+    },
+    /// Client → server: request the land map.
+    MapRequest,
+    /// Server → client: all avatars on the land.
+    MapReply {
+        /// Virtual time of the snapshot, seconds.
+        time: f64,
+        /// Avatars present.
+        items: Vec<MapItem>,
+    },
+    /// Liveness probe (either direction).
+    Ping {
+        /// Echoed opaque value.
+        nonce: u64,
+    },
+    /// Liveness response.
+    Pong {
+        /// The nonce from the matching `Ping`.
+        nonce: u64,
+    },
+    /// Client → server: orderly logout.
+    Logout,
+    /// Server → client: request failed.
+    Error {
+        /// Machine-readable code.
+        code: u16,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Server → client: session terminated by the server (fault
+    /// injection uses this to emulate grid instability).
+    Kick {
+        /// Reason shown to the client.
+        reason: String,
+    },
+}
+
+/// Message tags on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Tag {
+    LoginRequest = 1,
+    LoginReply = 2,
+    AgentUpdate = 3,
+    ChatFromViewer = 4,
+    ChatFromSimulator = 5,
+    MapRequest = 6,
+    MapReply = 7,
+    Ping = 8,
+    Pong = 9,
+    Logout = 10,
+    Error = 11,
+    Kick = 12,
+}
+
+impl Message {
+    /// The wire tag of this message.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::LoginRequest { .. } => Tag::LoginRequest as u8,
+            Message::LoginReply { .. } => Tag::LoginReply as u8,
+            Message::AgentUpdate { .. } => Tag::AgentUpdate as u8,
+            Message::ChatFromViewer { .. } => Tag::ChatFromViewer as u8,
+            Message::ChatFromSimulator { .. } => Tag::ChatFromSimulator as u8,
+            Message::MapRequest => Tag::MapRequest as u8,
+            Message::MapReply { .. } => Tag::MapReply as u8,
+            Message::Ping { .. } => Tag::Ping as u8,
+            Message::Pong { .. } => Tag::Pong as u8,
+            Message::Logout => Tag::Logout as u8,
+            Message::Error { .. } => Tag::Error as u8,
+            Message::Kick { .. } => Tag::Kick as u8,
+        }
+    }
+
+    /// Encode the payload (everything after the tag byte).
+    pub fn encode_payload(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self {
+            Message::LoginRequest {
+                version,
+                username,
+                password,
+            } => {
+                w.u16(*version);
+                w.string(username);
+                w.string(password);
+            }
+            Message::LoginReply {
+                agent,
+                land,
+                size,
+                time_scale,
+            } => {
+                w.u32(*agent);
+                w.string(land);
+                w.f32(size.0);
+                w.f32(size.1);
+                w.f32(*time_scale);
+            }
+            Message::AgentUpdate { x, y } => {
+                w.f32(*x);
+                w.f32(*y);
+            }
+            Message::ChatFromViewer { text } => w.string(text),
+            Message::ChatFromSimulator { from, text } => {
+                w.u32(*from);
+                w.string(text);
+            }
+            Message::MapRequest | Message::Logout => {}
+            Message::MapReply { time, items } => {
+                w.f64(*time);
+                w.u32(items.len() as u32);
+                for it in items {
+                    w.u32(it.agent);
+                    w.f32(it.x);
+                    w.f32(it.y);
+                    w.f32(it.z);
+                }
+            }
+            Message::Ping { nonce } => w.u64(*nonce),
+            Message::Pong { nonce } => w.u64(*nonce),
+            Message::Error { code, message } => {
+                w.u16(*code);
+                w.string(message);
+            }
+            Message::Kick { reason } => w.string(reason),
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a payload for the given tag.
+    pub fn decode_payload(tag: u8, payload: Bytes) -> Result<Message, WireError> {
+        let mut r = Reader::new(payload);
+        let msg = match tag {
+            t if t == Tag::LoginRequest as u8 => Message::LoginRequest {
+                version: r.u16("version")?,
+                username: r.string("username", MAX_STRING)?,
+                password: r.string("password", MAX_STRING)?,
+            },
+            t if t == Tag::LoginReply as u8 => Message::LoginReply {
+                agent: r.u32("agent")?,
+                land: r.string("land", MAX_STRING)?,
+                size: (r.f32("width")?, r.f32("height")?),
+                time_scale: r.f32("time_scale")?,
+            },
+            t if t == Tag::AgentUpdate as u8 => Message::AgentUpdate {
+                x: r.f32("x")?,
+                y: r.f32("y")?,
+            },
+            t if t == Tag::ChatFromViewer as u8 => Message::ChatFromViewer {
+                text: r.string("text", MAX_STRING)?,
+            },
+            t if t == Tag::ChatFromSimulator as u8 => Message::ChatFromSimulator {
+                from: r.u32("from")?,
+                text: r.string("text", MAX_STRING)?,
+            },
+            t if t == Tag::MapRequest as u8 => Message::MapRequest,
+            t if t == Tag::MapReply as u8 => {
+                let time = r.f64("time")?;
+                let count = r.u32("count")? as usize;
+                if count > MAX_MAP_ITEMS {
+                    return Err(WireError::TooLarge {
+                        field: "map items",
+                        value: count as u64,
+                        max: MAX_MAP_ITEMS as u64,
+                    });
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(MapItem {
+                        agent: r.u32("agent")?,
+                        x: r.f32("x")?,
+                        y: r.f32("y")?,
+                        z: r.f32("z")?,
+                    });
+                }
+                Message::MapReply { time, items }
+            }
+            t if t == Tag::Ping as u8 => Message::Ping {
+                nonce: r.u64("nonce")?,
+            },
+            t if t == Tag::Pong as u8 => Message::Pong {
+                nonce: r.u64("nonce")?,
+            },
+            t if t == Tag::Logout as u8 => Message::Logout,
+            t if t == Tag::Error as u8 => Message::Error {
+                code: r.u16("code")?,
+                message: r.string("message", MAX_STRING)?,
+            },
+            t if t == Tag::Kick as u8 => Message::Kick {
+                reason: r.string("reason", MAX_STRING)?,
+            },
+            other => {
+                return Err(WireError::TooLarge {
+                    field: "message tag",
+                    value: other as u64,
+                    max: Tag::Kick as u64,
+                })
+            }
+        };
+        r.finish("message payload")?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::LoginRequest {
+                version: PROTOCOL_VERSION,
+                username: "crawler".into(),
+                password: "s3cret".into(),
+            },
+            Message::LoginReply {
+                agent: 42,
+                land: "Dance Island".into(),
+                size: (256.0, 256.0),
+                time_scale: 60.0,
+            },
+            Message::AgentUpdate { x: 12.5, y: 200.0 },
+            Message::ChatFromViewer {
+                text: "hello :)".into(),
+            },
+            Message::ChatFromSimulator {
+                from: 7,
+                text: "wb!".into(),
+            },
+            Message::MapRequest,
+            Message::MapReply {
+                time: 86_400.0,
+                items: vec![
+                    MapItem {
+                        agent: 1,
+                        x: 1.0,
+                        y: 2.0,
+                        z: 22.0,
+                    },
+                    MapItem {
+                        agent: 2,
+                        x: 0.0,
+                        y: 0.0,
+                        z: 0.0,
+                    },
+                ],
+            },
+            Message::Ping { nonce: 0xdead_beef },
+            Message::Pong { nonce: 0xdead_beef },
+            Message::Logout,
+            Message::Error {
+                code: 2,
+                message: "land full".into(),
+            },
+            Message::Kick {
+                reason: "simulated grid instability".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        for msg in all_messages() {
+            let tag = msg.tag();
+            let payload = msg.encode_payload();
+            let back = Message::decode_payload(tag, payload).unwrap();
+            assert_eq!(msg, back);
+        }
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let mut tags: Vec<u8> = all_messages().iter().map(|m| m.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), all_messages().len());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let err = Message::decode_payload(200, Bytes::new()).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge { field: "message tag", .. }));
+    }
+
+    #[test]
+    fn map_reply_count_bounded() {
+        let mut w = crate::wire::Writer::new();
+        w.f64(0.0);
+        w.u32(1_000_000);
+        let err = Message::decode_payload(7, w.into_bytes()).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge { field: "map items", .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let msg = Message::Ping { nonce: 5 };
+        let mut payload = msg.encode_payload().to_vec();
+        payload.push(0);
+        let err = Message::decode_payload(msg.tag(), Bytes::from(payload)).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let msg = Message::LoginReply {
+            agent: 1,
+            land: "X".into(),
+            size: (256.0, 256.0),
+            time_scale: 1.0,
+        };
+        let payload = msg.encode_payload();
+        for cut in 0..payload.len() {
+            assert!(
+                Message::decode_payload(msg.tag(), payload.slice(..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn seated_sentinel_survives_map_reply() {
+        let msg = Message::MapReply {
+            time: 10.0,
+            items: vec![MapItem {
+                agent: 9,
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+            }],
+        };
+        let back = Message::decode_payload(msg.tag(), msg.encode_payload()).unwrap();
+        if let Message::MapReply { items, .. } = back {
+            assert_eq!(items[0].x, 0.0);
+            assert_eq!(items[0].z, 0.0);
+        } else {
+            panic!("wrong message");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Primitive wire encoding: bounded readers over `bytes` buffers.
+//!
+//! All multi-byte integers are big-endian. Strings are `u16` length +
+//! UTF-8 bytes. Every read checks remaining length and returns a typed
+//! error instead of panicking — malformed input is network input.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decode failure at the primitive layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes remained than the field required.
+    Truncated {
+        /// What was being read.
+        field: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8 {
+        /// What was being read.
+        field: &'static str,
+    },
+    /// A length or count field exceeded its sanity bound.
+    TooLarge {
+        /// What was being read.
+        field: &'static str,
+        /// Claimed value.
+        value: u64,
+        /// Maximum allowed.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated {
+                field,
+                needed,
+                available,
+            } => write!(f, "truncated {field}: need {needed} bytes, have {available}"),
+            WireError::BadUtf8 { field } => write!(f, "{field} is not valid UTF-8"),
+            WireError::TooLarge { field, value, max } => {
+                write!(f, "{field} = {value} exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bounded reader over a byte buffer.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Wrap a buffer.
+    pub fn new(buf: Bytes) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, field: &'static str, n: usize) -> Result<(), WireError> {
+        if self.buf.remaining() < n {
+            return Err(WireError::Truncated {
+                field,
+                needed: n,
+                available: self.buf.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        self.need(field, 1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read a big-endian `u16`.
+    pub fn u16(&mut self, field: &'static str) -> Result<u16, WireError> {
+        self.need(field, 2)?;
+        Ok(self.buf.get_u16())
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        self.need(field, 4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        self.need(field, 8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    /// Read a big-endian `f32`.
+    pub fn f32(&mut self, field: &'static str) -> Result<f32, WireError> {
+        self.need(field, 4)?;
+        Ok(self.buf.get_f32())
+    }
+
+    /// Read a big-endian `f64`.
+    pub fn f64(&mut self, field: &'static str) -> Result<f64, WireError> {
+        self.need(field, 8)?;
+        Ok(self.buf.get_f64())
+    }
+
+    /// Read a `u16`-length-prefixed UTF-8 string, bounded by `max_len`
+    /// bytes.
+    pub fn string(&mut self, field: &'static str, max_len: usize) -> Result<String, WireError> {
+        let len = self.u16(field)? as usize;
+        if len > max_len {
+            return Err(WireError::TooLarge {
+                field,
+                value: len as u64,
+                max: max_len as u64,
+            });
+        }
+        self.need(field, len)?;
+        let raw = self.buf.split_to(len);
+        std::str::from_utf8(&raw)
+            .map(|s| s.to_string())
+            .map_err(|_| WireError::BadUtf8 { field })
+    }
+
+    /// Assert the buffer is fully consumed (frames must not smuggle
+    /// trailing bytes).
+    pub fn finish(self, field: &'static str) -> Result<(), WireError> {
+        if self.buf.has_remaining() {
+            return Err(WireError::TooLarge {
+                field,
+                value: self.buf.remaining() as u64,
+                max: 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Writer side: thin helpers over `BytesMut` for symmetric code.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Writer {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Append a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    /// Append a big-endian `f32`.
+    pub fn f32(&mut self, v: f32) {
+        self.buf.put_f32(v);
+    }
+
+    /// Append a big-endian `f64`.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.put_f64(v);
+    }
+
+    /// Append a `u16`-length-prefixed UTF-8 string; panics if longer
+    /// than `u16::MAX` bytes (writer-side lengths are program errors,
+    /// not network errors).
+    pub fn string(&mut self, s: &str) {
+        assert!(s.len() <= u16::MAX as usize, "string too long for wire");
+        self.buf.put_u16(s.len() as u16);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.f32(1.5);
+        w.f64(-2.25);
+        w.string("héllo");
+        let mut r = Reader::new(w.into_bytes());
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 300);
+        assert_eq!(r.u32("c").unwrap(), 70_000);
+        assert_eq!(r.u64("d").unwrap(), 1 << 40);
+        assert_eq!(r.f32("e").unwrap(), 1.5);
+        assert_eq!(r.f64("f").unwrap(), -2.25);
+        assert_eq!(r.string("g", 64).unwrap(), "héllo");
+        r.finish("frame").unwrap();
+    }
+
+    #[test]
+    fn truncation_reported_with_context() {
+        let mut r = Reader::new(Bytes::from_static(&[0, 1]));
+        let err = r.u32("count").unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                field: "count",
+                needed: 4,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn string_length_bounded() {
+        let mut w = Writer::new();
+        w.string("abcdef");
+        let mut r = Reader::new(w.into_bytes());
+        let err = r.string("name", 3).unwrap_err();
+        assert!(matches!(err, WireError::TooLarge { field: "name", .. }));
+    }
+
+    #[test]
+    fn string_rejects_bad_utf8() {
+        let mut raw = BytesMut::new();
+        raw.put_u16(2);
+        raw.put_slice(&[0xff, 0xfe]);
+        let mut r = Reader::new(raw.freeze());
+        assert!(matches!(
+            r.string("s", 16),
+            Err(WireError::BadUtf8 { field: "s" })
+        ));
+    }
+
+    #[test]
+    fn finish_rejects_trailing() {
+        let mut w = Writer::new();
+        w.u8(1);
+        w.u8(2);
+        let mut r = Reader::new(w.into_bytes());
+        r.u8("x").unwrap();
+        assert!(r.finish("frame").is_err());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = WireError::Truncated {
+            field: "pos",
+            needed: 8,
+            available: 3,
+        };
+        assert!(e.to_string().contains("pos"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # sl-script
+//!
+//! The paper's *first* monitoring architecture: scripted in-world
+//! sensor objects (LSL-style), with every published limitation
+//! faithfully modelled so the architecture comparison of §2 can be
+//! reproduced:
+//!
+//! * sensing range 96 m;
+//! * at most 16 avatars detected per scan;
+//! * 16 KiB of local cache, flushed to an external web server over
+//!   HTTP when full;
+//! * HTTP flushes throttled by the grid (data is *lost* while the
+//!   sensor is saturated — the granularity/duration trade-off the paper
+//!   describes);
+//! * objects cannot be deployed on private lands, and expire after a
+//!   land-dependent lifetime on public lands (a replication manager
+//!   re-deploys them on a schedule, with a coverage hole in between).
+//!
+//! Modules: [`spec`] (sensor parameters and report records),
+//! [`sensor`] (one scripted object), [`network`] (deployment grid,
+//! scan scheduling, replication), [`sink`] (report collection and
+//! trace reconstruction, plus coverage scoring against ground truth).
+
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod sensor;
+pub mod sink;
+pub mod spec;
+
+pub use network::SensorNetwork;
+pub use sensor::Sensor;
+pub use sink::{coverage, ReportSink};
+pub use spec::{Detection, Report, SensorSpec};

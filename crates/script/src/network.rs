@@ -1,0 +1,245 @@
+//! Sensor-network deployment and scheduling over a [`World`].
+//!
+//! Covers the land with a square grid of sensors (spacing `r·√2` so the
+//! 96 m discs tile the square), drives scans at the configured period,
+//! and replicates expired objects on a fixed schedule — the exact
+//! counter-measure the paper describes ("our system replicates all
+//! sensors in the same position at regular time intervals").
+
+use crate::sensor::{Sensor, SensorStats};
+use crate::spec::{Report, SensorSpec};
+use sl_world::land::DeployError;
+use sl_world::{Vec2, World};
+
+/// A deployed sensor network bound to one world.
+#[derive(Debug)]
+pub struct SensorNetwork {
+    sensors: Vec<Sensor>,
+    spec: SensorSpec,
+    /// Seconds between replication sweeps.
+    replication_interval: f64,
+    next_scan: f64,
+    next_replication: f64,
+}
+
+impl SensorNetwork {
+    /// Positions of a covering grid for a `width × height` land with
+    /// sensing radius `range`: spacing `range·√2` guarantees every
+    /// point lies within one sensor's disc.
+    pub fn grid_positions(width: f64, height: f64, range: f64) -> Vec<Vec2> {
+        assert!(range > 0.0 && width > 0.0 && height > 0.0);
+        let spacing = range * std::f64::consts::SQRT_2;
+        let nx = (width / spacing).ceil() as usize;
+        let ny = (height / spacing).ceil() as usize;
+        let mut out = Vec::with_capacity(nx * ny);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                out.push(Vec2::new(
+                    (ix as f64 + 0.5) * width / nx as f64,
+                    (iy as f64 + 0.5) * height / ny as f64,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Deploy a covering grid on the world's land. Fails on private
+    /// lands (unless `authorized`) — the restriction that pushed the
+    /// paper's authors to the crawler architecture.
+    pub fn deploy(
+        world: &mut World,
+        spec: SensorSpec,
+        replication_interval: f64,
+        authorized: bool,
+    ) -> Result<SensorNetwork, DeployError> {
+        let land = world.land();
+        let positions = Self::grid_positions(land.area.width, land.area.height, spec.range);
+        let mut sensors = Vec::with_capacity(positions.len());
+        for (i, pos) in positions.into_iter().enumerate() {
+            let object = world.deploy_object(pos, authorized)?;
+            sensors.push(Sensor::new(i, pos, object, spec));
+        }
+        let now = world.clock();
+        Ok(SensorNetwork {
+            sensors,
+            spec,
+            replication_interval,
+            next_scan: now + spec.scan_period,
+            next_replication: now + replication_interval,
+        })
+    }
+
+    /// Number of deployed sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// True when no sensors are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// The sensors (for inspection).
+    pub fn sensors(&self) -> &[Sensor] {
+        &self.sensors
+    }
+
+    /// Aggregate counters over all sensors.
+    pub fn total_stats(&self) -> SensorStats {
+        let mut total = SensorStats::default();
+        for s in &self.sensors {
+            let st = s.stats();
+            total.scans += st.scans;
+            total.detections += st.detections;
+            total.truncated += st.truncated;
+            total.dropped += st.dropped;
+            total.flushes += st.flushes;
+            total.offline_scans += st.offline_scans;
+        }
+        total
+    }
+
+    /// Drive the network up to the world's current clock: perform due
+    /// scans (and opportunistic flushes), detect expired objects, and
+    /// replicate on schedule. Returns the HTTP reports emitted.
+    ///
+    /// Call after advancing the world; the network catches up on every
+    /// scan tick it missed.
+    pub fn step(&mut self, world: &mut World) -> Vec<Report> {
+        let now = world.clock();
+        let mut reports = Vec::new();
+
+        // Expiry detection: a sensor whose object vanished goes offline.
+        for s in &mut self.sensors {
+            if let Some(obj) = s.object {
+                if !world.object_exists(obj) {
+                    s.expire();
+                }
+            }
+        }
+
+        // Replication sweep.
+        while self.next_replication <= now {
+            for s in &mut self.sensors {
+                if s.object.is_none() {
+                    if let Ok(obj) = world.deploy_object(s.pos, false) {
+                        s.replicate(obj);
+                    }
+                }
+            }
+            self.next_replication += self.replication_interval;
+        }
+
+        // Scan ticks (catch up on all due ticks, scanning current
+        // positions — a sensor cannot observe the past).
+        while self.next_scan <= now {
+            let avatars = world.physical_positions();
+            for s in &mut self.sensors {
+                if let Some(report) = s.scan(self.next_scan, &avatars) {
+                    reports.push(report);
+                } else if s.cache_len() * self.spec.entry_bytes >= self.spec.cache_bytes / 2 {
+                    // Opportunistic flush of a half-full cache once the
+                    // throttle window passed, so data is not held
+                    // forever on quiet lands.
+                    if let Some(report) = s.try_flush(self.next_scan) {
+                        reports.push(report);
+                    }
+                }
+            }
+            self.next_scan += self.spec.scan_period;
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_world::presets::{apfel_land, dance_island};
+    use sl_world::World;
+
+    #[test]
+    fn grid_covers_standard_land() {
+        let positions = SensorNetwork::grid_positions(256.0, 256.0, 96.0);
+        // 96·√2 ≈ 135.8 -> 2×2 grid.
+        assert_eq!(positions.len(), 4);
+        // Every probe point within range of some sensor.
+        for ix in 0..=16 {
+            for iy in 0..=16 {
+                let p = Vec2::new(ix as f64 * 16.0, iy as f64 * 16.0);
+                assert!(
+                    positions.iter().any(|s| s.distance(p) <= 96.0),
+                    "point {p:?} uncovered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deploy_fails_on_private_land() {
+        let mut world = World::new(dance_island().config, 1);
+        let err = SensorNetwork::deploy(&mut world, SensorSpec::default(), 600.0, false);
+        assert!(matches!(err, Err(DeployError::PrivateLand)));
+        // With authorization it works.
+        let ok = SensorNetwork::deploy(&mut world, SensorSpec::default(), 600.0, true);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn scans_collect_reports_on_public_land() {
+        let mut world = World::new(apfel_land().config, 2);
+        world.warm_up(3600.0);
+        let mut net =
+            SensorNetwork::deploy(&mut world, SensorSpec::default(), 600.0, false).unwrap();
+        let mut reports = Vec::new();
+        for _ in 0..360 {
+            world.warm_up(10.0);
+            reports.extend(net.step(&mut world));
+        }
+        let stats = net.total_stats();
+        assert!(stats.scans > 0);
+        assert!(stats.detections > 0, "someone should be sensed in an hour");
+        // All detections inside the land.
+        for r in &reports {
+            for d in &r.detections {
+                assert!((0.0..=256.0).contains(&d.x));
+                assert!((0.0..=256.0).contains(&d.y));
+            }
+        }
+    }
+
+    #[test]
+    fn expiry_and_replication_cycle() {
+        // Apfel Land objects expire after 3600 s; replicate every 300 s.
+        let mut world = World::new(apfel_land().config, 3);
+        let mut net =
+            SensorNetwork::deploy(&mut world, SensorSpec::default(), 300.0, false).unwrap();
+        // Advance past expiry.
+        world.warm_up(3700.0);
+        net.step(&mut world);
+        // At this point objects expired; replication should have
+        // re-deployed them (replication sweeps caught up in step()).
+        let offline = net.sensors().iter().filter(|s| s.object.is_none()).count();
+        assert_eq!(offline, 0, "replication must restore expired sensors");
+        // And the world actually holds fresh objects.
+        assert_eq!(world.objects().len(), net.len());
+        assert!(world.stats().objects_expired >= net.len() as u64);
+    }
+
+    #[test]
+    fn offline_window_loses_scans() {
+        let mut world = World::new(apfel_land().config, 4);
+        world.warm_up(1800.0); // get some users on the land
+        let mut net =
+            SensorNetwork::deploy(&mut world, SensorSpec::default(), 10_000.0, false).unwrap();
+        // Objects expire at +3600, replication only at +10000: a long
+        // offline window.
+        world.warm_up(5000.0);
+        net.step(&mut world);
+        let stats = net.total_stats();
+        assert!(
+            stats.offline_scans > 0,
+            "scans during the expiry gap are lost"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! One scripted sensor object.
+
+use crate::spec::{Detection, Report, SensorSpec};
+use sl_trace::UserId;
+use sl_world::world::ObjectId;
+use sl_world::Vec2;
+
+/// Counters describing what a sensor experienced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SensorStats {
+    /// Scans performed.
+    pub scans: u64,
+    /// Detections cached.
+    pub detections: u64,
+    /// Avatars in range but beyond the 16-detection cap.
+    pub truncated: u64,
+    /// Detections dropped because the cache was full and the HTTP
+    /// channel throttled.
+    pub dropped: u64,
+    /// HTTP flushes performed.
+    pub flushes: u64,
+    /// Scans skipped because the object had expired and was not yet
+    /// replicated.
+    pub offline_scans: u64,
+}
+
+/// A deployed sensor: position, backing world object, cache and stats.
+#[derive(Debug)]
+pub struct Sensor {
+    /// Index within the deployment grid.
+    pub index: usize,
+    /// Fixed position on the land.
+    pub pos: Vec2,
+    /// The world object backing this sensor (`None` while expired,
+    /// waiting for replication).
+    pub object: Option<ObjectId>,
+    spec: SensorSpec,
+    cache: Vec<Detection>,
+    last_flush: f64,
+    stats: SensorStats,
+}
+
+impl Sensor {
+    /// Create a sensor at `pos` backed by `object`.
+    pub fn new(index: usize, pos: Vec2, object: ObjectId, spec: SensorSpec) -> Self {
+        Sensor {
+            index,
+            pos,
+            object: Some(object),
+            spec,
+            cache: Vec::with_capacity(spec.cache_capacity()),
+            // Allow an immediate first flush.
+            last_flush: f64::NEG_INFINITY,
+            stats: SensorStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SensorStats {
+        self.stats
+    }
+
+    /// Cached detections not yet flushed.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Perform one scan over the avatars physically present on the
+    /// land. Returns a flush report when the cache filled up and the
+    /// HTTP throttle admitted a post.
+    ///
+    /// `avatars` must be the *physical* positions (a scripted sensor
+    /// senses the avatar on the bench, even though the map would report
+    /// `{0,0,0}`).
+    pub fn scan(&mut self, now: f64, avatars: &[(UserId, Vec2)]) -> Option<Report> {
+        if self.object.is_none() {
+            self.stats.offline_scans += 1;
+            return None;
+        }
+        self.stats.scans += 1;
+
+        // Detect the nearest `max_detections` avatars in range —
+        // llSensor returns by distance, nearest first.
+        let mut in_range: Vec<(f64, UserId, Vec2)> = avatars
+            .iter()
+            .filter_map(|&(u, p)| {
+                let d = self.pos.distance(p);
+                (d <= self.spec.range).then_some((d, u, p))
+            })
+            .collect();
+        in_range.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        if in_range.len() > self.spec.max_detections {
+            self.stats.truncated += (in_range.len() - self.spec.max_detections) as u64;
+            in_range.truncate(self.spec.max_detections);
+        }
+
+        let capacity = self.spec.cache_capacity();
+        for (_, user, pos) in in_range {
+            if self.cache.len() >= capacity {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.cache.push(Detection {
+                t: now,
+                user,
+                x: pos.x,
+                y: pos.y,
+            });
+            self.stats.detections += 1;
+        }
+
+        if self.cache.len() >= capacity {
+            return self.try_flush(now);
+        }
+        None
+    }
+
+    /// Attempt a flush (cache → HTTP). Honors the HTTP throttle: a
+    /// denied flush keeps the cache (and subsequent detections drop).
+    pub fn try_flush(&mut self, now: f64) -> Option<Report> {
+        if self.cache.is_empty() {
+            return None;
+        }
+        if now - self.last_flush < self.spec.http_min_interval {
+            return None;
+        }
+        self.last_flush = now;
+        self.stats.flushes += 1;
+        Some(Report {
+            sensor: self.index,
+            sensor_pos: self.pos,
+            t: now,
+            detections: std::mem::take(&mut self.cache),
+        })
+    }
+
+    /// Mark the backing object expired (data in flight is lost when the
+    /// object vanishes — the cache dies with the script).
+    pub fn expire(&mut self) {
+        self.object = None;
+        self.cache.clear();
+    }
+
+    /// Re-deploy with a fresh backing object.
+    pub fn replicate(&mut self, object: ObjectId) {
+        self.object = Some(object);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_small() -> SensorSpec {
+        SensorSpec {
+            range: 96.0,
+            max_detections: 16,
+            cache_bytes: 480, // capacity 10
+            entry_bytes: 48,
+            scan_period: 10.0,
+            http_min_interval: 60.0,
+        }
+    }
+
+    fn avatars_at(positions: &[(u32, f64, f64)]) -> Vec<(UserId, Vec2)> {
+        positions
+            .iter()
+            .map(|&(u, x, y)| (UserId(u), Vec2::new(x, y)))
+            .collect()
+    }
+
+    #[test]
+    fn detects_only_in_range() {
+        let mut s = Sensor::new(0, Vec2::new(0.0, 0.0), ObjectId(1), spec_small());
+        let avs = avatars_at(&[(1, 50.0, 0.0), (2, 95.0, 0.0), (3, 97.0, 0.0)]);
+        s.scan(10.0, &avs);
+        assert_eq!(s.cache_len(), 2, "only the two within 96 m");
+        assert_eq!(s.stats().detections, 2);
+    }
+
+    #[test]
+    fn detection_cap_keeps_nearest() {
+        let spec = SensorSpec {
+            max_detections: 3,
+            ..spec_small()
+        };
+        let mut s = Sensor::new(0, Vec2::new(0.0, 0.0), ObjectId(1), spec);
+        let avs: Vec<(UserId, Vec2)> = (0..10)
+            .map(|i| (UserId(i), Vec2::new(5.0 + i as f64 * 5.0, 0.0)))
+            .collect();
+        s.scan(10.0, &avs);
+        assert_eq!(s.cache_len(), 3);
+        assert_eq!(s.stats().truncated, 7);
+    }
+
+    #[test]
+    fn cache_fills_then_flushes() {
+        let mut s = Sensor::new(0, Vec2::new(0.0, 0.0), ObjectId(1), spec_small());
+        // 5 avatars per scan, capacity 10: the second scan fills it.
+        let avs = avatars_at(&[(1, 1.0, 0.0), (2, 2.0, 0.0), (3, 3.0, 0.0), (4, 4.0, 0.0), (5, 5.0, 0.0)]);
+        assert!(s.scan(10.0, &avs).is_none());
+        let report = s.scan(20.0, &avs).expect("cache full -> flush");
+        assert_eq!(report.detections.len(), 10);
+        assert_eq!(s.cache_len(), 0);
+        assert_eq!(s.stats().flushes, 1);
+    }
+
+    #[test]
+    fn throttled_flush_drops_data() {
+        let mut s = Sensor::new(0, Vec2::new(0.0, 0.0), ObjectId(1), spec_small());
+        let avs = avatars_at(&[(1, 1.0, 0.0), (2, 2.0, 0.0), (3, 3.0, 0.0), (4, 4.0, 0.0), (5, 5.0, 0.0)]);
+        assert!(s.scan(10.0, &avs).is_none());
+        assert!(s.scan(20.0, &avs).is_some(), "first flush admitted");
+        // Refill the cache quickly; the next flush is inside the 60 s
+        // throttle window, so detections beyond capacity drop.
+        assert!(s.scan(30.0, &avs).is_none());
+        assert!(s.scan(40.0, &avs).is_none(), "cache full, flush throttled");
+        assert!(s.scan(50.0, &avs).is_none());
+        assert!(s.stats().dropped > 0, "saturated sensor loses data");
+        // After the throttle window, flushing succeeds again.
+        let report = s.scan(90.0, &avs).expect("flush after throttle window");
+        assert_eq!(report.t, 90.0);
+    }
+
+    #[test]
+    fn expiry_loses_cache_and_stops_scans() {
+        let mut s = Sensor::new(0, Vec2::new(0.0, 0.0), ObjectId(1), spec_small());
+        let avs = avatars_at(&[(1, 1.0, 0.0)]);
+        s.scan(10.0, &avs);
+        assert_eq!(s.cache_len(), 1);
+        s.expire();
+        assert_eq!(s.cache_len(), 0, "cache dies with the object");
+        assert!(s.scan(20.0, &avs).is_none());
+        assert_eq!(s.stats().offline_scans, 1);
+        assert_eq!(s.stats().scans, 1, "offline scan not counted as scan");
+        // Replication brings it back.
+        s.replicate(ObjectId(2));
+        s.scan(30.0, &avs);
+        assert_eq!(s.cache_len(), 1);
+    }
+
+    #[test]
+    fn deterministic_tiebreak_on_equal_distance() {
+        let spec = SensorSpec {
+            max_detections: 1,
+            ..spec_small()
+        };
+        let mut s = Sensor::new(0, Vec2::new(0.0, 0.0), ObjectId(1), spec);
+        // Two avatars at identical distance: lower UserId wins.
+        let avs = avatars_at(&[(9, 10.0, 0.0), (4, 0.0, 10.0)]);
+        s.scan(10.0, &avs);
+        let report = s.try_flush(100.0).unwrap();
+        assert_eq!(report.detections[0].user, UserId(4));
+    }
+}

@@ -1,0 +1,223 @@
+//! The "external web server" side of the sensor architecture: collect
+//! HTTP reports and reconstruct a mobility trace, then score it against
+//! the ground truth the crawler would have seen.
+//!
+//! The reconstruction makes the sensor architecture's losses visible:
+//! scan ticks during throttle saturation, detections beyond the 16-cap,
+//! and whole coverage holes while objects are expired simply never
+//! reach the sink.
+
+use crate::spec::Report;
+use serde::{Deserialize, Serialize};
+use sl_trace::{LandMeta, Position, Snapshot, Trace, UserId};
+use std::collections::BTreeMap;
+
+/// Collects sensor reports and reconstructs a trace.
+#[derive(Debug, Default)]
+pub struct ReportSink {
+    reports: Vec<Report>,
+}
+
+impl ReportSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        ReportSink::default()
+    }
+
+    /// Ingest one HTTP report.
+    pub fn ingest(&mut self, report: Report) {
+        self.reports.push(report);
+    }
+
+    /// Ingest many reports.
+    pub fn ingest_all(&mut self, reports: impl IntoIterator<Item = Report>) {
+        for r in reports {
+            self.ingest(r);
+        }
+    }
+
+    /// Number of reports received.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True when nothing has arrived.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Reconstruct the observed trace: detections are grouped by scan
+    /// time into snapshots; a user detected by several sensors in the
+    /// same scan is deduplicated (positions agree — sensors observe the
+    /// same world).
+    pub fn reconstruct(&self, meta: LandMeta, avatar_z: f64) -> Trace {
+        // BTreeMap keyed by integer millisecond time: f64 keys are not
+        // Ord and scan times are exact multiples of the period anyway.
+        let mut by_time: BTreeMap<i64, BTreeMap<UserId, Position>> = BTreeMap::new();
+        for report in &self.reports {
+            for d in &report.detections {
+                let key = (d.t * 1000.0).round() as i64;
+                by_time
+                    .entry(key)
+                    .or_default()
+                    .entry(d.user)
+                    .or_insert(Position::new(d.x, d.y, avatar_z));
+            }
+        }
+        let mut trace = Trace::new(meta);
+        for (key, users) in by_time {
+            let mut snap = Snapshot::new(key as f64 / 1000.0);
+            for (user, pos) in users {
+                snap.push(user, pos);
+            }
+            trace.push(snap);
+        }
+        trace
+    }
+}
+
+/// Coverage of a reconstructed trace against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Ground-truth (user, snapshot) observations.
+    pub truth_observations: usize,
+    /// Reconstructed observations that match ground truth (same user
+    /// present at the same snapshot time).
+    pub captured: usize,
+    /// Fraction captured.
+    pub recall: f64,
+    /// Ground-truth unique users seen at least once by the sensors.
+    pub users_seen: usize,
+    /// Ground-truth unique users overall.
+    pub users_total: usize,
+}
+
+/// Score a sensor-reconstructed trace against the ground-truth trace.
+/// Snapshots are matched by (rounded) time; ground-truth snapshots with
+/// no sensor counterpart count fully as misses.
+pub fn coverage(truth: &Trace, observed: &Trace) -> Coverage {
+    use std::collections::{HashMap, HashSet};
+    let mut observed_by_time: HashMap<i64, HashSet<UserId>> = HashMap::new();
+    for snap in &observed.snapshots {
+        let key = (snap.t * 1000.0).round() as i64;
+        observed_by_time
+            .entry(key)
+            .or_default()
+            .extend(snap.entries.iter().map(|o| o.user));
+    }
+    let mut truth_observations = 0usize;
+    let mut captured = 0usize;
+    let mut truth_users: HashSet<UserId> = HashSet::new();
+    let mut seen_users: HashSet<UserId> = HashSet::new();
+    for snap in &truth.snapshots {
+        let key = (snap.t * 1000.0).round() as i64;
+        let observed_users = observed_by_time.get(&key);
+        for obs in &snap.entries {
+            truth_observations += 1;
+            truth_users.insert(obs.user);
+            if observed_users.is_some_and(|s| s.contains(&obs.user)) {
+                captured += 1;
+                seen_users.insert(obs.user);
+            }
+        }
+    }
+    Coverage {
+        truth_observations,
+        captured,
+        recall: if truth_observations == 0 {
+            1.0
+        } else {
+            captured as f64 / truth_observations as f64
+        },
+        users_seen: seen_users.len(),
+        users_total: truth_users.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Detection;
+    use sl_world::Vec2;
+
+    fn report(sensor: usize, t: f64, users: &[(u32, f64, f64)]) -> Report {
+        Report {
+            sensor,
+            sensor_pos: Vec2::new(0.0, 0.0),
+            t,
+            detections: users
+                .iter()
+                .map(|&(u, x, y)| Detection {
+                    t,
+                    user: UserId(u),
+                    x,
+                    y,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn reconstruct_groups_by_time() {
+        let mut sink = ReportSink::new();
+        sink.ingest(report(0, 20.0, &[(1, 5.0, 5.0)]));
+        sink.ingest(report(1, 10.0, &[(2, 50.0, 50.0)]));
+        sink.ingest(report(0, 10.0, &[(1, 4.0, 4.0)]));
+        let trace = sink.reconstruct(LandMeta::standard("T", 10.0), 22.0);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.snapshots[0].t, 10.0);
+        assert_eq!(trace.snapshots[0].len(), 2);
+        assert_eq!(trace.snapshots[1].t, 20.0);
+    }
+
+    #[test]
+    fn duplicate_detections_deduplicated() {
+        // Two sensors both detect user 1 at t=10.
+        let mut sink = ReportSink::new();
+        sink.ingest(report(0, 10.0, &[(1, 5.0, 5.0)]));
+        sink.ingest(report(1, 10.0, &[(1, 5.0, 5.0)]));
+        let trace = sink.reconstruct(LandMeta::standard("T", 10.0), 22.0);
+        assert_eq!(trace.snapshots[0].len(), 1);
+    }
+
+    #[test]
+    fn coverage_perfect_match() {
+        let mut sink = ReportSink::new();
+        sink.ingest(report(0, 10.0, &[(1, 5.0, 5.0), (2, 6.0, 6.0)]));
+        let observed = sink.reconstruct(LandMeta::standard("T", 10.0), 22.0);
+        let c = coverage(&observed, &observed);
+        assert_eq!(c.recall, 1.0);
+        assert_eq!(c.users_seen, 2);
+    }
+
+    #[test]
+    fn coverage_counts_misses() {
+        let mut truth = Trace::new(LandMeta::standard("T", 10.0));
+        let mut s = Snapshot::new(10.0);
+        s.push(UserId(1), Position::new(5.0, 5.0, 22.0));
+        s.push(UserId(2), Position::new(200.0, 200.0, 22.0));
+        truth.push(s);
+        let mut s = Snapshot::new(20.0);
+        s.push(UserId(1), Position::new(5.0, 5.0, 22.0));
+        truth.push(s);
+
+        // The sensor only ever caught user 1 at t=10.
+        let mut sink = ReportSink::new();
+        sink.ingest(report(0, 10.0, &[(1, 5.0, 5.0)]));
+        let observed = sink.reconstruct(LandMeta::standard("T", 10.0), 22.0);
+
+        let c = coverage(&truth, &observed);
+        assert_eq!(c.truth_observations, 3);
+        assert_eq!(c.captured, 1);
+        assert!((c.recall - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.users_seen, 1);
+        assert_eq!(c.users_total, 2);
+    }
+
+    #[test]
+    fn empty_truth_recall_is_one() {
+        let t = Trace::new(LandMeta::standard("T", 10.0));
+        let c = coverage(&t, &t);
+        assert_eq!(c.recall, 1.0);
+    }
+}

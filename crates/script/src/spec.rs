@@ -1,0 +1,112 @@
+//! Sensor parameters and report records.
+
+use serde::{Deserialize, Serialize};
+use sl_trace::UserId;
+use sl_world::Vec2;
+
+/// Sensor configuration. Defaults are the constants the paper reports
+/// for Second Life's scripted objects.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorSpec {
+    /// Sensing range, meters (SL: 96 m).
+    pub range: f64,
+    /// Maximum avatars detected per scan (SL: 16).
+    pub max_detections: usize,
+    /// Local cache size in bytes (SL: 16 KiB).
+    pub cache_bytes: usize,
+    /// Bytes one detection record occupies in the cache (timestamp,
+    /// avatar key, position — the paper's sensors stored exactly that).
+    pub entry_bytes: usize,
+    /// Seconds between scans ("tunable periodicity").
+    pub scan_period: f64,
+    /// Minimum seconds between HTTP flushes (the grid throttles
+    /// scripted HTTP requests).
+    pub http_min_interval: f64,
+}
+
+impl Default for SensorSpec {
+    fn default() -> Self {
+        SensorSpec {
+            range: 96.0,
+            max_detections: 16,
+            cache_bytes: 16 * 1024,
+            entry_bytes: 48,
+            scan_period: 10.0,
+            http_min_interval: 60.0,
+        }
+    }
+}
+
+impl SensorSpec {
+    /// How many detections fit in the cache.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_bytes / self.entry_bytes
+    }
+}
+
+/// One sensed avatar.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Scan time (virtual seconds).
+    pub t: f64,
+    /// Detected avatar.
+    pub user: UserId,
+    /// Avatar position at scan time.
+    pub x: f64,
+    /// Avatar position at scan time.
+    pub y: f64,
+}
+
+/// One HTTP flush from a sensor to the web-server sink.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Which sensor (index in the deployment grid).
+    pub sensor: usize,
+    /// Sensor position.
+    pub sensor_pos: Vec2,
+    /// Flush time (virtual seconds).
+    pub t: f64,
+    /// The cached detections.
+    pub detections: Vec<Detection>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let s = SensorSpec::default();
+        assert_eq!(s.range, 96.0);
+        assert_eq!(s.max_detections, 16);
+        assert_eq!(s.cache_bytes, 16 * 1024);
+    }
+
+    #[test]
+    fn cache_capacity_division() {
+        let s = SensorSpec {
+            cache_bytes: 1000,
+            entry_bytes: 48,
+            ..Default::default()
+        };
+        assert_eq!(s.cache_capacity(), 20);
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let r = Report {
+            sensor: 3,
+            sensor_pos: Vec2::new(64.0, 64.0),
+            t: 120.0,
+            detections: vec![Detection {
+                t: 110.0,
+                user: UserId(5),
+                x: 10.0,
+                y: 20.0,
+            }],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

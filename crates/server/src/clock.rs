@@ -1,0 +1,92 @@
+//! Wall-clock → virtual-time mapping.
+//!
+//! The simulator thinks in virtual seconds; network clients live in
+//! wall time. A [`SimClock`] pins a virtual epoch to a wall instant and
+//! scales elapsed wall time by `time_scale`. With `time_scale = 60`,
+//! one wall second advances the land by one virtual minute — a 24 h
+//! trace in 24 wall minutes, with the crawler polling proportionally
+//! faster.
+
+use std::time::Instant;
+
+/// Monotonic virtual clock.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    wall_epoch: Instant,
+    virtual_epoch: f64,
+    time_scale: f64,
+}
+
+impl SimClock {
+    /// Start a clock: `virtual_epoch` is the virtual time "now", and
+    /// virtual time advances `time_scale` times faster than wall time.
+    /// Panics unless `time_scale > 0`.
+    pub fn new(virtual_epoch: f64, time_scale: f64) -> Self {
+        assert!(
+            time_scale > 0.0 && time_scale.is_finite(),
+            "time scale must be positive"
+        );
+        SimClock {
+            wall_epoch: Instant::now(),
+            virtual_epoch,
+            time_scale,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.virtual_epoch + self.wall_epoch.elapsed().as_secs_f64() * self.time_scale
+    }
+
+    /// The configured scale.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    /// Wall seconds corresponding to a virtual duration.
+    pub fn wall_seconds_for(&self, virtual_seconds: f64) -> f64 {
+        virtual_seconds / self.time_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_with_scale() {
+        let clock = SimClock::new(100.0, 1000.0);
+        let t0 = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let t1 = clock.now();
+        assert!(t0 >= 100.0);
+        let advanced = t1 - t0;
+        // 50 ms wall at 1000x = ~50 virtual seconds (generous bounds for
+        // scheduler noise).
+        assert!(advanced > 30.0 && advanced < 400.0, "advanced {advanced}");
+    }
+
+    #[test]
+    fn wall_conversion() {
+        let clock = SimClock::new(0.0, 60.0);
+        assert!((clock.wall_seconds_for(600.0) - 10.0).abs() < 1e-12);
+        assert_eq!(clock.time_scale(), 60.0);
+    }
+
+    #[test]
+    fn monotone() {
+        let clock = SimClock::new(0.0, 50.0);
+        let mut prev = clock.now();
+        for _ in 0..100 {
+            let now = clock.now();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_scale() {
+        SimClock::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Fault injection.
+//!
+//! The paper kept measurement runs to 24 h because "long experiments
+//! are sometimes affected by instabilities of libsecondlife under a
+//! Linux environment". The server can emulate that operational reality:
+//! random kicks (session terminated by the grid) and response delays.
+//! The crawler's reconnect logic is tested against exactly these faults.
+
+use serde::{Deserialize, Serialize};
+use sl_stats::rng::Rng;
+
+/// Fault-injection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that any map request triggers a kick.
+    pub kick_prob: f64,
+    /// Probability that a map reply is delayed.
+    pub delay_prob: f64,
+    /// Delay duration in wall milliseconds when triggered.
+    pub delay_ms: u64,
+}
+
+impl FaultConfig {
+    /// No faults (the default for analyses; faults are opt-in).
+    pub fn none() -> Self {
+        FaultConfig {
+            kick_prob: 0.0,
+            delay_prob: 0.0,
+            delay_ms: 0,
+        }
+    }
+
+    /// A flaky grid: roughly one kick per 200 requests plus occasional
+    /// slow replies — the operational profile the paper complains about.
+    pub fn flaky() -> Self {
+        FaultConfig {
+            kick_prob: 0.005,
+            delay_prob: 0.05,
+            delay_ms: 250,
+        }
+    }
+
+    /// True when no fault can ever trigger.
+    pub fn is_none(&self) -> bool {
+        self.kick_prob <= 0.0 && self.delay_prob <= 0.0
+    }
+}
+
+/// What the fault injector decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Proceed normally.
+    None,
+    /// Delay the reply by this many milliseconds, then proceed.
+    Delay(u64),
+    /// Kick the client.
+    Kick,
+}
+
+/// Per-connection fault injector with its own RNG stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: Rng,
+}
+
+impl FaultInjector {
+    /// Create with a deterministic per-connection seed.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        FaultInjector {
+            config,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Decide the fate of the next request. Kicks dominate delays.
+    pub fn decide(&mut self) -> FaultDecision {
+        if self.config.kick_prob > 0.0 && self.rng.chance(self.config.kick_prob) {
+            return FaultDecision::Kick;
+        }
+        if self.config.delay_prob > 0.0 && self.rng.chance(self.config.delay_prob) {
+            return FaultDecision::Delay(self.config.delay_ms);
+        }
+        FaultDecision::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_config_never_faults() {
+        let mut inj = FaultInjector::new(FaultConfig::none(), 1);
+        for _ in 0..10_000 {
+            assert_eq!(inj.decide(), FaultDecision::None);
+        }
+    }
+
+    #[test]
+    fn kick_rate_approximates_config() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                kick_prob: 0.01,
+                delay_prob: 0.0,
+                delay_ms: 0,
+            },
+            2,
+        );
+        let kicks = (0..100_000)
+            .filter(|_| inj.decide() == FaultDecision::Kick)
+            .count();
+        assert!((800..1200).contains(&kicks), "kicks {kicks}");
+    }
+
+    #[test]
+    fn delays_carry_duration() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                kick_prob: 0.0,
+                delay_prob: 1.0,
+                delay_ms: 123,
+            },
+            3,
+        );
+        assert_eq!(inj.decide(), FaultDecision::Delay(123));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = FaultConfig::flaky();
+        let a: Vec<FaultDecision> = {
+            let mut i = FaultInjector::new(cfg, 9);
+            (0..100).map(|_| i.decide()).collect()
+        };
+        let b: Vec<FaultDecision> = {
+            let mut i = FaultInjector::new(cfg, 9);
+            (0..100).map(|_| i.decide()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flaky_is_not_none() {
+        assert!(FaultConfig::none().is_none());
+        assert!(!FaultConfig::flaky().is_none());
+    }
+}

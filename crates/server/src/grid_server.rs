@@ -1,0 +1,197 @@
+//! The grid server: one TCP endpoint per land of a shared multi-land
+//! [`Grid`]. Crawlers connect to individual lands exactly as against a
+//! [`LandServer`](crate::LandServer) — the protocol is identical — while
+//! the metaverse behind the endpoints keeps teleporting users between
+//! lands. All endpoints share a single [`SimClock`], so every land
+//! agrees on "now".
+
+use crate::clock::SimClock;
+use crate::server::{LandServer, ServerConfig};
+use parking_lot::Mutex;
+use sl_world::grid::Grid;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// A running grid server: one bound endpoint per member land.
+pub struct GridServer {
+    grid: Arc<Mutex<Grid>>,
+    servers: Vec<LandServer>,
+}
+
+impl std::fmt::Debug for GridServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridServer")
+            .field("lands", &self.servers.len())
+            .finish()
+    }
+}
+
+impl GridServer {
+    /// Bind one ephemeral localhost endpoint per land of `grid`.
+    pub async fn bind(grid: Grid, config: ServerConfig) -> std::io::Result<GridServer> {
+        let lands = grid.len();
+        let clock = SimClock::new(grid.clock(), config.time_scale);
+        let grid = Arc::new(Mutex::new(grid));
+        let mut servers = Vec::with_capacity(lands);
+        for land in 0..lands {
+            servers.push(
+                LandServer::bind_grid_land(
+                    "127.0.0.1:0",
+                    grid.clone(),
+                    land,
+                    clock.clone(),
+                    config.clone(),
+                )
+                .await?,
+            );
+        }
+        Ok(GridServer { grid, servers })
+    }
+
+    /// Number of served lands.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when no lands are served (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The endpoint address of one land.
+    pub fn addr_of(&self, land: usize) -> SocketAddr {
+        self.servers[land].addr()
+    }
+
+    /// Run `f` on the shared grid (time is *not* advanced first; use a
+    /// land endpoint's traffic or `advance` semantics for that).
+    pub fn with_grid<T>(&self, f: impl FnOnce(&mut Grid) -> T) -> T {
+        f(&mut self.grid.lock())
+    }
+
+    /// Stop accepting connections on every land.
+    pub fn shutdown(&self) {
+        for s in &self.servers {
+            s.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_proto::framed::{FramedReader, FramedWriter};
+    use sl_proto::message::{Message, PROTOCOL_VERSION};
+    use sl_world::grid::GridConfig;
+    use sl_world::presets::{apfel_land, dance_island};
+    use sl_world::session::{ArrivalProcess, DiurnalProfile, SessionDurations};
+    use tokio::net::TcpStream;
+
+    fn test_grid(seed: u64) -> Grid {
+        let mut grid = Grid::new(
+            GridConfig {
+                lands: vec![(dance_island().config, 2.0), (apfel_land().config, 1.0)],
+                arrivals: ArrivalProcess::with_expected(
+                    6000.0,
+                    86_400.0,
+                    DiurnalProfile::evening(),
+                ),
+                sessions: SessionDurations::new(400.0, 1600.0, 14_400.0),
+                hop_prob: 0.5,
+                max_hops: 4,
+            },
+            seed,
+        );
+        grid.warm_up(3600.0);
+        grid
+    }
+
+    async fn login_and_map(addr: SocketAddr) -> (String, usize) {
+        let stream = TcpStream::connect(addr).await.unwrap();
+        let (r, w) = stream.into_split();
+        let mut reader = FramedReader::new(r);
+        let mut writer = FramedWriter::new(w);
+        writer
+            .send(&Message::LoginRequest {
+                version: PROTOCOL_VERSION,
+                username: "probe".into(),
+                password: "pw".into(),
+            })
+            .await
+            .unwrap();
+        let land = match reader.next().await.unwrap().unwrap() {
+            Message::LoginReply { land, .. } => land,
+            other => panic!("unexpected {other:?}"),
+        };
+        writer.send(&Message::MapRequest).await.unwrap();
+        let population = match reader.next().await.unwrap().unwrap() {
+            Message::MapReply { items, .. } => items.len(),
+            other => panic!("unexpected {other:?}"),
+        };
+        writer.send(&Message::Logout).await.unwrap();
+        (land, population)
+    }
+
+    #[tokio::test]
+    async fn each_endpoint_serves_its_land() {
+        let server = GridServer::bind(
+            test_grid(1),
+            ServerConfig {
+                time_scale: 600.0,
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        assert_eq!(server.len(), 2);
+        let (land0, pop0) = login_and_map(server.addr_of(0)).await;
+        let (land1, pop1) = login_and_map(server.addr_of(1)).await;
+        assert_eq!(land0, "Dance Island");
+        assert_eq!(land1, "Apfel Land");
+        // Both lands are populated by the shared grid (plus our probe).
+        assert!(pop0 > 1, "Dance population {pop0}");
+        assert!(pop1 >= 1, "Apfel population {pop1}");
+    }
+
+    #[tokio::test]
+    async fn grid_keeps_teleporting_under_load() {
+        let server = GridServer::bind(
+            test_grid(2),
+            ServerConfig {
+                time_scale: 2400.0,
+                map_rate: (1000.0, 1000.0),
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let hops_before = server.with_grid(|g| g.stats().hops);
+        // Poll land 0 for a while; the traffic advances the shared grid.
+        let stream = TcpStream::connect(server.addr_of(0)).await.unwrap();
+        let (r, w) = stream.into_split();
+        let mut reader = FramedReader::new(r);
+        let mut writer = FramedWriter::new(w);
+        writer
+            .send(&Message::LoginRequest {
+                version: PROTOCOL_VERSION,
+                username: "probe".into(),
+                password: "pw".into(),
+            })
+            .await
+            .unwrap();
+        reader.next().await.unwrap();
+        for _ in 0..20 {
+            tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+            writer.send(&Message::MapRequest).await.unwrap();
+            match reader.next().await.unwrap().unwrap() {
+                Message::MapReply { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let hops_after = server.with_grid(|g| g.stats().hops);
+        assert!(
+            hops_after > hops_before,
+            "teleports should continue while the grid is served ({hops_before} -> {hops_after})"
+        );
+    }
+}

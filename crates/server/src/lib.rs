@@ -1,0 +1,35 @@
+//! # sl-server
+//!
+//! The network-facing land server: hosts one simulated land
+//! ([`sl_world::World`]) behind a TCP endpoint speaking [`sl_proto`].
+//! This is the stand-in for the Second Life grid that the paper's
+//! crawler logged into.
+//!
+//! * [`clock`] — maps wall-clock time to virtual time at a configurable
+//!   `time_scale`, so a 24 h virtual experiment can run in minutes of
+//!   wall time while the crawler remains an honest network client;
+//! * [`rate`] — token-bucket rate limiting of map requests (the SL grid
+//!   throttled clients; the paper's sensor architecture suffered from
+//!   exactly such limits);
+//! * [`fault`] — fault injection: random kicks and response delays,
+//!   emulating the libsecondlife instability the paper reports ("long
+//!   experiments are sometimes affected by instabilities of
+//!   libsecondlife"), used to exercise crawler reconnection;
+//! * [`server`] — the accept loop and per-connection protocol handler,
+//!   including local chat fan-out;
+//! * [`grid_server`] — one endpoint per land of a shared multi-land
+//!   grid (the metaverse served over TCP).
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod grid_server;
+pub mod fault;
+pub mod rate;
+pub mod server;
+
+pub use clock::SimClock;
+pub use fault::FaultConfig;
+pub use rate::TokenBucket;
+pub use grid_server::GridServer;
+pub use server::{LandServer, ServerConfig};

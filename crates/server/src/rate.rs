@@ -1,0 +1,97 @@
+//! Token-bucket rate limiter for per-connection request throttling.
+
+use std::time::Instant;
+
+/// A token bucket: capacity `burst`, refilled at `rate` tokens per
+/// second. Each admitted request consumes one token.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    rate: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// Create a full bucket. Panics unless both parameters are positive.
+    pub fn new(burst: f64, rate: f64) -> Self {
+        assert!(burst > 0.0 && rate > 0.0, "burst and rate must be positive");
+        TokenBucket {
+            capacity: burst,
+            tokens: burst,
+            rate,
+            last: Instant::now(),
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate).min(self.capacity);
+        self.last = now;
+    }
+
+    /// Try to consume one token now.
+    pub fn try_acquire(&mut self) -> bool {
+        self.try_acquire_at(Instant::now())
+    }
+
+    /// Deterministic variant for tests: consume one token at `now`.
+    pub fn try_acquire_at(&mut self, now: Instant) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current token count (after refill to `now`).
+    pub fn available_at(&mut self, now: Instant) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_then_deny() {
+        let mut b = TokenBucket::new(3.0, 1.0);
+        let t0 = Instant::now();
+        assert!(b.try_acquire_at(t0));
+        assert!(b.try_acquire_at(t0));
+        assert!(b.try_acquire_at(t0));
+        assert!(!b.try_acquire_at(t0), "burst exhausted");
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut b = TokenBucket::new(2.0, 10.0);
+        let t0 = Instant::now();
+        assert!(b.try_acquire_at(t0));
+        assert!(b.try_acquire_at(t0));
+        assert!(!b.try_acquire_at(t0));
+        // 150 ms at 10/s = 1.5 tokens.
+        let t1 = t0 + Duration::from_millis(150);
+        assert!(b.try_acquire_at(t1));
+        assert!(!b.try_acquire_at(t1));
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut b = TokenBucket::new(2.0, 100.0);
+        let t0 = Instant::now();
+        let later = t0 + Duration::from_secs(60);
+        assert!((b.available_at(later) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_rate() {
+        TokenBucket::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,633 @@
+//! The land server: accept loop and per-connection protocol handling.
+//!
+//! Each connection is one avatar. The shared [`World`] advances lazily:
+//! whoever touches it first brings virtual time up to the [`SimClock`]
+//! before reading or mutating — no background ticker thread, no drift.
+
+use crate::clock::SimClock;
+use crate::fault::{FaultConfig, FaultDecision, FaultInjector};
+use crate::rate::TokenBucket;
+use parking_lot::Mutex;
+use sl_proto::message::{MapItem, Message, MAX_MAP_ITEMS, PROTOCOL_VERSION};
+use sl_proto::framed::{FramedError, FramedReader, FramedWriter};
+use sl_trace::UserId;
+use sl_world::grid::Grid;
+use sl_world::{Vec2, World};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Virtual seconds per wall second.
+    pub time_scale: f64,
+    /// Map-request token bucket: (burst, requests per wall second).
+    pub map_rate: (f64, f64),
+    /// Fault injection.
+    pub faults: FaultConfig,
+    /// Local-chat audibility radius, meters (SL "say" carries 20 m).
+    pub chat_range: f64,
+    /// Seed for per-connection fault streams.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            time_scale: 1.0,
+            map_rate: (10.0, 2.0),
+            faults: FaultConfig::none(),
+            chat_range: 20.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Error codes in `Message::Error`.
+pub mod error_codes {
+    /// Client protocol version unsupported.
+    pub const BAD_VERSION: u16 = 1;
+    /// First message was not a login.
+    pub const LOGIN_REQUIRED: u16 = 2;
+    /// Map requests arriving faster than the rate limit.
+    pub const RATE_LIMITED: u16 = 3;
+}
+
+/// What a server endpoint fronts: its own world, or one land of a
+/// shared multi-land grid.
+enum Backing {
+    // Boxed: a World inline would dwarf the GridLand variant.
+    Single(Box<Mutex<World>>),
+    GridLand { grid: Arc<Mutex<Grid>>, land: usize },
+}
+
+struct Shared {
+    backing: Backing,
+    clients: Mutex<HashMap<u32, ClientHandle>>,
+    clock: SimClock,
+    config: ServerConfig,
+    conn_counter: Mutex<u64>,
+}
+
+struct ClientHandle {
+    tx: mpsc::UnboundedSender<Message>,
+    pos: Vec2,
+}
+
+/// A running land server.
+pub struct LandServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_task: tokio::task::JoinHandle<()>,
+}
+
+impl std::fmt::Debug for LandServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LandServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl Shared {
+    /// Advance the backing to "now" and run `f` on this endpoint's
+    /// world.
+    fn with_world<T>(&self, f: impl FnOnce(&mut World) -> T) -> T {
+        let now = self.clock.now();
+        match &self.backing {
+            Backing::Single(world) => {
+                let mut world = world.lock();
+                if now > world.clock() {
+                    world.advance_to(now);
+                }
+                f(&mut world)
+            }
+            Backing::GridLand { grid, land } => {
+                let mut grid = grid.lock();
+                if now > grid.clock() {
+                    grid.advance_to(now);
+                }
+                f(grid.world_mut(*land))
+            }
+        }
+    }
+}
+
+impl LandServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve `world`.
+    pub async fn bind(
+        addr: &str,
+        world: World,
+        config: ServerConfig,
+    ) -> std::io::Result<LandServer> {
+        let clock = SimClock::new(world.clock(), config.time_scale);
+        Self::bind_backing(addr, Backing::Single(Box::new(Mutex::new(world))), clock, config).await
+    }
+
+    /// Bind an endpoint fronting one land of a shared grid. All land
+    /// endpoints of one grid must share the same `clock` so that
+    /// teleport bookkeeping and map snapshots agree on "now" (see
+    /// [`GridServer`], which arranges exactly that).
+    pub async fn bind_grid_land(
+        addr: &str,
+        grid: Arc<Mutex<Grid>>,
+        land: usize,
+        clock: SimClock,
+        config: ServerConfig,
+    ) -> std::io::Result<LandServer> {
+        Self::bind_backing(addr, Backing::GridLand { grid, land }, clock, config).await
+    }
+
+    async fn bind_backing(
+        addr: &str,
+        backing: Backing,
+        clock: SimClock,
+        config: ServerConfig,
+    ) -> std::io::Result<LandServer> {
+        let listener = TcpListener::bind(addr).await?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            backing,
+            clients: Mutex::new(HashMap::new()),
+            clock,
+            config,
+            conn_counter: Mutex::new(0),
+        });
+        let accept_shared = shared.clone();
+        let accept_task = tokio::spawn(async move {
+            while let Ok((stream, _)) = listener.accept().await {
+                let shared = accept_shared.clone();
+                tokio::spawn(async move {
+                    // Connection errors are per-client; the server
+                    // keeps serving.
+                    let _ = handle_connection(stream, shared).await;
+                });
+            }
+        });
+        Ok(LandServer {
+            shared,
+            addr,
+            accept_task,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Virtual time right now.
+    pub fn virtual_now(&self) -> f64 {
+        self.shared.clock.now()
+    }
+
+    /// Run `f` against the (time-advanced) world — for tests and for
+    /// in-process observers (e.g. deploying sensors onto the served
+    /// land).
+    pub fn with_world<T>(&self, f: impl FnOnce(&mut World) -> T) -> T {
+        self.shared.with_world(f)
+    }
+
+    /// Stop accepting connections (existing connections die with their
+    /// tasks when the process ends or clients hang up).
+    pub fn shutdown(&self) {
+        self.accept_task.abort();
+    }
+}
+
+impl Drop for LandServer {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+async fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(), FramedError> {
+    stream.set_nodelay(true).ok();
+    let (read_half, write_half) = stream.into_split();
+    let mut reader = FramedReader::new(read_half);
+    let mut writer = FramedWriter::new(write_half);
+
+    // --- login ---------------------------------------------------------
+    let agent = match reader.next().await? {
+        Some(Message::LoginRequest { version, .. }) if version == PROTOCOL_VERSION => {
+            let (agent, land_name, size) = shared.with_world(|w| {
+                let spawn = w.land().spawn_point();
+                let id = w.connect_external(spawn);
+                (
+                    id,
+                    w.land().name.clone(),
+                    (w.land().area.width as f32, w.land().area.height as f32),
+                )
+            });
+            writer
+                .send(&Message::LoginReply {
+                    agent: agent.0,
+                    land: land_name,
+                    size,
+                    time_scale: shared.config.time_scale as f32,
+                })
+                .await?;
+            agent
+        }
+        Some(Message::LoginRequest { .. }) => {
+            writer
+                .send(&Message::Error {
+                    code: error_codes::BAD_VERSION,
+                    message: format!("server speaks version {PROTOCOL_VERSION}"),
+                })
+                .await?;
+            return Ok(());
+        }
+        _ => {
+            writer
+                .send(&Message::Error {
+                    code: error_codes::LOGIN_REQUIRED,
+                    message: "login first".into(),
+                })
+                .await?;
+            return Ok(());
+        }
+    };
+
+    // Register for chat fan-out.
+    let (tx, mut rx) = mpsc::unbounded_channel();
+    {
+        let spawn = shared.with_world(|w| w.external_position(agent).unwrap_or(Vec2::new(0.0, 0.0)));
+        shared.clients.lock().insert(
+            agent.0,
+            ClientHandle { tx, pos: spawn },
+        );
+    }
+
+    let conn_seed = {
+        let mut c = shared.conn_counter.lock();
+        *c += 1;
+        shared.config.seed ^ (*c).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    };
+    let mut faults = FaultInjector::new(shared.config.faults, conn_seed);
+    let mut bucket = TokenBucket::new(shared.config.map_rate.0, shared.config.map_rate.1);
+
+    let result = connection_loop(
+        &mut reader,
+        &mut writer,
+        &mut rx,
+        &shared,
+        agent,
+        &mut faults,
+        &mut bucket,
+    )
+    .await;
+
+    // --- teardown -------------------------------------------------------
+    shared.clients.lock().remove(&agent.0);
+    shared.with_world(|w| w.disconnect_external(agent));
+    result
+}
+
+async fn connection_loop(
+    reader: &mut FramedReader<tokio::net::tcp::OwnedReadHalf>,
+    writer: &mut FramedWriter<tokio::net::tcp::OwnedWriteHalf>,
+    rx: &mut mpsc::UnboundedReceiver<Message>,
+    shared: &Arc<Shared>,
+    agent: UserId,
+    faults: &mut FaultInjector,
+    bucket: &mut TokenBucket,
+) -> Result<(), FramedError> {
+    loop {
+        tokio::select! {
+            incoming = reader.next() => {
+                let Some(msg) = incoming? else { return Ok(()) };
+                match msg {
+                    Message::MapRequest => {
+                        if !bucket.try_acquire() {
+                            writer.send(&Message::Error {
+                                code: error_codes::RATE_LIMITED,
+                                message: "map requests throttled".into(),
+                            }).await?;
+                            continue;
+                        }
+                        match faults.decide() {
+                            FaultDecision::Kick => {
+                                writer.send(&Message::Kick {
+                                    reason: "simulated grid instability".into(),
+                                }).await?;
+                                return Ok(());
+                            }
+                            FaultDecision::Delay(ms) => {
+                                tokio::time::sleep(std::time::Duration::from_millis(ms)).await;
+                            }
+                            FaultDecision::None => {}
+                        }
+                        let (time, items) = shared.with_world(|w| {
+                            let snap = w.snapshot();
+                            let items: Vec<MapItem> = snap.entries.iter()
+                                .take(MAX_MAP_ITEMS)
+                                .map(|o| MapItem {
+                                    agent: o.user.0,
+                                    x: o.pos.x as f32,
+                                    y: o.pos.y as f32,
+                                    z: o.pos.z as f32,
+                                })
+                                .collect();
+                            (snap.t, items)
+                        });
+                        writer.send(&Message::MapReply { time, items }).await?;
+                    }
+                    Message::AgentUpdate { x, y } => {
+                        let pos = Vec2::new(x as f64, y as f64);
+                        shared.with_world(|w| w.move_external(agent, pos));
+                        if let Some(handle) = shared.clients.lock().get_mut(&agent.0) {
+                            handle.pos = pos;
+                        }
+                    }
+                    Message::ChatFromViewer { text } => {
+                        shared.with_world(|w| w.external_chat(agent));
+                        // Fan out to clients within chat range.
+                        let clients = shared.clients.lock();
+                        let Some(me) = clients.get(&agent.0) else { continue };
+                        let my_pos = me.pos;
+                        for (other_id, handle) in clients.iter() {
+                            if *other_id == agent.0 {
+                                continue;
+                            }
+                            if handle.pos.distance(my_pos) <= shared.config.chat_range {
+                                let _ = handle.tx.send(Message::ChatFromSimulator {
+                                    from: agent.0,
+                                    text: text.clone(),
+                                });
+                            }
+                        }
+                    }
+                    Message::Ping { nonce } => {
+                        writer.send(&Message::Pong { nonce }).await?;
+                    }
+                    Message::Logout => {
+                        return Ok(());
+                    }
+                    // Client-only messages arriving from a client are
+                    // protocol misuse; ignore rather than kill the
+                    // connection (robustness principle).
+                    _ => {}
+                }
+            }
+            outgoing = rx.recv() => {
+                match outgoing {
+                    Some(msg) => writer.send(&msg).await?,
+                    None => return Ok(()),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_world::presets::dance_island;
+
+    fn test_world() -> World {
+        World::new(dance_island().config, 7)
+    }
+
+    async fn login(
+        addr: SocketAddr,
+    ) -> (
+        FramedReader<tokio::net::tcp::OwnedReadHalf>,
+        FramedWriter<tokio::net::tcp::OwnedWriteHalf>,
+        u32,
+    ) {
+        let stream = TcpStream::connect(addr).await.unwrap();
+        let (r, w) = stream.into_split();
+        let mut reader = FramedReader::new(r);
+        let mut writer = FramedWriter::new(w);
+        writer
+            .send(&Message::LoginRequest {
+                version: PROTOCOL_VERSION,
+                username: "test".into(),
+                password: "pw".into(),
+            })
+            .await
+            .unwrap();
+        match reader.next().await.unwrap().unwrap() {
+            Message::LoginReply { agent, .. } => (reader, writer, agent),
+            other => panic!("expected LoginReply, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn login_and_map_poll() {
+        let server = LandServer::bind(
+            "127.0.0.1:0",
+            test_world(),
+            ServerConfig {
+                time_scale: 100.0,
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let (mut reader, mut writer, agent) = login(server.addr()).await;
+        writer.send(&Message::MapRequest).await.unwrap();
+        match reader.next().await.unwrap().unwrap() {
+            Message::MapReply { time, items } => {
+                assert!(time >= 0.0);
+                // Our own avatar must be on the map (the perturbation
+                // problem in a nutshell).
+                assert!(items.iter().any(|i| i.agent == agent));
+            }
+            other => panic!("expected MapReply, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn wrong_version_rejected() {
+        let server = LandServer::bind("127.0.0.1:0", test_world(), ServerConfig::default())
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.addr()).await.unwrap();
+        let (r, w) = stream.into_split();
+        let mut reader = FramedReader::new(r);
+        let mut writer = FramedWriter::new(w);
+        writer
+            .send(&Message::LoginRequest {
+                version: 99,
+                username: "x".into(),
+                password: "y".into(),
+            })
+            .await
+            .unwrap();
+        match reader.next().await.unwrap().unwrap() {
+            Message::Error { code, .. } => assert_eq!(code, error_codes::BAD_VERSION),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn first_message_must_be_login() {
+        let server = LandServer::bind("127.0.0.1:0", test_world(), ServerConfig::default())
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.addr()).await.unwrap();
+        let (r, w) = stream.into_split();
+        let mut reader = FramedReader::new(r);
+        let mut writer = FramedWriter::new(w);
+        writer.send(&Message::MapRequest).await.unwrap();
+        match reader.next().await.unwrap().unwrap() {
+            Message::Error { code, .. } => assert_eq!(code, error_codes::LOGIN_REQUIRED),
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn rate_limit_enforced() {
+        let server = LandServer::bind(
+            "127.0.0.1:0",
+            test_world(),
+            ServerConfig {
+                map_rate: (2.0, 0.001), // 2 requests, then near-zero refill
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        let mut throttled = false;
+        for _ in 0..4 {
+            writer.send(&Message::MapRequest).await.unwrap();
+            match reader.next().await.unwrap().unwrap() {
+                Message::MapReply { .. } => {}
+                Message::Error { code, .. } => {
+                    assert_eq!(code, error_codes::RATE_LIMITED);
+                    throttled = true;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(throttled, "the 3rd+ request should be throttled");
+    }
+
+    #[tokio::test]
+    async fn chat_fans_out_within_range_only() {
+        let server = LandServer::bind("127.0.0.1:0", test_world(), ServerConfig::default())
+            .await
+            .unwrap();
+        let (mut r1, mut w1, a1) = login(server.addr()).await;
+        let (mut r2, mut w2, _a2) = login(server.addr()).await;
+        let (mut r3, mut w3, _a3) = login(server.addr()).await;
+        // Position: 1 and 2 adjacent, 3 far away.
+        w1.send(&Message::AgentUpdate { x: 50.0, y: 50.0 }).await.unwrap();
+        w2.send(&Message::AgentUpdate { x: 55.0, y: 50.0 }).await.unwrap();
+        w3.send(&Message::AgentUpdate { x: 200.0, y: 200.0 }).await.unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        w1.send(&Message::ChatFromViewer { text: "hi all".into() })
+            .await
+            .unwrap();
+        // Client 2 hears it.
+        match tokio::time::timeout(std::time::Duration::from_secs(2), r2.next())
+            .await
+            .expect("client 2 should hear chat")
+            .unwrap()
+            .unwrap()
+        {
+            Message::ChatFromSimulator { from, text } => {
+                assert_eq!(from, a1);
+                assert_eq!(text, "hi all");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Client 3 hears nothing (poll its map instead; the next framed
+        // message must be the map reply, not chat).
+        w3.send(&Message::MapRequest).await.unwrap();
+        match r3.next().await.unwrap().unwrap() {
+            Message::MapReply { .. } => {}
+            other => panic!("client 3 should not hear far chat, got {other:?}"),
+        }
+        // Client 1 does not hear its own chat.
+        w1.send(&Message::MapRequest).await.unwrap();
+        match r1.next().await.unwrap().unwrap() {
+            Message::MapReply { .. } => {}
+            other => panic!("client 1 should not echo itself, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn kick_fault_terminates_session() {
+        let server = LandServer::bind(
+            "127.0.0.1:0",
+            test_world(),
+            ServerConfig {
+                faults: FaultConfig {
+                    kick_prob: 1.0,
+                    delay_prob: 0.0,
+                    delay_ms: 0,
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        writer.send(&Message::MapRequest).await.unwrap();
+        match reader.next().await.unwrap().unwrap() {
+            Message::Kick { .. } => {}
+            other => panic!("expected Kick, got {other:?}"),
+        }
+        // Connection then closes.
+        assert!(reader.next().await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn logout_disconnects_avatar() {
+        let server = LandServer::bind("127.0.0.1:0", test_world(), ServerConfig::default())
+            .await
+            .unwrap();
+        let (_reader, mut writer, agent) = login(server.addr()).await;
+        writer.send(&Message::Logout).await.unwrap();
+        // Give the server a moment to tear down.
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        let gone = server.with_world(|w| w.external_position(UserId(agent)).is_none());
+        assert!(gone, "avatar should be removed after logout");
+    }
+
+    #[tokio::test]
+    async fn ping_pong() {
+        let server = LandServer::bind("127.0.0.1:0", test_world(), ServerConfig::default())
+            .await
+            .unwrap();
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        writer.send(&Message::Ping { nonce: 99 }).await.unwrap();
+        assert_eq!(
+            reader.next().await.unwrap().unwrap(),
+            Message::Pong { nonce: 99 }
+        );
+    }
+
+    #[tokio::test]
+    async fn virtual_time_advances_with_scale() {
+        let server = LandServer::bind(
+            "127.0.0.1:0",
+            test_world(),
+            ServerConfig {
+                time_scale: 600.0,
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        writer.send(&Message::MapRequest).await.unwrap();
+        let t1 = match reader.next().await.unwrap().unwrap() {
+            Message::MapReply { time, .. } => time,
+            other => panic!("unexpected {other:?}"),
+        };
+        tokio::time::sleep(std::time::Duration::from_millis(300)).await;
+        writer.send(&Message::MapRequest).await.unwrap();
+        let t2 = match reader.next().await.unwrap().unwrap() {
+            Message::MapReply { time, .. } => time,
+            other => panic!("unexpected {other:?}"),
+        };
+        // 300 ms at 600x ≈ 180 virtual seconds.
+        assert!(t2 - t1 > 60.0, "virtual time advanced only {}", t2 - t1);
+    }
+}

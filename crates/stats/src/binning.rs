@@ -1,0 +1,241 @@
+//! Linear and logarithmic binning, histograms, and the cell-count helper
+//! used by the zone-occupation analysis (paper Fig. 3).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over fixed bin edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bin edges, length `counts.len() + 1`, strictly increasing.
+    pub edges: Vec<f64>,
+    /// Per-bin counts; bin `i` covers `[edges[i], edges[i+1])`, with the
+    /// last bin closed on the right.
+    pub counts: Vec<u64>,
+    /// Samples below `edges[0]`.
+    pub underflow: u64,
+    /// Samples above the last edge.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Build a histogram from edges. Panics unless edges are strictly
+    /// increasing with at least two entries.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must strictly increase"
+        );
+        let n = edges.len() - 1;
+        Histogram {
+            edges,
+            counts: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Convenience: `n` equal-width bins over `[lo, hi]`.
+    pub fn linear(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0 && hi > lo, "invalid linear binning");
+        let w = (hi - lo) / n as f64;
+        Histogram::new((0..=n).map(|i| lo + w * i as f64).collect())
+    }
+
+    /// Convenience: `n` log-spaced bins over `[lo, hi]`, `lo > 0`.
+    pub fn logarithmic(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0 && lo > 0.0 && hi > lo, "invalid log binning");
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        Histogram::new(
+            (0..=n)
+                .map(|i| (llo + (lhi - llo) * i as f64 / n as f64).exp())
+                .collect(),
+        )
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        let lo = self.edges[0];
+        let hi = *self.edges.last().unwrap();
+        if x < lo {
+            self.underflow += 1;
+        } else if x > hi {
+            self.overflow += 1;
+        } else if x == hi {
+            *self.counts.last_mut().unwrap() += 1;
+        } else {
+            let i = self.edges.partition_point(|&e| e <= x) - 1;
+            self.counts[i] += 1;
+        }
+    }
+
+    /// Add many samples.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Total in-range count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Bin centers (arithmetic midpoint).
+    pub fn centers(&self) -> Vec<f64> {
+        self.edges.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+    }
+
+    /// Density per bin: count / (total * width). Empty histogram yields
+    /// zeros.
+    pub fn density(&self) -> Vec<f64> {
+        let total = self.total() as f64;
+        self.edges
+            .windows(2)
+            .zip(&self.counts)
+            .map(|(w, &c)| {
+                if total == 0.0 {
+                    0.0
+                } else {
+                    c as f64 / (total * (w[1] - w[0]))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Count occupants per square cell of side `cell` over a `width x height`
+/// area. Returns a row-major grid of counts; positions outside the area
+/// are clamped to the border cell (the land boundary snap the SL map
+/// performs). This feeds the zone-occupation CDF (paper Fig. 3, L = 20 m).
+pub fn cell_counts(
+    positions: &[(f64, f64)],
+    width: f64,
+    height: f64,
+    cell: f64,
+) -> CellGrid {
+    assert!(cell > 0.0 && width > 0.0 && height > 0.0, "invalid geometry");
+    let nx = (width / cell).ceil() as usize;
+    let ny = (height / cell).ceil() as usize;
+    let mut counts = vec![0u32; nx * ny];
+    for &(x, y) in positions {
+        let cx = ((x / cell).floor() as isize).clamp(0, nx as isize - 1) as usize;
+        let cy = ((y / cell).floor() as isize).clamp(0, ny as isize - 1) as usize;
+        counts[cy * nx + cx] += 1;
+    }
+    CellGrid { nx, ny, counts }
+}
+
+/// Occupancy grid produced by [`cell_counts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellGrid {
+    /// Number of columns.
+    pub nx: usize,
+    /// Number of rows.
+    pub ny: usize,
+    /// Row-major counts, length `nx * ny`.
+    pub counts: Vec<u32>,
+}
+
+impl CellGrid {
+    /// Total cells.
+    pub fn cells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Fraction of empty cells.
+    pub fn empty_fraction(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 1.0;
+        }
+        self.counts.iter().filter(|&&c| c == 0).count() as f64 / self.counts.len() as f64
+    }
+
+    /// Maximum occupancy over all cells.
+    pub fn max(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_histogram_counts() {
+        let mut h = Histogram::linear(0.0, 10.0, 5);
+        h.extend([0.0, 1.0, 2.0, 3.9, 4.0, 9.99, 10.0]);
+        assert_eq!(h.counts, vec![2, 2, 1, 0, 2]);
+        assert_eq!(h.underflow, 0);
+        assert_eq!(h.overflow, 0);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn out_of_range_samples() {
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.extend([-1.0, 2.0, 0.5]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn log_bins_increase() {
+        let h = Histogram::logarithmic(1.0, 1000.0, 3);
+        let e = &h.edges;
+        assert!((e[0] - 1.0).abs() < 1e-9);
+        assert!((e[3] - 1000.0).abs() < 1e-6);
+        assert!((e[1] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::linear(0.0, 1.0, 10);
+        for i in 0..1000 {
+            h.add((i as f64 + 0.5) / 1000.0);
+        }
+        let integral: f64 = h
+            .density()
+            .iter()
+            .zip(h.edges.windows(2))
+            .map(|(d, w)| d * (w[1] - w[0]))
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_counts_basic() {
+        let pos = [(5.0, 5.0), (15.0, 5.0), (5.0, 15.0), (5.1, 5.2)];
+        let g = cell_counts(&pos, 20.0, 20.0, 10.0);
+        assert_eq!(g.nx, 2);
+        assert_eq!(g.ny, 2);
+        assert_eq!(g.counts, vec![2, 1, 1, 0]);
+        assert_eq!(g.max(), 2);
+        assert!((g.empty_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_counts_clamps_border() {
+        // A position exactly on the far edge must land in the last cell.
+        let g = cell_counts(&[(256.0, 256.0)], 256.0, 256.0, 20.0);
+        assert_eq!(g.counts.iter().sum::<u32>(), 1);
+        assert_eq!(g.counts[g.cells() - 1], 1);
+    }
+
+    #[test]
+    fn cell_grid_dims_paper_config() {
+        // 256 m land, 20 m cells -> 13x13 grid = 169 cells.
+        let g = cell_counts(&[], 256.0, 256.0, 20.0);
+        assert_eq!(g.nx, 13);
+        assert_eq!(g.ny, 13);
+        assert_eq!(g.cells(), 169);
+        assert_eq!(g.empty_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_bad_edges() {
+        Histogram::new(vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Bootstrap confidence intervals.
+//!
+//! The paper reports point medians; a credible reproduction should know
+//! how tight those medians are. Percentile bootstrap over the sample
+//! gives distribution-free intervals for any statistic.
+
+use crate::rng::Rng;
+
+/// A two-sided confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The statistic on the full sample.
+    pub point: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// The confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Percentile-bootstrap confidence interval for `stat` over `samples`.
+///
+/// `level` is the two-sided confidence (e.g. 0.95); `resamples` is the
+/// number of bootstrap replicates (1 000 is plenty for a 95 % CI).
+/// Panics on an empty sample, a silly level, or zero resamples.
+pub fn bootstrap_ci<F>(
+    samples: &[f64],
+    stat: F,
+    resamples: usize,
+    level: f64,
+    rng: &mut Rng,
+) -> ConfidenceInterval
+where
+    F: Fn(&mut [f64]) -> f64,
+{
+    assert!(!samples.is_empty(), "bootstrap of empty sample");
+    assert!((0.0..1.0).contains(&level) && level > 0.5, "odd level");
+    assert!(resamples > 0, "need at least one resample");
+
+    let mut work = samples.to_vec();
+    let point = stat(&mut work);
+
+    let mut replicates = Vec::with_capacity(resamples);
+    let n = samples.len();
+    for _ in 0..resamples {
+        for slot in work.iter_mut() {
+            *slot = samples[rng.index(n)];
+        }
+        replicates.push(stat(&mut work));
+    }
+    replicates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * resamples as f64) as usize).min(resamples - 1);
+    let hi_idx = (((1.0 - alpha) * resamples as f64) as usize).min(resamples - 1);
+    ConfidenceInterval {
+        point,
+        lo: replicates[lo_idx],
+        hi: replicates[hi_idx],
+        level,
+    }
+}
+
+/// Median statistic for use with [`bootstrap_ci`].
+pub fn median_stat(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Mean statistic for use with [`bootstrap_ci`].
+pub fn mean_stat(xs: &mut [f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Sample};
+
+    #[test]
+    fn interval_brackets_the_point() {
+        let mut rng = Rng::new(1);
+        let d = Exponential::from_mean(100.0);
+        let xs: Vec<f64> = (0..500).map(|_| d.sample(&mut rng)).collect();
+        let ci = bootstrap_ci(&xs, median_stat, 1000, 0.95, &mut rng);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi, "{ci:?}");
+        assert!(ci.hi > ci.lo, "interval must have width");
+    }
+
+    #[test]
+    fn interval_covers_true_median_usually() {
+        // Exponential(mean 100): true median = 100·ln2 ≈ 69.3. With 500
+        // samples the 95% CI should cover it on most seeds; check a few.
+        let truth = 100.0 * std::f64::consts::LN_2;
+        let mut covered = 0;
+        for seed in 0..10 {
+            let mut rng = Rng::new(seed);
+            let d = Exponential::from_mean(100.0);
+            let xs: Vec<f64> = (0..500).map(|_| d.sample(&mut rng)).collect();
+            let ci = bootstrap_ci(&xs, median_stat, 500, 0.95, &mut rng);
+            if ci.lo <= truth && truth <= ci.hi {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 8, "coverage too low: {covered}/10");
+    }
+
+    #[test]
+    fn more_samples_tighten_the_interval() {
+        let mut rng = Rng::new(3);
+        let d = Exponential::from_mean(50.0);
+        let small: Vec<f64> = (0..50).map(|_| d.sample(&mut rng)).collect();
+        let large: Vec<f64> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        let ci_small = bootstrap_ci(&small, mean_stat, 800, 0.95, &mut rng);
+        let ci_large = bootstrap_ci(&large, mean_stat, 800, 0.95, &mut rng);
+        assert!(
+            ci_large.hi - ci_large.lo < ci_small.hi - ci_small.lo,
+            "large-sample CI must be tighter"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let a = bootstrap_ci(&xs, median_stat, 200, 0.9, &mut Rng::new(7));
+        let b = bootstrap_ci(&xs, median_stat, 200, 0.9, &mut Rng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sample_panics() {
+        bootstrap_ci(&[], median_stat, 10, 0.95, &mut Rng::new(0));
+    }
+}

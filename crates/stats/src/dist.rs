@@ -1,0 +1,440 @@
+//! Sampling distributions used by the world simulator.
+//!
+//! The mobility literature the paper builds on (Chaintreau et al.,
+//! Karagiannis et al., Rhee et al.) models pause times and flight
+//! lengths with heavy-tailed laws truncated by an exponential cut-off.
+//! Everything here samples by inversion or transformation from the
+//! [`Rng`] uniform primitives, so the streams stay
+//! version-stable.
+
+use crate::rng::Rng;
+
+/// A distribution that can be sampled with our deterministic RNG.
+pub trait Sample {
+    /// Draw one value.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// Analytical mean where defined (used in tests and calibration).
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Create from a rate. Panics unless `lambda > 0` and finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be > 0");
+        Exponential { lambda }
+    }
+
+    /// Create from a mean. Panics unless `mean > 0` and finite.
+    pub fn from_mean(mean: f64) -> Self {
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        -rng.f64_open().ln() / self.lambda
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.lambda)
+    }
+}
+
+/// Log-normal distribution: `exp(mu + sigma * N(0,1))`.
+///
+/// Used for session durations: the paper observes 90 % of sessions under
+/// one hour with a hard maximum near four hours, which a truncated
+/// log-normal matches well.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create from the parameters of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma > 0.0, "sigma must be > 0");
+        assert!(mu.is_finite());
+        LogNormal { mu, sigma }
+    }
+
+    /// Construct from a target median and the ratio `p90/median`
+    /// (convenient for calibrating against published percentiles).
+    pub fn from_median_p90(median: f64, p90: f64) -> Self {
+        assert!(median > 0.0 && p90 > median, "need p90 > median > 0");
+        // z(0.9) = 1.2815515655446004
+        let z90 = 1.281_551_565_544_600_4;
+        let mu = median.ln();
+        let sigma = (p90.ln() - mu) / z90;
+        LogNormal::new(mu, sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * rng.normal()).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + self.sigma * self.sigma / 2.0).exp())
+    }
+}
+
+/// Pareto (type I) distribution with scale `xmin` and shape `alpha`:
+/// `P(X > x) = (xmin / x)^alpha` for `x >= xmin`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    xmin: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Create. Panics unless `xmin > 0` and `alpha > 0`.
+    pub fn new(xmin: f64, alpha: f64) -> Self {
+        assert!(xmin.is_finite() && xmin > 0.0, "xmin must be > 0");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be > 0");
+        Pareto { xmin, alpha }
+    }
+
+    /// Scale parameter (minimum value).
+    pub fn xmin(&self) -> f64 {
+        self.xmin
+    }
+
+    /// Tail exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inversion: x = xmin * u^(-1/alpha).
+        self.xmin * rng.f64_open().powf(-1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        (self.alpha > 1.0).then(|| self.alpha * self.xmin / (self.alpha - 1.0))
+    }
+}
+
+/// Pareto truncated at `xmax` by rejection-free inversion of the
+/// truncated CDF. This is the generative law behind the paper's
+/// "power-law phase followed by an exponential cut-off" observation:
+/// pause and flight processes are heavy-tailed but bounded by session
+/// lengths and land geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedPareto {
+    xmin: f64,
+    xmax: f64,
+    alpha: f64,
+}
+
+impl TruncatedPareto {
+    /// Create. Panics unless `0 < xmin < xmax` and `alpha > 0`.
+    pub fn new(xmin: f64, xmax: f64, alpha: f64) -> Self {
+        assert!(xmin.is_finite() && xmin > 0.0, "xmin must be > 0");
+        assert!(xmax.is_finite() && xmax > xmin, "xmax must exceed xmin");
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be > 0");
+        TruncatedPareto { xmin, xmax, alpha }
+    }
+
+    /// Lower bound.
+    pub fn xmin(&self) -> f64 {
+        self.xmin
+    }
+
+    /// Upper bound.
+    pub fn xmax(&self) -> f64 {
+        self.xmax
+    }
+
+    /// Tail exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Sample for TruncatedPareto {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // CDF F(x) = (1 - (xmin/x)^a) / (1 - (xmin/xmax)^a); invert.
+        let a = self.alpha;
+        let r = (self.xmin / self.xmax).powf(a);
+        let u = rng.f64();
+        self.xmin * (1.0 - u * (1.0 - r)).powf(-1.0 / a)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        let a = self.alpha;
+        let (lo, hi) = (self.xmin, self.xmax);
+        if (a - 1.0).abs() < 1e-12 {
+            // Degenerate alpha=1 case.
+            let norm = 1.0 - lo / hi;
+            return Some(lo * (hi / lo).ln() / norm);
+        }
+        let norm = 1.0 - (lo / hi).powf(a);
+        Some(a * lo.powf(a) * (lo.powf(1.0 - a) - hi.powf(1.0 - a)) / ((a - 1.0) * norm))
+    }
+}
+
+/// Weibull distribution (shape `k`, scale `lambda`); used for a
+/// smoother alternative to exponential session tails in ablations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    k: f64,
+    lambda: f64,
+}
+
+impl Weibull {
+    /// Create. Panics unless both parameters are positive.
+    pub fn new(k: f64, lambda: f64) -> Self {
+        assert!(k.is_finite() && k > 0.0, "k must be > 0");
+        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be > 0");
+        Weibull { k, lambda }
+    }
+}
+
+impl Sample for Weibull {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.lambda * (-rng.f64_open().ln()).powf(1.0 / self.k)
+    }
+}
+
+/// Walker alias method for O(1) weighted categorical sampling.
+///
+/// The POI-gravity mobility model draws a destination point of interest
+/// for every trip; lands have up to dozens of POIs and millions of trips
+/// are drawn per 24 h experiment, so constant-time sampling matters.
+#[derive(Debug, Clone)]
+pub struct Alias {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl Alias {
+    /// Build the alias table from non-negative weights.
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let sum: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+                w
+            })
+            .sum();
+        assert!(sum > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let scale = n as f64 / sum;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical cleanup: anything left is probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Alias { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw a category index.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean<D: Sample>(d: &D, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::from_mean(42.0);
+        let m = sample_mean(&d, 200_000, 1);
+        assert!((m - 42.0).abs() / 42.0 < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let d = Exponential::new(0.001);
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_calibration() {
+        // 90% of sessions under 1h with median 15 min (paper's Fig 4c shape).
+        let d = LogNormal::from_median_p90(900.0, 3600.0);
+        let mut rng = Rng::new(3);
+        let mut xs: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        let p90 = xs[(xs.len() as f64 * 0.9) as usize];
+        assert!((med - 900.0).abs() / 900.0 < 0.05, "median {med}");
+        assert!((p90 - 3600.0).abs() / 3600.0 < 0.05, "p90 {p90}");
+    }
+
+    #[test]
+    fn pareto_tail_exponent() {
+        let d = Pareto::new(10.0, 2.5);
+        let mut rng = Rng::new(4);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x >= 10.0));
+        // P(X > 2*xmin) should be 2^-2.5 ≈ 0.1768.
+        let frac = xs.iter().filter(|&&x| x > 20.0).count() as f64 / n as f64;
+        assert!((frac - 0.17678).abs() < 0.01, "tail frac {frac}");
+    }
+
+    #[test]
+    fn pareto_mean_matches_analytic() {
+        let d = Pareto::new(5.0, 3.0);
+        let m = sample_mean(&d, 300_000, 5);
+        let want = d.mean().unwrap();
+        assert!((m - want).abs() / want < 0.03, "mean {m} want {want}");
+    }
+
+    #[test]
+    fn truncated_pareto_bounds() {
+        let d = TruncatedPareto::new(2.0, 500.0, 1.2);
+        let mut rng = Rng::new(6);
+        for _ in 0..50_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..=500.0).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn truncated_pareto_mean_matches_analytic() {
+        let d = TruncatedPareto::new(1.0, 100.0, 1.5);
+        let m = sample_mean(&d, 400_000, 7);
+        let want = d.mean().unwrap();
+        assert!((m - want).abs() / want < 0.03, "mean {m} want {want}");
+    }
+
+    #[test]
+    fn truncated_pareto_alpha_one_mean() {
+        let d = TruncatedPareto::new(1.0, std::f64::consts::E, 1.0);
+        // mean = ln(e) / (1 - 1/e) = 1 / (1 - 1/e)
+        let want = 1.0 / (1.0 - 1.0 / std::f64::consts::E);
+        let got = d.mean().unwrap();
+        assert!((got - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 10.0);
+        let m = sample_mean(&w, 200_000, 8);
+        assert!((m - 10.0).abs() / 10.0 < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let a = Alias::new(&weights);
+        let mut rng = Rng::new(9);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[a.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let got = counts[i] as f64 / n as f64;
+            let want = w / total;
+            assert!((got - want).abs() < 0.01, "cat {i}: got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let a = Alias::new(&[3.5]);
+        let mut rng = Rng::new(10);
+        for _ in 0..100 {
+            assert_eq!(a.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_zero_weight_never_drawn() {
+        let a = Alias::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = Rng::new(11);
+        for _ in 0..50_000 {
+            let s = a.sample(&mut rng);
+            assert!(s == 1 || s == 3, "drew zero-weight category {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn alias_rejects_all_zero() {
+        Alias::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn alias_rejects_negative() {
+        Alias::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_pareto_rejects_inverted_bounds() {
+        TruncatedPareto::new(10.0, 5.0, 1.0);
+    }
+}

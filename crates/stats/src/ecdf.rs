@@ -1,0 +1,325 @@
+//! Empirical distribution functions and plot series.
+//!
+//! Every figure in the paper is either a CDF or a complementary CDF
+//! (CCDF) of a sample set. [`Ecdf`] owns a sorted copy of the sample and
+//! can be evaluated, inverted (quantiles), and exported as a [`Series`]
+//! for the figure-regeneration harness.
+
+use serde::{Deserialize, Serialize};
+
+/// A named x/y series, the unit of figure regeneration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. a land name).
+    pub label: String,
+    /// X values.
+    pub x: Vec<f64>,
+    /// Y values, same length as `x`.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// Create a series; panics if lengths differ.
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series axes must have equal length");
+        Series {
+            label: label.into(),
+            x,
+            y,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Linear interpolation of y at `x` (clamped to the series range).
+    /// Requires `x` to be sorted ascending, which holds for ECDF output.
+    pub fn interpolate(&self, x: f64) -> f64 {
+        assert!(!self.is_empty(), "cannot interpolate empty series");
+        if x <= self.x[0] {
+            return self.y[0];
+        }
+        if x >= *self.x.last().unwrap() {
+            return *self.y.last().unwrap();
+        }
+        let i = self.x.partition_point(|&v| v <= x);
+        let (x0, x1) = (self.x[i - 1], self.x[i]);
+        let (y0, y1) = (self.y[i - 1], self.y[i]);
+        if x1 == x0 {
+            y1
+        } else {
+            y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+        }
+    }
+}
+
+/// Empirical CDF over a sample.
+///
+/// ```
+/// use sl_stats::ecdf::Ecdf;
+/// let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(e.eval(2.0), 0.5);
+/// assert_eq!(e.median(), 2.0);
+/// assert_eq!(e.quantile(0.9), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+/// Empirical complementary CDF (`1 - F(x)`), the paper's preferred view
+/// of the temporal metrics; thin wrapper sharing [`Ecdf`]'s sample.
+#[derive(Debug, Clone)]
+pub struct Ccdf {
+    inner: Ecdf,
+}
+
+impl Ecdf {
+    /// Build from samples. Non-finite values are rejected with a panic —
+    /// upstream code must filter them deliberately, not silently.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "ECDF input must be finite"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `F(x)`: fraction of samples `<= x`. Returns 0 for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile by the nearest-rank method; `q` clamped to `[0, 1]`.
+    /// Panics on an empty sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty sample");
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Sample mean. Panics on an empty sample.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.sorted.is_empty(), "mean of empty sample");
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Minimum value.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("min of empty sample")
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("max of empty sample")
+    }
+
+    /// Full step-function series: one point per distinct sample value,
+    /// y = F(x). Suitable for figure export.
+    pub fn series(&self, label: impl Into<String>) -> Series {
+        let (xs, ys) = self.step_points(false);
+        Series::new(label, xs, ys)
+    }
+
+    /// Downsampled series on a fixed evaluation grid (useful for plots of
+    /// very large samples). `grid` must be sorted.
+    pub fn series_on_grid(&self, label: impl Into<String>, grid: &[f64]) -> Series {
+        let ys = grid.iter().map(|&x| self.eval(x)).collect();
+        Series::new(label, grid.to_vec(), ys)
+    }
+
+    /// View as complementary CDF.
+    pub fn ccdf(self) -> Ccdf {
+        Ccdf { inner: self }
+    }
+
+    fn step_points(&self, complement: bool) -> (Vec<f64>, Vec<f64>) {
+        let n = self.sorted.len();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = self.sorted[i];
+            let mut j = i + 1;
+            while j < n && self.sorted[j] == v {
+                j += 1;
+            }
+            let f = j as f64 / n as f64;
+            xs.push(v);
+            ys.push(if complement { 1.0 - f } else { f });
+            i = j;
+        }
+        (xs, ys)
+    }
+}
+
+impl Ccdf {
+    /// Build directly from samples.
+    pub fn new(samples: Vec<f64>) -> Self {
+        Ecdf::new(samples).ccdf()
+    }
+
+    /// `1 - F(x)`: fraction of samples strictly greater than x.
+    pub fn eval(&self, x: f64) -> f64 {
+        1.0 - self.inner.eval(x)
+    }
+
+    /// Underlying ECDF.
+    pub fn ecdf(&self) -> &Ecdf {
+        &self.inner
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Median of the underlying sample.
+    pub fn median(&self) -> f64 {
+        self.inner.median()
+    }
+
+    /// Step series of `1 - F(x)` per distinct sample value.
+    pub fn series(&self, label: impl Into<String>) -> Series {
+        let (xs, ys) = self.inner.step_points(true);
+        Series::new(label, xs, ys)
+    }
+
+    /// CCDF evaluated on a log-spaced grid between the sample min and
+    /// max — matches the log-x axes of the paper's Figure 1.
+    pub fn series_log_grid(&self, label: impl Into<String>, points: usize) -> Series {
+        assert!(points >= 2, "need at least two grid points");
+        assert!(!self.is_empty(), "log grid of empty sample");
+        let lo = self.inner.min().max(1e-9);
+        let hi = self.inner.max().max(lo * (1.0 + 1e-9));
+        let (llo, lhi) = (lo.ln(), hi.ln());
+        let xs: Vec<f64> = (0..points)
+            .map(|i| (llo + (lhi - llo) * i as f64 / (points - 1) as f64).exp())
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| self.eval(x)).collect();
+        Series::new(label, xs, ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_eval_basic() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_handles_duplicates() {
+        let e = Ecdf::new(vec![2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(e.eval(2.0), 0.75);
+        let s = e.series("dup");
+        assert_eq!(s.x, vec![2.0, 5.0]);
+        assert_eq!(s.y, vec![0.75, 1.0]);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(0.9), 90.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.median(), 50.0);
+    }
+
+    #[test]
+    fn ccdf_complements_ecdf() {
+        let samples = vec![1.0, 3.0, 3.0, 7.0, 9.0];
+        let c = Ccdf::new(samples.clone());
+        let e = Ecdf::new(samples);
+        for x in [0.0, 1.0, 2.0, 3.0, 8.0, 9.0, 10.0] {
+            assert!((c.eval(x) - (1.0 - e.eval(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn series_interpolation() {
+        let s = Series::new("t", vec![0.0, 10.0], vec![0.0, 1.0]);
+        assert_eq!(s.interpolate(-5.0), 0.0);
+        assert_eq!(s.interpolate(5.0), 0.5);
+        assert_eq!(s.interpolate(15.0), 1.0);
+    }
+
+    #[test]
+    fn log_grid_series_is_monotone_decreasing() {
+        let samples: Vec<f64> = (1..1000).map(|i| i as f64).collect();
+        let c = Ccdf::new(samples);
+        let s = c.series_log_grid("t", 50);
+        assert_eq!(s.len(), 50);
+        for w in s.y.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "CCDF must be non-increasing");
+        }
+        for w in s.x.windows(2) {
+            assert!(w[1] > w[0], "grid must increase");
+        }
+    }
+
+    #[test]
+    fn empty_ecdf_eval_is_zero() {
+        let e = Ecdf::new(vec![]);
+        assert_eq!(e.eval(1.0), 0.0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nan() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_empty_panics() {
+        Ecdf::new(vec![]).quantile(0.5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Kolmogorov–Smirnov distances, used by the power-law fitter (xmin
+//! scan, Clauset-style) and by tests asserting that regenerated
+//! distributions keep the paper's shape.
+
+use crate::ecdf::Ecdf;
+
+/// One-sample KS statistic: sup |F_n(x) − F(x)| against a model CDF.
+///
+/// `sorted` must be ascending (as produced by [`Ecdf::sorted`]); the
+/// supremum is taken at the sample points, evaluating the empirical CDF
+/// both just before and at each point.
+pub fn ks_statistic<F: Fn(f64) -> f64>(sorted: &[f64], model_cdf: F) -> f64 {
+    assert!(!sorted.is_empty(), "KS statistic of empty sample");
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = model_cdf(x);
+        let lo = i as f64 / n; // empirical CDF just below x
+        let hi = (i as f64 + 1.0) / n; // empirical CDF at x
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Two-sample KS statistic between two empirical distributions.
+pub fn ks_two_sample(a: &Ecdf, b: &Ecdf) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS of empty sample");
+    let mut d: f64 = 0.0;
+    for &x in a.sorted().iter().chain(b.sorted().iter()) {
+        d = d.max((a.eval(x) - b.eval(x)).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Sample};
+    use crate::rng::Rng;
+
+    #[test]
+    fn ks_zero_for_perfect_fit_limit() {
+        // Sample = exact quantiles of U(0,1): KS -> 1/(2n).
+        let n = 1000;
+        let sorted: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&sorted, |x| x.clamp(0.0, 1.0));
+        assert!(d <= 0.5 / n as f64 + 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn ks_detects_wrong_model() {
+        let mut rng = Rng::new(1);
+        let exp = Exponential::from_mean(1.0);
+        let mut xs: Vec<f64> = (0..5000).map(|_| exp.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Correct model: small distance.
+        let d_good = ks_statistic(&xs, |x| 1.0 - (-x).exp());
+        // Wrong rate: much larger distance.
+        let d_bad = ks_statistic(&xs, |x| 1.0 - (-x / 3.0).exp());
+        assert!(d_good < 0.03, "good fit d={d_good}");
+        assert!(d_bad > 0.2, "bad fit d={d_bad}");
+    }
+
+    #[test]
+    fn two_sample_same_distribution_small() {
+        let mut rng = Rng::new(2);
+        let exp = Exponential::from_mean(5.0);
+        let a = Ecdf::new((0..4000).map(|_| exp.sample(&mut rng)).collect());
+        let b = Ecdf::new((0..4000).map(|_| exp.sample(&mut rng)).collect());
+        assert!(ks_two_sample(&a, &b) < 0.05);
+    }
+
+    #[test]
+    fn two_sample_disjoint_is_one() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        let b = Ecdf::new(vec![10.0, 11.0]);
+        assert!((ks_two_sample(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_sample_symmetric() {
+        let a = Ecdf::new(vec![1.0, 4.0, 9.0, 16.0]);
+        let b = Ecdf::new(vec![2.0, 3.0, 5.0, 8.0, 13.0]);
+        assert!((ks_two_sample(&a, &b) - ks_two_sample(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,40 @@
+//! # sl-stats
+//!
+//! Statistics substrate for the Second Life mobility reproduction.
+//!
+//! This crate deliberately has no third-party RNG dependency: every
+//! experiment in the workspace must be bit-reproducible given a `u64`
+//! seed, across crate-version bumps. It therefore ships:
+//!
+//! * [`rng`] — a self-contained xoshiro256++ generator seeded through
+//!   splitmix64, with the uniform/normal primitives the rest of the
+//!   workspace needs;
+//! * [`dist`] — the distributions used by the world simulator
+//!   (exponential, log-normal, Pareto and truncated Pareto, Weibull,
+//!   alias-method categorical sampling);
+//! * [`ecdf`] — empirical CDF/CCDF machinery producing the series behind
+//!   every figure of the paper;
+//! * [`binning`] — linear and logarithmic binning plus histogram helpers;
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals;
+//! * [`fit`] — maximum-likelihood power-law fitting with exponential
+//!   cut-off detection (the paper's "two-phase" observation);
+//! * [`ks`] — Kolmogorov–Smirnov distances;
+//! * [`summary`] — streaming moments and quantile summaries.
+
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod bootstrap;
+pub mod dist;
+pub mod ecdf;
+pub mod fit;
+pub mod ks;
+pub mod rng;
+pub mod summary;
+
+pub use bootstrap::{bootstrap_ci, ConfidenceInterval};
+pub use dist::{Alias, Exponential, LogNormal, Pareto, TruncatedPareto, Weibull};
+pub use ecdf::{Ccdf, Ecdf, Series};
+pub use fit::{PowerLawFit, TwoPhaseFit};
+pub use rng::Rng;
+pub use summary::Summary;

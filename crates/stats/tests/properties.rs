@@ -1,0 +1,175 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use sl_stats::binning::{cell_counts, Histogram};
+use sl_stats::dist::{Alias, Exponential, LogNormal, Pareto, Sample, TruncatedPareto};
+use sl_stats::ecdf::{Ccdf, Ecdf};
+use sl_stats::ks::ks_two_sample;
+use sl_stats::rng::Rng;
+use sl_stats::summary::Summary;
+
+proptest! {
+    #[test]
+    fn rng_below_is_always_in_range(seed: u64, n in 1u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_range_f64_bounded(seed: u64, lo in -1e6f64..1e6, width in 0.0f64..1e6) {
+        let mut rng = Rng::new(seed);
+        let hi = lo + width;
+        for _ in 0..50 {
+            let x = rng.range_f64(lo, hi);
+            prop_assert!(x >= lo && x <= hi);
+        }
+    }
+
+    #[test]
+    fn forked_streams_do_not_collide(seed: u64, tag1: u64, tag2: u64) {
+        prop_assume!(tag1 != tag2);
+        let mut parent = Rng::new(seed);
+        let mut a = parent.fork(tag1);
+        let mut b = parent.fork(tag2);
+        // Collisions of a few consecutive outputs would mean the fork
+        // derivation is broken.
+        let matches = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert!(matches <= 1);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(mut xs in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let e = Ecdf::new(xs.clone());
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &xs {
+            let f = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+        prop_assert_eq!(e.eval(f64::MAX), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_sample_values_within_range(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        q in 0.0f64..=1.0
+    ) {
+        let e = Ecdf::new(xs.clone());
+        let v = e.quantile(q);
+        prop_assert!(xs.contains(&v));
+        prop_assert!(v >= e.min() && v <= e.max());
+    }
+
+    #[test]
+    fn ccdf_complements_ecdf_everywhere(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        probe in -1e6f64..1e6
+    ) {
+        let e = Ecdf::new(xs.clone());
+        let c = Ccdf::new(xs);
+        prop_assert!((c.eval(probe) - (1.0 - e.eval(probe))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_two_sample_is_a_bounded_metric(
+        a in prop::collection::vec(-1e3f64..1e3, 1..80),
+        b in prop::collection::vec(-1e3f64..1e3, 1..80)
+    ) {
+        let ea = Ecdf::new(a);
+        let eb = Ecdf::new(b);
+        let d_ab = ks_two_sample(&ea, &eb);
+        let d_ba = ks_two_sample(&eb, &ea);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!((d_ab - d_ba).abs() < 1e-12, "symmetry");
+        prop_assert!(ks_two_sample(&ea, &ea) < 1e-12, "identity");
+    }
+
+    #[test]
+    fn truncated_pareto_respects_bounds(
+        seed: u64,
+        xmin in 0.1f64..100.0,
+        scale in 1.1f64..100.0,
+        alpha in 0.2f64..4.0
+    ) {
+        let xmax = xmin * scale;
+        let d = TruncatedPareto::new(xmin, xmax, alpha);
+        let mut rng = Rng::new(seed);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= xmin && x <= xmax, "{x} outside [{xmin}, {xmax}]");
+        }
+    }
+
+    #[test]
+    fn positive_distributions_are_positive(seed: u64, p in 0.1f64..10.0) {
+        let mut rng = Rng::new(seed);
+        let e = Exponential::new(p);
+        let ln = LogNormal::new(0.0, p);
+        let pa = Pareto::new(p, 1.0 + p);
+        for _ in 0..50 {
+            prop_assert!(e.sample(&mut rng) > 0.0);
+            prop_assert!(ln.sample(&mut rng) > 0.0);
+            prop_assert!(pa.sample(&mut rng) >= p);
+        }
+    }
+
+    #[test]
+    fn alias_never_draws_zero_weight(
+        seed: u64,
+        weights in prop::collection::vec(0.0f64..10.0, 1..40)
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let alias = Alias::new(&weights);
+        let mut rng = Rng::new(seed);
+        for _ in 0..300 {
+            let i = alias.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "drew zero-weight category {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_samples(
+        xs in prop::collection::vec(-100.0f64..200.0, 0..300)
+    ) {
+        let mut h = Histogram::linear(0.0, 100.0, 10);
+        h.extend(xs.iter().copied());
+        prop_assert_eq!(
+            h.total() + h.underflow + h.overflow,
+            xs.len() as u64
+        );
+    }
+
+    #[test]
+    fn cell_counts_conserve_users(
+        xs in prop::collection::vec((0.0f64..256.0, 0.0f64..256.0), 0..150)
+    ) {
+        let grid = cell_counts(&xs, 256.0, 256.0, 20.0);
+        let total: u32 = grid.counts.iter().sum();
+        prop_assert_eq!(total as usize, xs.len());
+    }
+
+    #[test]
+    fn summary_merge_associates(
+        a in prop::collection::vec(-1e3f64..1e3, 0..50),
+        b in prop::collection::vec(-1e3f64..1e3, 0..50),
+        c in prop::collection::vec(-1e3f64..1e3, 0..50)
+    ) {
+        // (a+b)+c == a+(b+c) within floating tolerance.
+        let s = |xs: &[f64]| Summary::of(xs.iter().copied());
+        let mut left = s(&a);
+        left.merge(&s(&b));
+        left.merge(&s(&c));
+        let mut bc = s(&b);
+        bc.merge(&s(&c));
+        let mut right = s(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - right.variance()).abs() < 1e-4);
+    }
+}

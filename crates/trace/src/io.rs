@@ -1,0 +1,372 @@
+//! Trace serialization.
+//!
+//! Two formats:
+//!
+//! * **JSONL** — one JSON object per line: a header line with the land
+//!   metadata followed by one line per snapshot. Self-describing and
+//!   diff-able; the interchange format of this repository.
+//! * **Binary** — a compact length-prefixed format (~12 bytes per
+//!   observation) for the 24 h × 3-land experiment corpus, built on
+//!   `bytes`.
+
+use crate::types::{LandMeta, Observation, Position, Snapshot, Trace, UserId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, Write};
+
+/// Errors from trace IO.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// JSON parse failure with line number.
+    Json {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The underlying parse error.
+        source: serde_json::Error,
+    },
+    /// Missing or malformed header line.
+    Header(String),
+    /// Binary framing failure.
+    Binary(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Json { line, source } => write!(f, "json error on line {line}: {source}"),
+            IoError::Header(msg) => write!(f, "bad trace header: {msg}"),
+            IoError::Binary(msg) => write!(f, "bad binary trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Json { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Write a trace as JSONL: header line, then one line per snapshot.
+pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> Result<(), IoError> {
+    let header = serde_json::to_string(&trace.meta).expect("meta serializes");
+    writeln!(w, "{header}")?;
+    for snap in &trace.snapshots {
+        let line = serde_json::to_string(snap).expect("snapshot serializes");
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Read a JSONL trace written by [`write_jsonl`].
+pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, IoError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| IoError::Header("empty input".into()))??;
+    let meta: LandMeta = serde_json::from_str(&header)
+        .map_err(|source| IoError::Json { line: 1, source })?;
+    let mut trace = Trace::new(meta);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let snap: Snapshot = serde_json::from_str(&line)
+            .map_err(|source| IoError::Json { line: i + 2, source })?;
+        // Malformed files must error rather than trip the ordering
+        // assertion in `Trace::push`.
+        if let Some(last) = trace.snapshots.last() {
+            if snap.t <= last.t {
+                return Err(IoError::Header(format!(
+                    "line {}: non-monotonic snapshot time {} after {}",
+                    i + 2,
+                    snap.t,
+                    last.t
+                )));
+            }
+        }
+        trace.push(snap);
+    }
+    Ok(trace)
+}
+
+const BINARY_MAGIC: u32 = 0x534c_5452; // "SLTR"
+const BINARY_VERSION: u16 = 1;
+
+/// Encode a trace into the compact binary format.
+///
+/// Layout: magic, version, land name (u16 len + UTF-8), width/height/tau
+/// as f64, snapshot count u32; each snapshot: t f64, entry count u32,
+/// then per entry user u32 and x/y/z as f32 (centimeter precision is far
+/// beyond the crawler's fidelity).
+pub fn encode_binary(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + trace.snapshots.len() * 16);
+    buf.put_u32(BINARY_MAGIC);
+    buf.put_u16(BINARY_VERSION);
+    let name = trace.meta.name.as_bytes();
+    buf.put_u16(name.len() as u16);
+    buf.put_slice(name);
+    buf.put_f64(trace.meta.width);
+    buf.put_f64(trace.meta.height);
+    buf.put_f64(trace.meta.tau);
+    buf.put_u32(trace.snapshots.len() as u32);
+    for snap in &trace.snapshots {
+        buf.put_f64(snap.t);
+        buf.put_u32(snap.entries.len() as u32);
+        for obs in &snap.entries {
+            buf.put_u32(obs.user.0);
+            buf.put_f32(obs.pos.x as f32);
+            buf.put_f32(obs.pos.y as f32);
+            buf.put_f32(obs.pos.z as f32);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a binary trace produced by [`encode_binary`].
+pub fn decode_binary(mut data: Bytes) -> Result<Trace, IoError> {
+    fn need(data: &Bytes, n: usize, what: &str) -> Result<(), IoError> {
+        if data.remaining() < n {
+            return Err(IoError::Binary(format!("truncated while reading {what}")));
+        }
+        Ok(())
+    }
+    need(&data, 6, "magic")?;
+    let magic = data.get_u32();
+    if magic != BINARY_MAGIC {
+        return Err(IoError::Binary(format!("bad magic {magic:#x}")));
+    }
+    let version = data.get_u16();
+    if version != BINARY_VERSION {
+        return Err(IoError::Binary(format!("unsupported version {version}")));
+    }
+    need(&data, 2, "name length")?;
+    let name_len = data.get_u16() as usize;
+    need(&data, name_len, "name")?;
+    let name_bytes = data.split_to(name_len);
+    let name = std::str::from_utf8(&name_bytes)
+        .map_err(|_| IoError::Binary("land name is not UTF-8".into()))?
+        .to_string();
+    need(&data, 28, "geometry")?;
+    let width = data.get_f64();
+    let height = data.get_f64();
+    let tau = data.get_f64();
+    let n_snaps = data.get_u32() as usize;
+    // Counts must be plausible against the bytes actually present —
+    // otherwise a corrupted count triggers a giant allocation below.
+    if n_snaps > data.remaining() / 12 {
+        return Err(IoError::Binary(format!(
+            "snapshot count {n_snaps} exceeds what {} bytes can hold",
+            data.remaining()
+        )));
+    }
+    let mut trace = Trace::new(LandMeta {
+        name,
+        width,
+        height,
+        tau,
+    });
+    for _ in 0..n_snaps {
+        need(&data, 12, "snapshot header")?;
+        let t = data.get_f64();
+        // Corrupted input must become an error, not a panic inside
+        // `Trace::push`'s ordering assertion.
+        if !t.is_finite() {
+            return Err(IoError::Binary(format!("non-finite snapshot time {t}")));
+        }
+        if let Some(last) = trace.snapshots.last() {
+            if t <= last.t {
+                return Err(IoError::Binary(format!(
+                    "non-monotonic snapshot time {t} after {}",
+                    last.t
+                )));
+            }
+        }
+        let n_entries = data.get_u32() as usize;
+        if n_entries > data.remaining() / 16 {
+            return Err(IoError::Binary(format!(
+                "entry count {n_entries} exceeds what {} bytes can hold",
+                data.remaining()
+            )));
+        }
+        let mut snap = Snapshot::new(t);
+        snap.entries.reserve(n_entries);
+        for _ in 0..n_entries {
+            need(&data, 16, "observation")?;
+            let user = UserId(data.get_u32());
+            let x = data.get_f32() as f64;
+            let y = data.get_f32() as f64;
+            let z = data.get_f32() as f64;
+            snap.entries.push(Observation {
+                user,
+                pos: Position::new(x, y, z),
+            });
+        }
+        trace.push(snap);
+    }
+    if data.has_remaining() {
+        return Err(IoError::Binary(format!(
+            "{} trailing bytes after trace",
+            data.remaining()
+        )));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(LandMeta::standard("Isle of View", 10.0));
+        for step in 0..5 {
+            let mut s = Snapshot::new(step as f64 * 10.0);
+            for u in 0..step {
+                s.push(
+                    UserId(u),
+                    Position::new(u as f64 * 1.5, step as f64 * 2.25, 22.0),
+                );
+            }
+            t.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let back = read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push('\n');
+        text.push('\n');
+        let back = read_jsonl(std::io::Cursor::new(text.into_bytes())).unwrap();
+        assert_eq!(t.len(), back.len());
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        let err = read_jsonl(std::io::Cursor::new(b"not json\n".to_vec())).unwrap_err();
+        assert!(matches!(err, IoError::Json { line: 1, .. }));
+    }
+
+    #[test]
+    fn jsonl_rejects_empty() {
+        let err = read_jsonl(std::io::Cursor::new(Vec::<u8>::new())).unwrap_err();
+        assert!(matches!(err, IoError::Header(_)));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample_trace();
+        let bytes = encode_binary(&t);
+        let back = decode_binary(bytes).unwrap();
+        assert_eq!(t.meta, back.meta);
+        assert_eq!(t.len(), back.len());
+        // f32 rounding: compare approximately.
+        for (a, b) in t.snapshots.iter().zip(&back.snapshots) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.entries.len(), b.entries.len());
+            for (oa, ob) in a.entries.iter().zip(&b.entries) {
+                assert_eq!(oa.user, ob.user);
+                assert!((oa.pos.x - ob.pos.x).abs() < 1e-3);
+                assert!((oa.pos.y - ob.pos.y).abs() < 1e-3);
+                assert!((oa.pos.z - ob.pos.z).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut b = BytesMut::new();
+        b.put_u32(0xdead_beef);
+        b.put_u16(1);
+        let err = decode_binary(b.freeze()).unwrap_err();
+        assert!(matches!(err, IoError::Binary(_)));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let t = sample_trace();
+        let bytes = encode_binary(&t);
+        for cut in [3, 10, bytes.len() - 1] {
+            let err = decode_binary(bytes.slice(..cut)).unwrap_err();
+            assert!(matches!(err, IoError::Binary(_)), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_non_monotonic_times() {
+        // Hand-craft a trace whose second snapshot goes back in time.
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        t.push(Snapshot::new(10.0));
+        t.push(Snapshot::new(20.0));
+        let mut raw = encode_binary(&t).to_vec();
+        // The second snapshot's f64 time is the last 12 bytes: t(8) +
+        // count(4). Overwrite it with 5.0 < 10.0.
+        let len = raw.len();
+        raw[len - 12..len - 4].copy_from_slice(&5.0f64.to_be_bytes());
+        let err = decode_binary(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, IoError::Binary(_)), "got {err}");
+    }
+
+    #[test]
+    fn jsonl_rejects_non_monotonic_times() {
+        let text = concat!(
+            "{\"name\":\"T\",\"width\":256.0,\"height\":256.0,\"tau\":10.0}\n",
+            "{\"t\":10.0,\"entries\":[]}\n",
+            "{\"t\":10.0,\"entries\":[]}\n",
+        );
+        let err = read_jsonl(std::io::Cursor::new(text.as_bytes().to_vec())).unwrap_err();
+        assert!(matches!(err, IoError::Header(_)), "got {err}");
+    }
+
+    #[test]
+    fn binary_rejects_trailing_bytes() {
+        let t = sample_trace();
+        let mut raw = BytesMut::from(&encode_binary(&t)[..]);
+        raw.put_u8(0);
+        let err = decode_binary(raw.freeze()).unwrap_err();
+        assert!(matches!(err, IoError::Binary(_)));
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_jsonl() {
+        let t = {
+            let mut t = Trace::new(LandMeta::standard("Big", 10.0));
+            for step in 0..100 {
+                let mut s = Snapshot::new(step as f64 * 10.0);
+                for u in 0..50 {
+                    s.push(UserId(u), Position::new(1.0, 2.0, 3.0));
+                }
+                t.push(s);
+            }
+            t
+        };
+        let bin = encode_binary(&t).len();
+        let mut json = Vec::new();
+        write_jsonl(&t, &mut json).unwrap();
+        assert!(bin * 2 < json.len(), "binary {bin} vs jsonl {}", json.len());
+    }
+}

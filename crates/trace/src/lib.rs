@@ -1,0 +1,33 @@
+//! # sl-trace
+//!
+//! Mobility-trace data model for the Second Life reproduction.
+//!
+//! A trace is what the paper's crawler produces: a temporal sequence of
+//! *snapshots*, each listing the identity and `{x, y, z}` position of
+//! every avatar present on the target land at that instant, taken at a
+//! fixed granularity τ (10 s in the paper). This crate owns:
+//!
+//! * [`types`] — identifiers, positions (including the SL "seated ⇒
+//!   {0,0,0}" quirk), snapshots and the [`types::Trace`] container;
+//! * [`sessions`] — reconstruction of per-user sessions (login/logout
+//!   intervals) from snapshot presence;
+//! * [`summary`] — the paper's Table-like trace summary (unique users,
+//!   average concurrency);
+//! * [`io`] — JSONL and compact binary serialization;
+//! * [`mod@merge`] — combining traces from several monitors of one land;
+//! * [`mod@validate`] — structural validation of traces before analysis.
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod merge;
+pub mod sessions;
+pub mod summary;
+pub mod types;
+pub mod validate;
+
+pub use merge::{merge, MergeError};
+pub use sessions::{extract_sessions, Session};
+pub use summary::TraceSummary;
+pub use types::{LandMeta, Position, Snapshot, Trace, UserId};
+pub use validate::{validate, ValidationError};

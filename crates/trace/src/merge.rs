@@ -1,0 +1,162 @@
+//! Trace merging: combine observations of the same land from several
+//! monitors (two crawlers, or crawler + sensor reconstruction) into one
+//! trace. The paper ran one crawler per land; anyone reusing the
+//! published traces for larger campaigns needs exactly this operation.
+
+use crate::types::{Snapshot, Trace};
+
+/// Why traces cannot be merged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// No input traces.
+    Empty,
+    /// Land metadata differs (name or geometry) — these are different
+    /// lands, merging would be meaningless.
+    MetaMismatch {
+        /// The first trace's land name.
+        first: String,
+        /// The offending trace's land name.
+        other: String,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "nothing to merge"),
+            MergeError::MetaMismatch { first, other } => {
+                write!(f, "cannot merge traces of different lands ({first} vs {other})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merge several traces of the *same land* into one.
+///
+/// Snapshots are aligned by time (rounded to milliseconds); when two
+/// traces observed the same instant, their entries are united and a
+/// user reported by both keeps the first trace's position (monitors of
+/// the same world agree up to rounding anyway). Snapshot times unique
+/// to either trace are all kept — the merged trace is denser than
+/// either input where their τ grids interleave.
+pub fn merge(traces: &[Trace]) -> Result<Trace, MergeError> {
+    let first = traces.first().ok_or(MergeError::Empty)?;
+    for t in traces {
+        if t.meta.name != first.meta.name
+            || t.meta.width != first.meta.width
+            || t.meta.height != first.meta.height
+        {
+            return Err(MergeError::MetaMismatch {
+                first: first.meta.name.clone(),
+                other: t.meta.name.clone(),
+            });
+        }
+    }
+
+    use std::collections::BTreeMap;
+    let mut by_time: BTreeMap<i64, Snapshot> = BTreeMap::new();
+    for trace in traces {
+        for snap in &trace.snapshots {
+            let key = (snap.t * 1000.0).round() as i64;
+            let merged = by_time.entry(key).or_insert_with(|| Snapshot::new(snap.t));
+            for obs in &snap.entries {
+                if merged.get(obs.user).is_none() {
+                    merged.push(obs.user, obs.pos);
+                }
+            }
+        }
+    }
+
+    let mut out = Trace::new(first.meta.clone());
+    for (_, mut snap) in by_time {
+        snap.entries.sort_by_key(|o| o.user);
+        out.push(snap);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{LandMeta, Position, UserId};
+
+    fn trace_with(times_users: &[(f64, &[u32])]) -> Trace {
+        let mut t = Trace::new(LandMeta::standard("L", 10.0));
+        for &(time, users) in times_users {
+            let mut s = Snapshot::new(time);
+            for &u in users {
+                s.push(UserId(u), Position::new(u as f64, time, 22.0));
+            }
+            t.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn merging_disjoint_times_interleaves() {
+        let a = trace_with(&[(10.0, &[1]), (30.0, &[1])]);
+        let b = trace_with(&[(20.0, &[2])]);
+        let m = merge(&[a, b]).unwrap();
+        assert_eq!(m.len(), 3);
+        let times: Vec<f64> = m.snapshots.iter().map(|s| s.t).collect();
+        assert_eq!(times, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn same_instant_unions_users() {
+        let a = trace_with(&[(10.0, &[1, 2])]);
+        let b = trace_with(&[(10.0, &[2, 3])]);
+        let m = merge(&[a, b]).unwrap();
+        assert_eq!(m.len(), 1);
+        let users: Vec<u32> = m.snapshots[0].entries.iter().map(|o| o.user.0).collect();
+        assert_eq!(users, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn first_trace_wins_position_conflicts() {
+        let mut a = Trace::new(LandMeta::standard("L", 10.0));
+        let mut s = Snapshot::new(10.0);
+        s.push(UserId(1), Position::new(1.0, 1.0, 22.0));
+        a.push(s);
+        let mut b = Trace::new(LandMeta::standard("L", 10.0));
+        let mut s = Snapshot::new(10.0);
+        s.push(UserId(1), Position::new(9.0, 9.0, 22.0));
+        b.push(s);
+        let m = merge(&[a, b]).unwrap();
+        assert_eq!(
+            m.snapshots[0].get(UserId(1)),
+            Some(Position::new(1.0, 1.0, 22.0))
+        );
+    }
+
+    #[test]
+    fn merged_trace_validates() {
+        let a = trace_with(&[(10.0, &[1]), (20.0, &[1, 2])]);
+        let b = trace_with(&[(15.0, &[3]), (20.0, &[3])]);
+        let m = merge(&[a, b]).unwrap();
+        crate::validate(&m).unwrap();
+    }
+
+    #[test]
+    fn different_lands_rejected() {
+        let a = trace_with(&[(10.0, &[1])]);
+        let mut b = Trace::new(LandMeta::standard("Other", 10.0));
+        b.push(Snapshot::new(10.0));
+        let err = merge(&[a, b]).unwrap_err();
+        assert!(matches!(err, MergeError::MetaMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(merge(&[]).unwrap_err(), MergeError::Empty);
+    }
+
+    #[test]
+    fn single_trace_is_identity() {
+        let a = trace_with(&[(10.0, &[1, 2]), (20.0, &[2])]);
+        let m = merge(std::slice::from_ref(&a)).unwrap();
+        assert_eq!(a, m);
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-user session reconstruction.
+//!
+//! The crawler only sees presence: a user's session is the maximal run
+//! of consecutive snapshots containing them. A user can visit a land
+//! several times during an experiment; a gap of more than `gap_tolerance`
+//! snapshot intervals splits the presence into separate sessions (brief
+//! single-snapshot dropouts — crawler hiccups — are bridged).
+
+use crate::types::{Position, Trace, UserId};
+use serde::{Deserialize, Serialize};
+
+/// One contiguous visit of one user to the land.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// Who.
+    pub user: UserId,
+    /// Time of the first snapshot containing the user.
+    pub start: f64,
+    /// Time of the last snapshot containing the user.
+    pub end: f64,
+    /// Observed positions (one per snapshot the user appeared in),
+    /// paired with their snapshot times.
+    pub path: Vec<(f64, Position)>,
+}
+
+impl Session {
+    /// Session duration — the paper's "Travel time … total connection
+    /// time to the SL land we monitor" metric.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Cumulative ground-plane path length — the paper's "Travel
+    /// length" (Fig. 4a extends past any straight-line displacement the
+    /// 256 m land allows, so it is the distance *covered*, not the
+    /// login→logout displacement).
+    pub fn travel_length(&self) -> f64 {
+        self.path
+            .windows(2)
+            .map(|w| w[0].1.distance_xy(&w[1].1))
+            .sum()
+    }
+
+    /// Time spent moving — the paper's "Effective travel time": the sum
+    /// of inter-snapshot intervals during which the user's position
+    /// changed by more than `still_epsilon` meters.
+    pub fn effective_travel_time(&self, still_epsilon: f64) -> f64 {
+        self.path
+            .windows(2)
+            .filter(|w| w[0].1.distance_xy(&w[1].1) > still_epsilon)
+            .map(|w| w[1].0 - w[0].0)
+            .sum()
+    }
+}
+
+/// Extract sessions from a trace.
+///
+/// `gap_tolerance` is in *snapshot intervals* (τ): a user absent for at
+/// most that many consecutive snapshots is considered continuously
+/// present (positions during the gap are simply missing from `path`).
+pub fn extract_sessions(trace: &Trace, gap_tolerance: usize) -> Vec<Session> {
+    use std::collections::HashMap;
+    let tau = trace.meta.tau;
+    let max_gap = tau * (gap_tolerance as f64 + 1.0) + tau * 0.5;
+
+    // Open sessions per user.
+    let mut open: HashMap<UserId, Session> = HashMap::new();
+    let mut done: Vec<Session> = Vec::new();
+
+    for snap in &trace.snapshots {
+        for obs in &snap.entries {
+            match open.get_mut(&obs.user) {
+                Some(s) if snap.t - s.end <= max_gap => {
+                    s.end = snap.t;
+                    s.path.push((snap.t, obs.pos));
+                }
+                Some(s) => {
+                    // Gap too large: close the old session, open a new one.
+                    let finished = std::mem::replace(
+                        s,
+                        Session {
+                            user: obs.user,
+                            start: snap.t,
+                            end: snap.t,
+                            path: vec![(snap.t, obs.pos)],
+                        },
+                    );
+                    done.push(finished);
+                }
+                None => {
+                    open.insert(
+                        obs.user,
+                        Session {
+                            user: obs.user,
+                            start: snap.t,
+                            end: snap.t,
+                            path: vec![(snap.t, obs.pos)],
+                        },
+                    );
+                }
+            }
+        }
+    }
+    done.extend(open.into_values());
+    // Deterministic order: by start time, then user id.
+    done.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .unwrap()
+            .then(a.user.cmp(&b.user))
+    });
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{LandMeta, Snapshot};
+
+    fn make_trace(presences: &[(u32, &[u32])]) -> Trace {
+        // presences: (time_step, users present) with tau = 10.
+        let mut t = Trace::new(LandMeta::standard("Test", 10.0));
+        for &(step, users) in presences {
+            let mut s = Snapshot::new(step as f64 * 10.0);
+            for &u in users {
+                s.push(UserId(u), Position::new(u as f64, step as f64, 0.0));
+            }
+            t.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn single_continuous_session() {
+        let t = make_trace(&[(0, &[1]), (1, &[1]), (2, &[1])]);
+        let ss = extract_sessions(&t, 0);
+        assert_eq!(ss.len(), 1);
+        assert_eq!(ss[0].user, UserId(1));
+        assert_eq!(ss[0].start, 0.0);
+        assert_eq!(ss[0].end, 20.0);
+        assert_eq!(ss[0].duration(), 20.0);
+        assert_eq!(ss[0].path.len(), 3);
+    }
+
+    #[test]
+    fn gap_splits_sessions_when_intolerant() {
+        let t = make_trace(&[(0, &[1]), (1, &[1]), (3, &[1]), (4, &[1])]);
+        // gap_tolerance 0: the missing step 2 splits the visit.
+        let ss = extract_sessions(&t, 0);
+        assert_eq!(ss.len(), 2);
+        assert_eq!((ss[0].start, ss[0].end), (0.0, 10.0));
+        assert_eq!((ss[1].start, ss[1].end), (30.0, 40.0));
+    }
+
+    #[test]
+    fn gap_bridged_when_tolerant() {
+        let t = make_trace(&[(0, &[1]), (1, &[1]), (3, &[1])]);
+        let ss = extract_sessions(&t, 1);
+        assert_eq!(ss.len(), 1);
+        assert_eq!(ss[0].duration(), 30.0);
+        // Path only holds the three actual observations.
+        assert_eq!(ss[0].path.len(), 3);
+    }
+
+    #[test]
+    fn multiple_users_interleaved() {
+        let t = make_trace(&[(0, &[1, 2]), (1, &[2]), (2, &[1, 2])]);
+        let ss = extract_sessions(&t, 0);
+        // User 1 has two 1-snapshot sessions, user 2 one 3-snapshot one.
+        let u1: Vec<_> = ss.iter().filter(|s| s.user == UserId(1)).collect();
+        let u2: Vec<_> = ss.iter().filter(|s| s.user == UserId(2)).collect();
+        assert_eq!(u1.len(), 2);
+        assert_eq!(u2.len(), 1);
+        assert_eq!(u2[0].duration(), 20.0);
+    }
+
+    #[test]
+    fn travel_length_sums_segments() {
+        let mut t = Trace::new(LandMeta::standard("Test", 10.0));
+        let mut s0 = Snapshot::new(0.0);
+        s0.push(UserId(1), Position::new(0.0, 0.0, 0.0));
+        let mut s1 = Snapshot::new(10.0);
+        s1.push(UserId(1), Position::new(3.0, 4.0, 0.0));
+        let mut s2 = Snapshot::new(20.0);
+        s2.push(UserId(1), Position::new(3.0, 4.0, 0.0));
+        let mut s3 = Snapshot::new(30.0);
+        s3.push(UserId(1), Position::new(6.0, 8.0, 0.0));
+        for s in [s0, s1, s2, s3] {
+            t.push(s);
+        }
+        let ss = extract_sessions(&t, 0);
+        assert_eq!(ss.len(), 1);
+        assert!((ss[0].travel_length() - 10.0).abs() < 1e-12);
+        // Moving during 2 of 3 intervals: effective travel time = 20 s.
+        assert!((ss[0].effective_travel_time(0.01) - 20.0).abs() < 1e-12);
+        // Total connection time = 30 s.
+        assert!((ss[0].duration() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sessions_sorted_deterministically() {
+        let t = make_trace(&[(0, &[3, 1, 2])]);
+        let ss = extract_sessions(&t, 0);
+        let users: Vec<u32> = ss.iter().map(|s| s.user.0).collect();
+        assert_eq!(users, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_trace_no_sessions() {
+        let t = Trace::new(LandMeta::standard("Test", 10.0));
+        assert!(extract_sessions(&t, 0).is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! Core trace types.
+
+use serde::{Deserialize, Serialize};
+
+/// Opaque avatar identifier, unique within one experiment.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct UserId(pub u32);
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Avatar position in land-relative meters.
+///
+/// Second Life reports `{0, 0, 0}` for avatars seated on objects; the
+/// trace layer preserves that quirk verbatim (it is the *analysis*
+/// layer's job to decide how to treat seated users — the paper selected
+/// lands where users did not sit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Position {
+    /// East–west coordinate, meters.
+    pub x: f64,
+    /// North–south coordinate, meters.
+    pub y: f64,
+    /// Altitude, meters.
+    pub z: f64,
+}
+
+impl Position {
+    /// Construct a position.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Position { x, y, z }
+    }
+
+    /// The sentinel SL uses for seated avatars.
+    pub const SEATED: Position = Position {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// True when this is the seated sentinel.
+    pub fn is_seated_sentinel(&self) -> bool {
+        self.x == 0.0 && self.y == 0.0 && self.z == 0.0
+    }
+
+    /// Ground-plane (x, y) tuple, the basis of all of the paper's
+    /// metrics (contacts and trips use 2-D distance).
+    pub fn xy(&self) -> (f64, f64) {
+        (self.x, self.y)
+    }
+
+    /// 2-D Euclidean distance on the ground plane.
+    pub fn distance_xy(&self, other: &Position) -> f64 {
+        let (dx, dy) = (self.x - other.x, self.y - other.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Full 3-D Euclidean distance.
+    pub fn distance(&self, other: &Position) -> f64 {
+        let (dx, dy, dz) = (self.x - other.x, self.y - other.y, self.z - other.z);
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
+
+/// One observed avatar in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Which avatar.
+    pub user: UserId,
+    /// Where it stood.
+    pub pos: Position,
+}
+
+/// A full-land position snapshot at virtual time `t` (seconds since the
+/// experiment epoch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Virtual time of the snapshot, seconds.
+    pub t: f64,
+    /// Every avatar present, at most once each.
+    pub entries: Vec<Observation>,
+}
+
+impl Snapshot {
+    /// Empty snapshot at `t`.
+    pub fn new(t: f64) -> Self {
+        Snapshot {
+            t,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, user: UserId, pos: Position) {
+        self.entries.push(Observation { user, pos });
+    }
+
+    /// Number of avatars present.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the land was empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ground-plane coordinates in entry order.
+    pub fn positions_xy(&self) -> Vec<(f64, f64)> {
+        self.entries.iter().map(|o| o.pos.xy()).collect()
+    }
+
+    /// Find one user's position.
+    pub fn get(&self, user: UserId) -> Option<Position> {
+        self.entries
+            .iter()
+            .find(|o| o.user == user)
+            .map(|o| o.pos)
+    }
+}
+
+/// Metadata describing the monitored land.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LandMeta {
+    /// Land name, e.g. "Dance Island".
+    pub name: String,
+    /// East–west extent, meters (SL default 256).
+    pub width: f64,
+    /// North–south extent, meters (SL default 256).
+    pub height: f64,
+    /// Snapshot granularity τ, seconds.
+    pub tau: f64,
+}
+
+impl LandMeta {
+    /// Standard 256 × 256 m SL land.
+    pub fn standard(name: impl Into<String>, tau: f64) -> Self {
+        LandMeta {
+            name: name.into(),
+            width: 256.0,
+            height: 256.0,
+            tau,
+        }
+    }
+}
+
+/// A complete trace: land metadata plus time-ordered snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The monitored land.
+    pub meta: LandMeta,
+    /// Snapshots in strictly increasing time order.
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl Trace {
+    /// Empty trace for a land.
+    pub fn new(meta: LandMeta) -> Self {
+        Trace {
+            meta,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Append a snapshot; panics unless its time exceeds the last one.
+    pub fn push(&mut self, snap: Snapshot) {
+        if let Some(last) = self.snapshots.last() {
+            assert!(
+                snap.t > last.t,
+                "snapshots must be strictly time-ordered ({} after {})",
+                snap.t,
+                last.t
+            );
+        }
+        self.snapshots.push(snap);
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when no snapshots were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Observation span in seconds (last minus first snapshot time);
+    /// zero for traces with fewer than two snapshots.
+    pub fn duration(&self) -> f64 {
+        match (self.snapshots.first(), self.snapshots.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// All distinct users ever observed, sorted.
+    pub fn unique_users(&self) -> Vec<UserId> {
+        let mut set: Vec<UserId> = self
+            .snapshots
+            .iter()
+            .flat_map(|s| s.entries.iter().map(|o| o.user))
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_distance() {
+        let a = Position::new(0.0, 0.0, 0.0);
+        let b = Position::new(3.0, 4.0, 12.0);
+        assert!((a.distance_xy(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance(&b) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seated_sentinel() {
+        assert!(Position::SEATED.is_seated_sentinel());
+        assert!(!Position::new(0.0, 0.1, 0.0).is_seated_sentinel());
+    }
+
+    #[test]
+    fn snapshot_accessors() {
+        let mut s = Snapshot::new(10.0);
+        s.push(UserId(1), Position::new(1.0, 2.0, 0.0));
+        s.push(UserId(2), Position::new(3.0, 4.0, 0.0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(UserId(2)), Some(Position::new(3.0, 4.0, 0.0)));
+        assert_eq!(s.get(UserId(3)), None);
+        assert_eq!(s.positions_xy(), vec![(1.0, 2.0), (3.0, 4.0)]);
+    }
+
+    #[test]
+    fn trace_ordering_enforced() {
+        let mut t = Trace::new(LandMeta::standard("Test", 10.0));
+        t.push(Snapshot::new(0.0));
+        t.push(Snapshot::new(10.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.duration(), 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn trace_rejects_time_regression() {
+        let mut t = Trace::new(LandMeta::standard("Test", 10.0));
+        t.push(Snapshot::new(10.0));
+        t.push(Snapshot::new(10.0));
+    }
+
+    #[test]
+    fn unique_users_dedup() {
+        let mut t = Trace::new(LandMeta::standard("Test", 10.0));
+        let mut s0 = Snapshot::new(0.0);
+        s0.push(UserId(5), Position::default());
+        s0.push(UserId(1), Position::default());
+        let mut s1 = Snapshot::new(10.0);
+        s1.push(UserId(1), Position::default());
+        s1.push(UserId(9), Position::default());
+        t.push(s0);
+        t.push(s1);
+        assert_eq!(t.unique_users(), vec![UserId(1), UserId(5), UserId(9)]);
+    }
+
+    #[test]
+    fn empty_trace_duration_zero() {
+        let t = Trace::new(LandMeta::standard("Test", 10.0));
+        assert_eq!(t.duration(), 0.0);
+        assert!(t.unique_users().is_empty());
+    }
+
+    #[test]
+    fn user_id_display() {
+        assert_eq!(UserId(17).to_string(), "u17");
+    }
+}

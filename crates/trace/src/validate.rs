@@ -1,0 +1,240 @@
+//! Structural validation of traces before analysis.
+//!
+//! Analyses assume: strictly increasing snapshot times, no duplicate
+//! users within a snapshot, finite coordinates, and positions inside the
+//! land (with the seated {0,0,0} sentinel allowed). A trace read from
+//! disk or collected over a faulty network connection is validated once,
+//! up front, instead of sprinkling defensive checks over every metric.
+
+use crate::types::Trace;
+
+/// A validation failure, with enough context to locate the bad record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// Snapshot `index` does not strictly follow its predecessor.
+    NonMonotonicTime {
+        /// Snapshot index in the trace.
+        index: usize,
+        /// Offending time.
+        t: f64,
+        /// Previous snapshot time.
+        prev: f64,
+    },
+    /// The same user appears twice in one snapshot.
+    DuplicateUser {
+        /// Snapshot index.
+        index: usize,
+        /// Duplicated user id.
+        user: u32,
+    },
+    /// A coordinate is NaN or infinite.
+    NonFiniteCoordinate {
+        /// Snapshot index.
+        index: usize,
+        /// Offending user id.
+        user: u32,
+    },
+    /// A position lies outside the land (and is not the seated sentinel).
+    OutOfBounds {
+        /// Snapshot index.
+        index: usize,
+        /// Offending user id.
+        user: u32,
+        /// The x coordinate.
+        x: f64,
+        /// The y coordinate.
+        y: f64,
+    },
+    /// Land metadata is unusable (non-positive dimensions or τ).
+    BadMeta(String),
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::NonMonotonicTime { index, t, prev } => {
+                write!(f, "snapshot {index}: time {t} does not follow {prev}")
+            }
+            ValidationError::DuplicateUser { index, user } => {
+                write!(f, "snapshot {index}: user u{user} appears twice")
+            }
+            ValidationError::NonFiniteCoordinate { index, user } => {
+                write!(f, "snapshot {index}: user u{user} has non-finite coordinates")
+            }
+            ValidationError::OutOfBounds { index, user, x, y } => {
+                write!(f, "snapshot {index}: user u{user} at ({x}, {y}) outside land")
+            }
+            ValidationError::BadMeta(msg) => write!(f, "bad land metadata: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Margin (meters) tolerated beyond the land border: the SL map can
+/// report avatars marginally outside the parcel while they cross the
+/// land boundary.
+pub const BORDER_SLACK: f64 = 4.0;
+
+/// Validate a trace; returns the first problem found.
+// `!(x > 0.0)` is deliberate: it catches NaN dimensions as well as
+// non-positive ones, which `x <= 0.0` would let through.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn validate(trace: &Trace) -> Result<(), ValidationError> {
+    let meta = &trace.meta;
+    if !(meta.width > 0.0) || !(meta.height > 0.0) {
+        return Err(ValidationError::BadMeta(format!(
+            "dimensions {}x{}",
+            meta.width, meta.height
+        )));
+    }
+    if !(meta.tau > 0.0) {
+        return Err(ValidationError::BadMeta(format!("tau {}", meta.tau)));
+    }
+
+    let mut prev_t = f64::NEG_INFINITY;
+    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for (index, snap) in trace.snapshots.iter().enumerate() {
+        if snap.t <= prev_t {
+            return Err(ValidationError::NonMonotonicTime {
+                index,
+                t: snap.t,
+                prev: prev_t,
+            });
+        }
+        prev_t = snap.t;
+        seen.clear();
+        for obs in &snap.entries {
+            if !seen.insert(obs.user.0) {
+                return Err(ValidationError::DuplicateUser {
+                    index,
+                    user: obs.user.0,
+                });
+            }
+            let p = obs.pos;
+            if !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite()) {
+                return Err(ValidationError::NonFiniteCoordinate {
+                    index,
+                    user: obs.user.0,
+                });
+            }
+            if p.is_seated_sentinel() {
+                continue;
+            }
+            if p.x < -BORDER_SLACK
+                || p.y < -BORDER_SLACK
+                || p.x > meta.width + BORDER_SLACK
+                || p.y > meta.height + BORDER_SLACK
+            {
+                return Err(ValidationError::OutOfBounds {
+                    index,
+                    user: obs.user.0,
+                    x: p.x,
+                    y: p.y,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{LandMeta, Position, Snapshot, Trace, UserId};
+
+    fn base() -> Trace {
+        Trace::new(LandMeta::standard("T", 10.0))
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let mut t = base();
+        let mut s = Snapshot::new(0.0);
+        s.push(UserId(1), Position::new(10.0, 20.0, 22.0));
+        s.push(UserId(2), Position::SEATED);
+        t.push(s);
+        assert_eq!(validate(&t), Ok(()));
+    }
+
+    #[test]
+    fn duplicate_user_detected() {
+        let mut t = base();
+        let mut s = Snapshot::new(0.0);
+        s.push(UserId(1), Position::new(1.0, 1.0, 0.0));
+        s.push(UserId(1), Position::new(2.0, 2.0, 0.0));
+        t.push(s);
+        assert!(matches!(
+            validate(&t),
+            Err(ValidationError::DuplicateUser { index: 0, user: 1 })
+        ));
+    }
+
+    #[test]
+    fn non_finite_detected() {
+        let mut t = base();
+        let mut s = Snapshot::new(0.0);
+        s.push(UserId(7), Position::new(f64::NAN, 1.0, 0.0));
+        t.push(s);
+        assert!(matches!(
+            validate(&t),
+            Err(ValidationError::NonFiniteCoordinate { user: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut t = base();
+        let mut s = Snapshot::new(0.0);
+        s.push(UserId(3), Position::new(400.0, 10.0, 0.0));
+        t.push(s);
+        assert!(matches!(
+            validate(&t),
+            Err(ValidationError::OutOfBounds { user: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn border_slack_tolerated() {
+        let mut t = base();
+        let mut s = Snapshot::new(0.0);
+        s.push(UserId(3), Position::new(258.0, -2.0, 0.0));
+        t.push(s);
+        assert_eq!(validate(&t), Ok(()));
+    }
+
+    #[test]
+    fn seated_sentinel_allowed_despite_origin() {
+        // {0,0,0} is technically "on the corner" but must be accepted.
+        let mut t = base();
+        let mut s = Snapshot::new(0.0);
+        s.push(UserId(1), Position::SEATED);
+        t.push(s);
+        assert_eq!(validate(&t), Ok(()));
+    }
+
+    #[test]
+    fn bad_meta_detected() {
+        let t = Trace::new(LandMeta {
+            name: "Broken".into(),
+            width: 0.0,
+            height: 256.0,
+            tau: 10.0,
+        });
+        assert!(matches!(validate(&t), Err(ValidationError::BadMeta(_))));
+        let t2 = Trace::new(LandMeta {
+            name: "Broken".into(),
+            width: 256.0,
+            height: 256.0,
+            tau: 0.0,
+        });
+        assert!(matches!(validate(&t2), Err(ValidationError::BadMeta(_))));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ValidationError::DuplicateUser { index: 4, user: 9 };
+        assert!(e.to_string().contains("snapshot 4"));
+        assert!(e.to_string().contains("u9"));
+    }
+}

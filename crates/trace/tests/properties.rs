@@ -1,0 +1,108 @@
+//! Property-based tests for trace serialization and session
+//! reconstruction on arbitrary (valid) traces.
+
+use proptest::prelude::*;
+use sl_trace::io::{decode_binary, encode_binary, read_jsonl, write_jsonl};
+use sl_trace::{extract_sessions, LandMeta, Position, Snapshot, Trace, UserId};
+
+/// Arbitrary valid traces: increasing times, per-snapshot unique users,
+/// in-bounds coordinates.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let snapshot = prop::collection::btree_map(0u32..60, (0.0f64..256.0, 0.0f64..256.0), 0..12);
+    prop::collection::vec(snapshot, 0..25).prop_map(|snaps| {
+        let mut trace = Trace::new(LandMeta::standard("Prop", 10.0));
+        for (k, users) in snaps.into_iter().enumerate() {
+            let mut s = Snapshot::new((k as f64 + 1.0) * 10.0);
+            for (u, (x, y)) in users {
+                s.push(UserId(u), Position::new(x, y, 22.0));
+            }
+            trace.push(s);
+        }
+        trace
+    })
+}
+
+proptest! {
+    #[test]
+    fn jsonl_round_trips_exactly(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        write_jsonl(&trace, &mut buf).unwrap();
+        let back = read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn binary_round_trips_structurally(trace in arb_trace()) {
+        let back = decode_binary(encode_binary(&trace)).unwrap();
+        prop_assert_eq!(&trace.meta, &back.meta);
+        prop_assert_eq!(trace.len(), back.len());
+        for (a, b) in trace.snapshots.iter().zip(&back.snapshots) {
+            prop_assert_eq!(a.t, b.t);
+            prop_assert_eq!(a.entries.len(), b.entries.len());
+            for (oa, ob) in a.entries.iter().zip(&b.entries) {
+                prop_assert_eq!(oa.user, ob.user);
+                prop_assert!((oa.pos.x - ob.pos.x).abs() < 1e-3);
+                prop_assert!((oa.pos.y - ob.pos.y).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_decoder_never_panics_on_corruption(
+        trace in arb_trace(),
+        cut in 0usize..200,
+        flip in 0usize..200
+    ) {
+        let encoded = encode_binary(&trace);
+        // Truncation at any point must error or succeed, never panic.
+        let cut = cut.min(encoded.len());
+        let _ = decode_binary(encoded.slice(..cut));
+        // Bit flips likewise.
+        if !encoded.is_empty() {
+            let mut raw = encoded.to_vec();
+            let idx = flip % raw.len();
+            raw[idx] ^= 0x55;
+            let _ = decode_binary(bytes::Bytes::from(raw));
+        }
+    }
+
+    #[test]
+    fn sessions_cover_every_observation(trace in arb_trace(), gap in 0usize..4) {
+        let sessions = extract_sessions(&trace, gap);
+        // Every (user, snapshot) observation appears in exactly one
+        // session path.
+        let mut covered = std::collections::HashSet::new();
+        for s in &sessions {
+            for &(t, _) in &s.path {
+                let key = (s.user, (t * 1000.0) as i64);
+                prop_assert!(covered.insert(key), "observation counted twice");
+            }
+        }
+        let mut total = 0usize;
+        for snap in &trace.snapshots {
+            total += snap.entries.len();
+        }
+        prop_assert_eq!(covered.len(), total);
+    }
+
+    #[test]
+    fn session_invariants(trace in arb_trace(), gap in 0usize..4) {
+        for s in extract_sessions(&trace, gap) {
+            prop_assert!(s.end >= s.start);
+            prop_assert!(!s.path.is_empty());
+            prop_assert_eq!(s.path.first().unwrap().0, s.start);
+            prop_assert_eq!(s.path.last().unwrap().0, s.end);
+            prop_assert!(s.travel_length() >= 0.0);
+            prop_assert!(s.effective_travel_time(0.5) <= s.duration() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn larger_gap_tolerance_never_increases_session_count(
+        trace in arb_trace()
+    ) {
+        let strict = extract_sessions(&trace, 0).len();
+        let loose = extract_sessions(&trace, 3).len();
+        prop_assert!(loose <= strict);
+    }
+}

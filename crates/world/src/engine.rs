@@ -1,0 +1,166 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: the sequence number is the
+//! insertion order, which both breaks time ties deterministically and
+//! gives FIFO semantics for same-time events — the property that makes
+//! traces reproducible across refactorings of the caller.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event carrying a payload `E`.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert to pop the earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue driving a simulation.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at absolute time `t`. Panics on NaN (a NaN
+    /// time would silently corrupt the heap order).
+    pub fn schedule(&mut self, t: f64, payload: E) {
+        assert!(!t.is_nan(), "cannot schedule an event at NaN");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time: t,
+            seq,
+            payload,
+        });
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pop the next event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|s| (s.time, s.payload))
+    }
+
+    /// Pop the next event only if it is due at or before `t`.
+    pub fn pop_due(&mut self, t: f64) -> Option<(f64, E)> {
+        if self.peek_time().is_some_and(|pt| pt <= t) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(3.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((3.0, "b")));
+        assert_eq!(q.pop(), Some((5.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, 1);
+        q.schedule(2.0, 2);
+        q.schedule(2.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn pop_due_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(10.0, "late");
+        q.schedule(1.0, "early");
+        assert_eq!(q.pop_due(5.0), Some((1.0, "early")));
+        assert_eq!(q.pop_due(5.0), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(10.0), Some((10.0, "late")));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(7.0, ());
+        assert_eq!(q.peek_time(), Some(7.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn negative_and_zero_times_supported() {
+        let mut q = EventQueue::new();
+        q.schedule(0.0, "zero");
+        q.schedule(-1.0, "neg");
+        assert_eq!(q.pop().unwrap().1, "neg");
+        assert_eq!(q.pop().unwrap().1, "zero");
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_time_rejected() {
+        EventQueue::new().schedule(f64::NAN, ());
+    }
+}

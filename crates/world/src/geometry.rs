@@ -1,0 +1,173 @@
+//! Minimal 2-D geometry for land-relative coordinates.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point/vector in land-relative meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East–west component.
+    pub x: f64,
+    /// North–south component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Construct.
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: Vec2) -> f64 {
+        let (dx, dy) = (self.x - other.x, self.y - other.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared distance (avoids the sqrt in hot loops).
+    pub fn distance2(&self, other: Vec2) -> f64 {
+        let (dx, dy) = (self.x - other.x, self.y - other.y);
+        dx * dx + dy * dy
+    }
+
+    /// Vector length.
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Linear interpolation: `self` at `f = 0`, `other` at `f = 1`.
+    pub fn lerp(&self, other: Vec2, f: f64) -> Vec2 {
+        Vec2::new(
+            self.x + (other.x - self.x) * f,
+            self.y + (other.y - self.y) * f,
+        )
+    }
+
+    /// Point at `dist` from `self` in direction `angle` (radians).
+    pub fn offset(&self, angle: f64, dist: f64) -> Vec2 {
+        Vec2::new(self.x + dist * angle.cos(), self.y + dist * angle.sin())
+    }
+}
+
+impl std::ops::Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl std::ops::Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+/// Axis-aligned rectangle with origin corner `(0, 0)` — SL land
+/// coordinates are relative to the land's south-west corner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// East–west extent, meters.
+    pub width: f64,
+    /// North–south extent, meters.
+    pub height: f64,
+}
+
+impl Rect {
+    /// Construct; panics on non-positive dimensions.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "rect must have positive size");
+        Rect { width, height }
+    }
+
+    /// The SL default land, 256 × 256 m.
+    pub fn standard() -> Self {
+        Rect::new(256.0, 256.0)
+    }
+
+    /// True when `p` lies inside (borders included).
+    pub fn contains(&self, p: Vec2) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Clamp `p` into the rectangle.
+    pub fn clamp(&self, p: Vec2) -> Vec2 {
+        Vec2::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec2 {
+        Vec2::new(self.width / 2.0, self.height / 2.0)
+    }
+
+    /// Diagonal length — an upper bound on any straight-line trip.
+    pub fn diagonal(&self) -> f64 {
+        (self.width * self.width + self.height * self.height).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance2(b) - 25.0).abs() < 1e-12);
+        assert!((b.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn offset_moves_by_distance() {
+        let p = Vec2::new(10.0, 10.0);
+        let q = p.offset(std::f64::consts::FRAC_PI_2, 5.0);
+        assert!((q.x - 10.0).abs() < 1e-12);
+        assert!((q.y - 15.0).abs() < 1e-12);
+        assert!((p.distance(q) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_contains_and_clamp() {
+        let r = Rect::standard();
+        assert!(r.contains(Vec2::new(0.0, 0.0)));
+        assert!(r.contains(Vec2::new(256.0, 256.0)));
+        assert!(!r.contains(Vec2::new(-0.1, 10.0)));
+        assert_eq!(
+            r.clamp(Vec2::new(-5.0, 300.0)),
+            Vec2::new(0.0, 256.0)
+        );
+        assert_eq!(r.center(), Vec2::new(128.0, 128.0));
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(10.0, 20.0);
+        assert_eq!(a + b, Vec2::new(11.0, 22.0));
+        assert_eq!(b - a, Vec2::new(9.0, 18.0));
+        assert_eq!(a * 3.0, Vec2::new(3.0, 6.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rect_rejects_zero_size() {
+        Rect::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,412 @@
+//! A multi-land grid: the metaverse dimension of the paper.
+//!
+//! §2: "The task of monitoring user activity in the whole SL metaverse
+//! is very complex: in this work we focus on measurements made on a
+//! selected subspace of SL, that is called a land." Real users do not
+//! live on one land — they teleport. The [`Grid`] composes several
+//! [`World`]s under a *shared user-identity space*: one arrival process
+//! routes users to lands by popularity, and a user's session is a chain
+//! of land visits joined by teleports. A crawler watching one land then
+//! sees exactly what the paper's crawler saw: high unique-visitor churn
+//! (users passing through) against a modest concurrent population.
+//!
+//! Each member world runs with its internal arrival process disabled
+//! ([`World::without_arrivals`]); the grid owns arrivals, session
+//! splitting and hops.
+
+use crate::engine::EventQueue;
+use crate::session::{ArrivalProcess, SessionDurations};
+use crate::world::{World, WorldConfig};
+use sl_stats::dist::Alias;
+use sl_stats::rng::Rng;
+use sl_trace::{Trace, UserId};
+
+/// Configuration of a multi-land grid.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Member lands with their popularity weights (relative probability
+    /// of being chosen as a visit destination).
+    pub lands: Vec<(WorldConfig, f64)>,
+    /// Grid-wide arrival process (new users entering the metaverse).
+    pub arrivals: ArrivalProcess,
+    /// Total-session-duration law (split across visited lands).
+    pub sessions: SessionDurations,
+    /// Probability that a user teleports onward when a land visit ends
+    /// (instead of logging out).
+    pub hop_prob: f64,
+    /// Hard cap on hops per session (protects against hop_prob ≈ 1).
+    pub max_hops: u32,
+}
+
+/// Grid-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GridStats {
+    /// Users who entered the metaverse.
+    pub logins: u64,
+    /// Teleports performed.
+    pub hops: u64,
+    /// Hops rejected because the destination land was full (the user
+    /// logs out instead — SL shows "region full").
+    pub rejected_hops: u64,
+    /// Logins rejected because the first-choice land was full.
+    pub rejected_logins: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum GridEvent {
+    Login,
+    /// `user` finishes a visit on land `from` having `hops_left`.
+    VisitEnd {
+        user: UserId,
+        from: usize,
+        hops_left: u32,
+    },
+}
+
+/// The grid: several worlds, one identity space.
+#[derive(Debug)]
+pub struct Grid {
+    worlds: Vec<World>,
+    popularity: Alias,
+    config: GridConfig,
+    events: EventQueue<GridEvent>,
+    clock: f64,
+    rng: Rng,
+    next_user: u32,
+    stats: GridStats,
+}
+
+impl Grid {
+    /// Build a grid and schedule the first login. Panics on an empty
+    /// land list or non-positive weights (via [`Alias`]).
+    pub fn new(config: GridConfig, seed: u64) -> Self {
+        assert!(!config.lands.is_empty(), "a grid needs at least one land");
+        assert!(
+            (0.0..=1.0).contains(&config.hop_prob),
+            "hop_prob must be a probability"
+        );
+        let mut rng = Rng::new(seed);
+        let worlds: Vec<World> = config
+            .lands
+            .iter()
+            .enumerate()
+            .map(|(i, (wc, _))| {
+                let mut w =
+                    World::without_arrivals(wc.clone(), rng.fork(i as u64).next_u64());
+                // Disjoint per-world id space for externals (crawlers):
+                // grid session ids stay far below this base.
+                w.reserve_user_ids(1_000_000_000 + i as u32 * 1_000_000);
+                w
+            })
+            .collect();
+        let weights: Vec<f64> = config.lands.iter().map(|(_, w)| *w).collect();
+        let popularity = Alias::new(&weights);
+        let mut events = EventQueue::new();
+        let first = config.arrivals.next_after(0.0, &mut rng);
+        events.schedule(first, GridEvent::Login);
+        Grid {
+            worlds,
+            popularity,
+            config,
+            events,
+            clock: 0.0,
+            rng,
+            next_user: 0,
+            stats: GridStats::default(),
+        }
+    }
+
+    /// Number of member lands.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// True when the grid has no lands (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Current virtual time, seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> GridStats {
+        self.stats
+    }
+
+    /// Member world by index (post-advance state).
+    pub fn world(&self, index: usize) -> &World {
+        &self.worlds[index]
+    }
+
+    /// Mutable member world — for attaching external avatars and
+    /// deploying objects. Do **not** advance a member world directly:
+    /// drive time through [`Grid::advance_to`] so logins and hops fire;
+    /// a directly advanced world will simply be caught up (its clock is
+    /// ahead) on the next grid advance and miss no events of its own,
+    /// but grid-level sessions would lag behind it.
+    pub fn world_mut(&mut self, index: usize) -> &mut World {
+        &mut self.worlds[index]
+    }
+
+    /// Total population across all lands.
+    pub fn population(&self) -> usize {
+        self.worlds.iter().map(|w| w.population()).sum()
+    }
+
+    /// Advance the whole grid (all lands and the session machinery) to
+    /// virtual time `t`.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t >= self.clock, "cannot rewind the grid");
+        while let Some((et, ev)) = self.events.pop_due(t) {
+            // Bring every world up to the event time first: hops read
+            // and mutate world state at `et`. Worlds already ahead
+            // (advanced through `world_mut` by a server) are left as
+            // they are.
+            for w in &mut self.worlds {
+                if et > w.clock() {
+                    w.advance_to(et);
+                }
+            }
+            self.clock = et;
+            self.handle(ev);
+        }
+        for w in &mut self.worlds {
+            if t > w.clock() {
+                w.advance_to(t);
+            }
+        }
+        self.clock = t;
+    }
+
+    fn handle(&mut self, ev: GridEvent) {
+        match ev {
+            GridEvent::Login => {
+                let next = self.config.arrivals.next_after(self.clock, &mut self.rng);
+                self.events.schedule(next, GridEvent::Login);
+
+                let user = UserId(self.next_user);
+                self.next_user += 1;
+                let hops = self.draw_hops();
+                let land = self.popularity.sample(&mut self.rng);
+                self.stats.logins += 1;
+                if !self.start_visit(user, land, hops) {
+                    // "Region full" at login is not a failed teleport.
+                    self.stats.rejected_logins += 1;
+                }
+            }
+            GridEvent::VisitEnd {
+                user,
+                from,
+                hops_left,
+            } => {
+                if hops_left == 0 {
+                    return; // session over; the world already removed them
+                }
+                // Teleport: prefer a different land when one exists.
+                let mut dest = self.popularity.sample(&mut self.rng);
+                if self.worlds.len() > 1 {
+                    for _ in 0..4 {
+                        if dest != from {
+                            break;
+                        }
+                        dest = self.popularity.sample(&mut self.rng);
+                    }
+                }
+                self.stats.hops += 1;
+                if !self.start_visit(user, dest, hops_left - 1) {
+                    self.stats.rejected_hops += 1;
+                }
+            }
+        }
+    }
+
+    fn draw_hops(&mut self) -> u32 {
+        let mut hops = 0;
+        while hops < self.config.max_hops && self.rng.chance(self.config.hop_prob) {
+            hops += 1;
+        }
+        hops
+    }
+
+    /// Returns false when the land was full and the visit never began.
+    fn start_visit(&mut self, user: UserId, land: usize, hops_left: u32) -> bool {
+        // Visit length: one session-law draw per land visit.
+        let visit = self.config.sessions.sample(1.0, &mut self.rng);
+        if self.worlds[land].admit(user, visit) {
+            self.events.schedule(
+                self.clock + visit,
+                GridEvent::VisitEnd {
+                    user,
+                    from: land,
+                    hops_left,
+                },
+            );
+            true
+        } else {
+            // Region full: the user gives up (logs out); the caller
+            // attributes the rejection (login vs teleport).
+            false
+        }
+    }
+
+    /// Record a trace of one member land while the whole grid runs —
+    /// what a crawler parked on that land would see.
+    pub fn run_trace_of(&mut self, land: usize, duration: f64, tau: f64) -> Trace {
+        assert!(tau > 0.0 && duration >= tau, "need duration >= tau > 0");
+        let meta = sl_trace::LandMeta {
+            name: self.worlds[land].land().name.clone(),
+            width: self.worlds[land].land().area.width,
+            height: self.worlds[land].land().area.height,
+            tau,
+        };
+        let mut trace = Trace::new(meta);
+        let start = self.clock;
+        let steps = (duration / tau).floor() as u64;
+        for k in 1..=steps {
+            self.advance_to(start + k as f64 * tau);
+            trace.push(self.worlds[land].snapshot());
+        }
+        trace
+    }
+
+    /// Advance without recording.
+    pub fn warm_up(&mut self, duration: f64) {
+        let t = self.clock + duration;
+        self.advance_to(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{apfel_land, dance_island, isle_of_view};
+    use crate::session::DiurnalProfile;
+
+    fn grid_config() -> GridConfig {
+        GridConfig {
+            lands: vec![
+                (dance_island().config, 3.0),
+                (apfel_land().config, 1.0),
+                (isle_of_view().config, 4.0),
+            ],
+            arrivals: ArrivalProcess::with_expected(6000.0, 86_400.0, DiurnalProfile::evening()),
+            sessions: SessionDurations::new(400.0, 1600.0, 14_400.0),
+            hop_prob: 0.5,
+            max_hops: 5,
+        }
+    }
+
+    #[test]
+    fn grid_populates_all_lands() {
+        let mut g = Grid::new(grid_config(), 1);
+        g.warm_up(4.0 * 3600.0);
+        assert!(g.population() > 20, "total {}", g.population());
+        for i in 0..g.len() {
+            assert!(
+                g.world(i).population() > 0,
+                "land {i} ({}) empty",
+                g.world(i).land().name
+            );
+        }
+        assert!(g.stats().hops > 0, "teleports should have happened");
+    }
+
+    #[test]
+    fn popularity_shapes_population() {
+        let mut g = Grid::new(grid_config(), 2);
+        g.warm_up(6.0 * 3600.0);
+        // Weight 4 (IoV) should out-populate weight 1 (Apfel).
+        let apfel = g.world(1).population();
+        let iov = g.world(2).population();
+        assert!(
+            iov > apfel,
+            "popularity must shape population (iov {iov} vs apfel {apfel})"
+        );
+    }
+
+    #[test]
+    fn users_hop_between_lands() {
+        let mut g = Grid::new(grid_config(), 3);
+        g.warm_up(3600.0);
+        let t0 = g.clock;
+        // Record two lands simultaneously by interleaving snapshots.
+        let mut seen_dance = std::collections::HashSet::new();
+        let mut seen_iov = std::collections::HashSet::new();
+        for k in 1..=720 {
+            g.advance_to(t0 + k as f64 * 10.0);
+            for o in g.world(0).snapshot().entries {
+                seen_dance.insert(o.user);
+            }
+            for o in g.world(2).snapshot().entries {
+                seen_iov.insert(o.user);
+            }
+        }
+        let crossers = seen_dance.intersection(&seen_iov).count();
+        assert!(
+            crossers > 5,
+            "users should appear on both lands via teleports ({crossers})"
+        );
+    }
+
+    #[test]
+    fn land_trace_is_valid_and_churny() {
+        let mut g = Grid::new(grid_config(), 4);
+        g.warm_up(2.0 * 3600.0);
+        let trace = g.run_trace_of(0, 2.0 * 3600.0, 10.0);
+        sl_trace::validate(&trace).unwrap();
+        let summary = sl_trace::TraceSummary::of(&trace);
+        // The churn signature: far more unique visitors than the
+        // average concurrent population (the paper's IoV: 2656 vs 65).
+        assert!(
+            summary.unique_users as f64 > 4.0 * summary.avg_concurrent,
+            "expected churn: {} unique vs {:.1} concurrent",
+            summary.unique_users,
+            summary.avg_concurrent
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let mut g = Grid::new(grid_config(), seed);
+            g.warm_up(1800.0);
+            g.run_trace_of(0, 1800.0, 10.0)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn no_duplicate_user_on_one_land() {
+        let mut g = Grid::new(grid_config(), 5);
+        for step in 1..=360 {
+            g.advance_to(step as f64 * 60.0);
+            for i in 0..g.len() {
+                let snap = g.world(i).snapshot();
+                let mut ids: Vec<u32> = snap.entries.iter().map(|o| o.user.0).collect();
+                let n = ids.len();
+                ids.sort_unstable();
+                ids.dedup();
+                assert_eq!(ids.len(), n, "land {i} duplicated a user");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_grid() {
+        Grid::new(
+            GridConfig {
+                lands: vec![],
+                arrivals: ArrivalProcess::with_expected(1.0, 86_400.0, DiurnalProfile::flat()),
+                sessions: SessionDurations::paper_default(),
+                hop_prob: 0.1,
+                max_hops: 2,
+            },
+            0,
+        );
+    }
+}

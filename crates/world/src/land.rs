@@ -1,0 +1,249 @@
+//! Lands: the monitored sub-spaces of the metaverse.
+//!
+//! The paper distinguishes private, public and sandbox lands because
+//! they constrain the *sensor* monitoring architecture: private lands
+//! forbid object deployment outright; on public lands deployed objects
+//! expire after a land-dependent lifetime. Both rules live here so the
+//! sensor runtime (sl-script) can be tested against all three kinds.
+
+use crate::geometry::{Rect, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// The access class of a land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LandKind {
+    /// Object deployment requires prior authorization; crawler access is
+    /// unrestricted (it connects as a normal user).
+    Private,
+    /// Objects may be deployed but expire after the land's lifetime.
+    Public,
+    /// Objects may be deployed freely and persist.
+    Sandbox,
+}
+
+/// The role of a point of interest; drives the micro-mobility inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoiKind {
+    /// Arrival/teleport landing zone.
+    Spawn,
+    /// Dance floor: dense, long dwell, constant small movements.
+    DanceFloor,
+    /// Bar/lounge: medium dwell, little movement.
+    Bar,
+    /// Stage/event area: crowd watching, long dwell.
+    Stage,
+    /// Shop/info board: short dwell.
+    Attraction,
+    /// Sittable area (benches); seated avatars report `{0,0,0}`.
+    SitArea,
+}
+
+/// A point of interest on a land.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Display name (for reports and debugging).
+    pub name: String,
+    /// Center position.
+    pub center: Vec2,
+    /// Radius within which an avatar counts as "at" the POI.
+    pub radius: f64,
+    /// Gravity weight: relative probability mass of being chosen as a
+    /// trip destination.
+    pub weight: f64,
+    /// What kind of place this is.
+    pub kind: PoiKind,
+}
+
+impl Poi {
+    /// Construct a POI; panics on non-positive radius or negative weight.
+    pub fn new(
+        name: impl Into<String>,
+        center: Vec2,
+        radius: f64,
+        weight: f64,
+        kind: PoiKind,
+    ) -> Self {
+        assert!(radius > 0.0, "POI radius must be positive");
+        assert!(weight >= 0.0, "POI weight must be non-negative");
+        Poi {
+            name: name.into(),
+            center,
+            radius,
+            weight,
+            kind,
+        }
+    }
+}
+
+/// A land (island): the monitored unit of the metaverse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Land {
+    /// Land name.
+    pub name: String,
+    /// Geometry (SL default 256 × 256 m).
+    pub area: Rect,
+    /// Access class.
+    pub kind: LandKind,
+    /// Points of interest.
+    pub pois: Vec<Poi>,
+    /// Maximum concurrent users the SL architecture admits (~100 as of
+    /// the paper).
+    pub max_concurrent: usize,
+    /// Lifetime of deployed objects on [`LandKind::Public`] lands,
+    /// seconds.
+    pub object_lifetime: f64,
+    /// Whether avatars ever sit on objects here (the paper's target
+    /// lands were selected such that users did not sit).
+    pub sitting_enabled: bool,
+}
+
+/// Why an object could not be deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeployError {
+    /// Private land without authorization.
+    PrivateLand,
+    /// Position outside the land.
+    OutOfBounds,
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::PrivateLand => {
+                write!(f, "private lands forbid object deployment without authorization")
+            }
+            DeployError::OutOfBounds => write!(f, "deployment position outside the land"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl Land {
+    /// A standard-sized public land with no POIs (add them after).
+    pub fn standard(name: impl Into<String>) -> Self {
+        Land {
+            name: name.into(),
+            area: Rect::standard(),
+            kind: LandKind::Public,
+            pois: Vec::new(),
+            max_concurrent: 100,
+            object_lifetime: 3600.0,
+            sitting_enabled: false,
+        }
+    }
+
+    /// Spawn position for a new arrival: the first `Spawn` POI, falling
+    /// back to the land center.
+    pub fn spawn_point(&self) -> Vec2 {
+        self.pois
+            .iter()
+            .find(|p| p.kind == PoiKind::Spawn)
+            .map(|p| p.center)
+            .unwrap_or_else(|| self.area.center())
+    }
+
+    /// All spawn pads on the land (lands can have several scattered
+    /// landing points); falls back to the land center when none exist.
+    pub fn spawn_points(&self) -> Vec<Vec2> {
+        let pads: Vec<Vec2> = self
+            .pois
+            .iter()
+            .filter(|p| p.kind == PoiKind::Spawn)
+            .map(|p| p.center)
+            .collect();
+        if pads.is_empty() {
+            vec![self.area.center()]
+        } else {
+            pads
+        }
+    }
+
+    /// Validate an object deployment: returns the effective lifetime
+    /// (`None` = persists indefinitely) or why it is rejected.
+    ///
+    /// Mirrors the rules the paper reports: private lands reject
+    /// unauthorized objects; public-land objects expire after a
+    /// land-dependent lifetime; sandboxes are unrestricted.
+    pub fn check_deploy(&self, pos: Vec2, authorized: bool) -> Result<Option<f64>, DeployError> {
+        if !self.area.contains(pos) {
+            return Err(DeployError::OutOfBounds);
+        }
+        match self.kind {
+            LandKind::Private if !authorized => Err(DeployError::PrivateLand),
+            LandKind::Private => Ok(None),
+            LandKind::Public => Ok(Some(self.object_lifetime)),
+            LandKind::Sandbox => Ok(None),
+        }
+    }
+
+    /// POIs that avatars can pick as trip destinations (positive weight).
+    pub fn destination_pois(&self) -> Vec<&Poi> {
+        self.pois.iter().filter(|p| p.weight > 0.0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poi(kind: PoiKind, x: f64, y: f64, w: f64) -> Poi {
+        Poi::new("p", Vec2::new(x, y), 10.0, w, kind)
+    }
+
+    #[test]
+    fn spawn_point_prefers_spawn_poi() {
+        let mut land = Land::standard("L");
+        assert_eq!(land.spawn_point(), Vec2::new(128.0, 128.0));
+        land.pois.push(poi(PoiKind::Bar, 10.0, 10.0, 1.0));
+        land.pois.push(poi(PoiKind::Spawn, 50.0, 60.0, 1.0));
+        assert_eq!(land.spawn_point(), Vec2::new(50.0, 60.0));
+    }
+
+    #[test]
+    fn public_land_objects_expire() {
+        let land = Land::standard("L");
+        let res = land.check_deploy(Vec2::new(10.0, 10.0), false).unwrap();
+        assert_eq!(res, Some(3600.0));
+    }
+
+    #[test]
+    fn private_land_requires_authorization() {
+        let mut land = Land::standard("L");
+        land.kind = LandKind::Private;
+        let err = land.check_deploy(Vec2::new(10.0, 10.0), false).unwrap_err();
+        assert_eq!(err, DeployError::PrivateLand);
+        let ok = land.check_deploy(Vec2::new(10.0, 10.0), true).unwrap();
+        assert_eq!(ok, None, "authorized objects persist");
+    }
+
+    #[test]
+    fn sandbox_objects_persist() {
+        let mut land = Land::standard("L");
+        land.kind = LandKind::Sandbox;
+        assert_eq!(land.check_deploy(Vec2::new(1.0, 1.0), false), Ok(None));
+    }
+
+    #[test]
+    fn deploy_out_of_bounds_rejected() {
+        let land = Land::standard("L");
+        let err = land.check_deploy(Vec2::new(300.0, 10.0), true).unwrap_err();
+        assert_eq!(err, DeployError::OutOfBounds);
+    }
+
+    #[test]
+    fn destination_pois_excludes_zero_weight() {
+        let mut land = Land::standard("L");
+        land.pois.push(poi(PoiKind::Bar, 1.0, 1.0, 0.0));
+        land.pois.push(poi(PoiKind::Stage, 2.0, 2.0, 5.0));
+        let dests = land.destination_pois();
+        assert_eq!(dests.len(), 1);
+        assert_eq!(dests[0].kind, PoiKind::Stage);
+    }
+
+    #[test]
+    #[should_panic]
+    fn poi_rejects_zero_radius() {
+        Poi::new("bad", Vec2::default(), 0.0, 1.0, PoiKind::Bar);
+    }
+}

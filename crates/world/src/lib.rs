@@ -1,0 +1,48 @@
+//! # sl-world
+//!
+//! A Second Life-like metaverse land simulator — the substrate that
+//! replaces the (long gone, unmeasurable) 2008 Second Life grid in this
+//! reproduction. It generates the avatar position process the paper's
+//! crawler observed:
+//!
+//! * [`geometry`] — 2-D vectors and the land rectangle;
+//! * [`land`] — lands (default 256 × 256 m), land kinds and their
+//!   object-deployment rules, points of interest, sittable objects;
+//! * [`mobility`] — the mobility-model trait and its implementations:
+//!   POI-gravity (the main generative model), random waypoint and Lévy
+//!   walk baselines;
+//! * [`profile`] — per-land user-type mixes (dancers, wanderers,
+//!   explorers, idlers);
+//! * [`session`] — non-homogeneous Poisson arrivals with a diurnal
+//!   profile and truncated log-normal session durations;
+//! * [`engine`] — the deterministic discrete-event queue;
+//! * [`world`] — the [`world::World`] façade: advance virtual time, take
+//!   snapshots, host external avatars (crawlers) and deployed objects
+//!   (sensors);
+//! * [`presets`] — calibrated configurations for the paper's three
+//!   target lands (Apfel Land, Dance Island, Isle of View).
+//!
+//! Determinism: a `World` seeded with the same `u64` produces the same
+//! trace on every run and platform; every avatar draws from a forked
+//! child RNG so event interleaving cannot perturb behaviour.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod grid;
+pub mod geometry;
+pub mod land;
+pub mod mobility;
+pub mod presets;
+pub mod profile;
+pub mod session;
+pub mod world;
+
+pub use geometry::{Rect, Vec2};
+pub use grid::{Grid, GridConfig};
+pub use land::{Land, LandKind, Poi, PoiKind};
+pub use mobility::{Action, MobilityKind, MobilityModel};
+pub use presets::{apfel_land, dance_island, isle_of_view, LandPreset};
+pub use profile::{UserMix, UserType};
+pub use session::{ArrivalProcess, DiurnalProfile, SessionDurations};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,135 @@
+//! Truncated Lévy walk baseline (Rhee et al., "On the Levy-walk nature
+//! of human mobility", INFOCOM 2008 — the paper's reference [8]).
+//!
+//! Flight lengths and pause times follow truncated Pareto laws; flight
+//! directions are uniform. Used both as a literature baseline and as
+//! the "explorer" ingredient of the Isle of View mix (long-range
+//! wanderers whose cumulative path exceeds 2 000 m).
+
+use super::{draw_speed, Action, DecideCtx, MobilityModel};
+use serde::{Deserialize, Serialize};
+use sl_stats::dist::{Sample, TruncatedPareto};
+use sl_stats::rng::Rng;
+
+/// Truncated Lévy walk parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevyParams {
+    /// Flight-length law `(xmin, xmax, alpha)`, meters.
+    pub flight: (f64, f64, f64),
+    /// Pause-time law `(xmin, xmax, alpha)`, seconds.
+    pub pause: (f64, f64, f64),
+    /// Speed `(mean, sd)`, m/s.
+    pub speed: (f64, f64),
+}
+
+impl Default for LevyParams {
+    fn default() -> Self {
+        LevyParams {
+            flight: (2.0, 250.0, 1.6),
+            pause: (5.0, 900.0, 1.5),
+            speed: (3.2, 0.6),
+        }
+    }
+}
+
+/// Per-avatar Lévy-walk state.
+#[derive(Debug)]
+pub struct LevyWalk {
+    flight: TruncatedPareto,
+    pause: TruncatedPareto,
+    speed: (f64, f64),
+    moving: bool,
+}
+
+impl LevyWalk {
+    /// Create with the given parameters.
+    pub fn new(p: LevyParams) -> Self {
+        LevyWalk {
+            flight: TruncatedPareto::new(p.flight.0, p.flight.1, p.flight.2),
+            pause: TruncatedPareto::new(p.pause.0, p.pause.1, p.pause.2),
+            speed: p.speed,
+            moving: false,
+        }
+    }
+}
+
+impl MobilityModel for LevyWalk {
+    fn decide(&mut self, ctx: &DecideCtx<'_>, rng: &mut Rng) -> Action {
+        if self.moving {
+            self.moving = false;
+            Action::Pause {
+                duration: self.pause.sample(rng),
+            }
+        } else {
+            self.moving = true;
+            let len = self.flight.sample(rng);
+            // Clamp the flight endpoint into the land; border clamping
+            // is how SL actually stops avatars at parcel edges.
+            let target = ctx.land.area.clamp(ctx.pos.offset(rng.angle(), len));
+            Action::MoveTo {
+                target,
+                speed: draw_speed(self.speed.0, self.speed.1, rng),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Vec2;
+    use crate::land::Land;
+
+    fn ctx_at(land: &Land, pos: Vec2) -> DecideCtx<'_> {
+        DecideCtx {
+            now: 0.0,
+            pos,
+            land,
+            idle_attractors: &[],
+        }
+    }
+
+    #[test]
+    fn flights_heavy_tailed() {
+        let land = Land::standard("T");
+        let mut m = LevyWalk::new(LevyParams::default());
+        let mut rng = Rng::new(1);
+        let center = land.area.center();
+        let mut lengths = Vec::new();
+        for _ in 0..4000 {
+            if let Action::MoveTo { target, .. } = m.decide(&ctx_at(&land, center), &mut rng) { lengths.push(center.distance(target)) }
+        }
+        let n = lengths.len() as f64;
+        // TruncatedPareto(2, 250, 1.6): P(L > 30) ≈ 1.3 %, P(L < 10) ≈ 92 %.
+        let short = lengths.iter().filter(|&&l| l < 10.0).count() as f64 / n;
+        let long = lengths.iter().filter(|&&l| l > 30.0).count() as f64 / n;
+        assert!(short > 0.5, "most flights short ({short})");
+        assert!(long > 0.005, "a heavy tail of long flights ({long})");
+    }
+
+    #[test]
+    fn targets_clamped_into_land() {
+        let land = Land::standard("T");
+        let mut m = LevyWalk::new(LevyParams::default());
+        let mut rng = Rng::new(2);
+        let corner = Vec2::new(1.0, 1.0);
+        for _ in 0..2000 {
+            if let Action::MoveTo { target, .. } = m.decide(&ctx_at(&land, corner), &mut rng) {
+                assert!(land.area.contains(target));
+            }
+        }
+    }
+
+    #[test]
+    fn pauses_within_truncation() {
+        let land = Land::standard("T");
+        let mut m = LevyWalk::new(LevyParams::default());
+        let mut rng = Rng::new(3);
+        for _ in 0..2000 {
+            if let Action::Pause { duration } = m.decide(&ctx_at(&land, land.area.center()), &mut rng)
+            {
+                assert!((5.0..=900.0).contains(&duration), "pause {duration}");
+            }
+        }
+    }
+}

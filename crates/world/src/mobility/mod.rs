@@ -1,0 +1,187 @@
+//! Mobility models.
+//!
+//! Avatars alternate *trips* (straight-line moves at a speed) and
+//! *pauses*. A model is asked for its next [`Action`] whenever the
+//! previous one completes; the world engine turns actions into timed
+//! motion segments. The paper's empirical findings (users "revolve
+//! around several points of interest traveling in general short
+//! distances", heavy-tailed contact/inter-contact times with an
+//! exponential cut-off) emerge from the POI-gravity model; random
+//! waypoint and Lévy walk are the literature baselines.
+
+mod levy;
+mod poi_gravity;
+mod random_waypoint;
+
+pub use levy::{LevyParams, LevyWalk};
+pub use poi_gravity::{PoiGravity, PoiGravityParams};
+pub use random_waypoint::{RandomWaypoint, RandomWaypointParams};
+
+use crate::geometry::Vec2;
+use crate::land::Land;
+use serde::{Deserialize, Serialize};
+use sl_stats::rng::Rng;
+
+/// What an avatar does next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Walk in a straight line to `target` at `speed` (m/s).
+    MoveTo {
+        /// Destination, already clamped inside the land.
+        target: Vec2,
+        /// Speed in meters per second, must be positive.
+        speed: f64,
+    },
+    /// Stand still for `duration` seconds.
+    Pause {
+        /// Pause length, seconds.
+        duration: f64,
+    },
+    /// Sit on an object for `duration` seconds. While seated, the SL map
+    /// reports the avatar at `{0, 0, 0}` — the world preserves that
+    /// quirk in its snapshots.
+    Sit {
+        /// Sit length, seconds.
+        duration: f64,
+    },
+}
+
+/// Context handed to a model at each decision point.
+#[derive(Debug)]
+pub struct DecideCtx<'a> {
+    /// Current virtual time, seconds.
+    pub now: f64,
+    /// The avatar's current position.
+    pub pos: Vec2,
+    /// The land the avatar is on.
+    pub land: &'a Land,
+    /// Positions of *idle, silent* external avatars (e.g. a naive
+    /// crawler that neither moves nor chats). Real SL users tried to
+    /// interact with such avatars — the perturbation the paper had to
+    /// engineer around. Empty when no such avatar exists.
+    pub idle_attractors: &'a [Vec2],
+}
+
+/// A mobility model: a per-avatar stateful decision process.
+pub trait MobilityModel: std::fmt::Debug + Send {
+    /// Decide the next action. Called once when the avatar spawns and
+    /// again whenever the previous action completes.
+    fn decide(&mut self, ctx: &DecideCtx<'_>, rng: &mut Rng) -> Action;
+}
+
+/// Serializable description of a model + parameters; the factory used
+/// by land presets and experiment configs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MobilityKind {
+    /// POI-gravity (the paper-matching generative model).
+    PoiGravity(PoiGravityParams),
+    /// Random waypoint baseline.
+    RandomWaypoint(RandomWaypointParams),
+    /// Truncated Lévy walk baseline (Rhee et al.).
+    Levy(LevyParams),
+}
+
+impl MobilityKind {
+    /// Instantiate a fresh per-avatar model.
+    pub fn build(&self) -> Box<dyn MobilityModel> {
+        match self {
+            MobilityKind::PoiGravity(p) => Box::new(PoiGravity::new(p.clone())),
+            MobilityKind::RandomWaypoint(p) => Box::new(RandomWaypoint::new(*p)),
+            MobilityKind::Levy(p) => Box::new(LevyWalk::new(*p)),
+        }
+    }
+}
+
+/// Sample a uniform point inside a disc of `radius` around `center`,
+/// clamped into the land. Shared by all models for POI-local targets.
+pub(crate) fn point_in_disc(center: Vec2, radius: f64, land: &Land, rng: &mut Rng) -> Vec2 {
+    let r = radius * rng.f64().sqrt();
+    let target = center.offset(rng.angle(), r);
+    land.area.clamp(target)
+}
+
+/// Draw a positive speed from a normal `(mean, sd)`, clamped to
+/// `[0.3, mean * 3]` — avatars neither creep at zero speed nor teleport.
+pub(crate) fn draw_speed(mean: f64, sd: f64, rng: &mut Rng) -> f64 {
+    rng.normal_with(mean, sd).clamp(0.3, mean * 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::land::{Land, Poi, PoiKind};
+
+    fn test_land() -> Land {
+        let mut land = Land::standard("T");
+        land.pois.push(Poi::new(
+            "spawn",
+            Vec2::new(128.0, 128.0),
+            10.0,
+            1.0,
+            PoiKind::Spawn,
+        ));
+        land
+    }
+
+    #[test]
+    fn point_in_disc_is_bounded() {
+        let land = test_land();
+        let mut rng = Rng::new(1);
+        let center = Vec2::new(100.0, 100.0);
+        for _ in 0..1000 {
+            let p = point_in_disc(center, 15.0, &land, &mut rng);
+            assert!(center.distance(p) <= 15.0 + 1e-9);
+            assert!(land.area.contains(p));
+        }
+    }
+
+    #[test]
+    fn point_in_disc_clamped_at_border() {
+        let land = test_land();
+        let mut rng = Rng::new(2);
+        let center = Vec2::new(1.0, 1.0);
+        for _ in 0..1000 {
+            let p = point_in_disc(center, 30.0, &land, &mut rng);
+            assert!(land.area.contains(p));
+        }
+    }
+
+    #[test]
+    fn speeds_are_clamped() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            let v = draw_speed(1.5, 2.0, &mut rng);
+            assert!((0.3..=4.5).contains(&v), "speed {v}");
+        }
+    }
+
+    #[test]
+    fn factory_builds_each_kind() {
+        let kinds = [
+            MobilityKind::PoiGravity(PoiGravityParams::default()),
+            MobilityKind::RandomWaypoint(RandomWaypointParams::default()),
+            MobilityKind::Levy(LevyParams::default()),
+        ];
+        let land = test_land();
+        let mut rng = Rng::new(4);
+        for k in &kinds {
+            let mut m = k.build();
+            let ctx = DecideCtx {
+                now: 0.0,
+                pos: land.spawn_point(),
+                land: &land,
+                idle_attractors: &[],
+            };
+            // The first action must be well-formed.
+            match m.decide(&ctx, &mut rng) {
+                Action::MoveTo { target, speed } => {
+                    assert!(land.area.contains(target));
+                    assert!(speed > 0.0);
+                }
+                Action::Pause { duration } | Action::Sit { duration } => {
+                    assert!(duration > 0.0);
+                }
+            }
+        }
+    }
+}

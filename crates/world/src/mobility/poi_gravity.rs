@@ -1,0 +1,523 @@
+//! POI-gravity mobility: the generative model calibrated to reproduce
+//! the paper's observations.
+//!
+//! Avatars pick a destination point of interest with probability
+//! proportional to `weight / (1 + distance)^gamma` (a gravity law),
+//! walk there in a straight line, then *dwell* for a heavy-tailed
+//! (truncated Pareto) time. While dwelling at active POIs (dance floor,
+//! stage) they make small in-place movements — the micro-mobility that
+//! dominates Dance Island traces. Occasionally they take an excursion
+//! to a uniformly random point (the exploration tail that produces the
+//! paper's ~2 % of Isle of View users traveling more than 2 000 m).
+//!
+//! The model also implements the crawler-perturbation effect the paper
+//! reports: a *naive* external avatar (idle, silent) attracts curious
+//! users, who walk up to inspect it.
+
+use super::{draw_speed, point_in_disc, Action, DecideCtx, MobilityModel};
+use crate::geometry::Vec2;
+use crate::land::PoiKind;
+use serde::{Deserialize, Serialize};
+use sl_stats::dist::{Sample, TruncatedPareto};
+use sl_stats::rng::Rng;
+
+/// Parameters of the POI-gravity model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoiGravityParams {
+    /// Distance-decay exponent of the gravity law.
+    pub gravity_exponent: f64,
+    /// Dwell-time law at a POI: `(xmin, xmax, alpha)` of a truncated
+    /// Pareto, seconds.
+    pub dwell: (f64, f64, f64),
+    /// Probability per dwell slice of making a micro-move at an active
+    /// POI instead of standing still.
+    pub micro_move_prob: f64,
+    /// Radius of a micro-move step, meters: dancers shuffle a few
+    /// meters around their current spot, they do not teleport across
+    /// the floor. Keeping steps local is what stabilizes Bluetooth-range
+    /// contacts (the paper's 100 s median CT on Dance Island).
+    pub micro_radius: f64,
+    /// Dwell slice length range `(lo, hi)`, seconds: how often the
+    /// avatar reconsiders micro-movement during a dwell.
+    pub dwell_slice: (f64, f64),
+    /// Walking speed `(mean, sd)` in m/s (SL avatars walk ≈ 3.2 m/s).
+    pub walk_speed: (f64, f64),
+    /// Probability of running instead of walking a trip.
+    pub run_prob: f64,
+    /// Running speed, m/s (SL run ≈ 5.2 m/s).
+    pub run_speed: f64,
+    /// Probability that a trip targets a random point instead of a POI.
+    pub excursion_prob: f64,
+    /// Maximum distance of an excursion from the current position;
+    /// `None` means anywhere on the land. Local excursions keep travel
+    /// lengths in the paper's range (Fig. 4a) while preserving the
+    /// "revolve around points of interest" pattern.
+    pub excursion_radius: Option<f64>,
+    /// Probability of approaching an idle external avatar (crawler
+    /// perturbation susceptibility) when one is present.
+    pub attraction_prob: f64,
+    /// Probability of sitting down when dwelling at a `SitArea` POI on
+    /// a sitting-enabled land.
+    pub sit_prob: f64,
+}
+
+impl Default for PoiGravityParams {
+    fn default() -> Self {
+        PoiGravityParams {
+            gravity_exponent: 1.2,
+            dwell: (20.0, 2400.0, 1.4),
+            micro_move_prob: 0.5,
+            micro_radius: 4.0,
+            dwell_slice: (15.0, 45.0),
+            walk_speed: (3.2, 0.6),
+            run_prob: 0.1,
+            run_speed: 5.2,
+            excursion_prob: 0.08,
+            excursion_radius: None,
+            attraction_prob: 0.0,
+            sit_prob: 0.0,
+        }
+    }
+}
+
+/// Internal phase of the avatar's trip/dwell alternation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Walking toward a destination; `poi` is its index when the
+    /// destination is a POI.
+    Travelling { poi: Option<usize> },
+    /// Dwelling around `anchor` until `until`. Micro-moves stay near
+    /// the anchor (a dancer keeps their spot on the floor), so pairwise
+    /// distances are stable for the whole dwell — the property behind
+    /// the paper's long Dance Island contacts and inter-contact gaps.
+    Dwelling {
+        poi: Option<usize>,
+        until: f64,
+        anchor: Vec2,
+    },
+}
+
+/// POI-gravity model state for one avatar.
+#[derive(Debug)]
+pub struct PoiGravity {
+    params: PoiGravityParams,
+    phase: Phase,
+    dwell_dist: TruncatedPareto,
+    first: bool,
+}
+
+impl PoiGravity {
+    /// Create with the given parameters.
+    pub fn new(params: PoiGravityParams) -> Self {
+        let (lo, hi, alpha) = params.dwell;
+        PoiGravity {
+            dwell_dist: TruncatedPareto::new(lo, hi, alpha),
+            params,
+            phase: Phase::Travelling { poi: None },
+            first: true,
+        }
+    }
+
+    /// Gravity-law POI choice; returns the chosen POI index, or `None`
+    /// when the land has no destination POIs.
+    fn choose_poi(&self, ctx: &DecideCtx<'_>, rng: &mut Rng, exclude: Option<usize>) -> Option<usize> {
+        let mut weights: Vec<(usize, f64)> = Vec::new();
+        for (i, poi) in ctx.land.pois.iter().enumerate() {
+            if poi.weight <= 0.0 || Some(i) == exclude {
+                continue;
+            }
+            let d = ctx.pos.distance(poi.center);
+            weights.push((i, poi.weight / (1.0 + d).powf(self.params.gravity_exponent)));
+        }
+        if weights.is_empty() {
+            // Fall back to the excluded POI if it was the only one.
+            return exclude;
+        }
+        let total: f64 = weights.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.f64() * total;
+        for (i, w) in &weights {
+            pick -= w;
+            if pick <= 0.0 {
+                return Some(*i);
+            }
+        }
+        Some(weights.last().unwrap().0)
+    }
+
+    /// Begin a new trip from the current position.
+    fn start_trip(&mut self, ctx: &DecideCtx<'_>, rng: &mut Rng, from_poi: Option<usize>) -> Action {
+        // Perturbation: approach a naive crawler when one is present.
+        if !ctx.idle_attractors.is_empty() && rng.chance(self.params.attraction_prob) {
+            let target = ctx.idle_attractors[rng.index(ctx.idle_attractors.len())];
+            // Walk up close but not on top of it (social distance 1-3 m).
+            let near = point_in_disc(target, 3.0, ctx.land, rng);
+            self.phase = Phase::Travelling { poi: None };
+            return Action::MoveTo {
+                target: near,
+                speed: self.trip_speed(rng),
+            };
+        }
+        if rng.chance(self.params.excursion_prob) {
+            let target = match self.params.excursion_radius {
+                Some(r) => point_in_disc(ctx.pos, r, ctx.land, rng),
+                None => Vec2::new(
+                    rng.range_f64(0.0, ctx.land.area.width),
+                    rng.range_f64(0.0, ctx.land.area.height),
+                ),
+            };
+            self.phase = Phase::Travelling { poi: None };
+            return Action::MoveTo {
+                target,
+                speed: self.trip_speed(rng),
+            };
+        }
+        match self.choose_poi(ctx, rng, from_poi) {
+            Some(i) => {
+                let poi = &ctx.land.pois[i];
+                let target = point_in_disc(poi.center, poi.radius, ctx.land, rng);
+                self.phase = Phase::Travelling { poi: Some(i) };
+                Action::MoveTo {
+                    target,
+                    speed: self.trip_speed(rng),
+                }
+            }
+            None => {
+                // POI-less land: wander uniformly.
+                let target = Vec2::new(
+                    rng.range_f64(0.0, ctx.land.area.width),
+                    rng.range_f64(0.0, ctx.land.area.height),
+                );
+                self.phase = Phase::Travelling { poi: None };
+                Action::MoveTo {
+                    target,
+                    speed: self.trip_speed(rng),
+                }
+            }
+        }
+    }
+
+    fn trip_speed(&self, rng: &mut Rng) -> f64 {
+        if rng.chance(self.params.run_prob) {
+            self.params.run_speed
+        } else {
+            draw_speed(self.params.walk_speed.0, self.params.walk_speed.1, rng)
+        }
+    }
+
+    /// A dwell slice: either a micro-move around the anchor or a short
+    /// pause.
+    fn dwell_slice(
+        &mut self,
+        ctx: &DecideCtx<'_>,
+        rng: &mut Rng,
+        poi: Option<usize>,
+        until: f64,
+        anchor: Vec2,
+    ) -> Action {
+        let remaining = until - ctx.now;
+        let (lo, hi) = self.params.dwell_slice;
+        let slice = rng.range_f64(lo, hi).min(remaining).max(1.0);
+        let active = poi
+            .map(|i| {
+                matches!(
+                    ctx.land.pois[i].kind,
+                    PoiKind::DanceFloor | PoiKind::Stage
+                )
+            })
+            .unwrap_or(false);
+        let sittable = poi
+            .map(|i| ctx.land.pois[i].kind == PoiKind::SitArea && ctx.land.sitting_enabled)
+            .unwrap_or(false);
+        if sittable && rng.chance(self.params.sit_prob) {
+            return Action::Sit { duration: slice };
+        }
+        if active && rng.chance(self.params.micro_move_prob) {
+            // Shuffle around the anchored spot at strolling speed.
+            let target = point_in_disc(anchor, self.params.micro_radius, ctx.land, rng);
+            return Action::MoveTo {
+                target,
+                speed: draw_speed(0.8, 0.2, rng),
+            };
+        }
+        Action::Pause { duration: slice }
+    }
+}
+
+impl MobilityModel for PoiGravity {
+    fn decide(&mut self, ctx: &DecideCtx<'_>, rng: &mut Rng) -> Action {
+        if self.first {
+            // Fresh arrival: look around the landing zone briefly, then
+            // head out. A short initial pause mirrors SL's loading
+            // screen plus orientation time.
+            self.first = false;
+            let until = ctx.now + rng.range_f64(2.0, 20.0);
+            self.phase = Phase::Dwelling {
+                poi: None,
+                until,
+                anchor: ctx.pos,
+            };
+            return Action::Pause {
+                duration: until - ctx.now,
+            };
+        }
+        match self.phase {
+            Phase::Travelling { poi } => {
+                // Arrived: anchor here and start dwelling.
+                let dwell = self.dwell_dist.sample(rng);
+                let until = ctx.now + dwell;
+                self.phase = Phase::Dwelling {
+                    poi,
+                    until,
+                    anchor: ctx.pos,
+                };
+                self.dwell_slice(ctx, rng, poi, until, ctx.pos)
+            }
+            Phase::Dwelling { poi, until, anchor } => {
+                if ctx.now + 1.0 >= until {
+                    self.start_trip(ctx, rng, poi)
+                } else {
+                    self.dwell_slice(ctx, rng, poi, until, anchor)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::land::{Land, Poi};
+
+    fn dance_land() -> Land {
+        let mut land = Land::standard("Dance");
+        land.pois.push(Poi::new(
+            "spawn",
+            Vec2::new(30.0, 30.0),
+            8.0,
+            0.5,
+            PoiKind::Spawn,
+        ));
+        land.pois.push(Poi::new(
+            "floor",
+            Vec2::new(128.0, 128.0),
+            15.0,
+            10.0,
+            PoiKind::DanceFloor,
+        ));
+        land.pois.push(Poi::new(
+            "bar",
+            Vec2::new(150.0, 120.0),
+            8.0,
+            3.0,
+            PoiKind::Bar,
+        ));
+        land
+    }
+
+    /// Run one avatar's decisions for `dur` virtual seconds and return
+    /// the visited targets.
+    fn simulate(model: &mut PoiGravity, land: &Land, seed: u64, dur: f64) -> Vec<Action> {
+        let mut rng = Rng::new(seed);
+        let mut now = 0.0;
+        let mut pos = land.spawn_point();
+        let mut actions = Vec::new();
+        while now < dur {
+            let ctx = DecideCtx {
+                now,
+                pos,
+                land,
+                idle_attractors: &[],
+            };
+            let a = model.decide(&ctx, &mut rng);
+            match a {
+                Action::MoveTo { target, speed } => {
+                    now += pos.distance(target) / speed;
+                    pos = target;
+                }
+                Action::Pause { duration } | Action::Sit { duration } => now += duration,
+            }
+            actions.push(a);
+        }
+        actions
+    }
+
+    #[test]
+    fn gravitates_to_heavy_poi() {
+        let land = dance_land();
+        let mut model = PoiGravity::new(PoiGravityParams {
+            excursion_prob: 0.0,
+            ..Default::default()
+        });
+        let actions = simulate(&mut model, &land, 7, 7200.0);
+        // Count moves landing near the dance floor vs the bar.
+        let floor = Vec2::new(128.0, 128.0);
+        let bar = Vec2::new(150.0, 120.0);
+        let (mut n_floor, mut n_bar) = (0, 0);
+        for a in &actions {
+            if let Action::MoveTo { target, .. } = a {
+                if target.distance(floor) <= 15.0 {
+                    n_floor += 1;
+                } else if target.distance(bar) <= 8.0 {
+                    n_bar += 1;
+                }
+            }
+        }
+        assert!(
+            n_floor > n_bar,
+            "dance floor ({n_floor}) should attract more trips than the bar ({n_bar})"
+        );
+        assert!(n_floor > 0);
+    }
+
+    #[test]
+    fn targets_stay_in_land() {
+        let land = dance_land();
+        let mut model = PoiGravity::new(PoiGravityParams::default());
+        for a in simulate(&mut model, &land, 11, 3600.0) {
+            if let Action::MoveTo { target, speed } = a {
+                assert!(land.area.contains(target), "target {target:?}");
+                assert!(speed > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn first_action_is_orientation_pause() {
+        let land = dance_land();
+        let mut model = PoiGravity::new(PoiGravityParams::default());
+        let mut rng = Rng::new(1);
+        let ctx = DecideCtx {
+            now: 0.0,
+            pos: land.spawn_point(),
+            land: &land,
+            idle_attractors: &[],
+        };
+        match model.decide(&ctx, &mut rng) {
+            Action::Pause { duration } => assert!((2.0..=20.0).contains(&duration)),
+            other => panic!("expected pause, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attraction_pulls_toward_idle_avatar() {
+        let land = dance_land();
+        let crawler = Vec2::new(200.0, 200.0);
+        let attractors = [crawler];
+        let mut model = PoiGravity::new(PoiGravityParams {
+            attraction_prob: 1.0,
+            excursion_prob: 0.0,
+            ..Default::default()
+        });
+        let mut rng = Rng::new(3);
+        // Skip the orientation pause.
+        let ctx = DecideCtx {
+            now: 0.0,
+            pos: land.spawn_point(),
+            land: &land,
+            idle_attractors: &attractors,
+        };
+        model.decide(&ctx, &mut rng);
+        // Force the dwell to be over and start a trip.
+        let ctx = DecideCtx {
+            now: 1e7,
+            pos: land.spawn_point(),
+            land: &land,
+            idle_attractors: &attractors,
+        };
+        let a = model.decide(&ctx, &mut rng);
+        match a {
+            Action::MoveTo { target, .. } => {
+                assert!(
+                    target.distance(crawler) <= 3.0 + 1e-9,
+                    "target {target:?} should be near the crawler"
+                );
+            }
+            other => panic!("expected a move toward the crawler, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_attraction_when_disabled() {
+        let land = dance_land();
+        let attractors = [Vec2::new(200.0, 200.0)];
+        let mut model = PoiGravity::new(PoiGravityParams {
+            attraction_prob: 0.0,
+            excursion_prob: 0.0,
+            ..Default::default()
+        });
+        let mut rng = Rng::new(4);
+        let mut near_crawler = 0;
+        let mut now = 0.0;
+        let mut pos = land.spawn_point();
+        for _ in 0..500 {
+            let ctx = DecideCtx {
+                now,
+                pos,
+                land: &land,
+                idle_attractors: &attractors,
+            };
+            match model.decide(&ctx, &mut rng) {
+                Action::MoveTo { target, speed } => {
+                    if target.distance(attractors[0]) <= 3.0 {
+                        near_crawler += 1;
+                    }
+                    now += pos.distance(target) / speed;
+                    pos = target;
+                }
+                Action::Pause { duration } | Action::Sit { duration } => now += duration,
+            }
+        }
+        assert_eq!(near_crawler, 0);
+    }
+
+    #[test]
+    fn sits_only_when_enabled() {
+        let mut land = Land::standard("Park");
+        land.pois.push(Poi::new(
+            "bench",
+            Vec2::new(100.0, 100.0),
+            5.0,
+            5.0,
+            PoiKind::SitArea,
+        ));
+        let params = PoiGravityParams {
+            sit_prob: 1.0,
+            excursion_prob: 0.0,
+            ..Default::default()
+        };
+        // Sitting disabled: never sits.
+        land.sitting_enabled = false;
+        let mut m = PoiGravity::new(params.clone());
+        let sat = simulate(&mut m, &land, 5, 3600.0)
+            .iter()
+            .any(|a| matches!(a, Action::Sit { .. }));
+        assert!(!sat, "must not sit on a sitting-disabled land");
+        // Sitting enabled: sits eventually.
+        land.sitting_enabled = true;
+        let mut m = PoiGravity::new(params);
+        let sat = simulate(&mut m, &land, 5, 3600.0)
+            .iter()
+            .any(|a| matches!(a, Action::Sit { .. }));
+        assert!(sat, "should sit at a bench on a sitting-enabled land");
+    }
+
+    #[test]
+    fn poiless_land_still_moves() {
+        let land = Land::standard("Empty");
+        let mut model = PoiGravity::new(PoiGravityParams::default());
+        let actions = simulate(&mut model, &land, 9, 3600.0);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::MoveTo { .. })));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let land = dance_land();
+        let run = |seed| {
+            let mut m = PoiGravity::new(PoiGravityParams::default());
+            simulate(&mut m, &land, seed, 1800.0)
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

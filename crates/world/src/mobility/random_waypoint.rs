@@ -1,0 +1,162 @@
+//! Random waypoint baseline: uniform destinations, uniform speeds,
+//! uniform pauses. The classic strawman of the DTN literature — included
+//! so ablation benches can show which paper observations POI gravity is
+//! actually responsible for (random waypoint produces neither hotspots
+//! nor heavy-tailed inter-contact times).
+
+use super::{Action, DecideCtx, MobilityModel};
+use crate::geometry::Vec2;
+use serde::{Deserialize, Serialize};
+use sl_stats::rng::Rng;
+
+/// Random-waypoint parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWaypointParams {
+    /// Speed range `(min, max)`, m/s.
+    pub speed: (f64, f64),
+    /// Pause range `(min, max)`, seconds.
+    pub pause: (f64, f64),
+}
+
+impl Default for RandomWaypointParams {
+    fn default() -> Self {
+        RandomWaypointParams {
+            speed: (1.0, 5.2),
+            pause: (0.0, 120.0),
+        }
+    }
+}
+
+/// Per-avatar random-waypoint state.
+#[derive(Debug)]
+pub struct RandomWaypoint {
+    params: RandomWaypointParams,
+    moving: bool,
+}
+
+impl RandomWaypoint {
+    /// Create with the given parameters; panics on degenerate ranges.
+    pub fn new(params: RandomWaypointParams) -> Self {
+        assert!(
+            params.speed.0 > 0.0 && params.speed.1 >= params.speed.0,
+            "speed range must be positive and ordered"
+        );
+        assert!(
+            params.pause.0 >= 0.0 && params.pause.1 >= params.pause.0,
+            "pause range must be non-negative and ordered"
+        );
+        RandomWaypoint {
+            params,
+            moving: false,
+        }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn decide(&mut self, ctx: &DecideCtx<'_>, rng: &mut Rng) -> Action {
+        if self.moving {
+            self.moving = false;
+            let (lo, hi) = self.params.pause;
+            // A zero pause would schedule a same-time decision loop.
+            let duration = rng.range_f64(lo, hi).max(0.1);
+            Action::Pause { duration }
+        } else {
+            self.moving = true;
+            let target = Vec2::new(
+                rng.range_f64(0.0, ctx.land.area.width),
+                rng.range_f64(0.0, ctx.land.area.height),
+            );
+            let speed = rng.range_f64(self.params.speed.0, self.params.speed.1);
+            Action::MoveTo { target, speed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::land::Land;
+
+    #[test]
+    fn alternates_move_and_pause() {
+        let land = Land::standard("T");
+        let mut m = RandomWaypoint::new(RandomWaypointParams::default());
+        let mut rng = Rng::new(1);
+        let ctx = DecideCtx {
+            now: 0.0,
+            pos: land.spawn_point(),
+            land: &land,
+            idle_attractors: &[],
+        };
+        for i in 0..20 {
+            let a = m.decide(&ctx, &mut rng);
+            if i % 2 == 0 {
+                assert!(matches!(a, Action::MoveTo { .. }), "step {i}: {a:?}");
+            } else {
+                assert!(matches!(a, Action::Pause { .. }), "step {i}: {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn targets_uniform_over_land() {
+        let land = Land::standard("T");
+        let mut m = RandomWaypoint::new(RandomWaypointParams::default());
+        let mut rng = Rng::new(2);
+        let ctx = DecideCtx {
+            now: 0.0,
+            pos: land.spawn_point(),
+            land: &land,
+            idle_attractors: &[],
+        };
+        // Quadrant counts should be roughly equal for uniform targets.
+        let mut quads = [0usize; 4];
+        let mut moves = 0;
+        while moves < 4000 {
+            if let Action::MoveTo { target, speed } = m.decide(&ctx, &mut rng) {
+                assert!(land.area.contains(target));
+                assert!((1.0..=5.2).contains(&speed));
+                let qx = (target.x >= 128.0) as usize;
+                let qy = (target.y >= 128.0) as usize;
+                quads[qy * 2 + qx] += 1;
+                moves += 1;
+            }
+        }
+        let total: usize = quads.iter().sum();
+        for q in quads {
+            let frac = q as f64 / total as f64;
+            assert!((frac - 0.25).abs() < 0.05, "quadrant fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn pause_never_zero() {
+        let land = Land::standard("T");
+        let mut m = RandomWaypoint::new(RandomWaypointParams {
+            pause: (0.0, 0.0001),
+            ..Default::default()
+        });
+        let mut rng = Rng::new(3);
+        let ctx = DecideCtx {
+            now: 0.0,
+            pos: land.spawn_point(),
+            land: &land,
+            idle_attractors: &[],
+        };
+        m.decide(&ctx, &mut rng);
+        if let Action::Pause { duration } = m.decide(&ctx, &mut rng) {
+            assert!(duration >= 0.1);
+        } else {
+            panic!("expected pause");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_speed_range() {
+        RandomWaypoint::new(RandomWaypointParams {
+            speed: (5.0, 1.0),
+            pause: (0.0, 1.0),
+        });
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-land user populations.
+//!
+//! Real lands host heterogeneous crowds: the paper's footnote about
+//! Dance Island ("in a discotheque users spend most of their time on the
+//! dance floor or by the bar, while in an open space users are generally
+//! located more sparsely") is a statement about user *types*, not just
+//! POI layout. A [`UserMix`] assigns each arriving avatar one of several
+//! [`UserType`]s, each with its own mobility model parameters.
+
+use crate::mobility::MobilityKind;
+use serde::{Deserialize, Serialize};
+use sl_stats::rng::Rng;
+
+/// One class of user behaviour within a land's population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserType {
+    /// Display name ("dancer", "wanderer", …).
+    pub name: String,
+    /// Relative share of arrivals of this type.
+    pub share: f64,
+    /// Mobility model for this type.
+    pub mobility: MobilityKind,
+    /// Multiplier applied to the land's base session duration for this
+    /// type (dancers stay longer than passers-by).
+    pub session_scale: f64,
+}
+
+/// A weighted mixture of user types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserMix {
+    types: Vec<UserType>,
+}
+
+impl UserMix {
+    /// Build a mix; panics on an empty list, non-positive shares, or
+    /// non-positive session scales.
+    pub fn new(types: Vec<UserType>) -> Self {
+        assert!(!types.is_empty(), "a land needs at least one user type");
+        for t in &types {
+            assert!(t.share > 0.0, "user type {} must have share > 0", t.name);
+            assert!(
+                t.session_scale > 0.0,
+                "user type {} must have session_scale > 0",
+                t.name
+            );
+        }
+        UserMix { types }
+    }
+
+    /// The underlying types.
+    pub fn types(&self) -> &[UserType] {
+        &self.types
+    }
+
+    /// Draw a type index for a fresh arrival.
+    pub fn draw(&self, rng: &mut Rng) -> usize {
+        if self.types.len() == 1 {
+            return 0;
+        }
+        // Mix sizes are tiny (≤ ~5 types): a linear scan beats building
+        // an alias table per draw.
+        let weights: Vec<f64> = self.types.iter().map(|t| t.share).collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            pick -= w;
+            if pick <= 0.0 {
+                return i;
+            }
+        }
+        self.types.len() - 1
+    }
+
+    /// The type at `index`.
+    pub fn get(&self, index: usize) -> &UserType {
+        &self.types[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::{PoiGravityParams, RandomWaypointParams};
+
+    fn two_type_mix() -> UserMix {
+        UserMix::new(vec![
+            UserType {
+                name: "dancer".into(),
+                share: 3.0,
+                mobility: MobilityKind::PoiGravity(PoiGravityParams::default()),
+                session_scale: 2.0,
+            },
+            UserType {
+                name: "visitor".into(),
+                share: 1.0,
+                mobility: MobilityKind::RandomWaypoint(RandomWaypointParams::default()),
+                session_scale: 0.5,
+            },
+        ])
+    }
+
+    #[test]
+    fn draw_respects_shares() {
+        let mix = two_type_mix();
+        let mut rng = Rng::new(1);
+        let n = 40_000;
+        let mut counts = [0usize; 2];
+        for _ in 0..n {
+            counts[mix.draw(&mut rng)] += 1;
+        }
+        let frac = counts[0] as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "dancer share {frac}");
+    }
+
+    #[test]
+    fn single_type_always_zero() {
+        let mix = UserMix::new(vec![UserType {
+            name: "only".into(),
+            share: 1.0,
+            mobility: MobilityKind::PoiGravity(PoiGravityParams::default()),
+            session_scale: 1.0,
+        }]);
+        let mut rng = Rng::new(2);
+        for _ in 0..100 {
+            assert_eq!(mix.draw(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let mix = two_type_mix();
+        assert_eq!(mix.types().len(), 2);
+        assert_eq!(mix.get(0).name, "dancer");
+        assert_eq!(mix.get(1).session_scale, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_mix() {
+        UserMix::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_share() {
+        UserMix::new(vec![UserType {
+            name: "ghost".into(),
+            share: 0.0,
+            mobility: MobilityKind::PoiGravity(PoiGravityParams::default()),
+            session_scale: 1.0,
+        }]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Session processes: who arrives when, and how long they stay.
+//!
+//! Arrivals follow a non-homogeneous Poisson process with a diurnal
+//! rate profile (metaverse lands breathe with their community's time
+//! zone). Session durations are truncated log-normal, calibrated to the
+//! paper's Fig. 4(c): ~90 % of users logged in for under an hour and no
+//! session beyond four hours.
+
+use serde::{Deserialize, Serialize};
+use sl_stats::dist::{LogNormal, Sample};
+use sl_stats::rng::Rng;
+
+/// Diurnal modulation of the arrival rate over a 24 h cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    /// Peak-to-trough amplitude in `[0, 1)`: 0 = flat, 0.8 = deep night
+    /// valleys.
+    pub amplitude: f64,
+    /// Hour of the day (0–24) at which the rate peaks.
+    pub peak_hour: f64,
+}
+
+impl DiurnalProfile {
+    /// A flat (homogeneous) profile.
+    pub fn flat() -> Self {
+        DiurnalProfile {
+            amplitude: 0.0,
+            peak_hour: 0.0,
+        }
+    }
+
+    /// Evening-peaked profile typical of entertainment lands.
+    pub fn evening() -> Self {
+        DiurnalProfile {
+            amplitude: 0.6,
+            peak_hour: 21.0,
+        }
+    }
+
+    /// Rate multiplier at absolute time `t` (seconds); mean value over a
+    /// day is 1 by construction.
+    pub fn factor(&self, t: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&self.amplitude),
+            "amplitude must be in [0, 1)"
+        );
+        let hour = (t / 3600.0).rem_euclid(24.0);
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        1.0 + self.amplitude * phase.cos()
+    }
+
+    /// Maximum factor over a day (used as the thinning envelope).
+    pub fn max_factor(&self) -> f64 {
+        1.0 + self.amplitude
+    }
+}
+
+/// Non-homogeneous Poisson arrival process, sampled by thinning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalProcess {
+    /// Mean arrivals per second (daily average).
+    pub rate: f64,
+    /// Diurnal modulation.
+    pub profile: DiurnalProfile,
+}
+
+impl ArrivalProcess {
+    /// Mean-rate process with a profile. Panics unless `rate > 0`.
+    pub fn new(rate: f64, profile: DiurnalProfile) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be > 0");
+        ArrivalProcess { rate, profile }
+    }
+
+    /// Process expected to produce `count` arrivals over `duration`
+    /// seconds (daily average).
+    pub fn with_expected(count: f64, duration: f64, profile: DiurnalProfile) -> Self {
+        Self::new(count / duration, profile)
+    }
+
+    /// Time of the next arrival strictly after `t` (Lewis–Shedler
+    /// thinning against the constant envelope `rate * max_factor`).
+    pub fn next_after(&self, t: f64, rng: &mut Rng) -> f64 {
+        let envelope = self.rate * self.profile.max_factor();
+        let mut t = t;
+        loop {
+            t += -rng.f64_open().ln() / envelope;
+            let accept = self.rate * self.profile.factor(t) / envelope;
+            if rng.chance(accept) {
+                return t;
+            }
+        }
+    }
+}
+
+/// Session-duration law: log-normal truncated at a hard maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionDurations {
+    /// Median session length, seconds.
+    pub median: f64,
+    /// 90th-percentile session length, seconds.
+    pub p90: f64,
+    /// Hard maximum (the paper's longest observed login was < 4 h).
+    pub max: f64,
+}
+
+impl SessionDurations {
+    /// Construct; panics unless `0 < median < p90 <= max`.
+    pub fn new(median: f64, p90: f64, max: f64) -> Self {
+        assert!(
+            median > 0.0 && p90 > median && max >= p90,
+            "need 0 < median < p90 <= max"
+        );
+        SessionDurations { median, p90, max }
+    }
+
+    /// The paper's global shape: median 15 min, 90 % under an hour,
+    /// nothing beyond 4 h.
+    pub fn paper_default() -> Self {
+        SessionDurations::new(900.0, 3600.0, 14400.0)
+    }
+
+    /// Draw one session duration, scaled by `scale` (user-type factor)
+    /// before truncation. Always returns at least 10 s — a sub-snapshot
+    /// session would be invisible to the crawler anyway.
+    pub fn sample(&self, scale: f64, rng: &mut Rng) -> f64 {
+        let d = LogNormal::from_median_p90(self.median, self.p90);
+        (d.sample(rng) * scale).clamp(10.0, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_profile_is_constant() {
+        let p = DiurnalProfile::flat();
+        for h in 0..24 {
+            assert!((p.factor(h as f64 * 3600.0) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(p.max_factor(), 1.0);
+    }
+
+    #[test]
+    fn evening_profile_peaks_at_peak_hour() {
+        let p = DiurnalProfile::evening();
+        let at_peak = p.factor(21.0 * 3600.0);
+        let at_trough = p.factor(9.0 * 3600.0);
+        assert!((at_peak - 1.6).abs() < 1e-9, "peak {at_peak}");
+        assert!((at_trough - 0.4).abs() < 1e-9, "trough {at_trough}");
+        // Repeats daily.
+        assert!((p.factor(21.0 * 3600.0 + 86400.0) - at_peak).abs() < 1e-9);
+    }
+
+    #[test]
+    fn homogeneous_arrival_rate_matches() {
+        let proc = ArrivalProcess::new(0.05, DiurnalProfile::flat());
+        let mut rng = Rng::new(1);
+        let mut t = 0.0;
+        let mut count = 0;
+        let horizon = 200_000.0;
+        while t < horizon {
+            t = proc.next_after(t, &mut rng);
+            if t < horizon {
+                count += 1;
+            }
+        }
+        let expected = 0.05 * horizon;
+        assert!(
+            (count as f64 - expected).abs() < expected * 0.05,
+            "count {count} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn diurnal_arrivals_concentrate_near_peak() {
+        let proc = ArrivalProcess::new(0.05, DiurnalProfile::evening());
+        let mut rng = Rng::new(2);
+        let mut t = 0.0;
+        let (mut near_peak, mut near_trough) = (0, 0);
+        // Simulate 20 days.
+        while t < 20.0 * 86400.0 {
+            t = proc.next_after(t, &mut rng);
+            let hour = (t / 3600.0).rem_euclid(24.0);
+            if (18.0..24.0).contains(&hour) {
+                near_peak += 1;
+            }
+            if (6.0..12.0).contains(&hour) {
+                near_trough += 1;
+            }
+        }
+        assert!(
+            near_peak > near_trough * 2,
+            "peak {near_peak} vs trough {near_trough}"
+        );
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let proc = ArrivalProcess::new(1.0, DiurnalProfile::evening());
+        let mut rng = Rng::new(3);
+        let mut t = 0.0;
+        for _ in 0..1000 {
+            let next = proc.next_after(t, &mut rng);
+            assert!(next > t);
+            t = next;
+        }
+    }
+
+    #[test]
+    fn with_expected_count() {
+        let proc = ArrivalProcess::with_expected(2656.0, 86400.0, DiurnalProfile::flat());
+        assert!((proc.rate - 2656.0 / 86400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_durations_shape() {
+        let law = SessionDurations::paper_default();
+        let mut rng = Rng::new(4);
+        let mut xs: Vec<f64> = (0..50_000).map(|_| law.sample(1.0, &mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        let p90 = xs[(xs.len() as f64 * 0.9) as usize];
+        let max = *xs.last().unwrap();
+        assert!((med - 900.0).abs() / 900.0 < 0.06, "median {med}");
+        assert!((p90 - 3600.0).abs() / 3600.0 < 0.06, "p90 {p90}");
+        assert!(max <= 14400.0, "max {max}");
+        assert!(xs[0] >= 10.0, "min {}", xs[0]);
+    }
+
+    #[test]
+    fn session_scale_shifts_distribution() {
+        let law = SessionDurations::paper_default();
+        let mut rng = Rng::new(5);
+        let short: f64 = (0..5000).map(|_| law.sample(0.3, &mut rng)).sum::<f64>() / 5000.0;
+        let long: f64 = (0..5000).map(|_| law.sample(2.0, &mut rng)).sum::<f64>() / 5000.0;
+        assert!(long > short * 2.0, "long {long} vs short {short}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_percentiles() {
+        SessionDurations::new(1000.0, 500.0, 2000.0);
+    }
+}

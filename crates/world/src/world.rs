@@ -1,0 +1,832 @@
+//! The world engine: virtual time, avatars, external observers,
+//! deployable objects, and snapshot production.
+//!
+//! The world owns a discrete-event loop over four event kinds — user
+//! arrivals, per-avatar mobility decisions, departures, and object
+//! expiry. Between events every avatar follows an analytic motion
+//! segment (straight line or pause), so positions are exact at any
+//! queried instant: snapshots do not depend on an integration step.
+
+use crate::engine::EventQueue;
+use crate::geometry::Vec2;
+use crate::land::{DeployError, Land};
+use crate::mobility::{Action, DecideCtx, MobilityModel};
+use crate::profile::UserMix;
+use crate::session::{ArrivalProcess, SessionDurations};
+use sl_trace::{LandMeta, Position, Snapshot, Trace, UserId};
+use sl_stats::rng::Rng;
+use std::collections::HashMap;
+
+/// Identifier of a deployed in-world object (e.g. a sensor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+/// Full configuration of a simulated land.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// The land geometry, POIs and policies.
+    pub land: Land,
+    /// User-type mixture.
+    pub mix: UserMix,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Session-duration law.
+    pub sessions: SessionDurations,
+    /// Probability that an arrival is a *returning* visitor (reuses a
+    /// previously seen user identity) rather than a new unique user.
+    pub return_prob: f64,
+    /// Altitude reported for standing avatars, meters.
+    pub avatar_z: f64,
+    /// Seconds after which a motionless, silent external avatar starts
+    /// attracting curious users (the paper's crawler perturbation).
+    pub external_idle_threshold: f64,
+    /// Radius of the uniform jitter around the chosen spawn pad,
+    /// meters. Small on lands with a single busy landing zone; large on
+    /// open lands where newbies rez scattered.
+    pub spawn_jitter: f64,
+}
+
+/// One avatar's current motion segment: linear from `from` at `t0` to
+/// `to` at `t1` (a pause when `from == to`).
+#[derive(Debug, Clone, Copy)]
+struct Motion {
+    from: Vec2,
+    to: Vec2,
+    t0: f64,
+    t1: f64,
+}
+
+impl Motion {
+    fn still(at: Vec2, t0: f64, t1: f64) -> Motion {
+        Motion {
+            from: at,
+            to: at,
+            t0,
+            t1,
+        }
+    }
+
+    fn pos_at(&self, t: f64) -> Vec2 {
+        if self.t1 <= self.t0 || t >= self.t1 {
+            return self.to;
+        }
+        if t <= self.t0 {
+            return self.from;
+        }
+        self.from.lerp(self.to, (t - self.t0) / (self.t1 - self.t0))
+    }
+}
+
+/// A simulated (world-driven) avatar.
+struct SimAvatar {
+    user: UserId,
+    motion: Motion,
+    seated: bool,
+    departs_at: f64,
+    model: Box<dyn MobilityModel>,
+    rng: Rng,
+}
+
+impl std::fmt::Debug for SimAvatar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimAvatar")
+            .field("user", &self.user)
+            .field("departs_at", &self.departs_at)
+            .field("seated", &self.seated)
+            .finish()
+    }
+}
+
+/// An externally driven avatar (a crawler connected over the network,
+/// or the test harness). Perceived by simulated users like any avatar.
+#[derive(Debug, Clone, Copy)]
+struct ExternalAvatar {
+    pos: Vec2,
+    /// Last time the avatar moved or chatted; drives the perturbation.
+    last_activity: f64,
+}
+
+/// A deployed in-world object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorldObject {
+    /// Object identity.
+    pub id: ObjectId,
+    /// Position on the land.
+    pub pos: Vec2,
+    /// Absolute expiry time; `None` = persists.
+    pub expires_at: Option<f64>,
+}
+
+/// Event payloads of the world loop.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    NextArrival,
+    Decide(u32),
+    Depart(u32),
+    ObjectExpiry(ObjectId),
+}
+
+/// Counters exposed for tests and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldStats {
+    /// Accepted arrivals.
+    pub arrivals: u64,
+    /// Arrivals rejected because the land was at its concurrency cap.
+    pub rejected: u64,
+    /// Completed departures.
+    pub departures: u64,
+    /// Objects that reached their lifetime and expired.
+    pub objects_expired: u64,
+}
+
+/// The simulated world: one land and its population.
+///
+/// ```
+/// use sl_world::presets::dance_island;
+/// use sl_world::World;
+///
+/// let mut world = World::new(dance_island().config, 42);
+/// world.warm_up(1800.0);                      // let the club fill up
+/// let trace = world.run_trace(600.0, 10.0);   // 10 minutes at τ = 10 s
+/// assert_eq!(trace.len(), 60);
+/// assert!(trace.unique_users().len() > 5);
+/// ```
+pub struct World {
+    config: WorldConfig,
+    clock: f64,
+    events: EventQueue<Event>,
+    avatars: HashMap<u32, SimAvatar>,
+    next_handle: u32,
+    next_user: u32,
+    past_users: Vec<UserId>,
+    externals: HashMap<UserId, ExternalAvatar>,
+    objects: HashMap<ObjectId, WorldObject>,
+    next_object: u64,
+    rng: Rng,
+    stats: WorldStats,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("land", &self.config.land.name)
+            .field("clock", &self.clock)
+            .field("avatars", &self.avatars.len())
+            .field("externals", &self.externals.len())
+            .finish()
+    }
+}
+
+impl World {
+    /// Create a world at virtual time 0 and schedule the first arrival.
+    pub fn new(config: WorldConfig, seed: u64) -> Self {
+        let mut world = Self::without_arrivals(config, seed);
+        // First arrival strictly after time 0.
+        let first = world.config.arrivals.next_after(0.0, &mut world.rng);
+        world.events.schedule(first, Event::NextArrival);
+        world
+    }
+
+    /// Create a world whose population is driven *externally* via
+    /// [`World::admit`] — no internal arrival process runs. Used by the
+    /// multi-land [`crate::grid::Grid`], which owns session scheduling
+    /// so that one user identity can hop between lands.
+    pub fn without_arrivals(config: WorldConfig, seed: u64) -> Self {
+        let rng = Rng::new(seed);
+        let events = EventQueue::new();
+        World {
+            config,
+            clock: 0.0,
+            events,
+            avatars: HashMap::new(),
+            next_handle: 0,
+            next_user: 0,
+            past_users: Vec::new(),
+            externals: HashMap::new(),
+            objects: HashMap::new(),
+            next_object: 0,
+            rng,
+            stats: WorldStats::default(),
+        }
+    }
+
+    /// Current virtual time, seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The configured land.
+    pub fn land(&self) -> &Land {
+        &self.config.land
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> WorldStats {
+        self.stats
+    }
+
+    /// Number of simulated avatars currently on the land (externals not
+    /// included).
+    pub fn population(&self) -> usize {
+        self.avatars.len()
+    }
+
+    /// Advance virtual time to `t`, processing all due events. `t` must
+    /// not precede the current clock.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(
+            t >= self.clock,
+            "cannot rewind the world ({} -> {})",
+            self.clock,
+            t
+        );
+        while let Some((et, ev)) = self.events.pop_due(t) {
+            self.clock = et;
+            self.handle(ev);
+        }
+        self.clock = t;
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::NextArrival => self.on_arrival(),
+            Event::Decide(h) => self.on_decide(h),
+            Event::Depart(h) => self.on_depart(h),
+            Event::ObjectExpiry(id) => {
+                if let Some(obj) = self.objects.get(&id) {
+                    if obj.expires_at.is_some_and(|e| e <= self.clock) {
+                        self.objects.remove(&id);
+                        self.stats.objects_expired += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_arrival(&mut self) {
+        // Schedule the subsequent arrival first so a rejection below
+        // cannot stall the process.
+        let next = self.config.arrivals.next_after(self.clock, &mut self.rng);
+        self.events.schedule(next, Event::NextArrival);
+
+        if self.avatars.len() >= self.config.land.max_concurrent {
+            self.stats.rejected += 1;
+            return;
+        }
+
+        // Identity: returning visitor or a fresh unique user. A user
+        // cannot be logged in twice (SL rejects concurrent logins of
+        // one account), so returning candidates already on the land
+        // fall back to a fresh identity.
+        let user = 'ident: {
+            if !self.past_users.is_empty() && self.rng.chance(self.config.return_prob) {
+                for _ in 0..4 {
+                    let candidate = self.past_users[self.rng.index(self.past_users.len())];
+                    let active = self.avatars.values().any(|a| a.user == candidate);
+                    if !active {
+                        break 'ident candidate;
+                    }
+                }
+            }
+            let u = UserId(self.next_user);
+            self.next_user += 1;
+            u
+        };
+
+        let type_idx = self.config.mix.draw(&mut self.rng);
+        let duration = self.config.sessions.sample(
+            self.config.mix.get(type_idx).session_scale,
+            &mut self.rng,
+        );
+        self.spawn_avatar(user, duration, type_idx);
+        self.stats.arrivals += 1;
+    }
+
+    /// Admit an externally managed user for `session_duration` seconds
+    /// — the multi-land grid's entry point. Returns false when the land
+    /// is at its concurrency cap or the user is already present.
+    pub fn admit(&mut self, user: UserId, session_duration: f64) -> bool {
+        assert!(session_duration > 0.0, "session must be positive");
+        if self.avatars.len() >= self.config.land.max_concurrent {
+            self.stats.rejected += 1;
+            return false;
+        }
+        if self.avatars.values().any(|a| a.user == user) {
+            return false;
+        }
+        let type_idx = self.config.mix.draw(&mut self.rng);
+        self.spawn_avatar(user, session_duration, type_idx);
+        self.stats.arrivals += 1;
+        true
+    }
+
+    /// Whether a simulated (world-driven) user is currently present.
+    pub fn is_present(&self, user: UserId) -> bool {
+        self.avatars.values().any(|a| a.user == user)
+    }
+
+    /// Raise the floor of this world's self-assigned user-id space (for
+    /// externals and internal arrivals). The multi-land grid assigns
+    /// session identities from its own space and gives each member
+    /// world a disjoint base so crawler avatars can never collide with
+    /// grid users.
+    pub fn reserve_user_ids(&mut self, base: u32) {
+        self.next_user = self.next_user.max(base);
+    }
+
+    fn spawn_avatar(&mut self, user: UserId, duration: f64, type_idx: usize) {
+        let utype = self.config.mix.get(type_idx);
+        let model = utype.mobility.build();
+        let avatar_rng = self.rng.fork(user.0 as u64);
+
+        // Land at a random spawn pad, jittered.
+        let pads = self.config.land.spawn_points();
+        let spawn = pads[self.rng.index(pads.len())];
+        let j = self.config.spawn_jitter;
+        let jitter = Vec2::new(self.rng.range_f64(-j, j), self.rng.range_f64(-j, j));
+        let pos = self.config.land.area.clamp(spawn + jitter);
+
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.avatars.insert(
+            handle,
+            SimAvatar {
+                user,
+                motion: Motion::still(pos, self.clock, self.clock),
+                seated: false,
+                departs_at: self.clock + duration,
+                model,
+                rng: avatar_rng,
+            },
+        );
+        self.events
+            .schedule(self.clock + duration, Event::Depart(handle));
+        self.events.schedule(self.clock, Event::Decide(handle));
+    }
+
+    fn on_decide(&mut self, handle: u32) {
+        // Gather the perturbation context before borrowing the avatar.
+        let idle_attractors = self.idle_attractor_positions();
+        let Some(avatar) = self.avatars.get_mut(&handle) else {
+            return; // departed while the decision was queued
+        };
+        let pos = avatar.motion.pos_at(self.clock);
+        let ctx = DecideCtx {
+            now: self.clock,
+            pos,
+            land: &self.config.land,
+            idle_attractors: &idle_attractors,
+        };
+        let action = avatar.model.decide(&ctx, &mut avatar.rng);
+        avatar.seated = false;
+        let end = match action {
+            Action::MoveTo { target, speed } => {
+                assert!(speed > 0.0, "mobility model produced speed {speed}");
+                let target = self.config.land.area.clamp(target);
+                let t1 = self.clock + pos.distance(target) / speed;
+                avatar.motion = Motion {
+                    from: pos,
+                    to: target,
+                    t0: self.clock,
+                    t1,
+                };
+                t1
+            }
+            Action::Pause { duration } => {
+                assert!(duration > 0.0, "mobility model produced pause {duration}");
+                avatar.motion = Motion::still(pos, self.clock, self.clock + duration);
+                self.clock + duration
+            }
+            Action::Sit { duration } => {
+                assert!(duration > 0.0, "mobility model produced sit {duration}");
+                avatar.seated = true;
+                avatar.motion = Motion::still(pos, self.clock, self.clock + duration);
+                self.clock + duration
+            }
+        };
+        // Guard against pathological zero-length actions: always move
+        // strictly forward in time.
+        let end = end.max(self.clock + 1e-3);
+        self.events.schedule(end, Event::Decide(handle));
+    }
+
+    fn on_depart(&mut self, handle: u32) {
+        if let Some(avatar) = self.avatars.remove(&handle) {
+            self.stats.departures += 1;
+            self.past_users.push(avatar.user);
+        }
+    }
+
+    fn idle_attractor_positions(&self) -> Vec<Vec2> {
+        let threshold = self.config.external_idle_threshold;
+        let mut v: Vec<(UserId, Vec2)> = self
+            .externals
+            .iter()
+            .filter(|(_, e)| self.clock - e.last_activity >= threshold)
+            .map(|(id, e)| (*id, e.pos))
+            .collect();
+        v.sort_by_key(|(id, _)| *id);
+        v.into_iter().map(|(_, p)| p).collect()
+    }
+
+    // ----- external avatars (crawlers) -------------------------------
+
+    /// Connect an external avatar (e.g. the crawler) at `pos`. Returns
+    /// its user identity — externals are visible in snapshots exactly
+    /// like simulated users, which is the root of the perturbation
+    /// problem the paper describes.
+    pub fn connect_external(&mut self, pos: Vec2) -> UserId {
+        let user = UserId(self.next_user);
+        self.next_user += 1;
+        self.externals.insert(
+            user,
+            ExternalAvatar {
+                pos: self.config.land.area.clamp(pos),
+                last_activity: self.clock,
+            },
+        );
+        user
+    }
+
+    /// Move an external avatar; counts as activity (a moving avatar
+    /// does not read as an inert bot).
+    pub fn move_external(&mut self, user: UserId, pos: Vec2) {
+        let clamped = self.config.land.area.clamp(pos);
+        let now = self.clock;
+        if let Some(e) = self.externals.get_mut(&user) {
+            e.pos = clamped;
+            e.last_activity = now;
+        }
+    }
+
+    /// Record a chat utterance by an external avatar (activity only;
+    /// message content does not influence the simulation).
+    pub fn external_chat(&mut self, user: UserId) {
+        let now = self.clock;
+        if let Some(e) = self.externals.get_mut(&user) {
+            e.last_activity = now;
+        }
+    }
+
+    /// Disconnect an external avatar.
+    pub fn disconnect_external(&mut self, user: UserId) {
+        self.externals.remove(&user);
+    }
+
+    /// Position of an external avatar, if connected.
+    pub fn external_position(&self, user: UserId) -> Option<Vec2> {
+        self.externals.get(&user).map(|e| e.pos)
+    }
+
+    // ----- objects (sensors) ------------------------------------------
+
+    /// Deploy an object at `pos` subject to the land's rules; returns
+    /// its id or the rejection reason. Expiring objects are removed
+    /// automatically when their land-dependent lifetime elapses.
+    pub fn deploy_object(&mut self, pos: Vec2, authorized: bool) -> Result<ObjectId, DeployError> {
+        let lifetime = self.config.land.check_deploy(pos, authorized)?;
+        let id = ObjectId(self.next_object);
+        self.next_object += 1;
+        let expires_at = lifetime.map(|l| self.clock + l);
+        self.objects.insert(id, WorldObject { id, pos, expires_at });
+        if let Some(e) = expires_at {
+            self.events.schedule(e, Event::ObjectExpiry(id));
+        }
+        Ok(id)
+    }
+
+    /// Whether an object is still deployed.
+    pub fn object_exists(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Remove an object explicitly (e.g. the owner picks it up).
+    pub fn remove_object(&mut self, id: ObjectId) -> bool {
+        self.objects.remove(&id).is_some()
+    }
+
+    /// All currently deployed objects, sorted by id.
+    pub fn objects(&self) -> Vec<WorldObject> {
+        let mut v: Vec<WorldObject> = self.objects.values().copied().collect();
+        v.sort_by_key(|o| o.id);
+        v
+    }
+
+    // ----- observation -------------------------------------------------
+
+    /// Ground-truth snapshot at the current clock: every simulated and
+    /// external avatar with its reported position. Seated avatars
+    /// report the `{0,0,0}` sentinel, as the SL map did. Entries are
+    /// sorted by user id.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new(self.clock);
+        for avatar in self.avatars.values() {
+            let pos = if avatar.seated {
+                Position::SEATED
+            } else {
+                let p = avatar.motion.pos_at(self.clock);
+                Position::new(p.x, p.y, self.config.avatar_z)
+            };
+            snap.push(avatar.user, pos);
+        }
+        for (user, e) in &self.externals {
+            snap.push(*user, Position::new(e.pos.x, e.pos.y, self.config.avatar_z));
+        }
+        snap.entries.sort_by_key(|o| o.user);
+        snap
+    }
+
+    /// Positions of simulated avatars only (used by sensor scans, which
+    /// should not detect the scanning infrastructure itself). Sorted by
+    /// user id; seated avatars are reported at their *physical* place —
+    /// an in-world sensor sees the avatar on the bench, only the map
+    /// coordinates degenerate.
+    pub fn physical_positions(&self) -> Vec<(UserId, Vec2)> {
+        let mut v: Vec<(UserId, Vec2)> = self
+            .avatars
+            .values()
+            .map(|a| (a.user, a.motion.pos_at(self.clock)))
+            .collect();
+        v.sort_by_key(|(u, _)| *u);
+        v
+    }
+
+    /// Drive the world for `duration` seconds from the current clock,
+    /// recording a snapshot every `tau` seconds, and return the trace —
+    /// the in-process equivalent of a perfect crawler.
+    pub fn run_trace(&mut self, duration: f64, tau: f64) -> Trace {
+        assert!(tau > 0.0 && duration >= tau, "need duration >= tau > 0");
+        let meta = LandMeta {
+            name: self.config.land.name.clone(),
+            width: self.config.land.area.width,
+            height: self.config.land.area.height,
+            tau,
+        };
+        let mut trace = Trace::new(meta);
+        let start = self.clock;
+        let steps = (duration / tau).floor() as u64;
+        for k in 1..=steps {
+            self.advance_to(start + k as f64 * tau);
+            trace.push(self.snapshot());
+        }
+        trace
+    }
+
+    /// Advance without recording — lets the land population reach steady
+    /// state before measurements begin.
+    pub fn warm_up(&mut self, duration: f64) {
+        let target = self.clock + duration;
+        self.advance_to(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::land::{LandKind, Poi, PoiKind};
+    use crate::mobility::{MobilityKind, PoiGravityParams};
+    use crate::profile::UserType;
+    use crate::session::DiurnalProfile;
+
+    fn test_config() -> WorldConfig {
+        let mut land = Land::standard("TestLand");
+        land.pois.push(Poi::new(
+            "spawn",
+            Vec2::new(128.0, 128.0),
+            10.0,
+            1.0,
+            PoiKind::Spawn,
+        ));
+        land.pois.push(Poi::new(
+            "floor",
+            Vec2::new(60.0, 60.0),
+            15.0,
+            8.0,
+            PoiKind::DanceFloor,
+        ));
+        WorldConfig {
+            land,
+            mix: UserMix::new(vec![UserType {
+                name: "visitor".into(),
+                share: 1.0,
+                mobility: MobilityKind::PoiGravity(PoiGravityParams::default()),
+                session_scale: 1.0,
+            }]),
+            arrivals: ArrivalProcess::with_expected(400.0, 86400.0, DiurnalProfile::flat()),
+            sessions: SessionDurations::paper_default(),
+            return_prob: 0.1,
+            avatar_z: 22.0,
+            external_idle_threshold: 120.0,
+            spawn_jitter: 4.0,
+        }
+    }
+
+    #[test]
+    fn population_builds_up_and_snapshots_sorted() {
+        let mut w = World::new(test_config(), 1);
+        w.advance_to(4.0 * 3600.0);
+        assert!(w.population() > 0, "someone should be on the land");
+        let snap = w.snapshot();
+        assert_eq!(snap.len(), w.population());
+        let ids: Vec<u32> = snap.entries.iter().map(|o| o.user.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn deterministic_traces() {
+        let run = |seed| {
+            let mut w = World::new(test_config(), seed);
+            w.warm_up(1800.0);
+            w.run_trace(3600.0, 10.0)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn positions_inside_land() {
+        let mut w = World::new(test_config(), 2);
+        w.warm_up(3600.0);
+        let trace = w.run_trace(1800.0, 10.0);
+        for snap in &trace.snapshots {
+            for obs in &snap.entries {
+                assert!((0.0..=256.0).contains(&obs.pos.x), "x {}", obs.pos.x);
+                assert!((0.0..=256.0).contains(&obs.pos.y), "y {}", obs.pos.y);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_timing_matches_tau() {
+        let mut w = World::new(test_config(), 3);
+        let trace = w.run_trace(600.0, 10.0);
+        assert_eq!(trace.len(), 60);
+        for (k, snap) in trace.snapshots.iter().enumerate() {
+            assert!((snap.t - (k as f64 + 1.0) * 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn departures_happen() {
+        let mut w = World::new(test_config(), 4);
+        w.advance_to(6.0 * 3600.0);
+        let stats = w.stats();
+        assert!(stats.arrivals > 10);
+        assert!(stats.departures > 0);
+        assert!(
+            stats.departures <= stats.arrivals,
+            "cannot depart more than arrived"
+        );
+    }
+
+    #[test]
+    fn concurrency_cap_enforced() {
+        let mut cfg = test_config();
+        cfg.land.max_concurrent = 3;
+        // Very fast arrivals, long sessions: the cap must bind.
+        cfg.arrivals = ArrivalProcess::with_expected(50_000.0, 86400.0, DiurnalProfile::flat());
+        let mut w = World::new(cfg, 5);
+        w.advance_to(3600.0);
+        assert!(w.population() <= 3);
+        assert!(w.stats().rejected > 0);
+    }
+
+    #[test]
+    fn returning_users_reuse_identities() {
+        let mut cfg = test_config();
+        cfg.return_prob = 0.9;
+        let mut w = World::new(cfg, 6);
+        w.advance_to(12.0 * 3600.0);
+        let arrivals = w.stats().arrivals;
+        // next_user counts unique identities (externals would add too,
+        // but none are connected here).
+        let unique = w.next_user as u64;
+        assert!(
+            unique < arrivals,
+            "high return probability must reuse identities ({unique} unique vs {arrivals} arrivals)"
+        );
+    }
+
+    #[test]
+    fn no_duplicate_identities_in_snapshots() {
+        // Regression: returning visitors must not log in while their
+        // previous session is still active (it made snapshots carry the
+        // same UserId twice, with HashMap-order-dependent positions).
+        let mut cfg = test_config();
+        cfg.return_prob = 0.9;
+        let mut w = World::new(cfg, 1234);
+        for step in 1..=600 {
+            w.advance_to(step as f64 * 60.0);
+            let snap = w.snapshot();
+            let mut ids: Vec<u32> = snap.entries.iter().map(|o| o.user.0).collect();
+            let before = ids.len();
+            ids.dedup();
+            assert_eq!(ids.len(), before, "duplicate user at t={}", snap.t);
+        }
+    }
+
+    #[test]
+    fn externals_visible_and_movable() {
+        let mut w = World::new(test_config(), 7);
+        let crawler = w.connect_external(Vec2::new(10.0, 10.0));
+        let snap = w.snapshot();
+        assert_eq!(
+            snap.get(crawler),
+            Some(Position::new(10.0, 10.0, 22.0))
+        );
+        w.move_external(crawler, Vec2::new(50.0, 60.0));
+        assert_eq!(w.external_position(crawler), Some(Vec2::new(50.0, 60.0)));
+        w.disconnect_external(crawler);
+        assert!(w.snapshot().get(crawler).is_none());
+    }
+
+    #[test]
+    fn idle_external_becomes_attractor_active_does_not() {
+        let mut w = World::new(test_config(), 8);
+        let crawler = w.connect_external(Vec2::new(10.0, 10.0));
+        w.advance_to(300.0);
+        assert_eq!(w.idle_attractor_positions().len(), 1, "idle after 300 s");
+        w.external_chat(crawler);
+        assert!(w.idle_attractor_positions().is_empty(), "chat resets idleness");
+        w.advance_to(360.0);
+        assert!(w.idle_attractor_positions().is_empty(), "recently active");
+        w.advance_to(600.0);
+        assert_eq!(w.idle_attractor_positions().len(), 1, "idle again");
+    }
+
+    #[test]
+    fn objects_expire_on_public_land() {
+        let mut w = World::new(test_config(), 9);
+        let id = w.deploy_object(Vec2::new(100.0, 100.0), false).unwrap();
+        assert!(w.object_exists(id));
+        // Land default lifetime is 3600 s.
+        w.advance_to(3599.0);
+        assert!(w.object_exists(id));
+        w.advance_to(3601.0);
+        assert!(!w.object_exists(id));
+        assert_eq!(w.stats().objects_expired, 1);
+    }
+
+    #[test]
+    fn objects_persist_on_sandbox() {
+        let mut cfg = test_config();
+        cfg.land.kind = LandKind::Sandbox;
+        let mut w = World::new(cfg, 10);
+        let id = w.deploy_object(Vec2::new(100.0, 100.0), false).unwrap();
+        w.advance_to(100_000.0);
+        assert!(w.object_exists(id));
+    }
+
+    #[test]
+    fn private_land_rejects_objects() {
+        let mut cfg = test_config();
+        cfg.land.kind = LandKind::Private;
+        let mut w = World::new(cfg, 11);
+        assert_eq!(
+            w.deploy_object(Vec2::new(1.0, 1.0), false),
+            Err(DeployError::PrivateLand)
+        );
+        assert!(w.deploy_object(Vec2::new(1.0, 1.0), true).is_ok());
+    }
+
+    #[test]
+    fn remove_object_explicitly() {
+        let mut w = World::new(test_config(), 12);
+        let id = w.deploy_object(Vec2::new(5.0, 5.0), false).unwrap();
+        assert!(w.remove_object(id));
+        assert!(!w.remove_object(id));
+        assert!(!w.object_exists(id));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_rewind_time() {
+        let mut w = World::new(test_config(), 13);
+        w.advance_to(100.0);
+        w.advance_to(50.0);
+    }
+
+    #[test]
+    fn physical_positions_exclude_externals() {
+        let mut w = World::new(test_config(), 14);
+        w.connect_external(Vec2::new(1.0, 1.0));
+        w.advance_to(3600.0);
+        let phys = w.physical_positions();
+        assert_eq!(phys.len(), w.population());
+    }
+
+    #[test]
+    fn motion_interpolates_linearly() {
+        let m = Motion {
+            from: Vec2::new(0.0, 0.0),
+            to: Vec2::new(10.0, 0.0),
+            t0: 0.0,
+            t1: 10.0,
+        };
+        assert_eq!(m.pos_at(-1.0), Vec2::new(0.0, 0.0));
+        assert_eq!(m.pos_at(5.0), Vec2::new(5.0, 0.0));
+        assert_eq!(m.pos_at(20.0), Vec2::new(10.0, 0.0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the world simulator: arbitrary (sane)
+//! configurations must keep every invariant the analysis layer relies
+//! on — bounded positions, unique identities, monotone time, bounded
+//! populations.
+
+use proptest::prelude::*;
+use sl_world::mobility::{
+    Action, DecideCtx, LevyParams, MobilityKind, PoiGravityParams, RandomWaypointParams,
+};
+use sl_world::{
+    ArrivalProcess, DiurnalProfile, Land, Poi, PoiKind, SessionDurations, UserMix, UserType, Vec2,
+    World, WorldConfig,
+};
+
+fn arb_mobility() -> impl Strategy<Value = MobilityKind> {
+    prop_oneof![
+        (0.2f64..2.0, 10.0f64..600.0, 1.05f64..2.0, 0.0f64..1.0).prop_map(
+            |(gravity, dwell_min, alpha, excursion)| {
+                MobilityKind::PoiGravity(PoiGravityParams {
+                    gravity_exponent: gravity,
+                    dwell: (dwell_min, dwell_min * 20.0, alpha),
+                    excursion_prob: excursion,
+                    ..PoiGravityParams::default()
+                })
+            }
+        ),
+        (0.5f64..4.0, 0.0f64..120.0).prop_map(|(vmin, pause)| {
+            MobilityKind::RandomWaypoint(RandomWaypointParams {
+                speed: (vmin, vmin + 2.0),
+                pause: (0.0, pause.max(1.0)),
+            })
+        }),
+        (1.0f64..20.0, 1.1f64..2.0).prop_map(|(fmin, alpha)| {
+            MobilityKind::Levy(LevyParams {
+                flight: (fmin, fmin * 30.0, alpha),
+                pause: (5.0, 600.0, 1.4),
+                ..LevyParams::default()
+            })
+        }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = WorldConfig> {
+    (
+        arb_mobility(),
+        50.0f64..2000.0,  // arrivals per day
+        60.0f64..1200.0,  // median session
+        2usize..8,        // POI count
+        0.0f64..0.5,      // return prob
+        1.0f64..60.0,     // spawn jitter
+    )
+        .prop_map(|(mobility, arrivals, median, pois, return_prob, jitter)| {
+            let mut land = Land::standard("PropLand");
+            for i in 0..pois {
+                let kind = match i % 4 {
+                    0 => PoiKind::Spawn,
+                    1 => PoiKind::DanceFloor,
+                    2 => PoiKind::Bar,
+                    _ => PoiKind::Attraction,
+                };
+                land.pois.push(Poi::new(
+                    format!("poi{i}"),
+                    Vec2::new(30.0 + 27.0 * i as f64, 200.0 - 20.0 * i as f64),
+                    8.0,
+                    1.0,
+                    kind,
+                ));
+            }
+            WorldConfig {
+                land,
+                mix: UserMix::new(vec![UserType {
+                    name: "user".into(),
+                    share: 1.0,
+                    mobility,
+                    session_scale: 1.0,
+                }]),
+                arrivals: ArrivalProcess::with_expected(arrivals, 86_400.0, DiurnalProfile::evening()),
+                sessions: SessionDurations::new(median, median * 4.0, 14_400.0),
+                return_prob,
+                avatar_z: 22.0,
+                external_idle_threshold: 120.0,
+                spawn_jitter: jitter,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn world_invariants_hold(config in arb_config(), seed: u64) {
+        let mut w = World::new(config, seed);
+        let trace = w.run_trace(1800.0, 10.0);
+        // Trace validates: monotone times, unique users per snapshot,
+        // in-bounds positions.
+        sl_trace::validate(&trace).unwrap();
+        // Population never exceeds the land cap.
+        for snap in &trace.snapshots {
+            prop_assert!(snap.len() <= 100);
+        }
+        // Departures never exceed arrivals.
+        let stats = w.stats();
+        prop_assert!(stats.departures <= stats.arrivals);
+    }
+
+    #[test]
+    fn mobility_actions_always_valid(kind in arb_mobility(), seed: u64) {
+        let mut land = Land::standard("M");
+        land.pois.push(Poi::new("p", Vec2::new(100.0, 100.0), 10.0, 1.0, PoiKind::Attraction));
+        let mut model = kind.build();
+        let mut rng = sl_stats::rng::Rng::new(seed);
+        let mut pos = land.spawn_point();
+        let mut now = 0.0;
+        for _ in 0..300 {
+            let ctx = DecideCtx {
+                now,
+                pos,
+                land: &land,
+                idle_attractors: &[],
+            };
+            match model.decide(&ctx, &mut rng) {
+                Action::MoveTo { target, speed } => {
+                    prop_assert!(land.area.contains(target), "target {target:?}");
+                    prop_assert!(speed > 0.0 && speed.is_finite());
+                    now += pos.distance(target) / speed;
+                    pos = target;
+                }
+                Action::Pause { duration } | Action::Sit { duration } => {
+                    prop_assert!(duration > 0.0 && duration.is_finite());
+                    now += duration;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace(config in arb_config(), seed: u64) {
+        let t1 = World::new(config.clone(), seed).run_trace(600.0, 10.0);
+        let t2 = World::new(config, seed).run_trace(600.0, 10.0);
+        prop_assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Trace-driven DTN forwarding — the application the paper motivates:
+//! run epidemic, two-hop relay, spray-and-wait and direct delivery over
+//! a Dance Island trace at both communication ranges.
+//!
+//! ```sh
+//! cargo run --release --example dtn_forwarding
+//! ```
+
+use sl_core::experiment::{run_land, ExperimentConfig};
+use sl_dtn::{simulate, ContactTimeline, DtnConfig, Protocol};
+use sl_dtn::sim::uniform_workload;
+use sl_stats::rng::Rng;
+use sl_world::presets::{dance_island, RANGE_BLUETOOTH, RANGE_WIFI};
+
+fn main() {
+    println!("Generating a 4 h Dance Island trace...");
+    let outcome = run_land(&ExperimentConfig::quick(dance_island(), 99, 4.0 * 3600.0));
+    let trace = &outcome.trace;
+
+    for (range, label) in [(RANGE_BLUETOOTH, "Bluetooth r=10m"), (RANGE_WIFI, "WiFi r=80m")] {
+        let timeline = ContactTimeline::from_trace(trace, range, &[]);
+        let mut rng = Rng::new(7);
+        let messages = uniform_workload(&timeline, 300, &mut rng);
+        println!(
+            "\n== {label}: {} contact samples, {} messages, TTL 1 h ==",
+            timeline.total_pairs(),
+            messages.len()
+        );
+        println!(
+            "{:<18} {:>10} {:>14} {:>16}",
+            "protocol", "delivered", "median delay", "tx per message"
+        );
+        for protocol in Protocol::standard_suite() {
+            let report = simulate(
+                &timeline,
+                &messages,
+                DtnConfig {
+                    protocol,
+                    ttl: 3600.0,
+                },
+            );
+            println!(
+                "{:<18} {:>9.1}% {:>12.0} s {:>16.2}",
+                report.protocol,
+                100.0 * report.delivery_ratio,
+                report.median_delay.unwrap_or(f64::NAN),
+                report.mean_transmissions
+            );
+        }
+    }
+    println!("\nExpected shape: epidemic ≥ spray&wait ≥ two-hop ≥ direct in delivery,");
+    println!("and the reverse order in transmissions — on both ranges.");
+}

@@ -1,0 +1,57 @@
+//! Quickstart: simulate two hours of Dance Island, run the paper's full
+//! analysis, and print the headline numbers plus an ASCII contact-time
+//! CCDF.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sl_core::experiment::{run_land, ExperimentConfig};
+use sl_core::scorecard::{scorecard, to_markdown};
+use sl_world::presets::dance_island;
+
+fn main() {
+    let preset = dance_island();
+    let targets = preset.targets;
+    println!("Simulating 2 h of {} (seed 42)...", preset.name);
+    let outcome = run_land(&ExperimentConfig::quick(preset, 42, 2.0 * 3600.0));
+
+    println!("\n{}\n", outcome.analysis.summary);
+    println!(
+        "median contact time     rb=10m: {:>6.0} s   rw=80m: {:>6.0} s",
+        outcome.analysis.bluetooth.median_ct.unwrap_or(f64::NAN),
+        outcome.analysis.wifi.median_ct.unwrap_or(f64::NAN),
+    );
+    println!(
+        "median inter-contact    rb=10m: {:>6.0} s",
+        outcome.analysis.bluetooth.median_ict.unwrap_or(f64::NAN),
+    );
+    println!(
+        "isolated degree samples rb=10m: {:>6.1} %",
+        100.0 * outcome.analysis.los_bluetooth.isolated_fraction,
+    );
+    println!(
+        "zone occupation: {:.1} % of 20 m cells empty, hottest cell {} users",
+        100.0 * outcome.analysis.zones.empty_fraction,
+        outcome.analysis.zones.max_occupancy,
+    );
+
+    // One of the paper's panels, rendered in the terminal.
+    use sl_analysis::report::{Figure, Scale};
+    use sl_stats::ecdf::Ccdf;
+    let mut fig = Figure::new(
+        "fig1a_ct",
+        "Contact Time CCDF, r=10m",
+        "Time (s)",
+        "1-F(x)",
+        Scale::Log,
+    );
+    fig.push(
+        Ccdf::new(outcome.analysis.bluetooth.samples.contact_times.clone())
+            .series_log_grid(outcome.analysis.land.clone(), 60),
+    );
+    println!("\n{}", fig.render_ascii(64, 16));
+
+    println!("paper vs measured (2 h run; EXPERIMENTS.md uses the full 24 h):\n");
+    println!("{}", to_markdown(&scorecard(&outcome.analysis, &targets)));
+}

@@ -1,0 +1,70 @@
+//! The paper's future work, executed: build the "relation graph" of
+//! acquaintances from a trace and characterize the frequency and
+//! strength of contact between acquaintances.
+//!
+//! ```sh
+//! cargo run --release --example relation_graph
+//! ```
+
+use sl_analysis::relations::RelationGraph;
+use sl_core::experiment::{run_land, ExperimentConfig};
+use sl_graph::{connected_components, mean_clustering};
+use sl_stats::ecdf::Ecdf;
+use sl_world::presets::dance_island;
+
+fn main() {
+    println!("Simulating 6 h of Dance Island...");
+    let outcome = run_land(&ExperimentConfig::quick(dance_island(), 1234, 6.0 * 3600.0));
+
+    // Acquaintance: met on >= 3 separate occasions for >= 60 s total.
+    let rel = RelationGraph::from_trace(&outcome.trace, 10.0, 3, 60.0, &[]);
+    println!(
+        "\n{} of {} users formed at least one acquaintance; {} ties total",
+        rel.user_count(),
+        outcome.analysis.summary.unique_users,
+        rel.edge_count()
+    );
+
+    let strengths = Ecdf::new(rel.strengths());
+    let freqs = Ecdf::new(rel.frequencies());
+    println!(
+        "tie strength (total contact): median {:.0} s, p90 {:.0} s, max {:.0} s",
+        strengths.median(),
+        strengths.quantile(0.9),
+        strengths.max()
+    );
+    println!(
+        "tie frequency (episodes):     median {:.0}, p90 {:.0}, max {:.0}",
+        freqs.median(),
+        freqs.quantile(0.9),
+        freqs.max()
+    );
+
+    let degrees = Ecdf::new(rel.acquaintance_degrees());
+    println!(
+        "acquaintances per user:       median {:.0}, max {:.0}",
+        degrees.median(),
+        degrees.max()
+    );
+
+    let topo = rel.topology();
+    let comps = connected_components(&topo);
+    println!(
+        "relation-graph topology:      {} components, largest {}, clustering {:.2}",
+        comps.len(),
+        comps.first().map(|c| c.len()).unwrap_or(0),
+        mean_clustering(&topo).unwrap_or(0.0)
+    );
+
+    // The strongest tie, spelled out.
+    if let Some(best) = rel
+        .edges
+        .iter()
+        .max_by(|a, b| a.total_time.partial_cmp(&b.total_time).unwrap())
+    {
+        println!(
+            "\nstrongest tie: {} and {} met {} times for {:.0} s total (first {:.0} s, last {:.0} s)",
+            best.a, best.b, best.contacts, best.total_time, best.first_met, best.last_met
+        );
+    }
+}

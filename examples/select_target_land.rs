@@ -1,0 +1,51 @@
+//! Target-land selection (§3): before the paper's authors could crawl,
+//! they had to find lands worth crawling — skipping the deserted ones
+//! and the "camping" lands whose population just sits waiting for free
+//! money. This example probes five candidates and ranks them.
+//!
+//! ```sh
+//! cargo run --release --example select_target_land
+//! ```
+
+use sl_core::survey::rank_candidates;
+use sl_world::presets::{
+    apfel_land, dance_island, empty_meadow, isle_of_view, money_park,
+};
+
+fn main() {
+    let candidates = vec![
+        money_park(),
+        empty_meadow(),
+        dance_island(),
+        apfel_land(),
+        isle_of_view(),
+    ];
+    println!("Probing {} candidate lands (30 virtual minutes each)...\n", candidates.len());
+    let ranked = rank_candidates(&candidates, 2026, 1800.0);
+
+    println!(
+        "{:<16} {:>10} {:>9} {:>9} {:>9}",
+        "land", "avg users", "moving", "seated", "score"
+    );
+    for s in &ranked {
+        println!(
+            "{:<16} {:>10.1} {:>8.0}% {:>8.0}% {:>9.2}",
+            s.name,
+            s.avg_concurrent,
+            100.0 * s.moving_fraction,
+            100.0 * s.seated_fraction,
+            s.score
+        );
+    }
+    println!(
+        "\nselected target: {} — populous AND mobile.",
+        ranked[0].name
+    );
+    if let Some(park) = ranked.iter().find(|s| s.name == "Money Park") {
+        println!(
+            "Money Park is rejected despite its crowd: {:.0}% of observations are seated,",
+            100.0 * park.seated_fraction
+        );
+        println!("and seated avatars report {{0,0,0}} — useless for a mobility study.");
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's §2 architecture comparison: in-world scripted sensors
+//! (96 m range, 16-avatar cap, 16 KiB cache, throttled HTTP, object
+//! expiry) versus the external crawler, on the same land and seed.
+//!
+//! ```sh
+//! cargo run --release --example sensor_vs_crawler
+//! ```
+
+use sl_core::sensors::{run_sensors_inprocess, SensorExperimentConfig};
+use sl_trace::TraceSummary;
+use sl_world::presets::{apfel_land, dance_island};
+
+fn main() {
+    // Dance Island is a private parcel: deployment is rejected — the
+    // exact restriction that pushed the authors to the crawler.
+    let config = SensorExperimentConfig::new(dance_island(), 1, 3600.0);
+    match run_sensors_inprocess(&config) {
+        Err(e) => println!("Dance Island: sensor deployment rejected ({e})"),
+        Ok(_) => unreachable!("private land must reject sensors"),
+    }
+
+    // Apfel Land is public: sensors deploy, but the architecture leaks.
+    println!("\nApfel Land, 4 virtual hours, sensors vs ground truth:");
+    let config = SensorExperimentConfig::new(apfel_land(), 1, 4.0 * 3600.0);
+    let outcome = run_sensors_inprocess(&config).expect("public land deploys");
+
+    let stats = outcome.stats;
+    println!("  sensors deployed:    {}", outcome.sensors);
+    println!("  reports flushed:     {}", outcome.reports);
+    println!("  scans performed:     {}", stats.scans);
+    println!("  detections cached:   {}", stats.detections);
+    println!("  truncated (>16 cap): {}", stats.truncated);
+    println!("  dropped (throttle):  {}", stats.dropped);
+    println!("  offline scans:       {} (object expiry gaps)", stats.offline_scans);
+    println!("\n  ground truth: {}", TraceSummary::of(&outcome.truth));
+    println!("  sensor view:  {}", TraceSummary::of(&outcome.observed));
+    println!(
+        "\n  observation recall: {:.1} % ({} of {} ground-truth observations)",
+        100.0 * outcome.coverage.recall,
+        outcome.coverage.captured,
+        outcome.coverage.truth_observations
+    );
+    println!(
+        "  users ever seen:    {} of {}",
+        outcome.coverage.users_seen, outcome.coverage.users_total
+    );
+    println!("\nThe crawler sees the full map each poll — recall 1.0 by construction.");
+}
