@@ -218,10 +218,7 @@ mod tests {
 
     #[test]
     fn never_contacted_counted_not_sampled() {
-        let t = trace_of(&[
-            &[(1, 0.0), (2, 200.0)],
-            &[(1, 0.0), (2, 200.0)],
-        ]);
+        let t = trace_of(&[&[(1, 0.0), (2, 200.0)], &[(1, 0.0), (2, 200.0)]]);
         let c = extract_contacts(&t, 10.0, &[]);
         assert!(c.first_contact_times.is_empty());
         assert_eq!(c.never_contacted, 2);
@@ -255,10 +252,7 @@ mod tests {
     #[test]
     fn excluded_user_invisible() {
         // User 9 (the crawler) sits next to user 1 the whole time.
-        let t = trace_of(&[
-            &[(1, 0.0), (9, 1.0)],
-            &[(1, 0.0), (9, 1.0)],
-        ]);
+        let t = trace_of(&[&[(1, 0.0), (9, 1.0)], &[(1, 0.0), (9, 1.0)]]);
         let c = extract_contacts(&t, 10.0, &[UserId(9)]);
         assert!(c.contact_times.is_empty());
         assert_eq!(c.censored_contacts, 0);

@@ -1,0 +1,222 @@
+//! Per-interval measurement coverage.
+//!
+//! The paper's methodology assumes one snapshot every τ. A crawl
+//! through a faulty grid delivers less: kicks, stalls and throttling
+//! punch holes in the snapshot grid, and a metric computed over a
+//! half-blind interval silently underestimates presence. This module
+//! makes the deficit explicit — the trace's observation span is cut
+//! into fixed windows, each window's expected-vs-observed snapshot
+//! count becomes a coverage ratio, and windows below a threshold are
+//! flagged so downstream consumers can exclude or caveat them.
+
+use serde::{Deserialize, Serialize};
+use sl_trace::Trace;
+
+/// Default analysis window, in snapshot intervals (τ).
+pub const COVERAGE_WINDOW_TAUS: usize = 10;
+/// Default minimum acceptable per-window coverage.
+pub const COVERAGE_THRESHOLD: f64 = 0.5;
+
+/// One window of the coverage report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalCoverage {
+    /// Window start (virtual seconds, inclusive).
+    pub start: f64,
+    /// Window end (virtual seconds, inclusive).
+    pub end: f64,
+    /// Snapshots a clean crawl would have delivered here.
+    pub expected: usize,
+    /// Snapshots actually observed.
+    pub observed: usize,
+    /// `observed / expected`, capped at 1.
+    pub coverage: f64,
+    /// True when coverage fell below the report's threshold.
+    pub flagged: bool,
+}
+
+/// Windowed coverage of one trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Window length, virtual seconds.
+    pub window: f64,
+    /// Flagging threshold.
+    pub threshold: f64,
+    /// Per-window detail, in time order.
+    pub intervals: Vec<IntervalCoverage>,
+    /// Number of flagged windows.
+    pub flagged: usize,
+    /// Observed / expected over the whole observation span.
+    pub overall: f64,
+}
+
+impl CoverageReport {
+    /// True when every window met the threshold.
+    pub fn clean(&self) -> bool {
+        self.flagged == 0
+    }
+}
+
+/// Compute the windowed coverage of `trace` using windows of
+/// `window_taus` snapshot intervals and the given flagging threshold.
+pub fn coverage_report(trace: &Trace, window_taus: usize, threshold: f64) -> CoverageReport {
+    let tau = trace.meta.tau;
+    let window = tau * window_taus.max(1) as f64;
+    let mut report = CoverageReport {
+        window,
+        threshold,
+        intervals: Vec::new(),
+        flagged: 0,
+        overall: 1.0,
+    };
+    let (Some(first), Some(last)) = (trace.snapshots.first(), trace.snapshots.last()) else {
+        return report;
+    };
+    let span = last.t - first.t;
+    if span <= 0.0 {
+        return report;
+    }
+
+    let n_windows = (span / window).ceil() as usize;
+    let mut total_expected = 0usize;
+    let mut total_observed = 0usize;
+    for w in 0..n_windows {
+        let lo = first.t + w as f64 * window;
+        let hi = (lo + window).min(last.t);
+        // Each window owns the τ-grid points in (lo, hi]; the first
+        // window additionally owns the opening snapshot at lo.
+        let mut expected = ((hi - lo) / tau).round() as usize;
+        let mut observed = trace
+            .snapshots
+            .iter()
+            .filter(|s| s.t > lo && s.t <= hi)
+            .count();
+        if w == 0 {
+            expected += 1;
+            observed += usize::from((first.t - lo).abs() < f64::EPSILON);
+        }
+        if expected == 0 {
+            continue;
+        }
+        let coverage = (observed as f64 / expected as f64).min(1.0);
+        let flagged = coverage < threshold;
+        report.intervals.push(IntervalCoverage {
+            start: lo,
+            end: hi,
+            expected,
+            observed,
+            coverage,
+            flagged,
+        });
+        report.flagged += usize::from(flagged);
+        total_expected += expected;
+        total_observed += observed.min(expected);
+    }
+    if total_expected > 0 {
+        report.overall = total_observed as f64 / total_expected as f64;
+    }
+    report
+}
+
+/// Strip the snapshots of flagged windows out of a trace, keeping its
+/// gap records verbatim (they document blindness, which removing the
+/// half-blind windows does not change). The result is what "exclude
+/// low-coverage intervals" means for metric computation.
+pub fn covered_only(trace: &Trace, report: &CoverageReport) -> Trace {
+    let mut out = Trace::new(trace.meta.clone());
+    out.gaps = trace.gaps.clone();
+    for snap in &trace.snapshots {
+        let dropped = report
+            .intervals
+            .iter()
+            .any(|iv| iv.flagged && snap.t >= iv.start && snap.t <= iv.end);
+        if !dropped {
+            out.push(snap.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_trace::{LandMeta, Snapshot, Trace};
+
+    /// τ = 10 trace with snapshots at the given multiples of τ.
+    fn trace_at(steps: &[u32]) -> Trace {
+        let mut t = Trace::new(LandMeta::standard("C", 10.0));
+        for &k in steps {
+            t.push(Snapshot::new(k as f64 * 10.0));
+        }
+        t
+    }
+
+    #[test]
+    fn full_grid_is_fully_covered() {
+        let steps: Vec<u32> = (0..=30).collect();
+        let r = coverage_report(&trace_at(&steps), 10, 0.5);
+        assert_eq!(r.flagged, 0);
+        assert!((r.overall - 1.0).abs() < 1e-12, "overall {}", r.overall);
+        assert!(r
+            .intervals
+            .iter()
+            .all(|iv| (iv.coverage - 1.0).abs() < 1e-12));
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn hole_flags_its_window() {
+        // Snapshots 0..=10, then nothing until 28..=30: the middle
+        // window [100, 200] observes ~2 of 10 expected.
+        let steps: Vec<u32> = (0..=10).chain(28..=30).collect();
+        let r = coverage_report(&trace_at(&steps), 10, 0.5);
+        assert!(r.flagged >= 1, "report {r:?}");
+        assert!(r.overall < 1.0);
+        let flagged: Vec<&IntervalCoverage> = r.intervals.iter().filter(|iv| iv.flagged).collect();
+        assert!(flagged.iter().any(|iv| iv.start >= 99.0 && iv.end <= 201.0));
+    }
+
+    #[test]
+    fn empty_and_single_snapshot_traces_are_clean() {
+        let r = coverage_report(&trace_at(&[]), 10, 0.5);
+        assert!(r.intervals.is_empty() && r.clean());
+        let r = coverage_report(&trace_at(&[5]), 10, 0.5);
+        assert!(r.intervals.is_empty() && r.clean());
+        assert_eq!(r.overall, 1.0);
+    }
+
+    #[test]
+    fn covered_only_drops_flagged_snapshots() {
+        let steps: Vec<u32> = (0..=10).chain(28..=30).collect();
+        let t = trace_at(&steps);
+        let r = coverage_report(&t, 10, 0.5);
+        let filtered = covered_only(&t, &r);
+        assert!(filtered.len() < t.len());
+        // Every surviving snapshot sits in an unflagged window.
+        for snap in &filtered.snapshots {
+            assert!(!r
+                .intervals
+                .iter()
+                .any(|iv| iv.flagged && snap.t >= iv.start && snap.t <= iv.end));
+        }
+    }
+
+    #[test]
+    fn expected_counts_match_the_tau_grid() {
+        let steps: Vec<u32> = (0..=25).collect();
+        let r = coverage_report(&trace_at(&steps), 10, 0.5);
+        // Windows: [0,100] (11 incl. opening), (100,200] (10), (200,250] (5).
+        let expected: Vec<usize> = r.intervals.iter().map(|iv| iv.expected).collect();
+        assert_eq!(expected, vec![11, 10, 5]);
+        let observed: Vec<usize> = r.intervals.iter().map(|iv| iv.observed).collect();
+        assert_eq!(observed, vec![11, 10, 5]);
+    }
+
+    #[test]
+    fn report_serde_round_trips() {
+        let steps: Vec<u32> = (0..=12).collect();
+        let r = coverage_report(&trace_at(&steps), 10, 0.5);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CoverageReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`trips`] — trip analysis: travel length, effective travel time
 //!   and travel (login) time (Fig. 4);
 //! * [`report`] — figure assembly, CSV export and ASCII rendering;
-//! * [`pipeline`] — one-call per-land analysis producing every figure.
+//! * [`pipeline`] — one-call per-land analysis producing every figure;
+//! * [`coverage`] — per-interval expected-vs-observed snapshot
+//!   accounting, flagging windows where the crawler was too blind for
+//!   its metrics to mean anything.
 //!
 //! Beyond the paper (its stated future work, implemented here):
 //!
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod contacts;
+pub mod coverage;
 pub mod los;
 pub mod mobility_metrics;
 pub mod pipeline;
@@ -33,6 +37,7 @@ pub mod spatial;
 pub mod trips;
 
 pub use contacts::{extract_contacts, ContactSamples};
+pub use coverage::{coverage_report, covered_only, CoverageReport, IntervalCoverage};
 pub use los::{los_metrics, LosMetrics};
 pub use mobility_metrics::{mobility_metrics, MobilityMetrics};
 pub use pipeline::{analyze_land, LandAnalysis};

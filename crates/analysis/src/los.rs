@@ -81,9 +81,15 @@ mod tests {
     fn degrees_aggregate_over_snapshots() {
         let mut t = Trace::new(LandMeta::standard("T", 10.0));
         // Snapshot 1: a close pair and a loner.
-        t.push(snap_at(10.0, &[(1, 0.0, 0.0), (2, 5.0, 0.0), (3, 100.0, 100.0)]));
+        t.push(snap_at(
+            10.0,
+            &[(1, 0.0, 0.0), (2, 5.0, 0.0), (3, 100.0, 100.0)],
+        ));
         // Snapshot 2: all isolated.
-        t.push(snap_at(20.0, &[(1, 0.0, 0.0), (2, 50.0, 0.0), (3, 100.0, 100.0)]));
+        t.push(snap_at(
+            20.0,
+            &[(1, 0.0, 0.0), (2, 50.0, 0.0), (3, 100.0, 100.0)],
+        ));
         let m = los_metrics(&t, 10.0, &[]);
         assert_eq!(m.degrees.len(), 6);
         let ones = m.degrees.iter().filter(|&&d| d == 1.0).count();

@@ -7,6 +7,7 @@
 //! evaluation section.
 
 use crate::contacts::{extract_contacts, ContactSamples};
+use crate::coverage::{coverage_report, CoverageReport, COVERAGE_THRESHOLD, COVERAGE_WINDOW_TAUS};
 use crate::los::{los_metrics, LosMetrics};
 use crate::report::{Figure, FigureSet, Scale};
 use crate::spatial::{zone_occupation, ZoneOccupation};
@@ -81,6 +82,11 @@ pub struct LandAnalysis {
     pub zones: ZoneOccupation,
     /// Trip metrics.
     pub trips: TripMetrics,
+    /// Windowed measurement coverage; windows below
+    /// [`COVERAGE_THRESHOLD`] are flagged — their metrics describe the
+    /// instrument's blindness more than the users' mobility.
+    #[serde(default)]
+    pub coverage: CoverageReport,
 }
 
 /// Run the complete §3 methodology on one trace, excluding the given
@@ -95,6 +101,7 @@ pub fn analyze_land(trace: &Trace, exclude: &[UserId]) -> LandAnalysis {
         los_wifi: los_metrics(trace, RW, exclude),
         zones: zone_occupation(trace, ZONE_L, exclude),
         trips: trip_metrics(trace, exclude),
+        coverage: coverage_report(trace, COVERAGE_WINDOW_TAUS, COVERAGE_THRESHOLD),
     }
 }
 
@@ -213,9 +220,12 @@ pub fn paper_figures(lands: &[LandAnalysis]) -> FigureSet {
 
     // Fig. 4: trip analysis CDFs.
     let trips: [(&str, &str, &str, TripGetter); 3] = [
-        ("fig4a_travel_length", "Travel Length CDF", "Length (m)", |t| {
-            &t.travel_lengths
-        }),
+        (
+            "fig4a_travel_length",
+            "Travel Length CDF",
+            "Length (m)",
+            |t| &t.travel_lengths,
+        ),
         (
             "fig4b_effective_travel_time",
             "Effective Travel Time CDF",
@@ -253,7 +263,10 @@ mod tests {
             s.push(UserId(2), Position::new(53.0, 50.0 + wiggle, 22.0));
             // A wanderer crossing the land at 2 m/s.
             if k <= 40 {
-                s.push(UserId(3), Position::new(20.0 + 2.0 * 10.0 * k as f64 / 10.0, 200.0, 22.0));
+                s.push(
+                    UserId(3),
+                    Position::new(20.0 + 2.0 * 10.0 * k as f64 / 10.0, 200.0, 22.0),
+                );
             }
             t.push(s);
         }
@@ -266,6 +279,9 @@ mod tests {
         let a = analyze_land(&trace, &[]);
         assert_eq!(a.land, "Synth");
         assert_eq!(a.summary.unique_users, 3);
+        // The synthetic trace has a complete τ grid: nothing flagged.
+        assert!(a.coverage.clean());
+        assert!((a.coverage.overall - 1.0).abs() < 1e-12);
         // The tight pair is always in contact: censored, not completed.
         assert_eq!(a.bluetooth.samples.censored_contacts, 1);
         assert!(a.bluetooth.median_ft.is_some());

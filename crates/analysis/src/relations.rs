@@ -251,10 +251,7 @@ mod tests {
 
     #[test]
     fn strength_threshold_filters() {
-        let t = trace_of(&[
-            &[(1, 0.0), (2, 5.0)],
-            &[(1, 0.0), (2, 5.0)],
-        ]);
+        let t = trace_of(&[&[(1, 0.0), (2, 5.0)], &[(1, 0.0), (2, 5.0)]]);
         let strict = RelationGraph::from_trace(&t, 10.0, 1, 30.0, &[]);
         assert_eq!(strict.edge_count(), 0, "20 s < 30 s threshold");
         let loose = RelationGraph::from_trace(&t, 10.0, 1, 20.0, &[]);

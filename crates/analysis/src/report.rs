@@ -239,7 +239,11 @@ mod tests {
     #[test]
     fn log_scale_skips_nonpositive() {
         let mut f = Figure::new("l", "Log", "x", "y", Scale::Log);
-        f.push(Series::new("s", vec![0.0, 10.0, 100.0], vec![1.0, 0.5, 0.1]));
+        f.push(Series::new(
+            "s",
+            vec![0.0, 10.0, 100.0],
+            vec![1.0, 0.5, 0.1],
+        ));
         let art = f.render_ascii(30, 6);
         assert!(art.contains("1e1.0 .. 1e2.0"));
     }

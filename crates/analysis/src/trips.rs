@@ -119,7 +119,10 @@ mod tests {
             1,
         );
         let m = trip_metrics(&t, &[]);
-        assert_eq!(m.effective_travel_times[0], 0.0, "sub-epsilon shifts are idling");
+        assert_eq!(
+            m.effective_travel_times[0], 0.0,
+            "sub-epsilon shifts are idling"
+        );
         assert!(m.travel_lengths[0] < 0.6);
     }
 

@@ -9,9 +9,15 @@ fn bench_zones(c: &mut Criterion) {
     let apfel = apfel_fixture();
     let mut group = c.benchmark_group("fig3_zones");
     group.sample_size(20);
-    group.bench_function("dance_l20", |b| b.iter(|| zone_occupation(&dance, 20.0, &[])));
-    group.bench_function("apfel_l20", |b| b.iter(|| zone_occupation(&apfel, 20.0, &[])));
-    group.bench_function("dance_l5_fine", |b| b.iter(|| zone_occupation(&dance, 5.0, &[])));
+    group.bench_function("dance_l20", |b| {
+        b.iter(|| zone_occupation(&dance, 20.0, &[]))
+    });
+    group.bench_function("apfel_l20", |b| {
+        b.iter(|| zone_occupation(&apfel, 20.0, &[]))
+    });
+    group.bench_function("dance_l5_fine", |b| {
+        b.iter(|| zone_occupation(&dance, 5.0, &[]))
+    });
     group.finish();
 }
 

@@ -59,11 +59,7 @@ fn bench_substrates(c: &mut Criterion) {
     group.bench_function("ecdf_build_10k", |b| {
         let mut rng = Rng::new(5);
         let samples: Vec<f64> = (0..10_000).map(|_| rng.f64()).collect();
-        b.iter_batched(
-            || samples.clone(),
-            Ecdf::new,
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| samples.clone(), Ecdf::new, BatchSize::SmallInput)
     });
 
     // Protocol codec on a full map reply.

@@ -97,18 +97,49 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let run = run_paper_reproduction(args.seed, args.duration);
-    println!("simulated + analyzed in {:.1} s\n", t0.elapsed().as_secs_f64());
+    println!(
+        "simulated + analyzed in {:.1} s\n",
+        t0.elapsed().as_secs_f64()
+    );
 
     std::fs::create_dir_all(args.out.join("figures")).expect("create output dir");
     std::fs::create_dir_all(args.out.join("analysis")).expect("create output dir");
 
     // ---- T1: trace summary table -----------------------------------
-    let mut summary = String::from("T1 — trace summary (paper: IoV 2656/65, Dance 3347/34, Apfel 1568/13)\n\n");
+    let mut summary =
+        String::from("T1 — trace summary (paper: IoV 2656/65, Dance 3347/34, Apfel 1568/13)\n\n");
     for land in &run.lands {
         summary.push_str(&format!("{}\n", land.analysis.summary));
     }
     println!("{summary}");
     std::fs::write(args.out.join("summary.txt"), &summary).expect("write summary");
+
+    // ---- Measurement coverage ---------------------------------------
+    let mut cov =
+        String::from("Measurement coverage (expected vs observed snapshots per window)\n\n");
+    for land in &run.lands {
+        let c = &land.analysis.coverage;
+        cov.push_str(&format!(
+            "{}: {:.1}% overall, {}/{} windows flagged below {:.0}%\n",
+            land.preset.name,
+            c.overall * 100.0,
+            c.flagged,
+            c.intervals.len(),
+            c.threshold * 100.0,
+        ));
+        for iv in c.intervals.iter().filter(|iv| iv.flagged) {
+            cov.push_str(&format!(
+                "  [{:.0}, {:.0}] s: {}/{} snapshots ({:.0}% coverage)\n",
+                iv.start,
+                iv.end,
+                iv.observed,
+                iv.expected,
+                iv.coverage * 100.0,
+            ));
+        }
+    }
+    println!("{cov}");
+    std::fs::write(args.out.join("coverage.txt"), &cov).expect("write coverage");
 
     // ---- Figures -----------------------------------------------------
     run.figures
@@ -140,13 +171,21 @@ fn main() {
     let md = to_markdown(&all_rows);
     println!("Scorecard (paper vs measured):\n\n{md}");
     let mut f = std::fs::File::create(args.out.join("scorecard.md")).expect("create scorecard");
-    writeln!(f, "# Paper vs measured (seed {}, {:.1} h)\n", args.seed, args.duration / 3600.0)
-        .unwrap();
+    writeln!(
+        f,
+        "# Paper vs measured (seed {}, {:.1} h)\n",
+        args.seed,
+        args.duration / 3600.0
+    )
+    .unwrap();
     f.write_all(md.as_bytes()).unwrap();
 
     // ---- Optional: multi-seed sweep -----------------------------------
     if args.seeds > 1 {
-        println!("Sweeping {} additional seeds for confidence intervals...", args.seeds - 1);
+        println!(
+            "Sweeping {} additional seeds for confidence intervals...",
+            args.seeds - 1
+        );
         let mut per_seed = vec![all_rows.clone()];
         for k in 1..args.seeds as u64 {
             let run_k = run_paper_reproduction(args.seed + k, args.duration);
@@ -179,13 +218,8 @@ fn main() {
             "Relation graphs (acquaintance = >=3 contact episodes, >=60 s total, rb=10 m)\n\n",
         );
         for land in &run.lands {
-            let rel = sl_analysis::relations::RelationGraph::from_trace(
-                &land.trace,
-                10.0,
-                3,
-                60.0,
-                &[],
-            );
+            let rel =
+                sl_analysis::relations::RelationGraph::from_trace(&land.trace, 10.0, 3, 60.0, &[]);
             let strengths = rel.strengths();
             let top = strengths.last().copied().unwrap_or(0.0);
             let med = strengths.get(strengths.len() / 2).copied().unwrap_or(0.0);

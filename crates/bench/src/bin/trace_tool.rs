@@ -31,8 +31,7 @@ fn load(path: &str) -> Trace {
         decode_binary(bytes::Bytes::from(raw))
             .unwrap_or_else(|e| die(&format!("decode {path}: {e}")))
     } else {
-        read_jsonl(std::io::Cursor::new(raw))
-            .unwrap_or_else(|e| die(&format!("parse {path}: {e}")))
+        read_jsonl(std::io::Cursor::new(raw)).unwrap_or_else(|e| die(&format!("parse {path}: {e}")))
     }
 }
 
@@ -42,8 +41,7 @@ fn store(trace: &Trace, path: &str) {
         std::fs::write(p, encode_binary(trace))
             .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
     } else {
-        let file =
-            std::fs::File::create(p).unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+        let file = std::fs::File::create(p).unwrap_or_else(|e| die(&format!("create {path}: {e}")));
         write_jsonl(trace, std::io::BufWriter::new(file))
             .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
     }
@@ -62,7 +60,9 @@ fn main() {
                 "iov" => sl_world::presets::isle_of_view(),
                 other => die(&format!("unknown land {other} (apfel|dance|iov)")),
             };
-            let hours: f64 = hours.parse().unwrap_or_else(|_| die("hours must be a number"));
+            let hours: f64 = hours
+                .parse()
+                .unwrap_or_else(|_| die("hours must be a number"));
             let mut world = sl_world::World::new(preset.config, 42);
             world.warm_up(2.0 * 3600.0);
             let trace = world.run_trace(hours * 3600.0, 10.0);
@@ -70,12 +70,16 @@ fn main() {
             println!("wrote {} ({} snapshots)", out, trace.len());
         }
         Some("summary") => {
-            let [_, path] = &args[..] else { die("usage: summary <trace>") };
+            let [_, path] = &args[..] else {
+                die("usage: summary <trace>")
+            };
             let trace = load(path);
             println!("{}", TraceSummary::of(&trace));
         }
         Some("validate") => {
-            let [_, path] = &args[..] else { die("usage: validate <trace>") };
+            let [_, path] = &args[..] else {
+                die("usage: validate <trace>")
+            };
             let trace = load(path);
             match validate(&trace) {
                 Ok(()) => println!("{path}: valid ({} snapshots)", trace.len()),
@@ -83,7 +87,9 @@ fn main() {
             }
         }
         Some("analyze") => {
-            let [_, path] = &args[..] else { die("usage: analyze <trace>") };
+            let [_, path] = &args[..] else {
+                die("usage: analyze <trace>")
+            };
             let trace = load(path);
             let analysis = analyze_land(&trace, &[]);
             // Headline numbers with bootstrap CIs, then the full JSON.

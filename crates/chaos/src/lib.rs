@@ -1,0 +1,24 @@
+//! Byte-level TCP chaos proxy.
+//!
+//! The land server's own fault injector ([`sl-server`]'s `FaultConfig`)
+//! misbehaves at the *protocol* layer: it decides per map request to
+//! kick, stall, or corrupt. This crate attacks one layer lower — a
+//! standalone TCP proxy that forwards opaque bytes between a client and
+//! an upstream server and mangles the stream itself: stalls, dropped
+//! chunks, flipped bytes, truncated writes, duplicated chunks, and
+//! abrupt resets. Nothing here knows the wire protocol; whatever the
+//! peers speak, the proxy degrades it the way a bad WAN would.
+//!
+//! Both layers are driven by the same deterministic RNG
+//! ([`sl_stats::rng::Rng`]), so a chaotic run replays exactly from its
+//! seed. A crawler that survives a crawl through [`ChaosProxy`] with
+//! [`ChaosPlan::wild`] has demonstrated that its watchdog, reconnect
+//! and checksum paths all work — which is the entire point.
+//!
+//! [`sl-server`]: https://example.org/sl-mobility
+
+pub mod plan;
+pub mod proxy;
+
+pub use plan::{ChaosAction, ChaosInjector, ChaosPlan};
+pub use proxy::ChaosProxy;

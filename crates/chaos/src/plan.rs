@@ -1,0 +1,213 @@
+//! The chaos plan: what can go wrong, how often, decided deterministically.
+
+use serde::{Deserialize, Serialize};
+use sl_stats::rng::Rng;
+
+/// Per-chunk misbehaviour probabilities for the proxy's
+/// server-to-client direction. A "chunk" is whatever one socket read
+/// returns — fault rates are therefore per read, not per byte, and a
+/// plan tuned against small frames stays meaningful for large ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// Pause forwarding for `stall_ms` before relaying the chunk.
+    #[serde(default)]
+    pub stall_prob: f64,
+    /// Stall duration, wall milliseconds.
+    #[serde(default)]
+    pub stall_ms: u64,
+    /// Discard the chunk entirely (the client sees a hole in the
+    /// stream, which desynchronizes framing until the connection dies).
+    #[serde(default)]
+    pub drop_prob: f64,
+    /// Flip one byte of the chunk.
+    #[serde(default)]
+    pub corrupt_prob: f64,
+    /// Forward only the first half of the chunk, then sever the
+    /// connection.
+    #[serde(default)]
+    pub truncate_prob: f64,
+    /// Forward the chunk twice.
+    #[serde(default)]
+    pub duplicate_prob: f64,
+    /// Sever the connection without forwarding anything.
+    #[serde(default)]
+    pub reset_prob: f64,
+}
+
+impl ChaosPlan {
+    /// A transparent proxy: every chunk forwarded verbatim.
+    pub fn none() -> Self {
+        ChaosPlan {
+            stall_prob: 0.0,
+            stall_ms: 0,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            truncate_prob: 0.0,
+            duplicate_prob: 0.0,
+            reset_prob: 0.0,
+        }
+    }
+
+    /// An actively hostile network: every fault kind enabled at rates
+    /// that let a short crawl hit most of them.
+    pub fn wild() -> Self {
+        ChaosPlan {
+            stall_prob: 0.02,
+            stall_ms: 2_000,
+            drop_prob: 0.02,
+            corrupt_prob: 0.02,
+            truncate_prob: 0.01,
+            duplicate_prob: 0.02,
+            reset_prob: 0.02,
+        }
+    }
+
+    /// True when the proxy is fully transparent.
+    pub fn is_none(&self) -> bool {
+        self.stall_prob <= 0.0
+            && self.drop_prob <= 0.0
+            && self.corrupt_prob <= 0.0
+            && self.truncate_prob <= 0.0
+            && self.duplicate_prob <= 0.0
+            && self.reset_prob <= 0.0
+    }
+}
+
+/// What to do with one forwarded chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Relay verbatim.
+    Forward,
+    /// Sleep this many milliseconds, then relay.
+    Stall(u64),
+    /// Discard the chunk.
+    Drop,
+    /// Flip one byte, then relay.
+    Corrupt,
+    /// Relay the first half, then sever the connection.
+    Truncate,
+    /// Relay the chunk twice.
+    Duplicate,
+    /// Sever the connection immediately.
+    Reset,
+}
+
+/// Deterministic per-connection decision stream.
+#[derive(Debug)]
+pub struct ChaosInjector {
+    plan: ChaosPlan,
+    rng: Rng,
+}
+
+impl ChaosInjector {
+    /// Create with a per-connection seed.
+    pub fn new(plan: ChaosPlan, seed: u64) -> Self {
+        ChaosInjector {
+            plan,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Decide the fate of the next chunk. Connection-ending actions
+    /// dominate content damage, which dominates mere slowness — the
+    /// same precedence the in-server injector uses.
+    pub fn decide(&mut self) -> ChaosAction {
+        let p = self.plan;
+        if p.reset_prob > 0.0 && self.rng.chance(p.reset_prob) {
+            return ChaosAction::Reset;
+        }
+        if p.truncate_prob > 0.0 && self.rng.chance(p.truncate_prob) {
+            return ChaosAction::Truncate;
+        }
+        if p.corrupt_prob > 0.0 && self.rng.chance(p.corrupt_prob) {
+            return ChaosAction::Corrupt;
+        }
+        if p.drop_prob > 0.0 && self.rng.chance(p.drop_prob) {
+            return ChaosAction::Drop;
+        }
+        if p.duplicate_prob > 0.0 && self.rng.chance(p.duplicate_prob) {
+            return ChaosAction::Duplicate;
+        }
+        if p.stall_prob > 0.0 && self.rng.chance(p.stall_prob) {
+            return ChaosAction::Stall(p.stall_ms);
+        }
+        ChaosAction::Forward
+    }
+
+    /// Which byte of an `len`-byte chunk to flip.
+    pub fn corrupt_index(&mut self, len: usize) -> usize {
+        self.rng.index(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_plan_always_forwards() {
+        let mut inj = ChaosInjector::new(ChaosPlan::none(), 1);
+        for _ in 0..10_000 {
+            assert_eq!(inj.decide(), ChaosAction::Forward);
+        }
+    }
+
+    #[test]
+    fn decisions_replay_from_seed() {
+        let a: Vec<ChaosAction> = {
+            let mut i = ChaosInjector::new(ChaosPlan::wild(), 42);
+            (0..500).map(|_| i.decide()).collect()
+        };
+        let b: Vec<ChaosAction> = {
+            let mut i = ChaosInjector::new(ChaosPlan::wild(), 42);
+            (0..500).map(|_| i.decide()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wild_plan_reaches_every_action() {
+        let mut inj = ChaosInjector::new(ChaosPlan::wild(), 3);
+        let seen: Vec<ChaosAction> = (0..100_000).map(|_| inj.decide()).collect();
+        for want in [
+            ChaosAction::Forward,
+            ChaosAction::Stall(2_000),
+            ChaosAction::Drop,
+            ChaosAction::Corrupt,
+            ChaosAction::Truncate,
+            ChaosAction::Duplicate,
+            ChaosAction::Reset,
+        ] {
+            assert!(seen.contains(&want), "{want:?} never triggered");
+        }
+    }
+
+    #[test]
+    fn reset_rate_approximates_plan() {
+        let mut inj = ChaosInjector::new(
+            ChaosPlan {
+                reset_prob: 0.1,
+                ..ChaosPlan::none()
+            },
+            9,
+        );
+        let resets = (0..100_000)
+            .filter(|_| inj.decide() == ChaosAction::Reset)
+            .count();
+        assert!((9_000..11_000).contains(&resets), "resets {resets}");
+    }
+
+    #[test]
+    fn corrupt_index_in_bounds() {
+        let mut inj = ChaosInjector::new(ChaosPlan::wild(), 11);
+        for len in 1..100 {
+            assert!(inj.corrupt_index(len) < len);
+        }
+    }
+
+    #[test]
+    fn none_detection() {
+        assert!(ChaosPlan::none().is_none());
+        assert!(!ChaosPlan::wild().is_none());
+    }
+}

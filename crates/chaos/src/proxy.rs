@@ -1,0 +1,310 @@
+//! The chaos proxy itself: a TCP forwarder that misbehaves on purpose.
+
+use crate::plan::{ChaosAction, ChaosInjector, ChaosPlan};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+/// A running chaos proxy. Connect clients to [`addr`]; each accepted
+/// connection is paired with a fresh upstream connection and the
+/// server-to-client byte stream is degraded per the plan. The
+/// client-to-server direction is forwarded verbatim: the interesting
+/// failure modes of a crawl are all on the reply path, and a clean
+/// request path keeps fault attribution unambiguous in tests.
+///
+/// Every connection gets its own decision stream, derived from the
+/// proxy seed and a connection counter — run order is deterministic for
+/// a single-client crawler (the only kind this workspace has).
+///
+/// [`addr`]: ChaosProxy::addr
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    accept_task: tokio::task::JoinHandle<()>,
+    connections: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ChaosProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosProxy")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ChaosProxy {
+    /// Bind `listen` (port 0 for ephemeral) and forward every accepted
+    /// connection to `upstream` under `plan`.
+    pub async fn bind(
+        listen: &str,
+        upstream: SocketAddr,
+        plan: ChaosPlan,
+        seed: u64,
+    ) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen).await?;
+        let addr = listener.local_addr()?;
+        let connections = Arc::new(AtomicU64::new(0));
+        let conn_counter = connections.clone();
+        let accept_task = tokio::spawn(async move {
+            while let Ok((client, _)) = listener.accept().await {
+                let n = conn_counter.fetch_add(1, Ordering::SeqCst);
+                let conn_seed = seed ^ (n + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                tokio::spawn(async move {
+                    // Connection errors are per-client; the proxy keeps
+                    // accepting.
+                    let _ = relay(client, upstream, plan, conn_seed).await;
+                });
+            }
+        });
+        Ok(ChaosProxy {
+            addr,
+            accept_task,
+            connections,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many connections have been accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting new connections. In-flight relays run until
+    /// either side closes.
+    pub fn shutdown(&self) {
+        self.accept_task.abort();
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.accept_task.abort();
+    }
+}
+
+async fn relay(
+    client: TcpStream,
+    upstream: SocketAddr,
+    plan: ChaosPlan,
+    seed: u64,
+) -> std::io::Result<()> {
+    client.set_nodelay(true).ok();
+    let server = TcpStream::connect(upstream).await?;
+    server.set_nodelay(true).ok();
+    let (mut client_read, mut client_write) = client.into_split();
+    let (mut server_read, mut server_write) = server.into_split();
+
+    // Client → server: verbatim pump in its own task.
+    let up = tokio::spawn(async move {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match client_read.read(&mut buf).await {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if server_write.write_all(&buf[..n]).await.is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = server_write.shutdown().await;
+    });
+
+    // Server → client: the chaotic direction.
+    let mut inj = ChaosInjector::new(plan, seed);
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match server_read.read(&mut buf).await {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &mut buf[..n];
+        match inj.decide() {
+            ChaosAction::Forward => {
+                if client_write.write_all(chunk).await.is_err() {
+                    break;
+                }
+            }
+            ChaosAction::Stall(ms) => {
+                tokio::time::sleep(std::time::Duration::from_millis(ms)).await;
+                if client_write.write_all(chunk).await.is_err() {
+                    break;
+                }
+            }
+            ChaosAction::Drop => {}
+            ChaosAction::Corrupt => {
+                let i = inj.corrupt_index(chunk.len());
+                chunk[i] ^= 0xFF;
+                if client_write.write_all(chunk).await.is_err() {
+                    break;
+                }
+            }
+            ChaosAction::Truncate => {
+                let cut = (chunk.len() / 2).max(1);
+                let _ = client_write.write_all(&chunk[..cut]).await;
+                break;
+            }
+            ChaosAction::Duplicate => {
+                if client_write.write_all(chunk).await.is_err() {
+                    break;
+                }
+                if client_write.write_all(chunk).await.is_err() {
+                    break;
+                }
+            }
+            ChaosAction::Reset => break,
+        }
+    }
+    // Sever both directions: the client must observe the close even if
+    // it only ever reads, and the upstream pump must not linger.
+    let _ = client_write.shutdown().await;
+    up.abort();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An upstream that echoes every byte back.
+    async fn echo_server() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        tokio::spawn(async move {
+            while let Ok((mut s, _)) = listener.accept().await {
+                tokio::spawn(async move {
+                    let mut buf = [0u8; 4096];
+                    loop {
+                        match s.read(&mut buf).await {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if s.write_all(&buf[..n]).await.is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[tokio::test]
+    async fn transparent_proxy_round_trips() {
+        let upstream = echo_server().await;
+        let proxy = ChaosProxy::bind("127.0.0.1:0", upstream, ChaosPlan::none(), 1)
+            .await
+            .unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).await.unwrap();
+        let payload = b"through the looking glass";
+        client.write_all(payload).await.unwrap();
+        let mut got = vec![0u8; payload.len()];
+        client.read_exact(&mut got).await.unwrap();
+        assert_eq!(&got, payload);
+        assert_eq!(proxy.connections(), 1);
+    }
+
+    #[tokio::test]
+    async fn reset_plan_severs_connection() {
+        let upstream = echo_server().await;
+        let plan = ChaosPlan {
+            reset_prob: 1.0,
+            ..ChaosPlan::none()
+        };
+        let proxy = ChaosProxy::bind("127.0.0.1:0", upstream, plan, 2)
+            .await
+            .unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).await.unwrap();
+        client.write_all(b"hello").await.unwrap();
+        // The echo's reply chunk is replaced by a close.
+        let mut buf = [0u8; 16];
+        let n = client.read(&mut buf).await.unwrap();
+        assert_eq!(n, 0, "reset must close without forwarding");
+    }
+
+    #[tokio::test]
+    async fn corrupt_plan_flips_exactly_one_byte() {
+        let upstream = echo_server().await;
+        let plan = ChaosPlan {
+            corrupt_prob: 1.0,
+            ..ChaosPlan::none()
+        };
+        let proxy = ChaosProxy::bind("127.0.0.1:0", upstream, plan, 3)
+            .await
+            .unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).await.unwrap();
+        let payload = b"0123456789";
+        client.write_all(payload).await.unwrap();
+        let mut got = vec![0u8; payload.len()];
+        client.read_exact(&mut got).await.unwrap();
+        let diffs = payload.iter().zip(&got).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1, "exactly one byte should differ");
+    }
+
+    #[tokio::test]
+    async fn duplicate_plan_doubles_the_stream() {
+        let upstream = echo_server().await;
+        let plan = ChaosPlan {
+            duplicate_prob: 1.0,
+            ..ChaosPlan::none()
+        };
+        let proxy = ChaosProxy::bind("127.0.0.1:0", upstream, plan, 4)
+            .await
+            .unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).await.unwrap();
+        let payload = b"echo";
+        client.write_all(payload).await.unwrap();
+        let mut got = vec![0u8; payload.len() * 2];
+        client.read_exact(&mut got).await.unwrap();
+        assert_eq!(&got[..4], payload);
+        assert_eq!(&got[4..], payload);
+    }
+
+    #[tokio::test]
+    async fn truncate_plan_halves_then_closes() {
+        let upstream = echo_server().await;
+        let plan = ChaosPlan {
+            truncate_prob: 1.0,
+            ..ChaosPlan::none()
+        };
+        let proxy = ChaosProxy::bind("127.0.0.1:0", upstream, plan, 5)
+            .await
+            .unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).await.unwrap();
+        let payload = b"0123456789";
+        client.write_all(payload).await.unwrap();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).await.unwrap();
+        // The echo may arrive as one chunk (5 bytes forwarded) — but
+        // regardless of chunking, something strictly less than the full
+        // payload arrives before the close.
+        assert!(!got.is_empty() && got.len() < payload.len(), "got {got:?}");
+        assert_eq!(&got[..], &payload[..got.len()]);
+    }
+
+    #[tokio::test]
+    async fn proxy_keeps_accepting_after_a_reset() {
+        let upstream = echo_server().await;
+        let plan = ChaosPlan {
+            reset_prob: 1.0,
+            ..ChaosPlan::none()
+        };
+        let proxy = ChaosProxy::bind("127.0.0.1:0", upstream, plan, 6)
+            .await
+            .unwrap();
+        for _ in 0..3 {
+            let mut client = TcpStream::connect(proxy.addr()).await.unwrap();
+            client.write_all(b"x").await.unwrap();
+            let mut buf = [0u8; 4];
+            let n = client.read(&mut buf).await.unwrap();
+            assert_eq!(n, 0);
+        }
+        assert_eq!(proxy.connections(), 3);
+    }
+}

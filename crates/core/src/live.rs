@@ -60,6 +60,13 @@ pub struct LiveOutcome {
     pub reconnects: u32,
     /// Polls throttled by the server.
     pub throttled: u64,
+    /// Measurement outages recorded during the crawl (also embedded in
+    /// `trace.gaps`; duplicated here so callers reporting reliability
+    /// don't have to dig through the trace).
+    pub gaps: Vec<sl_trace::GapRecord>,
+    /// Fraction of the observation span actually covered (1.0 = no
+    /// snapshot interval lost to outages).
+    pub coverage: f64,
 }
 
 /// Serve + crawl + analyze.
@@ -92,12 +99,16 @@ pub async fn crawl_live(config: LiveConfig) -> Result<LiveOutcome, CrawlError> {
     server.shutdown();
 
     let analysis = analyze_land(&result.trace, &result.own_agents);
+    let gaps = result.trace.gaps.clone();
+    let coverage = result.trace.coverage();
     Ok(LiveOutcome {
         analysis,
         trace: result.trace,
         own_agents: result.own_agents,
         reconnects: result.reconnects,
         throttled: result.throttled,
+        gaps,
+        coverage,
     })
 }
 
@@ -134,13 +145,16 @@ mod tests {
             time_scale: 1200.0,
             faults: sl_server::FaultConfig {
                 kick_prob: 0.05,
-                delay_prob: 0.0,
-                delay_ms: 0,
+                ..sl_server::FaultConfig::none()
             },
             ..LiveConfig::new(dance_island(), 12, 1500.0)
         };
         let outcome = crawl_live(config).await.unwrap();
         assert!(outcome.reconnects > 0);
         assert_eq!(outcome.own_agents.len() as u32, outcome.reconnects + 1);
+        // Reliability accounting is surfaced without digging in the trace.
+        assert_eq!(outcome.gaps, outcome.trace.gaps);
+        assert!((0.0..=1.0).contains(&outcome.coverage));
+        assert_eq!(outcome.coverage, outcome.trace.coverage());
     }
 }

@@ -174,7 +174,8 @@ pub fn aggregate_to_markdown(rows: &[AggregateRow]) -> String {
 
 /// Render rows as a markdown table.
 pub fn to_markdown(rows: &[ScoreRow]) -> String {
-    let mut out = String::from("| land | metric | paper | measured | ratio |\n|---|---|---:|---:|---:|\n");
+    let mut out =
+        String::from("| land | metric | paper | measured | ratio |\n|---|---|---:|---:|---:|\n");
     for r in rows {
         out.push_str(&format!(
             "| {} | {} | {:.2} | {:.2} | {:.2} |\n",

@@ -65,7 +65,9 @@ pub struct SensorOutcome {
 /// Run the sensor architecture fully in-process (reports go straight
 /// into a [`ReportSink`]). Fails with [`DeployError::PrivateLand`] on
 /// private lands without authorization — the paper's show-stopper.
-pub fn run_sensors_inprocess(config: &SensorExperimentConfig) -> Result<SensorOutcome, DeployError> {
+pub fn run_sensors_inprocess(
+    config: &SensorExperimentConfig,
+) -> Result<SensorOutcome, DeployError> {
     let mut world = World::new(config.preset.config.clone(), config.seed);
     world.warm_up(config.warm_up);
     let mut net = SensorNetwork::deploy(
@@ -107,7 +109,9 @@ pub fn run_sensors_inprocess(config: &SensorExperimentConfig) -> Result<SensorOu
 /// Same experiment, but every report travels over real HTTP to a
 /// [`WebSink`] before reconstruction — the full architecture with its
 /// web server, as deployed in the paper.
-pub async fn run_sensors_http(config: &SensorExperimentConfig) -> Result<SensorOutcome, DeployError> {
+pub async fn run_sensors_http(
+    config: &SensorExperimentConfig,
+) -> Result<SensorOutcome, DeployError> {
     let mut world = World::new(config.preset.config.clone(), config.seed);
     world.warm_up(config.warm_up);
     let mut net = SensorNetwork::deploy(

@@ -1,20 +1,34 @@
 //! The crawler client: connect, log in, poll the map every τ, mimic a
-//! user, survive kicks, record a trace.
+//! user, survive kicks, stalls and corrupted frames, record a trace —
+//! and record *when it could not*, as typed gap records.
 
 use crate::mimicry::{Mimicry, MimicryAction, MimicryConfig};
 use sl_proto::framed::{FramedError, FramedReader, FramedWriter};
 use sl_proto::message::{Message, PROTOCOL_VERSION};
-use sl_trace::{LandMeta, Position, Snapshot, Trace, UserId};
+use sl_stats::rng::Rng;
+use sl_trace::{GapCause, GapRecord, LandMeta, Position, Snapshot, Trace, UserId};
 use std::time::Duration;
 use tokio::net::TcpStream;
 
-/// Reconnection policy after kicks or connection errors.
+/// Reconnection policy after kicks, stalls or connection errors.
+///
+/// Backoff is decorrelated jitter (`sleep = min(cap, rand(base,
+/// prev × 3))`): repeated failures spread out without the lockstep
+/// retry storms plain exponential backoff produces, and the cap is an
+/// explicit duration rather than an exponent buried in the code.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReconnectPolicy {
     /// Give up after this many consecutive failed connection attempts.
     pub max_attempts: u32,
-    /// Base backoff between attempts (doubles per consecutive failure).
+    /// Lower bound of the jittered backoff between attempts.
     pub base_backoff: Duration,
+    /// Hard cap on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Total connection attempts allowed across the *whole crawl* —
+    /// reconnect loops after every kick draw from this one budget, so a
+    /// terminally sick server ends the crawl instead of retrying
+    /// forever at a polite pace.
+    pub retry_budget: u32,
 }
 
 impl Default for ReconnectPolicy {
@@ -22,6 +36,8 @@ impl Default for ReconnectPolicy {
         ReconnectPolicy {
             max_attempts: 8,
             base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            retry_budget: 256,
         }
     }
 }
@@ -44,6 +60,10 @@ pub struct CrawlerConfig {
     pub username: String,
     /// RNG seed for mimicry.
     pub seed: u64,
+    /// Watchdog deadline for a single map poll, wall time. A session
+    /// that produces no reply within this window is treated as stalled
+    /// and torn down — a frozen upstream must never freeze the crawl.
+    pub poll_deadline: Duration,
 }
 
 impl CrawlerConfig {
@@ -57,6 +77,7 @@ impl CrawlerConfig {
             reconnect: ReconnectPolicy::default(),
             username: "crawler".into(),
             seed: 0,
+            poll_deadline: Duration::from_secs(1),
         }
     }
 }
@@ -87,6 +108,13 @@ pub enum CrawlError {
         /// Last error.
         last: String,
     },
+    /// The crawl-wide retry budget ran out.
+    BudgetExhausted {
+        /// The configured total budget.
+        budget: u32,
+        /// Last error.
+        last: String,
+    },
     /// Server rejected the login.
     LoginRejected(String),
     /// Protocol violation from the server.
@@ -98,6 +126,9 @@ impl std::fmt::Display for CrawlError {
         match self {
             CrawlError::ConnectFailed { attempts, last } => {
                 write!(f, "connect failed after {attempts} attempts: {last}")
+            }
+            CrawlError::BudgetExhausted { budget, last } => {
+                write!(f, "retry budget of {budget} attempts exhausted: {last}")
             }
             CrawlError::LoginRejected(msg) => write!(f, "login rejected: {msg}"),
             CrawlError::Protocol(msg) => write!(f, "protocol error: {msg}"),
@@ -130,7 +161,11 @@ impl Crawler {
 
     /// Run the crawl to completion.
     pub async fn run(&self) -> Result<CrawlResult, CrawlError> {
-        let mut session = self.connect().await?;
+        // Backoff jitter gets its own deterministic stream, decoupled
+        // from mimicry (which forks per reconnection).
+        let mut backoff_rng = Rng::new(self.config.seed ^ 0xb0ff);
+        let mut budget = self.config.reconnect.retry_budget;
+        let mut session = self.connect(&mut backoff_rng, &mut budget).await?;
         let meta = LandMeta {
             name: session.land.clone(),
             width: session.size.0 as f64,
@@ -147,10 +182,7 @@ impl Crawler {
         let mut ticker = tokio::time::interval(wall_tick);
         ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
 
-        let spawn = (
-            session.size.0 as f64 / 2.0,
-            session.size.1 as f64 / 2.0,
-        );
+        let spawn = (session.size.0 as f64 / 2.0, session.size.1 as f64 / 2.0);
         let mut mimicry = Mimicry::new(
             self.config.mimicry.clone(),
             self.config.seed,
@@ -161,20 +193,56 @@ impl Crawler {
 
         let mut first_virtual: Option<f64> = None;
         let mut last_virtual = f64::NEG_INFINITY;
+        // Cause of the outage that interrupted observation, if any —
+        // closed (and possibly recorded) by the next fresh snapshot.
+        // The *first* cause wins: it is what started the blindness.
+        let mut pending_gap: Option<GapCause> = None;
         loop {
             ticker.tick().await;
-            match self.poll_once(&mut session).await {
-                Ok(PollOutcome::Snapshot(snap)) => {
+            let verdict =
+                match tokio::time::timeout(self.config.poll_deadline, self.poll_once(&mut session))
+                    .await
+                {
+                    // Watchdog fired: the session is stalled. Tear it down
+                    // — a reply arriving after the deadline is useless
+                    // because we can no longer tell which request it
+                    // answers.
+                    Err(_elapsed) => Tick::Lost(GapCause::Stall),
+                    Ok(Ok(PollOutcome::Snapshot(snap))) => Tick::Snapshot(snap),
+                    Ok(Ok(PollOutcome::Throttled)) => Tick::Throttled,
+                    Ok(Ok(PollOutcome::Kicked)) => Tick::Lost(GapCause::Kick),
+                    Ok(Ok(PollOutcome::Closed)) => Tick::Lost(GapCause::Disconnect),
+                    // A checksum mismatch or framing violation: bytes were
+                    // damaged in flight. Anything else broken at the socket
+                    // level is a plain disconnect.
+                    Ok(Err(FramedError::Codec(_))) => Tick::Lost(GapCause::Corrupt),
+                    Ok(Err(_)) => Tick::Lost(GapCause::Disconnect),
+                };
+            match verdict {
+                Tick::Snapshot(snap) => {
                     polls += 1;
                     let t = snap.t;
                     if first_virtual.is_none() {
                         first_virtual = Some(t);
                     }
                     if t > last_virtual {
+                        if let Some(cause) = pending_gap.take() {
+                            // Only spans that actually lost a snapshot
+                            // interval become records; an outage healed
+                            // within ~one τ cost nothing.
+                            if last_virtual.is_finite() && t - last_virtual > 1.5 * self.config.tau
+                            {
+                                trace.record_gap(GapRecord::new(cause, last_virtual, t));
+                            }
+                        }
                         last_virtual = t;
                         trace.push(snap);
                     }
-                    // Mimicry actions due at this virtual time.
+                    // Mimicry actions due at this virtual time. A send
+                    // failure means the socket died under us: flow into
+                    // the reconnect path right now, not at some later
+                    // poll against a dead session.
+                    let mut died_mid_mimicry = false;
                     for action in mimicry.tick(t) {
                         let msg = match action {
                             MimicryAction::MoveTo { x, y } => Message::AgentUpdate {
@@ -184,9 +252,17 @@ impl Crawler {
                             MimicryAction::Chat(text) => Message::ChatFromViewer { text },
                         };
                         if session.writer.send(&msg).await.is_err() {
-                            // Treat as a dropped connection below.
+                            died_mid_mimicry = true;
                             break;
                         }
+                    }
+                    if died_mid_mimicry {
+                        pending_gap.get_or_insert(GapCause::Disconnect);
+                        reconnects += 1;
+                        session = self.connect(&mut backoff_rng, &mut budget).await?;
+                        own_agents.push(session.agent);
+                        mimicry = self.fresh_mimicry(&session, spawn, reconnects, last_virtual);
+                        continue;
                     }
                     if let Some(t0) = first_virtual {
                         if t - t0 >= self.config.duration {
@@ -195,22 +271,19 @@ impl Crawler {
                         }
                     }
                 }
-                Ok(PollOutcome::Throttled) => {
+                Tick::Throttled => {
                     throttled += 1;
+                    // The connection is healthy but this interval's
+                    // snapshot is lost; if the drought grows past the
+                    // recording threshold the cause was throttling.
+                    pending_gap.get_or_insert(GapCause::Throttle);
                 }
-                Ok(PollOutcome::Disconnected) | Err(_) => {
-                    // Kicked or broken: reconnect and continue the trace
-                    // under a new identity.
+                Tick::Lost(cause) => {
+                    pending_gap.get_or_insert(cause);
                     reconnects += 1;
-                    session = self.connect().await?;
+                    session = self.connect(&mut backoff_rng, &mut budget).await?;
                     own_agents.push(session.agent);
-                    mimicry = Mimicry::new(
-                        self.config.mimicry.clone(),
-                        self.config.seed ^ reconnects as u64,
-                        spawn,
-                        (session.size.0 as f64, session.size.1 as f64),
-                        last_virtual.max(0.0),
-                    );
+                    mimicry = self.fresh_mimicry(&session, spawn, reconnects, last_virtual);
                 }
             }
         }
@@ -224,11 +297,46 @@ impl Crawler {
         })
     }
 
-    async fn connect(&self) -> Result<Session, CrawlError> {
+    fn fresh_mimicry(
+        &self,
+        session: &Session,
+        spawn: (f64, f64),
+        reconnects: u32,
+        last_virtual: f64,
+    ) -> Mimicry {
+        Mimicry::new(
+            self.config.mimicry.clone(),
+            self.config.seed ^ reconnects as u64,
+            spawn,
+            (session.size.0 as f64, session.size.1 as f64),
+            last_virtual.max(0.0),
+        )
+    }
+
+    async fn connect(
+        &self,
+        backoff_rng: &mut Rng,
+        budget: &mut u32,
+    ) -> Result<Session, CrawlError> {
+        let policy = self.config.reconnect;
         let mut last_err = String::from("never attempted");
-        for attempt in 0..self.config.reconnect.max_attempts {
+        // Decorrelated jitter state: each sleep is drawn from
+        // [base, prev × 3], capped at max_backoff.
+        let mut prev_backoff = policy.base_backoff;
+        for attempt in 0..policy.max_attempts {
+            if *budget == 0 {
+                return Err(CrawlError::BudgetExhausted {
+                    budget: policy.retry_budget,
+                    last: last_err,
+                });
+            }
+            *budget -= 1;
             if attempt > 0 {
-                let backoff = self.config.reconnect.base_backoff * 2u32.pow(attempt.min(6) - 1);
+                let base = policy.base_backoff.as_secs_f64();
+                let hi = (prev_backoff.as_secs_f64() * 3.0).max(base);
+                let drawn = Duration::from_secs_f64(backoff_rng.range_f64(base, hi));
+                let backoff = drawn.min(policy.max_backoff);
+                prev_backoff = backoff;
                 tokio::time::sleep(backoff).await;
             }
             match TcpStream::connect(&self.config.server).await {
@@ -304,7 +412,8 @@ impl Crawler {
                 {
                     return Ok(PollOutcome::Throttled);
                 }
-                Some(Message::Kick { .. }) | None => return Ok(PollOutcome::Disconnected),
+                Some(Message::Kick { .. }) => return Ok(PollOutcome::Kicked),
+                None => return Ok(PollOutcome::Closed),
                 // Chat, pongs and anything else interleaved with the
                 // map poll is consumed and ignored.
                 Some(_) => continue,
@@ -316,7 +425,18 @@ impl Crawler {
 enum PollOutcome {
     Snapshot(Snapshot),
     Throttled,
-    Disconnected,
+    /// The server said why: an explicit kick message.
+    Kicked,
+    /// The connection just ended (clean close at a frame boundary).
+    Closed,
+}
+
+/// What one ticker interval produced, after the watchdog and error
+/// mapping have had their say.
+enum Tick {
+    Snapshot(Snapshot),
+    Throttled,
+    Lost(GapCause),
 }
 
 /// Error-code mirror (sl-crawler does not depend on sl-server; the
@@ -340,7 +460,9 @@ mod tests {
     }
 
     async fn server(cfg: ServerConfig) -> LandServer {
-        LandServer::bind("127.0.0.1:0", world(5), cfg).await.unwrap()
+        LandServer::bind("127.0.0.1:0", world(5), cfg)
+            .await
+            .unwrap()
     }
 
     #[tokio::test]
@@ -356,7 +478,11 @@ mod tests {
             ..CrawlerConfig::new(server.addr().to_string(), 300.0)
         };
         let result = Crawler::new(config).run().await.unwrap();
-        assert!(result.trace.len() >= 20, "got {} snapshots", result.trace.len());
+        assert!(
+            result.trace.len() >= 20,
+            "got {} snapshots",
+            result.trace.len()
+        );
         assert_eq!(result.reconnects, 0);
         assert_eq!(result.own_agents.len(), 1);
         // Times strictly increase.
@@ -366,11 +492,7 @@ mod tests {
         // The crawler's avatar is visible in its own snapshots (as in
         // SL) — exclusion is the analysis layer's job.
         let me = result.own_agents[0];
-        assert!(result
-            .trace
-            .snapshots
-            .iter()
-            .any(|s| s.get(me).is_some()));
+        assert!(result.trace.snapshots.iter().any(|s| s.get(me).is_some()));
     }
 
     #[tokio::test]
@@ -380,8 +502,7 @@ mod tests {
             map_rate: (1000.0, 1000.0),
             faults: FaultConfig {
                 kick_prob: 0.08,
-                delay_prob: 0.0,
-                delay_ms: 0,
+                ..FaultConfig::none()
             },
             ..Default::default()
         })
@@ -391,7 +512,10 @@ mod tests {
             ..CrawlerConfig::new(server.addr().to_string(), 400.0)
         };
         let result = Crawler::new(config).run().await.unwrap();
-        assert!(result.reconnects > 0, "the flaky grid should have kicked us");
+        assert!(
+            result.reconnects > 0,
+            "the flaky grid should have kicked us"
+        );
         assert_eq!(
             result.own_agents.len(),
             result.reconnects as usize + 1,
@@ -407,12 +531,112 @@ mod tests {
             reconnect: ReconnectPolicy {
                 max_attempts: 2,
                 base_backoff: Duration::from_millis(1),
+                ..Default::default()
             },
             ..CrawlerConfig::new("127.0.0.1:1", 10.0)
         };
         match Crawler::new(config).run().await {
             Err(CrawlError::ConnectFailed { attempts: 2, .. }) => {}
             other => panic!("expected ConnectFailed, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn kicks_leave_typed_gap_records() {
+        // Aggressive kicks: every outage long enough to lose a snapshot
+        // interval must surface as a Kick gap, and gaps must line up
+        // with the trace's inter-snapshot droughts.
+        let server = server(ServerConfig {
+            time_scale: 1200.0,
+            map_rate: (1000.0, 1000.0),
+            faults: FaultConfig {
+                kick_prob: 0.10,
+                ..FaultConfig::none()
+            },
+            ..Default::default()
+        })
+        .await;
+        let config = CrawlerConfig {
+            seed: 12,
+            ..CrawlerConfig::new(server.addr().to_string(), 600.0)
+        };
+        let result = Crawler::new(config).run().await.unwrap();
+        assert!(result.reconnects > 0);
+        assert!(
+            result
+                .trace
+                .gaps
+                .iter()
+                .all(|g| g.cause == sl_trace::GapCause::Kick),
+            "only kicks were injected: {:?}",
+            result.trace.gaps
+        );
+        // Every recorded gap must match an inter-snapshot interval
+        // exactly: start and end are observed snapshot times.
+        let times: Vec<f64> = result.trace.snapshots.iter().map(|s| s.t).collect();
+        for g in &result.trace.gaps {
+            assert!(times.contains(&g.start) && times.contains(&g.end), "{g:?}");
+        }
+        sl_trace::validate(&result.trace).unwrap();
+    }
+
+    #[tokio::test]
+    async fn stalled_server_trips_watchdog_not_hang() {
+        // Stalls far longer than the poll deadline: pre-watchdog code
+        // sat in `reader.next()` forever. Now each stall costs at most
+        // one deadline, the session is torn down, and the crawl ends.
+        let server = server(ServerConfig {
+            time_scale: 1200.0,
+            map_rate: (1000.0, 1000.0),
+            faults: FaultConfig {
+                stall_prob: 0.15,
+                stall_ms: 60_000,
+                ..FaultConfig::none()
+            },
+            ..Default::default()
+        })
+        .await;
+        let config = CrawlerConfig {
+            seed: 13,
+            poll_deadline: Duration::from_millis(100),
+            ..CrawlerConfig::new(server.addr().to_string(), 300.0)
+        };
+        let result = tokio::time::timeout(Duration::from_secs(30), Crawler::new(config).run())
+            .await
+            .expect("watchdog must bound the crawl's wall time")
+            .unwrap();
+        assert!(
+            result.reconnects > 0,
+            "stalls should have forced reconnects"
+        );
+        assert_eq!(result.own_agents.len(), result.reconnects as usize + 1);
+    }
+
+    #[tokio::test]
+    async fn budget_exhaustion_ends_the_crawl() {
+        // A server that resets every handshake burns the entire retry
+        // budget; the crawl must fail with the typed budget error
+        // instead of retrying forever.
+        let server = server(ServerConfig {
+            faults: FaultConfig {
+                reset_prob: 1.0,
+                ..FaultConfig::none()
+            },
+            ..Default::default()
+        })
+        .await;
+        let config = CrawlerConfig {
+            reconnect: ReconnectPolicy {
+                max_attempts: 50,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(5),
+                retry_budget: 10,
+            },
+            ..CrawlerConfig::new(server.addr().to_string(), 100.0)
+        };
+        match Crawler::new(config).run().await {
+            Err(CrawlError::BudgetExhausted { budget: 10, .. }) => {}
+            other => panic!("expected BudgetExhausted, got {other:?}"),
         }
     }
 

@@ -90,7 +90,13 @@ pub struct Mimicry {
 impl Mimicry {
     /// Create a driver. `land` is the (width, height); the avatar
     /// starts at `pos`; `now` is current virtual time.
-    pub fn new(config: MimicryConfig, seed: u64, pos: (f64, f64), land: (f64, f64), now: f64) -> Self {
+    pub fn new(
+        config: MimicryConfig,
+        seed: u64,
+        pos: (f64, f64),
+        land: (f64, f64),
+        now: f64,
+    ) -> Self {
         let mut rng = Rng::new(seed);
         let next_move = now + exp_draw(&mut rng, config.move_period);
         let next_chat = now + exp_draw(&mut rng, config.chat_period);
@@ -150,13 +156,25 @@ mod tests {
 
     #[test]
     fn naive_never_acts() {
-        let mut m = Mimicry::new(MimicryConfig::naive(), 1, (128.0, 128.0), (256.0, 256.0), 0.0);
+        let mut m = Mimicry::new(
+            MimicryConfig::naive(),
+            1,
+            (128.0, 128.0),
+            (256.0, 256.0),
+            0.0,
+        );
         assert!(m.tick(1e9).is_empty());
     }
 
     #[test]
     fn mimic_moves_and_chats() {
-        let mut m = Mimicry::new(MimicryConfig::mimic(), 2, (128.0, 128.0), (256.0, 256.0), 0.0);
+        let mut m = Mimicry::new(
+            MimicryConfig::mimic(),
+            2,
+            (128.0, 128.0),
+            (256.0, 256.0),
+            0.0,
+        );
         let actions = m.tick(3600.0);
         let moves = actions
             .iter()
@@ -184,17 +202,32 @@ mod tests {
 
     #[test]
     fn chats_use_phrase_set() {
-        let mut m = Mimicry::new(MimicryConfig::mimic(), 4, (128.0, 128.0), (256.0, 256.0), 0.0);
+        let mut m = Mimicry::new(
+            MimicryConfig::mimic(),
+            4,
+            (128.0, 128.0),
+            (256.0, 256.0),
+            0.0,
+        );
         for a in m.tick(7200.0) {
             if let MimicryAction::Chat(text) = a {
-                assert!(DEFAULT_PHRASES.contains(&text.as_str()), "unknown phrase {text}");
+                assert!(
+                    DEFAULT_PHRASES.contains(&text.as_str()),
+                    "unknown phrase {text}"
+                );
             }
         }
     }
 
     #[test]
     fn incremental_ticks_match_position_tracking() {
-        let mut m = Mimicry::new(MimicryConfig::mimic(), 5, (128.0, 128.0), (256.0, 256.0), 0.0);
+        let mut m = Mimicry::new(
+            MimicryConfig::mimic(),
+            5,
+            (128.0, 128.0),
+            (256.0, 256.0),
+            0.0,
+        );
         let mut last_pos = m.position();
         for step in 1..=100 {
             let actions = m.tick(step as f64 * 30.0);
@@ -210,7 +243,13 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
-            let mut m = Mimicry::new(MimicryConfig::mimic(), seed, (0.0, 0.0), (256.0, 256.0), 0.0);
+            let mut m = Mimicry::new(
+                MimicryConfig::mimic(),
+                seed,
+                (0.0, 0.0),
+                (256.0, 256.0),
+                0.0,
+            );
             m.tick(3600.0)
         };
         assert_eq!(run(9), run(9));

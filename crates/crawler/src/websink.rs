@@ -254,7 +254,10 @@ mod tests {
     async fn multiple_posts_one_connection_each() {
         let sink = WebSink::bind("127.0.0.1:0").await.unwrap();
         for _ in 0..5 {
-            assert_eq!(post_report(&sink.addr(), &sample_report()).await.unwrap(), 200);
+            assert_eq!(
+                post_report(&sink.addr(), &sample_report()).await.unwrap(),
+                200
+            );
         }
         assert_eq!(sink.report_count(), 5);
     }

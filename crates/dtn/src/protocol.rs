@@ -52,7 +52,10 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(Protocol::Epidemic.label(), "epidemic");
-        assert_eq!(Protocol::SprayAndWait { copies: 4 }.label(), "spray&wait(L=4)");
+        assert_eq!(
+            Protocol::SprayAndWait { copies: 4 }.label(),
+            "spray&wait(L=4)"
+        );
     }
 
     #[test]

@@ -128,7 +128,11 @@ pub fn uniform_workload(
 /// });
 /// assert!(report.delivery_ratio > 0.0);
 /// ```
-pub fn simulate(timeline: &ContactTimeline, messages: &[MessageSpec], config: DtnConfig) -> DtnReport {
+pub fn simulate(
+    timeline: &ContactTimeline,
+    messages: &[MessageSpec],
+    config: DtnConfig,
+) -> DtnReport {
     assert!(config.ttl > 0.0, "TTL must be positive");
     let initial_copies = match config.protocol {
         Protocol::SprayAndWait { copies } => copies.max(1),
@@ -152,8 +156,7 @@ pub fn simulate(timeline: &ContactTimeline, messages: &[MessageSpec], config: Dt
                 continue;
             }
             // Activate at creation time.
-            if t >= flight.spec.created && flight.carriers.is_empty() && flight.transmissions == 0
-            {
+            if t >= flight.spec.created && flight.carriers.is_empty() && flight.transmissions == 0 {
                 flight.carriers.insert(flight.spec.src, initial_copies);
             }
             // Expire.

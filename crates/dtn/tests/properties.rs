@@ -44,7 +44,12 @@ fn arb_timeline() -> impl Strategy<Value = ContactTimeline> {
     })
 }
 
-fn run(tl: &ContactTimeline, msgs: &[sl_dtn::MessageSpec], p: Protocol, ttl: f64) -> sl_dtn::DtnReport {
+fn run(
+    tl: &ContactTimeline,
+    msgs: &[sl_dtn::MessageSpec],
+    p: Protocol,
+    ttl: f64,
+) -> sl_dtn::DtnReport {
     simulate(tl, msgs, DtnConfig { protocol: p, ttl })
 }
 

@@ -65,7 +65,10 @@ impl GridIndex {
             idx.cells[c].push(i as u32);
         }
         // Keep the origin by storing shifted coordinates alongside.
-        idx.points = points.iter().map(|&(x, y)| (x - min_x, y - min_y)).collect();
+        idx.points = points
+            .iter()
+            .map(|&(x, y)| (x - min_x, y - min_y))
+            .collect();
         idx
     }
 
@@ -199,9 +202,7 @@ mod tests {
     #[test]
     fn clustered_points_fully_connected() {
         // All points inside one meter: every pair connected at r=10.
-        let points: Vec<(f64, f64)> = (0..10)
-            .map(|i| (100.0 + i as f64 * 0.05, 100.0))
-            .collect();
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (100.0 + i as f64 * 0.05, 100.0)).collect();
         let g = proximity_graph(&points, 10.0);
         assert_eq!(g.edge_count(), 10 * 9 / 2);
     }

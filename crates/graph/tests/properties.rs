@@ -27,12 +27,10 @@ fn arb_points(max: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..40).prop_flat_map(|n| {
-        prop::collection::vec((0..n as u32, 0..n as u32), 0..n * 2)
-            .prop_map(move |edges| {
-                let filtered: Vec<(u32, u32)> =
-                    edges.into_iter().filter(|(a, b)| a != b).collect();
-                Graph::from_edges(n, &filtered)
-            })
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..n * 2).prop_map(move |edges| {
+            let filtered: Vec<(u32, u32)> = edges.into_iter().filter(|(a, b)| a != b).collect();
+            Graph::from_edges(n, &filtered)
+        })
     })
 }
 

@@ -1,16 +1,47 @@
-//! Sans-io frame codec: `u32` length (tag + payload) + `u8` tag +
-//! payload. No sockets here — [`encode_frame`] appends to a `BytesMut`,
-//! [`decode_frame`] consumes from one, and both are driven by the
-//! framed IO adapters (or by tests, byte by byte).
+//! Sans-io frame codec: `u32` length (tag + payload + checksum) + `u8`
+//! tag + payload + `u32` FNV-1a checksum. No sockets here —
+//! [`encode_frame`] appends to a `BytesMut`, [`decode_frame`] consumes
+//! from one, and both are driven by the framed IO adapters (or by
+//! tests, byte by byte).
+//!
+//! The trailing checksum exists because the measurement substrate is
+//! assumed hostile: a single flipped byte in a length-prefixed stream
+//! can otherwise decode into a *valid but wrong* message (e.g. a map
+//! item teleported across the land) and silently poison a trace. With
+//! the checksum, corruption surfaces as a typed
+//! [`CodecError::ChecksumMismatch`] and the connection is torn down and
+//! gap-accounted instead.
 
 use crate::message::Message;
 use crate::wire::WireError;
 use bytes::{Buf, BufMut, BytesMut};
 
-/// Maximum frame length (tag + payload). A `MapReply` with 400 items is
-/// ~6.4 KiB; 64 KiB leaves ample headroom while bounding memory per
-/// connection against hostile length fields.
+/// Maximum frame length (tag + payload + checksum). A `MapReply` with
+/// 400 items is ~6.4 KiB; 64 KiB leaves ample headroom while bounding
+/// memory per connection against hostile length fields.
 pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Bytes of framing overhead following the payload (FNV-1a checksum).
+pub const CHECKSUM_LEN: usize = 4;
+
+/// Minimum declared frame length: tag byte plus checksum.
+pub const MIN_FRAME_LEN: usize = 1 + CHECKSUM_LEN;
+
+/// FNV-1a over the tag byte and payload — cheap, endian-stable, and
+/// sensitive to single-byte flips, which is all the chaos layer needs
+/// (this is corruption *detection*, not authentication).
+pub fn frame_checksum(tag: u8, payload: &[u8]) -> u32 {
+    const OFFSET: u32 = 0x811c_9dc5;
+    const PRIME: u32 = 0x0100_0193;
+    let mut h = OFFSET;
+    h ^= tag as u32;
+    h = h.wrapping_mul(PRIME);
+    for &b in payload {
+        h ^= b as u32;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
 
 /// Codec failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,8 +51,19 @@ pub enum CodecError {
         /// Claimed length.
         len: usize,
     },
-    /// A declared frame had zero length (no room for the tag).
-    EmptyFrame,
+    /// A declared frame is too short to hold the tag and checksum.
+    FrameTooShort {
+        /// Claimed length.
+        len: usize,
+    },
+    /// The frame checksum did not match its contents: bytes were
+    /// corrupted on the wire.
+    ChecksumMismatch {
+        /// Checksum carried by the frame.
+        expected: u32,
+        /// Checksum recomputed over the received bytes.
+        actual: u32,
+    },
     /// The payload failed to parse.
     Wire(WireError),
 }
@@ -32,7 +74,15 @@ impl std::fmt::Display for CodecError {
             CodecError::FrameTooLong { len } => {
                 write!(f, "frame of {len} bytes exceeds limit {MAX_FRAME_LEN}")
             }
-            CodecError::EmptyFrame => write!(f, "zero-length frame"),
+            CodecError::FrameTooShort { len } => {
+                write!(f, "frame of {len} bytes is below minimum {MIN_FRAME_LEN}")
+            }
+            CodecError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: carried {expected:#010x}, computed {actual:#010x}"
+                )
+            }
             CodecError::Wire(e) => write!(f, "malformed payload: {e}"),
         }
     }
@@ -69,11 +119,12 @@ impl From<WireError> for CodecError {
 /// ```
 pub fn encode_frame(msg: &Message, out: &mut BytesMut) {
     let payload = msg.encode_payload();
-    let len = 1 + payload.len();
+    let len = 1 + payload.len() + CHECKSUM_LEN;
     assert!(len <= MAX_FRAME_LEN, "outgoing frame exceeds MAX_FRAME_LEN");
     out.put_u32(len as u32);
     out.put_u8(msg.tag());
     out.put_slice(&payload);
+    out.put_u32(frame_checksum(msg.tag(), &payload));
 }
 
 /// Try to decode one frame from the front of `buf`.
@@ -88,8 +139,8 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, CodecError> {
         return Ok(None);
     }
     let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-    if len == 0 {
-        return Err(CodecError::EmptyFrame);
+    if len < MIN_FRAME_LEN {
+        return Err(CodecError::FrameTooShort { len });
     }
     if len > MAX_FRAME_LEN {
         return Err(CodecError::FrameTooLong { len });
@@ -103,7 +154,12 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, CodecError> {
     buf.advance(4);
     let tag = buf[0];
     buf.advance(1);
-    let payload = buf.split_to(len - 1).freeze();
+    let payload = buf.split_to(len - 1 - CHECKSUM_LEN).freeze();
+    let expected = buf.get_u32();
+    let actual = frame_checksum(tag, &payload);
+    if expected != actual {
+        return Err(CodecError::ChecksumMismatch { expected, actual });
+    }
     Ok(Some(Message::decode_payload(tag, payload)?))
 }
 
@@ -126,9 +182,7 @@ mod tests {
         let msgs = vec![
             Message::MapRequest,
             Message::Ping { nonce: 1 },
-            Message::ChatFromViewer {
-                text: "hey".into(),
-            },
+            Message::ChatFromViewer { text: "hey".into() },
         ];
         let mut buf = BytesMut::new();
         for m in &msgs {
@@ -174,18 +228,78 @@ mod tests {
     fn zero_length_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u32(0);
-        assert_eq!(decode_frame(&mut buf).unwrap_err(), CodecError::EmptyFrame);
+        assert_eq!(
+            decode_frame(&mut buf).unwrap_err(),
+            CodecError::FrameTooShort { len: 0 }
+        );
+    }
+
+    #[test]
+    fn sub_minimum_length_rejected() {
+        for len in 1..MIN_FRAME_LEN as u32 {
+            let mut buf = BytesMut::new();
+            buf.put_u32(len);
+            assert_eq!(
+                decode_frame(&mut buf).unwrap_err(),
+                CodecError::FrameTooShort { len: len as usize }
+            );
+        }
     }
 
     #[test]
     fn corrupt_payload_reported() {
+        // A LoginRequest frame with a truncated body (checksum valid so
+        // the failure is attributed to the payload parser).
         let mut buf = BytesMut::new();
-        // A LoginRequest frame with a truncated body.
-        buf.put_u32(2);
+        let body = [0u8]; // half of the version field
+        buf.put_u32(1 + body.len() as u32 + CHECKSUM_LEN as u32);
         buf.put_u8(1); // LoginRequest tag
-        buf.put_u8(0); // half of the version field
+        buf.put_slice(&body);
+        buf.put_u32(frame_checksum(1, &body));
         let err = decode_frame(&mut buf).unwrap_err();
         assert!(matches!(err, CodecError::Wire(_)));
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_checksum_mismatch() {
+        let msg = Message::MapReply {
+            time: 42.0,
+            items: vec![crate::message::MapItem {
+                agent: 9,
+                x: 1.0,
+                y: 2.0,
+                z: 3.0,
+            }],
+        };
+        let mut buf = BytesMut::new();
+        encode_frame(&msg, &mut buf);
+        // Flip one byte in the middle of the payload.
+        let mid = 4 + 1 + 3;
+        buf[mid] ^= 0xa5;
+        let err = decode_frame(&mut buf).unwrap_err();
+        assert!(
+            matches!(err, CodecError::ChecksumMismatch { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn flipped_tag_byte_is_checksum_mismatch() {
+        let msg = Message::Ping { nonce: 5 };
+        let mut buf = BytesMut::new();
+        encode_frame(&msg, &mut buf);
+        buf[4] ^= 0xff; // the tag byte sits right after the length
+        let err = decode_frame(&mut buf).unwrap_err();
+        assert!(
+            matches!(err, CodecError::ChecksumMismatch { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(frame_checksum(1, &[2, 3]), frame_checksum(1, &[3, 2]));
+        assert_ne!(frame_checksum(1, &[]), frame_checksum(2, &[]));
     }
 
     #[test]
@@ -193,5 +307,10 @@ mod tests {
         let e = CodecError::Wire(crate::wire::WireError::BadUtf8 { field: "x" });
         assert!(e.to_string().contains("malformed payload"));
         assert!(std::error::Error::source(&e).is_some());
+        let c = CodecError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(c.to_string().contains("checksum"));
     }
 }

@@ -117,6 +117,21 @@ impl<W: AsyncWrite + Unpin> FramedWriter<W> {
         self.inner.flush().await?;
         Ok(())
     }
+
+    /// Write raw bytes, bypassing the codec.
+    ///
+    /// This is the fault-injection escape hatch: chaos layers use it to
+    /// put *deliberately* truncated or corrupted frames on the wire and
+    /// prove that the peer's decoder turns them into typed errors. It
+    /// must never be used for well-formed traffic — [`send`] is the
+    /// only honest path.
+    ///
+    /// [`send`]: FramedWriter::send
+    pub async fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), FramedError> {
+        self.inner.write_all(bytes).await?;
+        self.inner.flush().await?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,9 @@
 //!
 //! Protocol summary (version 1):
 //!
-//! * Frames are `u32` big-endian length + `u8` message tag + payload.
+//! * Frames are `u32` big-endian length + `u8` message tag + payload +
+//!   `u32` FNV-1a checksum (corruption on the wire becomes a typed
+//!   error instead of a silently wrong message).
 //! * A session starts with `LoginRequest` → `LoginReply`.
 //! * The crawler polls `MapRequest` → `MapReply` (every avatar's
 //!   position on the land — the libsecondlife "map" feature).
@@ -24,6 +26,9 @@ pub mod framed;
 pub mod message;
 pub mod wire;
 
-pub use codec::{decode_frame, encode_frame, CodecError, MAX_FRAME_LEN};
+pub use codec::{
+    decode_frame, encode_frame, frame_checksum, CodecError, CHECKSUM_LEN, MAX_FRAME_LEN,
+    MIN_FRAME_LEN,
+};
 pub use framed::{FramedReader, FramedWriter};
 pub use message::{MapItem, Message, PROTOCOL_VERSION};

@@ -349,7 +349,13 @@ mod tests {
     #[test]
     fn unknown_tag_rejected() {
         let err = Message::decode_payload(200, Bytes::new()).unwrap_err();
-        assert!(matches!(err, WireError::TooLarge { field: "message tag", .. }));
+        assert!(matches!(
+            err,
+            WireError::TooLarge {
+                field: "message tag",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -358,7 +364,13 @@ mod tests {
         w.f64(0.0);
         w.u32(1_000_000);
         let err = Message::decode_payload(7, w.into_bytes()).unwrap_err();
-        assert!(matches!(err, WireError::TooLarge { field: "map items", .. }));
+        assert!(matches!(
+            err,
+            WireError::TooLarge {
+                field: "map items",
+                ..
+            }
+        ));
     }
 
     #[test]

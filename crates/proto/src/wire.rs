@@ -41,7 +41,10 @@ impl std::fmt::Display for WireError {
                 field,
                 needed,
                 available,
-            } => write!(f, "truncated {field}: need {needed} bytes, have {available}"),
+            } => write!(
+                f,
+                "truncated {field}: need {needed} bytes, have {available}"
+            ),
             WireError::BadUtf8 { field } => write!(f, "{field} is not valid UTF-8"),
             WireError::TooLarge { field, value, max } => {
                 write!(f, "{field} = {value} exceeds maximum {max}")

@@ -21,14 +21,19 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 password,
             }
         }),
-        (any::<u32>(), arb_string(), any::<f32>(), any::<f32>(), any::<f32>()).prop_map(
-            |(agent, land, w, h, ts)| Message::LoginReply {
+        (
+            any::<u32>(),
+            arb_string(),
+            any::<f32>(),
+            any::<f32>(),
+            any::<f32>()
+        )
+            .prop_map(|(agent, land, w, h, ts)| Message::LoginReply {
                 agent,
                 land,
                 size: (w, h),
                 time_scale: ts,
-            }
-        ),
+            }),
         (any::<f32>(), any::<f32>()).prop_map(|(x, y)| Message::AgentUpdate { x, y }),
         arb_string().prop_map(|text| Message::ChatFromViewer { text }),
         (any::<u32>(), arb_string())

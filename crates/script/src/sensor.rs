@@ -197,7 +197,13 @@ mod tests {
     fn cache_fills_then_flushes() {
         let mut s = Sensor::new(0, Vec2::new(0.0, 0.0), ObjectId(1), spec_small());
         // 5 avatars per scan, capacity 10: the second scan fills it.
-        let avs = avatars_at(&[(1, 1.0, 0.0), (2, 2.0, 0.0), (3, 3.0, 0.0), (4, 4.0, 0.0), (5, 5.0, 0.0)]);
+        let avs = avatars_at(&[
+            (1, 1.0, 0.0),
+            (2, 2.0, 0.0),
+            (3, 3.0, 0.0),
+            (4, 4.0, 0.0),
+            (5, 5.0, 0.0),
+        ]);
         assert!(s.scan(10.0, &avs).is_none());
         let report = s.scan(20.0, &avs).expect("cache full -> flush");
         assert_eq!(report.detections.len(), 10);
@@ -208,7 +214,13 @@ mod tests {
     #[test]
     fn throttled_flush_drops_data() {
         let mut s = Sensor::new(0, Vec2::new(0.0, 0.0), ObjectId(1), spec_small());
-        let avs = avatars_at(&[(1, 1.0, 0.0), (2, 2.0, 0.0), (3, 3.0, 0.0), (4, 4.0, 0.0), (5, 5.0, 0.0)]);
+        let avs = avatars_at(&[
+            (1, 1.0, 0.0),
+            (2, 2.0, 0.0),
+            (3, 3.0, 0.0),
+            (4, 4.0, 0.0),
+            (5, 5.0, 0.0),
+        ]);
         assert!(s.scan(10.0, &avs).is_none());
         assert!(s.scan(20.0, &avs).is_some(), "first flush admitted");
         // Refill the cache quickly; the next flush is inside the 60 s

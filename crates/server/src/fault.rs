@@ -2,14 +2,20 @@
 //!
 //! The paper kept measurement runs to 24 h because "long experiments
 //! are sometimes affected by instabilities of libsecondlife under a
-//! Linux environment". The server can emulate that operational reality:
-//! random kicks (session terminated by the grid) and response delays.
-//! The crawler's reconnect logic is tested against exactly these faults.
+//! Linux environment". The server can emulate that operational reality
+//! with a composable fault plan: random kicks (session terminated by
+//! the grid), delayed replies, multi-second connection stalls, silently
+//! dropped replies, truncated frames, corrupted bytes, duplicated and
+//! stale map replies, and mid-handshake resets. The crawler's watchdog,
+//! reconnect and gap-accounting logic is tested against exactly these
+//! faults.
 
 use serde::{Deserialize, Serialize};
 use sl_stats::rng::Rng;
 
-/// Fault-injection configuration.
+/// Fault-injection configuration. All probabilities are per map
+/// request; fields default to zero so configurations serialized before
+/// a fault kind existed still deserialize (and behave) identically.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultConfig {
     /// Probability that any map request triggers a kick.
@@ -18,6 +24,36 @@ pub struct FaultConfig {
     pub delay_prob: f64,
     /// Delay duration in wall milliseconds when triggered.
     pub delay_ms: u64,
+    /// Probability that the connection stalls (no bytes flow) before
+    /// the reply; the client's read deadline is what ends the wait.
+    #[serde(default)]
+    pub stall_prob: f64,
+    /// Stall duration in wall milliseconds when triggered.
+    #[serde(default)]
+    pub stall_ms: u64,
+    /// Probability that the reply is silently dropped (request
+    /// consumed, nothing sent back).
+    #[serde(default)]
+    pub drop_prob: f64,
+    /// Probability that the reply frame is cut short mid-body and the
+    /// connection closed.
+    #[serde(default)]
+    pub truncate_prob: f64,
+    /// Probability that one byte of the reply frame is flipped (the
+    /// frame checksum is what catches this at the client).
+    #[serde(default)]
+    pub corrupt_prob: f64,
+    /// Probability that the reply is sent twice.
+    #[serde(default)]
+    pub duplicate_prob: f64,
+    /// Probability that a *previous* map reply is resent instead of a
+    /// fresh snapshot (stale cache emulation).
+    #[serde(default)]
+    pub stale_prob: f64,
+    /// Probability that a connection is reset mid-handshake: the login
+    /// request is read, then the socket closes without any reply.
+    #[serde(default)]
+    pub reset_prob: f64,
 }
 
 impl FaultConfig {
@@ -27,6 +63,14 @@ impl FaultConfig {
             kick_prob: 0.0,
             delay_prob: 0.0,
             delay_ms: 0,
+            stall_prob: 0.0,
+            stall_ms: 0,
+            drop_prob: 0.0,
+            truncate_prob: 0.0,
+            corrupt_prob: 0.0,
+            duplicate_prob: 0.0,
+            stale_prob: 0.0,
+            reset_prob: 0.0,
         }
     }
 
@@ -37,12 +81,40 @@ impl FaultConfig {
             kick_prob: 0.005,
             delay_prob: 0.05,
             delay_ms: 250,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Everything at once: the full chaos menu at rates high enough to
+    /// exercise every recovery path within a short crawl, low enough
+    /// that the crawl still makes progress.
+    pub fn chaos() -> Self {
+        FaultConfig {
+            kick_prob: 0.01,
+            delay_prob: 0.05,
+            delay_ms: 100,
+            stall_prob: 0.01,
+            stall_ms: 2_000,
+            drop_prob: 0.02,
+            truncate_prob: 0.01,
+            corrupt_prob: 0.01,
+            duplicate_prob: 0.02,
+            stale_prob: 0.02,
+            reset_prob: 0.05,
         }
     }
 
     /// True when no fault can ever trigger.
     pub fn is_none(&self) -> bool {
-        self.kick_prob <= 0.0 && self.delay_prob <= 0.0
+        self.kick_prob <= 0.0
+            && self.delay_prob <= 0.0
+            && self.stall_prob <= 0.0
+            && self.drop_prob <= 0.0
+            && self.truncate_prob <= 0.0
+            && self.corrupt_prob <= 0.0
+            && self.duplicate_prob <= 0.0
+            && self.stale_prob <= 0.0
+            && self.reset_prob <= 0.0
     }
 }
 
@@ -55,9 +127,26 @@ pub enum FaultDecision {
     Delay(u64),
     /// Kick the client.
     Kick,
+    /// Stall the connection for this many milliseconds, then proceed.
+    Stall(u64),
+    /// Silently drop the reply.
+    Drop,
+    /// Send a truncated frame, then close the connection.
+    Truncate,
+    /// Flip one byte of the reply frame.
+    Corrupt,
+    /// Send the reply twice.
+    Duplicate,
+    /// Resend the previous map reply instead of a fresh one.
+    Stale,
 }
 
 /// Per-connection fault injector with its own RNG stream.
+///
+/// Every probability is checked with `> 0.0` before drawing, so a
+/// configuration that leaves the newer fault kinds at zero consumes
+/// exactly the draws the original {kick, delay} injector did — seeds
+/// recorded before the chaos layer existed replay identically.
 #[derive(Debug)]
 pub struct FaultInjector {
     config: FaultConfig,
@@ -73,15 +162,50 @@ impl FaultInjector {
         }
     }
 
-    /// Decide the fate of the next request. Kicks dominate delays.
+    /// Decide the fate of the next request. Session-ending faults
+    /// dominate frame-level ones, which dominate mere slowness.
     pub fn decide(&mut self) -> FaultDecision {
-        if self.config.kick_prob > 0.0 && self.rng.chance(self.config.kick_prob) {
+        let c = self.config;
+        if c.kick_prob > 0.0 && self.rng.chance(c.kick_prob) {
             return FaultDecision::Kick;
         }
-        if self.config.delay_prob > 0.0 && self.rng.chance(self.config.delay_prob) {
-            return FaultDecision::Delay(self.config.delay_ms);
+        if c.stall_prob > 0.0 && self.rng.chance(c.stall_prob) {
+            return FaultDecision::Stall(c.stall_ms);
+        }
+        if c.truncate_prob > 0.0 && self.rng.chance(c.truncate_prob) {
+            return FaultDecision::Truncate;
+        }
+        if c.corrupt_prob > 0.0 && self.rng.chance(c.corrupt_prob) {
+            return FaultDecision::Corrupt;
+        }
+        if c.drop_prob > 0.0 && self.rng.chance(c.drop_prob) {
+            return FaultDecision::Drop;
+        }
+        if c.duplicate_prob > 0.0 && self.rng.chance(c.duplicate_prob) {
+            return FaultDecision::Duplicate;
+        }
+        if c.stale_prob > 0.0 && self.rng.chance(c.stale_prob) {
+            return FaultDecision::Stale;
+        }
+        if c.delay_prob > 0.0 && self.rng.chance(c.delay_prob) {
+            return FaultDecision::Delay(c.delay_ms);
         }
         FaultDecision::None
+    }
+
+    /// Decide whether this connection dies mid-handshake (login read,
+    /// socket closed, no reply). Called once, before the login reply.
+    pub fn decide_handshake_reset(&mut self) -> bool {
+        self.config.reset_prob > 0.0 && self.rng.chance(self.config.reset_prob)
+    }
+
+    /// Index of the byte to flip when corrupting a frame of `len`
+    /// bytes. Skips the 4-byte length prefix: flipping the length would
+    /// desynchronize framing (a hang or bogus giant read) instead of
+    /// the checksum mismatch corruption is meant to exercise.
+    pub fn corrupt_index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 4, "frames are always longer than their prefix");
+        4 + self.rng.index(len - 4)
     }
 }
 
@@ -95,6 +219,7 @@ mod tests {
         for _ in 0..10_000 {
             assert_eq!(inj.decide(), FaultDecision::None);
         }
+        assert!(!inj.decide_handshake_reset());
     }
 
     #[test]
@@ -102,8 +227,7 @@ mod tests {
         let mut inj = FaultInjector::new(
             FaultConfig {
                 kick_prob: 0.01,
-                delay_prob: 0.0,
-                delay_ms: 0,
+                ..FaultConfig::none()
             },
             2,
         );
@@ -117,9 +241,9 @@ mod tests {
     fn delays_carry_duration() {
         let mut inj = FaultInjector::new(
             FaultConfig {
-                kick_prob: 0.0,
                 delay_prob: 1.0,
                 delay_ms: 123,
+                ..FaultConfig::none()
             },
             3,
         );
@@ -128,7 +252,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = FaultConfig::flaky();
+        let cfg = FaultConfig::chaos();
         let a: Vec<FaultDecision> = {
             let mut i = FaultInjector::new(cfg, 9);
             (0..100).map(|_| i.decide()).collect()
@@ -141,8 +265,84 @@ mod tests {
     }
 
     #[test]
+    fn legacy_probabilities_draw_identically() {
+        // A {kick, delay}-only config must consume the same RNG draws
+        // as before the chaos fault kinds existed: the stream is the
+        // reproducibility contract.
+        let cfg = FaultConfig::flaky();
+        let mut inj = FaultInjector::new(cfg, 4);
+        let mut rng = Rng::new(4);
+        for _ in 0..1000 {
+            let expect = if rng.chance(cfg.kick_prob) {
+                FaultDecision::Kick
+            } else if rng.chance(cfg.delay_prob) {
+                FaultDecision::Delay(cfg.delay_ms)
+            } else {
+                FaultDecision::None
+            };
+            assert_eq!(inj.decide(), expect);
+        }
+    }
+
+    #[test]
+    fn every_chaos_fault_kind_occurs() {
+        let mut inj = FaultInjector::new(FaultConfig::chaos(), 5);
+        let decisions: Vec<FaultDecision> = (0..100_000).map(|_| inj.decide()).collect();
+        for want in [
+            FaultDecision::Kick,
+            FaultDecision::Stall(2_000),
+            FaultDecision::Truncate,
+            FaultDecision::Corrupt,
+            FaultDecision::Drop,
+            FaultDecision::Duplicate,
+            FaultDecision::Stale,
+            FaultDecision::Delay(100),
+        ] {
+            assert!(
+                decisions.contains(&want),
+                "{want:?} never triggered under chaos()"
+            );
+        }
+    }
+
+    #[test]
+    fn handshake_reset_rate_approximates_config() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                reset_prob: 0.5,
+                ..FaultConfig::none()
+            },
+            6,
+        );
+        let resets = (0..10_000).filter(|_| inj.decide_handshake_reset()).count();
+        assert!((4500..5500).contains(&resets), "resets {resets}");
+    }
+
+    #[test]
+    fn corrupt_index_skips_length_prefix() {
+        let mut inj = FaultInjector::new(FaultConfig::chaos(), 7);
+        for _ in 0..1000 {
+            let i = inj.corrupt_index(20);
+            assert!((4..20).contains(&i));
+        }
+    }
+
+    #[test]
+    fn serde_defaults_accept_legacy_json() {
+        let legacy = r#"{"kick_prob":0.005,"delay_prob":0.05,"delay_ms":250}"#;
+        let cfg: FaultConfig = serde_json::from_str(legacy).unwrap();
+        assert_eq!(cfg, FaultConfig::flaky());
+    }
+
+    #[test]
     fn flaky_is_not_none() {
         assert!(FaultConfig::none().is_none());
         assert!(!FaultConfig::flaky().is_none());
+        assert!(!FaultConfig::chaos().is_none());
+        assert!(!FaultConfig {
+            reset_prob: 0.1,
+            ..FaultConfig::none()
+        }
+        .is_none());
     }
 }

@@ -23,13 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod clock;
-pub mod grid_server;
 pub mod fault;
+pub mod grid_server;
 pub mod rate;
 pub mod server;
 
 pub use clock::SimClock;
 pub use fault::FaultConfig;
-pub use rate::TokenBucket;
 pub use grid_server::GridServer;
+pub use rate::TokenBucket;
 pub use server::{LandServer, ServerConfig};

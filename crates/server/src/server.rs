@@ -7,9 +7,11 @@
 use crate::clock::SimClock;
 use crate::fault::{FaultConfig, FaultDecision, FaultInjector};
 use crate::rate::TokenBucket;
+use bytes::BytesMut;
 use parking_lot::Mutex;
-use sl_proto::message::{MapItem, Message, MAX_MAP_ITEMS, PROTOCOL_VERSION};
+use sl_proto::codec::encode_frame;
 use sl_proto::framed::{FramedError, FramedReader, FramedWriter};
+use sl_proto::message::{MapItem, Message, MAX_MAP_ITEMS, PROTOCOL_VERSION};
 use sl_trace::UserId;
 use sl_world::grid::Grid;
 use sl_world::{Vec2, World};
@@ -86,7 +88,9 @@ pub struct LandServer {
 
 impl std::fmt::Debug for LandServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LandServer").field("addr", &self.addr).finish()
+        f.debug_struct("LandServer")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -122,7 +126,13 @@ impl LandServer {
         config: ServerConfig,
     ) -> std::io::Result<LandServer> {
         let clock = SimClock::new(world.clock(), config.time_scale);
-        Self::bind_backing(addr, Backing::Single(Box::new(Mutex::new(world))), clock, config).await
+        Self::bind_backing(
+            addr,
+            Backing::Single(Box::new(Mutex::new(world))),
+            clock,
+            config,
+        )
+        .await
     }
 
     /// Bind an endpoint fronting one land of a shared grid. All land
@@ -208,9 +218,22 @@ async fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(),
     let mut reader = FramedReader::new(read_half);
     let mut writer = FramedWriter::new(write_half);
 
+    let conn_seed = {
+        let mut c = shared.conn_counter.lock();
+        *c += 1;
+        shared.config.seed ^ (*c).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    };
+    let mut faults = FaultInjector::new(shared.config.faults, conn_seed);
+
     // --- login ---------------------------------------------------------
     let agent = match reader.next().await? {
         Some(Message::LoginRequest { version, .. }) if version == PROTOCOL_VERSION => {
+            if faults.decide_handshake_reset() {
+                // Mid-handshake reset: the login was read, the socket
+                // closes without a reply — the client's connect path,
+                // not its poll path, has to absorb this.
+                return Ok(());
+            }
             let (agent, land_name, size) = shared.with_world(|w| {
                 let spawn = w.land().spawn_point();
                 let id = w.connect_external(spawn);
@@ -253,19 +276,14 @@ async fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(),
     // Register for chat fan-out.
     let (tx, mut rx) = mpsc::unbounded_channel();
     {
-        let spawn = shared.with_world(|w| w.external_position(agent).unwrap_or(Vec2::new(0.0, 0.0)));
-        shared.clients.lock().insert(
-            agent.0,
-            ClientHandle { tx, pos: spawn },
-        );
+        let spawn =
+            shared.with_world(|w| w.external_position(agent).unwrap_or(Vec2::new(0.0, 0.0)));
+        shared
+            .clients
+            .lock()
+            .insert(agent.0, ClientHandle { tx, pos: spawn });
     }
 
-    let conn_seed = {
-        let mut c = shared.conn_counter.lock();
-        *c += 1;
-        shared.config.seed ^ (*c).wrapping_mul(0x9e37_79b9_7f4a_7c15)
-    };
-    let mut faults = FaultInjector::new(shared.config.faults, conn_seed);
     let mut bucket = TokenBucket::new(shared.config.map_rate.0, shared.config.map_rate.1);
 
     let result = connection_loop(
@@ -294,6 +312,8 @@ async fn connection_loop(
     faults: &mut FaultInjector,
     bucket: &mut TokenBucket,
 ) -> Result<(), FramedError> {
+    // Cache of the previous map reply for the `Stale` fault.
+    let mut last_map_reply: Option<Message> = None;
     loop {
         tokio::select! {
             incoming = reader.next() => {
@@ -307,32 +327,65 @@ async fn connection_loop(
                             }).await?;
                             continue;
                         }
-                        match faults.decide() {
+                        let decision = faults.decide();
+                        match decision {
                             FaultDecision::Kick => {
                                 writer.send(&Message::Kick {
                                     reason: "simulated grid instability".into(),
                                 }).await?;
                                 return Ok(());
                             }
-                            FaultDecision::Delay(ms) => {
+                            // A stall and a delay differ only in how the
+                            // client experiences them: a stall is meant to
+                            // outlast the client's read deadline.
+                            FaultDecision::Stall(ms) | FaultDecision::Delay(ms) => {
                                 tokio::time::sleep(std::time::Duration::from_millis(ms)).await;
                             }
-                            FaultDecision::None => {}
+                            FaultDecision::Drop => continue,
+                            _ => {}
                         }
-                        let (time, items) = shared.with_world(|w| {
-                            let snap = w.snapshot();
-                            let items: Vec<MapItem> = snap.entries.iter()
-                                .take(MAX_MAP_ITEMS)
-                                .map(|o| MapItem {
-                                    agent: o.user.0,
-                                    x: o.pos.x as f32,
-                                    y: o.pos.y as f32,
-                                    z: o.pos.z as f32,
-                                })
-                                .collect();
-                            (snap.t, items)
-                        });
-                        writer.send(&Message::MapReply { time, items }).await?;
+                        let reply = match (decision, &last_map_reply) {
+                            (FaultDecision::Stale, Some(prev)) => prev.clone(),
+                            _ => {
+                                let (time, items) = shared.with_world(|w| {
+                                    let snap = w.snapshot();
+                                    let items: Vec<MapItem> = snap.entries.iter()
+                                        .take(MAX_MAP_ITEMS)
+                                        .map(|o| MapItem {
+                                            agent: o.user.0,
+                                            x: o.pos.x as f32,
+                                            y: o.pos.y as f32,
+                                            z: o.pos.z as f32,
+                                        })
+                                        .collect();
+                                    (snap.t, items)
+                                });
+                                let fresh = Message::MapReply { time, items };
+                                last_map_reply = Some(fresh.clone());
+                                fresh
+                            }
+                        };
+                        match decision {
+                            FaultDecision::Truncate => {
+                                let mut bytes = BytesMut::new();
+                                encode_frame(&reply, &mut bytes);
+                                let cut = (bytes.len() / 2).max(1);
+                                writer.send_bytes(&bytes[..cut]).await?;
+                                return Ok(());
+                            }
+                            FaultDecision::Corrupt => {
+                                let mut bytes = BytesMut::new();
+                                encode_frame(&reply, &mut bytes);
+                                let i = faults.corrupt_index(bytes.len());
+                                bytes[i] ^= 0xFF;
+                                writer.send_bytes(&bytes).await?;
+                            }
+                            FaultDecision::Duplicate => {
+                                writer.send(&reply).await?;
+                                writer.send(&reply).await?;
+                            }
+                            _ => writer.send(&reply).await?,
+                        }
                     }
                     Message::AgentUpdate { x, y } => {
                         let pos = Vec2::new(x as f64, y as f64);
@@ -516,13 +569,21 @@ mod tests {
         let (mut r2, mut w2, _a2) = login(server.addr()).await;
         let (mut r3, mut w3, _a3) = login(server.addr()).await;
         // Position: 1 and 2 adjacent, 3 far away.
-        w1.send(&Message::AgentUpdate { x: 50.0, y: 50.0 }).await.unwrap();
-        w2.send(&Message::AgentUpdate { x: 55.0, y: 50.0 }).await.unwrap();
-        w3.send(&Message::AgentUpdate { x: 200.0, y: 200.0 }).await.unwrap();
-        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
-        w1.send(&Message::ChatFromViewer { text: "hi all".into() })
+        w1.send(&Message::AgentUpdate { x: 50.0, y: 50.0 })
             .await
             .unwrap();
+        w2.send(&Message::AgentUpdate { x: 55.0, y: 50.0 })
+            .await
+            .unwrap();
+        w3.send(&Message::AgentUpdate { x: 200.0, y: 200.0 })
+            .await
+            .unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        w1.send(&Message::ChatFromViewer {
+            text: "hi all".into(),
+        })
+        .await
+        .unwrap();
         // Client 2 hears it.
         match tokio::time::timeout(std::time::Duration::from_secs(2), r2.next())
             .await
@@ -559,8 +620,7 @@ mod tests {
             ServerConfig {
                 faults: FaultConfig {
                     kick_prob: 1.0,
-                    delay_prob: 0.0,
-                    delay_ms: 0,
+                    ..FaultConfig::none()
                 },
                 ..Default::default()
             },
@@ -574,6 +634,132 @@ mod tests {
             other => panic!("expected Kick, got {other:?}"),
         }
         // Connection then closes.
+        assert!(reader.next().await.unwrap().is_none());
+    }
+
+    async fn fault_server(faults: FaultConfig) -> LandServer {
+        LandServer::bind(
+            "127.0.0.1:0",
+            test_world(),
+            ServerConfig {
+                faults,
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap()
+    }
+
+    #[tokio::test]
+    async fn truncate_fault_is_mid_frame_eof_at_client() {
+        let server = fault_server(FaultConfig {
+            truncate_prob: 1.0,
+            ..FaultConfig::none()
+        })
+        .await;
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        writer.send(&Message::MapRequest).await.unwrap();
+        match reader.next().await {
+            Err(FramedError::UnexpectedEof) => {}
+            other => panic!("expected UnexpectedEof, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn corrupt_fault_is_checksum_mismatch_at_client() {
+        let server = fault_server(FaultConfig {
+            corrupt_prob: 1.0,
+            ..FaultConfig::none()
+        })
+        .await;
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        writer.send(&Message::MapRequest).await.unwrap();
+        match reader.next().await {
+            Err(FramedError::Codec(_)) => {}
+            other => panic!("expected a codec error, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn drop_fault_sends_nothing_but_keeps_session() {
+        let server = fault_server(FaultConfig {
+            drop_prob: 1.0,
+            ..FaultConfig::none()
+        })
+        .await;
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        writer.send(&Message::MapRequest).await.unwrap();
+        // No reply comes; the connection is still alive and answers pings.
+        writer.send(&Message::Ping { nonce: 1 }).await.unwrap();
+        assert_eq!(
+            reader.next().await.unwrap().unwrap(),
+            Message::Pong { nonce: 1 }
+        );
+    }
+
+    #[tokio::test]
+    async fn duplicate_fault_sends_reply_twice() {
+        let server = fault_server(FaultConfig {
+            duplicate_prob: 1.0,
+            ..FaultConfig::none()
+        })
+        .await;
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        writer.send(&Message::MapRequest).await.unwrap();
+        let first = reader.next().await.unwrap().unwrap();
+        let second = reader.next().await.unwrap().unwrap();
+        assert!(matches!(first, Message::MapReply { .. }));
+        assert_eq!(first, second);
+    }
+
+    #[tokio::test]
+    async fn stale_fault_resends_previous_reply() {
+        let server = LandServer::bind(
+            "127.0.0.1:0",
+            test_world(),
+            ServerConfig {
+                time_scale: 600.0,
+                faults: FaultConfig {
+                    stale_prob: 1.0,
+                    ..FaultConfig::none()
+                },
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        // First request has no cached reply: served fresh, then cached.
+        writer.send(&Message::MapRequest).await.unwrap();
+        let first = reader.next().await.unwrap().unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(200)).await;
+        writer.send(&Message::MapRequest).await.unwrap();
+        let second = reader.next().await.unwrap().unwrap();
+        // Despite ~120 virtual seconds passing, the stale reply repeats
+        // the first timestamp verbatim.
+        assert_eq!(first, second);
+    }
+
+    #[tokio::test]
+    async fn handshake_reset_closes_without_reply() {
+        let server = fault_server(FaultConfig {
+            reset_prob: 1.0,
+            ..FaultConfig::none()
+        })
+        .await;
+        let stream = TcpStream::connect(server.addr()).await.unwrap();
+        let (r, w) = stream.into_split();
+        let mut reader = FramedReader::new(r);
+        let mut writer = FramedWriter::new(w);
+        writer
+            .send(&Message::LoginRequest {
+                version: PROTOCOL_VERSION,
+                username: "x".into(),
+                password: "y".into(),
+            })
+            .await
+            .unwrap();
+        // Clean close, no LoginReply.
         assert!(reader.next().await.unwrap().is_none());
     }
 

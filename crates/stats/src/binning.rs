@@ -108,13 +108,11 @@ impl Histogram {
 /// area. Returns a row-major grid of counts; positions outside the area
 /// are clamped to the border cell (the land boundary snap the SL map
 /// performs). This feeds the zone-occupation CDF (paper Fig. 3, L = 20 m).
-pub fn cell_counts(
-    positions: &[(f64, f64)],
-    width: f64,
-    height: f64,
-    cell: f64,
-) -> CellGrid {
-    assert!(cell > 0.0 && width > 0.0 && height > 0.0, "invalid geometry");
+pub fn cell_counts(positions: &[(f64, f64)], width: f64, height: f64, cell: f64) -> CellGrid {
+    assert!(
+        cell > 0.0 && width > 0.0 && height > 0.0,
+        "invalid geometry"
+    );
     let nx = (width / cell).ceil() as usize;
     let ny = (height / cell).ceil() as usize;
     let mut counts = vec![0u32; nx * ny];

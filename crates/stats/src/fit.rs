@@ -57,7 +57,11 @@ pub fn fit_power_law_at(samples_sorted: &[f64], xmin: f64, min_tail: usize) -> O
 /// minimal KS distance.
 ///
 /// Returns `None` for samples too small to fit (`< 2 * min_tail`).
-pub fn fit_power_law(samples: &[f64], min_tail: usize, max_candidates: usize) -> Option<PowerLawFit> {
+pub fn fit_power_law(
+    samples: &[f64],
+    min_tail: usize,
+    max_candidates: usize,
+) -> Option<PowerLawFit> {
     if samples.len() < min_tail * 2 {
         return None;
     }
@@ -85,14 +89,17 @@ pub fn fit_power_law(samples: &[f64], min_tail: usize, max_candidates: usize) ->
 
 /// Exponential tail fit above a threshold: rate by MLE on excesses.
 /// Returns `(lambda, ks, n_tail)` or `None` when the tail is too small.
-pub fn fit_exponential_tail(samples_sorted: &[f64], threshold: f64, min_tail: usize) -> Option<(f64, f64, usize)> {
+pub fn fit_exponential_tail(
+    samples_sorted: &[f64],
+    threshold: f64,
+    min_tail: usize,
+) -> Option<(f64, f64, usize)> {
     let start = samples_sorted.partition_point(|&x| x < threshold);
     let tail = &samples_sorted[start..];
     if tail.len() < min_tail {
         return None;
     }
-    let mean_excess: f64 =
-        tail.iter().map(|&x| x - threshold).sum::<f64>() / tail.len() as f64;
+    let mean_excess: f64 = tail.iter().map(|&x| x - threshold).sum::<f64>() / tail.len() as f64;
     if mean_excess <= 0.0 {
         return None;
     }
@@ -209,7 +216,11 @@ mod tests {
         // CCDF exponent 1.3 -> density exponent ~2.3 (truncation biases
         // the head fit upward a little).
         let fit = fit_two_phase(&xs, 0.9, 0.2).expect("two-phase fit");
-        assert!(fit.head_alpha > 1.5 && fit.head_alpha < 3.5, "alpha {}", fit.head_alpha);
+        assert!(
+            fit.head_alpha > 1.5 && fit.head_alpha < 3.5,
+            "alpha {}",
+            fit.head_alpha
+        );
         assert!(fit.crossover > 5.0);
     }
 

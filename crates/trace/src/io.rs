@@ -9,8 +9,9 @@
 //!   observation) for the 24 h × 3-land experiment corpus, built on
 //!   `bytes`.
 
-use crate::types::{LandMeta, Observation, Position, Snapshot, Trace, UserId};
+use crate::types::{GapCause, GapRecord, LandMeta, Observation, Position, Snapshot, Trace, UserId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 
 /// Errors from trace IO.
@@ -58,12 +59,24 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Write a trace as JSONL: header line, then one line per snapshot.
+/// Wrapper distinguishing a gap line from a snapshot line in JSONL
+/// (snapshots have `t`/`entries`, gap lines a single `gap` key).
+#[derive(Serialize, Deserialize)]
+struct GapLine {
+    gap: GapRecord,
+}
+
+/// Write a trace as JSONL: header line, one line per snapshot, then one
+/// `{"gap": …}` line per recorded measurement outage.
 pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> Result<(), IoError> {
     let header = serde_json::to_string(&trace.meta).expect("meta serializes");
     writeln!(w, "{header}")?;
     for snap in &trace.snapshots {
         let line = serde_json::to_string(snap).expect("snapshot serializes");
+        writeln!(w, "{line}")?;
+    }
+    for gap in &trace.gaps {
+        let line = serde_json::to_string(&GapLine { gap: *gap }).expect("gap serializes");
         writeln!(w, "{line}")?;
     }
     Ok(())
@@ -75,16 +88,27 @@ pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, IoError> {
     let header = lines
         .next()
         .ok_or_else(|| IoError::Header("empty input".into()))??;
-    let meta: LandMeta = serde_json::from_str(&header)
-        .map_err(|source| IoError::Json { line: 1, source })?;
+    let meta: LandMeta =
+        serde_json::from_str(&header).map_err(|source| IoError::Json { line: 1, source })?;
     let mut trace = Trace::new(meta);
     for (i, line) in lines.enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let snap: Snapshot = serde_json::from_str(&line)
-            .map_err(|source| IoError::Json { line: i + 2, source })?;
+        // A line is either a gap record or a snapshot; the two schemas
+        // are disjoint (`gap` vs `t`/`entries`), so try the gap shape
+        // first and fall back to the snapshot parser for its error.
+        if let Ok(GapLine { gap }) = serde_json::from_str::<GapLine>(&line) {
+            check_gap(&trace, &gap)
+                .map_err(|msg| IoError::Header(format!("line {}: {msg}", i + 2)))?;
+            trace.gaps.push(gap);
+            continue;
+        }
+        let snap: Snapshot = serde_json::from_str(&line).map_err(|source| IoError::Json {
+            line: i + 2,
+            source,
+        })?;
         // Malformed files must error rather than trip the ordering
         // assertion in `Trace::push`.
         if let Some(last) = trace.snapshots.last() {
@@ -102,15 +126,62 @@ pub fn read_jsonl<R: BufRead>(r: R) -> Result<Trace, IoError> {
     Ok(trace)
 }
 
+/// Structural checks on a deserialized gap record: deserialization
+/// bypasses [`GapRecord::new`], so hostile input must be re-validated
+/// before it can trip assertions (or poison coverage arithmetic)
+/// downstream.
+fn check_gap(trace: &Trace, gap: &GapRecord) -> Result<(), String> {
+    if !(gap.start.is_finite() && gap.end.is_finite()) {
+        return Err(format!("non-finite gap span [{}, {}]", gap.start, gap.end));
+    }
+    if gap.end < gap.start {
+        return Err(format!("inverted gap span [{}, {}]", gap.start, gap.end));
+    }
+    if let Some(last) = trace.gaps.last() {
+        if gap.start < last.start {
+            return Err(format!(
+                "non-monotonic gap start {} after {}",
+                gap.start, last.start
+            ));
+        }
+    }
+    Ok(())
+}
+
 const BINARY_MAGIC: u32 = 0x534c_5452; // "SLTR"
-const BINARY_VERSION: u16 = 1;
+const BINARY_VERSION: u16 = 2;
+/// Last version without the gap section; still decodable.
+const BINARY_VERSION_V1: u16 = 1;
+
+fn gap_cause_to_u8(cause: GapCause) -> u8 {
+    match cause {
+        GapCause::Kick => 0,
+        GapCause::Stall => 1,
+        GapCause::Throttle => 2,
+        GapCause::Corrupt => 3,
+        GapCause::Disconnect => 4,
+    }
+}
+
+fn gap_cause_from_u8(raw: u8) -> Option<GapCause> {
+    Some(match raw {
+        0 => GapCause::Kick,
+        1 => GapCause::Stall,
+        2 => GapCause::Throttle,
+        3 => GapCause::Corrupt,
+        4 => GapCause::Disconnect,
+        _ => return None,
+    })
+}
 
 /// Encode a trace into the compact binary format.
 ///
-/// Layout: magic, version, land name (u16 len + UTF-8), width/height/tau
-/// as f64, snapshot count u32; each snapshot: t f64, entry count u32,
-/// then per entry user u32 and x/y/z as f32 (centimeter precision is far
-/// beyond the crawler's fidelity).
+/// Layout (version 2): magic, version, land name (u16 len + UTF-8),
+/// width/height/tau as f64, snapshot count u32; each snapshot: t f64,
+/// entry count u32, then per entry user u32 and x/y/z as f32
+/// (centimeter precision is far beyond the crawler's fidelity).
+/// After the snapshots: gap count u32, then per gap cause u8 and
+/// start/end as f64. Version-1 inputs (no gap section) still decode.
 pub fn encode_binary(trace: &Trace) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + trace.snapshots.len() * 16);
     buf.put_u32(BINARY_MAGIC);
@@ -132,6 +203,12 @@ pub fn encode_binary(trace: &Trace) -> Bytes {
             buf.put_f32(obs.pos.z as f32);
         }
     }
+    buf.put_u32(trace.gaps.len() as u32);
+    for gap in &trace.gaps {
+        buf.put_u8(gap_cause_to_u8(gap.cause));
+        buf.put_f64(gap.start);
+        buf.put_f64(gap.end);
+    }
     buf.freeze()
 }
 
@@ -149,7 +226,7 @@ pub fn decode_binary(mut data: Bytes) -> Result<Trace, IoError> {
         return Err(IoError::Binary(format!("bad magic {magic:#x}")));
     }
     let version = data.get_u16();
-    if version != BINARY_VERSION {
+    if version != BINARY_VERSION && version != BINARY_VERSION_V1 {
         return Err(IoError::Binary(format!("unsupported version {version}")));
     }
     need(&data, 2, "name length")?;
@@ -215,6 +292,38 @@ pub fn decode_binary(mut data: Bytes) -> Result<Trace, IoError> {
             });
         }
         trace.push(snap);
+    }
+    if version >= BINARY_VERSION {
+        need(&data, 4, "gap count")?;
+        let n_gaps = data.get_u32() as usize;
+        if n_gaps > data.remaining() / 17 {
+            return Err(IoError::Binary(format!(
+                "gap count {n_gaps} exceeds what {} bytes can hold",
+                data.remaining()
+            )));
+        }
+        for _ in 0..n_gaps {
+            need(&data, 17, "gap record")?;
+            let raw_cause = data.get_u8();
+            let cause = gap_cause_from_u8(raw_cause)
+                .ok_or_else(|| IoError::Binary(format!("unknown gap cause {raw_cause}")))?;
+            let start = data.get_f64();
+            let end = data.get_f64();
+            if !(start.is_finite() && end.is_finite()) || end < start {
+                return Err(IoError::Binary(format!(
+                    "invalid gap span [{start}, {end}]"
+                )));
+            }
+            if let Some(last) = trace.gaps.last() {
+                if start < last.start {
+                    return Err(IoError::Binary(format!(
+                        "non-monotonic gap start {start} after {}",
+                        last.start
+                    )));
+                }
+            }
+            trace.gaps.push(GapRecord { cause, start, end });
+        }
     }
     if data.has_remaining() {
         return Err(IoError::Binary(format!(
@@ -323,10 +432,10 @@ mod tests {
         t.push(Snapshot::new(10.0));
         t.push(Snapshot::new(20.0));
         let mut raw = encode_binary(&t).to_vec();
-        // The second snapshot's f64 time is the last 12 bytes: t(8) +
-        // count(4). Overwrite it with 5.0 < 10.0.
+        // The tail is: t2(8) + entry count(4) + gap count(4). Overwrite
+        // the second snapshot's time with 5.0 < 10.0.
         let len = raw.len();
-        raw[len - 12..len - 4].copy_from_slice(&5.0f64.to_be_bytes());
+        raw[len - 16..len - 8].copy_from_slice(&5.0f64.to_be_bytes());
         let err = decode_binary(Bytes::from(raw)).unwrap_err();
         assert!(matches!(err, IoError::Binary(_)), "got {err}");
     }
@@ -349,6 +458,92 @@ mod tests {
         raw.put_u8(0);
         let err = decode_binary(raw.freeze()).unwrap_err();
         assert!(matches!(err, IoError::Binary(_)));
+    }
+
+    fn gappy_trace() -> Trace {
+        let mut t = sample_trace();
+        t.record_gap(GapRecord::new(GapCause::Kick, 10.0, 30.0));
+        t.record_gap(GapRecord::new(GapCause::Stall, 30.0, 40.0));
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trips_gaps() {
+        let t = gappy_trace();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let back = read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.gaps.len(), 2);
+        assert_eq!(back.gaps[0].cause, GapCause::Kick);
+    }
+
+    #[test]
+    fn binary_round_trips_gaps() {
+        let t = gappy_trace();
+        let back = decode_binary(encode_binary(&t)).unwrap();
+        assert_eq!(back.gaps, t.gaps);
+    }
+
+    #[test]
+    fn binary_v1_without_gap_section_still_decodes() {
+        // Hand-downgrade: flip the version field to 1 and drop the gap
+        // section (sample_trace has no gaps, so it is exactly the old
+        // byte layout plus a trailing zero gap count).
+        let t = sample_trace();
+        let mut raw = encode_binary(&t).to_vec();
+        raw[4..6].copy_from_slice(&1u16.to_be_bytes());
+        raw.truncate(raw.len() - 4);
+        let back = decode_binary(Bytes::from(raw)).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert!(back.gaps.is_empty());
+    }
+
+    #[test]
+    fn jsonl_rejects_invalid_gap_spans() {
+        let texts = [
+            // Inverted span.
+            "{\"gap\":{\"cause\":\"kick\",\"start\":50.0,\"end\":10.0}}",
+            // Non-finite start.
+            "{\"gap\":{\"cause\":\"stall\",\"start\":null,\"end\":10.0}}",
+        ];
+        for gap_line in texts {
+            let text = format!(
+                "{}\n{}\n",
+                "{\"name\":\"T\",\"width\":256.0,\"height\":256.0,\"tau\":10.0}", gap_line
+            );
+            let err = read_jsonl(std::io::Cursor::new(text.into_bytes())).unwrap_err();
+            assert!(
+                matches!(err, IoError::Header(_) | IoError::Json { .. }),
+                "got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_unknown_gap_cause() {
+        let t = gappy_trace();
+        let mut raw = encode_binary(&t).to_vec();
+        // First gap's cause byte sits right after the u32 gap count,
+        // which follows the snapshot section: find it from the tail
+        // (2 gaps × 17 bytes + 4-byte count).
+        let pos = raw.len() - (2 * 17);
+        raw[pos] = 99;
+        let err = decode_binary(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, IoError::Binary(_)), "got {err}");
+    }
+
+    #[test]
+    fn binary_rejects_inverted_gap_span() {
+        let t = gappy_trace();
+        let mut raw = encode_binary(&t).to_vec();
+        // Second gap's start f64 (cause byte + 0 offset): tail layout is
+        // [cause,start,end] × 2; corrupt the second gap's end to precede
+        // its start.
+        let len = raw.len();
+        raw[len - 8..].copy_from_slice(&1.0f64.to_be_bytes());
+        let err = decode_binary(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, IoError::Binary(_)), "got {err}");
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod validate;
 pub use merge::{merge, MergeError};
 pub use sessions::{extract_sessions, Session};
 pub use summary::TraceSummary;
-pub use types::{LandMeta, Position, Snapshot, Trace, UserId};
+pub use types::{GapCause, GapRecord, LandMeta, Position, Snapshot, Trace, UserId};
 pub use validate::{validate, ValidationError};

@@ -25,7 +25,10 @@ impl std::fmt::Display for MergeError {
         match self {
             MergeError::Empty => write!(f, "nothing to merge"),
             MergeError::MetaMismatch { first, other } => {
-                write!(f, "cannot merge traces of different lands ({first} vs {other})")
+                write!(
+                    f,
+                    "cannot merge traces of different lands ({first} vs {other})"
+                )
             }
         }
     }
@@ -74,6 +77,34 @@ pub fn merge(traces: &[Trace]) -> Result<Trace, MergeError> {
         snap.entries.sort_by_key(|o| o.user);
         out.push(snap);
     }
+
+    // Gap records survive the merge only where no other monitor was
+    // looking: an outage of one crawler that another crawler covered is
+    // not blindness of the *merged* trace. Snapshot instants observed
+    // inside a gap split it into sub-gaps (each still ending at a good
+    // snapshot, preserving the span-minus-τ deficit convention).
+    let times: Vec<f64> = out.snapshots.iter().map(|s| s.t).collect();
+    let mut merged_gaps: Vec<crate::types::GapRecord> = Vec::new();
+    for trace in traces {
+        for gap in &trace.gaps {
+            let mut lo = gap.start;
+            for &t in times
+                .iter()
+                .skip_while(|&&t| t <= gap.start)
+                .take_while(|&&t| t < gap.end)
+            {
+                if t > lo {
+                    merged_gaps.push(crate::types::GapRecord::new(gap.cause, lo, t));
+                }
+                lo = t;
+            }
+            if gap.end > lo {
+                merged_gaps.push(crate::types::GapRecord::new(gap.cause, lo, gap.end));
+            }
+        }
+    }
+    merged_gaps.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    out.gaps = merged_gaps;
     Ok(out)
 }
 
@@ -151,6 +182,35 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert_eq!(merge(&[]).unwrap_err(), MergeError::Empty);
+    }
+
+    #[test]
+    fn gap_covered_by_other_monitor_is_split() {
+        use crate::types::{GapCause, GapRecord};
+        // Trace a was blind over [10, 40]; trace b observed at t=20 and
+        // t=30 inside that window. The merged blindness is only the
+        // three sub-intervals between covered instants.
+        let mut a = trace_with(&[(10.0, &[1]), (40.0, &[1])]);
+        a.record_gap(GapRecord::new(GapCause::Stall, 10.0, 40.0));
+        let b = trace_with(&[(20.0, &[2]), (30.0, &[2])]);
+        let m = merge(&[a, b]).unwrap();
+        assert_eq!(m.gaps.len(), 3);
+        let spans: Vec<(f64, f64)> = m.gaps.iter().map(|g| (g.start, g.end)).collect();
+        assert_eq!(spans, vec![(10.0, 20.0), (20.0, 30.0), (30.0, 40.0)]);
+        assert!(m.gaps.iter().all(|g| g.cause == GapCause::Stall));
+    }
+
+    #[test]
+    fn uncovered_gap_survives_merge_verbatim() {
+        use crate::types::{GapCause, GapRecord};
+        let mut a = trace_with(&[(10.0, &[1]), (60.0, &[1])]);
+        a.record_gap(GapRecord::new(GapCause::Kick, 10.0, 60.0));
+        let b = trace_with(&[(5.0, &[2])]);
+        let m = merge(&[a, b]).unwrap();
+        assert_eq!(m.gaps.len(), 1);
+        assert_eq!((m.gaps[0].start, m.gaps[0].end), (10.0, 60.0));
+        assert_eq!(m.gaps[0].cause, GapCause::Kick);
+        crate::validate(&m).unwrap();
     }
 
     #[test]

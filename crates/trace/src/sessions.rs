@@ -58,10 +58,22 @@ impl Session {
 /// `gap_tolerance` is in *snapshot intervals* (τ): a user absent for at
 /// most that many consecutive snapshots is considered continuously
 /// present (positions during the gap are simply missing from `path`).
+///
+/// Absence during a *recorded measurement gap* does not count against
+/// the tolerance: if the crawler was blind for five minutes (kick,
+/// stall, throttle — see [`crate::types::GapRecord`]), a user present
+/// on both sides of the outage keeps one session rather than being
+/// split into two, exactly as the paper's methodology demands —
+/// instrument downtime must not masquerade as user churn.
 pub fn extract_sessions(trace: &Trace, gap_tolerance: usize) -> Vec<Session> {
     use std::collections::HashMap;
     let tau = trace.meta.tau;
     let max_gap = tau * (gap_tolerance as f64 + 1.0) + tau * 0.5;
+
+    // Virtual time inside recorded instrument outages between two
+    // instants; absence explained by a gap record is not user absence.
+    let blind_time =
+        |lo: f64, hi: f64| -> f64 { trace.gaps.iter().map(|g| g.overlap(lo, hi)).sum::<f64>() };
 
     // Open sessions per user.
     let mut open: HashMap<UserId, Session> = HashMap::new();
@@ -70,7 +82,7 @@ pub fn extract_sessions(trace: &Trace, gap_tolerance: usize) -> Vec<Session> {
     for snap in &trace.snapshots {
         for obs in &snap.entries {
             match open.get_mut(&obs.user) {
-                Some(s) if snap.t - s.end <= max_gap => {
+                Some(s) if snap.t - s.end - blind_time(s.end, snap.t) <= max_gap => {
                     s.end = snap.t;
                     s.path.push((snap.t, obs.pos));
                 }
@@ -203,6 +215,46 @@ mod tests {
         let ss = extract_sessions(&t, 0);
         let users: Vec<u32> = ss.iter().map(|s| s.user.0).collect();
         assert_eq!(users, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recorded_gap_bridges_absence() {
+        use crate::types::{GapCause, GapRecord};
+        // User present at steps 0,1 and 6,7; absent during a recorded
+        // crawler outage spanning [10, 60]. Without the gap record the
+        // zero-tolerance extraction splits the visit; with it, the
+        // absence is instrument blindness and the session holds.
+        let mut t = make_trace(&[(0, &[1]), (1, &[1]), (6, &[1]), (7, &[1])]);
+        let split = extract_sessions(&t, 0);
+        assert_eq!(split.len(), 2, "sanity: gapless trace splits");
+        t.record_gap(GapRecord::new(GapCause::Kick, 10.0, 60.0));
+        let ss = extract_sessions(&t, 0);
+        assert_eq!(ss.len(), 1, "recorded outage must bridge the absence");
+        assert_eq!((ss[0].start, ss[0].end), (0.0, 70.0));
+        assert_eq!(ss[0].path.len(), 4);
+    }
+
+    #[test]
+    fn gap_elsewhere_does_not_bridge() {
+        use crate::types::{GapCause, GapRecord};
+        // The outage covers a different part of the timeline than the
+        // user's absence — the split must still happen.
+        let mut t = make_trace(&[(0, &[1]), (1, &[1]), (6, &[1]), (7, &[1])]);
+        t.record_gap(GapRecord::new(GapCause::Stall, 100.0, 200.0));
+        let ss = extract_sessions(&t, 0);
+        assert_eq!(ss.len(), 2);
+    }
+
+    #[test]
+    fn partial_gap_coverage_counts_remaining_absence() {
+        use crate::types::{GapCause, GapRecord};
+        // Absence [10, 60] (50 s), gap covers [10, 30] (20 s): 30 s of
+        // unexplained absence remain — more than tolerance 0 (15 s) but
+        // within tolerance 2 (35 s).
+        let mut t = make_trace(&[(0, &[1]), (1, &[1]), (6, &[1])]);
+        t.record_gap(GapRecord::new(GapCause::Throttle, 10.0, 30.0));
+        assert_eq!(extract_sessions(&t, 0).len(), 2);
+        assert_eq!(extract_sessions(&t, 2).len(), 1);
     }
 
     #[test]

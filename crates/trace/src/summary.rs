@@ -25,6 +25,20 @@ pub struct TraceSummary {
     pub avg_concurrent: f64,
     /// Peak concurrent users.
     pub max_concurrent: usize,
+    /// Recorded measurement outages (0 for a clean trace).
+    #[serde(default)]
+    pub gap_count: usize,
+    /// Total virtual time inside recorded gaps, seconds.
+    #[serde(default)]
+    pub gap_time: f64,
+    /// Fraction of the observation span actually covered (1.0 = no
+    /// deficit; see [`Trace::coverage`]).
+    #[serde(default = "default_coverage")]
+    pub coverage: f64,
+}
+
+fn default_coverage() -> f64 {
+    1.0
 }
 
 impl TraceSummary {
@@ -44,6 +58,9 @@ impl TraceSummary {
                 total_present as f64 / n as f64
             },
             max_concurrent: trace.snapshots.iter().map(|s| s.len()).max().unwrap_or(0),
+            gap_count: trace.gaps.len(),
+            gap_time: trace.gap_time(),
+            coverage: trace.coverage(),
         }
     }
 }
@@ -60,7 +77,17 @@ impl std::fmt::Display for TraceSummary {
             self.snapshots,
             self.duration,
             self.tau
-        )
+        )?;
+        if self.gap_count > 0 {
+            write!(
+                f,
+                ", {} gaps losing {:.0} s ({:.1}% coverage)",
+                self.gap_count,
+                self.gap_time,
+                self.coverage * 100.0
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -118,10 +118,86 @@ impl Snapshot {
 
     /// Find one user's position.
     pub fn get(&self, user: UserId) -> Option<Position> {
-        self.entries
-            .iter()
-            .find(|o| o.user == user)
-            .map(|o| o.pos)
+        self.entries.iter().find(|o| o.user == user).map(|o| o.pos)
+    }
+}
+
+/// Why the measurement instrument lost data during a virtual-time span.
+///
+/// The paper's crawler ran against "instabilities of libsecondlife";
+/// its sensor architecture additionally lost detections to throttled
+/// HTTP flushes and object expiry. A trace that does not say *when and
+/// why* it was blind cannot distinguish "nobody was there" from "we
+/// were not looking" — gap records make the difference first-class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum GapCause {
+    /// The grid terminated the session (simulated libsecondlife kick).
+    Kick,
+    /// The connection stalled: a reply never arrived within the read
+    /// deadline and the watchdog declared the session dead.
+    Stall,
+    /// The server's rate limiter denied polls, so expected snapshots
+    /// were never taken.
+    Throttle,
+    /// Bytes on the wire failed checksum or framing validation; the
+    /// connection was torn down rather than trusted.
+    Corrupt,
+    /// The connection dropped for any other reason (reset, EOF, IO
+    /// error).
+    Disconnect,
+}
+
+impl std::fmt::Display for GapCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GapCause::Kick => "kick",
+            GapCause::Stall => "stall",
+            GapCause::Throttle => "throttle",
+            GapCause::Corrupt => "corrupt",
+            GapCause::Disconnect => "disconnect",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One measurement outage: the instrument was blind from `start` to
+/// `end` (virtual seconds, same clock as snapshot times).
+///
+/// By convention `start` is the time of the last good snapshot before
+/// the outage and `end` the first good snapshot after it, so the
+/// *coverage deficit* of a gap is `span() - tau` (one inter-snapshot
+/// interval was expected anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GapRecord {
+    /// What caused the outage.
+    pub cause: GapCause,
+    /// Virtual time of the last snapshot before the outage.
+    pub start: f64,
+    /// Virtual time of the first snapshot after the outage.
+    pub end: f64,
+}
+
+impl GapRecord {
+    /// Construct a gap record. Panics on non-finite or inverted spans —
+    /// gaps are produced by instruments, not parsed from hostile input
+    /// (IO layers validate before constructing).
+    pub fn new(cause: GapCause, start: f64, end: f64) -> Self {
+        assert!(
+            start.is_finite() && end.is_finite() && end >= start,
+            "invalid gap span [{start}, {end}]"
+        );
+        GapRecord { cause, start, end }
+    }
+
+    /// Virtual-time span of the outage.
+    pub fn span(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// How much of `[lo, hi]` this gap covers, in seconds.
+    pub fn overlap(&self, lo: f64, hi: f64) -> f64 {
+        (self.end.min(hi) - self.start.max(lo)).max(0.0)
     }
 }
 
@@ -157,6 +233,10 @@ pub struct Trace {
     pub meta: LandMeta,
     /// Snapshots in strictly increasing time order.
     pub snapshots: Vec<Snapshot>,
+    /// Known measurement outages, in increasing start order. Absent in
+    /// pre-gap-accounting traces (deserializes to empty).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub gaps: Vec<GapRecord>,
 }
 
 impl Trace {
@@ -165,6 +245,7 @@ impl Trace {
         Trace {
             meta,
             snapshots: Vec::new(),
+            gaps: Vec::new(),
         }
     }
 
@@ -198,6 +279,52 @@ impl Trace {
             (Some(a), Some(b)) => b.t - a.t,
             _ => 0.0,
         }
+    }
+
+    /// Record a measurement outage. Panics if `start > end` or the gap
+    /// starts before the previous recorded gap (instruments emit gaps
+    /// in time order, like snapshots).
+    pub fn record_gap(&mut self, gap: GapRecord) {
+        assert!(
+            gap.start.is_finite() && gap.end.is_finite() && gap.end >= gap.start,
+            "invalid gap span [{}, {}]",
+            gap.start,
+            gap.end
+        );
+        if let Some(last) = self.gaps.last() {
+            assert!(
+                gap.start >= last.start,
+                "gaps must be recorded in start order ({} after {})",
+                gap.start,
+                last.start
+            );
+        }
+        self.gaps.push(gap);
+    }
+
+    /// Total virtual time inside recorded gaps (sum of spans).
+    pub fn gap_time(&self) -> f64 {
+        self.gaps.iter().map(|g| g.span()).sum()
+    }
+
+    /// Coverage deficit: virtual time during which snapshots were
+    /// *expected* but lost to outages — each gap's span minus the one
+    /// inter-snapshot interval (τ) that would have elapsed anyway,
+    /// clamped at zero.
+    pub fn gap_deficit(&self) -> f64 {
+        let tau = self.meta.tau;
+        self.gaps.iter().map(|g| (g.span() - tau).max(0.0)).sum()
+    }
+
+    /// Fraction of the observation span actually covered: 1 minus the
+    /// gap deficit over the trace duration. 1.0 for gapless or
+    /// degenerate (sub-two-snapshot) traces.
+    pub fn coverage(&self) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - self.gap_deficit() / d).clamp(0.0, 1.0)
     }
 
     /// All distinct users ever observed, sorted.
@@ -283,5 +410,69 @@ mod tests {
     #[test]
     fn user_id_display() {
         assert_eq!(UserId(17).to_string(), "u17");
+    }
+
+    #[test]
+    fn gap_record_span_and_overlap() {
+        let g = GapRecord::new(GapCause::Stall, 100.0, 160.0);
+        assert_eq!(g.span(), 60.0);
+        assert_eq!(g.overlap(0.0, 1000.0), 60.0);
+        assert_eq!(g.overlap(130.0, 1000.0), 30.0);
+        assert_eq!(g.overlap(0.0, 130.0), 30.0);
+        assert_eq!(g.overlap(200.0, 300.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gap_record_rejects_inverted_span() {
+        GapRecord::new(GapCause::Kick, 10.0, 5.0);
+    }
+
+    #[test]
+    fn trace_gap_accounting() {
+        let mut t = Trace::new(LandMeta::standard("Test", 10.0));
+        t.push(Snapshot::new(0.0));
+        t.push(Snapshot::new(10.0));
+        t.push(Snapshot::new(100.0));
+        t.record_gap(GapRecord::new(GapCause::Kick, 10.0, 100.0));
+        assert_eq!(t.gap_time(), 90.0);
+        // One interval (τ = 10) was expected anyway.
+        assert_eq!(t.gap_deficit(), 80.0);
+        assert!((t.coverage() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gaps_must_be_ordered() {
+        let mut t = Trace::new(LandMeta::standard("Test", 10.0));
+        t.record_gap(GapRecord::new(GapCause::Kick, 50.0, 60.0));
+        t.record_gap(GapRecord::new(GapCause::Kick, 10.0, 20.0));
+    }
+
+    #[test]
+    fn gapless_trace_full_coverage() {
+        let mut t = Trace::new(LandMeta::standard("Test", 10.0));
+        t.push(Snapshot::new(0.0));
+        t.push(Snapshot::new(10.0));
+        assert_eq!(t.coverage(), 1.0);
+        assert_eq!(t.gap_time(), 0.0);
+    }
+
+    #[test]
+    fn gap_cause_serde_and_display() {
+        let json = serde_json::to_string(&GapCause::Stall).unwrap();
+        assert_eq!(json, "\"stall\"");
+        let back: GapCause = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, GapCause::Stall);
+        assert_eq!(GapCause::Throttle.to_string(), "throttle");
+    }
+
+    #[test]
+    fn trace_without_gaps_deserializes_from_legacy_json() {
+        // Pre-gap-accounting serialization had no `gaps` key.
+        let json =
+            r#"{"meta":{"name":"T","width":256.0,"height":256.0,"tau":10.0},"snapshots":[]}"#;
+        let t: Trace = serde_json::from_str(json).unwrap();
+        assert!(t.gaps.is_empty());
     }
 }

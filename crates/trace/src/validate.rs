@@ -47,6 +47,14 @@ pub enum ValidationError {
     },
     /// Land metadata is unusable (non-positive dimensions or τ).
     BadMeta(String),
+    /// A gap record is structurally broken (non-finite or inverted
+    /// span, or out of start order).
+    BadGap {
+        /// Gap index in the trace.
+        index: usize,
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -59,12 +67,21 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "snapshot {index}: user u{user} appears twice")
             }
             ValidationError::NonFiniteCoordinate { index, user } => {
-                write!(f, "snapshot {index}: user u{user} has non-finite coordinates")
+                write!(
+                    f,
+                    "snapshot {index}: user u{user} has non-finite coordinates"
+                )
             }
             ValidationError::OutOfBounds { index, user, x, y } => {
-                write!(f, "snapshot {index}: user u{user} at ({x}, {y}) outside land")
+                write!(
+                    f,
+                    "snapshot {index}: user u{user} at ({x}, {y}) outside land"
+                )
             }
             ValidationError::BadMeta(msg) => write!(f, "bad land metadata: {msg}"),
+            ValidationError::BadGap { index, reason } => {
+                write!(f, "gap {index}: {reason}")
+            }
         }
     }
 }
@@ -90,6 +107,32 @@ pub fn validate(trace: &Trace) -> Result<(), ValidationError> {
     }
     if !(meta.tau > 0.0) {
         return Err(ValidationError::BadMeta(format!("tau {}", meta.tau)));
+    }
+
+    let mut prev_gap_start = f64::NEG_INFINITY;
+    for (index, gap) in trace.gaps.iter().enumerate() {
+        if !(gap.start.is_finite() && gap.end.is_finite()) {
+            return Err(ValidationError::BadGap {
+                index,
+                reason: format!("non-finite span [{}, {}]", gap.start, gap.end),
+            });
+        }
+        if gap.end < gap.start {
+            return Err(ValidationError::BadGap {
+                index,
+                reason: format!("inverted span [{}, {}]", gap.start, gap.end),
+            });
+        }
+        if gap.start < prev_gap_start {
+            return Err(ValidationError::BadGap {
+                index,
+                reason: format!(
+                    "start {} precedes previous gap {}",
+                    gap.start, prev_gap_start
+                ),
+            });
+        }
+        prev_gap_start = gap.start;
     }
 
     let mut prev_t = f64::NEG_INFINITY;
@@ -229,6 +272,55 @@ mod tests {
             tau: 0.0,
         });
         assert!(matches!(validate(&t2), Err(ValidationError::BadMeta(_))));
+    }
+
+    #[test]
+    fn valid_gaps_pass() {
+        use crate::types::{GapCause, GapRecord};
+        let mut t = base();
+        t.push(Snapshot::new(0.0));
+        t.push(Snapshot::new(100.0));
+        t.record_gap(GapRecord::new(GapCause::Stall, 0.0, 100.0));
+        assert_eq!(validate(&t), Ok(()));
+    }
+
+    #[test]
+    fn broken_gaps_detected() {
+        use crate::types::{GapCause, GapRecord};
+        // Construct invalid gaps directly (deserialization can produce
+        // these shapes; `record_gap` would panic).
+        let mut t = base();
+        t.gaps.push(GapRecord {
+            cause: GapCause::Kick,
+            start: 50.0,
+            end: 10.0,
+        });
+        assert!(matches!(
+            validate(&t),
+            Err(ValidationError::BadGap { index: 0, .. })
+        ));
+        let mut t2 = base();
+        t2.gaps.push(GapRecord {
+            cause: GapCause::Kick,
+            start: f64::NAN,
+            end: 10.0,
+        });
+        assert!(matches!(validate(&t2), Err(ValidationError::BadGap { .. })));
+        let mut t3 = base();
+        t3.gaps.push(GapRecord {
+            cause: GapCause::Kick,
+            start: 50.0,
+            end: 60.0,
+        });
+        t3.gaps.push(GapRecord {
+            cause: GapCause::Kick,
+            start: 10.0,
+            end: 20.0,
+        });
+        assert!(matches!(
+            validate(&t3),
+            Err(ValidationError::BadGap { index: 1, .. })
+        ));
     }
 
     #[test]

@@ -149,10 +149,7 @@ mod tests {
         assert!(r.contains(Vec2::new(0.0, 0.0)));
         assert!(r.contains(Vec2::new(256.0, 256.0)));
         assert!(!r.contains(Vec2::new(-0.1, 10.0)));
-        assert_eq!(
-            r.clamp(Vec2::new(-5.0, 300.0)),
-            Vec2::new(0.0, 256.0)
-        );
+        assert_eq!(r.clamp(Vec2::new(-5.0, 300.0)), Vec2::new(0.0, 256.0));
         assert_eq!(r.center(), Vec2::new(128.0, 128.0));
     }
 

@@ -91,8 +91,7 @@ impl Grid {
             .iter()
             .enumerate()
             .map(|(i, (wc, _))| {
-                let mut w =
-                    World::without_arrivals(wc.clone(), rng.fork(i as u64).next_u64());
+                let mut w = World::without_arrivals(wc.clone(), rng.fork(i as u64).next_u64());
                 // Disjoint per-world id space for externals (crawlers):
                 // grid session ids stay far below this base.
                 w.reserve_user_ids(1_000_000_000 + i as u32 * 1_000_000);

@@ -110,7 +110,10 @@ impl std::fmt::Display for DeployError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeployError::PrivateLand => {
-                write!(f, "private lands forbid object deployment without authorization")
+                write!(
+                    f,
+                    "private lands forbid object deployment without authorization"
+                )
             }
             DeployError::OutOfBounds => write!(f, "deployment position outside the land"),
         }

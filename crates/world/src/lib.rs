@@ -29,8 +29,8 @@
 #![warn(missing_docs)]
 
 pub mod engine;
-pub mod grid;
 pub mod geometry;
+pub mod grid;
 pub mod land;
 pub mod mobility;
 pub mod presets;

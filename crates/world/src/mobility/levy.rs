@@ -97,7 +97,9 @@ mod tests {
         let center = land.area.center();
         let mut lengths = Vec::new();
         for _ in 0..4000 {
-            if let Action::MoveTo { target, .. } = m.decide(&ctx_at(&land, center), &mut rng) { lengths.push(center.distance(target)) }
+            if let Action::MoveTo { target, .. } = m.decide(&ctx_at(&land, center), &mut rng) {
+                lengths.push(center.distance(target))
+            }
         }
         let n = lengths.len() as f64;
         // TruncatedPareto(2, 250, 1.6): P(L > 30) ≈ 1.3 %, P(L < 10) ≈ 92 %.
@@ -126,7 +128,8 @@ mod tests {
         let mut m = LevyWalk::new(LevyParams::default());
         let mut rng = Rng::new(3);
         for _ in 0..2000 {
-            if let Action::Pause { duration } = m.decide(&ctx_at(&land, land.area.center()), &mut rng)
+            if let Action::Pause { duration } =
+                m.decide(&ctx_at(&land, land.area.center()), &mut rng)
             {
                 assert!((5.0..=900.0).contains(&duration), "pause {duration}");
             }

@@ -120,7 +120,12 @@ impl PoiGravity {
 
     /// Gravity-law POI choice; returns the chosen POI index, or `None`
     /// when the land has no destination POIs.
-    fn choose_poi(&self, ctx: &DecideCtx<'_>, rng: &mut Rng, exclude: Option<usize>) -> Option<usize> {
+    fn choose_poi(
+        &self,
+        ctx: &DecideCtx<'_>,
+        rng: &mut Rng,
+        exclude: Option<usize>,
+    ) -> Option<usize> {
         let mut weights: Vec<(usize, f64)> = Vec::new();
         for (i, poi) in ctx.land.pois.iter().enumerate() {
             if poi.weight <= 0.0 || Some(i) == exclude {
@@ -145,7 +150,12 @@ impl PoiGravity {
     }
 
     /// Begin a new trip from the current position.
-    fn start_trip(&mut self, ctx: &DecideCtx<'_>, rng: &mut Rng, from_poi: Option<usize>) -> Action {
+    fn start_trip(
+        &mut self,
+        ctx: &DecideCtx<'_>,
+        rng: &mut Rng,
+        from_poi: Option<usize>,
+    ) -> Action {
         // Perturbation: approach a naive crawler when one is present.
         if !ctx.idle_attractors.is_empty() && rng.chance(self.params.attraction_prob) {
             let target = ctx.idle_attractors[rng.index(ctx.idle_attractors.len())];
@@ -218,12 +228,7 @@ impl PoiGravity {
         let (lo, hi) = self.params.dwell_slice;
         let slice = rng.range_f64(lo, hi).min(remaining).max(1.0);
         let active = poi
-            .map(|i| {
-                matches!(
-                    ctx.land.pois[i].kind,
-                    PoiKind::DanceFloor | PoiKind::Stage
-                )
-            })
+            .map(|i| matches!(ctx.land.pois[i].kind, PoiKind::DanceFloor | PoiKind::Stage))
             .unwrap_or(false);
         let sittable = poi
             .map(|i| ctx.land.pois[i].kind == PoiKind::SitArea && ctx.land.sitting_enabled)
@@ -506,9 +511,7 @@ mod tests {
         let land = Land::standard("Empty");
         let mut model = PoiGravity::new(PoiGravityParams::default());
         let actions = simulate(&mut model, &land, 9, 3600.0);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::MoveTo { .. })));
+        assert!(actions.iter().any(|a| matches!(a, Action::MoveTo { .. })));
     }
 
     #[test]

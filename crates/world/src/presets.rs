@@ -99,8 +99,22 @@ pub fn apfel_land() -> LandPreset {
         poi("rez-center", 150.0, 130.0, 10.0, 0.0, PoiKind::Spawn),
         poi("rez-south", 190.0, 50.0, 10.0, 0.0, PoiKind::Spawn),
         poi("info-hub", 110.0, 170.0, 9.0, 1.3, PoiKind::Attraction),
-        poi("beginners-garden", 50.0, 70.0, 11.0, 0.5, PoiKind::Attraction),
-        poi("sandbox-corner", 225.0, 150.0, 12.0, 0.5, PoiKind::Attraction),
+        poi(
+            "beginners-garden",
+            50.0,
+            70.0,
+            11.0,
+            0.5,
+            PoiKind::Attraction,
+        ),
+        poi(
+            "sandbox-corner",
+            225.0,
+            150.0,
+            12.0,
+            0.5,
+            PoiKind::Attraction,
+        ),
         poi("freebie-shop", 35.0, 225.0, 8.0, 0.5, PoiKind::Attraction),
         poi("lookout", 215.0, 230.0, 8.0, 0.45, PoiKind::Attraction),
     ];
@@ -283,7 +297,14 @@ pub fn isle_of_view() -> LandPreset {
         poi("gift-shop", 198.0, 98.0, 8.0, 1.4, PoiKind::Attraction),
         poi("rose-garden", 58.0, 98.0, 10.0, 1.2, PoiKind::Attraction),
         poi("photo-spot", 148.0, 218.0, 7.0, 0.9, PoiKind::Attraction),
-        poi("heart-fountain", 128.0, 128.0, 8.0, 1.5, PoiKind::Attraction),
+        poi(
+            "heart-fountain",
+            128.0,
+            128.0,
+            8.0,
+            1.5,
+            PoiKind::Attraction,
+        ),
         poi("food-court", 134.0, 176.0, 8.0, 1.5, PoiKind::Attraction),
     ];
 
@@ -378,7 +399,14 @@ pub fn money_park() -> LandPreset {
     land.sitting_enabled = true;
     land.pois = vec![
         poi("landing", 128.0, 128.0, 8.0, 0.3, PoiKind::Spawn),
-        poi("camping-chairs-n", 100.0, 160.0, 10.0, 5.0, PoiKind::SitArea),
+        poi(
+            "camping-chairs-n",
+            100.0,
+            160.0,
+            10.0,
+            5.0,
+            PoiKind::SitArea,
+        ),
         poi("camping-chairs-s", 156.0, 96.0, 10.0, 5.0, PoiKind::SitArea),
         poi("money-tree", 128.0, 200.0, 8.0, 4.0, PoiKind::SitArea),
     ];
@@ -539,7 +567,11 @@ mod tests {
     fn mixes_sum_to_one_ish() {
         for p in all_presets() {
             let total: f64 = p.config.mix.types().iter().map(|t| t.share).sum();
-            assert!((total - 1.0).abs() < 1e-9, "{} shares sum to {total}", p.name);
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{} shares sum to {total}",
+                p.name
+            );
         }
     }
 }

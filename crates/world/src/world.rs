@@ -13,8 +13,8 @@ use crate::land::{DeployError, Land};
 use crate::mobility::{Action, DecideCtx, MobilityModel};
 use crate::profile::UserMix;
 use crate::session::{ArrivalProcess, SessionDurations};
-use sl_trace::{LandMeta, Position, Snapshot, Trace, UserId};
 use sl_stats::rng::Rng;
+use sl_trace::{LandMeta, Position, Snapshot, Trace, UserId};
 use std::collections::HashMap;
 
 /// Identifier of a deployed in-world object (e.g. a sensor).
@@ -294,10 +294,10 @@ impl World {
         };
 
         let type_idx = self.config.mix.draw(&mut self.rng);
-        let duration = self.config.sessions.sample(
-            self.config.mix.get(type_idx).session_scale,
-            &mut self.rng,
-        );
+        let duration = self
+            .config
+            .sessions
+            .sample(self.config.mix.get(type_idx).session_scale, &mut self.rng);
         self.spawn_avatar(user, duration, type_idx);
         self.stats.arrivals += 1;
     }
@@ -488,7 +488,14 @@ impl World {
         let id = ObjectId(self.next_object);
         self.next_object += 1;
         let expires_at = lifetime.map(|l| self.clock + l);
-        self.objects.insert(id, WorldObject { id, pos, expires_at });
+        self.objects.insert(
+            id,
+            WorldObject {
+                id,
+                pos,
+                expires_at,
+            },
+        );
         if let Some(e) = expires_at {
             self.events.schedule(e, Event::ObjectExpiry(id));
         }
@@ -732,10 +739,7 @@ mod tests {
         let mut w = World::new(test_config(), 7);
         let crawler = w.connect_external(Vec2::new(10.0, 10.0));
         let snap = w.snapshot();
-        assert_eq!(
-            snap.get(crawler),
-            Some(Position::new(10.0, 10.0, 22.0))
-        );
+        assert_eq!(snap.get(crawler), Some(Position::new(10.0, 10.0, 22.0)));
         w.move_external(crawler, Vec2::new(50.0, 60.0));
         assert_eq!(w.external_position(crawler), Some(Vec2::new(50.0, 60.0)));
         w.disconnect_external(crawler);
@@ -749,7 +753,10 @@ mod tests {
         w.advance_to(300.0);
         assert_eq!(w.idle_attractor_positions().len(), 1, "idle after 300 s");
         w.external_chat(crawler);
-        assert!(w.idle_attractor_positions().is_empty(), "chat resets idleness");
+        assert!(
+            w.idle_attractor_positions().is_empty(),
+            "chat resets idleness"
+        );
         w.advance_to(360.0);
         assert!(w.idle_attractor_positions().is_empty(), "recently active");
         w.advance_to(600.0);

@@ -43,11 +43,11 @@ fn arb_mobility() -> impl Strategy<Value = MobilityKind> {
 fn arb_config() -> impl Strategy<Value = WorldConfig> {
     (
         arb_mobility(),
-        50.0f64..2000.0,  // arrivals per day
-        60.0f64..1200.0,  // median session
-        2usize..8,        // POI count
-        0.0f64..0.5,      // return prob
-        1.0f64..60.0,     // spawn jitter
+        50.0f64..2000.0, // arrivals per day
+        60.0f64..1200.0, // median session
+        2usize..8,       // POI count
+        0.0f64..0.5,     // return prob
+        1.0f64..60.0,    // spawn jitter
     )
         .prop_map(|(mobility, arrivals, median, pois, return_prob, jitter)| {
             let mut land = Land::standard("PropLand");
@@ -74,7 +74,11 @@ fn arb_config() -> impl Strategy<Value = WorldConfig> {
                     mobility,
                     session_scale: 1.0,
                 }]),
-                arrivals: ArrivalProcess::with_expected(arrivals, 86_400.0, DiurnalProfile::evening()),
+                arrivals: ArrivalProcess::with_expected(
+                    arrivals,
+                    86_400.0,
+                    DiurnalProfile::evening(),
+                ),
                 sessions: SessionDurations::new(median, median * 4.0, 14_400.0),
                 return_prob,
                 avatar_z: 22.0,

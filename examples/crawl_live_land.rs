@@ -19,6 +19,7 @@ async fn main() {
             kick_prob: 0.002,
             delay_prob: 0.02,
             delay_ms: 20,
+            ..FaultConfig::none()
         },
         ..LiveConfig::new(isle_of_view(), 7, 2.0 * 3600.0)
     };
@@ -34,6 +35,11 @@ async fn main() {
         outcome.own_agents.len(),
         outcome.reconnects,
         outcome.throttled
+    );
+    println!(
+        "measurement outages: {} gaps, coverage {:.1}%",
+        outcome.gaps.len(),
+        outcome.coverage * 100.0
     );
     println!(
         "median CT rb: {:?} s, median FT rb: {:?} s",

@@ -7,8 +7,8 @@
 //! ```
 
 use sl_core::experiment::{run_land, ExperimentConfig};
-use sl_dtn::{simulate, ContactTimeline, DtnConfig, Protocol};
 use sl_dtn::sim::uniform_workload;
+use sl_dtn::{simulate, ContactTimeline, DtnConfig, Protocol};
 use sl_stats::rng::Rng;
 use sl_world::presets::{dance_island, RANGE_BLUETOOTH, RANGE_WIFI};
 
@@ -17,7 +17,10 @@ fn main() {
     let outcome = run_land(&ExperimentConfig::quick(dance_island(), 99, 4.0 * 3600.0));
     let trace = &outcome.trace;
 
-    for (range, label) in [(RANGE_BLUETOOTH, "Bluetooth r=10m"), (RANGE_WIFI, "WiFi r=80m")] {
+    for (range, label) in [
+        (RANGE_BLUETOOTH, "Bluetooth r=10m"),
+        (RANGE_WIFI, "WiFi r=80m"),
+    ] {
         let timeline = ContactTimeline::from_trace(trace, range, &[]);
         let mut rng = Rng::new(7);
         let messages = uniform_workload(&timeline, 300, &mut rng);

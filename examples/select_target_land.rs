@@ -8,9 +8,7 @@
 //! ```
 
 use sl_core::survey::rank_candidates;
-use sl_world::presets::{
-    apfel_land, dance_island, empty_meadow, isle_of_view, money_park,
-};
+use sl_world::presets::{apfel_land, dance_island, empty_meadow, isle_of_view, money_park};
 
 fn main() {
     let candidates = vec![
@@ -20,7 +18,10 @@ fn main() {
         apfel_land(),
         isle_of_view(),
     ];
-    println!("Probing {} candidate lands (30 virtual minutes each)...\n", candidates.len());
+    println!(
+        "Probing {} candidate lands (30 virtual minutes each)...\n",
+        candidates.len()
+    );
     let ranked = rank_candidates(&candidates, 2026, 1800.0);
 
     println!(

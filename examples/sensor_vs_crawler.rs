@@ -31,7 +31,10 @@ fn main() {
     println!("  detections cached:   {}", stats.detections);
     println!("  truncated (>16 cap): {}", stats.truncated);
     println!("  dropped (throttle):  {}", stats.dropped);
-    println!("  offline scans:       {} (object expiry gaps)", stats.offline_scans);
+    println!(
+        "  offline scans:       {} (object expiry gaps)",
+        stats.offline_scans
+    );
     println!("\n  ground truth: {}", TraceSummary::of(&outcome.truth));
     println!("  sensor view:  {}", TraceSummary::of(&outcome.observed));
     println!(

@@ -1,0 +1,4 @@
+//! Integration-test crate: no library code, only the cross-crate tests
+//! under `tests/`. Exists as a workspace member so end-to-end scenarios
+//! (server + chaos proxy + crawler + analysis) have somewhere to live
+//! without entangling the production crates' dev-dependency graphs.

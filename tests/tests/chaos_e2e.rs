@@ -1,0 +1,234 @@
+//! End-to-end chaos tests: a faulty land server (and, separately, a
+//! byte-mangling TCP proxy) between the crawler and its data, with the
+//! full pipeline downstream. These are the acceptance tests for the
+//! robustness work: the crawl must *terminate* under every fault mix,
+//! the blindness must surface as typed gap records, and the analysis
+//! must report per-interval coverage instead of silently averaging
+//! over holes.
+
+use sl_analysis::pipeline::analyze_land;
+use sl_chaos::{ChaosPlan, ChaosProxy};
+use sl_crawler::{Crawler, CrawlerConfig, ReconnectPolicy};
+use sl_server::{FaultConfig, LandServer, ServerConfig};
+use sl_trace::GapCause;
+use sl_world::presets::dance_island;
+use sl_world::World;
+use std::time::Duration;
+
+fn world(seed: u64) -> World {
+    let mut w = World::new(dance_island().config, seed);
+    w.warm_up(1800.0);
+    w
+}
+
+async fn server(cfg: ServerConfig) -> LandServer {
+    LandServer::bind("127.0.0.1:0", world(7), cfg)
+        .await
+        .unwrap()
+}
+
+/// A server throwing kicks, multi-second stalls and corrupted frames at
+/// once. Pre-watchdog code hung forever inside `reader.next()` on the
+/// first stall; this test's outer timeout is the regression tripwire.
+#[tokio::test]
+async fn chaotic_crawl_terminates_and_accounts_every_outage() {
+    let server = server(ServerConfig {
+        time_scale: 600.0,
+        map_rate: (1000.0, 1000.0),
+        faults: FaultConfig {
+            kick_prob: 0.04,
+            stall_prob: 0.06,
+            stall_ms: 30_000,
+            corrupt_prob: 0.03,
+            ..FaultConfig::none()
+        },
+        ..Default::default()
+    })
+    .await;
+    let config = CrawlerConfig {
+        seed: 21,
+        poll_deadline: Duration::from_millis(150),
+        ..CrawlerConfig::new(server.addr().to_string(), 1800.0)
+    };
+    let result = tokio::time::timeout(Duration::from_secs(60), Crawler::new(config).run())
+        .await
+        .expect("a chaotic server must not be able to hang the crawl")
+        .unwrap();
+
+    assert!(
+        result.reconnects > 0,
+        "the fault mix should have cost sessions"
+    );
+    assert_eq!(result.own_agents.len(), result.reconnects as usize + 1);
+    assert!(
+        result.trace.len() >= 20,
+        "got {} snapshots",
+        result.trace.len()
+    );
+    assert!(
+        !result.trace.gaps.is_empty(),
+        "outages must leave gap records"
+    );
+    // Every gap is typed with a cause the injected faults can produce.
+    for gap in &result.trace.gaps {
+        assert!(
+            matches!(
+                gap.cause,
+                GapCause::Kick | GapCause::Stall | GapCause::Corrupt | GapCause::Disconnect
+            ),
+            "unexpected cause: {gap:?}"
+        );
+        assert!(gap.span() > 0.0);
+    }
+    sl_trace::validate(&result.trace).unwrap();
+
+    // The analysis reports per-interval coverage over the damaged trace.
+    let analysis = analyze_land(&result.trace, &result.own_agents);
+    assert!(!analysis.coverage.intervals.is_empty());
+    assert!(analysis.coverage.overall <= 1.0 && analysis.coverage.overall > 0.0);
+    for iv in &analysis.coverage.intervals {
+        assert!(iv.observed <= iv.expected + 1, "window overcounted: {iv:?}");
+        assert_eq!(iv.flagged, iv.coverage < analysis.coverage.threshold);
+    }
+}
+
+/// The stock flaky() grid end to end: the crawl completes, every kick
+/// produced a fresh identity, and the recorded gap spans reproduce the
+/// trace's coverage figure exactly.
+#[tokio::test]
+async fn flaky_grid_crawl_reconciles_gaps_with_coverage() {
+    let server = server(ServerConfig {
+        time_scale: 2400.0,
+        map_rate: (2000.0, 2000.0),
+        faults: FaultConfig::flaky(),
+        ..Default::default()
+    })
+    .await;
+    let config = CrawlerConfig {
+        seed: 22,
+        ..CrawlerConfig::new(server.addr().to_string(), 36_000.0)
+    };
+    let result = tokio::time::timeout(Duration::from_secs(180), Crawler::new(config).run())
+        .await
+        .expect("flaky faults must not hang the crawl")
+        .unwrap();
+
+    assert!(
+        result.reconnects > 0,
+        "flaky() kicks should have hit a 10-h crawl"
+    );
+    assert_eq!(
+        result.own_agents.len(),
+        result.reconnects as usize + 1,
+        "one avatar identity per (re)connection"
+    );
+
+    // Gap spans sum to the coverage deficit: coverage is *defined* by
+    // the recorded gaps, so the two books must balance to the epsilon.
+    let span = result.trace.duration();
+    assert!(span > 0.0);
+    let from_gaps = (1.0 - result.trace.gap_deficit() / span).clamp(0.0, 1.0);
+    assert!(
+        (result.trace.coverage() - from_gaps).abs() < 1e-9,
+        "coverage {} vs gap-derived {}",
+        result.trace.coverage(),
+        from_gaps
+    );
+    for gap in &result.trace.gaps {
+        assert_eq!(gap.cause, GapCause::Kick, "flaky() only kicks: {gap:?}");
+    }
+    sl_trace::validate(&result.trace).unwrap();
+}
+
+/// The crawler reaches a *clean* server through the standalone chaos
+/// proxy, which corrupts, resets and stalls the server→client byte
+/// stream. Fault injection below the protocol layer must look exactly
+/// like a sick network: the crawl survives, terminates, and records
+/// typed gaps.
+#[tokio::test]
+async fn crawl_through_chaos_proxy_survives_byte_level_faults() {
+    let server = server(ServerConfig {
+        time_scale: 1200.0,
+        map_rate: (1000.0, 1000.0),
+        ..Default::default()
+    })
+    .await;
+    let proxy = ChaosProxy::bind(
+        "127.0.0.1:0",
+        server.addr(),
+        ChaosPlan {
+            corrupt_prob: 0.03,
+            reset_prob: 0.02,
+            stall_prob: 0.02,
+            stall_ms: 10_000,
+            ..ChaosPlan::none()
+        },
+        99,
+    )
+    .await
+    .unwrap();
+
+    let config = CrawlerConfig {
+        seed: 23,
+        poll_deadline: Duration::from_millis(150),
+        reconnect: ReconnectPolicy {
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            ..Default::default()
+        },
+        ..CrawlerConfig::new(proxy.addr().to_string(), 1200.0)
+    };
+    let result = tokio::time::timeout(Duration::from_secs(60), Crawler::new(config).run())
+        .await
+        .expect("proxy faults must not hang the crawl")
+        .unwrap();
+
+    assert!(
+        result.trace.len() >= 20,
+        "got {} snapshots",
+        result.trace.len()
+    );
+    assert!(
+        result.reconnects > 0,
+        "byte-level faults should have cost sessions"
+    );
+    assert!(proxy.connections() as u32 > result.reconnects);
+    // A mangled stream can only surface as damage, a dead socket or a
+    // watchdog timeout — never as a server-attributed cause.
+    for gap in &result.trace.gaps {
+        assert!(
+            matches!(
+                gap.cause,
+                GapCause::Corrupt | GapCause::Disconnect | GapCause::Stall
+            ),
+            "unexpected cause through proxy: {gap:?}"
+        );
+    }
+    sl_trace::validate(&result.trace).unwrap();
+    proxy.shutdown();
+    server.shutdown();
+}
+
+/// A transparent proxy (all probabilities zero) is invisible: the crawl
+/// behaves exactly as if it were talking to the server directly.
+#[tokio::test]
+async fn transparent_proxy_is_invisible_to_the_crawl() {
+    let server = server(ServerConfig {
+        time_scale: 1200.0,
+        map_rate: (1000.0, 1000.0),
+        ..Default::default()
+    })
+    .await;
+    let proxy = ChaosProxy::bind("127.0.0.1:0", server.addr(), ChaosPlan::none(), 1)
+        .await
+        .unwrap();
+    let config = CrawlerConfig {
+        seed: 24,
+        ..CrawlerConfig::new(proxy.addr().to_string(), 300.0)
+    };
+    let result = Crawler::new(config).run().await.unwrap();
+    assert_eq!(result.reconnects, 0);
+    assert!(result.trace.gaps.is_empty());
+    assert!(result.trace.len() >= 20);
+    assert_eq!(result.trace.coverage(), 1.0);
+}
