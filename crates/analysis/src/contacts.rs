@@ -17,10 +17,10 @@
 //! Seated avatars (the `{0,0,0}` sentinel) carry no usable position and
 //! are skipped, as are explicitly excluded users (the crawler itself).
 
+use crate::prep::{PreparedTrace, RangeEdges};
 use serde::{Deserialize, Serialize};
-use sl_graph::proximity_edges;
 use sl_trace::{Trace, UserId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Extracted contact-opportunity samples.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -48,9 +48,22 @@ struct OpenContact {
 
 /// Extract CT / ICT / FT samples from a trace at communication range
 /// `range`, ignoring `exclude`d users (e.g. the measuring crawler).
+///
+/// Convenience wrapper over [`extract_contacts_prepared`] for one-off
+/// calls; the pipeline prepares the trace once and reuses it across
+/// ranges and metric families instead.
 pub fn extract_contacts(trace: &Trace, range: f64, exclude: &[UserId]) -> ContactSamples {
-    let tau = trace.meta.tau;
-    let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+    let prep = PreparedTrace::new(trace, exclude);
+    let edges = prep.edges_at(range);
+    extract_contacts_prepared(&prep, &edges)
+}
+
+/// Extract CT / ICT / FT samples from a prepared trace using proximity
+/// edges already computed at the target range. The per-snapshot pair
+/// set and close list are reused across snapshots (sorted vectors with
+/// binary-search membership) — no per-snapshot hash-set churn.
+pub fn extract_contacts_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> ContactSamples {
+    let tau = prep.tau();
 
     let mut open: HashMap<(UserId, UserId), OpenContact> = HashMap::new();
     let mut last_end: HashMap<(UserId, UserId), f64> = HashMap::new();
@@ -59,49 +72,49 @@ pub fn extract_contacts(trace: &Trace, range: f64, exclude: &[UserId]) -> Contac
 
     let mut out = ContactSamples::default();
 
-    for snap in &trace.snapshots {
-        // Users with usable positions in this snapshot.
-        let mut users: Vec<UserId> = Vec::with_capacity(snap.entries.len());
-        let mut points: Vec<(f64, f64)> = Vec::with_capacity(snap.entries.len());
-        for obs in &snap.entries {
-            if excluded.contains(&obs.user) || obs.pos.is_seated_sentinel() {
-                continue;
-            }
-            first_seen.entry(obs.user).or_insert(snap.t);
-            users.push(obs.user);
-            points.push(obs.pos.xy());
+    // Scratch buffers reused across all snapshots.
+    let mut now_pairs: Vec<(UserId, UserId)> = Vec::new();
+    let mut closed: Vec<(UserId, UserId)> = Vec::new();
+
+    for (snap, snap_edges) in prep.snapshots.iter().zip(&edges.per_snapshot) {
+        for &user in &snap.users {
+            first_seen.entry(user).or_insert(snap.t);
         }
 
-        // Pairs in range right now.
-        let mut now_pairs: HashSet<(UserId, UserId)> = HashSet::new();
-        for (i, j) in proximity_edges(&points, range) {
-            let (a, b) = (users[i as usize], users[j as usize]);
+        // Pairs in range right now, as a sorted vector.
+        now_pairs.clear();
+        for &(i, j) in snap_edges {
+            let (a, b) = (snap.users[i as usize], snap.users[j as usize]);
             let key = if a < b { (a, b) } else { (b, a) };
-            now_pairs.insert(key);
+            now_pairs.push(key);
             // First contact bookkeeping for both endpoints.
             for u in [key.0, key.1] {
                 first_contact.entry(u).or_insert(snap.t);
             }
         }
+        now_pairs.sort_unstable();
+        // A duplicate user entry in a malformed snapshot could repeat a
+        // key; the old hash-set path deduped implicitly, so match it.
+        now_pairs.dedup();
 
         // Close contacts that did not survive into this snapshot. A
         // contact "survives" only if the pair is in range at the very
         // next snapshot; a single missed snapshot ends it (τ is the
         // measurement resolution).
-        let mut closed: Vec<(UserId, UserId)> = Vec::new();
+        closed.clear();
         for (key, oc) in &open {
-            if !now_pairs.contains(key) {
+            if now_pairs.binary_search(key).is_err() {
                 out.contact_times.push(oc.snapshots as f64 * tau);
                 last_end.insert(*key, oc.last_seen);
                 closed.push(*key);
             }
         }
-        for key in closed {
-            open.remove(&key);
+        for key in &closed {
+            open.remove(key);
         }
 
         // Extend or open contacts present now.
-        for key in now_pairs {
+        for &key in &now_pairs {
             match open.get_mut(&key) {
                 Some(oc) => {
                     oc.last_seen = snap.t;

@@ -12,7 +12,13 @@
 //! * [`trips`] — trip analysis: travel length, effective travel time
 //!   and travel (login) time (Fig. 4);
 //! * [`report`] — figure assembly, CSV export and ASCII rendering;
+//! * [`prep`] — the shared one-pass preparation stage: every metric
+//!   family consumes one [`prep::PreparedTrace`] (filtered columnar
+//!   snapshots + per-range proximity edges) instead of re-filtering and
+//!   re-indexing the raw trace on its own;
 //! * [`pipeline`] — one-call per-land analysis producing every figure;
+//!   the per-snapshot work fans out over [`sl_par`] worker threads with
+//!   a deterministic, index-ordered reduction;
 //! * [`coverage`] — per-interval expected-vs-observed snapshot
 //!   accounting, flagging windows where the crawler was too blind for
 //!   its metrics to mean anything.
@@ -31,17 +37,19 @@ pub mod coverage;
 pub mod los;
 pub mod mobility_metrics;
 pub mod pipeline;
+pub mod prep;
 pub mod relations;
 pub mod report;
 pub mod spatial;
 pub mod trips;
 
-pub use contacts::{extract_contacts, ContactSamples};
+pub use contacts::{extract_contacts, extract_contacts_prepared, ContactSamples};
 pub use coverage::{coverage_report, covered_only, CoverageReport, IntervalCoverage};
-pub use los::{los_metrics, LosMetrics};
+pub use los::{los_metrics, los_metrics_prepared, LosMetrics};
 pub use mobility_metrics::{mobility_metrics, MobilityMetrics};
-pub use pipeline::{analyze_land, LandAnalysis};
+pub use pipeline::{analyze_land, paper_figures, LandAnalysis};
+pub use prep::{PreparedSnapshot, PreparedTrace, RangeEdges};
 pub use relations::{RelationEdge, RelationGraph};
 pub use report::{Figure, FigureSet};
-pub use spatial::{zone_occupation, ZoneOccupation};
-pub use trips::{trip_metrics, TripMetrics};
+pub use spatial::{zone_occupation, zone_occupation_prepared, ZoneOccupation};
+pub use trips::{trip_metrics, trip_metrics_excluding, TripMetrics};

@@ -7,10 +7,10 @@
 //! component (one sample per snapshot), and the CDF of the mean
 //! clustering coefficient (one sample per snapshot).
 
+use crate::prep::{PreparedTrace, RangeEdges};
 use serde::{Deserialize, Serialize};
-use sl_graph::{diameter_largest_component, mean_clustering, proximity_graph};
+use sl_graph::{diameter_largest_component, mean_clustering, Graph};
 use sl_trace::{Trace, UserId};
-use std::collections::HashSet;
 
 /// Aggregated line-of-sight metrics for one trace at one range.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -27,35 +27,60 @@ pub struct LosMetrics {
     pub isolated_fraction: f64,
 }
 
+/// Per-snapshot result of the parallel LOS pass.
+struct SnapshotLos {
+    degrees: Vec<f64>,
+    zero_count: usize,
+    diameter: f64,
+    clustering: f64,
+}
+
 /// Compute line-of-sight metrics at communication range `range`,
 /// ignoring `exclude`d users and seated avatars.
+///
+/// Convenience wrapper over [`los_metrics_prepared`]; the pipeline
+/// prepares the trace once and shares it across metric families.
 pub fn los_metrics(trace: &Trace, range: f64, exclude: &[UserId]) -> LosMetrics {
-    let excluded: HashSet<UserId> = exclude.iter().copied().collect();
-    let mut out = LosMetrics::default();
-    let mut zero_count = 0usize;
+    let prep = PreparedTrace::new(trace, exclude);
+    let edges = prep.edges_at(range);
+    los_metrics_prepared(&prep, &edges)
+}
 
-    for snap in &trace.snapshots {
-        let points: Vec<(f64, f64)> = snap
-            .entries
-            .iter()
-            .filter(|o| !excluded.contains(&o.user) && !o.pos.is_seated_sentinel())
-            .map(|o| o.pos.xy())
-            .collect();
-        if points.is_empty() {
-            continue;
+/// Compute line-of-sight metrics from a prepared trace and its
+/// proximity edges. The BFS-heavy per-snapshot work (diameter of the
+/// largest component, clustering) fans out over snapshots with
+/// [`sl_par::par_map`]; the index-ordered reduction keeps every output
+/// vector in snapshot order, byte-identical to the serial walk.
+pub fn los_metrics_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> LosMetrics {
+    let per_snapshot: Vec<Option<SnapshotLos>> = sl_par::par_map(&prep.snapshots, |i, snap| {
+        if snap.is_empty() {
+            return None;
         }
-        let g = proximity_graph(&points, range);
+        let g = Graph::from_edges(snap.len(), &edges.per_snapshot[i]);
+        let mut degrees = Vec::with_capacity(snap.len());
+        let mut zero_count = 0usize;
         for d in g.degrees() {
             if d == 0 {
                 zero_count += 1;
             }
-            out.degrees.push(d as f64);
+            degrees.push(d as f64);
         }
-        out.diameters.push(diameter_largest_component(&g) as f64);
-        out.clusterings
-            .push(mean_clustering(&g).expect("non-empty graph"));
-    }
+        Some(SnapshotLos {
+            degrees,
+            zero_count,
+            diameter: diameter_largest_component(&g) as f64,
+            clustering: mean_clustering(&g).expect("non-empty graph"),
+        })
+    });
 
+    let mut out = LosMetrics::default();
+    let mut zero_count = 0usize;
+    for snap in per_snapshot.into_iter().flatten() {
+        out.degrees.extend_from_slice(&snap.degrees);
+        zero_count += snap.zero_count;
+        out.diameters.push(snap.diameter);
+        out.clusterings.push(snap.clustering);
+    }
     out.isolated_fraction = if out.degrees.is_empty() {
         0.0
     } else {

@@ -5,16 +5,30 @@
 //! results out as the twelve panels of Figs. 1–4 plus the Fig. 3 zone
 //! plot, with one series per land — exactly the shape of the paper's
 //! evaluation section.
+//!
+//! ## Execution model
+//!
+//! The engine prepares the trace **once** ([`PreparedTrace`]): one
+//! filter pass over every snapshot, one exclusion set, one proximity
+//! edge extraction per range — shared by the contact extractor, the
+//! line-of-sight metrics and the zone occupation, which previously each
+//! re-filtered and re-indexed on their own. The per-snapshot work (edge
+//! extraction, BFS diameters, clustering, binning) and the per-panel
+//! figure assembly fan out over [`sl_par`] worker threads with an
+//! index-ordered reduction, so the output is **byte-identical** to the
+//! serial path — run under `sl_par::with_threads(1, ..)` to get the
+//! reference serial execution of the very same code.
 
-use crate::contacts::{extract_contacts, ContactSamples};
+use crate::contacts::{extract_contacts_prepared, ContactSamples};
 use crate::coverage::{coverage_report, CoverageReport, COVERAGE_THRESHOLD, COVERAGE_WINDOW_TAUS};
-use crate::los::{los_metrics, LosMetrics};
+use crate::los::{los_metrics_prepared, LosMetrics};
+use crate::prep::PreparedTrace;
 use crate::report::{Figure, FigureSet, Scale};
-use crate::spatial::{zone_occupation, ZoneOccupation};
-use crate::trips::{trip_metrics, TripMetrics};
+use crate::spatial::{zone_occupation_prepared, ZoneOccupation};
+use crate::trips::{trip_metrics_excluding, TripMetrics};
 use serde::{Deserialize, Serialize};
-use sl_stats::ecdf::{Ccdf, Ecdf};
-use sl_stats::fit::{fit_two_phase, TwoPhaseFit};
+use sl_stats::ecdf::{ccdf_log_grid_sorted, median_sorted, Ccdf, Ecdf};
+use sl_stats::fit::{fit_two_phase_sorted, TwoPhaseFit};
 use sl_trace::{Trace, TraceSummary, UserId};
 
 /// Bluetooth range (paper rb = 10 m).
@@ -43,20 +57,18 @@ pub struct TemporalAnalysis {
     pub ict_fit: Option<TwoPhaseFit>,
 }
 
-fn median_of(xs: &[f64]) -> Option<f64> {
-    (!xs.is_empty()).then(|| Ecdf::new(xs.to_vec()).median())
-}
-
 impl TemporalAnalysis {
-    fn run(trace: &Trace, range: f64, exclude: &[UserId]) -> Self {
-        let samples = extract_contacts(trace, range, exclude);
+    /// Derive the temporal summary from extracted samples. The sample
+    /// vectors arrive sorted from the extractor, so medians and fits
+    /// work on borrowed slices — no clone, no re-sort.
+    fn from_samples(range: f64, samples: ContactSamples) -> Self {
         TemporalAnalysis {
             range,
-            median_ct: median_of(&samples.contact_times),
-            median_ict: median_of(&samples.inter_contact_times),
-            median_ft: median_of(&samples.first_contact_times),
-            ct_fit: fit_two_phase(&samples.contact_times, 0.9, 0.25),
-            ict_fit: fit_two_phase(&samples.inter_contact_times, 0.9, 0.25),
+            median_ct: median_sorted(&samples.contact_times),
+            median_ict: median_sorted(&samples.inter_contact_times),
+            median_ft: median_sorted(&samples.first_contact_times),
+            ct_fit: fit_two_phase_sorted(&samples.contact_times, 0.9, 0.25),
+            ict_fit: fit_two_phase_sorted(&samples.inter_contact_times, 0.9, 0.25),
             samples,
         }
     }
@@ -89,27 +101,52 @@ pub struct LandAnalysis {
     pub coverage: CoverageReport,
 }
 
+/// Temporal + line-of-sight analysis at one range over a prepared
+/// trace: one edge extraction feeding both metric families. The LOS
+/// fan-out (the BFS-heavy hot path) runs on the calling thread's full
+/// worker budget while the serial contact state machine overlaps on a
+/// sibling thread.
+fn range_analysis(prep: &PreparedTrace, range: f64) -> (TemporalAnalysis, LosMetrics) {
+    let edges = prep.edges_at(range);
+    let (los, samples) = sl_par::join(
+        || los_metrics_prepared(prep, &edges),
+        || extract_contacts_prepared(prep, &edges),
+    );
+    (TemporalAnalysis::from_samples(range, samples), los)
+}
+
 /// Run the complete §3 methodology on one trace, excluding the given
 /// users (the measuring crawler's own avatar).
+///
+/// Filters and indexes the trace once, then fans the per-snapshot work
+/// out over worker threads (see the module docs); the result is
+/// byte-identical to a serial run of the same code
+/// (`sl_par::with_threads(1, || analyze_land(..))`).
 pub fn analyze_land(trace: &Trace, exclude: &[UserId]) -> LandAnalysis {
+    let prep = PreparedTrace::new(trace, exclude);
+    let (bluetooth, los_bluetooth) = range_analysis(&prep, RB);
+    let (wifi, los_wifi) = range_analysis(&prep, RW);
     LandAnalysis {
         land: trace.meta.name.clone(),
         summary: TraceSummary::of(trace),
-        bluetooth: TemporalAnalysis::run(trace, RB, exclude),
-        wifi: TemporalAnalysis::run(trace, RW, exclude),
-        los_bluetooth: los_metrics(trace, RB, exclude),
-        los_wifi: los_metrics(trace, RW, exclude),
-        zones: zone_occupation(trace, ZONE_L, exclude),
-        trips: trip_metrics(trace, exclude),
+        bluetooth,
+        wifi,
+        los_bluetooth,
+        los_wifi,
+        zones: zone_occupation_prepared(&prep, ZONE_L),
+        trips: trip_metrics_excluding(trace, &prep.excluded),
         coverage: coverage_report(trace, COVERAGE_WINDOW_TAUS, COVERAGE_THRESHOLD),
     }
 }
 
-fn ccdf_series(label: &str, xs: &[f64], log_points: usize) -> sl_stats::ecdf::Series {
+/// Log-grid CCDF series over **already-sorted** samples — the contact
+/// extractor emits its vectors sorted, so no clone or re-sort is
+/// needed. Empty samples yield an empty series rather than panicking.
+fn ccdf_series_sorted(label: &str, xs: &[f64], log_points: usize) -> sl_stats::ecdf::Series {
     if xs.is_empty() {
         return sl_stats::ecdf::Series::new(label, vec![], vec![]);
     }
-    Ccdf::new(xs.to_vec()).series_log_grid(label, log_points)
+    ccdf_log_grid_sorted(label, xs, log_points)
 }
 
 fn cdf_series(label: &str, xs: &[f64]) -> sl_stats::ecdf::Series {
@@ -124,11 +161,19 @@ type TemporalGetter = fn(&TemporalAnalysis) -> &Vec<f64>;
 /// Selector returning one trip-metric sample vector.
 type TripGetter = fn(&TripMetrics) -> &Vec<f64>;
 
+/// A deferred panel construction; boxed so heterogeneous panels share
+/// one work list for the parallel fan-out.
+type PanelBuilder<'a> = Box<dyn Fn() -> Figure + Send + Sync + 'a>;
+
 /// Assemble the paper's figures from per-land analyses (one series per
 /// land, in the order given).
+///
+/// Each of the 16 panels is an independent pure construction, so they
+/// fan out over worker threads; the index-ordered reduction keeps the
+/// paper's fixed panel order, byte-identical to building them serially.
 pub fn paper_figures(lands: &[LandAnalysis]) -> FigureSet {
-    let mut set = FigureSet::default();
     const GRID: usize = 80;
+    let mut builders: Vec<PanelBuilder> = Vec::with_capacity(16);
 
     // Fig. 1: temporal CCDFs at both ranges.
     let temporal: [(&str, &str, TemporalGetter); 3] = [
@@ -140,83 +185,97 @@ pub fn paper_figures(lands: &[LandAnalysis]) -> FigureSet {
             &t.samples.first_contact_times
         }),
     ];
-    for (ri, (rname, pick)) in [("r=10m", 0usize), ("r=80m", 1)].iter().enumerate() {
-        for (mi, (mid, mtitle, getter)) in temporal.iter().enumerate() {
+    for (ri, (rname, pick)) in [("r=10m", 0usize), ("r=80m", 1)].into_iter().enumerate() {
+        for (mi, (mid, mtitle, getter)) in temporal.into_iter().enumerate() {
             let panel = (b'a' + (ri * 3 + mi) as u8) as char;
-            let mut fig = Figure::new(
-                format!("fig1{panel}_{mid}"),
-                format!("{mtitle}, {rname}"),
-                "Time (s)",
-                "1-F(x)",
-                Scale::Log,
-            );
-            for la in lands {
-                let ta = if *pick == 0 { &la.bluetooth } else { &la.wifi };
-                fig.push(ccdf_series(&la.land, getter(ta), GRID));
-            }
-            set.push(fig);
+            builders.push(Box::new(move || {
+                let mut fig = Figure::new(
+                    format!("fig1{panel}_{mid}"),
+                    format!("{mtitle}, {rname}"),
+                    "Time (s)",
+                    "1-F(x)",
+                    Scale::Log,
+                );
+                for la in lands {
+                    let ta = if pick == 0 { &la.bluetooth } else { &la.wifi };
+                    fig.push(ccdf_series_sorted(&la.land, getter(ta), GRID));
+                }
+                fig
+            }));
         }
     }
 
     // Fig. 2: line-of-sight network metrics at both ranges.
-    for (ri, (rname, pick)) in [("r=10m", 0usize), ("r=80m", 1)].iter().enumerate() {
-        fn los_of(la: &LandAnalysis, pick: usize) -> &LosMetrics {
-            if pick == 0 {
-                &la.los_bluetooth
-            } else {
-                &la.los_wifi
-            }
+    fn los_of(la: &LandAnalysis, pick: usize) -> &LosMetrics {
+        if pick == 0 {
+            &la.los_bluetooth
+        } else {
+            &la.los_wifi
         }
+    }
+    for (ri, (rname, pick)) in [("r=10m", 0usize), ("r=80m", 1)].into_iter().enumerate() {
         let panel_base = ri * 3;
-        let mut deg = Figure::new(
-            format!("fig2{}_degree", (b'a' + panel_base as u8) as char),
-            format!("Node Degree CCDF, {rname}"),
-            "Degree",
-            "1-F(x)",
-            Scale::Linear,
-        );
-        let mut dia = Figure::new(
-            format!("fig2{}_diameter", (b'a' + panel_base as u8 + 1) as char),
-            format!("Network Diameter CDF, {rname}"),
-            "Diameter",
-            "F(x)",
-            Scale::Linear,
-        );
-        let mut clu = Figure::new(
-            format!("fig2{}_clustering", (b'a' + panel_base as u8 + 2) as char),
-            format!("Clustering Coefficient CDF, {rname}"),
-            "Coefficient",
+        builders.push(Box::new(move || {
+            let mut deg = Figure::new(
+                format!("fig2{}_degree", (b'a' + panel_base as u8) as char),
+                format!("Node Degree CCDF, {rname}"),
+                "Degree",
+                "1-F(x)",
+                Scale::Linear,
+            );
+            for la in lands {
+                let m = los_of(la, pick);
+                // Degree is a CCDF on a linear axis: use the step series.
+                if m.degrees.is_empty() {
+                    deg.push(sl_stats::ecdf::Series::new(la.land.clone(), vec![], vec![]));
+                } else {
+                    deg.push(Ccdf::new(m.degrees.clone()).series(la.land.clone()));
+                }
+            }
+            deg
+        }));
+        builders.push(Box::new(move || {
+            let mut dia = Figure::new(
+                format!("fig2{}_diameter", (b'a' + panel_base as u8 + 1) as char),
+                format!("Network Diameter CDF, {rname}"),
+                "Diameter",
+                "F(x)",
+                Scale::Linear,
+            );
+            for la in lands {
+                dia.push(cdf_series(&la.land, &los_of(la, pick).diameters));
+            }
+            dia
+        }));
+        builders.push(Box::new(move || {
+            let mut clu = Figure::new(
+                format!("fig2{}_clustering", (b'a' + panel_base as u8 + 2) as char),
+                format!("Clustering Coefficient CDF, {rname}"),
+                "Coefficient",
+                "F(x)",
+                Scale::Linear,
+            );
+            for la in lands {
+                clu.push(cdf_series(&la.land, &los_of(la, pick).clusterings));
+            }
+            clu
+        }));
+    }
+
+    // Fig. 3: zone occupation CDF.
+    builders.push(Box::new(move || {
+        let mut zones = Figure::new(
+            "fig3_zones",
+            "Zone Occupation CDF, L=20m",
+            "Number of users per cell",
             "F(x)",
             Scale::Linear,
         );
         for la in lands {
-            let m = los_of(la, *pick);
-            // Degree is a CCDF on a linear axis: use the step series.
-            if m.degrees.is_empty() {
-                deg.push(sl_stats::ecdf::Series::new(la.land.clone(), vec![], vec![]));
-            } else {
-                deg.push(Ccdf::new(m.degrees.clone()).series(la.land.clone()));
-            }
-            dia.push(cdf_series(&la.land, &m.diameters));
-            clu.push(cdf_series(&la.land, &m.clusterings));
+            zones.push(cdf_series(&la.land, &la.zones.counts));
         }
-        set.push(deg);
-        set.push(dia);
-        set.push(clu);
-    }
-
-    // Fig. 3: zone occupation CDF.
-    let mut zones = Figure::new(
-        "fig3_zones",
-        "Zone Occupation CDF, L=20m",
-        "Number of users per cell",
-        "F(x)",
-        Scale::Linear,
-    );
-    for la in lands {
-        zones.push(cdf_series(&la.land, &la.zones.counts));
-    }
-    set.push(zones);
+        zones
+    }));
 
     // Fig. 4: trip analysis CDFs.
     let trips: [(&str, &str, &str, TripGetter); 3] = [
@@ -237,13 +296,19 @@ pub fn paper_figures(lands: &[LandAnalysis]) -> FigureSet {
         }),
     ];
     for (id, title, xlabel, getter) in trips {
-        let mut fig = Figure::new(id, title, xlabel, "F(x)", Scale::Linear);
-        for la in lands {
-            fig.push(cdf_series(&la.land, getter(&la.trips)));
-        }
-        set.push(fig);
+        builders.push(Box::new(move || {
+            let mut fig = Figure::new(id, title, xlabel, "F(x)", Scale::Linear);
+            for la in lands {
+                fig.push(cdf_series(&la.land, getter(&la.trips)));
+            }
+            fig
+        }));
     }
 
+    let mut set = FigureSet::default();
+    for fig in sl_par::par_map(&builders, |_, build| build()) {
+        set.push(fig);
+    }
     set
 }
 

@@ -1,0 +1,193 @@
+//! One-pass snapshot preparation shared by every analysis module.
+//!
+//! The paper's methodology (§3) computes several metric families over
+//! the same 24 h of τ = 10 s snapshots at two communication ranges.
+//! Done naively — as the first version of this crate did — every module
+//! re-walks every snapshot, re-filters excluded users and seated
+//! sentinels, and rebuilds a spatial grid index, once per module per
+//! range: six full filter passes and four grid builds per snapshot.
+//!
+//! [`PreparedTrace`] hoists the shared work out:
+//!
+//! * the exclusion set is materialized **once** (not once per module),
+//! * each snapshot is filtered **once** into columnar `users` + `points`
+//!   vectors reused by contacts, line-of-sight, and zone occupation,
+//! * per-snapshot proximity edges at a given range are extracted
+//!   **once** ([`PreparedTrace::edges_at`]) and shared by the contact
+//!   state machine and the line-of-sight graph metrics.
+//!
+//! Both the filter pass and the edge extraction fan out over snapshots
+//! with [`sl_par::par_map`], whose index-ordered reduction keeps the
+//! result byte-identical to the serial walk.
+
+use sl_graph::GridIndex;
+use sl_trace::{Trace, UserId};
+use std::collections::HashSet;
+
+/// One snapshot, filtered and laid out column-wise: `users[i]` stood at
+/// `points[i]`. Excluded users and seated sentinels are already gone.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PreparedSnapshot {
+    /// Snapshot time, virtual seconds.
+    pub t: f64,
+    /// Users with usable positions, in snapshot entry order.
+    pub users: Vec<UserId>,
+    /// Ground-plane positions, parallel to `users`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl PreparedSnapshot {
+    /// Number of usable observations.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when no usable observation survived the filter.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+/// Proximity edges of every snapshot at one communication range, in
+/// snapshot order. Edges are `(i, j)` indices into the corresponding
+/// [`PreparedSnapshot`]'s columns, exactly as the grid index emits them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeEdges {
+    /// The communication range these edges were extracted at, meters.
+    pub range: f64,
+    /// Per-snapshot edge lists, parallel to `PreparedTrace::snapshots`.
+    pub per_snapshot: Vec<Vec<(u32, u32)>>,
+}
+
+/// A trace prepared for analysis: filtered columnar snapshots plus the
+/// trace it came from (for metadata and modules that need raw access).
+#[derive(Debug)]
+pub struct PreparedTrace<'a> {
+    /// The underlying trace (metadata, gaps, raw snapshots).
+    pub trace: &'a Trace,
+    /// The exclusion set, built once for the whole analysis.
+    pub excluded: HashSet<UserId>,
+    /// Filtered snapshots, in trace order.
+    pub snapshots: Vec<PreparedSnapshot>,
+}
+
+impl<'a> PreparedTrace<'a> {
+    /// Filter `trace` once: drop `exclude`d users (the measuring
+    /// crawler) and seated-sentinel observations from every snapshot.
+    pub fn new(trace: &'a Trace, exclude: &[UserId]) -> Self {
+        let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+        let snapshots = sl_par::par_map(&trace.snapshots, |_, snap| {
+            let mut users = Vec::with_capacity(snap.entries.len());
+            let mut points = Vec::with_capacity(snap.entries.len());
+            for obs in &snap.entries {
+                if excluded.contains(&obs.user) || obs.pos.is_seated_sentinel() {
+                    continue;
+                }
+                users.push(obs.user);
+                points.push(obs.pos.xy());
+            }
+            PreparedSnapshot {
+                t: snap.t,
+                users,
+                points,
+            }
+        });
+        PreparedTrace {
+            trace,
+            excluded,
+            snapshots,
+        }
+    }
+
+    /// Snapshot interval τ of the underlying trace.
+    pub fn tau(&self) -> f64 {
+        self.trace.meta.tau
+    }
+
+    /// Extract the proximity edges of every snapshot at `range`, one
+    /// grid build per snapshot — shared downstream by the contact
+    /// extractor and the line-of-sight metrics, which previously each
+    /// built their own index.
+    pub fn edges_at(&self, range: f64) -> RangeEdges {
+        let per_snapshot = sl_par::par_map(&self.snapshots, |_, snap| {
+            if snap.points.len() < 2 {
+                return Vec::new();
+            }
+            GridIndex::new(&snap.points, range).pairs_within()
+        });
+        RangeEdges {
+            range,
+            per_snapshot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_graph::proximity_edges;
+    use sl_trace::{LandMeta, Position, Snapshot};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(LandMeta::standard("P", 10.0));
+        for k in 1..=5i64 {
+            let mut s = Snapshot::new(k as f64 * 10.0);
+            s.push(UserId(1), Position::new(10.0 + k as f64, 20.0, 22.0));
+            s.push(UserId(2), Position::new(12.0, 20.0, 22.0));
+            s.push(UserId(7), Position::SEATED);
+            s.push(UserId(9), Position::new(100.0, 100.0, 22.0));
+            t.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn filters_excluded_and_seated_once() {
+        let t = sample_trace();
+        let prep = PreparedTrace::new(&t, &[UserId(9)]);
+        assert_eq!(prep.snapshots.len(), 5);
+        for snap in &prep.snapshots {
+            assert_eq!(snap.users, vec![UserId(1), UserId(2)]);
+            assert_eq!(snap.len(), snap.points.len());
+            assert!(!snap.is_empty());
+        }
+        assert!(prep.excluded.contains(&UserId(9)));
+        assert_eq!(prep.tau(), 10.0);
+    }
+
+    #[test]
+    fn edges_match_direct_extraction() {
+        let t = sample_trace();
+        let prep = PreparedTrace::new(&t, &[]);
+        for range in [10.0, 80.0] {
+            let edges = prep.edges_at(range);
+            assert_eq!(edges.range, range);
+            assert_eq!(edges.per_snapshot.len(), prep.snapshots.len());
+            for (snap, got) in prep.snapshots.iter().zip(&edges.per_snapshot) {
+                assert_eq!(got, &proximity_edges(&snap.points, range));
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_prep_identical() {
+        let t = sample_trace();
+        let serial = sl_par::with_threads(1, || {
+            let p = PreparedTrace::new(&t, &[UserId(9)]);
+            (p.edges_at(80.0), p.snapshots)
+        });
+        let parallel = sl_par::with_threads(4, || {
+            let p = PreparedTrace::new(&t, &[UserId(9)]);
+            (p.edges_at(80.0), p.snapshots)
+        });
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_trace_prepares_empty() {
+        let t = Trace::new(LandMeta::standard("P", 10.0));
+        let prep = PreparedTrace::new(&t, &[]);
+        assert!(prep.snapshots.is_empty());
+        assert!(prep.edges_at(10.0).per_snapshot.is_empty());
+    }
+}

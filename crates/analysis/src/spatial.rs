@@ -7,10 +7,10 @@
 //! "some lands (e.g. Dance Island) are characterized by hot-spots with
 //! several tens of users".
 
+use crate::prep::PreparedTrace;
 use serde::{Deserialize, Serialize};
 use sl_stats::binning::cell_counts;
 use sl_trace::{Trace, UserId};
-use std::collections::HashSet;
 
 /// Zone-occupation samples for one trace.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -27,23 +27,31 @@ pub struct ZoneOccupation {
 
 /// Compute zone occupation at cell side `cell_size` (paper: 20 m),
 /// ignoring `exclude`d users and seated avatars.
+///
+/// Convenience wrapper over [`zone_occupation_prepared`]; the pipeline
+/// prepares the trace once and shares it across metric families.
 pub fn zone_occupation(trace: &Trace, cell_size: f64, exclude: &[UserId]) -> ZoneOccupation {
+    let prep = PreparedTrace::new(trace, exclude);
+    zone_occupation_prepared(&prep, cell_size)
+}
+
+/// Compute zone occupation from a prepared trace. The per-snapshot
+/// binning fans out over snapshots; the flatten keeps snapshot order,
+/// so the sample vector is byte-identical to the serial walk.
+pub fn zone_occupation_prepared(prep: &PreparedTrace, cell_size: f64) -> ZoneOccupation {
     assert!(cell_size > 0.0, "cell size must be positive");
-    let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+    let (width, height) = (prep.trace.meta.width, prep.trace.meta.height);
+    let per_snapshot: Vec<Vec<u32>> = sl_par::par_map(&prep.snapshots, |_, snap| {
+        cell_counts(&snap.points, width, height, cell_size).counts
+    });
+
     let mut out = ZoneOccupation {
         cell_size,
         ..Default::default()
     };
     let mut empty = 0usize;
-    for snap in &trace.snapshots {
-        let points: Vec<(f64, f64)> = snap
-            .entries
-            .iter()
-            .filter(|o| !excluded.contains(&o.user) && !o.pos.is_seated_sentinel())
-            .map(|o| o.pos.xy())
-            .collect();
-        let grid = cell_counts(&points, trace.meta.width, trace.meta.height, cell_size);
-        for &c in &grid.counts {
+    for counts in &per_snapshot {
+        for &c in counts {
             if c == 0 {
                 empty += 1;
             }

@@ -43,6 +43,13 @@ pub struct TripMetrics {
 /// sessions consisting of a single snapshot (no motion observable).
 pub fn trip_metrics(trace: &Trace, exclude: &[UserId]) -> TripMetrics {
     let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+    trip_metrics_excluding(trace, &excluded)
+}
+
+/// [`trip_metrics`] with a pre-built exclusion set — the pipeline
+/// materializes the set once per analysis and passes it to every
+/// consumer instead of each rebuilding it.
+pub fn trip_metrics_excluding(trace: &Trace, excluded: &HashSet<UserId>) -> TripMetrics {
     let mut out = TripMetrics::default();
     for session in extract_sessions(trace, SESSION_GAP_TOLERANCE) {
         if excluded.contains(&session.user) || session.path.len() < 2 {

@@ -1,0 +1,117 @@
+//! The engine's core guarantee: the parallel analysis is **byte
+//! identical** to the serial reference. `sl_par::with_threads(1, ..)`
+//! runs the very same code with zero worker threads; any divergence at
+//! higher thread counts would mean the ordered reduction leaked
+//! scheduling nondeterminism into the figures or scorecards.
+
+use sl_analysis::pipeline::{analyze_land, paper_figures, LandAnalysis};
+use sl_trace::{GapCause, GapRecord, LandMeta, Position, Snapshot, Trace, UserId};
+use sl_world::presets::dance_island;
+use sl_world::World;
+
+/// A deterministic simulated trace: `minutes` of Dance Island.
+fn simulated_trace(seed: u64, minutes: f64) -> Trace {
+    let mut world = World::new(dance_island().config, seed);
+    world.warm_up(1800.0);
+    world.run_trace(minutes * 60.0, 10.0)
+}
+
+/// A hand-built trace with crawler outages recorded as gaps and holes
+/// in the snapshot grid (the PR-1 chaos shape): the engine must stay
+/// deterministic on gap-carrying traces too.
+fn gap_trace(seed: u64) -> Trace {
+    let mut t = Trace::new(LandMeta::standard("Gappy", 10.0));
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for k in 1..=120u64 {
+        // Holes: snapshots lost to the outage below never got taken.
+        if (40..44).contains(&k) {
+            continue;
+        }
+        let mut s = Snapshot::new(k as f64 * 10.0);
+        for u in 0..(next() % 24) {
+            let r = next();
+            let pos = if r % 10 == 0 {
+                Position::SEATED
+            } else {
+                Position::new((r % 256) as f64, (r / 256 % 256) as f64, 22.0)
+            };
+            s.push(UserId(u as u32), pos);
+        }
+        t.push(s);
+    }
+    t.record_gap(GapRecord::new(GapCause::Stall, 390.0, 440.0));
+    t.record_gap(GapRecord::new(GapCause::Throttle, 800.0, 830.0));
+    t
+}
+
+/// Assert serial and parallel runs agree structurally *and* on the
+/// serialized bytes (what figures and scorecards are derived from).
+fn assert_equivalent(trace: &Trace, exclude: &[UserId]) {
+    let serial: LandAnalysis = sl_par::with_threads(1, || analyze_land(trace, exclude));
+    for threads in [2, 4, 7] {
+        let parallel = sl_par::with_threads(threads, || analyze_land(trace, exclude));
+        assert_eq!(serial, parallel, "analysis diverged at {threads} threads");
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap(),
+            "serialized analysis diverged at {threads} threads"
+        );
+    }
+    // The default pool (whatever the machine offers) must agree too.
+    let default_pool = analyze_land(trace, exclude);
+    assert_eq!(serial, default_pool, "default pool diverged from serial");
+}
+
+#[test]
+fn simulated_trace_parallel_equals_serial() {
+    let trace = simulated_trace(42, 20.0);
+    assert_equivalent(&trace, &[]);
+}
+
+#[test]
+fn exclusions_do_not_break_equivalence() {
+    let trace = simulated_trace(7, 10.0);
+    let users = trace.unique_users();
+    let exclude: Vec<UserId> = users.iter().copied().take(3).collect();
+    assert_equivalent(&trace, &exclude);
+}
+
+#[test]
+fn gap_carrying_trace_parallel_equals_serial() {
+    for seed in [1, 2, 3] {
+        let trace = gap_trace(seed);
+        assert!(!trace.gaps.is_empty(), "fixture must carry gaps");
+        assert_equivalent(&trace, &[]);
+    }
+}
+
+#[test]
+fn empty_and_degenerate_traces_are_equivalent() {
+    let empty = Trace::new(LandMeta::standard("Empty", 10.0));
+    assert_equivalent(&empty, &[]);
+
+    let mut single = Trace::new(LandMeta::standard("Single", 10.0));
+    let mut s = Snapshot::new(10.0);
+    s.push(UserId(1), Position::new(50.0, 50.0, 22.0));
+    single.push(s);
+    assert_equivalent(&single, &[]);
+}
+
+#[test]
+fn figures_parallel_equal_serial() {
+    let a = sl_par::with_threads(1, || analyze_land(&simulated_trace(11, 15.0), &[]));
+    let mut b = a.clone();
+    b.land = "Other".into();
+    let lands = vec![a, b];
+    let serial = sl_par::with_threads(1, || paper_figures(&lands));
+    for threads in [2, 4, 8] {
+        let parallel = sl_par::with_threads(threads, || paper_figures(&lands));
+        assert_eq!(serial, parallel, "figures diverged at {threads} threads");
+    }
+}

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use sl_analysis::contacts::extract_contacts;
 use sl_analysis::los::los_metrics;
+use sl_analysis::pipeline::analyze_land;
 use sl_analysis::relations::RelationGraph;
 use sl_analysis::spatial::zone_occupation;
 use sl_analysis::trips::trip_metrics;
@@ -136,6 +137,20 @@ proptest! {
         endpoint_users.sort_unstable();
         endpoint_users.dedup();
         prop_assert_eq!(endpoint_users, rel.users.clone());
+    }
+
+    #[test]
+    fn parallel_analysis_is_bit_identical_to_serial(trace in arb_trace(), threads in 2usize..9) {
+        // The full pipeline under an explicit worker pool must match
+        // the single-thread reference bit for bit — structurally and on
+        // the serialized bytes every figure derives from.
+        let serial = sl_par::with_threads(1, || analyze_land(&trace, &[]));
+        let parallel = sl_par::with_threads(threads, || analyze_land(&trace, &[]));
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
     }
 
     #[test]

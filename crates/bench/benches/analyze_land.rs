@@ -1,0 +1,35 @@
+//! Engine bench: prepared-trace construction and the end-to-end
+//! `analyze_land`, serial (one pinned thread) vs parallel (the full
+//! worker pool). The recorded JSON baseline comes from the
+//! `analysis_bench` binary; this target tracks regressions via
+//! criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl_analysis::pipeline::analyze_land;
+use sl_analysis::prep::PreparedTrace;
+use sl_bench::large_fixture;
+
+fn bench_analyze_land(c: &mut Criterion) {
+    // Half an hour of the ~5k-user fixture: heavy enough for the
+    // parallel fan-out to matter, light enough for criterion's
+    // iteration counts.
+    let trace = large_fixture(42, 0.5);
+    let mut group = c.benchmark_group("analyze_land");
+    group.sample_size(10);
+
+    group.bench_function("prepare_trace", |b| {
+        b.iter(|| PreparedTrace::new(&trace, &[]))
+    });
+    group.bench_function("edges_rb10", |b| {
+        let prep = PreparedTrace::new(&trace, &[]);
+        b.iter(|| prep.edges_at(10.0))
+    });
+    group.bench_function("e2e_serial", |b| {
+        b.iter(|| sl_par::with_threads(1, || analyze_land(&trace, &[])))
+    });
+    group.bench_function("e2e_parallel", |b| b.iter(|| analyze_land(&trace, &[])));
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze_land);
+criterion_main!(benches);

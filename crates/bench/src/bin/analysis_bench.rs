@@ -1,0 +1,269 @@
+//! `analysis_bench` — the recorded performance baseline of the analysis
+//! engine.
+//!
+//! ```sh
+//! cargo run -p sl-bench --bin analysis_bench --release              # full baseline
+//! cargo run -p sl-bench --bin analysis_bench --release -- --quick   # CI smoke run
+//! cargo run -p sl-bench --bin analysis_bench --release -- --threads 8 --iters 5
+//! ```
+//!
+//! Generates a seeded large trace (Dance Island geometry, ~5 000 unique
+//! users), then times every stage of the engine — snapshot preparation,
+//! proximity-edge extraction, contact extraction and line-of-sight
+//! metrics at both communication ranges, zone binning, and the full
+//! end-to-end `analyze_land` — once pinned to a single thread
+//! (`sl_par::with_threads(1, ..)`, the serial reference) and once on the
+//! configured worker pool. Each stage also verifies that the two
+//! executions produced identical output before trusting the timing.
+//!
+//! The report is written as JSON (default `BENCH_analysis.json`): wall
+//! time per stage (best of `--iters`), throughput in snapshots/s, and
+//! the parallel-over-serial speedup.
+
+use sl_analysis::pipeline::{analyze_land, RB, RW, ZONE_L};
+use sl_analysis::prep::PreparedTrace;
+use sl_analysis::spatial::zone_occupation_prepared;
+use sl_analysis::{extract_contacts_prepared, los_metrics_prepared};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    hours: f64,
+    iters: usize,
+    threads: Option<usize>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        hours: 2.0,
+        iters: 3,
+        threads: None,
+        out: PathBuf::from("BENCH_analysis.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                args.hours = 0.5;
+                args.iters = 1;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--hours" => {
+                args.hours = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&h: &f64| h > 0.0)
+                    .unwrap_or_else(|| die("--hours needs a positive number"));
+            }
+            "--iters" => {
+                args.iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--iters needs a positive integer"));
+            }
+            "--threads" => {
+                args.threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--threads needs a positive integer")),
+                );
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: analysis_bench [--quick] [--seed N] [--hours H] [--iters K] [--threads T] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("analysis_bench: {msg}");
+    std::process::exit(2);
+}
+
+/// One timed stage of the engine.
+struct StageReport {
+    /// Stage name (`prep`, `contacts_rb`, `analyze_land`, ...).
+    stage: String,
+    /// Serial wall time, seconds (best of `iters`, one thread).
+    serial_secs: f64,
+    /// Parallel wall time, seconds (best of `iters`, full pool).
+    parallel_secs: f64,
+    /// serial / parallel.
+    speedup: f64,
+    /// Snapshots processed per second on the parallel path.
+    snapshots_per_sec: f64,
+}
+
+impl StageReport {
+    fn json(&self) -> String {
+        format!(
+            "{{ \"stage\": {:?}, \"serial_secs\": {}, \"parallel_secs\": {}, \
+             \"speedup\": {}, \"snapshots_per_sec\": {} }}",
+            self.stage, self.serial_secs, self.parallel_secs, self.speedup, self.snapshots_per_sec
+        )
+    }
+}
+
+/// The whole `BENCH_analysis.json` document. Serialized by hand — the
+/// structure is flat and numeric, and keeping the writer dependency-free
+/// means the harness runs identically everywhere.
+struct BenchReport {
+    seed: u64,
+    hours: f64,
+    iters: usize,
+    threads: usize,
+    snapshots: usize,
+    unique_users: usize,
+    avg_concurrent: f64,
+    stages: Vec<StageReport>,
+}
+
+impl BenchReport {
+    fn json(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| format!("    {}", s.json()))
+            .collect();
+        format!(
+            "{{\n  \"seed\": {},\n  \"hours\": {},\n  \"iters\": {},\n  \"threads\": {},\n  \
+             \"snapshots\": {},\n  \"unique_users\": {},\n  \"avg_concurrent\": {},\n  \
+             \"stages\": [\n{}\n  ]\n}}\n",
+            self.seed,
+            self.hours,
+            self.iters,
+            self.threads,
+            self.snapshots,
+            self.unique_users,
+            self.avg_concurrent,
+            stages.join(",\n")
+        )
+    }
+}
+
+/// Best-of-`iters` wall time of `f`, in seconds.
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Time `f` serially and in parallel, verifying both produce identical
+/// output (the engine's core guarantee) before recording the numbers.
+fn stage<R: PartialEq>(
+    name: &str,
+    snapshots: usize,
+    iters: usize,
+    f: impl Fn() -> R,
+) -> StageReport {
+    let serial_out = sl_par::with_threads(1, &f);
+    let parallel_out = f();
+    assert!(
+        serial_out == parallel_out,
+        "stage {name}: parallel output differs from the serial reference"
+    );
+    let serial_secs = time_best(iters, || sl_par::with_threads(1, &f));
+    let parallel_secs = time_best(iters, &f);
+    let report = StageReport {
+        stage: name.to_string(),
+        serial_secs,
+        parallel_secs,
+        speedup: serial_secs / parallel_secs,
+        snapshots_per_sec: snapshots as f64 / parallel_secs,
+    };
+    println!(
+        "  {:<16} serial {:>8.3} s   parallel {:>8.3} s   speedup {:>5.2}x",
+        report.stage, report.serial_secs, report.parallel_secs, report.speedup
+    );
+    report
+}
+
+fn main() {
+    let args = parse_args();
+    sl_par::set_thread_cap(args.threads);
+    let threads = sl_par::current_threads();
+
+    println!(
+        "Generating the large fixture: seed {}, {:.1} h, ~5000 users ...",
+        args.seed, args.hours
+    );
+    let t0 = Instant::now();
+    let trace = sl_bench::large_fixture(args.seed, args.hours);
+    let summary = sl_trace::TraceSummary::of(&trace);
+    println!(
+        "  {} snapshots, {} unique users, {:.1} avg concurrent ({:.1} s to generate)",
+        summary.snapshots,
+        summary.unique_users,
+        summary.avg_concurrent,
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "Timing {} iteration(s) per stage on {} thread(s):",
+        args.iters, threads
+    );
+
+    let n = trace.len();
+    let prep = PreparedTrace::new(&trace, &[]);
+    let edges_rb = prep.edges_at(RB);
+    let edges_rw = prep.edges_at(RW);
+
+    let stages = vec![
+        stage("prep", n, args.iters, || {
+            PreparedTrace::new(&trace, &[]).snapshots
+        }),
+        stage("edges_rb", n, args.iters, || prep.edges_at(RB).per_snapshot),
+        stage("edges_rw", n, args.iters, || prep.edges_at(RW).per_snapshot),
+        stage("contacts_rb", n, args.iters, || {
+            extract_contacts_prepared(&prep, &edges_rb)
+        }),
+        stage("contacts_rw", n, args.iters, || {
+            extract_contacts_prepared(&prep, &edges_rw)
+        }),
+        stage("los_rb", n, args.iters, || {
+            los_metrics_prepared(&prep, &edges_rb)
+        }),
+        stage("los_rw", n, args.iters, || {
+            los_metrics_prepared(&prep, &edges_rw)
+        }),
+        stage("zones", n, args.iters, || {
+            zone_occupation_prepared(&prep, ZONE_L)
+        }),
+        stage("analyze_land", n, args.iters, || analyze_land(&trace, &[])),
+    ];
+
+    let report = BenchReport {
+        seed: args.seed,
+        hours: args.hours,
+        iters: args.iters,
+        threads,
+        snapshots: summary.snapshots,
+        unique_users: summary.unique_users,
+        avg_concurrent: summary.avg_concurrent,
+        stages,
+    };
+    std::fs::write(&args.out, report.json()).expect("write report");
+    println!("Baseline written to {}", args.out.display());
+}

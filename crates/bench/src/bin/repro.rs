@@ -28,6 +28,7 @@ struct Args {
     ablation: bool,
     relations: bool,
     seeds: usize,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +40,7 @@ fn parse_args() -> Args {
         ablation: false,
         relations: false,
         seeds: 1,
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -71,9 +73,17 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--seeds needs a positive integer"));
             }
             "--relations" => args.relations = true,
+            "--threads" => {
+                args.threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--threads needs a positive integer")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--all | --quick | --hours H] [--seed N] [--seeds K] [--out DIR] [--no-ascii] [--ablation] [--relations]"
+                    "usage: repro [--all | --quick | --hours H] [--seed N] [--seeds K] [--threads T] [--out DIR] [--no-ascii] [--ablation] [--relations]"
                 );
                 std::process::exit(0);
             }
@@ -90,10 +100,12 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let args = parse_args();
+    sl_par::set_thread_cap(args.threads);
     println!(
-        "Reproducing the paper: 3 lands x {:.1} h at seed {} ...",
+        "Reproducing the paper: 3 lands x {:.1} h at seed {} on {} thread(s) ...",
         args.duration / 3600.0,
-        args.seed
+        args.seed,
+        sl_par::current_threads(),
     );
     let t0 = std::time::Instant::now();
     let run = run_paper_reproduction(args.seed, args.duration);
@@ -186,17 +198,19 @@ fn main() {
             "Sweeping {} additional seeds for confidence intervals...",
             args.seeds - 1
         );
+        // Each extra seed is an independent reproduction: fan the sweep
+        // out over worker threads, keeping the seed order in the
+        // aggregate (nested per-land parallelism degrades gracefully to
+        // serial inside each worker).
+        let extra: Vec<u64> = (1..args.seeds as u64).collect();
         let mut per_seed = vec![all_rows.clone()];
-        for k in 1..args.seeds as u64 {
-            let run_k = run_paper_reproduction(args.seed + k, args.duration);
-            per_seed.push(
-                run_k
-                    .lands
-                    .iter()
-                    .flat_map(|land| scorecard(&land.analysis, &land.preset.targets))
-                    .collect(),
-            );
-        }
+        per_seed.extend(sl_par::par_map(&extra, |_, &k| {
+            run_paper_reproduction(args.seed + k, args.duration)
+                .lands
+                .iter()
+                .flat_map(|land| scorecard(&land.analysis, &land.preset.targets))
+                .collect::<Vec<_>>()
+        }));
         let agg = aggregate(&per_seed);
         let md = aggregate_to_markdown(&agg);
         println!("Scorecard over {} seeds:\n\n{md}", args.seeds);

@@ -29,6 +29,26 @@ pub fn apfel_fixture() -> Trace {
     fixture_trace(sl_world::presets::apfel_land(), 42, 1.0)
 }
 
+/// A large fixture for the performance harness: Dance Island's hotspot
+/// geometry with the arrival process rescaled so roughly 5 000 unique
+/// users pass through within `hours` hours — dense enough that contact
+/// extraction and the per-snapshot BFS work dominate the run time.
+pub fn large_fixture(seed: u64, hours: f64) -> Trace {
+    use sl_world::{ArrivalProcess, DiurnalProfile, SessionDurations};
+    let mut preset = sl_world::presets::dance_island();
+    // High-churn variant of Dance Island: ~5 000 expected arrivals over
+    // the run, short sessions so they actually cycle through, and a
+    // raised concurrency cap so the land does not reject the flood.
+    preset.config.arrivals =
+        ArrivalProcess::with_expected(5000.0, hours * 3600.0, DiurnalProfile::flat());
+    preset.config.sessions = SessionDurations::new(180.0, 600.0, 1800.0);
+    preset.config.land.max_concurrent = 600;
+    preset.config.return_prob = 0.0;
+    let mut world = World::new(preset.config, seed);
+    world.warm_up(1800.0);
+    world.run_trace(hours * 3600.0, 10.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,5 +60,17 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 360);
         assert!(!apfel_fixture().is_empty());
+    }
+
+    #[test]
+    fn large_fixture_is_dense_and_deterministic() {
+        // Short slice: structure check only, the full-size fixture is
+        // exercised by the bench harness itself.
+        let a = large_fixture(1, 0.1);
+        let b = large_fixture(1, 0.1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 36);
+        let sum: usize = a.snapshots.iter().map(|s| s.len()).sum();
+        assert!(sum > 0, "large fixture must not be empty");
     }
 }

@@ -81,16 +81,19 @@ pub struct PaperRun {
 
 /// Run the full reproduction at the given seed and duration
 /// (`duration = DAY` matches the paper).
+///
+/// The three lands simulate and analyze concurrently (each land is an
+/// independent seeded world); the index-ordered reduction keeps the
+/// paper's land order, so the output is identical to running them one
+/// after another.
 pub fn run_paper_reproduction(seed: u64, duration: f64) -> PaperRun {
-    let lands: Vec<LandOutcome> = all_presets()
-        .into_iter()
-        .map(|preset| {
-            run_land(&ExperimentConfig {
-                duration,
-                ..ExperimentConfig::new(preset, seed)
-            })
+    let presets = all_presets();
+    let lands: Vec<LandOutcome> = sl_par::par_map(&presets, |_, preset| {
+        run_land(&ExperimentConfig {
+            duration,
+            ..ExperimentConfig::new(preset.clone(), seed)
         })
-        .collect();
+    });
     let analyses: Vec<LandAnalysis> = lands.iter().map(|l| l.analysis.clone()).collect();
     let figures = paper_figures(&analyses);
     PaperRun { lands, figures }

@@ -1,0 +1,248 @@
+//! # sl-par
+//!
+//! Deterministic data parallelism for the analysis engine.
+//!
+//! The whole workspace contract is *bit-reproducibility*: the same seed
+//! must produce the same figures, scorecards and JSON byte for byte.
+//! That rules out any parallel reduction whose result depends on thread
+//! scheduling. [`par_map`] therefore keeps one invariant: **the output
+//! vector is ordered by input index**, exactly as a serial `map` would
+//! produce it, no matter how the items were scheduled across workers.
+//! Workers pull items off a shared atomic counter (so load balances
+//! dynamically) and tag every result with its index; the caller-side
+//! assembly sorts the tags back into input order.
+//!
+//! Thread-count resolution, most specific wins:
+//!
+//! 1. a scoped [`with_threads`] override (used by tests and the serial
+//!    reference path of the equivalence suite);
+//! 2. the process-wide cap set by [`set_thread_cap`] (the `--threads`
+//!    CLI flag);
+//! 3. the `SL_THREADS` environment variable;
+//! 4. the `RAYON_NUM_THREADS` environment variable (honored for
+//!    compatibility with the wider ecosystem's convention);
+//! 5. [`std::thread::available_parallelism`].
+//!
+//! Nested `par_map` calls inside a worker run serially: the outer map
+//! already owns the machine, and oversubscribing threads would add
+//! scheduling noise without adding throughput.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread cap; 0 means "not set".
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override; 0 means "not set". Set to 1 inside workers so
+    /// nested maps run serially.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Set the process-wide thread cap (the `--threads N` CLI flag).
+/// `None` clears the cap back to environment/hardware resolution.
+pub fn set_thread_cap(threads: Option<usize>) {
+    THREAD_CAP.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The number of worker threads a [`par_map`] started right now would
+/// use, after applying every layer of configuration.
+pub fn current_threads() -> usize {
+    let over = THREAD_OVERRIDE.with(|c| c.get());
+    if over >= 1 {
+        return over;
+    }
+    let cap = THREAD_CAP.load(Ordering::Relaxed);
+    if cap >= 1 {
+        return cap;
+    }
+    env_threads("SL_THREADS")
+        .or_else(|| env_threads("RAYON_NUM_THREADS"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run `f` with the thread count pinned to `threads` on this thread
+/// (and, transitively, every `par_map` it performs). `with_threads(1,
+/// ..)` is the serial reference path: it executes the identical code
+/// without spawning a single worker.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads >= 1, "thread count must be at least 1");
+    THREAD_OVERRIDE.with(|c| {
+        let prev = c.get();
+        c.set(threads);
+        let out = f();
+        c.set(prev);
+        out
+    })
+}
+
+/// Map `f` over `items` in parallel, returning results **in input
+/// order** — byte-identical to the serial `items.iter().map(f)` for any
+/// pure `f`. `f` receives `(index, &item)`.
+///
+/// Panics in `f` propagate to the caller (the scope joins all workers
+/// first, so no work is silently lost).
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = current_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                // Workers own their core: nested maps stay serial.
+                THREAD_OVERRIDE.with(|c| c.set(1));
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            tagged.extend(h.join().expect("par_map worker panicked"));
+        }
+    });
+    // Deterministic ordered reduction: scheduling decided who computed
+    // what, the index decides where it lands.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Two-way structured fork-join: runs `a` and `b` concurrently (when
+/// more than one thread is available) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(|| {
+            THREAD_OVERRIDE.with(|c| c.set(1));
+            b()
+        });
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_like_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = with_threads(threads, || par_map(&items, |_, &x| x * x));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d"];
+        let got = with_threads(4, || par_map(&items, |i, &s| format!("{i}:{s}")));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_maps_run_serially_and_stay_ordered() {
+        let outer: Vec<u32> = (0..16).collect();
+        let got = with_threads(4, || {
+            par_map(&outer, |_, &x| {
+                // Inside a worker the override pins nested maps to 1.
+                assert_eq!(current_threads(), 1, "nested calls must not oversubscribe");
+                let inner: Vec<u32> = (0..8).collect();
+                par_map(&inner, |_, &y| x * 100 + y)
+            })
+        });
+        for (x, row) in got.iter().enumerate() {
+            for (y, &v) in row.iter().enumerate() {
+                assert_eq!(v as usize, x * 100 + y);
+            }
+        }
+    }
+
+    #[test]
+    fn with_threads_restores_previous_value() {
+        // Run under an outer override so the global cap (mutated by
+        // other tests in this process) cannot interfere.
+        with_threads(7, || {
+            with_threads(3, || {
+                assert_eq!(current_threads(), 3);
+                with_threads(1, || assert_eq!(current_threads(), 1));
+                assert_eq!(current_threads(), 3);
+            });
+            assert_eq!(current_threads(), 7);
+        });
+    }
+
+    #[test]
+    fn join_returns_both_in_order() {
+        let (a, b) = with_threads(4, || join(|| 1 + 1, || "two"));
+        assert_eq!((a, b), (2, "two"));
+        let (a, b) = with_threads(1, || join(|| 3, || 4));
+        assert_eq!((a, b), (3, 4));
+    }
+
+    #[test]
+    fn thread_cap_applies_and_clears() {
+        set_thread_cap(Some(2));
+        assert_eq!(current_threads(), 2);
+        // Scoped override still wins over the cap.
+        with_threads(5, || assert_eq!(current_threads(), 5));
+        set_thread_cap(None);
+        assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn results_with_non_copy_payloads() {
+        let items: Vec<String> = (0..64).map(|i| format!("item-{i}")).collect();
+        let got = with_threads(8, || par_map(&items, |i, s| (i, s.len())));
+        for (i, &(idx, len)) in got.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(len, items[i].len());
+        }
+    }
+}

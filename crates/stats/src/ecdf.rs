@@ -60,6 +60,59 @@ impl Series {
     }
 }
 
+/// True when `xs` is sorted ascending (NaN-free inputs only).
+fn is_sorted_ascending(xs: &[f64]) -> bool {
+    xs.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// `F(x)` over an already-sorted sample: fraction of samples `<= x`.
+/// Returns 0 for an empty sample.
+pub fn eval_sorted(xs: &[f64], x: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.partition_point(|&v| v <= x) as f64 / xs.len() as f64
+}
+
+/// Nearest-rank quantile of an already-sorted sample; `q` clamped to
+/// `[0, 1]`. Returns `None` for an empty sample. Identical to
+/// [`Ecdf::quantile`] without cloning or re-sorting the data.
+pub fn quantile_sorted(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        is_sorted_ascending(xs),
+        "quantile_sorted needs sorted input"
+    );
+    let q = q.clamp(0.0, 1.0);
+    let n = xs.len();
+    let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+    Some(xs[idx])
+}
+
+/// Median of an already-sorted sample (`None` when empty).
+pub fn median_sorted(xs: &[f64]) -> Option<f64> {
+    quantile_sorted(xs, 0.5)
+}
+
+/// CCDF of an already-sorted sample evaluated on a log-spaced grid
+/// between the sample min and max — the allocation-free equivalent of
+/// [`Ccdf::series_log_grid`] for callers that already hold sorted data.
+pub fn ccdf_log_grid_sorted(label: impl Into<String>, xs: &[f64], points: usize) -> Series {
+    assert!(points >= 2, "need at least two grid points");
+    assert!(!xs.is_empty(), "log grid of empty sample");
+    debug_assert!(is_sorted_ascending(xs), "log grid needs sorted input");
+    let lo = xs[0].max(1e-9);
+    let hi = xs[xs.len() - 1].max(lo * (1.0 + 1e-9));
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    let grid: Vec<f64> = (0..points)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (points - 1) as f64).exp())
+        .collect();
+    let ys: Vec<f64> = grid.iter().map(|&x| 1.0 - eval_sorted(xs, x)).collect();
+    Series::new(label, grid, ys)
+}
+
 /// Empirical CDF over a sample.
 ///
 /// ```
@@ -90,6 +143,22 @@ impl Ecdf {
             "ECDF input must be finite"
         );
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: samples }
+    }
+
+    /// Build from an **already sorted** sample without re-sorting —
+    /// callers that just produced sorted output (the contact extractor
+    /// sorts its samples for deterministic serialization) skip the
+    /// redundant `O(n log n)` pass. Debug builds verify the order.
+    pub fn from_sorted(samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "ECDF input must be finite"
+        );
+        debug_assert!(
+            is_sorted_ascending(&samples),
+            "Ecdf::from_sorted needs sorted input"
+        );
         Ecdf { sorted: samples }
     }
 
@@ -192,6 +261,11 @@ impl Ccdf {
         Ecdf::new(samples).ccdf()
     }
 
+    /// Build from an **already sorted** sample (see [`Ecdf::from_sorted`]).
+    pub fn from_sorted(samples: Vec<f64>) -> Self {
+        Ecdf::from_sorted(samples).ccdf()
+    }
+
     /// `1 - F(x)`: fraction of samples strictly greater than x.
     pub fn eval(&self, x: f64) -> f64 {
         1.0 - self.inner.eval(x)
@@ -226,16 +300,7 @@ impl Ccdf {
     /// CCDF evaluated on a log-spaced grid between the sample min and
     /// max — matches the log-x axes of the paper's Figure 1.
     pub fn series_log_grid(&self, label: impl Into<String>, points: usize) -> Series {
-        assert!(points >= 2, "need at least two grid points");
-        assert!(!self.is_empty(), "log grid of empty sample");
-        let lo = self.inner.min().max(1e-9);
-        let hi = self.inner.max().max(lo * (1.0 + 1e-9));
-        let (llo, lhi) = (lo.ln(), hi.ln());
-        let xs: Vec<f64> = (0..points)
-            .map(|i| (llo + (lhi - llo) * i as f64 / (points - 1) as f64).exp())
-            .collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| self.eval(x)).collect();
-        Series::new(label, xs, ys)
+        ccdf_log_grid_sorted(label, self.inner.sorted(), points)
     }
 }
 
@@ -321,5 +386,42 @@ mod tests {
     #[should_panic]
     fn quantile_empty_panics() {
         Ecdf::new(vec![]).quantile(0.5);
+    }
+
+    #[test]
+    fn sorted_free_functions_match_ecdf() {
+        let samples = vec![5.0, 1.0, 3.0, 3.0, 9.0, 2.0];
+        let e = Ecdf::new(samples);
+        let xs = e.sorted();
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(quantile_sorted(xs, q), Some(e.quantile(q)));
+        }
+        assert_eq!(median_sorted(xs), Some(e.median()));
+        for x in [0.0, 1.0, 2.5, 3.0, 9.0, 10.0] {
+            assert_eq!(eval_sorted(xs, x), e.eval(x));
+        }
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+        assert_eq!(median_sorted(&[]), None);
+        assert_eq!(eval_sorted(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn from_sorted_equals_new() {
+        let mut samples = vec![4.0, 1.0, 2.0, 2.0, 8.0];
+        let via_new = Ecdf::new(samples.clone());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let via_sorted = Ecdf::from_sorted(samples.clone());
+        assert_eq!(via_new.sorted(), via_sorted.sorted());
+        let c = Ccdf::from_sorted(samples);
+        assert_eq!(c.series("x"), via_new.ccdf().series("x"));
+    }
+
+    #[test]
+    fn sorted_log_grid_matches_ccdf_method() {
+        let samples: Vec<f64> = (1..500).map(|i| i as f64).collect();
+        let c = Ccdf::new(samples.clone());
+        let via_method = c.series_log_grid("t", 40);
+        let via_sorted = ccdf_log_grid_sorted("t", &samples, 40);
+        assert_eq!(via_method, via_sorted);
     }
 }

@@ -139,8 +139,21 @@ pub fn fit_two_phase(samples: &[f64], cut_quantile: f64, ks_threshold: f64) -> O
         return None;
     }
     let ecdf = Ecdf::new(samples.to_vec());
-    let crossover = ecdf.quantile(cut_quantile);
-    let sorted = ecdf.sorted();
+    fit_two_phase_sorted(ecdf.sorted(), cut_quantile, ks_threshold)
+}
+
+/// [`fit_two_phase`] over an **already sorted** sample — no copy, no
+/// re-sort. The analysis pipeline's contact samples arrive sorted, so
+/// this is its hot path.
+pub fn fit_two_phase_sorted(
+    sorted: &[f64],
+    cut_quantile: f64,
+    ks_threshold: f64,
+) -> Option<TwoPhaseFit> {
+    if sorted.len() < 100 {
+        return None;
+    }
+    let crossover = crate::ecdf::quantile_sorted(sorted, cut_quantile)?;
 
     // Head: power-law fit restricted to samples below the crossover.
     let head_end = sorted.partition_point(|&x| x < crossover);
