@@ -31,8 +31,9 @@ pub struct ContactSamples {
     pub inter_contact_times: Vec<f64>,
     /// First-contact waiting times, seconds (users who met someone).
     pub first_contact_times: Vec<f64>,
-    /// Contacts still open when the trace ended (censored; not included
-    /// in `contact_times`).
+    /// Contacts whose end was never observed (censored; not included in
+    /// `contact_times`): still open when the trace ended, or truncated
+    /// by a recorded measurement gap.
     pub censored_contacts: usize,
     /// Users who never had a neighbor during the whole trace (censored;
     /// not included in `first_contact_times`).
@@ -62,8 +63,23 @@ pub fn extract_contacts(trace: &Trace, range: f64, exclude: &[UserId]) -> Contac
 /// edges already computed at the target range. The per-snapshot pair
 /// set and close list are reused across snapshots (sorted vectors with
 /// binary-search membership) — no per-snapshot hash-set churn.
+///
+/// Recorded measurement gaps ([`sl_trace::GapRecord`]) are honored the
+/// way [`sl_trace::extract_sessions`] honors them — instrument
+/// blindness must not masquerade as pair behavior:
+///
+/// * a contact whose pair is absent at the first snapshot after a gap
+///   is **censored** (its true end is unobserved), not closed with a
+///   fabricated duration and ICT baseline;
+/// * ICT and FT samples subtract recorded blind time between the two
+///   observation instants, so an outage never inflates a separation or
+///   a first-contact wait.
+///
+/// On a gapless trace every sample is bit-identical to the gap-naive
+/// extraction (the blind-time corrections are exact zeros).
 pub fn extract_contacts_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> ContactSamples {
     let tau = prep.tau();
+    let trace = prep.trace;
 
     let mut open: HashMap<(UserId, UserId), OpenContact> = HashMap::new();
     let mut last_end: HashMap<(UserId, UserId), f64> = HashMap::new();
@@ -100,12 +116,21 @@ pub fn extract_contacts_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> Co
         // Close contacts that did not survive into this snapshot. A
         // contact "survives" only if the pair is in range at the very
         // next snapshot; a single missed snapshot ends it (τ is the
-        // measurement resolution).
+        // measurement resolution). Exception: when the instrument was
+        // blind between the last sighting and this snapshot, the
+        // contact's true end is unobservable — censor it (no CT sample,
+        // and no ICT baseline either) instead of pretending the pair
+        // separated right when the crawler happened to go dark.
         closed.clear();
         for (key, oc) in &open {
             if now_pairs.binary_search(key).is_err() {
-                out.contact_times.push(oc.snapshots as f64 * tau);
-                last_end.insert(*key, oc.last_seen);
+                if trace.blind_time(oc.last_seen, snap.t) > 0.0 {
+                    out.censored_contacts += 1;
+                    last_end.remove(key);
+                } else {
+                    out.contact_times.push(oc.snapshots as f64 * tau);
+                    last_end.insert(*key, oc.last_seen);
+                }
                 closed.push(*key);
             }
         }
@@ -122,7 +147,13 @@ pub fn extract_contacts_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> Co
                 }
                 None => {
                     if let Some(&prev_end) = last_end.get(&key) {
-                        out.inter_contact_times.push(snap.t - prev_end);
+                        // Blind spans between the two observation
+                        // instants are not separation time; subtract
+                        // them (exactly zero on gapless traces).
+                        let ict = snap.t - prev_end - trace.blind_time(prev_end, snap.t);
+                        if ict > 0.0 {
+                            out.inter_contact_times.push(ict);
+                        }
                     }
                     open.insert(
                         key,
@@ -137,14 +168,18 @@ pub fn extract_contacts_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> Co
         }
     }
 
-    out.censored_contacts = open.len();
+    out.censored_contacts += open.len();
     // Suppress "unused" on `start`: kept for debuggability of open
     // contacts; assert the invariant instead.
     debug_assert!(open.values().all(|oc| oc.last_seen >= oc.start));
 
     for (user, &t0) in &first_seen {
         match first_contact.get(user) {
-            Some(&tc) => out.first_contact_times.push(tc - t0),
+            // The wait for a first neighbor excludes time the crawler
+            // was not looking (zero on gapless traces).
+            Some(&tc) => out
+                .first_contact_times
+                .push(tc - t0 - trace.blind_time(t0, tc)),
             None => out.never_contacted += 1,
         }
     }
@@ -307,5 +342,146 @@ mod tests {
         let t = Trace::new(LandMeta::standard("T", 10.0));
         let c = extract_contacts(&t, 10.0, &[]);
         assert_eq!(c, ContactSamples::default());
+    }
+
+    /// Like `trace_of` but with explicit snapshot times (tau = 10),
+    /// for schedules with holes covered by gap records.
+    fn trace_at(schedule: &[(f64, &[(u32, f64)])]) -> Trace {
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        for &(time, entries) in schedule {
+            let mut s = Snapshot::new(time);
+            for &(u, x) in entries {
+                s.push(UserId(u), Position::new(x, 0.0, 22.0));
+            }
+            t.push(s);
+        }
+        t
+    }
+
+    #[test]
+    fn contact_truncated_by_gap_is_censored() {
+        use sl_trace::{GapCause, GapRecord};
+        // Pair together at t=10,20; crawler blind over [20, 50]; pair
+        // apart at the first snapshot after the gap. Whether (and when)
+        // the contact ended inside the blind span is unknowable.
+        let mut t = trace_at(&[
+            (10.0, &[(1, 0.0), (2, 5.0)]),
+            (20.0, &[(1, 0.0), (2, 5.0)]),
+            (50.0, &[(1, 0.0), (2, 100.0)]),
+            (60.0, &[(1, 0.0), (2, 100.0)]),
+        ]);
+        // Sanity: without the gap record the close is fabricated.
+        let naive = extract_contacts(&t, 10.0, &[]);
+        assert_eq!(naive.contact_times, vec![20.0]);
+        assert_eq!(naive.censored_contacts, 0);
+
+        t.record_gap(GapRecord::new(GapCause::Stall, 20.0, 50.0));
+        let c = extract_contacts(&t, 10.0, &[]);
+        assert!(c.contact_times.is_empty(), "end unobserved -> no CT sample");
+        assert_eq!(c.censored_contacts, 1);
+        assert!(c.inter_contact_times.is_empty());
+    }
+
+    #[test]
+    fn ict_excludes_blind_time() {
+        use sl_trace::{GapCause, GapRecord};
+        // The contact ends observably at t=20 (pair seen apart at t=30,
+        // no blindness in between); the crawler is then blind over
+        // [30, 80]; the pair re-meets at t=90. Raw separation
+        // 90 − 20 = 70 s includes 50 blind seconds: ICT must be 20 s.
+        let mut t = trace_at(&[
+            (10.0, &[(1, 0.0), (2, 5.0)]),
+            (20.0, &[(1, 0.0), (2, 5.0)]),
+            (30.0, &[(1, 0.0), (2, 100.0)]),
+            (80.0, &[(1, 0.0), (2, 100.0)]),
+            (90.0, &[(1, 0.0), (2, 5.0)]),
+        ]);
+        t.record_gap(GapRecord::new(GapCause::Throttle, 30.0, 80.0));
+        let c = extract_contacts(&t, 10.0, &[]);
+        assert_eq!(c.inter_contact_times, vec![20.0]);
+        assert_eq!(c.contact_times, vec![20.0]);
+        assert_eq!(c.censored_contacts, 1, "re-met contact open at end");
+    }
+
+    #[test]
+    fn first_contact_time_excludes_blind_time() {
+        use sl_trace::{GapCause, GapRecord};
+        // User 3 appears at t=10, the crawler is blind over [20, 60],
+        // and user 3 first has a neighbor at t=70. The raw 60 s wait
+        // includes 40 blind seconds -> FT = 20 s (for user 1 too).
+        let mut t = trace_at(&[
+            (10.0, &[(1, 0.0), (3, 200.0)]),
+            (20.0, &[(1, 0.0), (3, 200.0)]),
+            (60.0, &[(1, 0.0), (3, 150.0)]),
+            (70.0, &[(1, 0.0), (3, 5.0)]),
+        ]);
+        t.record_gap(GapRecord::new(GapCause::Kick, 20.0, 60.0));
+        let c = extract_contacts(&t, 10.0, &[]);
+        assert_eq!(c.first_contact_times, vec![20.0, 20.0]);
+        assert_eq!(c.never_contacted, 0);
+    }
+
+    #[test]
+    fn censored_contact_leaves_no_ict_baseline() {
+        use sl_trace::{GapCause, GapRecord};
+        // Contact 1 closes cleanly at t=30 (baseline end t=20); contact
+        // 2 (t=40..50) is censored by the gap [50, 100]. When the pair
+        // meets again at t=110 no previous end is known — an ICT sample
+        // from the stale t=20 baseline would span contact 2 entirely.
+        let mut t = trace_at(&[
+            (10.0, &[(1, 0.0), (2, 5.0)]),
+            (20.0, &[(1, 0.0), (2, 5.0)]),
+            (30.0, &[(1, 0.0), (2, 100.0)]),
+            (40.0, &[(1, 0.0), (2, 5.0)]),
+            (50.0, &[(1, 0.0), (2, 5.0)]),
+            (100.0, &[(1, 0.0), (2, 100.0)]),
+            (110.0, &[(1, 0.0), (2, 5.0)]),
+        ]);
+        t.record_gap(GapRecord::new(GapCause::Disconnect, 50.0, 100.0));
+        let c = extract_contacts(&t, 10.0, &[]);
+        // One ICT from the one clean separation: 40 − 20 = 20 s.
+        assert_eq!(c.inter_contact_times, vec![20.0]);
+        assert_eq!(c.contact_times, vec![20.0]);
+        // Gap-censored contact 2 + contact 3 open at trace end.
+        assert_eq!(c.censored_contacts, 2);
+    }
+
+    #[test]
+    fn contact_present_across_gap_keeps_accumulating() {
+        use sl_trace::{GapCause, GapRecord};
+        // Pair together on both sides of a blind span and apart only at
+        // t=80 (no blindness since t=70): the contact closes normally
+        // with 4 *observed* snapshots -> CT = 40 s, no blind inflation.
+        let mut t = trace_at(&[
+            (10.0, &[(1, 0.0), (2, 5.0)]),
+            (20.0, &[(1, 0.0), (2, 5.0)]),
+            (60.0, &[(1, 0.0), (2, 5.0)]),
+            (70.0, &[(1, 0.0), (2, 5.0)]),
+            (80.0, &[(1, 0.0), (2, 100.0)]),
+        ]);
+        t.record_gap(GapRecord::new(GapCause::Stall, 20.0, 60.0));
+        let c = extract_contacts(&t, 10.0, &[]);
+        assert_eq!(c.contact_times, vec![40.0]);
+        assert_eq!(c.censored_contacts, 0);
+        assert!(c.inter_contact_times.is_empty());
+    }
+
+    #[test]
+    fn gapless_trace_unchanged_by_gap_awareness() {
+        // The blind-time corrections are exact zeros without gap
+        // records: spot-check a mixed schedule against the values the
+        // gap-naive extractor produced.
+        let t = trace_of(&[
+            &[(1, 0.0), (2, 5.0), (3, 100.0)],
+            &[(1, 0.0), (2, 50.0), (3, 100.0)],
+            &[(1, 0.0), (2, 5.0), (3, 99.0)],
+            &[(1, 0.0), (2, 5.0), (3, 100.0)],
+        ]);
+        let c = extract_contacts(&t, 10.0, &[]);
+        assert_eq!(c.contact_times, vec![10.0]);
+        assert_eq!(c.inter_contact_times, vec![20.0]);
+        assert_eq!(c.censored_contacts, 1, "second (1,2) contact open at end");
+        assert_eq!(c.first_contact_times, vec![0.0, 0.0]);
+        assert_eq!(c.never_contacted, 1, "user 3 never met anyone");
     }
 }

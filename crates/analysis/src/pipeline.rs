@@ -101,18 +101,58 @@ pub struct LandAnalysis {
     pub coverage: CoverageReport,
 }
 
+/// Lowercase `name` into a metric-name segment: anything outside
+/// `[a-z0-9]` becomes `_`, so land names like "Dance Island" yield
+/// stable keys (`analysis.dance_island.prep.wall_s`).
+fn metric_slug(name: &str) -> String {
+    let slug: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if slug.is_empty() {
+        "_".into()
+    } else {
+        slug
+    }
+}
+
 /// Temporal + line-of-sight analysis at one range over a prepared
 /// trace: one edge extraction feeding both metric families. The LOS
 /// fan-out (the BFS-heavy hot path) runs on the calling thread's full
 /// worker budget while the serial contact state machine overlaps on a
 /// sibling thread.
-fn range_analysis(prep: &PreparedTrace, range: f64) -> (TemporalAnalysis, LosMetrics) {
-    let edges = prep.edges_at(range);
+///
+/// `obs` is the land's metric-name prefix (`analysis.<land>`); each
+/// stage records `<obs>.<stage>.r<range>` wall/CPU histograms. Timings
+/// are a pure side channel — they never touch the analysis values, so
+/// output bytes are identical with metrics enabled, disabled, or absent.
+fn range_analysis(prep: &PreparedTrace, range: f64, obs: &str) -> (TemporalAnalysis, LosMetrics) {
+    let r = range as i64;
+    let edges = {
+        let _t = sl_obs::span(&format!("{obs}.edges.r{r}"));
+        prep.edges_at(range)
+    };
     let (los, samples) = sl_par::join(
-        || los_metrics_prepared(prep, &edges),
-        || extract_contacts_prepared(prep, &edges),
+        || {
+            let _t = sl_obs::span(&format!("{obs}.los.r{r}"));
+            los_metrics_prepared(prep, &edges)
+        },
+        || {
+            let _t = sl_obs::span(&format!("{obs}.contacts.r{r}"));
+            extract_contacts_prepared(prep, &edges)
+        },
     );
-    (TemporalAnalysis::from_samples(range, samples), los)
+    let analysis = {
+        let _t = sl_obs::span(&format!("{obs}.fits.r{r}"));
+        TemporalAnalysis::from_samples(range, samples)
+    };
+    (analysis, los)
 }
 
 /// Run the complete §3 methodology on one trace, excluding the given
@@ -123,9 +163,17 @@ fn range_analysis(prep: &PreparedTrace, range: f64) -> (TemporalAnalysis, LosMet
 /// byte-identical to a serial run of the same code
 /// (`sl_par::with_threads(1, || analyze_land(..))`).
 pub fn analyze_land(trace: &Trace, exclude: &[UserId]) -> LandAnalysis {
-    let prep = PreparedTrace::new(trace, exclude);
-    let (bluetooth, los_bluetooth) = range_analysis(&prep, RB);
-    let (wifi, los_wifi) = range_analysis(&prep, RW);
+    let obs = format!("analysis.{}", metric_slug(&trace.meta.name));
+    let prep = {
+        let _t = sl_obs::span(&format!("{obs}.prep"));
+        PreparedTrace::new(trace, exclude)
+    };
+    let (bluetooth, los_bluetooth) = range_analysis(&prep, RB, &obs);
+    let (wifi, los_wifi) = range_analysis(&prep, RW, &obs);
+    let zones = {
+        let _t = sl_obs::span(&format!("{obs}.zones"));
+        zone_occupation_prepared(&prep, ZONE_L)
+    };
     LandAnalysis {
         land: trace.meta.name.clone(),
         summary: TraceSummary::of(trace),
@@ -133,7 +181,7 @@ pub fn analyze_land(trace: &Trace, exclude: &[UserId]) -> LandAnalysis {
         wifi,
         los_bluetooth,
         los_wifi,
-        zones: zone_occupation_prepared(&prep, ZONE_L),
+        zones,
         trips: trip_metrics_excluding(trace, &prep.excluded),
         coverage: coverage_report(trace, COVERAGE_WINDOW_TAUS, COVERAGE_THRESHOLD),
     }
@@ -394,6 +442,30 @@ mod tests {
         let fig = set.get("fig4a_travel_length").unwrap();
         assert_eq!(fig.series.len(), 2);
         assert_eq!(fig.series[1].label, "Other");
+    }
+
+    #[test]
+    fn metric_slug_sanitizes_land_names() {
+        assert_eq!(metric_slug("Dance Island"), "dance_island");
+        assert_eq!(metric_slug("Isle-9/Beach"), "isle_9_beach");
+        assert_eq!(metric_slug(""), "_");
+    }
+
+    #[test]
+    fn analysis_records_stage_timings() {
+        let trace = synthetic_trace();
+        analyze_land(&trace, &[]);
+        let json = sl_obs::export_json();
+        for stage in [
+            "analysis.synth.prep.wall_s",
+            "analysis.synth.edges.r10.wall_s",
+            "analysis.synth.contacts.r80.wall_s",
+            "analysis.synth.los.r10.wall_s",
+            "analysis.synth.fits.r80.wall_s",
+            "analysis.synth.zones.wall_s",
+        ] {
+            assert!(json.contains(stage), "missing {stage} in export");
+        }
     }
 
     #[test]

@@ -104,6 +104,33 @@ fn empty_and_degenerate_traces_are_equivalent() {
 }
 
 #[test]
+fn metrics_recording_never_affects_analysis_bytes() {
+    // The observability layer is a pure side channel: the analysis
+    // bytes must be identical with span timing enabled, disabled, or
+    // toggled mid-run — on clean and gap-carrying traces alike, serial
+    // and parallel.
+    let traces = [simulated_trace(23, 10.0), gap_trace(5)];
+    for trace in &traces {
+        let enabled_on = serde_json::to_string(&analyze_land(trace, &[])).unwrap();
+        sl_obs::set_enabled(false);
+        let enabled_off = serde_json::to_string(&analyze_land(trace, &[])).unwrap();
+        let serial_off =
+            sl_par::with_threads(1, || serde_json::to_string(&analyze_land(trace, &[])).unwrap());
+        sl_obs::set_enabled(true);
+        assert_eq!(
+            enabled_on, enabled_off,
+            "metrics recording changed analysis output bytes"
+        );
+        assert_eq!(
+            enabled_off, serial_off,
+            "metrics toggling changed serial/parallel equivalence"
+        );
+    }
+    // The timings themselves did land in the registry.
+    assert!(sl_obs::export_json().contains("analysis.gappy.prep.wall_s"));
+}
+
+#[test]
 fn figures_parallel_equal_serial() {
     let a = sl_par::with_threads(1, || analyze_land(&simulated_trace(11, 15.0), &[]));
     let mut b = a.clone();

@@ -36,8 +36,108 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
     })
 }
 
+/// The gap-naive contact extractor exactly as it was before blind-time
+/// awareness: close every vanished pair with a fabricated `k·τ` sample,
+/// keep its ICT baseline, and never subtract blindness. On gapless
+/// traces the production extractor must reproduce it bit for bit — the
+/// blind-time corrections are exact zeros, not merely small.
+fn gap_naive_contacts(trace: &Trace, range: f64) -> sl_analysis::ContactSamples {
+    use std::collections::HashMap;
+    let prep = sl_analysis::prep::PreparedTrace::new(trace, &[]);
+    let edges = prep.edges_at(range);
+    let tau = prep.tau();
+
+    struct Open {
+        last_seen: f64,
+        snapshots: u32,
+    }
+
+    let mut open: HashMap<(UserId, UserId), Open> = HashMap::new();
+    let mut last_end: HashMap<(UserId, UserId), f64> = HashMap::new();
+    let mut first_seen: HashMap<UserId, f64> = HashMap::new();
+    let mut first_contact: HashMap<UserId, f64> = HashMap::new();
+    let mut out = sl_analysis::ContactSamples::default();
+    let mut now_pairs: Vec<(UserId, UserId)> = Vec::new();
+    let mut closed: Vec<(UserId, UserId)> = Vec::new();
+
+    for (snap, snap_edges) in prep.snapshots.iter().zip(&edges.per_snapshot) {
+        for &user in &snap.users {
+            first_seen.entry(user).or_insert(snap.t);
+        }
+        now_pairs.clear();
+        for &(i, j) in snap_edges {
+            let (a, b) = (snap.users[i as usize], snap.users[j as usize]);
+            let key = if a < b { (a, b) } else { (b, a) };
+            now_pairs.push(key);
+            for u in [key.0, key.1] {
+                first_contact.entry(u).or_insert(snap.t);
+            }
+        }
+        now_pairs.sort_unstable();
+        now_pairs.dedup();
+
+        closed.clear();
+        for (key, oc) in &open {
+            if now_pairs.binary_search(key).is_err() {
+                out.contact_times.push(oc.snapshots as f64 * tau);
+                last_end.insert(*key, oc.last_seen);
+                closed.push(*key);
+            }
+        }
+        for key in &closed {
+            open.remove(key);
+        }
+
+        for &key in &now_pairs {
+            match open.get_mut(&key) {
+                Some(oc) => {
+                    oc.last_seen = snap.t;
+                    oc.snapshots += 1;
+                }
+                None => {
+                    if let Some(&prev_end) = last_end.get(&key) {
+                        out.inter_contact_times.push(snap.t - prev_end);
+                    }
+                    open.insert(
+                        key,
+                        Open {
+                            last_seen: snap.t,
+                            snapshots: 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    out.censored_contacts = open.len();
+    for (user, &t0) in &first_seen {
+        match first_contact.get(user) {
+            Some(&tc) => out.first_contact_times.push(tc - t0),
+            None => out.never_contacted += 1,
+        }
+    }
+    out.contact_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.inter_contact_times
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.first_contact_times
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gap_awareness_is_identity_on_gapless_traces(trace in arb_trace(), range in 1.0f64..120.0) {
+        // arb_trace records no gaps, so every blind-time correction is
+        // an exact zero and the production extractor must equal the
+        // pre-change reference bit for bit — CT, ICT, FT and the
+        // censoring counts alike.
+        let gap_aware = extract_contacts(&trace, range, &[]);
+        let reference = gap_naive_contacts(&trace, range);
+        prop_assert_eq!(gap_aware, reference);
+    }
 
     #[test]
     fn contact_samples_are_well_formed(trace in arb_trace(), range in 1.0f64..120.0) {

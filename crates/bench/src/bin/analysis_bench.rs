@@ -18,7 +18,9 @@
 //!
 //! The report is written as JSON (default `BENCH_analysis.json`): wall
 //! time per stage (best of `--iters`), throughput in snapshots/s, and
-//! the parallel-over-serial speedup.
+//! the parallel-over-serial speedup. A `metrics.json` sibling carries
+//! the process-wide observability registry (per-stage pipeline span
+//! timings among it) for the same run.
 
 use sl_analysis::pipeline::{analyze_land, RB, RW, ZONE_L};
 use sl_analysis::prep::PreparedTrace;
@@ -265,5 +267,11 @@ fn main() {
         stages,
     };
     std::fs::write(&args.out, report.json()).expect("write report");
-    println!("Baseline written to {}", args.out.display());
+    let metrics_path = args.out.with_file_name("metrics.json");
+    sl_obs::dump_to(&metrics_path).expect("write metrics");
+    println!(
+        "Baseline written to {} (metrics in {})",
+        args.out.display(),
+        metrics_path.display()
+    );
 }

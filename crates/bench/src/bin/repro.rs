@@ -12,7 +12,11 @@
 //! * `figures/<id>.txt` — ASCII rendering of each panel;
 //! * `analysis/<land>.json` — the full per-land analysis;
 //! * `scorecard.md` — paper vs measured for every target metric;
-//! * `summary.txt` — the §3 trace-summary table (T1).
+//! * `summary.txt` — the §3 trace-summary table (T1);
+//! * `metrics.json` — the process-wide observability registry: server
+//!   connection/fault counters, crawler health, chaos-proxy mangling
+//!   counts and per-stage analysis timings. Counters that never fired
+//!   appear as explicit zeros.
 
 use sl_core::ablation::{ablation_markdown, mobility_ablation};
 use sl_core::experiment::run_paper_reproduction;
@@ -101,6 +105,12 @@ fn die(msg: &str) -> ! {
 fn main() {
     let args = parse_args();
     sl_par::set_thread_cap(args.threads);
+    // Preregister the full metric surface before any work runs: a pure
+    // in-process reproduction exports the server/crawler/chaos counters
+    // as explicit zeros instead of silently missing keys.
+    sl_server::metrics::register();
+    sl_crawler::metrics::register();
+    sl_chaos::metrics::register();
     println!(
         "Reproducing the paper: 3 lands x {:.1} h at seed {} on {} thread(s) ...",
         args.duration / 3600.0,
@@ -249,6 +259,9 @@ fn main() {
         println!("\n{text}");
         std::fs::write(args.out.join("relations.txt"), &text).expect("write relations");
     }
+
+    // ---- Observability export ----------------------------------------
+    sl_obs::dump_to(args.out.join("metrics.json")).expect("write metrics");
 
     println!("All outputs under {}", args.out.display());
 }

@@ -17,6 +17,7 @@
 //!
 //! [`sl-server`]: https://example.org/sl-mobility
 
+pub mod metrics;
 pub mod plan;
 pub mod proxy;
 

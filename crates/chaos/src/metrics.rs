@@ -1,0 +1,62 @@
+//! Chaos-proxy observability: accepted connections and mangling
+//! actions fired by kind, as process-wide [`sl_obs`] counters.
+
+use crate::plan::ChaosAction;
+use sl_obs::Counter;
+use std::sync::OnceLock;
+
+/// The chaos proxy's metric handles.
+#[derive(Debug)]
+pub struct ChaosMetrics {
+    /// Connections accepted by the proxy.
+    pub connections: &'static Counter,
+    /// Actions fired, [`ChaosAction`] order.
+    actions: [&'static Counter; 7],
+}
+
+impl ChaosMetrics {
+    /// Count one decided action (including clean forwards, so the
+    /// mangled fraction can be computed from the export alone).
+    pub fn record_action(&self, action: ChaosAction) {
+        let slot = match action {
+            ChaosAction::Forward => 0,
+            ChaosAction::Stall(_) => 1,
+            ChaosAction::Drop => 2,
+            ChaosAction::Corrupt => 3,
+            ChaosAction::Truncate => 4,
+            ChaosAction::Duplicate => 5,
+            ChaosAction::Reset => 6,
+        };
+        self.actions[slot].inc();
+    }
+}
+
+/// The process-wide chaos metrics. First call registers everything.
+pub fn register() -> &'static ChaosMetrics {
+    static METRICS: OnceLock<ChaosMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ChaosMetrics {
+        connections: sl_obs::counter("chaos.connections"),
+        actions: [
+            sl_obs::counter("chaos.actions.forward"),
+            sl_obs::counter("chaos.actions.stall"),
+            sl_obs::counter("chaos.actions.drop"),
+            sl_obs::counter("chaos.actions.corrupt"),
+            sl_obs::counter("chaos.actions.truncate"),
+            sl_obs::counter("chaos.actions.duplicate"),
+            sl_obs::counter("chaos.actions.reset"),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_count_by_kind() {
+        let m = register();
+        let before = sl_obs::counter("chaos.actions.drop").get();
+        m.record_action(ChaosAction::Drop);
+        assert!(sl_obs::counter("chaos.actions.drop").get() > before);
+    }
+}

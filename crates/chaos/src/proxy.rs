@@ -48,6 +48,7 @@ impl ChaosProxy {
         let conn_counter = connections.clone();
         let accept_task = tokio::spawn(async move {
             while let Ok((client, _)) = listener.accept().await {
+                crate::metrics::register().connections.inc();
                 let n = conn_counter.fetch_add(1, Ordering::SeqCst);
                 let conn_seed = seed ^ (n + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
                 tokio::spawn(async move {
@@ -116,6 +117,7 @@ async fn relay(
     });
 
     // Server → client: the chaotic direction.
+    let metrics = crate::metrics::register();
     let mut inj = ChaosInjector::new(plan, seed);
     let mut buf = [0u8; 16 * 1024];
     loop {
@@ -124,7 +126,9 @@ async fn relay(
             Ok(n) => n,
         };
         let chunk = &mut buf[..n];
-        match inj.decide() {
+        let action = inj.decide();
+        metrics.record_action(action);
+        match action {
             ChaosAction::Forward => {
                 if client_write.write_all(chunk).await.is_err() {
                     break;

@@ -161,6 +161,7 @@ impl Crawler {
 
     /// Run the crawl to completion.
     pub async fn run(&self) -> Result<CrawlResult, CrawlError> {
+        let metrics = crate::metrics::register();
         // Backoff jitter gets its own deterministic stream, decoupled
         // from mimicry (which forks per reconnection).
         let mut backoff_rng = Rng::new(self.config.seed ^ 0xb0ff);
@@ -215,12 +216,16 @@ impl Crawler {
                     // A checksum mismatch or framing violation: bytes were
                     // damaged in flight. Anything else broken at the socket
                     // level is a plain disconnect.
-                    Ok(Err(FramedError::Codec(_))) => Tick::Lost(GapCause::Corrupt),
+                    Ok(Err(FramedError::Codec(_))) => {
+                        metrics.frames_rejected.inc();
+                        Tick::Lost(GapCause::Corrupt)
+                    }
                     Ok(Err(_)) => Tick::Lost(GapCause::Disconnect),
                 };
             match verdict {
                 Tick::Snapshot(snap) => {
                     polls += 1;
+                    metrics.polls.inc();
                     let t = snap.t;
                     if first_virtual.is_none() {
                         first_virtual = Some(t);
@@ -232,6 +237,7 @@ impl Crawler {
                             // within ~one τ cost nothing.
                             if last_virtual.is_finite() && t - last_virtual > 1.5 * self.config.tau
                             {
+                                metrics.record_gap(cause, t - last_virtual);
                                 trace.record_gap(GapRecord::new(cause, last_virtual, t));
                             }
                         }
@@ -259,6 +265,7 @@ impl Crawler {
                     if died_mid_mimicry {
                         pending_gap.get_or_insert(GapCause::Disconnect);
                         reconnects += 1;
+                        metrics.reconnects.inc();
                         session = self.connect(&mut backoff_rng, &mut budget).await?;
                         own_agents.push(session.agent);
                         mimicry = self.fresh_mimicry(&session, spawn, reconnects, last_virtual);
@@ -273,6 +280,7 @@ impl Crawler {
                 }
                 Tick::Throttled => {
                     throttled += 1;
+                    metrics.throttled.inc();
                     // The connection is healthy but this interval's
                     // snapshot is lost; if the drought grows past the
                     // recording threshold the cause was throttling.
@@ -281,6 +289,7 @@ impl Crawler {
                 Tick::Lost(cause) => {
                     pending_gap.get_or_insert(cause);
                     reconnects += 1;
+                    metrics.reconnects.inc();
                     session = self.connect(&mut backoff_rng, &mut budget).await?;
                     own_agents.push(session.agent);
                     mimicry = self.fresh_mimicry(&session, spawn, reconnects, last_virtual);
@@ -318,6 +327,7 @@ impl Crawler {
         backoff_rng: &mut Rng,
         budget: &mut u32,
     ) -> Result<Session, CrawlError> {
+        let metrics = crate::metrics::register();
         let policy = self.config.reconnect;
         let mut last_err = String::from("never attempted");
         // Decorrelated jitter state: each sleep is drawn from
@@ -331,12 +341,15 @@ impl Crawler {
                 });
             }
             *budget -= 1;
+            metrics.connect_attempts.inc();
             if attempt > 0 {
                 let base = policy.base_backoff.as_secs_f64();
                 let hi = (prev_backoff.as_secs_f64() * 3.0).max(base);
                 let drawn = Duration::from_secs_f64(backoff_rng.range_f64(base, hi));
                 let backoff = drawn.min(policy.max_backoff);
                 prev_backoff = backoff;
+                metrics.backoff_sleeps.inc();
+                metrics.backoff_seconds.record(backoff.as_secs_f64());
                 tokio::time::sleep(backoff).await;
             }
             match TcpStream::connect(&self.config.server).await {

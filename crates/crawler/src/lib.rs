@@ -17,10 +17,14 @@
 //! * **Web sink** ([`websink`]): the external web server of the sensor
 //!   architecture — a minimal HTTP/1.1 endpoint receiving sensor
 //!   reports as JSON `POST`s.
+//! * **Health metrics** ([`metrics`]): [`sl_obs`] counters and
+//!   histograms for polls, retries, backoff sleeps and gap seconds by
+//!   cause, with an on-demand snapshot dump for long crawls.
 
 #![warn(missing_docs)]
 
 pub mod crawler;
+pub mod metrics;
 pub mod mimicry;
 pub mod websink;
 

@@ -1,0 +1,104 @@
+//! Crawler health observability: poll/retry/backoff counters and
+//! gap-seconds histograms by [`GapCause`], as process-wide [`sl_obs`]
+//! metrics.
+//!
+//! Each `crawler.gap_seconds.<cause>` histogram carries two readings at
+//! once: its `count` is the number of recorded gaps with that cause and
+//! its `sum` the total virtual seconds of blindness they explain — the
+//! crawl-side complement of the trace's own [`GapRecord`] ledger.
+//!
+//! [`GapRecord`]: sl_trace::GapRecord
+
+use sl_obs::{Counter, Histogram};
+use sl_trace::GapCause;
+use std::sync::OnceLock;
+
+/// The crawler's metric handles.
+#[derive(Debug)]
+pub struct CrawlerMetrics {
+    /// Map polls answered with a snapshot.
+    pub polls: &'static Counter,
+    /// Map polls denied by the server's rate limiter.
+    pub throttled: &'static Counter,
+    /// Sessions re-established after an outage.
+    pub reconnects: &'static Counter,
+    /// TCP connection attempts (first connects and retries alike).
+    pub connect_attempts: &'static Counter,
+    /// Backoff sleeps taken before retrying a connect.
+    pub backoff_sleeps: &'static Counter,
+    /// Frames rejected for checksum or framing violations.
+    pub frames_rejected: &'static Counter,
+    /// Wall seconds slept in backoff, one sample per sleep.
+    pub backoff_seconds: &'static Histogram,
+    /// Virtual seconds of recorded blindness, [`GapCause`] order.
+    gap_seconds: [&'static Histogram; 5],
+}
+
+impl CrawlerMetrics {
+    /// Record one recorded gap: `seconds` of blindness under `cause`.
+    pub fn record_gap(&self, cause: GapCause, seconds: f64) {
+        let slot = match cause {
+            GapCause::Kick => 0,
+            GapCause::Stall => 1,
+            GapCause::Throttle => 2,
+            GapCause::Corrupt => 3,
+            GapCause::Disconnect => 4,
+        };
+        self.gap_seconds[slot].record(seconds);
+    }
+}
+
+/// The process-wide crawler metrics. First call registers everything.
+pub fn register() -> &'static CrawlerMetrics {
+    static METRICS: OnceLock<CrawlerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| CrawlerMetrics {
+        polls: sl_obs::counter("crawler.polls"),
+        throttled: sl_obs::counter("crawler.throttled"),
+        reconnects: sl_obs::counter("crawler.reconnects"),
+        connect_attempts: sl_obs::counter("crawler.connect_attempts"),
+        backoff_sleeps: sl_obs::counter("crawler.backoff_sleeps"),
+        frames_rejected: sl_obs::counter("crawler.frames_rejected"),
+        backoff_seconds: sl_obs::histogram("crawler.backoff_seconds"),
+        gap_seconds: [
+            sl_obs::histogram("crawler.gap_seconds.kick"),
+            sl_obs::histogram("crawler.gap_seconds.stall"),
+            sl_obs::histogram("crawler.gap_seconds.throttle"),
+            sl_obs::histogram("crawler.gap_seconds.corrupt"),
+            sl_obs::histogram("crawler.gap_seconds.disconnect"),
+        ],
+    })
+}
+
+/// Dump the current process-wide metric registry — every metric, not
+/// just the crawler's — to `path` as deterministic JSON. The on-demand
+/// snapshot hook for long crawls.
+pub fn dump_snapshot(path: &std::path::Path) -> std::io::Result<()> {
+    sl_obs::dump_to(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_seconds_land_in_cause_histogram() {
+        let m = register();
+        let h = sl_obs::histogram("crawler.gap_seconds.throttle");
+        let (count, sum) = (h.count(), h.sum());
+        m.record_gap(GapCause::Throttle, 30.0);
+        assert!(h.count() > count);
+        assert!(h.sum() >= sum + 30.0 - 1e-9);
+    }
+
+    #[test]
+    fn snapshot_dump_writes_json() {
+        let dir = std::env::temp_dir().join("sl-crawler-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        register();
+        dump_snapshot(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("crawler.polls"));
+        std::fs::remove_file(&path).ok();
+    }
+}

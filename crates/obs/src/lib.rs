@@ -1,0 +1,580 @@
+//! Process-wide observability with zero dependencies.
+//!
+//! The crawler retries, the server injects faults, the analysis engine
+//! fans out over worker threads — and until this crate none of them
+//! could *say* what they did: diagnosing a chaos experiment or a perf
+//! regression meant rerunning it under ad-hoc prints. `sl-obs` is the
+//! missing layer: a process-wide registry of named metrics that every
+//! crate records into and every harness exports as `metrics.json`.
+//!
+//! ## Design
+//!
+//! * **Counters**, **gauges**, and **log-bucketed histograms**, all
+//!   plain atomics. Handles are `&'static` (registered once, leaked),
+//!   so the hot path — an [`sl_par`]-style worker recording mid-stage —
+//!   is a relaxed atomic op with no lock and no allocation.
+//! * A global **enabled flag** ([`set_enabled`]): when off, recording
+//!   is a single relaxed load and a branch. Metrics are observational
+//!   only; toggling them can never change analysis output.
+//! * **Span timers** ([`span`]) measuring wall time and (on Linux)
+//!   process CPU time, recorded into `<name>.wall_s` / `<name>.cpu_s`
+//!   histograms on drop.
+//! * **Deterministic export**: [`export_json`] renders every metric in
+//!   name order with a hand-written serializer — this crate must build
+//!   with no external dependencies whatsoever.
+//!
+//! Registration (name → handle) takes a mutex, so call sites fetch
+//! their handles once (e.g. through `std::sync::OnceLock`) and record
+//! through the shared reference afterwards.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of histogram buckets: powers of two from 2⁻³¹ to 2³².
+const BUCKETS: usize = 64;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether recording is currently enabled (the default).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Globally enable or disable recording. Disabled recording costs one
+/// relaxed load per call; existing values are retained.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the value to `v` if it is larger (high-water mark).
+    pub fn record_max(&self, v: u64) {
+        if enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Lock-free addition into an `f64` stored as atomic bits.
+fn atomic_f64_add(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A histogram over power-of-two buckets, tracking count and sum.
+///
+/// Bucket `i` covers `[2^(i−32), 2^(i−31))`; non-positive values land
+/// in bucket 0 and values beyond the range clamp into the end buckets.
+/// Good enough to tell 3 ms stages from 300 ms stages and 2 s gaps
+/// from 200 s gaps, which is what run artifacts need.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_index(v: f64) -> usize {
+        if v > 0.0 {
+            (v.log2().floor() as i64 + 32).clamp(0, BUCKETS as i64 - 1) as usize
+        } else {
+            0
+        }
+    }
+
+    /// Upper bound of bucket `i`.
+    fn bucket_upper(i: usize) -> f64 {
+        (2.0f64).powi(i as i32 - 31)
+    }
+
+    /// Record one observation. NaN is ignored.
+    pub fn record(&self, v: f64) {
+        if !enabled() || v.is_nan() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+fn registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    match REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new())).lock() {
+        Ok(guard) => guard,
+        // A type-mismatch panic inside `register` happens while the
+        // lock is held and poisons it; the map itself is never left
+        // mid-mutation, so the poisoned state is safe to adopt.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn register<T: Default>(
+    name: &str,
+    wrap: fn(&'static T) -> Metric,
+    unwrap: fn(&Metric) -> Option<&'static T>,
+) -> &'static T {
+    let mut map = registry();
+    if let Some(existing) = map.get(name) {
+        return unwrap(existing).unwrap_or_else(|| {
+            panic!(
+                "metric `{name}` already registered as a {}",
+                existing.kind()
+            )
+        });
+    }
+    let handle: &'static T = Box::leak(Box::default());
+    map.insert(name.to_string(), wrap(handle));
+    handle
+}
+
+/// Get or register the counter named `name`. Panics if the name is
+/// already registered as a different metric type.
+pub fn counter(name: &str) -> &'static Counter {
+    register(name, Metric::Counter, |m| match m {
+        Metric::Counter(c) => Some(c),
+        _ => None,
+    })
+}
+
+/// Get or register the gauge named `name`. Panics if the name is
+/// already registered as a different metric type.
+pub fn gauge(name: &str) -> &'static Gauge {
+    register(name, Metric::Gauge, |m| match m {
+        Metric::Gauge(g) => Some(g),
+        _ => None,
+    })
+}
+
+/// Get or register the histogram named `name`. Panics if the name is
+/// already registered as a different metric type.
+pub fn histogram(name: &str) -> &'static Histogram {
+    register(name, Metric::Histogram, |m| match m {
+        Metric::Histogram(h) => Some(h),
+        _ => None,
+    })
+}
+
+/// Cumulative CPU time (user + system) of this process in seconds.
+///
+/// Linux only (reads `/proc/self/stat`, which counts all threads);
+/// returns `None` elsewhere or on parse failure. Assumes the
+/// universal `USER_HZ = 100`.
+pub fn cpu_seconds() -> Option<f64> {
+    #[cfg(target_os = "linux")]
+    {
+        let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+        // Fields after the parenthesized command name; utime and stime
+        // are fields 14 and 15 of the full line.
+        let rest = stat.rsplit(')').next()?;
+        let mut fields = rest.split_whitespace();
+        let utime: f64 = fields.nth(11)?.parse().ok()?;
+        let stime: f64 = fields.next()?.parse().ok()?;
+        Some((utime + stime) / 100.0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// A running span timer; see [`span`].
+#[must_use = "a span records on drop — bind it to a variable"]
+pub struct SpanTimer {
+    wall: Option<&'static Histogram>,
+    cpu: Option<&'static Histogram>,
+    started: Instant,
+    cpu_started: Option<f64>,
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some(wall) = self.wall {
+            wall.record(self.started.elapsed().as_secs_f64());
+        }
+        if let (Some(cpu), Some(t0)) = (self.cpu, self.cpu_started) {
+            if let Some(t1) = cpu_seconds() {
+                cpu.record((t1 - t0).max(0.0));
+            }
+        }
+    }
+}
+
+/// Time a scope: records wall seconds into the `<name>.wall_s`
+/// histogram and (when process CPU time is readable) CPU seconds into
+/// `<name>.cpu_s` when the returned guard drops. When recording is
+/// disabled the guard is inert and nothing is registered.
+pub fn span(name: &str) -> SpanTimer {
+    if !enabled() {
+        return SpanTimer {
+            wall: None,
+            cpu: None,
+            started: Instant::now(),
+            cpu_started: None,
+        };
+    }
+    let cpu_started = cpu_seconds();
+    SpanTimer {
+        wall: Some(histogram(&format!("{name}.wall_s"))),
+        cpu: cpu_started.map(|_| histogram(&format!("{name}.cpu_s"))),
+        started: Instant::now(),
+        cpu_started,
+    }
+}
+
+/// Reset every registered metric to zero (registrations are kept).
+/// Meant for tests and for the crawler's on-demand snapshots.
+pub fn reset() {
+    let map = registry();
+    for metric in map.values() {
+        match metric {
+            Metric::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.value.store(0, Ordering::Relaxed),
+            Metric::Histogram(h) => {
+                h.count.store(0, Ordering::Relaxed);
+                h.sum_bits.store(0, Ordering::Relaxed);
+                for b in &h.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{}` on f64 is shortest-roundtrip and never scientific for
+        // the magnitudes metrics produce; integral values print bare.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Render the whole registry as a deterministic JSON document: three
+/// name-sorted sections (`counters`, `gauges`, `histograms`), numbers
+/// only — no external serializer involved.
+pub fn export_json() -> String {
+    let map = registry();
+    let mut counters = String::new();
+    let mut gauges = String::new();
+    let mut histograms = String::new();
+    for (name, metric) in map.iter() {
+        match metric {
+            Metric::Counter(c) => {
+                if !counters.is_empty() {
+                    counters.push(',');
+                }
+                counters.push_str("\n    ");
+                json_escape(name, &mut counters);
+                counters.push_str(&format!(": {}", c.get()));
+            }
+            Metric::Gauge(g) => {
+                if !gauges.is_empty() {
+                    gauges.push(',');
+                }
+                gauges.push_str("\n    ");
+                json_escape(name, &mut gauges);
+                gauges.push_str(&format!(": {}", g.get()));
+            }
+            Metric::Histogram(h) => {
+                if !histograms.is_empty() {
+                    histograms.push(',');
+                }
+                histograms.push_str("\n    ");
+                json_escape(name, &mut histograms);
+                histograms.push_str(&format!(": {{\"count\": {}, \"sum\": ", h.count()));
+                json_f64(h.sum(), &mut histograms);
+                histograms.push_str(", \"mean\": ");
+                json_f64(h.mean(), &mut histograms);
+                histograms.push_str(", \"buckets\": [");
+                let mut first = true;
+                for (i, b) in h.buckets.iter().enumerate() {
+                    let n = b.load(Ordering::Relaxed);
+                    if n == 0 {
+                        continue;
+                    }
+                    if !first {
+                        histograms.push_str(", ");
+                    }
+                    first = false;
+                    histograms.push('[');
+                    json_f64(Histogram::bucket_upper(i), &mut histograms);
+                    histograms.push_str(&format!(", {n}]"));
+                }
+                histograms.push_str("]}");
+            }
+        }
+    }
+    let mut out = String::from("{\n  \"counters\": {");
+    out.push_str(&counters);
+    if !counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"gauges\": {");
+    out.push_str(&gauges);
+    if !gauges.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n  \"histograms\": {");
+    out.push_str(&histograms);
+    if !histograms.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Write [`export_json`] to `path`.
+pub fn dump_to(path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, export_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The enabled flag is process-global; tests that toggle or read it
+    /// serialize on this lock so parallel test threads cannot observe
+    /// each other's toggles.
+    fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn counter_counts() {
+        let _g = flag_lock();
+        let c = counter("test.counter_counts");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name -> same handle.
+        counter("test.counter_counts").inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let _g = flag_lock();
+        let g = gauge("test.gauge_set_and_max");
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7);
+        g.record_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let _g = flag_lock();
+        let h = histogram("test.histogram_accumulates");
+        for v in [0.5, 1.5, 1.5, 300.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 303.5).abs() < 1e-12);
+        assert!((h.mean() - 303.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucket_layout() {
+        // Bucket bounds are powers of two around 1.0.
+        assert_eq!(Histogram::bucket_index(1.0), 32);
+        assert_eq!(Histogram::bucket_index(1.5), 32);
+        assert_eq!(Histogram::bucket_index(0.75), 31);
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-3.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::MAX), BUCKETS - 1);
+        assert!(Histogram::bucket_upper(32) == 2.0);
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _g = flag_lock();
+        let c = counter("test.disabled_recording");
+        let h = histogram("test.disabled_recording_h");
+        set_enabled(false);
+        c.inc();
+        h.record(1.0);
+        set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        counter("test.type_mismatch");
+        gauge("test.type_mismatch");
+    }
+
+    #[test]
+    fn span_records_wall_time() {
+        let _g = flag_lock();
+        {
+            let _span = span("test.span_records");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let h = histogram("test.span_records.wall_s");
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.004, "wall {}", h.sum());
+    }
+
+    #[test]
+    fn export_is_sorted_and_parseable_shape() {
+        let _g = flag_lock();
+        counter("test.export.b").add(2);
+        counter("test.export.a").inc();
+        histogram("test.export.h").record(2.5);
+        gauge("test.export.g").set(9);
+        let json = export_json();
+        let a = json.find("\"test.export.a\"").expect("a exported");
+        let b = json.find("\"test.export.b\"").expect("b exported");
+        assert!(a < b, "counters must export in name order");
+        assert!(json.contains("\"test.export.g\": 9"));
+        assert!(json.contains("\"count\": 1, \"sum\": 2.5"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn cpu_seconds_is_monotone() {
+        let a = cpu_seconds().expect("linux has /proc/self/stat");
+        // Burn a little CPU.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_mul(31).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = cpu_seconds().expect("still readable");
+        assert!(b >= a);
+    }
+}

@@ -17,6 +17,8 @@
 //!   libsecondlife"), used to exercise crawler reconnection;
 //! * [`server`] — the accept loop and per-connection protocol handler,
 //!   including local chat fan-out;
+//! * [`metrics`] — [`sl_obs`] counters for accepts, logins, kicks and
+//!   faults fired by kind, exported with every `repro` run;
 //! * [`grid_server`] — one endpoint per land of a shared multi-land
 //!   grid (the metaverse served over TCP).
 
@@ -25,6 +27,7 @@
 pub mod clock;
 pub mod fault;
 pub mod grid_server;
+pub mod metrics;
 pub mod rate;
 pub mod server;
 

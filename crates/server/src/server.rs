@@ -167,6 +167,7 @@ impl LandServer {
         let accept_shared = shared.clone();
         let accept_task = tokio::spawn(async move {
             while let Ok((stream, _)) = listener.accept().await {
+                crate::metrics::register().accepts.inc();
                 let shared = accept_shared.clone();
                 tokio::spawn(async move {
                     // Connection errors are per-client; the server
@@ -232,6 +233,7 @@ async fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(),
                 // Mid-handshake reset: the login was read, the socket
                 // closes without a reply — the client's connect path,
                 // not its poll path, has to absorb this.
+                crate::metrics::register().handshake_resets.inc();
                 return Ok(());
             }
             let (agent, land_name, size) = shared.with_world(|w| {
@@ -251,6 +253,7 @@ async fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(),
                     time_scale: shared.config.time_scale as f32,
                 })
                 .await?;
+            crate::metrics::register().logins.inc();
             agent
         }
         Some(Message::LoginRequest { .. }) => {
@@ -320,7 +323,9 @@ async fn connection_loop(
                 let Some(msg) = incoming? else { return Ok(()) };
                 match msg {
                     Message::MapRequest => {
+                        let metrics = crate::metrics::register();
                         if !bucket.try_acquire() {
+                            metrics.throttle_denials.inc();
                             writer.send(&Message::Error {
                                 code: error_codes::RATE_LIMITED,
                                 message: "map requests throttled".into(),
@@ -328,8 +333,10 @@ async fn connection_loop(
                             continue;
                         }
                         let decision = faults.decide();
+                        metrics.record_fault(decision);
                         match decision {
                             FaultDecision::Kick => {
+                                metrics.kicks.inc();
                                 writer.send(&Message::Kick {
                                     reason: "simulated grid instability".into(),
                                 }).await?;

@@ -99,9 +99,15 @@ pub fn median_sorted(xs: &[f64]) -> Option<f64> {
 /// CCDF of an already-sorted sample evaluated on a log-spaced grid
 /// between the sample min and max — the allocation-free equivalent of
 /// [`Ccdf::series_log_grid`] for callers that already hold sorted data.
+///
+/// An empty sample yields an empty series (same label, no points):
+/// small traces under heavy chaos legitimately produce metric families
+/// with no samples, and figure export must degrade, not panic.
 pub fn ccdf_log_grid_sorted(label: impl Into<String>, xs: &[f64], points: usize) -> Series {
     assert!(points >= 2, "need at least two grid points");
-    assert!(!xs.is_empty(), "log grid of empty sample");
+    if xs.is_empty() {
+        return Series::new(label, Vec::new(), Vec::new());
+    }
     debug_assert!(is_sorted_ascending(xs), "log grid needs sorted input");
     let lo = xs[0].max(1e-9);
     let hi = xs[xs.len() - 1].max(lo * (1.0 + 1e-9));
@@ -367,6 +373,16 @@ mod tests {
         for w in s.x.windows(2) {
             assert!(w[1] > w[0], "grid must increase");
         }
+    }
+
+    #[test]
+    fn empty_sample_log_grid_is_empty_series() {
+        let s = ccdf_log_grid_sorted("empty", &[], 40);
+        assert!(s.is_empty());
+        assert_eq!(s.label, "empty");
+        assert_eq!(s.len(), 0);
+        let c = Ccdf::new(vec![]);
+        assert!(c.series_log_grid("empty", 40).is_empty());
     }
 
     #[test]

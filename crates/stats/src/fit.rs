@@ -69,8 +69,15 @@ pub fn fit_power_law(
     let sorted = ecdf.sorted();
     let mut candidates: Vec<f64> = sorted.to_vec();
     candidates.dedup();
-    // Never use the extreme tail as xmin; keep room for min_tail points.
-    let usable = candidates.len().saturating_sub(1);
+    // Reserve actual room for `min_tail` points: the largest usable
+    // xmin is the value sitting `min_tail` samples from the top of the
+    // (multiplicity-aware) sorted sample. Dropping only the last
+    // distinct candidate — the old rule — still scanned degenerate
+    // candidates near the max whenever the tail held few ties; every
+    // such probe was rejected by `fit_power_law_at`, wasting the
+    // candidate budget on fits that could never win.
+    let max_xmin = sorted[sorted.len() - min_tail.max(1)];
+    let usable = candidates.partition_point(|&x| x <= max_xmin);
     candidates.truncate(usable.max(1));
     let stride = (candidates.len() / max_candidates.max(1)).max(1);
     let mut best: Option<PowerLawFit> = None;
@@ -204,6 +211,24 @@ mod tests {
         let want = 1.0 + 4.0 / (6.0 * std::f64::consts::LN_2);
         assert!((fit.alpha - want).abs() < 1e-12);
         assert_eq!(fit.n_tail, 4);
+    }
+
+    #[test]
+    fn xmin_candidates_leave_min_tail_room() {
+        // 100 distinct small values plus a 20-fold tie at the top. With
+        // min_tail = 25, every distinct value above sorted[len - 25]
+        // (i.e. 97..=100 and the tied 500s) leaves fewer than 25 tail
+        // points — degenerate candidates the scan must never visit; the
+        // old "drop the last distinct value" rule still probed them.
+        let mut xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        xs.resize(120, 500.0);
+        let fit = fit_power_law(&xs, 25, 64).expect("fit");
+        assert!(fit.n_tail >= 25, "n_tail {}", fit.n_tail);
+        assert!(
+            fit.xmin <= 96.0,
+            "xmin {} beyond the min_tail room",
+            fit.xmin
+        );
     }
 
     #[test]

@@ -104,7 +104,25 @@ pub fn merge(traces: &[Trace]) -> Result<Trace, MergeError> {
         }
     }
     merged_gaps.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
-    out.gaps = merged_gaps;
+    // Two monitors blind over overlapping windows for the same reason
+    // describe ONE outage. Leaving both records would double-count
+    // blindness wherever overlaps are summed (`Trace::blind_time`),
+    // over-bridging sessions and over-correcting temporal metrics, so
+    // strictly overlapping same-cause gaps are coalesced into their
+    // union. Merely *touching* gaps stay separate: the split loop above
+    // deliberately produces back-to-back sub-gaps whose individual
+    // span-minus-τ deficits must not be re-fused.
+    let mut coalesced: Vec<crate::types::GapRecord> = Vec::with_capacity(merged_gaps.len());
+    for gap in merged_gaps {
+        if let Some(prev) = coalesced.iter_mut().rev().find(|g| g.cause == gap.cause) {
+            if gap.start < prev.end {
+                prev.end = prev.end.max(gap.end);
+                continue;
+            }
+        }
+        coalesced.push(gap);
+    }
+    out.gaps = coalesced;
     Ok(out)
 }
 
@@ -211,6 +229,55 @@ mod tests {
         assert_eq!((m.gaps[0].start, m.gaps[0].end), (10.0, 60.0));
         assert_eq!(m.gaps[0].cause, GapCause::Kick);
         crate::validate(&m).unwrap();
+    }
+
+    #[test]
+    fn overlapping_same_cause_gaps_coalesce() {
+        use crate::types::{GapCause, GapRecord};
+        // Both monitors were blind (same cause) over the same window;
+        // the merged trace must report ONE outage, not two overlapping
+        // records whose summed overlap double-counts blindness.
+        let mut a = trace_with(&[(10.0, &[1]), (50.0, &[1])]);
+        a.record_gap(GapRecord::new(GapCause::Stall, 10.0, 50.0));
+        let mut b = trace_with(&[(10.0, &[2]), (50.0, &[2])]);
+        b.record_gap(GapRecord::new(GapCause::Stall, 10.0, 50.0));
+        let m = merge(&[a, b]).unwrap();
+        assert_eq!(m.gaps.len(), 1);
+        assert_eq!((m.gaps[0].start, m.gaps[0].end), (10.0, 50.0));
+        assert_eq!(m.blind_time(10.0, 50.0), 40.0);
+        crate::validate(&m).unwrap();
+    }
+
+    #[test]
+    fn partially_overlapping_same_cause_gaps_union() {
+        use crate::types::{GapCause, GapRecord};
+        // Outages [10, 60] and [30, 80] of the same cause become the
+        // union: split at the covered instant t=60, coalesced before
+        // it. Total blindness is counted once.
+        let mut a = trace_with(&[(10.0, &[1]), (60.0, &[1])]);
+        a.record_gap(GapRecord::new(GapCause::Kick, 10.0, 60.0));
+        let mut b = trace_with(&[(30.0, &[2]), (80.0, &[2])]);
+        b.record_gap(GapRecord::new(GapCause::Kick, 30.0, 80.0));
+        let m = merge(&[a, b]).unwrap();
+        let spans: Vec<(f64, f64)> = m.gaps.iter().map(|g| (g.start, g.end)).collect();
+        assert_eq!(spans, vec![(10.0, 30.0), (30.0, 60.0), (60.0, 80.0)]);
+        assert_eq!(m.blind_time(0.0, 100.0), 70.0);
+    }
+
+    #[test]
+    fn overlapping_different_cause_gaps_kept_separate() {
+        use crate::types::{GapCause, GapRecord};
+        // A kick on one monitor and a stall on the other, overlapping
+        // in time: causes are preserved, and `blind_time`'s clamp keeps
+        // the overlap from counting as more blindness than the window
+        // holds.
+        let mut a = trace_with(&[(10.0, &[1]), (60.0, &[1])]);
+        a.record_gap(GapRecord::new(GapCause::Kick, 10.0, 60.0));
+        let mut b = trace_with(&[(10.0, &[2]), (60.0, &[2])]);
+        b.record_gap(GapRecord::new(GapCause::Stall, 10.0, 60.0));
+        let m = merge(&[a, b]).unwrap();
+        assert_eq!(m.gaps.len(), 2);
+        assert_eq!(m.blind_time(10.0, 60.0), 50.0);
     }
 
     #[test]

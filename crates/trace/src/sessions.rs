@@ -72,8 +72,10 @@ pub fn extract_sessions(trace: &Trace, gap_tolerance: usize) -> Vec<Session> {
 
     // Virtual time inside recorded instrument outages between two
     // instants; absence explained by a gap record is not user absence.
-    let blind_time =
-        |lo: f64, hi: f64| -> f64 { trace.gaps.iter().map(|g| g.overlap(lo, hi)).sum::<f64>() };
+    // `Trace::blind_time` clamps to the window length, so overlapping
+    // gap records (merged multi-monitor traces) cannot explain more
+    // absence than the window holds.
+    let blind_time = |lo: f64, hi: f64| -> f64 { trace.blind_time(lo, hi) };
 
     // Open sessions per user.
     let mut open: HashMap<UserId, Session> = HashMap::new();

@@ -307,6 +307,19 @@ impl Trace {
         self.gaps.iter().map(|g| g.span()).sum()
     }
 
+    /// Virtual time inside recorded gaps that falls within `[lo, hi]`,
+    /// clamped to the window length: a trace carrying overlapping gap
+    /// records (possible when merging several monitors' traces) must
+    /// never report a window as blinder than it is long.
+    pub fn blind_time(&self, lo: f64, hi: f64) -> f64 {
+        let window = (hi - lo).max(0.0);
+        self.gaps
+            .iter()
+            .map(|g| g.overlap(lo, hi))
+            .sum::<f64>()
+            .min(window)
+    }
+
     /// Coverage deficit: virtual time during which snapshots were
     /// *expected* but lost to outages — each gap's span minus the one
     /// inter-snapshot interval (τ) that would have elapsed anyway,
@@ -439,6 +452,19 @@ mod tests {
         // One interval (τ = 10) was expected anyway.
         assert_eq!(t.gap_deficit(), 80.0);
         assert!((t.coverage() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blind_time_clamps_overlapping_gaps() {
+        let mut t = Trace::new(LandMeta::standard("Test", 10.0));
+        t.record_gap(GapRecord::new(GapCause::Stall, 0.0, 100.0));
+        t.record_gap(GapRecord::new(GapCause::Kick, 0.0, 100.0));
+        // Two fully-overlapping records: the naive overlap sum is 60,
+        // but only 30 seconds of the window exist to be blind in.
+        assert_eq!(t.blind_time(20.0, 50.0), 30.0);
+        assert_eq!(t.blind_time(200.0, 300.0), 0.0);
+        // Degenerate inverted window is harmless.
+        assert_eq!(t.blind_time(50.0, 20.0), 0.0);
     }
 
     #[test]
