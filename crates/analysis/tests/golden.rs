@@ -1,0 +1,127 @@
+//! Golden regression test: the full §3 analysis of a tiny committed
+//! trace must serialize to exactly the checked-in report.
+//!
+//! The fixture (`tests/golden/trace.bin`) is a frozen half-hour Money
+//! Park crawl with one injected measurement gap; `trace.bin` is the
+//! ground truth — it is read, never regenerated, so the test guards the
+//! whole pipeline (prep → contacts → LOS → zones → trips → coverage →
+//! figures) against unintended numeric drift.
+//!
+//! To re-bless after an *intended* analysis change:
+//!
+//! ```sh
+//! SL_BLESS=1 cargo test -p sl-analysis --test golden
+//! ```
+//!
+//! Deleting `tests/golden/trace.bin` first additionally regenerates the
+//! fixture trace from the world model (seed 7). Review the diff of
+//! `tests/golden/report.txt` before committing either.
+
+use sl_analysis::pipeline::{analyze_land, paper_figures, LandAnalysis};
+use sl_trace::{GapCause, GapRecord, Trace};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Regenerate the fixture trace (bless mode only, and only when the
+/// committed file was deliberately deleted).
+fn generate_fixture() -> Trace {
+    use sl_world::World;
+    let preset = sl_world::presets::money_park();
+    let mut world = World::new(preset.config, 7);
+    world.warm_up(900.0);
+    let mut trace = world.run_trace(1800.0, 10.0);
+    // One synthetic outage so the golden report exercises the
+    // gap-aware coverage accounting.
+    let (lo, hi) = (trace.snapshots[59].t, trace.snapshots[66].t);
+    trace.snapshots.retain(|s| s.t <= lo || s.t >= hi);
+    trace.record_gap(GapRecord::new(GapCause::Stall, lo, hi));
+    trace
+}
+
+/// Canonical textual serialization of the analysis: scalar summary
+/// (medians, fits, coverage, trips) followed by the CSV of all sixteen
+/// paper figures. Hand-rolled and dependency-free, so the bytes are
+/// fully determined by the analysis values.
+fn canonical_report(a: &LandAnalysis) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("land: {}\n", a.land));
+    out.push_str(&format!("summary: {:?}\n", a.summary));
+    for (name, t) in [("bluetooth", &a.bluetooth), ("wifi", &a.wifi)] {
+        out.push_str(&format!(
+            "{name}: range={} ct={:?} ict={:?} ft={:?} censored={}\n",
+            t.range, t.median_ct, t.median_ict, t.median_ft, t.samples.censored_contacts
+        ));
+        out.push_str(&format!("{name}.ct_fit: {:?}\n", t.ct_fit));
+        out.push_str(&format!("{name}.ict_fit: {:?}\n", t.ict_fit));
+    }
+    out.push_str(&format!("zones: cells={}\n", a.zones.counts.len()));
+    out.push_str(&format!("trips: sessions={}\n", a.trips.sessions));
+    out.push_str(&format!("coverage: {:?}\n", a.coverage));
+    for fig in &paper_figures(std::slice::from_ref(a)).figures {
+        out.push_str(&format!("--- {} ---\n", fig.id));
+        let mut csv = Vec::new();
+        fig.write_csv(&mut csv).expect("csv to memory");
+        out.push_str(&String::from_utf8(csv).expect("csv is utf-8"));
+    }
+    out
+}
+
+/// FNV-1a 64 over the canonical report bytes — the compact digest
+/// committed next to the full text.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn golden_report_matches_committed_digest() {
+    let dir = golden_dir();
+    let trace_path = dir.join("trace.bin");
+    let report_path = dir.join("report.txt");
+    let digest_path = dir.join("report.digest");
+    let bless = std::env::var_os("SL_BLESS").is_some();
+
+    if !trace_path.exists() {
+        assert!(bless, "missing {}; bless it first", trace_path.display());
+        let trace = generate_fixture();
+        std::fs::create_dir_all(&dir).expect("golden dir");
+        std::fs::write(&trace_path, sl_trace::io::encode_binary(&trace)).expect("write fixture");
+    }
+    // Always analyze the *decoded file*, bless mode included — the
+    // binary format quantizes positions to f32, so the committed bytes,
+    // not the in-memory generator output, are the ground truth.
+    let raw = std::fs::read(&trace_path).expect("read committed fixture");
+    let trace = sl_trace::io::decode_binary(bytes::Bytes::from(raw)).expect("fixture decodes");
+    assert!(!trace.is_empty(), "fixture must hold snapshots");
+    assert!(!trace.gaps.is_empty(), "fixture must hold a gap record");
+
+    let analysis = analyze_land(&trace, &[]);
+    let got = canonical_report(&analysis);
+    let got_digest = format!("{:016x}\n", fnv1a64(got.as_bytes()));
+
+    if bless {
+        std::fs::write(&report_path, &got).expect("write golden report");
+        std::fs::write(&digest_path, &got_digest).expect("write golden digest");
+        return;
+    }
+
+    let want = std::fs::read_to_string(&report_path).expect("read committed report");
+    let want_digest = std::fs::read_to_string(&digest_path).expect("read committed digest");
+    assert_eq!(
+        got_digest.trim(),
+        want_digest.trim(),
+        "analysis output drifted from the golden digest; if the change is \
+         intended, re-bless with `SL_BLESS=1 cargo test -p sl-analysis --test golden` \
+         and review the diff of tests/golden/report.txt"
+    );
+    // The digest comparison is the gate; the full-text comparison makes
+    // a drift reviewable (`assert_eq` prints the first diverging part).
+    assert_eq!(got, want, "report text drifted but digest collided?!");
+}

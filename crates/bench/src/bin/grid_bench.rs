@@ -1,0 +1,276 @@
+//! `grid_bench` — bytes-on-wire and throughput of delta-snapshot
+//! streaming vs the full-snapshot baseline over a multi-land grid.
+//!
+//! ```sh
+//! cargo run -p sl-bench --bin grid_bench --release               # full run
+//! cargo run -p sl-bench --bin grid_bench --release -- --quick    # CI smoke run
+//! ```
+//!
+//! Records a synchronized multi-land crawl (the [`sl_bench::grid_fixture`]
+//! grid: three lands, users teleporting between them), then replays every
+//! land's snapshot stream through the real wire path twice:
+//!
+//! * **full**: each poll is a `MapReply` frame carrying every avatar;
+//! * **delta**: each poll runs through [`DeltaEncoder`] →
+//!   `DeltaReply`/`Keyframe` frames → [`DeltaDecoder`], exactly the
+//!   components `sl-server` and `sl-crawler` use on live sockets.
+//!
+//! Both streams are framed with `encode_frame` and decoded back, and the
+//! reconstructed snapshots are asserted identical — the delta stream must
+//! lose nothing. The report (`BENCH_grid.json`) carries bytes-on-wire per
+//! path, the reduction factor, and avatar·polls/s throughput of the delta
+//! replay. Being a deterministic in-memory replay, the ≥2× reduction
+//! criterion is reproducible anywhere, CI included.
+
+use bytes::BytesMut;
+use sl_proto::codec::{decode_frame, encode_frame};
+use sl_proto::delta::{DeltaDecoder, DeltaEncoder, DEFAULT_KEYFRAME_INTERVAL};
+use sl_proto::message::{MapItem, Message, MAX_MAP_ITEMS};
+use sl_trace::{Position, Snapshot, Trace, UserId};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    seed: u64,
+    hours: f64,
+    keyframe_interval: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        hours: 2.0,
+        keyframe_interval: DEFAULT_KEYFRAME_INTERVAL,
+        out: PathBuf::from("BENCH_grid.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.hours = 0.25,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--hours" => {
+                args.hours = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&h: &f64| h > 0.0)
+                    .unwrap_or_else(|| die("--hours needs a positive number"));
+            }
+            "--keyframe-interval" => {
+                args.keyframe_interval = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--keyframe-interval needs a positive integer"));
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: grid_bench [--quick] [--seed N] [--hours H] \
+                     [--keyframe-interval K] [--out FILE]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("grid_bench: {msg}");
+    std::process::exit(2);
+}
+
+/// A trace snapshot as the wire would carry it (f32 positions, capped
+/// at the protocol's item bound, sorted by agent).
+fn wire_items(snap: &Snapshot) -> Vec<MapItem> {
+    let mut items: Vec<MapItem> = snap
+        .entries
+        .iter()
+        .take(MAX_MAP_ITEMS)
+        .map(|o| MapItem {
+            agent: o.user.0,
+            x: o.pos.x as f32,
+            y: o.pos.y as f32,
+            z: o.pos.z as f32,
+        })
+        .collect();
+    items.sort_by_key(|it| it.agent);
+    items
+}
+
+/// Rebuild a trace snapshot from decoded wire items.
+fn rebuild(time: f64, items: &[MapItem]) -> Snapshot {
+    let mut snap = Snapshot::new(time);
+    for it in items {
+        snap.push(
+            UserId(it.agent),
+            Position::new(it.x as f64, it.y as f64, it.z as f64),
+        );
+    }
+    snap.entries.sort_by_key(|o| o.user);
+    snap
+}
+
+/// Frame a message and count its on-wire size, then decode it back.
+fn over_the_wire(msg: &Message, bytes: &mut u64) -> Message {
+    let mut buf = BytesMut::new();
+    encode_frame(msg, &mut buf);
+    *bytes += buf.len() as u64;
+    decode_frame(&mut buf)
+        .expect("well-formed frame")
+        .expect("complete frame")
+}
+
+struct LandReport {
+    land: String,
+    polls: u64,
+    avatars: u64,
+    full_bytes: u64,
+    delta_bytes: u64,
+    keyframes: u64,
+}
+
+impl LandReport {
+    fn reduction(&self) -> f64 {
+        self.full_bytes as f64 / self.delta_bytes as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"land\": {:?}, \"polls\": {}, \"avatars\": {}, \"full_bytes\": {}, \
+             \"delta_bytes\": {}, \"keyframes\": {}, \"reduction\": {} }}",
+            self.land,
+            self.polls,
+            self.avatars,
+            self.full_bytes,
+            self.delta_bytes,
+            self.keyframes,
+            self.reduction()
+        )
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Recording the grid fixture: seed {}, {:.2} h, 3 lands ...",
+        args.seed, args.hours
+    );
+    let t0 = Instant::now();
+    let traces: Vec<Trace> = sl_bench::grid_fixture(args.seed, args.hours);
+    println!("  recorded in {:.1} s", t0.elapsed().as_secs_f64());
+
+    let mut lands = Vec::new();
+    let mut delta_secs_total = 0.0;
+    for trace in &traces {
+        let mut report = LandReport {
+            land: trace.meta.name.clone(),
+            polls: 0,
+            avatars: 0,
+            full_bytes: 0,
+            delta_bytes: 0,
+            keyframes: 0,
+        };
+
+        // Full-snapshot path: one MapReply per poll.
+        let mut full_rebuilt = Vec::with_capacity(trace.len());
+        for snap in &trace.snapshots {
+            let items = wire_items(snap);
+            let msg = Message::MapReply {
+                time: snap.t,
+                items,
+            };
+            match over_the_wire(&msg, &mut report.full_bytes) {
+                Message::MapReply { time, items } => full_rebuilt.push(rebuild(time, &items)),
+                other => die(&format!("full path decoded {other:?}")),
+            }
+        }
+
+        // Delta path: the same snapshots through encoder → wire → decoder.
+        let mut enc = DeltaEncoder::new(args.keyframe_interval);
+        let mut dec = DeltaDecoder::new();
+        let mut delta_rebuilt = Vec::with_capacity(trace.len());
+        let t1 = Instant::now();
+        for snap in &trace.snapshots {
+            let items = wire_items(snap);
+            report.polls += 1;
+            report.avatars += items.len() as u64;
+            let msg = enc.encode(snap.t, &items, dec.baseline());
+            let framed = over_the_wire(&msg, &mut report.delta_bytes);
+            if matches!(framed, Message::Keyframe { .. }) {
+                report.keyframes += 1;
+            }
+            let (time, roster) = dec
+                .apply(&framed)
+                .expect("loss-free replay never desyncs");
+            delta_rebuilt.push(rebuild(time, &roster));
+        }
+        delta_secs_total += t1.elapsed().as_secs_f64();
+
+        // The engine's core guarantee: the delta stream reconstructs the
+        // full-snapshot stream exactly.
+        assert!(
+            full_rebuilt == delta_rebuilt,
+            "land {}: delta reconstruction diverged from full snapshots",
+            report.land
+        );
+
+        println!(
+            "  {:<16} {:>6} polls  {:>9} avatar-obs  full {:>9} B  delta {:>9} B  ({:.2}x, {} keyframes)",
+            report.land,
+            report.polls,
+            report.avatars,
+            report.full_bytes,
+            report.delta_bytes,
+            report.reduction(),
+            report.keyframes
+        );
+        lands.push(report);
+    }
+
+    let full_total: u64 = lands.iter().map(|l| l.full_bytes).sum();
+    let delta_total: u64 = lands.iter().map(|l| l.delta_bytes).sum();
+    let avatars_total: u64 = lands.iter().map(|l| l.avatars).sum();
+    let reduction = full_total as f64 / delta_total as f64;
+    let throughput = avatars_total as f64 / delta_secs_total;
+    println!(
+        "Total: full {} B, delta {} B — {:.2}x reduction, {:.0} avatar-polls/s",
+        full_total, delta_total, reduction, throughput
+    );
+
+    let land_rows: Vec<String> = lands.iter().map(|l| format!("    {}", l.json())).collect();
+    let json = format!(
+        "{{\n  \"seed\": {},\n  \"hours\": {},\n  \"tau\": 10.0,\n  \
+         \"keyframe_interval\": {},\n  \"lands\": [\n{}\n  ],\n  \
+         \"total\": {{ \"full_bytes\": {}, \"delta_bytes\": {}, \"reduction\": {}, \
+         \"avatar_polls_per_sec\": {} }}\n}}\n",
+        args.seed,
+        args.hours,
+        args.keyframe_interval,
+        land_rows.join(",\n"),
+        full_total,
+        delta_total,
+        reduction,
+        throughput
+    );
+    std::fs::write(&args.out, json).expect("write report");
+    let metrics_path = args.out.with_file_name("metrics_grid.json");
+    sl_obs::dump_to(&metrics_path).expect("write metrics");
+    println!(
+        "Report written to {} (metrics in {})",
+        args.out.display(),
+        metrics_path.display()
+    );
+    if reduction < 2.0 {
+        eprintln!("grid_bench: WARNING — reduction {reduction:.2}x is below the 2x target");
+    }
+}

@@ -49,6 +49,49 @@ pub fn large_fixture(seed: u64, hours: f64) -> Trace {
     world.run_trace(hours * 3600.0, 10.0)
 }
 
+/// Deterministic multi-land fixture: synchronized per-land traces of a
+/// three-land grid (Dance Island, Apfel Land, Isle of View) recorded in
+/// one pass at τ = 10 s after a one-hour warm-up — what a perfectly
+/// synchronized crawler fleet would see. Users teleport between the
+/// lands throughout, so the per-land rosters churn.
+pub fn grid_fixture(seed: u64, hours: f64) -> Vec<Trace> {
+    use sl_world::grid::{Grid, GridConfig};
+    use sl_world::{ArrivalProcess, DiurnalProfile, SessionDurations};
+    let tau = 10.0;
+    let config = GridConfig {
+        lands: vec![
+            (sl_world::presets::dance_island().config, 2.0),
+            (sl_world::presets::apfel_land().config, 1.0),
+            (sl_world::presets::isle_of_view().config, 1.0),
+        ],
+        arrivals: ArrivalProcess::with_expected(6000.0, 86_400.0, DiurnalProfile::evening()),
+        sessions: SessionDurations::new(400.0, 1600.0, 14_400.0),
+        hop_prob: 0.5,
+        max_hops: 4,
+    };
+    let mut grid = Grid::new(config, seed);
+    grid.warm_up(3600.0);
+    let mut traces: Vec<Trace> = (0..grid.len())
+        .map(|i| {
+            Trace::new(sl_trace::LandMeta {
+                name: grid.world(i).land().name.clone(),
+                width: grid.world(i).land().area.width,
+                height: grid.world(i).land().area.height,
+                tau,
+            })
+        })
+        .collect();
+    let start = grid.clock();
+    let steps = (hours * 3600.0 / tau).floor() as u64;
+    for k in 1..=steps {
+        grid.advance_to(start + k as f64 * tau);
+        for (i, trace) in traces.iter_mut().enumerate() {
+            trace.push(grid.world(i).snapshot());
+        }
+    }
+    traces
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +115,21 @@ mod tests {
         assert_eq!(a.len(), 36);
         let sum: usize = a.snapshots.iter().map(|s| s.len()).sum();
         assert!(sum > 0, "large fixture must not be empty");
+    }
+
+    #[test]
+    fn grid_fixture_is_synchronized_and_deterministic() {
+        let a = grid_fixture(5, 0.1);
+        let b = grid_fixture(5, 0.1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3, "three lands");
+        for trace in &a {
+            assert_eq!(trace.len(), 36);
+        }
+        // Same tick times on every land (one synchronized pass).
+        for k in 0..a[0].len() {
+            assert_eq!(a[0].snapshots[k].t, a[1].snapshots[k].t);
+            assert_eq!(a[0].snapshots[k].t, a[2].snapshots[k].t);
+        }
     }
 }

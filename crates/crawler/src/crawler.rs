@@ -3,6 +3,7 @@
 //! and record *when it could not*, as typed gap records.
 
 use crate::mimicry::{Mimicry, MimicryAction, MimicryConfig};
+use sl_proto::delta::DeltaDecoder;
 use sl_proto::framed::{FramedError, FramedReader, FramedWriter};
 use sl_proto::message::{Message, PROTOCOL_VERSION};
 use sl_stats::rng::Rng;
@@ -42,6 +43,21 @@ impl Default for ReconnectPolicy {
     }
 }
 
+/// How the crawler polls the land map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollMode {
+    /// Classic full snapshots: `MapRequest` → `MapReply`, every avatar
+    /// every poll (the paper's method, and the wire-cost baseline).
+    #[default]
+    Full,
+    /// Delta snapshots: `DeltaRequest` → `DeltaReply`/`Keyframe`, only
+    /// joins/moves/leaves against an acknowledged baseline, with
+    /// automatic keyframe resync on sequence gaps or checksum
+    /// mismatches. Produces the same snapshots for a fraction of the
+    /// bytes.
+    Delta,
+}
+
 /// Crawler configuration.
 #[derive(Debug, Clone)]
 pub struct CrawlerConfig {
@@ -64,6 +80,8 @@ pub struct CrawlerConfig {
     /// that produces no reply within this window is treated as stalled
     /// and torn down — a frozen upstream must never freeze the crawl.
     pub poll_deadline: Duration,
+    /// Full-snapshot or delta-snapshot polling.
+    pub poll_mode: PollMode,
 }
 
 impl CrawlerConfig {
@@ -78,6 +96,7 @@ impl CrawlerConfig {
             username: "crawler".into(),
             seed: 0,
             poll_deadline: Duration::from_secs(1),
+            poll_mode: PollMode::Full,
         }
     }
 }
@@ -151,6 +170,9 @@ struct Session {
     land: String,
     size: (f32, f32),
     time_scale: f64,
+    /// Delta-stream state (PollMode::Delta only); fresh per session,
+    /// so a reconnect naturally starts from a keyframe.
+    delta: DeltaDecoder,
 }
 
 impl Crawler {
@@ -211,6 +233,7 @@ impl Crawler {
                     Err(_elapsed) => Tick::Lost(GapCause::Stall),
                     Ok(Ok(PollOutcome::Snapshot(snap))) => Tick::Snapshot(snap),
                     Ok(Ok(PollOutcome::Throttled)) => Tick::Throttled,
+                    Ok(Ok(PollOutcome::Desync)) => Tick::Desync,
                     Ok(Ok(PollOutcome::Kicked)) => Tick::Lost(GapCause::Kick),
                     Ok(Ok(PollOutcome::Closed)) => Tick::Lost(GapCause::Disconnect),
                     // A checksum mismatch or framing violation: bytes were
@@ -285,6 +308,13 @@ impl Crawler {
                     // snapshot is lost; if the drought grows past the
                     // recording threshold the cause was throttling.
                     pending_gap.get_or_insert(GapCause::Throttle);
+                }
+                Tick::Desync => {
+                    // The delta stream carried damaged or out-of-order
+                    // state; the decoder dropped it and the next poll
+                    // resyncs from a keyframe. If the blindness outlasts
+                    // the recording threshold, its cause was corruption.
+                    pending_gap.get_or_insert(GapCause::Corrupt);
                 }
                 Tick::Lost(cause) => {
                     pending_gap.get_or_insert(cause);
@@ -381,6 +411,7 @@ impl Crawler {
                                 land,
                                 size,
                                 time_scale: time_scale as f64,
+                                delta: DeltaDecoder::new(),
                             });
                         }
                         Ok(Some(Message::Error { message, .. })) => {
@@ -406,19 +437,18 @@ impl Crawler {
     }
 
     async fn poll_once(&self, session: &mut Session) -> Result<PollOutcome, FramedError> {
+        match self.config.poll_mode {
+            PollMode::Full => self.poll_full(session).await,
+            PollMode::Delta => self.poll_delta(session).await,
+        }
+    }
+
+    async fn poll_full(&self, session: &mut Session) -> Result<PollOutcome, FramedError> {
         session.writer.send(&Message::MapRequest).await?;
         loop {
             match session.reader.next().await? {
                 Some(Message::MapReply { time, items }) => {
-                    let mut snap = Snapshot::new(time);
-                    for it in items {
-                        snap.push(
-                            UserId(it.agent),
-                            Position::new(it.x as f64, it.y as f64, it.z as f64),
-                        );
-                    }
-                    snap.entries.sort_by_key(|o| o.user);
-                    return Ok(PollOutcome::Snapshot(snap));
+                    return Ok(PollOutcome::Snapshot(items_to_snapshot(time, &items)));
                 }
                 Some(Message::Error { code, .. })
                     if code == sl_server_error_codes::RATE_LIMITED =>
@@ -433,6 +463,63 @@ impl Crawler {
             }
         }
     }
+
+    async fn poll_delta(&self, session: &mut Session) -> Result<PollOutcome, FramedError> {
+        let metrics = crate::metrics::register();
+        session
+            .writer
+            .send(&Message::DeltaRequest {
+                baseline: session.delta.baseline(),
+            })
+            .await?;
+        loop {
+            match session.reader.next().await? {
+                Some(msg @ (Message::DeltaReply { .. } | Message::Keyframe { .. })) => {
+                    let is_keyframe = matches!(msg, Message::Keyframe { .. });
+                    match session.delta.apply(&msg) {
+                        Ok((time, items)) => {
+                            if is_keyframe {
+                                metrics.delta_keyframes.inc();
+                            } else {
+                                metrics.delta_replies.inc();
+                            }
+                            return Ok(PollOutcome::Snapshot(items_to_snapshot(time, &items)));
+                        }
+                        // Sequence gap or roster checksum mismatch: the
+                        // decoder has reset itself, so our next poll
+                        // carries baseline 0 and the server answers with
+                        // a keyframe. This interval's snapshot is lost;
+                        // the session stays up.
+                        Err(_) => {
+                            metrics.delta_desyncs.inc();
+                            return Ok(PollOutcome::Desync);
+                        }
+                    }
+                }
+                Some(Message::Error { code, .. })
+                    if code == sl_server_error_codes::RATE_LIMITED =>
+                {
+                    return Ok(PollOutcome::Throttled);
+                }
+                Some(Message::Kick { .. }) => return Ok(PollOutcome::Kicked),
+                None => return Ok(PollOutcome::Closed),
+                Some(_) => continue,
+            }
+        }
+    }
+}
+
+/// Wire map items → a sorted trace snapshot at `time`.
+fn items_to_snapshot(time: f64, items: &[sl_proto::message::MapItem]) -> Snapshot {
+    let mut snap = Snapshot::new(time);
+    for it in items {
+        snap.push(
+            UserId(it.agent),
+            Position::new(it.x as f64, it.y as f64, it.z as f64),
+        );
+    }
+    snap.entries.sort_by_key(|o| o.user);
+    snap
 }
 
 enum PollOutcome {
@@ -442,6 +529,9 @@ enum PollOutcome {
     Kicked,
     /// The connection just ended (clean close at a frame boundary).
     Closed,
+    /// The delta stream lost sync (sequence gap / checksum mismatch);
+    /// the connection is healthy and the next poll resyncs.
+    Desync,
 }
 
 /// What one ticker interval produced, after the watchdog and error
@@ -449,6 +539,7 @@ enum PollOutcome {
 enum Tick {
     Snapshot(Snapshot),
     Throttled,
+    Desync,
     Lost(GapCause),
 }
 
@@ -506,6 +597,67 @@ mod tests {
         // SL) — exclusion is the analysis layer's job.
         let me = result.own_agents[0];
         assert!(result.trace.snapshots.iter().any(|s| s.get(me).is_some()));
+    }
+
+    #[tokio::test]
+    async fn delta_crawl_collects_snapshots_too() {
+        let server = server(ServerConfig {
+            time_scale: 1200.0,
+            map_rate: (1000.0, 1000.0),
+            ..Default::default()
+        })
+        .await;
+        let config = CrawlerConfig {
+            seed: 1,
+            poll_mode: PollMode::Delta,
+            ..CrawlerConfig::new(server.addr().to_string(), 300.0)
+        };
+        let result = Crawler::new(config).run().await.unwrap();
+        assert!(
+            result.trace.len() >= 20,
+            "got {} snapshots",
+            result.trace.len()
+        );
+        for w in result.trace.snapshots.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+        // The delta stream still sees our own avatar.
+        let me = result.own_agents[0];
+        assert!(result.trace.snapshots.iter().any(|s| s.get(me).is_some()));
+    }
+
+    #[tokio::test]
+    async fn delta_crawl_survives_corruption_via_resync() {
+        // Corrupt frames at the codec layer kill the connection (PR 1
+        // semantics); the delta layer's own resync handles duplicates
+        // and stale replays. Throw both at a delta crawl.
+        let server = server(ServerConfig {
+            time_scale: 1200.0,
+            map_rate: (1000.0, 1000.0),
+            faults: FaultConfig {
+                corrupt_prob: 0.05,
+                duplicate_prob: 0.10,
+                stale_prob: 0.05,
+                ..FaultConfig::none()
+            },
+            ..Default::default()
+        })
+        .await;
+        let config = CrawlerConfig {
+            seed: 9,
+            poll_mode: PollMode::Delta,
+            ..CrawlerConfig::new(server.addr().to_string(), 400.0)
+        };
+        let result = Crawler::new(config).run().await.unwrap();
+        assert!(
+            result.trace.len() >= 10,
+            "got {} snapshots",
+            result.trace.len()
+        );
+        for w in result.trace.snapshots.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+        sl_trace::validate(&result.trace).unwrap();
     }
 
     #[tokio::test]

@@ -1,0 +1,258 @@
+//! Fleet crawling: N crawler workers multiplexed over the shards of a
+//! grid with work-stealing land assignment.
+//!
+//! The fleet first asks the grid's coordinator for the shard topology
+//! (`ShardMapRequest` → `ShardMapReply`), then puts every shard on a
+//! shared work queue. Each worker loops: steal the next unclaimed shard,
+//! run a full [`Crawler`] crawl against it (so the PR 1 gap/fault
+//! semantics and the per-crawl [`sl_obs`] metrics apply per shard
+//! unchanged), publish the result, repeat until the queue is dry. With
+//! fewer workers than shards, lands are crawled in waves; with more,
+//! the extras idle — a shard is never polled by two workers at once,
+//! which is the fleet's per-shard backpressure: each land sees exactly
+//! one crawler's τ-paced poll stream plus the server's own token-bucket
+//! throttle.
+
+use crate::crawler::{CrawlError, CrawlResult, Crawler, CrawlerConfig};
+use parking_lot::Mutex;
+use sl_proto::framed::{FramedReader, FramedWriter};
+use sl_proto::message::{Message, ShardInfo};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use tokio::net::TcpStream;
+
+/// Fleet configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The grid coordinator's address (shard discovery).
+    pub coordinator: String,
+    /// Number of concurrent crawler workers.
+    pub workers: usize,
+    /// Per-shard crawl template. `server` is overridden with each
+    /// shard's address; `seed` and `username` are decorrelated per
+    /// (shard, worker) so mimicry streams never collide.
+    pub template: CrawlerConfig,
+}
+
+impl FleetConfig {
+    /// A fleet of `workers` against `coordinator`, crawling each shard
+    /// with `template` semantics.
+    pub fn new(coordinator: impl Into<String>, workers: usize, template: CrawlerConfig) -> Self {
+        FleetConfig {
+            coordinator: coordinator.into(),
+            workers,
+            template,
+        }
+    }
+}
+
+/// One shard's crawl outcome.
+#[derive(Debug)]
+pub struct ShardCrawl {
+    /// The shard that was crawled.
+    pub shard: ShardInfo,
+    /// The crawl result — a failed shard does not fail the fleet.
+    pub result: Result<CrawlResult, CrawlError>,
+}
+
+/// What the fleet produced: one entry per shard, ordered by shard id.
+#[derive(Debug)]
+pub struct FleetResult {
+    /// Per-shard outcomes, ascending shard id.
+    pub shards: Vec<ShardCrawl>,
+    /// Workers that ran.
+    pub workers: usize,
+}
+
+impl FleetResult {
+    /// Shards whose crawl succeeded, with their results.
+    pub fn successes(&self) -> impl Iterator<Item = (&ShardInfo, &CrawlResult)> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.result.as_ref().ok().map(|r| (&s.shard, r)))
+    }
+}
+
+/// Ask a coordinator (or any land endpoint past login) for the grid
+/// topology.
+pub async fn discover_shards(coordinator: &str) -> Result<Vec<ShardInfo>, CrawlError> {
+    let stream = TcpStream::connect(coordinator)
+        .await
+        .map_err(|e| CrawlError::ConnectFailed {
+            attempts: 1,
+            last: e.to_string(),
+        })?;
+    stream.set_nodelay(true).ok();
+    let (r, w) = stream.into_split();
+    let mut reader = FramedReader::new(r);
+    let mut writer = FramedWriter::new(w);
+    writer
+        .send(&Message::ShardMapRequest)
+        .await
+        .map_err(|e| CrawlError::Protocol(e.to_string()))?;
+    match reader.next().await {
+        Ok(Some(Message::ShardMapReply { shards })) => {
+            let _ = writer.send(&Message::Logout).await;
+            Ok(shards)
+        }
+        Ok(other) => Err(CrawlError::Protocol(format!(
+            "expected ShardMapReply, got {other:?}"
+        ))),
+        Err(e) => Err(CrawlError::Protocol(e.to_string())),
+    }
+}
+
+/// The crawler fleet.
+#[derive(Debug)]
+pub struct CrawlerFleet {
+    config: FleetConfig,
+}
+
+impl CrawlerFleet {
+    /// Create a fleet.
+    pub fn new(config: FleetConfig) -> Self {
+        CrawlerFleet { config }
+    }
+
+    /// Discover the shards and crawl them all. Only discovery failure
+    /// fails the fleet; per-shard crawl errors are reported in the
+    /// result.
+    pub async fn run(&self) -> Result<FleetResult, CrawlError> {
+        let shards = discover_shards(&self.config.coordinator).await?;
+        let queue: Arc<Mutex<VecDeque<ShardInfo>>> = Arc::new(Mutex::new(shards.into()));
+        let results: Arc<Mutex<Vec<ShardCrawl>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers = self.config.workers.max(1);
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let queue = queue.clone();
+            let results = results.clone();
+            let template = self.config.template.clone();
+            handles.push(tokio::spawn(async move {
+                let metrics = crate::metrics::register();
+                loop {
+                    let Some(shard) = queue.lock().pop_front() else {
+                        break;
+                    };
+                    metrics.fleet_claims.inc();
+                    let config = CrawlerConfig {
+                        server: shard.addr.clone(),
+                        username: format!("{}-s{}", template.username, shard.id),
+                        // Decorrelate mimicry/backoff per (shard, worker).
+                        seed: template.seed
+                            ^ ((shard.id as u64 + 1) << 32)
+                            ^ (worker as u64).wrapping_mul(0x9e37_79b9),
+                        ..template.clone()
+                    };
+                    let result = Crawler::new(config).run().await;
+                    if result.is_ok() {
+                        metrics.fleet_shards_crawled.inc();
+                    }
+                    results.lock().push(ShardCrawl { shard, result });
+                }
+            }));
+        }
+        for h in handles {
+            // A panicked worker loses its in-flight shard crawl but not
+            // the fleet; finished shards are already in `results`.
+            let _ = h.await;
+        }
+        let mut shards = std::mem::take(&mut *results.lock());
+        shards.sort_by_key(|s| s.shard.id);
+        Ok(FleetResult { shards, workers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::PollMode;
+    use sl_server::{GridServer, ServerConfig};
+    use sl_world::grid::{Grid, GridConfig};
+    use sl_world::presets::{apfel_land, dance_island};
+    use sl_world::session::{ArrivalProcess, DiurnalProfile, SessionDurations};
+
+    fn test_grid(seed: u64) -> Grid {
+        let mut grid = Grid::new(
+            GridConfig {
+                lands: vec![(dance_island().config, 2.0), (apfel_land().config, 1.0)],
+                arrivals: ArrivalProcess::with_expected(
+                    6000.0,
+                    86_400.0,
+                    DiurnalProfile::evening(),
+                ),
+                sessions: SessionDurations::new(400.0, 1600.0, 14_400.0),
+                hop_prob: 0.5,
+                max_hops: 4,
+            },
+            seed,
+        );
+        grid.warm_up(3600.0);
+        grid
+    }
+
+    async fn grid_server(seed: u64) -> GridServer {
+        GridServer::bind(
+            test_grid(seed),
+            ServerConfig {
+                time_scale: 1200.0,
+                map_rate: (1000.0, 1000.0),
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap()
+    }
+
+    fn template(server: &GridServer, duration: f64, mode: PollMode) -> CrawlerConfig {
+        CrawlerConfig {
+            seed: 7,
+            poll_mode: mode,
+            ..CrawlerConfig::new(server.coordinator_addr().to_string(), duration)
+        }
+    }
+
+    #[tokio::test]
+    async fn fleet_covers_every_shard_with_workers_to_spare() {
+        let server = grid_server(21).await;
+        let config = FleetConfig::new(
+            server.coordinator_addr().to_string(),
+            4, // more workers than shards
+            template(&server, 200.0, PollMode::Full),
+        );
+        let result = CrawlerFleet::new(config).run().await.unwrap();
+        assert_eq!(result.shards.len(), 2);
+        let names: Vec<&str> = result
+            .successes()
+            .map(|(s, _)| s.land.as_str())
+            .collect();
+        assert_eq!(names, ["Dance Island", "Apfel Land"]);
+        for (_, crawl) in result.successes() {
+            assert!(crawl.trace.len() >= 10, "got {} snapshots", crawl.trace.len());
+        }
+    }
+
+    #[tokio::test]
+    async fn single_worker_steals_both_shards() {
+        let server = grid_server(22).await;
+        let config = FleetConfig::new(
+            server.coordinator_addr().to_string(),
+            1, // one worker must crawl both lands in sequence
+            template(&server, 120.0, PollMode::Delta),
+        );
+        let result = CrawlerFleet::new(config).run().await.unwrap();
+        assert_eq!(result.workers, 1);
+        assert_eq!(result.successes().count(), 2);
+        // Each shard's trace names its own land.
+        for (shard, crawl) in result.successes() {
+            assert_eq!(crawl.trace.meta.name, shard.land);
+        }
+    }
+
+    #[tokio::test]
+    async fn discovery_failure_is_typed() {
+        match discover_shards("127.0.0.1:1").await {
+            Err(CrawlError::ConnectFailed { .. }) => {}
+            other => panic!("expected ConnectFailed, got {other:?}"),
+        }
+    }
+}

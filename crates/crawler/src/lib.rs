@@ -20,14 +20,20 @@
 //! * **Health metrics** ([`metrics`]): [`sl_obs`] counters and
 //!   histograms for polls, retries, backoff sleeps and gap seconds by
 //!   cause, with an on-demand snapshot dump for long crawls.
+//! * **Fleet crawling** ([`fleet`]): N workers multiplexed over the
+//!   shards of a grid with work-stealing land assignment, each shard
+//!   crawled with full gap/fault semantics; supports delta-snapshot
+//!   polling ([`crawler::PollMode`]) to cut bytes-on-wire.
 
 #![warn(missing_docs)]
 
 pub mod crawler;
+pub mod fleet;
 pub mod metrics;
 pub mod mimicry;
 pub mod websink;
 
-pub use crawler::{CrawlError, CrawlResult, Crawler, CrawlerConfig, ReconnectPolicy};
+pub use crawler::{CrawlError, CrawlResult, Crawler, CrawlerConfig, PollMode, ReconnectPolicy};
+pub use fleet::{discover_shards, CrawlerFleet, FleetConfig, FleetResult, ShardCrawl};
 pub use mimicry::{Mimicry, MimicryConfig};
 pub use websink::{post_report, WebSink};

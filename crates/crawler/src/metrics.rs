@@ -28,6 +28,17 @@ pub struct CrawlerMetrics {
     pub backoff_sleeps: &'static Counter,
     /// Frames rejected for checksum or framing violations.
     pub frames_rejected: &'static Counter,
+    /// Delta frames applied cleanly (PollMode::Delta).
+    pub delta_replies: &'static Counter,
+    /// Keyframes applied (first contact, periodic refresh, resync).
+    pub delta_keyframes: &'static Counter,
+    /// Delta frames dropped for sequence gaps or roster checksum
+    /// mismatches; each costs one interval and forces a resync.
+    pub delta_desyncs: &'static Counter,
+    /// Shards claimed off the fleet work queue.
+    pub fleet_claims: &'static Counter,
+    /// Shard crawls completed successfully by fleet workers.
+    pub fleet_shards_crawled: &'static Counter,
     /// Wall seconds slept in backoff, one sample per sleep.
     pub backoff_seconds: &'static Histogram,
     /// Virtual seconds of recorded blindness, [`GapCause`] order.
@@ -58,6 +69,11 @@ pub fn register() -> &'static CrawlerMetrics {
         connect_attempts: sl_obs::counter("crawler.connect_attempts"),
         backoff_sleeps: sl_obs::counter("crawler.backoff_sleeps"),
         frames_rejected: sl_obs::counter("crawler.frames_rejected"),
+        delta_replies: sl_obs::counter("crawler.delta.replies"),
+        delta_keyframes: sl_obs::counter("crawler.delta.keyframes"),
+        delta_desyncs: sl_obs::counter("crawler.delta.desyncs"),
+        fleet_claims: sl_obs::counter("crawler.fleet.claims"),
+        fleet_shards_crawled: sl_obs::counter("crawler.fleet.shards_crawled"),
         backoff_seconds: sl_obs::histogram("crawler.backoff_seconds"),
         gap_seconds: [
             sl_obs::histogram("crawler.gap_seconds.kick"),

@@ -1,0 +1,491 @@
+//! Delta-snapshot streaming: the sans-io state machines behind
+//! [`Message::DeltaReply`] / [`Message::Keyframe`].
+//!
+//! A full `MapReply` resends every avatar on every poll; at τ = 10 s
+//! most avatars have not moved (the paper's random-waypoint pauses run
+//! up to two minutes), so the delta stream sends only the avatars that
+//! joined, moved, or left since the client-acknowledged baseline.
+//!
+//! Protocol shape:
+//!
+//! * The client polls with `DeltaRequest { baseline }` where `baseline`
+//!   is the last sequence number it successfully applied (`0` = "I have
+//!   no state, send a keyframe").
+//! * The server answers with either a `DeltaReply` diffed against that
+//!   baseline or a full `Keyframe` (first contact, periodic refresh
+//!   every `keyframe_interval` frames, or whenever the client's
+//!   baseline does not match the server's view).
+//! * Every frame carries a roster checksum — FNV-1a over the sorted
+//!   post-apply roster — so divergence is detected immediately rather
+//!   than corrupting the trace; the decoder resets itself on any error,
+//!   which makes its next `baseline()` zero and forces a resync.
+//!
+//! Both ends are pure (no sockets, no clocks), so equivalence with the
+//! full-snapshot path is testable byte-for-byte in memory.
+
+use crate::message::{MapItem, Message};
+
+/// FNV-1a offset basis (32-bit) — matches `codec::frame_checksum`.
+const FNV_OFFSET: u32 = 0x811c_9dc5;
+/// FNV-1a prime (32-bit).
+const FNV_PRIME: u32 = 0x0100_0193;
+
+/// FNV-1a checksum over a roster, independent of input order: items are
+/// hashed in ascending-agent order, positions by their exact `f32` bit
+/// patterns (the same representation the wire carries).
+pub fn roster_checksum(items: &[MapItem]) -> u32 {
+    let mut sorted: Vec<&MapItem> = items.iter().collect();
+    sorted.sort_by_key(|it| it.agent);
+    let mut hash = FNV_OFFSET;
+    let mut eat = |word: u32| {
+        for byte in word.to_be_bytes() {
+            hash ^= byte as u32;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for it in sorted {
+        eat(it.agent);
+        eat(it.x.to_bits());
+        eat(it.y.to_bits());
+        eat(it.z.to_bits());
+    }
+    hash
+}
+
+/// Why a delta frame could not be applied. Any of these resets the
+/// decoder: its next [`DeltaDecoder::baseline`] is `0`, which tells the
+/// server to resynchronize with a keyframe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The frame was diffed against a baseline we do not hold.
+    SequenceGap {
+        /// The baseline sequence the decoder holds.
+        expected: u64,
+        /// The baseline sequence the frame was diffed against.
+        got: u64,
+    },
+    /// The post-apply roster does not match the frame's checksum.
+    ChecksumMismatch {
+        /// Checksum of the roster the decoder reconstructed.
+        computed: u32,
+        /// Checksum the frame claimed.
+        expected: u32,
+    },
+    /// The message was not a `DeltaReply` or `Keyframe`.
+    UnexpectedMessage {
+        /// Wire tag of the offending message.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::SequenceGap { expected, got } => {
+                write!(f, "delta sequence gap: hold baseline {expected}, frame diffed against {got}")
+            }
+            DeltaError::ChecksumMismatch { computed, expected } => write!(
+                f,
+                "roster checksum mismatch: computed {computed:#010x}, frame claims {expected:#010x}"
+            ),
+            DeltaError::UnexpectedMessage { tag } => {
+                write!(f, "expected DeltaReply or Keyframe, got message tag {tag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Server side: turns a stream of full snapshots into delta/keyframe
+/// frames for one client connection.
+#[derive(Debug, Clone)]
+pub struct DeltaEncoder {
+    /// World state at sequence `seq`, sorted by agent id.
+    roster: Vec<MapItem>,
+    /// Sequence number of `roster`; `0` = nothing sent yet.
+    seq: u64,
+    /// Emit a keyframe after this many consecutive delta frames.
+    keyframe_interval: u64,
+    /// Delta frames emitted since the last keyframe.
+    since_keyframe: u64,
+}
+
+/// Default keyframe cadence: one full refresh every 30 frames (5 min of
+/// τ = 10 s polls) bounds how long a silent divergence could live even
+/// if checksums were ever bypassed.
+pub const DEFAULT_KEYFRAME_INTERVAL: u64 = 30;
+
+impl DeltaEncoder {
+    /// New encoder emitting a keyframe at least every
+    /// `keyframe_interval` frames (clamped to ≥ 1; an interval of 1
+    /// degenerates to keyframes only).
+    pub fn new(keyframe_interval: u64) -> Self {
+        DeltaEncoder {
+            roster: Vec::new(),
+            seq: 0,
+            keyframe_interval: keyframe_interval.max(1),
+            since_keyframe: 0,
+        }
+    }
+
+    /// Sequence number of the last frame produced (`0` before any).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Encode the current world snapshot for a client that has applied
+    /// up to `client_baseline`. Produces a `Keyframe` on first contact,
+    /// on baseline mismatch (the resync path), and on the periodic
+    /// refresh cadence; otherwise a `DeltaReply` against our roster.
+    pub fn encode(&mut self, time: f64, current: &[MapItem], client_baseline: u64) -> Message {
+        let mut next: Vec<MapItem> = current.to_vec();
+        next.sort_by_key(|it| it.agent);
+        let checksum = roster_checksum(&next);
+        let new_seq = self.seq + 1;
+
+        let need_keyframe = self.seq == 0
+            || client_baseline != self.seq
+            || self.since_keyframe + 1 >= self.keyframe_interval;
+
+        let msg = if need_keyframe {
+            self.since_keyframe = 0;
+            Message::Keyframe {
+                seq: new_seq,
+                time,
+                items: next.clone(),
+                roster: checksum,
+            }
+        } else {
+            self.since_keyframe += 1;
+            let mut joined = Vec::new();
+            let mut moved = Vec::new();
+            let mut left = Vec::new();
+            let (mut i, mut j) = (0, 0);
+            while i < self.roster.len() || j < next.len() {
+                match (self.roster.get(i), next.get(j)) {
+                    (Some(old), Some(new)) if old.agent == new.agent => {
+                        let same = old.x.to_bits() == new.x.to_bits()
+                            && old.y.to_bits() == new.y.to_bits()
+                            && old.z.to_bits() == new.z.to_bits();
+                        if !same {
+                            moved.push(*new);
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(old), Some(new)) if old.agent < new.agent => {
+                        left.push(old.agent);
+                        i += 1;
+                    }
+                    (Some(_), Some(new)) => {
+                        joined.push(*new);
+                        j += 1;
+                    }
+                    (Some(old), None) => {
+                        left.push(old.agent);
+                        i += 1;
+                    }
+                    (None, Some(new)) => {
+                        joined.push(*new);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            Message::DeltaReply {
+                seq: new_seq,
+                baseline: self.seq,
+                time,
+                joined,
+                moved,
+                left,
+                roster: checksum,
+            }
+        };
+
+        self.roster = next;
+        self.seq = new_seq;
+        msg
+    }
+}
+
+impl Default for DeltaEncoder {
+    fn default() -> Self {
+        DeltaEncoder::new(DEFAULT_KEYFRAME_INTERVAL)
+    }
+}
+
+/// Client side: reassembles full snapshots from delta/keyframe frames
+/// and tracks the baseline to acknowledge in the next `DeltaRequest`.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaDecoder {
+    /// Reconstructed world state at sequence `seq`, sorted by agent id.
+    roster: Vec<MapItem>,
+    /// Sequence of `roster`; `0` = no state, next request must resync.
+    seq: u64,
+}
+
+impl DeltaDecoder {
+    /// Fresh decoder holding no state (`baseline()` = 0).
+    pub fn new() -> Self {
+        DeltaDecoder::default()
+    }
+
+    /// The baseline to send in the next `DeltaRequest`: the sequence of
+    /// the last frame applied, or `0` to request a keyframe resync.
+    pub fn baseline(&self) -> u64 {
+        self.seq
+    }
+
+    /// Drop all state so the next poll requests a keyframe.
+    pub fn reset(&mut self) {
+        self.roster.clear();
+        self.seq = 0;
+    }
+
+    /// Apply one server frame and return the reconstructed snapshot
+    /// `(time, items)`. On any error the decoder resets itself, so the
+    /// caller's next `baseline()` triggers the resync path.
+    pub fn apply(&mut self, msg: &Message) -> Result<(f64, Vec<MapItem>), DeltaError> {
+        match msg {
+            Message::Keyframe {
+                seq,
+                time,
+                items,
+                roster,
+            } => {
+                let mut next: Vec<MapItem> = items.clone();
+                next.sort_by_key(|it| it.agent);
+                let computed = roster_checksum(&next);
+                if computed != *roster {
+                    self.reset();
+                    return Err(DeltaError::ChecksumMismatch {
+                        computed,
+                        expected: *roster,
+                    });
+                }
+                self.roster = next;
+                self.seq = *seq;
+                Ok((*time, self.roster.clone()))
+            }
+            Message::DeltaReply {
+                seq,
+                baseline,
+                time,
+                joined,
+                moved,
+                left,
+                roster,
+            } => {
+                if self.seq == 0 || *baseline != self.seq {
+                    let expected = self.seq;
+                    self.reset();
+                    return Err(DeltaError::SequenceGap {
+                        expected,
+                        got: *baseline,
+                    });
+                }
+                let mut next = self.roster.clone();
+                next.retain(|it| !left.contains(&it.agent));
+                for upd in moved {
+                    if let Some(slot) = next.iter_mut().find(|it| it.agent == upd.agent) {
+                        *slot = *upd;
+                    }
+                }
+                next.extend(joined.iter().copied());
+                next.sort_by_key(|it| it.agent);
+                let computed = roster_checksum(&next);
+                if computed != *roster {
+                    self.reset();
+                    return Err(DeltaError::ChecksumMismatch {
+                        computed,
+                        expected: *roster,
+                    });
+                }
+                self.roster = next;
+                self.seq = *seq;
+                Ok((*time, self.roster.clone()))
+            }
+            other => {
+                self.reset();
+                Err(DeltaError::UnexpectedMessage { tag: other.tag() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(agent: u32, x: f32, y: f32) -> MapItem {
+        MapItem {
+            agent,
+            x,
+            y,
+            z: 22.0,
+        }
+    }
+
+    /// Run `frames` snapshots through an encoder/decoder pair, asserting
+    /// the decoder reconstructs each one exactly.
+    fn stream_round_trip(frames: &[Vec<MapItem>], interval: u64) -> (DeltaEncoder, DeltaDecoder) {
+        let mut enc = DeltaEncoder::new(interval);
+        let mut dec = DeltaDecoder::new();
+        for (k, snap) in frames.iter().enumerate() {
+            let msg = enc.encode(k as f64 * 10.0, snap, dec.baseline());
+            let (time, items) = dec.apply(&msg).expect("apply");
+            assert_eq!(time, k as f64 * 10.0);
+            let mut want = snap.clone();
+            want.sort_by_key(|it| it.agent);
+            assert_eq!(items, want, "frame {k} diverged");
+        }
+        (enc, dec)
+    }
+
+    #[test]
+    fn first_frame_is_keyframe() {
+        let mut enc = DeltaEncoder::new(10);
+        let msg = enc.encode(0.0, &[item(1, 1.0, 2.0)], 0);
+        assert!(matches!(msg, Message::Keyframe { seq: 1, .. }));
+    }
+
+    #[test]
+    fn steady_state_emits_deltas_with_only_changes() {
+        let mut enc = DeltaEncoder::new(100);
+        let mut dec = DeltaDecoder::new();
+        let snap0 = vec![item(1, 1.0, 1.0), item(2, 2.0, 2.0), item(3, 3.0, 3.0)];
+        let msg = enc.encode(0.0, &snap0, dec.baseline());
+        dec.apply(&msg).unwrap();
+
+        // Agent 2 moves, agent 3 leaves, agent 4 joins; agent 1 is idle.
+        let snap1 = vec![item(1, 1.0, 1.0), item(2, 5.0, 2.0), item(4, 9.0, 9.0)];
+        let msg = enc.encode(10.0, &snap1, dec.baseline());
+        match &msg {
+            Message::DeltaReply {
+                joined,
+                moved,
+                left,
+                ..
+            } => {
+                assert_eq!(joined, &[item(4, 9.0, 9.0)]);
+                assert_eq!(moved, &[item(2, 5.0, 2.0)]);
+                assert_eq!(left, &[3]);
+            }
+            other => panic!("expected DeltaReply, got {other:?}"),
+        }
+        let (_, items) = dec.apply(&msg).unwrap();
+        assert_eq!(items, vec![item(1, 1.0, 1.0), item(2, 5.0, 2.0), item(4, 9.0, 9.0)]);
+    }
+
+    #[test]
+    fn long_stream_tracks_truth_exactly() {
+        // A deterministic pseudo-random churn: agents join, drift, and
+        // leave over 50 frames.
+        let mut frames = Vec::new();
+        for k in 0..50u32 {
+            let mut snap = Vec::new();
+            for a in 0..20u32 {
+                // Agent `a` is present on frames where (k + a) % 7 != 0.
+                if (k + a) % 7 != 0 {
+                    let drift = ((k * 31 + a * 17) % 5) as f32;
+                    snap.push(item(a, a as f32 + drift, a as f32));
+                }
+            }
+            frames.push(snap);
+        }
+        stream_round_trip(&frames, 8);
+    }
+
+    #[test]
+    fn keyframe_interval_is_honored() {
+        let mut enc = DeltaEncoder::new(3);
+        let mut dec = DeltaDecoder::new();
+        let snap = vec![item(1, 1.0, 1.0)];
+        let mut kinds = Vec::new();
+        for k in 0..7 {
+            let msg = enc.encode(k as f64, &snap, dec.baseline());
+            kinds.push(matches!(msg, Message::Keyframe { .. }));
+            dec.apply(&msg).unwrap();
+        }
+        // Frame 0 is the initial keyframe; every 3rd frame after is too.
+        assert_eq!(kinds, vec![true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn sequence_gap_resets_and_resyncs() {
+        let mut enc = DeltaEncoder::new(100);
+        let mut dec = DeltaDecoder::new();
+        let snap = vec![item(1, 1.0, 1.0)];
+        dec.apply(&enc.encode(0.0, &snap, dec.baseline())).unwrap();
+        // Lose one frame on the floor: encode without delivering. The
+        // follow-up delta is built against the encoder's own head (as
+        // happens when a duplicate frame eats the client's read), so it
+        // arrives in-sequence for the server but gapped for the client.
+        let _lost = enc.encode(10.0, &snap, dec.baseline());
+        let next = enc.encode(20.0, &snap, enc.seq());
+        assert!(matches!(next, Message::DeltaReply { .. }));
+        let err = dec.apply(&next).unwrap_err();
+        assert!(matches!(err, DeltaError::SequenceGap { .. }));
+        assert_eq!(dec.baseline(), 0, "error must reset the decoder");
+        // The resync: baseline 0 forces a keyframe, which applies cleanly.
+        let resync = enc.encode(30.0, &snap, dec.baseline());
+        assert!(matches!(resync, Message::Keyframe { .. }));
+        dec.apply(&resync).unwrap();
+        assert_eq!(dec.baseline(), enc.seq());
+    }
+
+    #[test]
+    fn checksum_mismatch_detected_and_resets() {
+        let mut enc = DeltaEncoder::new(100);
+        let mut dec = DeltaDecoder::new();
+        dec.apply(&enc.encode(0.0, &[item(1, 1.0, 1.0)], dec.baseline()))
+            .unwrap();
+        let msg = enc.encode(10.0, &[item(1, 2.0, 1.0)], dec.baseline());
+        // Corrupt the moved position without fixing the checksum — the
+        // chaos proxy can do exactly this to a frame that still parses.
+        let tampered = match msg {
+            Message::DeltaReply {
+                seq,
+                baseline,
+                time,
+                joined,
+                mut moved,
+                left,
+                roster,
+            } => {
+                moved[0].x = 99.0;
+                Message::DeltaReply {
+                    seq,
+                    baseline,
+                    time,
+                    joined,
+                    moved,
+                    left,
+                    roster,
+                }
+            }
+            other => panic!("expected DeltaReply, got {other:?}"),
+        };
+        let err = dec.apply(&tampered).unwrap_err();
+        assert!(matches!(err, DeltaError::ChecksumMismatch { .. }));
+        assert_eq!(dec.baseline(), 0);
+    }
+
+    #[test]
+    fn roster_checksum_is_order_independent() {
+        let a = [item(1, 1.0, 2.0), item(2, 3.0, 4.0)];
+        let b = [item(2, 3.0, 4.0), item(1, 1.0, 2.0)];
+        assert_eq!(roster_checksum(&a), roster_checksum(&b));
+        let c = [item(1, 1.0, 2.5), item(2, 3.0, 4.0)];
+        assert_ne!(roster_checksum(&a), roster_checksum(&c));
+    }
+
+    #[test]
+    fn unexpected_message_is_typed_error() {
+        let mut dec = DeltaDecoder::new();
+        let err = dec.apply(&Message::MapRequest).unwrap_err();
+        assert!(matches!(err, DeltaError::UnexpectedMessage { .. }));
+    }
+}

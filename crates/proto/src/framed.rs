@@ -57,6 +57,7 @@ impl From<CodecError> for FramedError {
 pub struct FramedReader<R> {
     inner: R,
     buf: BytesMut,
+    bytes_read: u64,
 }
 
 impl<R: AsyncRead + Unpin> FramedReader<R> {
@@ -65,7 +66,14 @@ impl<R: AsyncRead + Unpin> FramedReader<R> {
         FramedReader {
             inner,
             buf: BytesMut::with_capacity(8 * 1024),
+            bytes_read: 0,
         }
+    }
+
+    /// Total bytes consumed from the socket so far — the on-wire cost
+    /// of everything received, framing and checksums included.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
     }
 
     /// Read the next message. Returns `Ok(None)` on a clean EOF at a
@@ -76,6 +84,7 @@ impl<R: AsyncRead + Unpin> FramedReader<R> {
                 return Ok(Some(msg));
             }
             let n = self.inner.read_buf(&mut self.buf).await?;
+            self.bytes_read += n as u64;
             if n == 0 {
                 return if self.buf.is_empty() {
                     Ok(None)
@@ -92,6 +101,7 @@ impl<R: AsyncRead + Unpin> FramedReader<R> {
 pub struct FramedWriter<W> {
     inner: W,
     buf: BytesMut,
+    bytes_written: u64,
 }
 
 impl<W: AsyncWrite + Unpin> FramedWriter<W> {
@@ -100,13 +110,22 @@ impl<W: AsyncWrite + Unpin> FramedWriter<W> {
         FramedWriter {
             inner,
             buf: BytesMut::with_capacity(8 * 1024),
+            bytes_written: 0,
         }
+    }
+
+    /// Total bytes put on the socket so far, framing included. Paired
+    /// with [`FramedReader::bytes_read`] this is what `grid_bench` uses
+    /// to compare delta and full-snapshot wire costs.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
     }
 
     /// Encode and send one message, flushing the socket.
     pub async fn send(&mut self, msg: &Message) -> Result<(), FramedError> {
         self.buf.clear();
         encode_frame(msg, &mut self.buf);
+        self.bytes_written += self.buf.len() as u64;
         self.inner.write_all(&self.buf).await?;
         self.inner.flush().await?;
         Ok(())
@@ -128,6 +147,7 @@ impl<W: AsyncWrite + Unpin> FramedWriter<W> {
     ///
     /// [`send`]: FramedWriter::send
     pub async fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), FramedError> {
+        self.bytes_written += bytes.len() as u64;
         self.inner.write_all(bytes).await?;
         self.inner.flush().await?;
         Ok(())

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod delta;
 pub mod framed;
 pub mod message;
 pub mod wire;
@@ -30,5 +31,6 @@ pub use codec::{
     decode_frame, encode_frame, frame_checksum, CodecError, CHECKSUM_LEN, MAX_FRAME_LEN,
     MIN_FRAME_LEN,
 };
+pub use delta::{roster_checksum, DeltaDecoder, DeltaEncoder, DeltaError, DEFAULT_KEYFRAME_INTERVAL};
 pub use framed::{FramedReader, FramedWriter};
-pub use message::{MapItem, Message, PROTOCOL_VERSION};
+pub use message::{MapItem, Message, ShardInfo, PROTOCOL_VERSION};

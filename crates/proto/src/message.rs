@@ -11,6 +11,9 @@ pub const PROTOCOL_VERSION: u16 = 1;
 pub const MAX_MAP_ITEMS: usize = 400;
 /// Upper bound on string fields.
 pub const MAX_STRING: usize = 512;
+/// Upper bound on shards in one `ShardMapReply` (one shard per land; a
+/// grid of a thousand lands is far beyond any current scenario).
+pub const MAX_SHARDS: usize = 1024;
 
 /// One avatar on the land map.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +26,17 @@ pub struct MapItem {
     pub y: f32,
     /// Altitude, meters ({0,0,0} for seated avatars, as in SL).
     pub z: f32,
+}
+
+/// One shard of a sharded grid: where to connect for one land.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardInfo {
+    /// Shard index (stable for the lifetime of the grid server).
+    pub id: u32,
+    /// Land name served by the shard.
+    pub land: String,
+    /// Endpoint address, e.g. "127.0.0.1:40001".
+    pub addr: String,
 }
 
 /// A protocol message.
@@ -102,6 +116,56 @@ pub enum Message {
         /// Reason shown to the client.
         reason: String,
     },
+    /// Client → server: request a delta snapshot against an
+    /// acknowledged baseline. `baseline = 0` means "I hold no usable
+    /// state, send a keyframe" — the resync path after a sequence gap
+    /// or roster-checksum mismatch.
+    DeltaRequest {
+        /// Sequence number of the last frame the client applied
+        /// successfully (0 = none).
+        baseline: u64,
+    },
+    /// Server → client: position diffs and join/leave events against
+    /// the client-acknowledged baseline, batched for every avatar on
+    /// the land in a single frame.
+    DeltaReply {
+        /// Sequence number of this frame.
+        seq: u64,
+        /// The baseline this delta applies on top of (echoes the
+        /// request; a mismatch at the client is a sequence gap).
+        baseline: u64,
+        /// Virtual time of the underlying snapshot, seconds.
+        time: f64,
+        /// Avatars that entered the land since the baseline.
+        joined: Vec<MapItem>,
+        /// Avatars whose position changed since the baseline.
+        moved: Vec<MapItem>,
+        /// Avatars that left the land since the baseline.
+        left: Vec<u32>,
+        /// FNV-1a checksum of the full post-apply roster (sorted by
+        /// agent id); lets the client detect silent divergence.
+        roster: u32,
+    },
+    /// Server → client: a full-roster keyframe carrying a sequence
+    /// number — sent for `baseline = 0`, on periodic schedule, and
+    /// whenever the server cannot serve the requested baseline.
+    Keyframe {
+        /// Sequence number of this frame.
+        seq: u64,
+        /// Virtual time of the snapshot, seconds.
+        time: f64,
+        /// Every avatar on the land.
+        items: Vec<MapItem>,
+        /// FNV-1a checksum of the roster (sorted by agent id).
+        roster: u32,
+    },
+    /// Client → coordinator: ask for the shard map (no login needed).
+    ShardMapRequest,
+    /// Coordinator → client: every shard of the grid.
+    ShardMapReply {
+        /// The shards, in shard-id order.
+        shards: Vec<ShardInfo>,
+    },
 }
 
 /// Message tags on the wire.
@@ -120,6 +184,44 @@ enum Tag {
     Logout = 10,
     Error = 11,
     Kick = 12,
+    DeltaRequest = 13,
+    DeltaReply = 14,
+    Keyframe = 15,
+    ShardMapRequest = 16,
+    ShardMapReply = 17,
+}
+
+/// Append a `u32` count followed by the avatar items.
+fn write_items(w: &mut Writer, items: &[MapItem]) {
+    w.u32(items.len() as u32);
+    for it in items {
+        w.u32(it.agent);
+        w.f32(it.x);
+        w.f32(it.y);
+        w.f32(it.z);
+    }
+}
+
+/// Read a `u32`-counted avatar item list, bounded by [`MAX_MAP_ITEMS`].
+fn read_items(r: &mut Reader, field: &'static str) -> Result<Vec<MapItem>, WireError> {
+    let count = r.u32(field)? as usize;
+    if count > MAX_MAP_ITEMS {
+        return Err(WireError::TooLarge {
+            field,
+            value: count as u64,
+            max: MAX_MAP_ITEMS as u64,
+        });
+    }
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        items.push(MapItem {
+            agent: r.u32("agent")?,
+            x: r.f32("x")?,
+            y: r.f32("y")?,
+            z: r.f32("z")?,
+        });
+    }
+    Ok(items)
 }
 
 impl Message {
@@ -138,6 +240,11 @@ impl Message {
             Message::Logout => Tag::Logout as u8,
             Message::Error { .. } => Tag::Error as u8,
             Message::Kick { .. } => Tag::Kick as u8,
+            Message::DeltaRequest { .. } => Tag::DeltaRequest as u8,
+            Message::DeltaReply { .. } => Tag::DeltaReply as u8,
+            Message::Keyframe { .. } => Tag::Keyframe as u8,
+            Message::ShardMapRequest => Tag::ShardMapRequest as u8,
+            Message::ShardMapReply { .. } => Tag::ShardMapReply as u8,
         }
     }
 
@@ -193,6 +300,47 @@ impl Message {
                 w.string(message);
             }
             Message::Kick { reason } => w.string(reason),
+            Message::DeltaRequest { baseline } => w.u64(*baseline),
+            Message::DeltaReply {
+                seq,
+                baseline,
+                time,
+                joined,
+                moved,
+                left,
+                roster,
+            } => {
+                w.u64(*seq);
+                w.u64(*baseline);
+                w.f64(*time);
+                write_items(&mut w, joined);
+                write_items(&mut w, moved);
+                w.u32(left.len() as u32);
+                for agent in left {
+                    w.u32(*agent);
+                }
+                w.u32(*roster);
+            }
+            Message::Keyframe {
+                seq,
+                time,
+                items,
+                roster,
+            } => {
+                w.u64(*seq);
+                w.f64(*time);
+                write_items(&mut w, items);
+                w.u32(*roster);
+            }
+            Message::ShardMapRequest => {}
+            Message::ShardMapReply { shards } => {
+                w.u32(shards.len() as u32);
+                for s in shards {
+                    w.u32(s.id);
+                    w.string(&s.land);
+                    w.string(&s.addr);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -226,23 +374,7 @@ impl Message {
             t if t == Tag::MapRequest as u8 => Message::MapRequest,
             t if t == Tag::MapReply as u8 => {
                 let time = r.f64("time")?;
-                let count = r.u32("count")? as usize;
-                if count > MAX_MAP_ITEMS {
-                    return Err(WireError::TooLarge {
-                        field: "map items",
-                        value: count as u64,
-                        max: MAX_MAP_ITEMS as u64,
-                    });
-                }
-                let mut items = Vec::with_capacity(count);
-                for _ in 0..count {
-                    items.push(MapItem {
-                        agent: r.u32("agent")?,
-                        x: r.f32("x")?,
-                        y: r.f32("y")?,
-                        z: r.f32("z")?,
-                    });
-                }
+                let items = read_items(&mut r, "map items")?;
                 Message::MapReply { time, items }
             }
             t if t == Tag::Ping as u8 => Message::Ping {
@@ -259,11 +391,75 @@ impl Message {
             t if t == Tag::Kick as u8 => Message::Kick {
                 reason: r.string("reason", MAX_STRING)?,
             },
+            t if t == Tag::DeltaRequest as u8 => Message::DeltaRequest {
+                baseline: r.u64("baseline")?,
+            },
+            t if t == Tag::DeltaReply as u8 => {
+                let seq = r.u64("seq")?;
+                let baseline = r.u64("baseline")?;
+                let time = r.f64("time")?;
+                let joined = read_items(&mut r, "joined items")?;
+                let moved = read_items(&mut r, "moved items")?;
+                let count = r.u32("left count")? as usize;
+                if count > MAX_MAP_ITEMS {
+                    return Err(WireError::TooLarge {
+                        field: "left count",
+                        value: count as u64,
+                        max: MAX_MAP_ITEMS as u64,
+                    });
+                }
+                let mut left = Vec::with_capacity(count);
+                for _ in 0..count {
+                    left.push(r.u32("left agent")?);
+                }
+                let roster = r.u32("roster checksum")?;
+                Message::DeltaReply {
+                    seq,
+                    baseline,
+                    time,
+                    joined,
+                    moved,
+                    left,
+                    roster,
+                }
+            }
+            t if t == Tag::Keyframe as u8 => {
+                let seq = r.u64("seq")?;
+                let time = r.f64("time")?;
+                let items = read_items(&mut r, "keyframe items")?;
+                let roster = r.u32("roster checksum")?;
+                Message::Keyframe {
+                    seq,
+                    time,
+                    items,
+                    roster,
+                }
+            }
+            t if t == Tag::ShardMapRequest as u8 => Message::ShardMapRequest,
+            t if t == Tag::ShardMapReply as u8 => {
+                let count = r.u32("shard count")? as usize;
+                if count > MAX_SHARDS {
+                    return Err(WireError::TooLarge {
+                        field: "shard count",
+                        value: count as u64,
+                        max: MAX_SHARDS as u64,
+                    });
+                }
+                let mut shards = Vec::with_capacity(count);
+                for _ in 0..count {
+                    shards.push(ShardInfo {
+                        id: r.u32("shard id")?,
+                        land: r.string("shard land", MAX_STRING)?,
+                        addr: r.string("shard addr", MAX_STRING)?,
+                    });
+                }
+                Message::ShardMapReply { shards }
+            }
             other => {
                 return Err(WireError::TooLarge {
                     field: "message tag",
                     value: other as u64,
-                    max: Tag::Kick as u64,
+                    max: Tag::ShardMapReply as u64,
                 })
             }
         };
@@ -325,7 +521,63 @@ mod tests {
             Message::Kick {
                 reason: "simulated grid instability".into(),
             },
+            Message::DeltaRequest { baseline: 17 },
+            Message::DeltaReply {
+                seq: 18,
+                baseline: 17,
+                time: 12_345.5,
+                joined: vec![MapItem {
+                    agent: 3,
+                    x: 10.0,
+                    y: 20.0,
+                    z: 22.0,
+                }],
+                moved: vec![MapItem {
+                    agent: 1,
+                    x: 1.5,
+                    y: 2.5,
+                    z: 0.0,
+                }],
+                left: vec![2, 9],
+                roster: 0x1234_5678,
+            },
+            Message::Keyframe {
+                seq: 20,
+                time: 12_400.0,
+                items: vec![MapItem {
+                    agent: 1,
+                    x: 1.5,
+                    y: 2.5,
+                    z: 0.0,
+                }],
+                roster: 0x9abc_def0,
+            },
+            Message::ShardMapRequest,
+            Message::ShardMapReply {
+                shards: vec![
+                    ShardInfo {
+                        id: 0,
+                        land: "Dance Island".into(),
+                        addr: "127.0.0.1:9001".into(),
+                    },
+                    ShardInfo {
+                        id: 1,
+                        land: "Freebies".into(),
+                        addr: "127.0.0.1:9002".into(),
+                    },
+                ],
+            },
         ]
+    }
+
+    /// Every `Tag` must appear in `all_messages()` — keeps the test
+    /// vector honest as new variants are added.
+    #[test]
+    fn all_messages_covers_every_tag() {
+        let tags: Vec<u8> = all_messages().iter().map(|m| m.tag()).collect();
+        for t in Tag::LoginRequest as u8..=Tag::ShardMapReply as u8 {
+            assert!(tags.contains(&t), "tag {t} missing from all_messages()");
+        }
     }
 
     #[test]

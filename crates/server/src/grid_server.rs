@@ -1,21 +1,36 @@
-//! The grid server: one TCP endpoint per land of a shared multi-land
-//! [`Grid`]. Crawlers connect to individual lands exactly as against a
+//! The grid server: one TCP endpoint (shard) per land of a shared
+//! multi-land [`Grid`], behind a lightweight coordinator. Crawlers
+//! connect to individual shards exactly as against a
 //! [`LandServer`](crate::LandServer) — the protocol is identical — while
 //! the metaverse behind the endpoints keeps teleporting users between
 //! lands. All endpoints share a single [`SimClock`], so every land
 //! agrees on "now".
+//!
+//! The coordinator is a separate loginless endpoint that answers
+//! `ShardMapRequest` with the grid topology (`shard id`, land name,
+//! socket address per shard) — the discovery hop a crawler fleet makes
+//! before fanning its workers out over the shards. Each land endpoint
+//! also carries the same shard map, so a worker already attached to one
+//! shard can rediscover the topology without a second coordinator trip.
 
 use crate::clock::SimClock;
 use crate::server::{LandServer, ServerConfig};
 use parking_lot::Mutex;
+use sl_proto::framed::{FramedError, FramedReader, FramedWriter};
+use sl_proto::message::{Message, ShardInfo};
 use sl_world::grid::Grid;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
 
-/// A running grid server: one bound endpoint per member land.
+/// A running grid server: one bound endpoint per member land, plus the
+/// coordinator endpoint serving shard discovery.
 pub struct GridServer {
     grid: Arc<Mutex<Grid>>,
     servers: Vec<LandServer>,
+    shard_map: Vec<ShardInfo>,
+    coordinator_addr: SocketAddr,
+    coordinator_task: tokio::task::JoinHandle<()>,
 }
 
 impl std::fmt::Debug for GridServer {
@@ -45,7 +60,54 @@ impl GridServer {
                 .await?,
             );
         }
-        Ok(GridServer { grid, servers })
+
+        // Addresses are only known post-bind: assemble the topology and
+        // install it on every shard, then open the coordinator endpoint.
+        let shard_map: Vec<ShardInfo> = {
+            let g = grid.lock();
+            servers
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardInfo {
+                    id: i as u32,
+                    land: g.world(i).land().name.clone(),
+                    addr: s.addr().to_string(),
+                })
+                .collect()
+        };
+        for s in &servers {
+            s.set_shard_map(shard_map.clone());
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        let coordinator_addr = listener.local_addr()?;
+        let coord_map = shard_map.clone();
+        let coordinator_task = tokio::spawn(async move {
+            while let Ok((stream, _)) = listener.accept().await {
+                let map = coord_map.clone();
+                tokio::spawn(async move {
+                    let _ = serve_coordinator(stream, map).await;
+                });
+            }
+        });
+
+        Ok(GridServer {
+            grid,
+            servers,
+            shard_map,
+            coordinator_addr,
+            coordinator_task,
+        })
+    }
+
+    /// The coordinator endpoint: answers `ShardMapRequest` without a
+    /// login.
+    pub fn coordinator_addr(&self) -> SocketAddr {
+        self.coordinator_addr
+    }
+
+    /// The grid topology the coordinator serves.
+    pub fn shard_map(&self) -> &[ShardInfo] {
+        &self.shard_map
     }
 
     /// Number of served lands.
@@ -69,12 +131,44 @@ impl GridServer {
         f(&mut self.grid.lock())
     }
 
-    /// Stop accepting connections on every land.
+    /// Stop accepting connections on every land and the coordinator.
     pub fn shutdown(&self) {
         for s in &self.servers {
             s.shutdown();
         }
+        self.coordinator_task.abort();
     }
+}
+
+impl Drop for GridServer {
+    fn drop(&mut self) {
+        self.coordinator_task.abort();
+    }
+}
+
+/// One coordinator connection: loginless shard discovery plus liveness
+/// pings. Anything else is protocol misuse and is ignored.
+async fn serve_coordinator(stream: TcpStream, map: Vec<ShardInfo>) -> Result<(), FramedError> {
+    stream.set_nodelay(true).ok();
+    let (r, w) = stream.into_split();
+    let mut reader = FramedReader::new(r);
+    let mut writer = FramedWriter::new(w);
+    while let Some(msg) = reader.next().await? {
+        match msg {
+            Message::ShardMapRequest => {
+                crate::metrics::register().shard_map_requests.inc();
+                writer
+                    .send(&Message::ShardMapReply {
+                        shards: map.clone(),
+                    })
+                    .await?;
+            }
+            Message::Ping { nonce } => writer.send(&Message::Pong { nonce }).await?,
+            Message::Logout => return Ok(()),
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -154,6 +248,52 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn coordinator_serves_shard_topology() {
+        let server = GridServer::bind(test_grid(3), ServerConfig::default())
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.coordinator_addr()).await.unwrap();
+        let (r, w) = stream.into_split();
+        let mut reader = FramedReader::new(r);
+        let mut writer = FramedWriter::new(w);
+        // No login required at the coordinator.
+        writer.send(&Message::ShardMapRequest).await.unwrap();
+        match reader.next().await.unwrap().unwrap() {
+            Message::ShardMapReply { shards } => {
+                assert_eq!(shards.len(), 2);
+                assert_eq!(shards[0].land, "Dance Island");
+                assert_eq!(shards[1].land, "Apfel Land");
+                for (i, shard) in shards.iter().enumerate() {
+                    assert_eq!(shard.id, i as u32);
+                    assert_eq!(shard.addr, server.addr_of(i).to_string());
+                }
+            }
+            other => panic!("expected ShardMapReply, got {other:?}"),
+        }
+        // Land endpoints carry the same topology post-login.
+        let stream = TcpStream::connect(server.addr_of(1)).await.unwrap();
+        let (r, w) = stream.into_split();
+        let mut reader = FramedReader::new(r);
+        let mut writer = FramedWriter::new(w);
+        writer
+            .send(&Message::LoginRequest {
+                version: PROTOCOL_VERSION,
+                username: "probe".into(),
+                password: "pw".into(),
+            })
+            .await
+            .unwrap();
+        reader.next().await.unwrap();
+        writer.send(&Message::ShardMapRequest).await.unwrap();
+        match reader.next().await.unwrap().unwrap() {
+            Message::ShardMapReply { shards } => {
+                assert_eq!(shards, server.shard_map());
+            }
+            other => panic!("expected ShardMapReply, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
     async fn grid_keeps_teleporting_under_load() {
         let server = GridServer::bind(
             test_grid(2),
@@ -180,15 +320,22 @@ mod tests {
             .await
             .unwrap();
         reader.next().await.unwrap();
-        for _ in 0..20 {
-            tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        // Bounded condition poll: each map request advances the shared
+        // grid; stop as soon as a teleport has happened rather than
+        // sleeping a fixed wall-clock amount.
+        let mut hops_after = hops_before;
+        for _ in 0..400 {
+            tokio::time::sleep(std::time::Duration::from_millis(5)).await;
             writer.send(&Message::MapRequest).await.unwrap();
             match reader.next().await.unwrap().unwrap() {
                 Message::MapReply { .. } => {}
                 other => panic!("unexpected {other:?}"),
             }
+            hops_after = server.with_grid(|g| g.stats().hops);
+            if hops_after > hops_before {
+                break;
+            }
         }
-        let hops_after = server.with_grid(|g| g.stats().hops);
         assert!(
             hops_after > hops_before,
             "teleports should continue while the grid is served ({hops_before} -> {hops_after})"

@@ -24,6 +24,15 @@ pub struct ServerMetrics {
     pub handshake_resets: &'static Counter,
     /// Map requests refused by the rate limiter.
     pub throttle_denials: &'static Counter,
+    /// Delta frames served (diffs against an acknowledged baseline).
+    pub delta_replies: &'static Counter,
+    /// Keyframes served (first contact, periodic refresh, or resync).
+    pub keyframes: &'static Counter,
+    /// Delta polls whose baseline did not match the server's view —
+    /// each forces a keyframe resync.
+    pub delta_resyncs: &'static Counter,
+    /// Shard-topology requests answered (coordinator or land endpoint).
+    pub shard_map_requests: &'static Counter,
     /// Injected faults by kind, [`FaultDecision`] order.
     faults: [&'static Counter; 8],
 }
@@ -56,6 +65,10 @@ pub fn register() -> &'static ServerMetrics {
         kicks: sl_obs::counter("server.kicks"),
         handshake_resets: sl_obs::counter("server.handshake_resets"),
         throttle_denials: sl_obs::counter("server.throttle_denials"),
+        delta_replies: sl_obs::counter("server.delta.replies"),
+        keyframes: sl_obs::counter("server.delta.keyframes"),
+        delta_resyncs: sl_obs::counter("server.delta.resyncs"),
+        shard_map_requests: sl_obs::counter("server.shard_map_requests"),
         faults: [
             sl_obs::counter("server.faults.delay"),
             sl_obs::counter("server.faults.kick"),

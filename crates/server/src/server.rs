@@ -10,8 +10,9 @@ use crate::rate::TokenBucket;
 use bytes::BytesMut;
 use parking_lot::Mutex;
 use sl_proto::codec::encode_frame;
+use sl_proto::delta::DeltaEncoder;
 use sl_proto::framed::{FramedError, FramedReader, FramedWriter};
-use sl_proto::message::{MapItem, Message, MAX_MAP_ITEMS, PROTOCOL_VERSION};
+use sl_proto::message::{MapItem, Message, ShardInfo, MAX_MAP_ITEMS, PROTOCOL_VERSION};
 use sl_trace::UserId;
 use sl_world::grid::Grid;
 use sl_world::{Vec2, World};
@@ -72,6 +73,12 @@ struct Shared {
     clock: SimClock,
     config: ServerConfig,
     conn_counter: Mutex<u64>,
+    /// This endpoint's bound address (for the self-describing shard map).
+    local_addr: SocketAddr,
+    /// Grid topology served to `ShardMapRequest`. Empty until a
+    /// coordinator ([`GridServer`](crate::GridServer)) installs one; a
+    /// standalone server then answers with a one-entry map of itself.
+    shards: Mutex<Vec<ShardInfo>>,
 }
 
 struct ClientHandle {
@@ -163,6 +170,8 @@ impl LandServer {
             clock,
             config,
             conn_counter: Mutex::new(0),
+            local_addr: addr,
+            shards: Mutex::new(Vec::new()),
         });
         let accept_shared = shared.clone();
         let accept_task = tokio::spawn(async move {
@@ -198,6 +207,13 @@ impl LandServer {
     /// land).
     pub fn with_world<T>(&self, f: impl FnOnce(&mut World) -> T) -> T {
         self.shared.with_world(f)
+    }
+
+    /// Install the grid topology this endpoint should hand to clients
+    /// asking `ShardMapRequest`. Called by the coordinator once every
+    /// shard of a grid is bound (addresses are only known post-bind).
+    pub fn set_shard_map(&self, shards: Vec<ShardInfo>) {
+        *self.shared.shards.lock() = shards;
     }
 
     /// Stop accepting connections (existing connections die with their
@@ -306,6 +322,64 @@ async fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> Result<(),
     result
 }
 
+/// Snapshot the served world as wire map items (bounded by the
+/// protocol's `MAX_MAP_ITEMS`, like a real map feature would clip).
+fn map_snapshot(shared: &Shared) -> (f64, Vec<MapItem>) {
+    shared.with_world(|w| {
+        let snap = w.snapshot();
+        let items: Vec<MapItem> = snap
+            .entries
+            .iter()
+            .take(MAX_MAP_ITEMS)
+            .map(|o| MapItem {
+                agent: o.user.0,
+                x: o.pos.x as f32,
+                y: o.pos.y as f32,
+                z: o.pos.z as f32,
+            })
+            .collect();
+        (snap.t, items)
+    })
+}
+
+/// Apply the byte-level tail of a fault decision to an outgoing reply
+/// (shared between the full-snapshot and delta poll paths). Returns
+/// `false` when the connection must close (truncation leaves the wire
+/// unusable mid-frame).
+async fn send_with_fault(
+    writer: &mut FramedWriter<tokio::net::tcp::OwnedWriteHalf>,
+    faults: &mut FaultInjector,
+    decision: FaultDecision,
+    reply: &Message,
+) -> Result<bool, FramedError> {
+    match decision {
+        FaultDecision::Truncate => {
+            let mut bytes = BytesMut::new();
+            encode_frame(reply, &mut bytes);
+            let cut = (bytes.len() / 2).max(1);
+            writer.send_bytes(&bytes[..cut]).await?;
+            Ok(false)
+        }
+        FaultDecision::Corrupt => {
+            let mut bytes = BytesMut::new();
+            encode_frame(reply, &mut bytes);
+            let i = faults.corrupt_index(bytes.len());
+            bytes[i] ^= 0xFF;
+            writer.send_bytes(&bytes).await?;
+            Ok(true)
+        }
+        FaultDecision::Duplicate => {
+            writer.send(reply).await?;
+            writer.send(reply).await?;
+            Ok(true)
+        }
+        _ => {
+            writer.send(reply).await?;
+            Ok(true)
+        }
+    }
+}
+
 async fn connection_loop(
     reader: &mut FramedReader<tokio::net::tcp::OwnedReadHalf>,
     writer: &mut FramedWriter<tokio::net::tcp::OwnedWriteHalf>,
@@ -317,6 +391,9 @@ async fn connection_loop(
 ) -> Result<(), FramedError> {
     // Cache of the previous map reply for the `Stale` fault.
     let mut last_map_reply: Option<Message> = None;
+    // Per-connection delta stream state (delta polls only).
+    let mut delta = DeltaEncoder::default();
+    let mut last_delta_reply: Option<Message> = None;
     loop {
         tokio::select! {
             incoming = reader.next() => {
@@ -354,45 +431,79 @@ async fn connection_loop(
                         let reply = match (decision, &last_map_reply) {
                             (FaultDecision::Stale, Some(prev)) => prev.clone(),
                             _ => {
-                                let (time, items) = shared.with_world(|w| {
-                                    let snap = w.snapshot();
-                                    let items: Vec<MapItem> = snap.entries.iter()
-                                        .take(MAX_MAP_ITEMS)
-                                        .map(|o| MapItem {
-                                            agent: o.user.0,
-                                            x: o.pos.x as f32,
-                                            y: o.pos.y as f32,
-                                            z: o.pos.z as f32,
-                                        })
-                                        .collect();
-                                    (snap.t, items)
-                                });
+                                let (time, items) = map_snapshot(shared);
                                 let fresh = Message::MapReply { time, items };
                                 last_map_reply = Some(fresh.clone());
                                 fresh
                             }
                         };
+                        if !send_with_fault(writer, faults, decision, &reply).await? {
+                            return Ok(());
+                        }
+                    }
+                    Message::DeltaRequest { baseline } => {
+                        // The delta poll path: same rate limit and fault
+                        // surface as MapRequest, but the reply is diffed
+                        // against the client-acknowledged baseline.
+                        let metrics = crate::metrics::register();
+                        if !bucket.try_acquire() {
+                            metrics.throttle_denials.inc();
+                            writer.send(&Message::Error {
+                                code: error_codes::RATE_LIMITED,
+                                message: "map requests throttled".into(),
+                            }).await?;
+                            continue;
+                        }
+                        let decision = faults.decide();
+                        metrics.record_fault(decision);
                         match decision {
-                            FaultDecision::Truncate => {
-                                let mut bytes = BytesMut::new();
-                                encode_frame(&reply, &mut bytes);
-                                let cut = (bytes.len() / 2).max(1);
-                                writer.send_bytes(&bytes[..cut]).await?;
+                            FaultDecision::Kick => {
+                                metrics.kicks.inc();
+                                writer.send(&Message::Kick {
+                                    reason: "simulated grid instability".into(),
+                                }).await?;
                                 return Ok(());
                             }
-                            FaultDecision::Corrupt => {
-                                let mut bytes = BytesMut::new();
-                                encode_frame(&reply, &mut bytes);
-                                let i = faults.corrupt_index(bytes.len());
-                                bytes[i] ^= 0xFF;
-                                writer.send_bytes(&bytes).await?;
+                            FaultDecision::Stall(ms) | FaultDecision::Delay(ms) => {
+                                tokio::time::sleep(std::time::Duration::from_millis(ms)).await;
                             }
-                            FaultDecision::Duplicate => {
-                                writer.send(&reply).await?;
-                                writer.send(&reply).await?;
-                            }
-                            _ => writer.send(&reply).await?,
+                            FaultDecision::Drop => continue,
+                            _ => {}
                         }
+                        let reply = match (decision, &last_delta_reply) {
+                            // A stale repeat carries an already-consumed
+                            // sequence number; the client detects the gap
+                            // and resyncs — exactly the PR 1 semantics,
+                            // now at the delta layer.
+                            (FaultDecision::Stale, Some(prev)) => prev.clone(),
+                            _ => {
+                                if delta.seq() != 0 && baseline != delta.seq() {
+                                    metrics.delta_resyncs.inc();
+                                }
+                                let (time, items) = map_snapshot(shared);
+                                let fresh = delta.encode(time, &items, baseline);
+                                match fresh {
+                                    Message::Keyframe { .. } => metrics.keyframes.inc(),
+                                    _ => metrics.delta_replies.inc(),
+                                }
+                                last_delta_reply = Some(fresh.clone());
+                                fresh
+                            }
+                        };
+                        if !send_with_fault(writer, faults, decision, &reply).await? {
+                            return Ok(());
+                        }
+                    }
+                    Message::ShardMapRequest => {
+                        crate::metrics::register().shard_map_requests.inc();
+                        let mut shards = shared.shards.lock().clone();
+                        if shards.is_empty() {
+                            // Standalone server: a one-shard grid of itself.
+                            let land = shared.with_world(|w| w.land().name.clone());
+                            let addr = shared.local_addr.to_string();
+                            shards.push(ShardInfo { id: 0, land, addr });
+                        }
+                        writer.send(&Message::ShardMapReply { shards }).await?;
                     }
                     Message::AgentUpdate { x, y } => {
                         let pos = Vec2::new(x as f64, y as f64);
@@ -450,6 +561,20 @@ mod tests {
         World::new(dance_island().config, 7)
     }
 
+    /// Bounded condition poll — the test-side replacement for bare
+    /// wall-clock sleeps: waits only as long as the condition needs,
+    /// and fails loudly (instead of flaking silently) when it never
+    /// holds within the bound.
+    async fn eventually(what: &str, mut cond: impl FnMut() -> bool) {
+        for _ in 0..400 {
+            if cond() {
+                return;
+            }
+            tokio::time::sleep(std::time::Duration::from_millis(5)).await;
+        }
+        panic!("condition never held within bound: {what}");
+    }
+
     async fn login(
         addr: SocketAddr,
     ) -> (
@@ -497,6 +622,89 @@ mod tests {
                 assert!(items.iter().any(|i| i.agent == agent));
             }
             other => panic!("expected MapReply, got {other:?}"),
+        }
+    }
+
+    #[tokio::test]
+    async fn delta_poll_starts_with_keyframe_then_diffs() {
+        use sl_proto::delta::DeltaDecoder;
+        let server = LandServer::bind(
+            "127.0.0.1:0",
+            test_world(),
+            ServerConfig {
+                time_scale: 100.0,
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap();
+        let (mut reader, mut writer, agent) = login(server.addr()).await;
+        let mut dec = DeltaDecoder::new();
+        // First poll (baseline 0) must be a keyframe with our avatar.
+        writer
+            .send(&Message::DeltaRequest {
+                baseline: dec.baseline(),
+            })
+            .await
+            .unwrap();
+        let frame = reader.next().await.unwrap().unwrap();
+        assert!(matches!(frame, Message::Keyframe { .. }));
+        let (_, items) = dec.apply(&frame).unwrap();
+        assert!(items.iter().any(|i| i.agent == agent));
+        // Subsequent polls apply cleanly and keep tracking the roster.
+        for _ in 0..3 {
+            writer
+                .send(&Message::DeltaRequest {
+                    baseline: dec.baseline(),
+                })
+                .await
+                .unwrap();
+            let frame = reader.next().await.unwrap().unwrap();
+            let (_, items) = dec.apply(&frame).unwrap();
+            assert!(items.iter().any(|i| i.agent == agent));
+        }
+    }
+
+    #[tokio::test]
+    async fn delta_poll_with_bogus_baseline_forces_keyframe() {
+        let server = LandServer::bind("127.0.0.1:0", test_world(), ServerConfig::default())
+            .await
+            .unwrap();
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        writer
+            .send(&Message::DeltaRequest { baseline: 0 })
+            .await
+            .unwrap();
+        assert!(matches!(
+            reader.next().await.unwrap().unwrap(),
+            Message::Keyframe { .. }
+        ));
+        // A baseline the server never issued: the resync path answers
+        // with a fresh keyframe rather than an undecodable diff.
+        writer
+            .send(&Message::DeltaRequest { baseline: 999 })
+            .await
+            .unwrap();
+        assert!(matches!(
+            reader.next().await.unwrap().unwrap(),
+            Message::Keyframe { .. }
+        ));
+    }
+
+    #[tokio::test]
+    async fn standalone_server_answers_shard_map_with_itself() {
+        let server = LandServer::bind("127.0.0.1:0", test_world(), ServerConfig::default())
+            .await
+            .unwrap();
+        let (mut reader, mut writer, _) = login(server.addr()).await;
+        writer.send(&Message::ShardMapRequest).await.unwrap();
+        match reader.next().await.unwrap().unwrap() {
+            Message::ShardMapReply { shards } => {
+                assert_eq!(shards.len(), 1);
+                assert_eq!(shards[0].land, "Dance Island");
+                assert_eq!(shards[0].addr, server.addr().to_string());
+            }
+            other => panic!("expected ShardMapReply, got {other:?}"),
         }
     }
 
@@ -585,7 +793,19 @@ mod tests {
         w3.send(&Message::AgentUpdate { x: 200.0, y: 200.0 })
             .await
             .unwrap();
-        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        // AgentUpdate is fire-and-forget: wait until the server has
+        // actually applied all three moves rather than sleeping blind.
+        eventually("all three position updates applied", || {
+            server.with_world(|w| {
+                w.external_position(UserId(a1))
+                    .is_some_and(|p| (p.x - 50.0).abs() < 1e-6)
+                    && w.external_position(UserId(_a2))
+                        .is_some_and(|p| (p.x - 55.0).abs() < 1e-6)
+                    && w.external_position(UserId(_a3))
+                        .is_some_and(|p| (p.x - 200.0).abs() < 1e-6)
+            })
+        })
+        .await;
         w1.send(&Message::ChatFromViewer {
             text: "hi all".into(),
         })
@@ -739,10 +959,19 @@ mod tests {
         // First request has no cached reply: served fresh, then cached.
         writer.send(&Message::MapRequest).await.unwrap();
         let first = reader.next().await.unwrap().unwrap();
-        tokio::time::sleep(std::time::Duration::from_millis(200)).await;
+        let t1 = match &first {
+            Message::MapReply { time, .. } => *time,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Wait on the virtual clock, not the wall clock: the stale
+        // reply is only meaningful once a fresh reply would differ.
+        eventually("virtual time advanced past the cached reply", || {
+            server.virtual_now() > t1 + 60.0
+        })
+        .await;
         writer.send(&Message::MapRequest).await.unwrap();
         let second = reader.next().await.unwrap().unwrap();
-        // Despite ~120 virtual seconds passing, the stale reply repeats
+        // Despite >60 virtual seconds passing, the stale reply repeats
         // the first timestamp verbatim.
         assert_eq!(first, second);
     }
@@ -777,10 +1006,11 @@ mod tests {
             .unwrap();
         let (_reader, mut writer, agent) = login(server.addr()).await;
         writer.send(&Message::Logout).await.unwrap();
-        // Give the server a moment to tear down.
-        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
-        let gone = server.with_world(|w| w.external_position(UserId(agent)).is_none());
-        assert!(gone, "avatar should be removed after logout");
+        // Teardown is asynchronous: poll for it instead of sleeping.
+        eventually("avatar removed after logout", || {
+            server.with_world(|w| w.external_position(UserId(agent)).is_none())
+        })
+        .await;
     }
 
     #[tokio::test]
@@ -814,13 +1044,17 @@ mod tests {
             Message::MapReply { time, .. } => time,
             other => panic!("unexpected {other:?}"),
         };
-        tokio::time::sleep(std::time::Duration::from_millis(300)).await;
+        // Wait on the virtual clock itself (~100 ms wall at 600x), then
+        // confirm the wire observes the advance too.
+        eventually("virtual clock advanced 60 s", || {
+            server.virtual_now() > t1 + 60.0
+        })
+        .await;
         writer.send(&Message::MapRequest).await.unwrap();
         let t2 = match reader.next().await.unwrap().unwrap() {
             Message::MapReply { time, .. } => time,
             other => panic!("unexpected {other:?}"),
         };
-        // 300 ms at 600x ≈ 180 virtual seconds.
         assert!(t2 - t1 > 60.0, "virtual time advanced only {}", t2 - t1);
     }
 }

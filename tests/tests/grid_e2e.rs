@@ -1,0 +1,135 @@
+//! The grid tentpole's end-to-end equivalence guarantee: a crawl that
+//! receives delta frames (diffs + keyframes + resyncs) must feed the
+//! analysis engine the exact same data as a crawl that receives full
+//! `MapReply` snapshots — so every downstream `Report` is
+//! byte-identical between the two wire protocols.
+//!
+//! The replay is deterministic: the same grid fixture's snapshot
+//! stream goes through the real codec layers of both protocols
+//! (`encode_frame` → bytes → `decode_frame`, then `DeltaEncoder` /
+//! `DeltaDecoder` for the delta path), including periodically *lying*
+//! about the acknowledged baseline to force mid-stream keyframe
+//! resyncs — the recovery path a lossy link exercises.
+
+use bytes::BytesMut;
+use sl_analysis::pipeline::{analyze_land, paper_figures, LandAnalysis};
+use sl_proto::codec::{decode_frame, encode_frame};
+use sl_proto::delta::{DeltaDecoder, DeltaEncoder};
+use sl_proto::message::{MapItem, Message, MAX_MAP_ITEMS};
+use sl_trace::{Position, Snapshot, Trace, UserId};
+
+/// A trace snapshot as the wire would carry it (f32 positions, capped
+/// at the protocol's item bound, sorted by agent).
+fn wire_items(snap: &Snapshot) -> Vec<MapItem> {
+    let mut items: Vec<MapItem> = snap
+        .entries
+        .iter()
+        .take(MAX_MAP_ITEMS)
+        .map(|o| MapItem {
+            agent: o.user.0,
+            x: o.pos.x as f32,
+            y: o.pos.y as f32,
+            z: o.pos.z as f32,
+        })
+        .collect();
+    items.sort_by_key(|it| it.agent);
+    items
+}
+
+fn rebuild(time: f64, items: &[MapItem]) -> Snapshot {
+    let mut snap = Snapshot::new(time);
+    for it in items {
+        snap.push(
+            UserId(it.agent),
+            Position::new(it.x as f64, it.y as f64, it.z as f64),
+        );
+    }
+    snap.entries.sort_by_key(|o| o.user);
+    snap
+}
+
+fn over_the_wire(msg: &Message) -> Message {
+    let mut buf = BytesMut::new();
+    encode_frame(msg, &mut buf);
+    decode_frame(&mut buf)
+        .expect("well-formed frame")
+        .expect("complete frame")
+}
+
+/// Serialize an analysis to the byte stream the repository treats as
+/// its `Report`: every paper figure's CSV, in panel order.
+fn report_bytes(analysis: &LandAnalysis) -> Vec<u8> {
+    let mut out = Vec::new();
+    for fig in &paper_figures(std::slice::from_ref(analysis)).figures {
+        out.extend_from_slice(fig.id.as_bytes());
+        out.push(b'\n');
+        fig.write_csv(&mut out).expect("vec write");
+    }
+    out
+}
+
+#[test]
+fn delta_crawl_report_is_byte_identical_to_full_crawl() {
+    // Half a simulated hour over the three-land grid keeps the test in
+    // tier-1 time while still crossing several keyframe intervals.
+    let traces = sl_bench::grid_fixture(11, 0.5);
+    assert_eq!(traces.len(), 3, "the grid fixture serves three lands");
+
+    for trace in &traces {
+        // Full-snapshot protocol.
+        let mut full = Trace::new(trace.meta.clone());
+        for snap in &trace.snapshots {
+            let msg = Message::MapReply {
+                time: snap.t,
+                items: wire_items(snap),
+            };
+            match over_the_wire(&msg) {
+                Message::MapReply { time, items } => full.push(rebuild(time, &items)),
+                other => panic!("full path decoded {other:?}"),
+            }
+        }
+
+        // Delta protocol, keyframe interval 7 so the half-hour stream
+        // crosses many keyframes; every 13th poll acknowledges a stale
+        // baseline, forcing the encoder down the resync path.
+        let mut enc = DeltaEncoder::new(7);
+        let mut dec = DeltaDecoder::new();
+        let mut delta = Trace::new(trace.meta.clone());
+        let mut keyframes = 0u32;
+        for (i, snap) in trace.snapshots.iter().enumerate() {
+            let ack = if i % 13 == 12 {
+                dec.baseline().saturating_sub(1)
+            } else {
+                dec.baseline()
+            };
+            let framed = over_the_wire(&enc.encode(snap.t, &wire_items(snap), ack));
+            if matches!(framed, Message::Keyframe { .. }) {
+                keyframes += 1;
+            }
+            let (time, roster) = dec.apply(&framed).expect("loss-free replay never desyncs");
+            delta.push(rebuild(time, &roster));
+        }
+        assert!(
+            keyframes > trace.snapshots.len() as u32 / 7 / 2,
+            "{}: the stream must actually cross keyframes ({keyframes})",
+            trace.meta.name
+        );
+
+        // The reconstructed traces agree exactly, and so does every
+        // byte of the analysis report built from them.
+        assert_eq!(
+            full.snapshots, delta.snapshots,
+            "{}: delta reconstruction diverged",
+            trace.meta.name
+        );
+        let full_report = report_bytes(&analyze_land(&full, &[]));
+        let delta_report = report_bytes(&analyze_land(&delta, &[]));
+        assert!(
+            full_report == delta_report,
+            "{}: report bytes diverged ({} vs {} bytes)",
+            trace.meta.name,
+            full_report.len(),
+            delta_report.len()
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's §2 architecture comparison as a real differential test:
+//! in-world scripted sensors (96 m range, 16-detection cap, finite
+//! cache, throttled HTTP, object expiry) versus the external crawler.
+//! Promoted from `examples/sensor_vs_crawler.rs` — the example prints,
+//! this asserts.
+
+use sl_core::sensors::{run_sensors_inprocess, SensorExperimentConfig, SensorOutcome};
+use sl_crawler::{Crawler, CrawlerConfig};
+use sl_server::{LandServer, ServerConfig};
+use sl_world::presets::{apfel_land, dance_island};
+use sl_world::World;
+use std::time::Duration;
+
+/// Four virtual hours of sensors on public Apfel Land, fixed seed.
+fn apfel_sensor_run() -> SensorOutcome {
+    let config = SensorExperimentConfig::new(apfel_land(), 1, 4.0 * 3600.0);
+    // The experiment must model the paper's LSL limits, not an
+    // idealized sensor.
+    assert_eq!(config.spec.range, 96.0, "LSL sensor range");
+    assert_eq!(config.spec.max_detections, 16, "llSensor detection cap");
+    assert!(
+        config.spec.cache_bytes / config.spec.entry_bytes > 0,
+        "finite script memory"
+    );
+    assert!(config.spec.http_min_interval > 0.0, "throttled HTTP out");
+    run_sensors_inprocess(&config).expect("public land deploys")
+}
+
+/// Dance Island is a private parcel: deployment is rejected — the exact
+/// restriction that pushed the authors to the crawler.
+#[test]
+fn private_land_rejects_sensor_deployment() {
+    let config = SensorExperimentConfig::new(dance_island(), 1, 3600.0);
+    assert!(
+        run_sensors_inprocess(&config).is_err(),
+        "private land must reject sensors"
+    );
+}
+
+/// On a public land the sensors deploy but the architecture leaks:
+/// every limit binds, and recall ends up strictly below 1.
+#[test]
+fn sensor_architecture_loses_observations() {
+    let outcome = apfel_sensor_run();
+    assert!(outcome.sensors > 0, "sensors deployed");
+    assert!(outcome.reports > 0, "reports flushed");
+    let stats = &outcome.stats;
+    assert!(stats.scans > 0);
+    assert!(stats.detections > 0);
+    assert!(
+        stats.truncated > 0,
+        "a 4-hour run must overflow the 16-detection cap somewhere"
+    );
+
+    let cov = &outcome.coverage;
+    assert!(
+        cov.captured <= cov.truth_observations,
+        "cannot capture more than the truth holds"
+    );
+    assert!(
+        cov.recall < 1.0,
+        "the sensor architecture cannot see everything (recall {})",
+        cov.recall
+    );
+    assert!(cov.recall > 0.0, "but it must see something");
+    assert!(cov.users_seen <= cov.users_total);
+    assert!(!outcome.observed.is_empty());
+    assert!(
+        outcome.observed.len() < outcome.truth.len(),
+        "flush cadence must leave some snapshots unreconstructed"
+    );
+}
+
+/// The differential: on the same land the external crawler's map poll
+/// sees every avatar every τ — complete coverage, no truncation — while
+/// the sensor deployment demonstrably misses observations.
+#[tokio::test]
+async fn crawler_recall_dominates_sensor_recall() {
+    let sensors = apfel_sensor_run();
+
+    let mut world = World::new(apfel_land().config, 1);
+    world.warm_up(1800.0);
+    let server = LandServer::bind(
+        "127.0.0.1:0",
+        world,
+        ServerConfig {
+            time_scale: 1200.0,
+            map_rate: (1000.0, 1000.0),
+            ..Default::default()
+        },
+    )
+    .await
+    .unwrap();
+    let config = CrawlerConfig {
+        seed: 31,
+        ..CrawlerConfig::new(server.addr().to_string(), 1800.0)
+    };
+    let result = tokio::time::timeout(Duration::from_secs(60), Crawler::new(config).run())
+        .await
+        .expect("clean crawl must terminate")
+        .unwrap();
+    server.shutdown();
+
+    sl_trace::validate(&result.trace).unwrap();
+    assert!(result.trace.len() >= 20);
+    assert_eq!(
+        result.trace.coverage(),
+        1.0,
+        "the crawler sees the full map each poll — recall 1.0 by construction"
+    );
+    assert!(result.trace.gaps.is_empty());
+    assert!(
+        sensors.coverage.recall < result.trace.coverage(),
+        "sensors (recall {}) must lose to the crawler",
+        sensors.coverage.recall
+    );
+}
