@@ -45,7 +45,7 @@ pub mod trips;
 
 pub use contacts::{extract_contacts, extract_contacts_prepared, ContactSamples};
 pub use coverage::{coverage_report, covered_only, CoverageReport, IntervalCoverage};
-pub use los::{los_metrics, los_metrics_prepared, LosMetrics};
+pub use los::{los_metrics, los_metrics_prepared, los_metrics_prepared_reference, LosMetrics};
 pub use mobility_metrics::{mobility_metrics, MobilityMetrics};
 pub use pipeline::{analyze_land, paper_figures, LandAnalysis};
 pub use prep::{PreparedSnapshot, PreparedTrace, RangeEdges};

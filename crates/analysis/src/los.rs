@@ -9,7 +9,7 @@
 
 use crate::prep::{PreparedTrace, RangeEdges};
 use serde::{Deserialize, Serialize};
-use sl_graph::{diameter_largest_component, mean_clustering, Graph};
+use sl_graph::{CsrGraph, CsrScratch};
 use sl_trace::{Trace, UserId};
 
 /// Aggregated line-of-sight metrics for one trace at one range.
@@ -47,11 +47,59 @@ pub fn los_metrics(trace: &Trace, range: f64, exclude: &[UserId]) -> LosMetrics 
 }
 
 /// Compute line-of-sight metrics from a prepared trace and its
-/// proximity edges. The BFS-heavy per-snapshot work (diameter of the
-/// largest component, clustering) fans out over snapshots with
-/// [`sl_par::par_map`]; the index-ordered reduction keeps every output
-/// vector in snapshot order, byte-identical to the serial walk.
+/// proximity edges — the hottest stage of the whole pipeline, running
+/// on the CSR kernel layer of [`sl_graph::csr`].
+///
+/// Per snapshot: one in-place CSR rebuild straight from the prepared
+/// edge list (no per-vertex allocation, no O(deg) dedup scans), degrees
+/// read off the offset array without an intermediate `Vec<usize>`,
+/// clustering by merge-intersection triangle counting, and the exact
+/// diameter by 2-sweep + iFUB eccentricity pruning. The fan-out uses
+/// [`sl_par::par_map_with`], which gives every worker thread one
+/// long-lived `(CsrGraph, CsrScratch)` arena reused across all of its
+/// snapshots; the index-ordered reduction keeps every output vector in
+/// snapshot order.
+///
+/// The kernels are exact, so the result is **byte-identical** to
+/// [`los_metrics_prepared_reference`] (the retained naive
+/// implementation) — the golden regression digest and the kernel
+/// property suite both pin this.
 pub fn los_metrics_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> LosMetrics {
+    let per_snapshot: Vec<Option<SnapshotLos>> = sl_par::par_map_with(
+        &prep.snapshots,
+        || (CsrGraph::default(), CsrScratch::new()),
+        |(g, scratch), i, snap| {
+            if snap.is_empty() {
+                return None;
+            }
+            g.rebuild(snap.len(), &edges.per_snapshot[i]);
+            let mut degrees = Vec::with_capacity(snap.len());
+            let mut zero_count = 0usize;
+            for d in g.degrees() {
+                if d == 0 {
+                    zero_count += 1;
+                }
+                degrees.push(d as f64);
+            }
+            Some(SnapshotLos {
+                degrees,
+                zero_count,
+                diameter: g.diameter_largest_component(scratch) as f64,
+                clustering: g.mean_clustering(scratch).expect("non-empty graph"),
+            })
+        },
+    );
+    reduce_snapshots(per_snapshot)
+}
+
+/// The naive implementation `los_metrics_prepared` replaced, kept
+/// in-tree as the reference oracle: adjacency-list graphs rebuilt per
+/// snapshot, `has_edge`-scan clustering, BFS-from-every-vertex
+/// diameters. The property suite and `analysis_bench`'s kernel
+/// comparison assert the CSR path reproduces it byte for byte; the
+/// bench also records the measured speedup in `BENCH_analysis.json`.
+pub fn los_metrics_prepared_reference(prep: &PreparedTrace, edges: &RangeEdges) -> LosMetrics {
+    use sl_graph::{diameter_largest_component, mean_clustering, Graph};
     let per_snapshot: Vec<Option<SnapshotLos>> = sl_par::par_map(&prep.snapshots, |i, snap| {
         if snap.is_empty() {
             return None;
@@ -72,7 +120,13 @@ pub fn los_metrics_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> LosMetr
             clustering: mean_clustering(&g).expect("non-empty graph"),
         })
     });
+    reduce_snapshots(per_snapshot)
+}
 
+/// Snapshot-ordered reduction shared by the CSR and reference paths:
+/// concatenate degree samples, collect per-snapshot diameters and
+/// clusterings, derive the isolated fraction.
+fn reduce_snapshots(per_snapshot: Vec<Option<SnapshotLos>>) -> LosMetrics {
     let mut out = LosMetrics::default();
     let mut zero_count = 0usize;
     for snap in per_snapshot.into_iter().flatten() {
@@ -177,6 +231,38 @@ mod tests {
         let m = los_metrics(&t, 10.0, &[UserId(9)]);
         assert_eq!(m.degrees.len(), 2, "only users 1 and 2 count");
         assert!(m.degrees.iter().all(|&d| d == 1.0));
+    }
+
+    #[test]
+    fn csr_kernels_match_reference_bit_for_bit() {
+        // A trace dense enough to produce multi-component snapshots,
+        // triangles, and isolated vertices at both paper ranges.
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for k in 1..=40u64 {
+            let mut s = Snapshot::new(k as f64 * 10.0);
+            for u in 0..(next() % 40) {
+                let r = next();
+                s.push(
+                    UserId(u as u32),
+                    Position::new((r % 256) as f64, (r / 256 % 256) as f64, 22.0),
+                );
+            }
+            t.push(s);
+        }
+        let prep = crate::prep::PreparedTrace::new(&t, &[]);
+        for range in [10.0, 80.0] {
+            let edges = prep.edges_at(range);
+            let fast = los_metrics_prepared(&prep, &edges);
+            let naive = los_metrics_prepared_reference(&prep, &edges);
+            assert_eq!(fast, naive, "CSR kernels drifted at r={range}");
+        }
     }
 
     #[test]

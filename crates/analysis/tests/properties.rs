@@ -175,6 +175,23 @@ proptest! {
     }
 
     #[test]
+    fn los_csr_kernels_match_naive_reference(trace in arb_trace(), range in 1.0f64..120.0) {
+        // The production LOS stage (CSR build, merge-intersection
+        // clustering, iFUB diameters, offset-diff degrees) against the
+        // retained naive implementation: bit-identical on arbitrary
+        // traces — empty snapshots, isolated users, disconnected
+        // components, seated sentinels and all — at any range, serial
+        // and parallel alike.
+        let prep = sl_analysis::prep::PreparedTrace::new(&trace, &[]);
+        let edges = prep.edges_at(range);
+        let naive = sl_analysis::los_metrics_prepared_reference(&prep, &edges);
+        let fast = sl_analysis::los_metrics_prepared(&prep, &edges);
+        prop_assert_eq!(&fast, &naive);
+        let serial = sl_par::with_threads(1, || sl_analysis::los_metrics_prepared(&prep, &edges));
+        prop_assert_eq!(&serial, &naive);
+    }
+
+    #[test]
     fn los_degree_samples_match_observed_population(trace in arb_trace(), range in 1.0f64..120.0) {
         let m = los_metrics(&trace, range, &[]);
         let expected: usize = trace

@@ -1,0 +1,70 @@
+//! Graph-kernel micro-bench: the naive reference kernels against the
+//! CSR kernels on the same dense Fig. 2 snapshot graphs — build,
+//! degrees, clustering, exact diameter — at both paper ranges. This is
+//! the per-kernel view behind the `kernels` section of
+//! `BENCH_analysis.json` (which times the whole LOS stage end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl_bench::dance_fixture;
+use sl_graph::{
+    clustering_coefficients, diameter_largest_component, mean_clustering, proximity_edges,
+    CsrGraph, CsrScratch, Graph,
+};
+
+fn bench_kernels(c: &mut Criterion) {
+    let trace = dance_fixture();
+    let densest = trace
+        .snapshots
+        .iter()
+        .max_by_key(|s| s.len())
+        .expect("nonempty trace");
+    let points = densest.positions_xy();
+    let n = points.len();
+
+    for range in [10.0, 80.0] {
+        let edges = proximity_edges(&points, range);
+        let mut group = c.benchmark_group(format!("graph_kernels_r{range:.0}"));
+        group.sample_size(20);
+
+        group.bench_function("build_naive", |b| b.iter(|| Graph::from_edges(n, &edges)));
+        let mut reused = CsrGraph::default();
+        group.bench_function("build_csr_rebuild", |b| {
+            b.iter(|| reused.rebuild(n, &edges))
+        });
+
+        let naive = Graph::from_edges(n, &edges);
+        let csr = CsrGraph::from_edges(n, &edges);
+        let mut scratch = CsrScratch::new();
+
+        group.bench_function("degrees_naive", |b| b.iter(|| naive.degrees()));
+        group.bench_function("degrees_csr", |b| {
+            b.iter(|| csr.degrees().collect::<Vec<_>>())
+        });
+
+        group.bench_function("clustering_naive", |b| {
+            b.iter(|| clustering_coefficients(&naive))
+        });
+        let mut coeffs = Vec::new();
+        group.bench_function("clustering_csr", |b| {
+            b.iter(|| csr.clustering_coefficients_into(&mut scratch, &mut coeffs))
+        });
+        group.bench_function("mean_clustering_naive", |b| {
+            b.iter(|| mean_clustering(&naive))
+        });
+        group.bench_function("mean_clustering_csr", |b| {
+            b.iter(|| csr.mean_clustering(&mut scratch))
+        });
+
+        group.bench_function("diameter_naive", |b| {
+            b.iter(|| diameter_largest_component(&naive))
+        });
+        group.bench_function("diameter_csr", |b| {
+            b.iter(|| csr.diameter_largest_component(&mut scratch))
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

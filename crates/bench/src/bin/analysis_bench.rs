@@ -18,14 +18,19 @@
 //!
 //! The report is written as JSON (default `BENCH_analysis.json`): wall
 //! time per stage (best of `--iters`), throughput in snapshots/s, and
-//! the parallel-over-serial speedup. A `metrics.json` sibling carries
-//! the process-wide observability registry (per-stage pipeline span
-//! timings among it) for the same run.
+//! the parallel-over-serial speedup, plus a `kernels` section timing
+//! the retained naive LOS implementation against the production CSR
+//! kernels on the same inputs (old-vs-new kernel speedup, single
+//! thread). A `metrics.json` sibling carries the process-wide
+//! observability registry (per-stage pipeline span timings among it)
+//! for the same run.
 
 use sl_analysis::pipeline::{analyze_land, RB, RW, ZONE_L};
-use sl_analysis::prep::PreparedTrace;
+use sl_analysis::prep::{PreparedTrace, RangeEdges};
 use sl_analysis::spatial::zone_occupation_prepared;
-use sl_analysis::{extract_contacts_prepared, los_metrics_prepared};
+use sl_analysis::{
+    extract_contacts_prepared, los_metrics_prepared, los_metrics_prepared_reference,
+};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -35,6 +40,11 @@ struct Args {
     hours: f64,
     iters: usize,
     threads: Option<usize>,
+    /// Cap on the snapshots fed to the old-vs-new kernel comparison
+    /// (evenly-strided subsample). The naive kernels are the slow side
+    /// by an order of magnitude, so `--quick` caps this to keep the CI
+    /// smoke run short; `None` compares on the full trace.
+    kernel_snapshots: Option<usize>,
     out: PathBuf,
 }
 
@@ -44,6 +54,7 @@ fn parse_args() -> Args {
         hours: 2.0,
         iters: 3,
         threads: None,
+        kernel_snapshots: None,
         out: PathBuf::from("BENCH_analysis.json"),
     };
     let mut it = std::env::args().skip(1);
@@ -52,6 +63,15 @@ fn parse_args() -> Args {
             "--quick" => {
                 args.hours = 0.5;
                 args.iters = 1;
+                args.kernel_snapshots = Some(24);
+            }
+            "--kernel-snapshots" => {
+                args.kernel_snapshots = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| die("--kernel-snapshots needs a positive integer")),
+                );
             }
             "--seed" => {
                 args.seed = it
@@ -86,7 +106,8 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: analysis_bench [--quick] [--seed N] [--hours H] [--iters K] [--threads T] [--out FILE]"
+                    "usage: analysis_bench [--quick] [--seed N] [--hours H] [--iters K] \
+                     [--threads T] [--kernel-snapshots N] [--out FILE]"
                 );
                 std::process::exit(0);
             }
@@ -125,6 +146,28 @@ impl StageReport {
     }
 }
 
+/// One old-vs-new kernel comparison: the same prepared trace and edge
+/// lists pushed through the retained naive LOS implementation and the
+/// CSR kernel path, serially (one thread), after asserting the two
+/// outputs are identical. The speedup is a first-class recorded field
+/// of `BENCH_analysis.json`, not a README claim.
+struct KernelReport {
+    stage: String,
+    naive_serial_secs: f64,
+    csr_serial_secs: f64,
+    speedup: f64,
+}
+
+impl KernelReport {
+    fn json(&self) -> String {
+        format!(
+            "{{ \"stage\": {:?}, \"naive_serial_secs\": {}, \"csr_serial_secs\": {}, \
+             \"speedup\": {} }}",
+            self.stage, self.naive_serial_secs, self.csr_serial_secs, self.speedup
+        )
+    }
+}
+
 /// The whole `BENCH_analysis.json` document. Serialized by hand — the
 /// structure is flat and numeric, and keeping the writer dependency-free
 /// means the harness runs identically everywhere.
@@ -137,6 +180,7 @@ struct BenchReport {
     unique_users: usize,
     avg_concurrent: f64,
     stages: Vec<StageReport>,
+    kernels: Vec<KernelReport>,
 }
 
 impl BenchReport {
@@ -146,10 +190,15 @@ impl BenchReport {
             .iter()
             .map(|s| format!("    {}", s.json()))
             .collect();
+        let kernels: Vec<String> = self
+            .kernels
+            .iter()
+            .map(|k| format!("    {}", k.json()))
+            .collect();
         format!(
             "{{\n  \"seed\": {},\n  \"hours\": {},\n  \"iters\": {},\n  \"threads\": {},\n  \
              \"snapshots\": {},\n  \"unique_users\": {},\n  \"avg_concurrent\": {},\n  \
-             \"stages\": [\n{}\n  ]\n}}\n",
+             \"stages\": [\n{}\n  ],\n  \"kernels\": [\n{}\n  ]\n}}\n",
             self.seed,
             self.hours,
             self.iters,
@@ -157,7 +206,8 @@ impl BenchReport {
             self.snapshots,
             self.unique_users,
             self.avg_concurrent,
-            stages.join(",\n")
+            stages.join(",\n"),
+            kernels.join(",\n")
         )
     }
 }
@@ -199,6 +249,40 @@ fn stage<R: PartialEq>(
     println!(
         "  {:<16} serial {:>8.3} s   parallel {:>8.3} s   speedup {:>5.2}x",
         report.stage, report.serial_secs, report.parallel_secs, report.speedup
+    );
+    report
+}
+
+/// Time the naive LOS kernels against the CSR kernels on the same
+/// prepared trace, one thread each (kernel speedup, not parallelism),
+/// asserting bit-identical outputs first.
+fn kernel_stage(
+    name: &str,
+    iters: usize,
+    prep: &PreparedTrace,
+    edges: &RangeEdges,
+) -> KernelReport {
+    let naive = sl_par::with_threads(1, || los_metrics_prepared_reference(prep, edges));
+    let fast = sl_par::with_threads(1, || los_metrics_prepared(prep, edges));
+    assert!(
+        naive == fast,
+        "kernel comparison {name}: CSR output differs from the naive reference"
+    );
+    let naive_serial_secs = time_best(iters, || {
+        sl_par::with_threads(1, || los_metrics_prepared_reference(prep, edges))
+    });
+    let csr_serial_secs = time_best(iters, || {
+        sl_par::with_threads(1, || los_metrics_prepared(prep, edges))
+    });
+    let report = KernelReport {
+        stage: name.to_string(),
+        naive_serial_secs,
+        csr_serial_secs,
+        speedup: naive_serial_secs / csr_serial_secs,
+    };
+    println!(
+        "  {:<16} naive  {:>8.3} s   csr      {:>8.3} s   speedup {:>5.2}x",
+        report.stage, report.naive_serial_secs, report.csr_serial_secs, report.speedup
     );
     report
 }
@@ -256,6 +340,44 @@ fn main() {
         stage("analyze_land", n, args.iters, || analyze_land(&trace, &[])),
     ];
 
+    // The naive side of the kernel comparison is slower by an order of
+    // magnitude; an evenly-strided subsample keeps `--quick` runs short
+    // while still covering the dense late-trace snapshots.
+    let kernel_idx: Vec<usize> = match args.kernel_snapshots {
+        Some(cap) if cap < prep.snapshots.len() => {
+            let stride = prep.snapshots.len() / cap;
+            (0..prep.snapshots.len())
+                .step_by(stride.max(1))
+                .take(cap)
+                .collect()
+        }
+        _ => (0..prep.snapshots.len()).collect(),
+    };
+    let kernel_prep = PreparedTrace {
+        trace: prep.trace,
+        excluded: prep.excluded.clone(),
+        snapshots: kernel_idx
+            .iter()
+            .map(|&i| prep.snapshots[i].clone())
+            .collect(),
+    };
+    let subsample = |edges: &RangeEdges| RangeEdges {
+        range: edges.range,
+        per_snapshot: kernel_idx
+            .iter()
+            .map(|&i| edges.per_snapshot[i].clone())
+            .collect(),
+    };
+    println!(
+        "Old-vs-new LOS kernels ({} of {} snapshots, single thread, same prepared inputs):",
+        kernel_idx.len(),
+        prep.snapshots.len()
+    );
+    let kernels = vec![
+        kernel_stage("los_rb", args.iters, &kernel_prep, &subsample(&edges_rb)),
+        kernel_stage("los_rw", args.iters, &kernel_prep, &subsample(&edges_rw)),
+    ];
+
     let report = BenchReport {
         seed: args.seed,
         hours: args.hours,
@@ -265,6 +387,7 @@ fn main() {
         unique_users: summary.unique_users,
         avg_concurrent: summary.avg_concurrent,
         stages,
+        kernels,
     };
     std::fs::write(&args.out, report.json()).expect("write report");
     let metrics_path = args.out.with_file_name("metrics.json");

@@ -1,0 +1,300 @@
+//! `bench_check` — the machine-independent regression guard over
+//! `BENCH_analysis.json`.
+//!
+//! ```sh
+//! cargo run -p sl-bench --bin bench_check --release -- \
+//!     --baseline BENCH_analysis.json --current BENCH_analysis_ci.json
+//! ```
+//!
+//! CI machines are slower, noisier and differently-cored than the box
+//! that recorded the committed baseline, so absolute wall times are
+//! useless as a gate. Two quantities survive the machine change:
+//!
+//! * **stage share** — `serial_secs(stage) / serial_secs(analyze_land)`
+//!   within one run. The CSR kernel work drove the LOS share of the
+//!   pipeline from ~83 % to a small slice; a regression that reverts it
+//!   shows up as the share climbing back regardless of host speed. The
+//!   guard asserts `current_share <= baseline_share * max_share_ratio`
+//!   for `los_rb` and `los_rw`.
+//! * **kernel speedup** — `naive_serial_secs / csr_serial_secs` from
+//!   the `kernels` section, a within-run ratio by construction. The
+//!   guard asserts **every** recorded comparison (`los_rb` and
+//!   `los_rw`) stays at or above `--min-kernel-speedup`.
+//!
+//! The share guard defaults to both LOS stages; `--share-stage` (repeatable)
+//! narrows it. CI guards only the `los_rw` share — `los_rb` is a ~5 s
+//! stage whose share swings widely across one-iteration quick runs,
+//! and its improvement is already pinned directly by its kernel-speedup
+//! entry, which is far less noisy.
+//!
+//! Exit status 0 when every guard holds, 1 with a per-check report
+//! otherwise. The parser below reads only the flat JSON this workspace
+//! writes (`analysis_bench`'s hand-rolled serializer) and keeps the
+//! checker dependency-free.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    max_share_ratio: f64,
+    min_kernel_speedup: f64,
+    share_stages: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut baseline = None;
+    let mut current = None;
+    let mut max_share_ratio = 1.25;
+    let mut min_kernel_speedup = 5.0;
+    let mut share_stages: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = it.next().map(PathBuf::from),
+            "--current" => current = it.next().map(PathBuf::from),
+            "--share-stage" => {
+                share_stages
+                    .push(it.next().unwrap_or_else(|| die("--share-stage needs a stage name")));
+            }
+            "--max-share-ratio" => {
+                max_share_ratio = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r: &f64| r > 0.0)
+                    .unwrap_or_else(|| die("--max-share-ratio needs a positive number"));
+            }
+            "--min-kernel-speedup" => {
+                min_kernel_speedup = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &f64| s > 0.0)
+                    .unwrap_or_else(|| die("--min-kernel-speedup needs a positive number"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_check --baseline FILE --current FILE \
+                     [--max-share-ratio R] [--min-kernel-speedup S] \
+                     [--share-stage STAGE]..."
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    if share_stages.is_empty() {
+        share_stages = vec!["los_rb".to_string(), "los_rw".to_string()];
+    }
+    Args {
+        baseline: baseline.unwrap_or_else(|| die("--baseline is required")),
+        current: current.unwrap_or_else(|| die("--current is required")),
+        max_share_ratio,
+        min_kernel_speedup,
+        share_stages,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_check: {msg}");
+    std::process::exit(2);
+}
+
+/// One parsed `{ ... }` object from a named array in the report: the
+/// stage name plus every numeric field.
+struct Entry {
+    stage: String,
+    fields: Vec<(String, f64)>,
+}
+
+impl Entry {
+    fn get(&self, key: &str) -> Option<f64> {
+        self.fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// Extract the objects of the top-level array `name` from the flat JSON
+/// `analysis_bench` writes. Tolerates whitespace and field order but
+/// not nested arrays/objects inside entries — the report has neither.
+fn array_entries(doc: &str, name: &str) -> Vec<Entry> {
+    let Some(start) = doc.find(&format!("\"{name}\"")) else {
+        return Vec::new();
+    };
+    let tail = &doc[start..];
+    let Some(open) = tail.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = tail[open..].find(']') else {
+        return Vec::new();
+    };
+    let body = &tail[open + 1..open + close];
+    let mut entries = Vec::new();
+    for obj in body.split('{').skip(1) {
+        let obj = obj.split('}').next().unwrap_or("");
+        let mut stage = String::new();
+        let mut fields = Vec::new();
+        for field in obj.split(',') {
+            let Some((key, value)) = field.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim();
+            if let Some(s) = value.strip_prefix('"') {
+                if key == "stage" {
+                    stage = s.trim_end_matches('"').to_string();
+                }
+            } else if let Ok(v) = value.parse::<f64>() {
+                fields.push((key, v));
+            }
+        }
+        if !stage.is_empty() {
+            entries.push(Entry { stage, fields });
+        }
+    }
+    entries
+}
+
+/// `serial_secs(stage) / serial_secs(analyze_land)` within one report.
+fn stage_share(stages: &[Entry], stage: &str) -> Option<f64> {
+    let total = stages
+        .iter()
+        .find(|e| e.stage == "analyze_land")?
+        .get("serial_secs")?;
+    let own = stages
+        .iter()
+        .find(|e| e.stage == stage)?
+        .get("serial_secs")?;
+    (total > 0.0).then(|| own / total)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let read = |p: &PathBuf| {
+        std::fs::read_to_string(p)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", p.display())))
+    };
+    let baseline_doc = read(&args.baseline);
+    let current_doc = read(&args.current);
+    let baseline_stages = array_entries(&baseline_doc, "stages");
+    let current_stages = array_entries(&current_doc, "stages");
+    let current_kernels = array_entries(&current_doc, "kernels");
+
+    let mut failures = 0usize;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        println!("  [{}] {name}: {detail}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    println!(
+        "bench_check: {} (baseline) vs {} (current)",
+        args.baseline.display(),
+        args.current.display()
+    );
+    for stage in args.share_stages.iter().map(String::as_str) {
+        match (
+            stage_share(&baseline_stages, stage),
+            stage_share(&current_stages, stage),
+        ) {
+            (Some(base), Some(cur)) => {
+                let limit = base * args.max_share_ratio;
+                check(
+                    &format!("{stage} share"),
+                    cur <= limit,
+                    format!(
+                        "{:.1}% of analyze_land (baseline {:.1}%, limit {:.1}%)",
+                        cur * 100.0,
+                        base * 100.0,
+                        limit * 100.0
+                    ),
+                );
+            }
+            _ => check(
+                &format!("{stage} share"),
+                false,
+                "stage or analyze_land missing from a report".to_string(),
+            ),
+        }
+    }
+
+    if current_kernels.is_empty() {
+        check(
+            "kernel speedups",
+            false,
+            "no kernels section in the current report".to_string(),
+        );
+    }
+    for entry in &current_kernels {
+        match entry.get("speedup") {
+            Some(speedup) => check(
+                &format!("{} kernel speedup", entry.stage),
+                speedup >= args.min_kernel_speedup,
+                format!(
+                    "{speedup:.2}x naive-over-CSR (floor {:.2}x)",
+                    args.min_kernel_speedup
+                ),
+            ),
+            None => check(
+                &format!("{} kernel speedup", entry.stage),
+                false,
+                "entry has no speedup field".to_string(),
+            ),
+        }
+    }
+
+    if failures == 0 {
+        println!("bench_check: all guards hold");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench_check: {failures} guard(s) failed");
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{array_entries, stage_share};
+
+    const DOC: &str = r#"{
+  "seed": 42,
+  "stages": [
+    { "stage": "los_rb", "serial_secs": 5.0, "parallel_secs": 4.0 },
+    { "stage": "los_rw", "serial_secs": 75.0, "parallel_secs": 70.0 },
+    { "stage": "analyze_land", "serial_secs": 100.0, "parallel_secs": 95.0 }
+  ],
+  "kernels": [
+    { "stage": "los_rw", "naive_serial_secs": 75.0, "csr_serial_secs": 5.0, "speedup": 15.0 }
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_stage_entries() {
+        let stages = array_entries(DOC, "stages");
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[1].stage, "los_rw");
+        assert_eq!(stages[1].get("serial_secs"), Some(75.0));
+    }
+
+    #[test]
+    fn parses_kernel_entries() {
+        let kernels = array_entries(DOC, "kernels");
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(kernels[0].get("speedup"), Some(15.0));
+    }
+
+    #[test]
+    fn computes_shares() {
+        let stages = array_entries(DOC, "stages");
+        assert_eq!(stage_share(&stages, "los_rw"), Some(0.75));
+        assert_eq!(stage_share(&stages, "los_rb"), Some(0.05));
+        assert_eq!(stage_share(&stages, "missing"), None);
+    }
+
+    #[test]
+    fn missing_array_yields_empty() {
+        assert!(array_entries(DOC, "absent").is_empty());
+        assert!(array_entries("not json at all", "stages").is_empty());
+    }
+}

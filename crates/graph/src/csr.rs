@@ -1,0 +1,603 @@
+//! Compressed sparse row (CSR) graph and the fast Fig. 2 kernels.
+//!
+//! [`Graph`](crate::Graph) keeps one heap-allocated `Vec<u32>` per
+//! vertex and answers `has_edge` by linear scan — fine for a handful of
+//! queries, ruinous inside the per-snapshot analysis loop, where a two
+//! hour trace alone holds 720 graphs of ~242 vertices each and the
+//! WiFi-range (r = 80 m) graphs are dense. [`CsrGraph`] packs the same
+//! adjacency into two flat arrays (`offsets`, `neighbors`) built in one
+//! counting-sort pass from an edge list, with each neighbor row sorted
+//! and deduplicated. On top of it:
+//!
+//! * **degrees** are offset differences — no allocation at all;
+//! * **clustering** counts triangles by merge-intersecting sorted
+//!   neighbor rows (`O(Σ_{(u,v)∈E} (deg u + deg v))`) instead of the
+//!   naive `O(k²·deg)` `has_edge` scans per vertex;
+//! * **diameter** runs a 2-sweep BFS lower bound plus iFUB-style
+//!   eccentricity pruning over the largest component instead of a BFS
+//!   from every vertex, with stamped distance buffers and a ring queue
+//!   reused across calls (no `n`-sized allocation per BFS source).
+//!
+//! All three kernels are *exact* and produce bit-identical results to
+//! the naive implementations in [`metrics`](crate::metrics) — that
+//! module stays in-tree as the reference oracle, and the property suite
+//! in `tests/properties.rs` pins the equivalence on arbitrary graphs.
+//! Rebuilding into an existing [`CsrGraph`] plus a long-lived
+//! [`CsrScratch`] is how the analysis engine amortizes allocations
+//! across the thousands of snapshot graphs of a trace (see
+//! `sl_par::par_map_with`).
+
+/// An undirected graph over vertices `0..n` in compressed sparse row
+/// form: `neighbors[offsets[u]..offsets[u+1]]` is the sorted,
+/// deduplicated adjacency row of `u`.
+///
+/// ```
+/// use sl_graph::CsrGraph;
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 1)]);
+/// assert_eq!(g.edge_count(), 2, "duplicates are deduplicated");
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.degrees().collect::<Vec<_>>(), vec![1, 2, 1, 0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Row starts; `offsets.len() == n + 1`, except for the default
+    /// empty graph where it may be empty.
+    offsets: Vec<u32>,
+    /// Concatenated adjacency rows, each sorted ascending, deduplicated.
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list in one counting-sort pass: no per-vertex
+    /// allocation. Self-loops and out-of-range endpoints panic (same
+    /// contract as [`Graph::add_edge`](crate::Graph::add_edge));
+    /// duplicate edges are deduplicated.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = CsrGraph::default();
+        g.rebuild(n, edges);
+        g
+    }
+
+    /// Rebuild this graph in place from a new edge list, reusing the
+    /// two backing arrays — the per-snapshot hot path of the analysis
+    /// engine calls this once per snapshot on a worker-local instance.
+    pub fn rebuild(&mut self, n: usize, edges: &[(u32, u32)]) {
+        assert!(
+            edges.len() <= (u32::MAX / 2) as usize && n <= u32::MAX as usize,
+            "graph too large for u32 CSR offsets"
+        );
+        let offsets = &mut self.offsets;
+        offsets.clear();
+        offsets.resize(n + 1, 0);
+        let nv = n as u32;
+        for &(u, v) in edges {
+            assert_ne!(u, v, "self-loops are not meaningful in contact graphs");
+            assert!(u < nv && v < nv, "edge ({u},{v}) out of range for n={nv}");
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        self.neighbors.clear();
+        self.neighbors.resize(edges.len() * 2, 0);
+        // Fill using offsets[u] as the row cursor; afterwards offsets[u]
+        // has advanced to the start of row u+1, so one backward shift
+        // restores the row starts without a separate cursor array.
+        for &(u, v) in edges {
+            self.neighbors[offsets[u as usize] as usize] = v;
+            offsets[u as usize] += 1;
+            self.neighbors[offsets[v as usize] as usize] = u;
+            offsets[v as usize] += 1;
+        }
+        for i in (1..=n).rev() {
+            offsets[i] = offsets[i - 1];
+        }
+        if n > 0 {
+            offsets[0] = 0;
+        }
+        // Sort each row and compact duplicates in place. `write` only
+        // ever trails the row being read, so the copy is safe.
+        let mut write = 0usize;
+        for u in 0..n {
+            let (start, end) = (offsets[u] as usize, offsets[u + 1] as usize);
+            self.neighbors[start..end].sort_unstable();
+            offsets[u] = write as u32;
+            let mut prev = u32::MAX;
+            for k in start..end {
+                let v = self.neighbors[k];
+                if v != prev {
+                    self.neighbors[write] = v;
+                    write += 1;
+                    prev = v;
+                }
+            }
+        }
+        offsets[n] = write as u32;
+        self.neighbors.truncate(write);
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of (undirected, deduplicated) edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Sorted neighbor row of `u`.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        let (s, e) = (self.offsets[u as usize], self.offsets[u as usize + 1]);
+        &self.neighbors[s as usize..e as usize]
+    }
+
+    /// Degree of `u` — one offset subtraction.
+    pub fn degree(&self, u: u32) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// Degrees of all vertices, straight off the offset array — no
+    /// intermediate `Vec` (the satellite fix for the old
+    /// `degrees()`-then-rewalk allocation in the LOS stage).
+    pub fn degrees(&self) -> impl ExactSizeIterator<Item = usize> + '_ {
+        self.offsets.windows(2).map(|w| (w[1] - w[0]) as usize)
+    }
+
+    /// True when `u` and `v` are adjacent — binary search on the sorted
+    /// row of `u`.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        (u as usize) < self.len() && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Count triangles through every vertex into `tri` (reused across
+    /// snapshots): for each edge `(u, v)` with `u < v`, merge-intersect
+    /// the sorted rows of `u` and `v` above `v`, so each triangle
+    /// `u < v < w` is found exactly once and credited to all three
+    /// corners. `tri[i]` equals the number of edges among the neighbors
+    /// of `i` — the `e_i` of the Watts–Strogatz coefficient.
+    fn triangles_into(&self, tri: &mut Vec<u32>) {
+        let n = self.len();
+        tri.clear();
+        tri.resize(n, 0);
+        for u in 0..n as u32 {
+            let nu = self.neighbors(u);
+            let above_u = nu.partition_point(|&x| x <= u);
+            for &v in &nu[above_u..] {
+                let nv = self.neighbors(v);
+                let mut i = nu.partition_point(|&x| x <= v);
+                let mut j = nv.partition_point(|&x| x <= v);
+                while i < nu.len() && j < nv.len() {
+                    let (x, y) = (nu[i], nv[j]);
+                    match x.cmp(&y) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            tri[u as usize] += 1;
+                            tri[v as usize] += 1;
+                            tri[x as usize] += 1;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Watts–Strogatz local clustering coefficients into `out`,
+    /// bit-identical to
+    /// [`metrics::clustering_coefficients`](crate::metrics::clustering_coefficients):
+    /// the triangle counts are exact integers fed through the identical
+    /// `2·e / (k·(k−1))` expression.
+    pub fn clustering_coefficients_into(&self, scratch: &mut CsrScratch, out: &mut Vec<f64>) {
+        self.triangles_into(&mut scratch.tri);
+        out.clear();
+        out.reserve(self.len());
+        for (u, k) in self.degrees().enumerate() {
+            if k < 2 {
+                out.push(0.0);
+            } else {
+                out.push(2.0 * scratch.tri[u] as f64 / (k * (k - 1)) as f64);
+            }
+        }
+    }
+
+    /// Mean local clustering coefficient, bit-identical to
+    /// [`metrics::mean_clustering`](crate::metrics::mean_clustering):
+    /// the per-vertex values are accumulated in vertex order, exactly
+    /// like the reference's `iter().sum()` over its coefficient vector.
+    pub fn mean_clustering(&self, scratch: &mut CsrScratch) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        self.triangles_into(&mut scratch.tri);
+        let mut sum = 0.0f64;
+        for (u, k) in self.degrees().enumerate() {
+            if k >= 2 {
+                sum += 2.0 * scratch.tri[u] as f64 / (k * (k - 1)) as f64;
+            } else {
+                sum += 0.0;
+            }
+        }
+        Some(sum / self.len() as f64)
+    }
+
+    /// BFS from `src` using the stamped scratch buffers; returns the
+    /// eccentricity of `src` within its component. After the call,
+    /// `scratch.queue[..count]` holds the visited vertices in BFS order
+    /// and `scratch.dist` their distances (valid for the current stamp).
+    fn bfs(&self, src: u32, scratch: &mut CsrScratch) -> (u32, usize) {
+        scratch.next_stamp();
+        let stamp = scratch.stamp;
+        scratch.visit[src as usize] = stamp;
+        scratch.dist[src as usize] = 0;
+        scratch.queue[0] = src;
+        let (mut head, mut tail) = (0usize, 1usize);
+        let mut ecc = 0;
+        while head < tail {
+            let u = scratch.queue[head];
+            head += 1;
+            let du = scratch.dist[u as usize];
+            for &v in self.neighbors(u) {
+                if scratch.visit[v as usize] != stamp {
+                    scratch.visit[v as usize] = stamp;
+                    scratch.dist[v as usize] = du + 1;
+                    ecc = ecc.max(du + 1);
+                    scratch.queue[tail] = v;
+                    tail += 1;
+                }
+            }
+        }
+        (ecc, tail)
+    }
+
+    /// Like [`CsrGraph::bfs`] but also records BFS-tree parents, for
+    /// walking to the midpoint of the 2-sweep path.
+    fn bfs_with_parents(&self, src: u32, scratch: &mut CsrScratch) -> (u32, usize) {
+        scratch.next_stamp();
+        let stamp = scratch.stamp;
+        scratch.visit[src as usize] = stamp;
+        scratch.dist[src as usize] = 0;
+        scratch.parent[src as usize] = src;
+        scratch.queue[0] = src;
+        let (mut head, mut tail) = (0usize, 1usize);
+        let mut ecc = 0;
+        while head < tail {
+            let u = scratch.queue[head];
+            head += 1;
+            let du = scratch.dist[u as usize];
+            for &v in self.neighbors(u) {
+                if scratch.visit[v as usize] != stamp {
+                    scratch.visit[v as usize] = stamp;
+                    scratch.dist[v as usize] = du + 1;
+                    scratch.parent[v as usize] = u;
+                    ecc = ecc.max(du + 1);
+                    scratch.queue[tail] = v;
+                    tail += 1;
+                }
+            }
+        }
+        (ecc, tail)
+    }
+
+    /// Collect the vertices of the largest connected component into
+    /// `scratch.comp` (ties broken toward the component containing the
+    /// smallest vertex id, matching
+    /// [`connected_components`](crate::connected_components) order).
+    fn largest_component_into(&self, scratch: &mut CsrScratch) {
+        let n = self.len();
+        scratch.comp.clear();
+        // One stamp marks every vertex already assigned to some
+        // component; per-seed BFS runs under fresh stamps afterwards.
+        let mut best: Vec<u32> = Vec::new();
+        scratch.next_stamp();
+        let seen_stamp = scratch.stamp;
+        // `visit2` tracks global assignment so the BFS stamps stay free.
+        scratch.visit2.resize(n, 0);
+        for u in 0..n as u32 {
+            if scratch.visit2[u as usize] == seen_stamp {
+                continue;
+            }
+            let (_, count) = self.bfs(u, scratch);
+            for &v in &scratch.queue[..count] {
+                scratch.visit2[v as usize] = seen_stamp;
+            }
+            if count > best.len() {
+                best.clear();
+                best.extend_from_slice(&scratch.queue[..count]);
+            }
+        }
+        scratch.comp = best;
+    }
+
+    /// Exact diameter of the largest connected component, bit-identical
+    /// to
+    /// [`metrics::diameter_largest_component`](crate::metrics::diameter_largest_component)
+    /// but via 2-sweep + iFUB eccentricity pruning: BFS only from the
+    /// vertices whose depth from a central root could still beat the
+    /// running lower bound, instead of from every vertex. Dense
+    /// snapshot graphs (the r = 80 m WiFi range) terminate after a
+    /// handful of BFS calls; complete components short-circuit in O(c).
+    pub fn diameter_largest_component(&self, scratch: &mut CsrScratch) -> u32 {
+        let n = self.len();
+        if n == 0 {
+            return 0;
+        }
+        scratch.ensure(n);
+        self.largest_component_into(scratch);
+        let comp = std::mem::take(&mut scratch.comp);
+        let c = comp.len();
+        if c <= 1 {
+            scratch.comp = comp;
+            return 0;
+        }
+        // Complete component: diameter 1, no BFS needed. (iFUB's level
+        // pruning cannot separate diameter 1 from 2 without scanning
+        // every vertex, so this O(c) degree check matters on the dense
+        // end.)
+        let degree_sum: usize = comp.iter().map(|&v| self.degree(v)).sum();
+        if degree_sum == c * (c - 1) {
+            scratch.comp = comp;
+            return 1;
+        }
+
+        // 2-sweep: BFS from a max-degree vertex, then from the farthest
+        // vertex found; the second sweep's eccentricity is the lower
+        // bound and its endpoints span a near-diametral path.
+        let u0 = comp
+            .iter()
+            .copied()
+            .max_by_key(|&v| (self.degree(v), std::cmp::Reverse(v)))
+            .expect("non-empty component");
+        let (_, count) = self.bfs(u0, scratch);
+        let a = scratch.queue[count - 1];
+        let (ecc_a, count) = self.bfs_with_parents(a, scratch);
+        let b = scratch.queue[count - 1];
+        let mut lb = ecc_a;
+        // Root at the midpoint of the a–b path: walk half the distance
+        // up the parent chain from b.
+        let mut r = b;
+        for _ in 0..(ecc_a / 2) {
+            r = scratch.parent[r as usize];
+        }
+
+        // Level the component from the root, then examine vertices from
+        // the deepest level inward while a deeper diameter is possible.
+        let (ecc_r, count) = self.bfs(r, scratch);
+        lb = lb.max(ecc_r);
+        scratch.levels.clear();
+        scratch.levels.reserve(count);
+        for &v in &scratch.queue[..count] {
+            scratch.levels.push((scratch.dist[v as usize], v));
+        }
+        let mut levels = std::mem::take(&mut scratch.levels);
+        levels.sort_unstable_by(|x, y| y.cmp(x));
+        'prune: for &(level, v) in &levels {
+            // Any vertex at depth <= level pairs within 2*level via the
+            // root; once that bound cannot beat lb, every remaining
+            // vertex (they all sit at this depth or shallower) is done.
+            if 2 * level <= lb {
+                break 'prune;
+            }
+            let (ecc_v, _) = self.bfs(v, scratch);
+            lb = lb.max(ecc_v);
+        }
+        scratch.levels = levels;
+        scratch.comp = comp;
+        lb
+    }
+
+    /// Connected components in the same canonical order as
+    /// [`connected_components`](crate::connected_components): each
+    /// component sorted ascending, components sorted by descending size
+    /// with ties broken by smallest vertex id.
+    pub fn connected_components(&self, scratch: &mut CsrScratch) -> Vec<Vec<u32>> {
+        let n = self.len();
+        scratch.ensure(n);
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+        scratch.next_stamp();
+        let seen_stamp = scratch.stamp;
+        scratch.visit2.resize(n, 0);
+        for u in 0..n as u32 {
+            if scratch.visit2[u as usize] == seen_stamp {
+                continue;
+            }
+            let (_, count) = self.bfs(u, scratch);
+            let mut comp = scratch.queue[..count].to_vec();
+            for &v in &comp {
+                scratch.visit2[v as usize] = seen_stamp;
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        comps
+    }
+}
+
+/// Reusable BFS/triangle scratch for the CSR kernels: stamped distance
+/// and visit buffers, a flat ring queue, parent links, level buckets
+/// and triangle counters. One instance per worker thread amortizes
+/// every allocation across the thousands of snapshot graphs of a trace;
+/// buffers grow monotonically to the largest snapshot seen.
+#[derive(Debug, Clone, Default)]
+pub struct CsrScratch {
+    /// BFS distances, valid where `visit[v] == stamp`.
+    dist: Vec<u32>,
+    /// Per-vertex visit stamp for O(1) logical reset of `dist`.
+    visit: Vec<u32>,
+    /// Component-assignment stamps (kept separate so nested BFS calls
+    /// do not invalidate the assignment pass).
+    visit2: Vec<u32>,
+    /// Current stamp; bumping it invalidates all previous BFS state.
+    stamp: u32,
+    /// Flat BFS queue; after a BFS, `queue[..count]` is the visited set
+    /// in BFS order.
+    queue: Vec<u32>,
+    /// BFS-tree parents (2-sweep midpoint walk).
+    parent: Vec<u32>,
+    /// Largest-component vertex buffer.
+    comp: Vec<u32>,
+    /// `(depth, vertex)` pairs for the iFUB level ordering.
+    levels: Vec<(u32, u32)>,
+    /// Per-vertex triangle counts.
+    tri: Vec<u32>,
+}
+
+impl CsrScratch {
+    /// Create an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow the per-vertex buffers to hold `n` vertices.
+    fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, 0);
+            self.visit.resize(n, 0);
+            self.visit2.resize(n, 0);
+            self.queue.resize(n, 0);
+            self.parent.resize(n, 0);
+        }
+    }
+
+    /// Advance the stamp, resetting all buffers logically; on the (once
+    /// per 2^32 BFS calls) wrap-around, reset them physically.
+    fn next_stamp(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.visit.iter_mut().for_each(|v| *v = 0);
+            self.visit2.iter_mut().for_each(|v| *v = 0);
+            self.stamp = 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::metrics::{clustering_coefficients, diameter_largest_component, mean_clustering};
+
+    fn csr_and_naive(n: usize, edges: &[(u32, u32)]) -> (CsrGraph, Graph) {
+        (CsrGraph::from_edges(n, edges), Graph::from_edges(n, edges))
+    }
+
+    #[test]
+    fn build_sorted_and_deduped() {
+        let g = CsrGraph::from_edges(4, &[(2, 0), (0, 1), (1, 2), (0, 1)]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degrees().collect::<Vec<_>>(), vec![2, 2, 2, 0]);
+    }
+
+    #[test]
+    fn rebuild_reuses_and_resets() {
+        let mut g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        g.rebuild(2, &[(0, 1)]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        g.rebuild(0, &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn empty_and_singleton_conventions() {
+        let mut s = CsrScratch::new();
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.diameter_largest_component(&mut s), 0);
+        assert_eq!(g.mean_clustering(&mut s), None);
+        assert!(g.connected_components(&mut s).is_empty());
+        let g = CsrGraph::from_edges(1, &[]);
+        assert_eq!(g.diameter_largest_component(&mut s), 0);
+        assert_eq!(g.mean_clustering(&mut s), Some(0.0));
+    }
+
+    #[test]
+    fn kernels_match_naive_on_fixed_shapes() {
+        let mut s = CsrScratch::new();
+        let shapes: Vec<(usize, Vec<(u32, u32)>)> = vec![
+            (3, vec![(0, 1), (1, 2), (0, 2)]),                 // triangle
+            (4, vec![(0, 1), (1, 2), (2, 3)]),                 // path
+            (5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]),         // star
+            (6, vec![(0, 1), (2, 3), (4, 5)]),                 // matching
+            (4, vec![(0, 1), (1, 2), (0, 2), (2, 3)]),         // barbell
+            (7, vec![(0, 1), (1, 2), (2, 0), (3, 4), (5, 6)]), // mixed comps
+            (6, vec![]),                                       // isolated only
+        ];
+        for (n, edges) in shapes {
+            let (csr, naive) = csr_and_naive(n, &edges);
+            assert_eq!(
+                csr.diameter_largest_component(&mut s),
+                diameter_largest_component(&naive),
+                "diameter n={n} edges={edges:?}"
+            );
+            let mut cs = Vec::new();
+            csr.clustering_coefficients_into(&mut s, &mut cs);
+            assert_eq!(cs, clustering_coefficients(&naive));
+            assert_eq!(csr.mean_clustering(&mut s), mean_clustering(&naive));
+            assert_eq!(
+                csr.degrees().collect::<Vec<_>>(),
+                naive.degrees(),
+                "degrees n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_graph_short_circuit() {
+        let mut edges = Vec::new();
+        for u in 0..20u32 {
+            for v in (u + 1)..20 {
+                edges.push((u, v));
+            }
+        }
+        let g = CsrGraph::from_edges(20, &edges);
+        let mut s = CsrScratch::new();
+        assert_eq!(g.diameter_largest_component(&mut s), 1);
+        assert_eq!(g.mean_clustering(&mut s), Some(1.0));
+    }
+
+    #[test]
+    fn scratch_survives_many_graphs() {
+        // The same scratch instance across graphs of varying size —
+        // the worker-thread usage pattern.
+        let mut s = CsrScratch::new();
+        let mut g = CsrGraph::default();
+        for n in [10usize, 3, 25, 1, 12] {
+            let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+                .map(|i| (i, i + 1))
+                .collect();
+            g.rebuild(n, &edges);
+            let want = if n >= 2 { n as u32 - 1 } else { 0 };
+            assert_eq!(g.diameter_largest_component(&mut s), want, "path n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_self_loop() {
+        CsrGraph::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range() {
+        CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -3,25 +3,33 @@
 //! Graph substrate for line-of-sight network analysis (paper §3.2,
 //! Fig. 2). Provides:
 //!
-//! * [`graph`] — a compact undirected graph with adjacency lists;
+//! * [`csr`] — the production kernel layer: a compressed-sparse-row
+//!   graph built in one pass from an edge list, with merge-intersection
+//!   triangle counting, 2-sweep + iFUB exact diameters, offset-diff
+//!   degrees, and reusable scratch arenas for the per-snapshot hot
+//!   loop;
+//! * [`graph`] — a simple adjacency-list graph, kept as the readable
+//!   reference implementation and for callers that build incrementally;
 //! * [`spatial`] — a uniform-grid spatial index turning avatar position
 //!   snapshots into proximity ("line of sight") graphs in O(n) expected
 //!   time for bounded densities;
 //! * [`dsu`] — union–find used by component extraction;
 //! * [`components`] — connected components;
-//! * [`metrics`] — degree distributions, the diameter of the largest
-//!   connected component (the paper's diameter metric), and
-//!   Watts–Strogatz local clustering coefficients.
+//! * [`metrics`] — the naive degree/diameter/clustering kernels over
+//!   [`Graph`], retained in-tree as the oracle the CSR kernels are
+//!   property-tested against (bit-identical outputs).
 
 #![warn(missing_docs)]
 
 pub mod components;
+pub mod csr;
 pub mod dsu;
 pub mod graph;
 pub mod metrics;
 pub mod spatial;
 
 pub use components::connected_components;
+pub use csr::{CsrGraph, CsrScratch};
 pub use graph::Graph;
 pub use metrics::{clustering_coefficients, diameter_largest_component, mean_clustering};
 pub use spatial::{proximity_edges, proximity_graph, GridIndex};

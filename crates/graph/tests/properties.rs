@@ -1,11 +1,14 @@
 //! Property-based tests for the graph substrate: the grid index must
-//! agree with brute force, and the metrics must respect their
-//! mathematical invariants on arbitrary graphs.
+//! agree with brute force, the metrics must respect their mathematical
+//! invariants on arbitrary graphs, and the CSR kernel layer must
+//! reproduce the naive reference kernels bit for bit — degrees,
+//! clustering coefficients, exact diameters and component sets, on
+//! arbitrary (including disconnected and empty) graphs.
 
 use proptest::prelude::*;
 use sl_graph::{
     clustering_coefficients, connected_components, diameter_largest_component, proximity_edges,
-    proximity_graph, Graph,
+    proximity_graph, CsrGraph, CsrScratch, Graph,
 };
 
 fn brute_force(points: &[(f64, f64)], r: f64) -> Vec<(u32, u32)> {
@@ -31,6 +34,30 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
             let filtered: Vec<(u32, u32)> = edges.into_iter().filter(|(a, b)| a != b).collect();
             Graph::from_edges(n, &filtered)
         })
+    })
+}
+
+/// Arbitrary edge lists — duplicates included, `n` down to 0 — so the
+/// CSR-vs-naive oracle comparison covers empty, disconnected and
+/// degenerate graphs plus the dedup path.
+fn arb_edge_list() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (0usize..48).prop_flat_map(|n| {
+        let edges = if n < 2 {
+            // No valid non-loop edges exist; generate none.
+            prop::collection::vec((0u32..1, 0u32..1), 0..1)
+                .prop_map(|_| Vec::new())
+                .boxed()
+        } else {
+            prop::collection::vec((0..n as u32, 0..n as u32), 0..n * 3)
+                .prop_map(|edges| {
+                    edges
+                        .into_iter()
+                        .filter(|(a, b)| a != b)
+                        .collect::<Vec<_>>()
+                })
+                .boxed()
+        };
+        edges.prop_map(move |e| (n, e))
     })
 }
 
@@ -107,6 +134,99 @@ proptest! {
                     prop_assert_eq!(du == u32::MAX, dv == u32::MAX);
                 }
             }
+        }
+    }
+
+    // ---- CSR kernels vs the naive reference oracles ----
+    //
+    // The naive implementations (`Graph` + `metrics`) stay in-tree
+    // exactly so these properties can pin the CSR kernels to them: not
+    // approximately equal — *equal*, f64 bits included, on arbitrary
+    // graphs with duplicate edges, disconnected pieces, isolated
+    // vertices, and the empty graph.
+
+    #[test]
+    fn csr_build_matches_naive_adjacency((n, edges) in arb_edge_list()) {
+        let csr = CsrGraph::from_edges(n, &edges);
+        let naive = Graph::from_edges(n, &edges);
+        prop_assert_eq!(csr.len(), naive.len());
+        prop_assert_eq!(csr.edge_count(), naive.edge_count());
+        for u in 0..n as u32 {
+            let mut want = naive.neighbors(u).to_vec();
+            want.sort_unstable();
+            prop_assert_eq!(csr.neighbors(u), &want[..], "row {}", u);
+            for v in 0..n as u32 {
+                prop_assert_eq!(csr.has_edge(u, v), naive.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_degrees_match_naive((n, edges) in arb_edge_list()) {
+        let csr = CsrGraph::from_edges(n, &edges);
+        let naive = Graph::from_edges(n, &edges);
+        prop_assert_eq!(csr.degrees().collect::<Vec<_>>(), naive.degrees());
+    }
+
+    #[test]
+    fn csr_clustering_matches_naive_bitwise((n, edges) in arb_edge_list()) {
+        let csr = CsrGraph::from_edges(n, &edges);
+        let naive = Graph::from_edges(n, &edges);
+        let mut scratch = CsrScratch::new();
+        let mut got = Vec::new();
+        csr.clustering_coefficients_into(&mut scratch, &mut got);
+        prop_assert_eq!(got, clustering_coefficients(&naive));
+        prop_assert_eq!(
+            csr.mean_clustering(&mut scratch),
+            sl_graph::mean_clustering(&naive)
+        );
+    }
+
+    #[test]
+    fn csr_diameter_matches_naive((n, edges) in arb_edge_list()) {
+        let csr = CsrGraph::from_edges(n, &edges);
+        let naive = Graph::from_edges(n, &edges);
+        let mut scratch = CsrScratch::new();
+        prop_assert_eq!(
+            csr.diameter_largest_component(&mut scratch),
+            diameter_largest_component(&naive)
+        );
+    }
+
+    #[test]
+    fn csr_components_match_naive((n, edges) in arb_edge_list()) {
+        let csr = CsrGraph::from_edges(n, &edges);
+        let naive = Graph::from_edges(n, &edges);
+        let mut scratch = CsrScratch::new();
+        prop_assert_eq!(
+            csr.connected_components(&mut scratch),
+            connected_components(&naive)
+        );
+    }
+
+    #[test]
+    fn csr_scratch_reuse_is_stateless(graphs in prop::collection::vec(arb_edge_list(), 1..8)) {
+        // One scratch + one rebuilt graph across a whole sequence must
+        // give the same answers as fresh instances per graph — the
+        // worker-arena usage pattern of the analysis engine.
+        let mut scratch = CsrScratch::new();
+        let mut reused = CsrGraph::default();
+        for (n, edges) in &graphs {
+            reused.rebuild(*n, edges);
+            let fresh = CsrGraph::from_edges(*n, edges);
+            let mut fresh_scratch = CsrScratch::new();
+            prop_assert_eq!(
+                reused.diameter_largest_component(&mut scratch),
+                fresh.diameter_largest_component(&mut fresh_scratch)
+            );
+            prop_assert_eq!(
+                reused.mean_clustering(&mut scratch),
+                fresh.mean_clustering(&mut fresh_scratch)
+            );
+            prop_assert_eq!(
+                reused.degrees().collect::<Vec<_>>(),
+                fresh.degrees().collect::<Vec<_>>()
+            );
         }
     }
 

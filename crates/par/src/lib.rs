@@ -8,9 +8,12 @@
 //! scheduling. [`par_map`] therefore keeps one invariant: **the output
 //! vector is ordered by input index**, exactly as a serial `map` would
 //! produce it, no matter how the items were scheduled across workers.
-//! Workers pull items off a shared atomic counter (so load balances
-//! dynamically) and tag every result with its index; the caller-side
-//! assembly sorts the tags back into input order.
+//! Workers pull index chunks off a shared atomic counter (so load
+//! balances dynamically even when per-item costs are skewed) and tag
+//! every result with its index; the caller-side assembly sorts the tags
+//! back into input order. [`par_map_with`] additionally gives each
+//! worker a private, reusable state value — the scratch-arena hook the
+//! graph kernels use to amortize allocations across snapshots.
 //!
 //! Thread-count resolution, most specific wins:
 //!
@@ -101,11 +104,47 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_map_with(items, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with per-worker mutable state: every worker thread calls
+/// `init()` once and threads the resulting value through all of its
+/// items as `f(&mut state, index, &item)`. The serial path (one thread,
+/// or zero/one items) builds a single state and walks the items in
+/// order, so a pure-in-its-output `f` stays byte-identical across
+/// thread counts even though the *state* is reused arbitrarily.
+///
+/// This is the scratch-arena hook of the analysis engine: the
+/// line-of-sight kernels reuse one CSR graph plus one BFS/triangle
+/// scratch per worker instead of reallocating them for each of the
+/// thousands of snapshot graphs in a trace.
+///
+/// Scheduling is dynamic in small index chunks (amortizing the shared
+/// counter while staying fine-grained enough for the heavily skewed
+/// per-snapshot costs); the index-ordered reduction is the same as
+/// [`par_map`]'s.
+pub fn par_map_with<T, S, U, I, F>(items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
     let threads = current_threads().min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
 
+    // Chunked dynamic scheduling: workers grab `chunk` consecutive
+    // indices per fetch. Small enough that one expensive item cannot
+    // strand work behind it, large enough to keep counter traffic off
+    // the hot path. Degenerates to per-item scheduling on short inputs.
+    let chunk = (items.len() / (threads * 32)).max(1);
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
@@ -114,13 +153,18 @@ where
             handles.push(scope.spawn(|| {
                 // Workers own their core: nested maps stay serial.
                 THREAD_OVERRIDE.with(|c| c.set(1));
+                let mut state = init();
                 let mut local: Vec<(usize, U)> = Vec::new();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
                         break;
                     }
-                    local.push((i, f(i, &items[i])));
+                    let end = (start + chunk).min(items.len());
+                    for (off, item) in items[start..end].iter().enumerate() {
+                        let i = start + off;
+                        local.push((i, f(&mut state, i, item)));
+                    }
                 }
                 local
             }));
@@ -234,6 +278,66 @@ mod tests {
         with_threads(5, || assert_eq!(current_threads(), 5));
         set_thread_cap(None);
         assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_with_ordered_like_serial() {
+        // Scratch-reusing map: results must be input-ordered and
+        // identical across thread counts even though each worker
+        // mutates its own accumulating state.
+        let items: Vec<u64> = (0..777).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 5, 16] {
+            let got = with_threads(threads, || {
+                par_map_with(&items, Vec::new, |scratch: &mut Vec<u64>, _, &x| {
+                    // Reuse the buffer the way a kernel scratch would.
+                    scratch.clear();
+                    scratch.extend([x, x, x]);
+                    scratch.iter().sum::<u64>() + 1
+                })
+            });
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_initializes_one_state_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..256).collect();
+        let got = with_threads(4, || {
+            par_map_with(
+                &items,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |count, i, _| {
+                    *count += 1;
+                    i
+                },
+            )
+        });
+        assert_eq!(got, (0..256).collect::<Vec<usize>>());
+        let n = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&n),
+            "one state per worker, not per item: {n}"
+        );
+    }
+
+    #[test]
+    fn par_map_with_chunking_covers_every_index() {
+        // Lengths around the chunking thresholds: every index appears
+        // exactly once regardless of how chunks tile the input.
+        for len in [0usize, 1, 2, 63, 64, 65, 1023, 2048] {
+            let items: Vec<usize> = (0..len).collect();
+            let got = with_threads(8, || par_map_with(&items, || (), |(), i, &x| (i, x)));
+            assert_eq!(got.len(), len);
+            for (i, &(idx, x)) in got.iter().enumerate() {
+                assert_eq!((idx, x), (i, i), "len={len}");
+            }
+        }
     }
 
     #[test]
