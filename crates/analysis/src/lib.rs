@@ -15,7 +15,10 @@
 //! * [`prep`] — the shared one-pass preparation stage: every metric
 //!   family consumes one [`prep::PreparedTrace`] (filtered columnar
 //!   snapshots + per-range proximity edges) instead of re-filtering and
-//!   re-indexing the raw trace on its own;
+//!   re-indexing the raw trace on its own — plus
+//!   [`prep::prepared_windows`], the [`sl_store`]-backed streaming
+//!   variant that bounds peak RSS by the window size instead of the
+//!   trace length;
 //! * [`pipeline`] — one-call per-land analysis producing every figure;
 //!   the per-snapshot work fans out over [`sl_par`] worker threads with
 //!   a deterministic, index-ordered reduction;
@@ -48,8 +51,13 @@ pub use coverage::{coverage_report, covered_only, CoverageReport, IntervalCovera
 pub use los::{los_metrics, los_metrics_prepared, los_metrics_prepared_reference, LosMetrics};
 pub use mobility_metrics::{mobility_metrics, MobilityMetrics};
 pub use pipeline::{analyze_land, paper_figures, LandAnalysis};
-pub use prep::{PreparedSnapshot, PreparedTrace, RangeEdges};
+pub use prep::{
+    prepared_windows, PreparedSnapshot, PreparedTrace, PreparedWindows, RangeEdges, SnapshotFilter,
+};
 pub use relations::{RelationEdge, RelationGraph};
 pub use report::{Figure, FigureSet};
-pub use spatial::{zone_occupation, zone_occupation_prepared, ZoneOccupation};
+pub use spatial::{
+    zone_occupation, zone_occupation_prepared, zone_occupation_streaming, ZoneAccumulator,
+    ZoneOccupation,
+};
 pub use trips::{trip_metrics, trip_metrics_excluding, TripMetrics};

@@ -21,8 +21,10 @@
 //! result byte-identical to the serial walk.
 
 use sl_graph::GridIndex;
-use sl_trace::{Trace, UserId};
+use sl_store::{SegmentReader, StoreError};
+use sl_trace::{LandMeta, Snapshot, Trace, UserId};
 use std::collections::HashSet;
+use std::path::Path;
 
 /// One snapshot, filtered and laid out column-wise: `users[i]` stood at
 /// `points[i]`. Excluded users and seated sentinels are already gone.
@@ -45,6 +47,43 @@ impl PreparedSnapshot {
     /// True when no usable observation survived the filter.
     pub fn is_empty(&self) -> bool {
         self.users.is_empty()
+    }
+}
+
+/// The per-snapshot filter shared by the batch ([`PreparedTrace`]) and
+/// streaming ([`prepared_windows`]) paths: drop excluded users (the
+/// measuring crawler) and seated-sentinel observations, lay the rest
+/// out column-wise. One filter, two execution models — the streamed
+/// snapshots are byte-identical to the batch-prepared ones.
+#[derive(Debug, Clone)]
+pub struct SnapshotFilter {
+    excluded: HashSet<UserId>,
+}
+
+impl SnapshotFilter {
+    /// Build the exclusion set once.
+    pub fn new(exclude: &[UserId]) -> Self {
+        SnapshotFilter {
+            excluded: exclude.iter().copied().collect(),
+        }
+    }
+
+    /// Filter one raw snapshot into columnar form.
+    pub fn filter(&self, snap: &Snapshot) -> PreparedSnapshot {
+        let mut users = Vec::with_capacity(snap.entries.len());
+        let mut points = Vec::with_capacity(snap.entries.len());
+        for obs in &snap.entries {
+            if self.excluded.contains(&obs.user) || obs.pos.is_seated_sentinel() {
+                continue;
+            }
+            users.push(obs.user);
+            points.push(obs.pos.xy());
+        }
+        PreparedSnapshot {
+            t: snap.t,
+            users,
+            points,
+        }
     }
 }
 
@@ -75,26 +114,11 @@ impl<'a> PreparedTrace<'a> {
     /// Filter `trace` once: drop `exclude`d users (the measuring
     /// crawler) and seated-sentinel observations from every snapshot.
     pub fn new(trace: &'a Trace, exclude: &[UserId]) -> Self {
-        let excluded: HashSet<UserId> = exclude.iter().copied().collect();
-        let snapshots = sl_par::par_map(&trace.snapshots, |_, snap| {
-            let mut users = Vec::with_capacity(snap.entries.len());
-            let mut points = Vec::with_capacity(snap.entries.len());
-            for obs in &snap.entries {
-                if excluded.contains(&obs.user) || obs.pos.is_seated_sentinel() {
-                    continue;
-                }
-                users.push(obs.user);
-                points.push(obs.pos.xy());
-            }
-            PreparedSnapshot {
-                t: snap.t,
-                users,
-                points,
-            }
-        });
+        let filter = SnapshotFilter::new(exclude);
+        let snapshots = sl_par::par_map(&trace.snapshots, |_, snap| filter.filter(snap));
         PreparedTrace {
             trace,
-            excluded,
+            excluded: filter.excluded,
             snapshots,
         }
     }
@@ -122,11 +146,62 @@ impl<'a> PreparedTrace<'a> {
     }
 }
 
+/// Streaming preparation over an on-disk [`sl_store`] segmented store:
+/// windows of filtered columnar snapshots, never the whole trace. Peak
+/// RSS is bounded by `window` snapshots regardless of trace length —
+/// the store-backed counterpart of [`PreparedTrace::new`], using the
+/// very same [`SnapshotFilter`], so each streamed snapshot is
+/// byte-identical to its batch-prepared twin.
+pub struct PreparedWindows {
+    meta: LandMeta,
+    filter: SnapshotFilter,
+    windows: sl_store::Windows,
+}
+
+impl PreparedWindows {
+    /// Land metadata from the store manifest.
+    pub fn meta(&self) -> &LandMeta {
+        &self.meta
+    }
+}
+
+impl Iterator for PreparedWindows {
+    type Item = Result<Vec<PreparedSnapshot>, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let window = match self.windows.next()? {
+            Ok(w) => w,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(Ok(window
+            .snapshots
+            .iter()
+            .map(|s| self.filter.filter(s))
+            .collect()))
+    }
+}
+
+/// Open a store for streaming analysis: iterate windows of at most
+/// `window` prepared snapshots (gap records are skipped — coverage
+/// accounting needs the raw store, not the filtered stream).
+pub fn prepared_windows(
+    dir: &Path,
+    exclude: &[UserId],
+    window: usize,
+) -> Result<PreparedWindows, StoreError> {
+    let reader = SegmentReader::open(dir)?;
+    Ok(PreparedWindows {
+        meta: reader.meta().clone(),
+        filter: SnapshotFilter::new(exclude),
+        windows: reader.windows(window),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sl_graph::proximity_edges;
-    use sl_trace::{LandMeta, Position, Snapshot};
+    use sl_trace::Position;
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new(LandMeta::standard("P", 10.0));

@@ -7,10 +7,12 @@
 //! "some lands (e.g. Dance Island) are characterized by hot-spots with
 //! several tens of users".
 
-use crate::prep::PreparedTrace;
+use crate::prep::{prepared_windows, PreparedSnapshot, PreparedTrace};
 use serde::{Deserialize, Serialize};
 use sl_stats::binning::cell_counts;
+use sl_store::StoreError;
 use sl_trace::{Trace, UserId};
+use std::path::Path;
 
 /// Zone-occupation samples for one trace.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -39,32 +41,94 @@ pub fn zone_occupation(trace: &Trace, cell_size: f64, exclude: &[UserId]) -> Zon
 /// binning fans out over snapshots; the flatten keeps snapshot order,
 /// so the sample vector is byte-identical to the serial walk.
 pub fn zone_occupation_prepared(prep: &PreparedTrace, cell_size: f64) -> ZoneOccupation {
-    assert!(cell_size > 0.0, "cell size must be positive");
     let (width, height) = (prep.trace.meta.width, prep.trace.meta.height);
     let per_snapshot: Vec<Vec<u32>> = sl_par::par_map(&prep.snapshots, |_, snap| {
         cell_counts(&snap.points, width, height, cell_size).counts
     });
-
-    let mut out = ZoneOccupation {
-        cell_size,
-        ..Default::default()
-    };
-    let mut empty = 0usize;
+    let mut acc = ZoneAccumulator::new(width, height, cell_size);
     for counts in &per_snapshot {
-        for &c in counts {
-            if c == 0 {
-                empty += 1;
-            }
-            out.max_occupancy = out.max_occupancy.max(c);
-            out.counts.push(c as f64);
+        acc.add_counts(counts);
+    }
+    acc.finish()
+}
+
+/// Incremental zone-occupation fold: one snapshot at a time, O(cells)
+/// state. Both the batch path ([`zone_occupation_prepared`]) and the
+/// streaming path ([`zone_occupation_streaming`]) reduce through this
+/// accumulator, so their outputs agree by construction.
+#[derive(Debug)]
+pub struct ZoneAccumulator {
+    width: f64,
+    height: f64,
+    out: ZoneOccupation,
+    empty: usize,
+}
+
+impl ZoneAccumulator {
+    /// Start a fold over a `width` × `height` land at cell side
+    /// `cell_size` (must be positive).
+    pub fn new(width: f64, height: f64, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        ZoneAccumulator {
+            width,
+            height,
+            out: ZoneOccupation {
+                cell_size,
+                ..Default::default()
+            },
+            empty: 0,
         }
     }
-    out.empty_fraction = if out.counts.is_empty() {
-        1.0
-    } else {
-        empty as f64 / out.counts.len() as f64
-    };
-    out
+
+    /// Bin one prepared snapshot and absorb its cell counts.
+    pub fn add(&mut self, snap: &PreparedSnapshot) {
+        let counts = cell_counts(&snap.points, self.width, self.height, self.out.cell_size).counts;
+        self.add_counts(&counts);
+    }
+
+    /// Absorb one snapshot's already-binned cell counts.
+    fn add_counts(&mut self, counts: &[u32]) {
+        for &c in counts {
+            if c == 0 {
+                self.empty += 1;
+            }
+            self.out.max_occupancy = self.out.max_occupancy.max(c);
+            self.out.counts.push(c as f64);
+        }
+    }
+
+    /// Finish the fold.
+    pub fn finish(self) -> ZoneOccupation {
+        let mut out = self.out;
+        out.empty_fraction = if out.counts.is_empty() {
+            1.0
+        } else {
+            self.empty as f64 / out.counts.len() as f64
+        };
+        out
+    }
+}
+
+/// Zone occupation computed *streaming* from an on-disk segmented
+/// store: windows of `window` snapshots are read, filtered and binned
+/// one at a time, so peak RSS is bounded by the window size instead of
+/// the trace length. Produces exactly what [`zone_occupation`] would
+/// over the store's full materialized trace.
+pub fn zone_occupation_streaming(
+    dir: &Path,
+    cell_size: f64,
+    exclude: &[UserId],
+    window: usize,
+) -> Result<ZoneOccupation, StoreError> {
+    let stream = prepared_windows(dir, exclude, window)?;
+    let (width, height) = (stream.meta().width, stream.meta().height);
+    let mut acc = ZoneAccumulator::new(width, height, cell_size);
+    for w in stream {
+        for snap in w? {
+            acc.add(&snap);
+        }
+    }
+    Ok(acc.finish())
 }
 
 #[cfg(test)]
@@ -129,5 +193,42 @@ mod tests {
     fn rejects_zero_cell() {
         let t = Trace::new(LandMeta::standard("T", 10.0));
         zone_occupation(&t, 0.0, &[]);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        use sl_store::{StoreConfig, StoreWriter};
+        // Build a multi-segment store, then compare the windowed
+        // streaming fold against the batch path over the same data.
+        let dir =
+            std::env::temp_dir().join(format!("sl-analysis-zones-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = StoreWriter::create(
+            &dir,
+            LandMeta::standard("Stream", 10.0),
+            StoreConfig {
+                segment_max_bytes: 256,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let mut trace = Trace::new(LandMeta::standard("Stream", 10.0));
+        for k in 1..=20i64 {
+            let mut s = Snapshot::new(k as f64 * 10.0);
+            for u in 0..(k % 4 + 1) as u32 {
+                s.push(UserId(u), Position::new(u as f64 * 30.0 + 5.0, 10.0, 22.0));
+            }
+            s.push(UserId(77), Position::SEATED);
+            w.append_snapshot(&s).unwrap();
+            trace.push(s);
+        }
+        w.finalize().unwrap();
+
+        let batch = zone_occupation(&trace, 20.0, &[UserId(1)]);
+        for window in [1, 3, 7, 100] {
+            let streamed = zone_occupation_streaming(&dir, 20.0, &[UserId(1)], window).unwrap();
+            assert_eq!(streamed, batch, "window {window}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -114,8 +114,9 @@ fn metrics_recording_never_affects_analysis_bytes() {
         let enabled_on = serde_json::to_string(&analyze_land(trace, &[])).unwrap();
         sl_obs::set_enabled(false);
         let enabled_off = serde_json::to_string(&analyze_land(trace, &[])).unwrap();
-        let serial_off =
-            sl_par::with_threads(1, || serde_json::to_string(&analyze_land(trace, &[])).unwrap());
+        let serial_off = sl_par::with_threads(1, || {
+            serde_json::to_string(&analyze_land(trace, &[])).unwrap()
+        });
         sl_obs::set_enabled(true);
         assert_eq!(
             enabled_on, enabled_off,

@@ -55,8 +55,10 @@ fn parse_args() -> Args {
             "--baseline" => baseline = it.next().map(PathBuf::from),
             "--current" => current = it.next().map(PathBuf::from),
             "--share-stage" => {
-                share_stages
-                    .push(it.next().unwrap_or_else(|| die("--share-stage needs a stage name")));
+                share_stages.push(
+                    it.next()
+                        .unwrap_or_else(|| die("--share-stage needs a stage name")),
+                );
             }
             "--max-share-ratio" => {
                 max_share_ratio = it

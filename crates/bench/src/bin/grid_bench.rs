@@ -209,9 +209,7 @@ fn main() {
             if matches!(framed, Message::Keyframe { .. }) {
                 report.keyframes += 1;
             }
-            let (time, roster) = dec
-                .apply(&framed)
-                .expect("loss-free replay never desyncs");
+            let (time, roster) = dec.apply(&framed).expect("loss-free replay never desyncs");
             delta_rebuilt.push(rebuild(time, &roster));
         }
         delta_secs_total += t1.elapsed().as_secs_f64();

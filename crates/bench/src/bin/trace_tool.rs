@@ -9,11 +9,20 @@
 //! trace_tool analyze out.jsonl                 # full §3 analysis (JSON)
 //! trace_tool convert out.jsonl out.bin         # JSONL <-> binary
 //! trace_tool merge a.jsonl b.jsonl merged.jsonl
+//! trace_tool store-import out.jsonl store/     # trace file -> segmented store
+//! trace_tool store-export store/ out.bin       # segmented store -> trace file
+//! trace_tool verify store/ [metrics.json]      # checksums + hash chain + seal
+//! trace_tool corrupt store/ 0 xor 100 255      # damage injection (testing)
 //! ```
+//!
+//! Every trace-consuming subcommand (`summary`, `validate`, `analyze`,
+//! `convert`, `merge`) also accepts a store *directory* wherever it
+//! accepts a trace file.
 
 use sl_analysis::pipeline::analyze_land;
 use sl_stats::bootstrap::{bootstrap_ci, median_stat};
 use sl_stats::rng::Rng;
+use sl_store::{StoreConfig, StoreWriter};
 use sl_trace::io::{decode_binary, encode_binary, read_jsonl, write_jsonl};
 use sl_trace::{merge, validate, Trace, TraceSummary};
 use std::path::Path;
@@ -24,8 +33,12 @@ fn die(msg: &str) -> ! {
 }
 
 fn load(path: &str) -> Trace {
-    // Detect the format by content, not extension: binary traces start
-    // with the "SLTR" magic; JSONL starts with '{'.
+    // A directory is a segmented store; files are detected by content:
+    // binary traces start with the "SLTR" magic, JSONL with '{'.
+    if Path::new(path).is_dir() {
+        return sl_store::read_trace(Path::new(path))
+            .unwrap_or_else(|e| die(&format!("read store {path}: {e}")));
+    }
     let raw = std::fs::read(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
     if raw.starts_with(b"SLTR") {
         decode_binary(bytes::Bytes::from(raw))
@@ -135,8 +148,116 @@ fn main() {
                 merged.len()
             );
         }
+        Some("store-import") => {
+            let (input, dir, seg_bytes) = match &args[..] {
+                [_, input, dir] => (input, dir, StoreConfig::default().segment_max_bytes),
+                [_, input, dir, seg] => (
+                    input,
+                    dir,
+                    seg.parse()
+                        .unwrap_or_else(|_| die("segment-bytes must be an integer")),
+                ),
+                _ => die("usage: store-import <trace> <store-dir> [segment-bytes]"),
+            };
+            let trace = load(input);
+            let config = StoreConfig {
+                segment_max_bytes: seg_bytes,
+                ..StoreConfig::default()
+            };
+            let mut w = StoreWriter::create(Path::new(dir), trace.meta.clone(), config)
+                .unwrap_or_else(|e| die(&format!("create store {dir}: {e}")));
+            for snap in &trace.snapshots {
+                w.append_snapshot(snap)
+                    .unwrap_or_else(|e| die(&format!("append: {e}")));
+            }
+            for gap in &trace.gaps {
+                w.append_gap(gap)
+                    .unwrap_or_else(|e| die(&format!("append gap: {e}")));
+            }
+            let chain = w
+                .finalize()
+                .unwrap_or_else(|e| die(&format!("finalize: {e}")));
+            println!(
+                "imported {input} -> {dir} ({} snapshots, chain {})",
+                trace.len(),
+                sl_store::sha256::to_hex(&chain)
+            );
+        }
+        Some("store-export") => {
+            let [_, dir, output] = &args[..] else {
+                die("usage: store-export <store-dir> <out.(jsonl|bin)>");
+            };
+            let trace = load(dir);
+            store(&trace, output);
+            println!("exported {dir} -> {output} ({} snapshots)", trace.len());
+        }
+        Some("verify") => {
+            let (dir, metrics_out) = match &args[..] {
+                [_, dir] => (dir, None),
+                [_, dir, metrics] => (dir, Some(metrics)),
+                _ => die("usage: verify <store-dir> [metrics-out.json]"),
+            };
+            let outcome = sl_store::verify(Path::new(dir));
+            if let Some(path) = metrics_out {
+                std::fs::write(path, sl_obs::export_json())
+                    .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            }
+            match outcome {
+                Ok(report) => println!("{}", report.to_json()),
+                Err(e) => {
+                    eprintln!("trace_tool: verify FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("corrupt") => {
+            // Damage injection for durability drills and CI: flip one
+            // byte (`xor <mask>`) or truncate (`truncate <len>`) a
+            // segment file in place.
+            let (dir, seg, rest) = match &args[..] {
+                [_, dir, seg, rest @ ..] if !rest.is_empty() => (dir, seg, rest),
+                _ => die(
+                    "usage: corrupt <store-dir> <segment> (xor <offset> [mask] | truncate <len>)",
+                ),
+            };
+            let seg: u32 = seg
+                .parse()
+                .unwrap_or_else(|_| die("segment must be an integer"));
+            let path = Path::new(dir).join(format!("seg-{seg:06}.slg"));
+            let mut bytes =
+                std::fs::read(&path).unwrap_or_else(|e| die(&format!("open {path:?}: {e}")));
+            match rest {
+                [op, offset] | [op, offset, _] if op.as_str() == "xor" => {
+                    let offset: usize = offset
+                        .parse()
+                        .unwrap_or_else(|_| die("offset must be an integer"));
+                    let mask: u8 = match rest.get(2) {
+                        Some(m) => m.parse().unwrap_or_else(|_| die("mask must be a byte")),
+                        None => 0xFF,
+                    };
+                    if offset >= bytes.len() {
+                        die(&format!("offset {offset} beyond {} bytes", bytes.len()));
+                    }
+                    bytes[offset] ^= mask;
+                    println!("xor {mask:#04x} at byte {offset} of {path:?}");
+                }
+                [op, len] if op.as_str() == "truncate" => {
+                    let len: usize = len
+                        .parse()
+                        .unwrap_or_else(|_| die("len must be an integer"));
+                    bytes.truncate(len);
+                    println!("truncated {path:?} to {len} bytes");
+                }
+                _ => die(
+                    "usage: corrupt <store-dir> <segment> (xor <offset> [mask] | truncate <len>)",
+                ),
+            }
+            std::fs::write(&path, &bytes).unwrap_or_else(|e| die(&format!("write {path:?}: {e}")));
+        }
         _ => {
-            eprintln!("trace_tool <generate|summary|validate|analyze|convert|merge> ...");
+            eprintln!(
+                "trace_tool <generate|summary|validate|analyze|convert|merge|store-import|store-export|verify|corrupt> ..."
+            );
             std::process::exit(2);
         }
     }

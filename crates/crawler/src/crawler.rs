@@ -7,7 +7,9 @@ use sl_proto::delta::DeltaDecoder;
 use sl_proto::framed::{FramedError, FramedReader, FramedWriter};
 use sl_proto::message::{Message, PROTOCOL_VERSION};
 use sl_stats::rng::Rng;
+use sl_store::{StoreConfig, StoreWriter};
 use sl_trace::{GapCause, GapRecord, LandMeta, Position, Snapshot, Trace, UserId};
+use std::path::PathBuf;
 use std::time::Duration;
 use tokio::net::TcpStream;
 
@@ -58,6 +60,35 @@ pub enum PollMode {
     Delta,
 }
 
+/// Durable persistence for a crawl: every snapshot and gap record is
+/// appended to an [`sl_store`] segmented store *as it is observed*, so
+/// a crash loses at most the unsynced tail of the current segment.
+///
+/// If the directory already holds a store, the crawl **resumes**: the
+/// writer recovers to the last durable `(segment, sequence)` watermark
+/// (truncating a torn tail), and the blind window between the last
+/// durable snapshot and the first fresh one is recorded as a typed
+/// [`GapCause::Restart`] gap. Resume assumes the grid's virtual clock
+/// kept running (same grid instance); a finalized (sealed) store is
+/// refused rather than silently extended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreSink {
+    /// Store directory (created on first crawl, resumed afterwards).
+    pub dir: PathBuf,
+    /// Store tuning: segment roll size and keyframe cadence.
+    pub config: StoreConfig,
+}
+
+impl StoreSink {
+    /// A sink at `dir` with default store tuning.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreSink {
+            dir: dir.into(),
+            config: StoreConfig::default(),
+        }
+    }
+}
+
 /// Crawler configuration.
 #[derive(Debug, Clone)]
 pub struct CrawlerConfig {
@@ -82,6 +113,8 @@ pub struct CrawlerConfig {
     pub poll_deadline: Duration,
     /// Full-snapshot or delta-snapshot polling.
     pub poll_mode: PollMode,
+    /// Durable trace store to write into (and resume from), if any.
+    pub store: Option<StoreSink>,
 }
 
 impl CrawlerConfig {
@@ -97,6 +130,7 @@ impl CrawlerConfig {
             seed: 0,
             poll_deadline: Duration::from_secs(1),
             poll_mode: PollMode::Full,
+            store: None,
         }
     }
 }
@@ -115,6 +149,11 @@ pub struct CrawlResult {
     pub polls: u64,
     /// Map polls denied by the server's rate limiter.
     pub throttled: u64,
+    /// Virtual time of the last durable snapshot this crawl resumed
+    /// from (`None` for a fresh crawl, or when no store is configured).
+    /// The in-memory `trace` holds only *this* process's observations;
+    /// the store on disk holds the union of all runs.
+    pub resumed_from: Option<f64>,
 }
 
 /// Crawl failure.
@@ -138,6 +177,9 @@ pub enum CrawlError {
     LoginRejected(String),
     /// Protocol violation from the server.
     Protocol(String),
+    /// The durable trace store could not be created, resumed, or
+    /// written (sealed store, unrepairable damage, disk error).
+    Store(String),
 }
 
 impl std::fmt::Display for CrawlError {
@@ -151,6 +193,7 @@ impl std::fmt::Display for CrawlError {
             }
             CrawlError::LoginRejected(msg) => write!(f, "login rejected: {msg}"),
             CrawlError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            CrawlError::Store(msg) => write!(f, "trace store error: {msg}"),
         }
     }
 }
@@ -195,6 +238,23 @@ impl Crawler {
             height: session.size.1 as f64,
             tau: self.config.tau,
         };
+        // Durable sink: create or resume the segmented store before the
+        // first poll, so even the first snapshot survives a crash.
+        let mut store: Option<StoreWriter> = None;
+        let mut resumed_from: Option<f64> = None;
+        if let Some(sink) = &self.config.store {
+            if sl_store::store_exists(&sink.dir) {
+                let (w, state) = StoreWriter::open_for_resume(&sink.dir, sink.config.clone())
+                    .map_err(|e| CrawlError::Store(e.to_string()))?;
+                resumed_from = state.last_t;
+                store = Some(w);
+            } else {
+                store = Some(
+                    StoreWriter::create(&sink.dir, meta.clone(), sink.config.clone())
+                        .map_err(|e| CrawlError::Store(e.to_string()))?,
+                );
+            }
+        }
         let mut trace = Trace::new(meta);
         let mut own_agents = vec![session.agent];
         let mut reconnects = 0u32;
@@ -220,6 +280,14 @@ impl Crawler {
         // closed (and possibly recorded) by the next fresh snapshot.
         // The *first* cause wins: it is what started the blindness.
         let mut pending_gap: Option<GapCause> = None;
+        if let Some(t) = resumed_from {
+            // Resumed crawl: only the blind window since the last
+            // durable snapshot is re-polled (the store already holds
+            // everything before it), and that window is declared as a
+            // typed Restart gap by the normal pending-gap machinery.
+            last_virtual = t;
+            pending_gap = Some(GapCause::Restart);
+        }
         loop {
             ticker.tick().await;
             let verdict =
@@ -261,10 +329,19 @@ impl Crawler {
                             if last_virtual.is_finite() && t - last_virtual > 1.5 * self.config.tau
                             {
                                 metrics.record_gap(cause, t - last_virtual);
-                                trace.record_gap(GapRecord::new(cause, last_virtual, t));
+                                let gap = GapRecord::new(cause, last_virtual, t);
+                                if let Some(w) = store.as_mut() {
+                                    w.append_gap(&gap)
+                                        .map_err(|e| CrawlError::Store(e.to_string()))?;
+                                }
+                                trace.record_gap(gap);
                             }
                         }
                         last_virtual = t;
+                        if let Some(w) = store.as_mut() {
+                            w.append_snapshot(&snap)
+                                .map_err(|e| CrawlError::Store(e.to_string()))?;
+                        }
                         trace.push(snap);
                     }
                     // Mimicry actions due at this virtual time. A send
@@ -327,12 +404,22 @@ impl Crawler {
             }
         }
 
+        // A crawl that ran to its configured duration is complete:
+        // seal the store so later damage is detectable and accidental
+        // "resume" of finished data is refused. Interrupted crawls
+        // never reach this line — their store stays unsealed and
+        // resumable.
+        if let Some(w) = store.take() {
+            w.finalize().map_err(|e| CrawlError::Store(e.to_string()))?;
+        }
+
         Ok(CrawlResult {
             trace,
             own_agents,
             reconnects,
             polls,
             throttled,
+            resumed_from,
         })
     }
 

@@ -30,7 +30,11 @@ pub struct FleetConfig {
     pub workers: usize,
     /// Per-shard crawl template. `server` is overridden with each
     /// shard's address; `seed` and `username` are decorrelated per
-    /// (shard, worker) so mimicry streams never collide.
+    /// (shard, worker) so mimicry streams never collide. If the
+    /// template carries a [`crate::crawler::StoreSink`], its `dir` is
+    /// treated as the fleet's store *root*: each shard writes (and
+    /// resumes) its own store under `<dir>/shard-<id>`, so a restarted
+    /// fleet re-polls only each shard's blind window.
     pub template: CrawlerConfig,
 }
 
@@ -141,6 +145,13 @@ impl CrawlerFleet {
                         seed: template.seed
                             ^ ((shard.id as u64 + 1) << 32)
                             ^ (worker as u64).wrapping_mul(0x9e37_79b9),
+                        // The template's store dir is the fleet root;
+                        // every shard persists into its own subdir.
+                        store: template.store.as_ref().map(|sink| {
+                            let mut sink = sink.clone();
+                            sink.dir = sink.dir.join(format!("shard-{:03}", shard.id));
+                            sink
+                        }),
                         ..template.clone()
                     };
                     let result = Crawler::new(config).run().await;
@@ -221,13 +232,14 @@ mod tests {
         );
         let result = CrawlerFleet::new(config).run().await.unwrap();
         assert_eq!(result.shards.len(), 2);
-        let names: Vec<&str> = result
-            .successes()
-            .map(|(s, _)| s.land.as_str())
-            .collect();
+        let names: Vec<&str> = result.successes().map(|(s, _)| s.land.as_str()).collect();
         assert_eq!(names, ["Dance Island", "Apfel Land"]);
         for (_, crawl) in result.successes() {
-            assert!(crawl.trace.len() >= 10, "got {} snapshots", crawl.trace.len());
+            assert!(
+                crawl.trace.len() >= 10,
+                "got {} snapshots",
+                crawl.trace.len()
+            );
         }
     }
 

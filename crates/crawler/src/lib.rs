@@ -20,6 +20,11 @@
 //! * **Health metrics** ([`metrics`]): [`sl_obs`] counters and
 //!   histograms for polls, retries, backoff sleeps and gap seconds by
 //!   cause, with an on-demand snapshot dump for long crawls.
+//! * **Durable store** ([`crawler::StoreSink`]): every poll is
+//!   appended to a crash-safe [`sl_store`] segmented store as it is
+//!   observed; a restarted crawl resumes from the last durable
+//!   watermark, re-polls only the blind window, and declares it as a
+//!   typed `Restart` gap.
 //! * **Fleet crawling** ([`fleet`]): N workers multiplexed over the
 //!   shards of a grid with work-stealing land assignment, each shard
 //!   crawled with full gap/fault semantics; supports delta-snapshot
@@ -33,7 +38,9 @@ pub mod metrics;
 pub mod mimicry;
 pub mod websink;
 
-pub use crawler::{CrawlError, CrawlResult, Crawler, CrawlerConfig, PollMode, ReconnectPolicy};
+pub use crawler::{
+    CrawlError, CrawlResult, Crawler, CrawlerConfig, PollMode, ReconnectPolicy, StoreSink,
+};
 pub use fleet::{discover_shards, CrawlerFleet, FleetConfig, FleetResult, ShardCrawl};
 pub use mimicry::{Mimicry, MimicryConfig};
 pub use websink::{post_report, WebSink};

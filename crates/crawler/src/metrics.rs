@@ -42,7 +42,7 @@ pub struct CrawlerMetrics {
     /// Wall seconds slept in backoff, one sample per sleep.
     pub backoff_seconds: &'static Histogram,
     /// Virtual seconds of recorded blindness, [`GapCause`] order.
-    gap_seconds: [&'static Histogram; 5],
+    gap_seconds: [&'static Histogram; 6],
 }
 
 impl CrawlerMetrics {
@@ -54,6 +54,7 @@ impl CrawlerMetrics {
             GapCause::Throttle => 2,
             GapCause::Corrupt => 3,
             GapCause::Disconnect => 4,
+            GapCause::Restart => 5,
         };
         self.gap_seconds[slot].record(seconds);
     }
@@ -81,6 +82,7 @@ pub fn register() -> &'static CrawlerMetrics {
             sl_obs::histogram("crawler.gap_seconds.throttle"),
             sl_obs::histogram("crawler.gap_seconds.corrupt"),
             sl_obs::histogram("crawler.gap_seconds.disconnect"),
+            sl_obs::histogram("crawler.gap_seconds.restart"),
         ],
     })
 }

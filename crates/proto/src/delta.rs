@@ -82,7 +82,10 @@ impl std::fmt::Display for DeltaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeltaError::SequenceGap { expected, got } => {
-                write!(f, "delta sequence gap: hold baseline {expected}, frame diffed against {got}")
+                write!(
+                    f,
+                    "delta sequence gap: hold baseline {expected}, frame diffed against {got}"
+                )
             }
             DeltaError::ChecksumMismatch { computed, expected } => write!(
                 f,
@@ -376,7 +379,10 @@ mod tests {
             other => panic!("expected DeltaReply, got {other:?}"),
         }
         let (_, items) = dec.apply(&msg).unwrap();
-        assert_eq!(items, vec![item(1, 1.0, 1.0), item(2, 5.0, 2.0), item(4, 9.0, 9.0)]);
+        assert_eq!(
+            items,
+            vec![item(1, 1.0, 1.0), item(2, 5.0, 2.0), item(4, 9.0, 9.0)]
+        );
     }
 
     #[test]

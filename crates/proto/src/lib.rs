@@ -31,6 +31,8 @@ pub use codec::{
     decode_frame, encode_frame, frame_checksum, CodecError, CHECKSUM_LEN, MAX_FRAME_LEN,
     MIN_FRAME_LEN,
 };
-pub use delta::{roster_checksum, DeltaDecoder, DeltaEncoder, DeltaError, DEFAULT_KEYFRAME_INTERVAL};
+pub use delta::{
+    roster_checksum, DeltaDecoder, DeltaEncoder, DeltaError, DEFAULT_KEYFRAME_INTERVAL,
+};
 pub use framed::{FramedReader, FramedWriter};
 pub use message::{MapItem, Message, ShardInfo, PROTOCOL_VERSION};

@@ -56,8 +56,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (any::<u32>(), arb_string())
             .prop_map(|(from, text)| Message::ChatFromSimulator { from, text }),
         Just(Message::MapRequest),
-        (arb_time(), arb_items(50))
-            .prop_map(|(time, items)| Message::MapReply { time, items }),
+        (arb_time(), arb_items(50)).prop_map(|(time, items)| Message::MapReply { time, items }),
         any::<u64>().prop_map(|nonce| Message::Ping { nonce }),
         any::<u64>().prop_map(|nonce| Message::Pong { nonce }),
         Just(Message::Logout),
@@ -73,8 +72,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             prop::collection::vec(any::<u32>(), 0..20),
             any::<u32>(),
         )
-            .prop_map(
-                |(seq, baseline, time, joined, moved, left, roster)| Message::DeltaReply {
+            .prop_map(|(seq, baseline, time, joined, moved, left, roster)| {
+                Message::DeltaReply {
                     seq,
                     baseline,
                     time,
@@ -82,8 +81,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     moved,
                     left,
                     roster,
-                },
-            ),
+                }
+            },),
         (any::<u64>(), arb_time(), arb_items(50), any::<u32>()).prop_map(
             |(seq, time, items, roster)| Message::Keyframe {
                 seq,
@@ -260,10 +259,7 @@ fn arb_message_covers_every_wire_tag() {
     let want: std::collections::BTreeSet<u8> = (1..=17).collect();
     let mut seen = std::collections::BTreeSet::new();
     for _ in 0..16384 {
-        let msg = strategy
-            .new_tree(&mut runner)
-            .expect("generate")
-            .current();
+        let msg = strategy.new_tree(&mut runner).expect("generate").current();
         let mut buf = BytesMut::new();
         encode_frame(&msg, &mut buf);
         // Tag byte sits right after the u32 length prefix.

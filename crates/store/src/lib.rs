@@ -1,0 +1,330 @@
+//! # sl-store
+//!
+//! Crash-safe segmented trace store: the durability layer under long
+//! crawls. The paper's dataset is a multi-day crawl of live lands; a
+//! collection instrument that loses the run on a crash, or silently
+//! half-reads a truncated file, cannot produce it. This crate stores a
+//! trace as an **append-only sequence of segments** with end-to-end
+//! integrity:
+//!
+//! * **Records** are the PR 4 delta codec's frames — periodic
+//!   `Keyframe`s plus `DeltaReply` diffs — so a segment costs a fraction
+//!   of full snapshots, plus 17-byte gap records for measurement
+//!   outages. Every record carries an FNV-1a checksum (the same
+//!   checksum the wire framing uses).
+//! * **Segments** (`seg-000000.slg`, `seg-000001.slg`, …) start with a
+//!   header naming their index and the SHA-256 **hash chain** value of
+//!   everything before them: `chain₀ = SHA-256(salt ‖ manifest)`,
+//!   `chainᵢ₊₁ = SHA-256(chainᵢ ‖ segmentᵢ)`. Each segment's header
+//!   therefore seals every byte of its predecessor — truncation,
+//!   bit rot, reordering and cross-store splicing are all detectable.
+//! * **`MANIFEST.json`** carries the format version byte and the land
+//!   metadata; **`SEAL`** (written by [`StoreWriter::finalize`]) pins
+//!   the final chain value so even the last segment's tail is covered.
+//! * A **torn final segment** — the crash signature — is truncated to
+//!   the last valid record on [`StoreWriter::open_for_resume`]: never a
+//!   panic, never silent data loss; the repair is counted in the
+//!   [`metrics`].
+//!
+//! Reading is streaming: [`SegmentReader`] iterates records (and
+//! [`SegmentReader::windows`] iterates snapshot windows) without ever
+//! materializing the trace, verifying checksums and the hash chain as
+//! it goes; [`verify`] drives the same scanner over the whole store and
+//! reports *which segment* is damaged as a typed [`StoreError`];
+//! [`read_trace`] rebuilds an in-RAM [`Trace`] for the existing
+//! analysis pipeline.
+//!
+//! ## Format version and compatibility rule
+//!
+//! The on-disk format version is a single byte, stored both in the
+//! manifest (`format_version`) and in every segment header. This build
+//! reads and writes **version 1** only; a reader must refuse, with a
+//! typed error, any store whose version byte it does not know — there
+//! is no silent best-effort decoding of future formats.
+
+#![warn(missing_docs)]
+
+mod manifest;
+pub mod metrics;
+mod reader;
+pub mod sha256;
+mod writer;
+
+pub use reader::{
+    read_trace, verify, SegmentReader, StoreRecord, TraceWindow, VerifyReport, Windows,
+};
+pub use writer::{ResumeState, StoreWriter, Watermark};
+
+use sl_trace::GapCause;
+use std::path::{Path, PathBuf};
+
+/// On-disk format version written and read by this build.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Segment file magic: "SLSG".
+pub(crate) const SEG_MAGIC: u32 = 0x534c_5347;
+/// Segment header length: magic u32 + version u8 + index u32 + 32-byte
+/// previous-chain hash.
+pub(crate) const HEADER_LEN: usize = 4 + 1 + 4 + 32;
+/// Record kind: a delta-codec snapshot frame (`Keyframe`/`DeltaReply`).
+pub(crate) const REC_SNAPSHOT: u8 = 1;
+/// Record kind: a measurement-outage gap record.
+pub(crate) const REC_GAP: u8 = 2;
+/// Upper bound on one record's payload; a corrupted length field must
+/// become a typed error, not a 4 GiB allocation.
+pub(crate) const MAX_RECORD_LEN: u32 = 1 << 24;
+/// Manifest file name.
+pub(crate) const MANIFEST_FILE: &str = "MANIFEST.json";
+/// Seal file name (hex final chain hash; present only after finalize).
+pub(crate) const SEAL_FILE: &str = "SEAL";
+/// Domain-separation salt for the chain genesis hash.
+pub(crate) const CHAIN_SALT: &[u8] = b"sl-store/v1\n";
+
+/// Store configuration (writer side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Roll (fsync and hash-seal the segment, open the next) once a
+    /// segment reaches this many bytes.
+    pub segment_max_bytes: u64,
+    /// Emit a keyframe at least every this many snapshot records; each
+    /// segment additionally *starts* with a keyframe so any segment is
+    /// decodable without unbounded lookback.
+    pub keyframe_interval: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            segment_max_bytes: 1 << 20,
+            keyframe_interval: sl_proto::delta::DEFAULT_KEYFRAME_INTERVAL,
+        }
+    }
+}
+
+/// Why a store could not be written, read, or verified. Every segment-
+/// level variant names the offending segment — `trace_tool verify`'s
+/// output (and CI's grep of it) depends on that.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The directory holds no store manifest.
+    NotAStore(PathBuf),
+    /// The manifest is missing, unparsable, or self-inconsistent.
+    Manifest(String),
+    /// The manifest declares a format version this build does not read.
+    UnsupportedVersion(u8),
+    /// A segment expected by the contiguous numbering is absent.
+    MissingSegment {
+        /// Index of the missing segment.
+        segment: u32,
+    },
+    /// A segment header is truncated or malformed.
+    BadHeader {
+        /// The offending segment.
+        segment: u32,
+        /// What was wrong with the header.
+        reason: String,
+    },
+    /// A segment's recorded previous-chain hash does not match the
+    /// bytes that precede it: damage, reordering, or splicing.
+    ChainMismatch {
+        /// The segment whose header disagrees with its predecessors.
+        segment: u32,
+    },
+    /// A record extends past the end of its segment — the torn-write
+    /// crash signature.
+    TornRecord {
+        /// The offending segment.
+        segment: u32,
+        /// Byte offset of the torn record's start.
+        offset: u64,
+    },
+    /// A record is present but damaged (checksum mismatch, unknown
+    /// kind, undecodable frame).
+    CorruptRecord {
+        /// The offending segment.
+        segment: u32,
+        /// Byte offset of the record's start.
+        offset: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A decoded snapshot's time does not strictly follow its
+    /// predecessor.
+    NonMonotonicTime {
+        /// The offending segment.
+        segment: u32,
+        /// Decoded snapshot time.
+        t: f64,
+        /// The previous snapshot time.
+        prev: f64,
+    },
+    /// A gap record is structurally invalid.
+    BadGap {
+        /// The offending segment.
+        segment: u32,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The SEAL file exists but cannot be parsed.
+    Seal(String),
+    /// The final chain value does not match the SEAL: the store was
+    /// modified (or truncated at a record boundary) after finalize.
+    SealMismatch {
+        /// Chain value computed over the store's bytes, hex.
+        computed: String,
+        /// Chain value the seal claims, hex.
+        sealed: String,
+    },
+    /// The store is finalized; appending (resume) is refused.
+    Sealed,
+    /// A writer-side append was rejected (non-finite or non-increasing
+    /// time, oversized roster, invalid gap span).
+    BadAppend(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::NotAStore(p) => {
+                write!(
+                    f,
+                    "{} is not a trace store (no {MANIFEST_FILE})",
+                    p.display()
+                )
+            }
+            StoreError::Manifest(msg) => write!(f, "bad manifest: {msg}"),
+            StoreError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported store format version {v} (this build reads version {FORMAT_VERSION})"
+            ),
+            StoreError::MissingSegment { segment } => {
+                write!(f, "segment {segment} is missing from the store")
+            }
+            StoreError::BadHeader { segment, reason } => {
+                write!(f, "segment {segment}: bad header: {reason}")
+            }
+            StoreError::ChainMismatch { segment } => write!(
+                f,
+                "segment {segment}: hash chain mismatch (damaged, reordered, or spliced)"
+            ),
+            StoreError::TornRecord { segment, offset } => write!(
+                f,
+                "segment {segment}: torn record at offset {offset} (truncated write)"
+            ),
+            StoreError::CorruptRecord {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "segment {segment}: corrupt record at offset {offset}: {reason}"
+            ),
+            StoreError::NonMonotonicTime { segment, t, prev } => write!(
+                f,
+                "segment {segment}: snapshot time {t} does not follow {prev}"
+            ),
+            StoreError::BadGap { segment, reason } => {
+                write!(f, "segment {segment}: bad gap record: {reason}")
+            }
+            StoreError::Seal(msg) => write!(f, "bad seal file: {msg}"),
+            StoreError::SealMismatch { computed, sealed } => write!(
+                f,
+                "seal mismatch: store hashes to {computed}, seal claims {sealed}"
+            ),
+            StoreError::Sealed => {
+                write!(f, "store is sealed (finalized); it cannot be appended to")
+            }
+            StoreError::BadAppend(msg) => write!(f, "rejected append: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// True when `dir` looks like a trace store (holds a manifest). The
+/// crawler uses this to decide between creating and resuming.
+pub fn store_exists(dir: &Path) -> bool {
+    dir.join(MANIFEST_FILE).is_file()
+}
+
+/// File name of segment `index`.
+pub(crate) fn segment_file_name(index: u32) -> String {
+    format!("seg-{index:06}.slg")
+}
+
+/// Path of segment `index` under `dir`.
+pub(crate) fn segment_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(segment_file_name(index))
+}
+
+/// Chain genesis: SHA-256 over the domain salt and the manifest's raw
+/// bytes, so two stores with different metadata can never exchange
+/// segments.
+pub(crate) fn genesis_chain(manifest_bytes: &[u8]) -> [u8; 32] {
+    let mut h = sha256::Sha256::new();
+    h.update(CHAIN_SALT);
+    h.update(manifest_bytes);
+    h.finalize()
+}
+
+/// Encode a segment header.
+pub(crate) fn encode_header(index: u32, prev_chain: &[u8; 32]) -> [u8; HEADER_LEN] {
+    let mut out = [0u8; HEADER_LEN];
+    out[0..4].copy_from_slice(&SEG_MAGIC.to_be_bytes());
+    out[4] = FORMAT_VERSION;
+    out[5..9].copy_from_slice(&index.to_be_bytes());
+    out[9..41].copy_from_slice(prev_chain);
+    out
+}
+
+/// Frame one record: `kind u8 | len u32 | payload | fnv u32`, checksum
+/// over kind + payload with the wire codec's FNV-1a.
+pub(crate) fn encode_record(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&sl_proto::codec::frame_checksum(kind, payload).to_be_bytes());
+    out
+}
+
+/// Gap cause ↔ byte, matching the `sl-trace` binary format's mapping.
+pub(crate) fn gap_cause_to_u8(cause: GapCause) -> u8 {
+    match cause {
+        GapCause::Kick => 0,
+        GapCause::Stall => 1,
+        GapCause::Throttle => 2,
+        GapCause::Corrupt => 3,
+        GapCause::Disconnect => 4,
+        GapCause::Restart => 5,
+    }
+}
+
+/// Byte → gap cause; `None` for unknown values.
+pub(crate) fn gap_cause_from_u8(raw: u8) -> Option<GapCause> {
+    Some(match raw {
+        0 => GapCause::Kick,
+        1 => GapCause::Stall,
+        2 => GapCause::Throttle,
+        3 => GapCause::Corrupt,
+        4 => GapCause::Disconnect,
+        5 => GapCause::Restart,
+        _ => return None,
+    })
+}

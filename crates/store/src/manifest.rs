@@ -1,0 +1,284 @@
+//! Hand-written manifest JSON, in the spirit of `sl-obs`'s exporter:
+//! this crate is the durability layer and must not depend on anything
+//! outside the workspace — a store has to be writable and verifiable in
+//! the most stripped-down environment the crawler ever runs in.
+//!
+//! The format is ordinary JSON so a human at a shell can identify a
+//! store, but the *bytes* matter beyond readability: the chain genesis
+//! hashes the manifest file verbatim, so whatever this module writes is
+//! what every later verification is anchored to.
+
+use sl_trace::LandMeta;
+
+/// Render the manifest for `meta` at format version `version`.
+pub(crate) fn encode_manifest(version: u8, meta: &LandMeta) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"format_version\": {version},\n"));
+    out.push_str("  \"meta\": {\n");
+    out.push_str(&format!("    \"name\": \"{}\",\n", escape(&meta.name)));
+    out.push_str(&format!("    \"width\": {},\n", fmt_f64(meta.width)));
+    out.push_str(&format!("    \"height\": {},\n", fmt_f64(meta.height)));
+    out.push_str(&format!("    \"tau\": {}\n", fmt_f64(meta.tau)));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out.into_bytes()
+}
+
+/// Shortest round-trip decimal; `Display` for finite `f64` is exact
+/// under `str::parse`.
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a manifest back into `(format_version, meta)`. Strict: the
+/// exact two-key shape this module writes, in any key order, nothing
+/// else. Errors are human-readable strings the caller wraps in
+/// `StoreError::Manifest`.
+pub(crate) fn parse_manifest(bytes: &[u8]) -> Result<(u8, LandMeta), String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "not UTF-8".to_string())?;
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let mut version: Option<u8> = None;
+    let mut name: Option<String> = None;
+    let mut width: Option<f64> = None;
+    let mut height: Option<f64> = None;
+    let mut tau: Option<f64> = None;
+
+    p.expect(b'{')?;
+    loop {
+        let key = p.parse_string()?;
+        p.expect(b':')?;
+        match key.as_str() {
+            "format_version" => {
+                let v = p.parse_number()?;
+                if v.fract() != 0.0 || !(0.0..=255.0).contains(&v) {
+                    return Err(format!("format_version {v} is not a byte"));
+                }
+                version = Some(v as u8);
+            }
+            "meta" => {
+                p.expect(b'{')?;
+                loop {
+                    let key = p.parse_string()?;
+                    p.expect(b':')?;
+                    match key.as_str() {
+                        "name" => name = Some(p.parse_string()?),
+                        "width" => width = Some(p.parse_number()?),
+                        "height" => height = Some(p.parse_number()?),
+                        "tau" => tau = Some(p.parse_number()?),
+                        other => return Err(format!("unknown meta key {other:?}")),
+                    }
+                    if !p.comma_or_close(b'}')? {
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+        if !p.comma_or_close(b'}')? {
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err("trailing bytes after manifest object".into());
+    }
+
+    let meta = LandMeta {
+        name: name.ok_or("missing meta.name")?,
+        width: width.ok_or("missing meta.width")?,
+        height: height.ok_or("missing meta.height")?,
+        tau: tau.ok_or("missing meta.tau")?,
+    };
+    Ok((version.ok_or("missing format_version")?, meta))
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(&c) if c == want => {
+                self.i += 1;
+                Ok(())
+            }
+            got => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                want as char,
+                self.i,
+                got.map(|&c| c as char)
+            )),
+        }
+    }
+
+    /// After a value: consume `,` (→ true, more entries) or `close`
+    /// (→ false, object done).
+    fn comma_or_close(&mut self, close: u8) -> Result<bool, String> {
+        self.skip_ws();
+        match self.b.get(self.i) {
+            Some(b',') => {
+                self.i += 1;
+                Ok(true)
+            }
+            Some(&c) if c == close => {
+                self.i += 1;
+                Ok(false)
+            }
+            got => Err(format!(
+                "expected ',' or {:?} at byte {}, found {:?}",
+                close as char,
+                self.i,
+                got.map(|&c| c as char)
+            )),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code).ok_or("\\u escape is not a scalar value")?,
+                            );
+                            self.i += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "unsupported escape {:?}",
+                                other.map(|&c| c as char)
+                            ))
+                        }
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input validated above).
+                    let rest = &self.b[self.i..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
+        text.parse::<f64>()
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let meta = LandMeta {
+            name: "Dance \"Island\"\n\\ 🎉".into(),
+            width: 256.0,
+            height: 192.5,
+            tau: 10.0,
+        };
+        let bytes = encode_manifest(1, &meta);
+        let (version, back) = parse_manifest(&bytes).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn round_trips_awkward_floats() {
+        let meta = LandMeta {
+            name: "X".into(),
+            width: 0.1 + 0.2,
+            height: 1e-12,
+            tau: 123456.789,
+        };
+        let (_, back) = parse_manifest(&encode_manifest(1, &meta)).unwrap();
+        assert_eq!(back.width.to_bits(), meta.width.to_bits());
+        assert_eq!(back.height.to_bits(), meta.height.to_bits());
+        assert_eq!(back.tau.to_bits(), meta.tau.to_bits());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_manifest(b"").is_err());
+        assert!(parse_manifest(b"{}").is_err());
+        assert!(parse_manifest(b"{\"format_version\": 1}").is_err());
+        assert!(parse_manifest(b"not json").is_err());
+        assert!(parse_manifest(b"{\"format_version\": 1.5, \"meta\": {}}").is_err());
+        // Trailing bytes after the object are refused.
+        let mut bytes = encode_manifest(1, &LandMeta::standard("T", 10.0));
+        let ok = parse_manifest(&bytes).unwrap();
+        assert_eq!(ok.1.name, "T");
+        bytes.extend_from_slice(b"x");
+        assert!(parse_manifest(&bytes).is_err());
+    }
+}

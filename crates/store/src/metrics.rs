@@ -1,0 +1,64 @@
+//! Store observability: durability and recovery counters as
+//! process-wide [`sl_obs`] metrics.
+//!
+//! The interesting numbers after a long crawl are exactly the ones a
+//! post-mortem asks for: how many segments rolled, how many bytes were
+//! actually fsynced, whether any resume had to repair a torn tail and
+//! how many bytes that cost. They are all here, exported with the rest
+//! of the registry via `sl_obs::dump_to` / `trace_tool verify`'s
+//! metrics dump.
+
+use sl_obs::Counter;
+use std::sync::OnceLock;
+
+/// The store's metric handles.
+#[derive(Debug)]
+pub struct StoreMetrics {
+    /// Records appended (snapshots + gaps).
+    pub records_appended: &'static Counter,
+    /// Snapshot records appended.
+    pub snapshots_appended: &'static Counter,
+    /// Gap records appended.
+    pub gaps_appended: &'static Counter,
+    /// Snapshot records encoded as full keyframes.
+    pub keyframes_written: &'static Counter,
+    /// Snapshot records encoded as delta replies.
+    pub deltas_written: &'static Counter,
+    /// Segment rolls (fsync + hash-seal + next segment opened).
+    pub segments_rolled: &'static Counter,
+    /// Bytes made durable by fsync (segment rolls, finalize, resume
+    /// accounting).
+    pub bytes_fsynced: &'static Counter,
+    /// Crash recoveries: `open_for_resume` calls on an existing store.
+    pub recoveries: &'static Counter,
+    /// Resumes that had to truncate a torn final segment.
+    pub truncations_repaired: &'static Counter,
+    /// Bytes discarded by torn-tail truncation.
+    pub truncated_bytes: &'static Counter,
+    /// Records decoded by readers (scan, verify, resume replay).
+    pub records_read: &'static Counter,
+    /// Full-store verifications run.
+    pub verify_runs: &'static Counter,
+    /// Verifications that found damage.
+    pub verify_failures: &'static Counter,
+}
+
+/// The process-wide store metrics. First call registers everything.
+pub fn register() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| StoreMetrics {
+        records_appended: sl_obs::counter("store.records_appended"),
+        snapshots_appended: sl_obs::counter("store.snapshots_appended"),
+        gaps_appended: sl_obs::counter("store.gaps_appended"),
+        keyframes_written: sl_obs::counter("store.keyframes_written"),
+        deltas_written: sl_obs::counter("store.deltas_written"),
+        segments_rolled: sl_obs::counter("store.segments_rolled"),
+        bytes_fsynced: sl_obs::counter("store.bytes_fsynced"),
+        recoveries: sl_obs::counter("store.recoveries"),
+        truncations_repaired: sl_obs::counter("store.truncations_repaired"),
+        truncated_bytes: sl_obs::counter("store.truncated_bytes"),
+        records_read: sl_obs::counter("store.records_read"),
+        verify_runs: sl_obs::counter("store.verify_runs"),
+        verify_failures: sl_obs::counter("store.verify_failures"),
+    })
+}

@@ -1,0 +1,494 @@
+//! The append path: segment creation, rolling, fsync policy, sealing,
+//! and crash recovery.
+//!
+//! Durability contract:
+//!
+//! * A segment is fsynced when it **rolls** (and its successor's header
+//!   is fsynced at creation), so everything up to the last roll is
+//!   durable — the "(segment, sequence) watermark" a crashed crawl
+//!   resumes from.
+//! * The active segment's tail rides the OS page cache; a crash may
+//!   tear its final record. [`StoreWriter::open_for_resume`] replays
+//!   the store through the strict scanner, truncates the torn tail to
+//!   the last valid record (reporting how many bytes that discarded),
+//!   and re-arms the writer on the same hash chain.
+//! * [`StoreWriter::finalize`] fsyncs the tail and writes the `SEAL`
+//!   file pinning the final chain value; a sealed store refuses resume.
+//!
+//! The writer never trusts its own memory of what reached disk: resume
+//! state is reconstructed *only* from what the scanner could validate.
+
+use crate::reader::Scanner;
+use crate::sha256::{self, Sha256};
+use crate::{
+    encode_header, encode_record, gap_cause_to_u8, segment_path, store_exists, StoreConfig,
+    StoreError, FORMAT_VERSION, HEADER_LEN, MANIFEST_FILE, MAX_RECORD_LEN, REC_GAP, REC_SNAPSHOT,
+    SEAL_FILE,
+};
+use crate::{manifest, metrics};
+use sl_proto::delta::DeltaEncoder;
+use sl_proto::message::{MapItem, Message, MAX_MAP_ITEMS};
+use sl_trace::{GapRecord, LandMeta, Snapshot};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The last durable position of a store being written: which segment is
+/// active, the delta sequence reached, and the last snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Watermark {
+    /// Active (highest) segment index.
+    pub segment: u32,
+    /// Delta-stream sequence of the last snapshot encoded.
+    pub seq: u64,
+    /// Virtual time of the last snapshot appended, if any.
+    pub last_t: Option<f64>,
+}
+
+/// What [`StoreWriter::open_for_resume`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResumeState {
+    /// Segment the writer resumed into (highest on disk).
+    pub segment: u32,
+    /// Valid records replayed (snapshots + gaps).
+    pub records: u64,
+    /// Valid snapshot records replayed.
+    pub snapshots: u64,
+    /// Valid gap records replayed.
+    pub gaps: u64,
+    /// Virtual time of the last valid snapshot — the crawl re-polls
+    /// from here and declares the blind window as a gap.
+    pub last_t: Option<f64>,
+    /// Bytes discarded truncating a torn tail (0 = tail was clean).
+    pub truncated_bytes: u64,
+    /// Whether the final segment's header itself was torn and had to be
+    /// rewritten (crash during a roll).
+    pub repaired_header: bool,
+}
+
+/// Appending side of a segmented store. See the module docs for the
+/// durability contract.
+pub struct StoreWriter {
+    dir: PathBuf,
+    config: StoreConfig,
+    meta: LandMeta,
+    file: File,
+    seg_index: u32,
+    /// Bytes in the current segment (header included).
+    seg_bytes: u64,
+    /// Bytes written since the last fsync (metrics accounting).
+    unsynced: u64,
+    /// Chain value entering the current segment.
+    chain: [u8; 32],
+    /// Hash state over `chain ‖ current segment bytes`.
+    hasher: Sha256,
+    encoder: DeltaEncoder,
+    force_keyframe: bool,
+    last_t: Option<f64>,
+    last_gap_start: Option<f64>,
+    snapshots: u64,
+}
+
+impl std::fmt::Debug for StoreWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreWriter")
+            .field("dir", &self.dir)
+            .field("segment", &self.seg_index)
+            .field("seg_bytes", &self.seg_bytes)
+            .field("last_t", &self.last_t)
+            .finish()
+    }
+}
+
+impl StoreWriter {
+    /// Create a fresh store in `dir` (created if absent; must not
+    /// already hold a store). Writes the manifest atomically and opens
+    /// segment 0.
+    pub fn create(dir: &Path, meta: LandMeta, config: StoreConfig) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        if store_exists(dir) {
+            return Err(StoreError::Manifest(format!(
+                "{} already holds a store; use open_for_resume",
+                dir.display()
+            )));
+        }
+        let bytes = manifest::encode_manifest(FORMAT_VERSION, &meta);
+        write_atomic(dir, MANIFEST_FILE, &bytes)?;
+        let chain = crate::genesis_chain(&bytes);
+
+        let mut writer = StoreWriter {
+            dir: dir.to_path_buf(),
+            file: File::open(dir)?, // placeholder; replaced just below
+            seg_index: 0,
+            seg_bytes: 0,
+            unsynced: 0,
+            chain,
+            hasher: Sha256::new(),
+            encoder: DeltaEncoder::new(config.keyframe_interval),
+            force_keyframe: true,
+            last_t: None,
+            last_gap_start: None,
+            snapshots: 0,
+            meta,
+            config,
+        };
+        writer.open_new_segment()?;
+        Ok(writer)
+    }
+
+    /// Reopen an unsealed store after a crash: replay it through the
+    /// strict scanner, truncate a torn final record (or rewrite a torn
+    /// final header), and resume appending on the same hash chain.
+    /// Damage anywhere *other* than the tail of the final segment —
+    /// including anything a seal covers — is not crash fallout and is
+    /// refused with the scanner's typed error.
+    pub fn open_for_resume(
+        dir: &Path,
+        config: StoreConfig,
+    ) -> Result<(Self, ResumeState), StoreError> {
+        let m = metrics::register();
+        m.recoveries.inc();
+        let mut sc = Scanner::open(dir)?;
+        if sc.seal.is_some() {
+            return Err(StoreError::Sealed);
+        }
+
+        if sc.seg_count == 0 {
+            // Crashed between manifest creation and segment 0: an empty
+            // store; start it properly.
+            let mut writer = StoreWriter {
+                dir: dir.to_path_buf(),
+                file: File::open(dir)?, // placeholder
+                seg_index: 0,
+                seg_bytes: 0,
+                unsynced: 0,
+                chain: sc.entry_chain,
+                hasher: Sha256::new(),
+                encoder: DeltaEncoder::new(config.keyframe_interval),
+                force_keyframe: true,
+                last_t: None,
+                last_gap_start: None,
+                snapshots: 0,
+                meta: sc.meta.clone(),
+                config,
+            };
+            writer.open_new_segment()?;
+            let state = ResumeState {
+                segment: 0,
+                records: 0,
+                snapshots: 0,
+                gaps: 0,
+                last_t: None,
+                truncated_bytes: 0,
+                repaired_header: false,
+            };
+            return Ok((writer, state));
+        }
+
+        let last = sc.seg_count - 1;
+        // (truncate_to, header_damage)
+        let mut damage: Option<(u64, bool)> = None;
+        loop {
+            match sc.next_record() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => match &e {
+                    StoreError::TornRecord { segment, offset }
+                    | StoreError::CorruptRecord {
+                        segment, offset, ..
+                    } if *segment == last => {
+                        damage = Some((*offset, false));
+                        break;
+                    }
+                    StoreError::BadHeader { segment, .. } if *segment == last => {
+                        damage = Some((0, true));
+                        break;
+                    }
+                    _ => return Err(e),
+                },
+            }
+        }
+
+        let path = segment_path(dir, last);
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let file_len = file.metadata()?.len();
+        let mut truncated_bytes = 0u64;
+        let mut repaired_header = false;
+        let hasher;
+        let seg_bytes;
+        match damage {
+            Some((offset, header_damage)) => {
+                truncated_bytes = file_len.saturating_sub(if header_damage { 0 } else { offset });
+                m.truncations_repaired.inc();
+                m.truncated_bytes.add(truncated_bytes);
+                if header_damage {
+                    // Crash mid-roll: nothing after a torn header can be
+                    // valid; restart the segment on the same chain.
+                    repaired_header = true;
+                    file.set_len(0)?;
+                    file.seek(SeekFrom::Start(0))?;
+                    let header = encode_header(last, &sc.entry_chain);
+                    file.write_all(&header)?;
+                    let mut h = Sha256::new();
+                    h.update(&sc.entry_chain);
+                    h.update(&header);
+                    hasher = h;
+                    seg_bytes = HEADER_LEN as u64;
+                } else {
+                    file.set_len(offset)?;
+                    file.seek(SeekFrom::End(0))?;
+                    hasher = sc.hasher.clone();
+                    seg_bytes = offset;
+                }
+                file.sync_all()?;
+            }
+            None => {
+                file.seek(SeekFrom::End(0))?;
+                hasher = sc.hasher.clone();
+                seg_bytes = file_len;
+            }
+        }
+
+        let state = ResumeState {
+            segment: last,
+            records: sc.records,
+            snapshots: sc.snapshots,
+            gaps: sc.gaps,
+            last_t: sc.last_t,
+            truncated_bytes,
+            repaired_header,
+        };
+        let writer = StoreWriter {
+            dir: dir.to_path_buf(),
+            file,
+            seg_index: last,
+            seg_bytes,
+            unsynced: 0,
+            chain: sc.entry_chain,
+            hasher,
+            // The pre-crash encoder state is gone; a fresh encoder plus
+            // force_keyframe makes the first resumed record a keyframe,
+            // which the decoder applies unconditionally (sequence
+            // regression across a resume boundary is part of the
+            // format's semantics).
+            encoder: DeltaEncoder::new(config.keyframe_interval),
+            force_keyframe: true,
+            last_t: sc.last_t,
+            last_gap_start: sc.last_gap_start,
+            snapshots: sc.snapshots,
+            meta: sc.meta.clone(),
+            config,
+        };
+        Ok((writer, state))
+    }
+
+    /// The monitored land this store records.
+    pub fn meta(&self) -> &LandMeta {
+        &self.meta
+    }
+
+    /// Current position: active segment, delta sequence, last time.
+    pub fn watermark(&self) -> Watermark {
+        Watermark {
+            segment: self.seg_index,
+            seq: self.encoder.seq(),
+            last_t: self.last_t,
+        }
+    }
+
+    /// Append one snapshot as a delta/keyframe record. Rejects (typed,
+    /// without writing) snapshots the store could not faithfully round-
+    /// trip: non-finite or non-increasing time, duplicate users,
+    /// non-finite coordinates, rosters beyond the wire cap.
+    pub fn append_snapshot(&mut self, snap: &Snapshot) -> Result<(), StoreError> {
+        if !snap.t.is_finite() {
+            return Err(StoreError::BadAppend(format!(
+                "non-finite snapshot time {}",
+                snap.t
+            )));
+        }
+        if let Some(last) = self.last_t {
+            if snap.t <= last {
+                return Err(StoreError::BadAppend(format!(
+                    "snapshot time {} does not follow {last}",
+                    snap.t
+                )));
+            }
+        }
+        if snap.entries.len() > MAX_MAP_ITEMS {
+            return Err(StoreError::BadAppend(format!(
+                "{} avatars exceeds the wire cap of {MAX_MAP_ITEMS}",
+                snap.entries.len()
+            )));
+        }
+        let mut items = Vec::with_capacity(snap.entries.len());
+        for obs in &snap.entries {
+            let (x, y, z) = (obs.pos.x as f32, obs.pos.y as f32, obs.pos.z as f32);
+            if !(x.is_finite() && y.is_finite() && z.is_finite()) {
+                return Err(StoreError::BadAppend(format!(
+                    "non-finite position for {}",
+                    obs.user
+                )));
+            }
+            items.push(MapItem {
+                agent: obs.user.0,
+                x,
+                y,
+                z,
+            });
+        }
+        let mut agents: Vec<u32> = items.iter().map(|it| it.agent).collect();
+        agents.sort_unstable();
+        if agents.windows(2).any(|w| w[0] == w[1]) {
+            return Err(StoreError::BadAppend("duplicate user in snapshot".into()));
+        }
+
+        let baseline = if self.force_keyframe {
+            0
+        } else {
+            self.encoder.seq()
+        };
+        let msg = self.encoder.encode(snap.t, &items, baseline);
+        self.force_keyframe = false;
+        let is_keyframe = matches!(msg, Message::Keyframe { .. });
+        let mut payload = Vec::new();
+        payload.push(msg.tag());
+        payload.extend_from_slice(&msg.encode_payload());
+        self.write_record(REC_SNAPSHOT, &payload)?;
+
+        let m = metrics::register();
+        m.snapshots_appended.inc();
+        if is_keyframe {
+            m.keyframes_written.inc();
+        } else {
+            m.deltas_written.inc();
+        }
+        self.snapshots += 1;
+        self.last_t = Some(snap.t);
+        self.maybe_roll()
+    }
+
+    /// Append one measurement-outage gap record.
+    pub fn append_gap(&mut self, gap: &GapRecord) -> Result<(), StoreError> {
+        if !gap.start.is_finite() || !gap.end.is_finite() {
+            return Err(StoreError::BadAppend(format!(
+                "non-finite gap span [{}, {}]",
+                gap.start, gap.end
+            )));
+        }
+        if gap.end < gap.start {
+            return Err(StoreError::BadAppend(format!(
+                "inverted gap span [{}, {}]",
+                gap.start, gap.end
+            )));
+        }
+        if let Some(prev) = self.last_gap_start {
+            if gap.start < prev {
+                return Err(StoreError::BadAppend(format!(
+                    "gap start {} precedes previous gap start {prev}",
+                    gap.start
+                )));
+            }
+        }
+        let mut payload = [0u8; 17];
+        payload[0] = gap_cause_to_u8(gap.cause);
+        payload[1..9].copy_from_slice(&gap.start.to_be_bytes());
+        payload[9..17].copy_from_slice(&gap.end.to_be_bytes());
+        self.write_record(REC_GAP, &payload)?;
+        metrics::register().gaps_appended.inc();
+        self.last_gap_start = Some(gap.start);
+        self.maybe_roll()
+    }
+
+    /// Fsync the active segment, seal it into the hash chain, and open
+    /// the next segment (whose header is also fsynced): everything up
+    /// to here is now the durable watermark.
+    pub fn roll(&mut self) -> Result<(), StoreError> {
+        self.sync_current()?;
+        self.chain = self.hasher.clone().finalize();
+        self.seg_index += 1;
+        self.open_new_segment()?;
+        metrics::register().segments_rolled.inc();
+        Ok(())
+    }
+
+    /// Fsync the tail and write the `SEAL` file pinning the final chain
+    /// value. Returns that value. The store is complete and read-only
+    /// from here on.
+    pub fn finalize(mut self) -> Result<[u8; 32], StoreError> {
+        self.sync_current()?;
+        let chain = self.hasher.clone().finalize();
+        let mut text = sha256::to_hex(&chain);
+        text.push('\n');
+        write_atomic(&self.dir, SEAL_FILE, text.as_bytes())?;
+        Ok(chain)
+    }
+
+    fn open_new_segment(&mut self) -> Result<(), StoreError> {
+        let path = segment_path(&self.dir, self.seg_index);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        let header = encode_header(self.seg_index, &self.chain);
+        file.write_all(&header)?;
+        file.sync_all()?;
+        metrics::register().bytes_fsynced.add(HEADER_LEN as u64);
+        let mut hasher = Sha256::new();
+        hasher.update(&self.chain);
+        hasher.update(&header);
+        self.hasher = hasher;
+        self.file = file;
+        self.seg_bytes = HEADER_LEN as u64;
+        self.unsynced = 0;
+        self.force_keyframe = true;
+        Ok(())
+    }
+
+    fn write_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), StoreError> {
+        if payload.len() as u64 > MAX_RECORD_LEN as u64 {
+            return Err(StoreError::BadAppend(format!(
+                "record payload of {} bytes exceeds the {MAX_RECORD_LEN}-byte cap",
+                payload.len()
+            )));
+        }
+        let bytes = encode_record(kind, payload);
+        self.file.write_all(&bytes)?;
+        self.hasher.update(&bytes);
+        self.seg_bytes += bytes.len() as u64;
+        self.unsynced += bytes.len() as u64;
+        metrics::register().records_appended.inc();
+        Ok(())
+    }
+
+    fn maybe_roll(&mut self) -> Result<(), StoreError> {
+        if self.seg_bytes >= self.config.segment_max_bytes {
+            self.roll()?;
+        }
+        Ok(())
+    }
+
+    fn sync_current(&mut self) -> Result<(), StoreError> {
+        self.file.sync_all()?;
+        metrics::register().bytes_fsynced.add(self.unsynced);
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+/// Write `name` under `dir` atomically: temp file, fsync, rename, fsync
+/// the directory.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = dir.join(format!(".{name}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(name))?;
+    // Make the rename itself durable.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! Corruption fuzz: every byte-level mutation of a finalized store must
+//! surface as a typed `StoreError` from `verify` — never a panic, never
+//! a clean report. The deterministic sweeps below xor and truncate every
+//! byte of every file; the `proptest!` property mirrors the PR 4
+//! wire-tag mangling fuzz for arbitrary (offset, mask) pairs.
+//!
+//! Sealed stores only: truncating the *unsealed* final segment at a
+//! record boundary is valid by design (crash semantics), so only a
+//! sealed store promises that every mutation is detectable.
+
+use proptest::prelude::*;
+use sl_store::{verify, StoreConfig, StoreWriter};
+use sl_trace::{GapCause, GapRecord, LandMeta, Position, Snapshot, UserId};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sl-store-fuzz-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build a small, sealed, multi-segment store.
+fn build_store(dir: &Path) {
+    let config = StoreConfig {
+        segment_max_bytes: 192,
+        ..StoreConfig::default()
+    };
+    let mut w = StoreWriter::create(dir, LandMeta::standard("Fuzz", 10.0), config).unwrap();
+    for i in 0..12u32 {
+        let mut s = Snapshot::new(i as f64 * 10.0);
+        for u in 0..(i % 3 + 1) {
+            s.push(UserId(u), Position::new(u as f64 + 0.5, i as f64, 21.0));
+        }
+        w.append_snapshot(&s).unwrap();
+        if i == 5 {
+            w.append_gap(&GapRecord::new(GapCause::Stall, 52.0, 58.0))
+                .unwrap();
+        }
+    }
+    w.finalize().unwrap();
+}
+
+/// Every file in the store, sorted for determinism.
+fn store_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    files
+}
+
+/// Apply `mutate` to one file, run `verify`, restore the file. Returns
+/// the error (catching panics as test failures with context).
+fn check_mutation(dir: &Path, file: &Path, original: &[u8], mutated: &[u8], what: &str) {
+    std::fs::write(file, mutated).unwrap();
+    let result = std::panic::catch_unwind(|| verify(dir));
+    std::fs::write(file, original).unwrap();
+    match result {
+        Ok(Ok(report)) => panic!(
+            "{what} in {} went undetected (report: {})",
+            file.display(),
+            report.to_json()
+        ),
+        Ok(Err(_typed)) => {}
+        Err(_) => panic!("{what} in {} caused a panic", file.display()),
+    }
+}
+
+#[test]
+fn every_single_byte_xor_is_detected() {
+    let dir = tmp_dir("xor");
+    build_store(&dir);
+    assert!(verify(&dir).is_ok(), "pristine store must verify");
+
+    for file in store_files(&dir) {
+        let original = std::fs::read(&file).unwrap();
+        for offset in 0..original.len() {
+            for mask in [0xFFu8, 0x01u8] {
+                let mut mutated = original.clone();
+                mutated[offset] ^= mask;
+                check_mutation(
+                    &dir,
+                    &file,
+                    &original,
+                    &mutated,
+                    &format!("xor {mask:#04x} at byte {offset}"),
+                );
+            }
+        }
+    }
+    assert!(verify(&dir).is_ok(), "restore left the store pristine");
+}
+
+#[test]
+fn every_truncation_length_is_detected() {
+    let dir = tmp_dir("trunc");
+    build_store(&dir);
+    assert!(verify(&dir).is_ok());
+
+    for file in store_files(&dir) {
+        let original = std::fs::read(&file).unwrap();
+        for len in 0..original.len() {
+            check_mutation(
+                &dir,
+                &file,
+                &original,
+                &original[..len],
+                &format!("truncation to {len} bytes"),
+            );
+        }
+    }
+    assert!(verify(&dir).is_ok());
+}
+
+#[test]
+fn appended_garbage_is_detected() {
+    let dir = tmp_dir("extend");
+    build_store(&dir);
+    for file in store_files(&dir) {
+        let original = std::fs::read(&file).unwrap();
+        for extra in [vec![0u8], vec![0xFF; 7], b"junk-tail".to_vec()] {
+            let mut mutated = original.clone();
+            mutated.extend_from_slice(&extra);
+            check_mutation(
+                &dir,
+                &file,
+                &original,
+                &mutated,
+                &format!("{}-byte garbage tail", extra.len()),
+            );
+        }
+    }
+    assert!(verify(&dir).is_ok());
+}
+
+#[test]
+fn segment_swap_is_detected() {
+    // Reordering/splicing: swapping two well-formed segments' *contents*
+    // must break the hash chain even though each file alone parses.
+    let dir = tmp_dir("swap");
+    build_store(&dir);
+    let seg0 = dir.join("seg-000000.slg");
+    let seg1 = dir.join("seg-000001.slg");
+    let a = std::fs::read(&seg0).unwrap();
+    let b = std::fs::read(&seg1).unwrap();
+    std::fs::write(&seg0, &b).unwrap();
+    std::fs::write(&seg1, &a).unwrap();
+    let err = verify(&dir).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("segment 0"),
+        "swap not pinned to segment 0: {msg}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary (file, offset, mask) corruption — the generalization of
+    /// the deterministic sweeps above, mirroring the PR 4 wire-tag
+    /// mangling fuzz.
+    #[test]
+    fn arbitrary_corruption_yields_typed_error(
+        file_pick in 0usize..64,
+        offset_pick in 0usize..4096,
+        mask in 1u8..=255,
+        truncate in proptest::prop::bool::weighted(0.3),
+    ) {
+        let dir = tmp_dir("prop");
+        build_store(&dir);
+        let files = store_files(&dir);
+        let file = &files[file_pick % files.len()];
+        let original = std::fs::read(file).unwrap();
+        prop_assume!(!original.is_empty());
+        let offset = offset_pick % original.len();
+        let mutated = if truncate {
+            original[..offset].to_vec()
+        } else {
+            let mut m = original.clone();
+            m[offset] ^= mask;
+            m
+        };
+        std::fs::write(file, &mutated).unwrap();
+        let outcome = std::panic::catch_unwind(|| verify(&dir));
+        let _ = std::fs::remove_dir_all(&dir);
+        match outcome {
+            Ok(Ok(_)) => prop_assert!(false, "corruption went undetected"),
+            Ok(Err(_typed)) => {}
+            Err(_) => prop_assert!(false, "corruption caused a panic"),
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! End-to-end store behavior: write → verify → read back, segment
+//! rolling, streaming windows, crash-tail repair, and resume semantics.
+
+use sl_store::{
+    read_trace, store_exists, verify, SegmentReader, StoreConfig, StoreError, StoreRecord,
+    StoreWriter,
+};
+use sl_trace::{GapCause, GapRecord, LandMeta, Position, Snapshot, Trace, UserId};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("sl-store-it-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn meta() -> LandMeta {
+    LandMeta::standard("Roundtrip", 10.0)
+}
+
+/// Positions picked to be exactly representable in f32 so the store's
+/// f64 → f32 → f64 wire round-trip is bit-exact.
+fn snap(t: f64, users: &[u32]) -> Snapshot {
+    let mut s = Snapshot::new(t);
+    for &u in users {
+        s.push(
+            UserId(u),
+            Position::new(u as f64 + 0.5, (u % 7) as f64 + 0.25, 22.0),
+        );
+    }
+    s
+}
+
+/// The trace the store should reproduce for `snap`-built appends: the
+/// writer canonicalizes nothing, but the delta codec emits rosters in
+/// input order, so entries come back as pushed.
+fn expected_trace(snaps: &[Snapshot], gaps: &[GapRecord]) -> Trace {
+    let mut t = Trace::new(meta());
+    for s in snaps {
+        t.push(s.clone());
+    }
+    for g in gaps {
+        t.record_gap(*g);
+    }
+    t
+}
+
+fn build_snaps(n: usize) -> Vec<Snapshot> {
+    (0..n)
+        .map(|i| {
+            let users: Vec<u32> = (0..(i % 5) as u32 + 1).collect();
+            snap(i as f64 * 10.0, &users)
+        })
+        .collect()
+}
+
+#[test]
+fn round_trip_single_segment() {
+    let dir = tmp_dir("single");
+    let snaps = build_snaps(20);
+    let gaps = [
+        GapRecord::new(GapCause::Stall, 30.0, 40.0),
+        GapRecord::new(GapCause::Restart, 100.0, 120.0),
+    ];
+
+    let mut w = StoreWriter::create(&dir, meta(), StoreConfig::default()).unwrap();
+    for (i, s) in snaps.iter().enumerate() {
+        w.append_snapshot(s).unwrap();
+        if i == 3 {
+            w.append_gap(&gaps[0]).unwrap();
+        }
+        if i == 12 {
+            w.append_gap(&gaps[1]).unwrap();
+        }
+    }
+    let chain = w.finalize().unwrap();
+
+    let report = verify(&dir).unwrap();
+    assert_eq!(report.segments, 1);
+    assert_eq!(report.snapshots, 20);
+    assert_eq!(report.gaps, 2);
+    assert!(report.sealed);
+    assert_eq!(report.chain, sl_store::sha256::to_hex(&chain));
+    let json = report.to_json();
+    assert!(json.contains("\"sealed\":true"), "{json}");
+
+    let back = read_trace(&dir).unwrap();
+    assert_eq!(back, expected_trace(&snaps, &gaps));
+}
+
+#[test]
+fn small_segments_roll_and_chain() {
+    let dir = tmp_dir("roll");
+    let config = StoreConfig {
+        segment_max_bytes: 256,
+        ..StoreConfig::default()
+    };
+    let snaps = build_snaps(40);
+    let mut w = StoreWriter::create(&dir, meta(), config).unwrap();
+    for s in &snaps {
+        w.append_snapshot(s).unwrap();
+    }
+    assert!(w.watermark().segment >= 2, "256-byte segments must roll");
+    w.finalize().unwrap();
+
+    let report = verify(&dir).unwrap();
+    assert!(report.segments >= 3);
+    assert_eq!(report.snapshots, 40);
+    assert_eq!(read_trace(&dir).unwrap(), expected_trace(&snaps, &[]));
+}
+
+#[test]
+fn windows_stream_equals_batch_read() {
+    let dir = tmp_dir("windows");
+    let config = StoreConfig {
+        segment_max_bytes: 512,
+        ..StoreConfig::default()
+    };
+    let snaps = build_snaps(25);
+    let gap = GapRecord::new(GapCause::Kick, 55.0, 70.0);
+    let mut w = StoreWriter::create(&dir, meta(), config).unwrap();
+    for (i, s) in snaps.iter().enumerate() {
+        w.append_snapshot(s).unwrap();
+        if i == 6 {
+            w.append_gap(&gap).unwrap();
+        }
+    }
+    w.finalize().unwrap();
+
+    let batch = read_trace(&dir).unwrap();
+
+    let reader = SegmentReader::open(&dir).unwrap();
+    assert_eq!(reader.meta(), &meta());
+    let mut streamed_snaps = Vec::new();
+    let mut streamed_gaps = Vec::new();
+    for window in reader.windows(4) {
+        let window = window.unwrap();
+        assert!(window.snapshots.len() <= 4);
+        streamed_snaps.extend(window.snapshots);
+        streamed_gaps.extend(window.gaps);
+    }
+    assert_eq!(streamed_snaps, batch.snapshots);
+    assert_eq!(streamed_gaps, batch.gaps);
+}
+
+#[test]
+fn segment_reader_iterates_records_in_order() {
+    let dir = tmp_dir("records");
+    let snaps = build_snaps(5);
+    let mut w = StoreWriter::create(&dir, meta(), StoreConfig::default()).unwrap();
+    for s in &snaps {
+        w.append_snapshot(s).unwrap();
+    }
+    w.finalize().unwrap();
+
+    let records: Vec<StoreRecord> = SegmentReader::open(&dir)
+        .unwrap()
+        .map(|r| r.unwrap())
+        .collect();
+    assert_eq!(records.len(), 5);
+    for (rec, want) in records.iter().zip(&snaps) {
+        match rec {
+            StoreRecord::Snapshot(s) => assert_eq!(s, want),
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn torn_tail_is_repaired_on_resume() {
+    let dir = tmp_dir("torn");
+    let snaps = build_snaps(30);
+    let (first, rest) = snaps.split_at(18);
+
+    let mut w = StoreWriter::create(&dir, meta(), StoreConfig::default()).unwrap();
+    for s in first {
+        w.append_snapshot(s).unwrap();
+    }
+    let segment = w.watermark().segment;
+    drop(w); // crash: no finalize
+
+    // Tear the tail: a half-written record.
+    let seg = dir.join(format!("seg-{segment:06}.slg"));
+    let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+    f.write_all(&[0xAB, 0x00, 0x00, 0x01]).unwrap(); // 4 bytes < 5-byte head
+    drop(f);
+
+    // The damaged, unsealed store still reports the damage on verify...
+    let err = verify(&dir).unwrap_err();
+    assert!(
+        matches!(err, StoreError::TornRecord { .. }),
+        "unexpected error: {err}"
+    );
+
+    // ...and resume truncates exactly the torn bytes.
+    let (mut w, state) = StoreWriter::open_for_resume(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(state.snapshots, 18);
+    assert_eq!(state.truncated_bytes, 4);
+    assert!(!state.repaired_header);
+    assert_eq!(state.last_t, Some(first.last().unwrap().t));
+
+    for s in rest {
+        w.append_snapshot(s).unwrap();
+    }
+    w.finalize().unwrap();
+
+    assert_eq!(verify(&dir).unwrap().snapshots, 30);
+    assert_eq!(read_trace(&dir).unwrap(), expected_trace(&snaps, &[]));
+}
+
+#[test]
+fn corrupt_tail_record_is_discarded_on_resume() {
+    let dir = tmp_dir("corrupt-tail");
+    let snaps = build_snaps(10);
+    let mut w = StoreWriter::create(&dir, meta(), StoreConfig::default()).unwrap();
+    for s in &snaps {
+        w.append_snapshot(s).unwrap();
+    }
+    let segment = w.watermark().segment;
+    drop(w);
+
+    // A whole garbage "record" with a bogus checksum at the tail.
+    let seg = dir.join(format!("seg-{segment:06}.slg"));
+    let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+    f.write_all(&[1, 0, 0, 0, 2, 0xde, 0xad, 0, 0, 0, 0])
+        .unwrap();
+    drop(f);
+
+    let (w, state) = StoreWriter::open_for_resume(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(state.snapshots, 10);
+    assert_eq!(state.truncated_bytes, 11);
+    drop(w);
+
+    // Post-repair the store scans cleanly again (unsealed).
+    assert_eq!(verify(&dir).unwrap().snapshots, 10);
+}
+
+#[test]
+fn clean_unsealed_store_resumes_without_truncation() {
+    let dir = tmp_dir("clean-resume");
+    let snaps = build_snaps(12);
+    let (first, rest) = snaps.split_at(7);
+    let mut w = StoreWriter::create(&dir, meta(), StoreConfig::default()).unwrap();
+    for s in first {
+        w.append_snapshot(s).unwrap();
+    }
+    drop(w);
+
+    let (mut w, state) = StoreWriter::open_for_resume(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(state.truncated_bytes, 0);
+    assert_eq!(state.snapshots, 7);
+    for s in rest {
+        w.append_snapshot(s).unwrap();
+    }
+    w.finalize().unwrap();
+    assert_eq!(read_trace(&dir).unwrap(), expected_trace(&snaps, &[]));
+}
+
+#[test]
+fn resume_refuses_sealed_store() {
+    let dir = tmp_dir("sealed");
+    let mut w = StoreWriter::create(&dir, meta(), StoreConfig::default()).unwrap();
+    w.append_snapshot(&snap(0.0, &[1])).unwrap();
+    w.finalize().unwrap();
+    let err = StoreWriter::open_for_resume(&dir, StoreConfig::default()).unwrap_err();
+    assert!(matches!(err, StoreError::Sealed), "unexpected: {err}");
+}
+
+#[test]
+fn create_refuses_existing_store() {
+    let dir = tmp_dir("recreate");
+    let w = StoreWriter::create(&dir, meta(), StoreConfig::default()).unwrap();
+    drop(w);
+    assert!(store_exists(&dir));
+    let err = StoreWriter::create(&dir, meta(), StoreConfig::default()).unwrap_err();
+    assert!(matches!(err, StoreError::Manifest(_)), "unexpected: {err}");
+}
+
+#[test]
+fn damage_in_sealed_interior_segment_is_refused_on_resume() {
+    let dir = tmp_dir("interior");
+    let config = StoreConfig {
+        segment_max_bytes: 256,
+        ..StoreConfig::default()
+    };
+    let snaps = build_snaps(40);
+    let mut w = StoreWriter::create(&dir, meta(), config.clone()).unwrap();
+    for s in &snaps {
+        w.append_snapshot(s).unwrap();
+    }
+    assert!(w.watermark().segment >= 2);
+    drop(w); // unsealed, so resume is allowed in principle
+
+    // Flip a payload byte in segment 0 — inside the region its
+    // successor's header hash-seals. Not crash fallout; must be refused.
+    let seg0 = dir.join("seg-000000.slg");
+    let mut bytes = std::fs::read(&seg0).unwrap();
+    let at = bytes.len() - 10;
+    bytes[at] ^= 0xFF;
+    std::fs::write(&seg0, &bytes).unwrap();
+
+    let err = StoreWriter::open_for_resume(&dir, config).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            StoreError::CorruptRecord { segment: 0, .. }
+                | StoreError::TornRecord { segment: 0, .. }
+        ),
+        "unexpected: {err}"
+    );
+}
+
+#[test]
+fn torn_final_header_is_rewritten_on_resume() {
+    let dir = tmp_dir("torn-header");
+    let config = StoreConfig {
+        segment_max_bytes: 256,
+        ..StoreConfig::default()
+    };
+    let snaps = build_snaps(40);
+    let mut w = StoreWriter::create(&dir, meta(), config.clone()).unwrap();
+    for s in &snaps[..30] {
+        w.append_snapshot(s).unwrap();
+    }
+    let last = w.watermark().segment;
+    assert!(last >= 1);
+    drop(w);
+
+    // Simulate a crash mid-roll: the freshly created final segment's
+    // header only half reached disk.
+    let seg = dir.join(format!("seg-{last:06}.slg"));
+    let bytes = std::fs::read(&seg).unwrap();
+    std::fs::write(&seg, &bytes[..20]).unwrap();
+
+    let (mut w, state) = StoreWriter::open_for_resume(&dir, config).unwrap();
+    assert!(state.repaired_header);
+    // Everything in sealed segments survived.
+    let survivors = state.snapshots;
+    for s in &snaps[30..] {
+        w.append_snapshot(s).unwrap();
+    }
+    w.finalize().unwrap();
+    let report = verify(&dir).unwrap();
+    assert_eq!(report.snapshots, survivors + 10);
+}
+
+#[test]
+fn spliced_segment_fails_chain_check() {
+    let dir = tmp_dir("splice");
+    let config = StoreConfig {
+        segment_max_bytes: 256,
+        ..StoreConfig::default()
+    };
+    let snaps = build_snaps(40);
+    let mut w = StoreWriter::create(&dir, meta(), config).unwrap();
+    for s in &snaps {
+        w.append_snapshot(s).unwrap();
+    }
+    w.finalize().unwrap();
+
+    // Tamper with segment 1's recorded previous-chain value: the bytes
+    // parse as a well-formed header, but the chain no longer links.
+    let seg1 = dir.join("seg-000001.slg");
+    let mut bytes = std::fs::read(&seg1).unwrap();
+    bytes[15] ^= 0x01; // inside header[9..41]
+    std::fs::write(&seg1, &bytes).unwrap();
+
+    let err = verify(&dir).unwrap_err();
+    assert!(
+        matches!(err, StoreError::ChainMismatch { segment: 1 }),
+        "unexpected: {err}"
+    );
+    assert!(err.to_string().contains("segment 1"), "{err}");
+}
+
+#[test]
+fn writer_rejects_bad_appends_typed() {
+    let dir = tmp_dir("bad-append");
+    let mut w = StoreWriter::create(&dir, meta(), StoreConfig::default()).unwrap();
+    w.append_snapshot(&snap(10.0, &[1])).unwrap();
+
+    // Non-increasing time.
+    let err = w.append_snapshot(&snap(10.0, &[1])).unwrap_err();
+    assert!(matches!(err, StoreError::BadAppend(_)), "{err}");
+    // Non-finite time.
+    let err = w.append_snapshot(&snap(f64::NAN, &[1])).unwrap_err();
+    assert!(matches!(err, StoreError::BadAppend(_)), "{err}");
+    // Duplicate user.
+    let mut dup = Snapshot::new(20.0);
+    dup.push(UserId(1), Position::new(1.0, 1.0, 0.0));
+    dup.push(UserId(1), Position::new(2.0, 2.0, 0.0));
+    let err = w.append_snapshot(&dup).unwrap_err();
+    assert!(matches!(err, StoreError::BadAppend(_)), "{err}");
+    // Inverted gap.
+    let err = w
+        .append_gap(&GapRecord {
+            cause: GapCause::Stall,
+            start: 30.0,
+            end: 20.0,
+        })
+        .unwrap_err();
+    assert!(matches!(err, StoreError::BadAppend(_)), "{err}");
+
+    // A rejected append leaves the store consistent.
+    w.append_snapshot(&snap(30.0, &[2])).unwrap();
+    w.finalize().unwrap();
+    assert_eq!(verify(&dir).unwrap().snapshots, 2);
+}
+
+#[test]
+fn missing_segment_detected() {
+    let dir = tmp_dir("missing");
+    let config = StoreConfig {
+        segment_max_bytes: 256,
+        ..StoreConfig::default()
+    };
+    let mut w = StoreWriter::create(&dir, meta(), config).unwrap();
+    for s in build_snaps(40) {
+        w.append_snapshot(&s).unwrap();
+    }
+    w.finalize().unwrap();
+    std::fs::remove_file(dir.join("seg-000001.slg")).unwrap();
+    let err = verify(&dir).unwrap_err();
+    assert!(
+        matches!(err, StoreError::MissingSegment { segment: 1 }),
+        "unexpected: {err}"
+    );
+}
+
+#[test]
+fn not_a_store_detected() {
+    let dir = tmp_dir("not-a-store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = verify(&dir).unwrap_err();
+    assert!(matches!(err, StoreError::NotAStore(_)), "unexpected: {err}");
+}
+
+#[test]
+fn unsupported_version_refused() {
+    let dir = tmp_dir("version");
+    let mut w = StoreWriter::create(&dir, meta(), StoreConfig::default()).unwrap();
+    w.append_snapshot(&snap(0.0, &[1])).unwrap();
+    w.finalize().unwrap();
+    let manifest = dir.join("MANIFEST.json");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    let bumped = text.replace("\"format_version\": 1", "\"format_version\": 9");
+    assert_ne!(text, bumped, "version field not found to bump");
+    std::fs::write(&manifest, bumped).unwrap();
+    let err = verify(&dir).unwrap_err();
+    assert!(
+        matches!(err, StoreError::UnsupportedVersion(9)),
+        "unexpected: {err}"
+    );
+}

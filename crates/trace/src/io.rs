@@ -160,6 +160,7 @@ fn gap_cause_to_u8(cause: GapCause) -> u8 {
         GapCause::Throttle => 2,
         GapCause::Corrupt => 3,
         GapCause::Disconnect => 4,
+        GapCause::Restart => 5,
     }
 }
 
@@ -170,6 +171,7 @@ fn gap_cause_from_u8(raw: u8) -> Option<GapCause> {
         2 => GapCause::Throttle,
         3 => GapCause::Corrupt,
         4 => GapCause::Disconnect,
+        5 => GapCause::Restart,
         _ => return None,
     })
 }

@@ -87,6 +87,13 @@ pub fn merge(traces: &[Trace]) -> Result<Trace, MergeError> {
     let mut merged_gaps: Vec<crate::types::GapRecord> = Vec::new();
     for trace in traces {
         for gap in &trace.gaps {
+            // Defensive: a NaN span (possible only via deserialization;
+            // `record_gap` rejects it) would poison the sort below and
+            // trip `GapRecord::new`'s assertions when split. Validation
+            // reports it as `BadGap`; merge just refuses to propagate it.
+            if !(gap.start.is_finite() && gap.end.is_finite()) {
+                continue;
+            }
             let mut lo = gap.start;
             for &t in times
                 .iter()
@@ -103,7 +110,7 @@ pub fn merge(traces: &[Trace]) -> Result<Trace, MergeError> {
             }
         }
     }
-    merged_gaps.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    merged_gaps.sort_by(|a, b| a.start.total_cmp(&b.start));
     // Two monitors blind over overlapping windows for the same reason
     // describe ONE outage. Leaving both records would double-count
     // blindness wherever overlaps are summed (`Trace::blind_time`),
@@ -278,6 +285,34 @@ mod tests {
         let m = merge(&[a, b]).unwrap();
         assert_eq!(m.gaps.len(), 2);
         assert_eq!(m.blind_time(10.0, 60.0), 50.0);
+    }
+
+    #[test]
+    fn nan_gap_does_not_panic_merge_and_fails_validation() {
+        use crate::types::{GapCause, GapRecord};
+        // A NaN gap start can only arrive via deserialization
+        // (`record_gap` asserts finiteness). It used to panic the
+        // merge's `partial_cmp().unwrap()` sort; now merge drops it and
+        // validation of the *input* trace reports it as BadGap.
+        let mut a = trace_with(&[(10.0, &[1]), (40.0, &[1])]);
+        a.record_gap(GapRecord::new(GapCause::Kick, 10.0, 40.0));
+        a.gaps.push(GapRecord {
+            cause: GapCause::Stall,
+            start: f64::NAN,
+            end: 40.0,
+        });
+        assert!(matches!(
+            crate::validate(&a),
+            Err(crate::validate::ValidationError::BadGap { .. })
+        ));
+        let b = trace_with(&[(20.0, &[2])]);
+        let m = merge(&[a, b]).unwrap();
+        assert!(m
+            .gaps
+            .iter()
+            .all(|g| g.start.is_finite() && g.end.is_finite()));
+        assert!(m.gaps.iter().all(|g| g.cause == GapCause::Kick));
+        crate::validate(&m).unwrap();
     }
 
     #[test]

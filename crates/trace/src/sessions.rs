@@ -116,13 +116,11 @@ pub fn extract_sessions(trace: &Trace, gap_tolerance: usize) -> Vec<Session> {
         }
     }
     done.extend(open.into_values());
-    // Deterministic order: by start time, then user id.
-    done.sort_by(|a, b| {
-        a.start
-            .partial_cmp(&b.start)
-            .unwrap()
-            .then(a.user.cmp(&b.user))
-    });
+    // Deterministic order: by start time, then user id. `total_cmp`
+    // keeps this a total order even for the degenerate session whose
+    // start is NaN (an unvalidated trace with a NaN snapshot time);
+    // `partial_cmp().unwrap()` here used to panic on exactly that case.
+    done.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.user.cmp(&b.user)));
     done
 }
 
@@ -263,5 +261,20 @@ mod tests {
     fn empty_trace_no_sessions() {
         let t = Trace::new(LandMeta::standard("Test", 10.0));
         assert!(extract_sessions(&t, 0).is_empty());
+    }
+
+    #[test]
+    fn nan_snapshot_time_does_not_panic_extraction() {
+        // A NaN snapshot time can only enter via deserialization
+        // (`Trace::push` rejects it, and `validate` reports it as
+        // NonFiniteTime); the degenerate session it produces must not
+        // panic the deterministic sort.
+        let mut t = make_trace(&[(0, &[1]), (1, &[1])]);
+        let mut s = Snapshot::new(f64::NAN);
+        s.push(UserId(2), Position::new(1.0, 1.0, 0.0));
+        t.snapshots.push(s);
+        let ss = extract_sessions(&t, 0);
+        assert!(ss.iter().any(|s| s.user == UserId(1)));
+        assert!(ss.iter().any(|s| s.user == UserId(2)));
     }
 }

@@ -146,6 +146,10 @@ pub enum GapCause {
     /// The connection dropped for any other reason (reset, EOF, IO
     /// error).
     Disconnect,
+    /// The crawler process itself died and was restarted; the span is
+    /// the blind window between the last durable snapshot in the trace
+    /// store and the first snapshot of the resumed crawl.
+    Restart,
 }
 
 impl std::fmt::Display for GapCause {
@@ -156,6 +160,7 @@ impl std::fmt::Display for GapCause {
             GapCause::Throttle => "throttle",
             GapCause::Corrupt => "corrupt",
             GapCause::Disconnect => "disconnect",
+            GapCause::Restart => "restart",
         };
         f.write_str(s)
     }

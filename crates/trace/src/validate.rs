@@ -11,6 +11,15 @@ use crate::types::Trace;
 /// A validation failure, with enough context to locate the bad record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ValidationError {
+    /// A snapshot time is NaN or infinite. Checked explicitly because a
+    /// NaN `t` slips through the monotonicity comparison (every NaN
+    /// comparison is false) and would silently pass otherwise.
+    NonFiniteTime {
+        /// Snapshot index in the trace.
+        index: usize,
+        /// Offending time.
+        t: f64,
+    },
     /// Snapshot `index` does not strictly follow its predecessor.
     NonMonotonicTime {
         /// Snapshot index in the trace.
@@ -60,6 +69,9 @@ pub enum ValidationError {
 impl std::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ValidationError::NonFiniteTime { index, t } => {
+                write!(f, "snapshot {index}: non-finite time {t}")
+            }
             ValidationError::NonMonotonicTime { index, t, prev } => {
                 write!(f, "snapshot {index}: time {t} does not follow {prev}")
             }
@@ -138,6 +150,9 @@ pub fn validate(trace: &Trace) -> Result<(), ValidationError> {
     let mut prev_t = f64::NEG_INFINITY;
     let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
     for (index, snap) in trace.snapshots.iter().enumerate() {
+        if !snap.t.is_finite() {
+            return Err(ValidationError::NonFiniteTime { index, t: snap.t });
+        }
         if snap.t <= prev_t {
             return Err(ValidationError::NonMonotonicTime {
                 index,
@@ -320,6 +335,18 @@ mod tests {
         assert!(matches!(
             validate(&t3),
             Err(ValidationError::BadGap { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn nan_snapshot_time_detected() {
+        // `Trace::push` asserts monotonicity but a NaN time defeats the
+        // comparison there too, so validation must catch it explicitly.
+        let mut t = base();
+        t.snapshots.push(Snapshot::new(f64::NAN));
+        assert!(matches!(
+            validate(&t),
+            Err(ValidationError::NonFiniteTime { index: 0, .. })
         ));
     }
 

@@ -1,0 +1,270 @@
+//! End-to-end durability tests for the segmented trace store: a crawl
+//! killed mid-flight (future-drop, the in-process SIGKILL equivalent)
+//! plus a simulated torn write, resumed against the same grid, must
+//! yield a store that verifies end to end and replays to an analysis
+//! byte-identical to an uninterrupted crawl modulo the declared
+//! Restart gap.
+
+use sl_analysis::pipeline::analyze_land;
+use sl_crawler::{Crawler, CrawlerConfig, StoreSink};
+use sl_server::{LandServer, ServerConfig};
+use sl_store::{read_trace, verify, StoreConfig, StoreWriter};
+use sl_trace::{GapCause, GapRecord, Trace};
+use sl_world::presets::dance_island;
+use sl_world::World;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sl-store-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn world(seed: u64) -> World {
+    let mut w = World::new(dance_island().config, seed);
+    w.warm_up(1800.0);
+    w
+}
+
+/// Deterministic crash/resume drill, no sockets: the same synthetic
+/// trace driven into (a) an uninterrupted store and (b) a store that
+/// "crashes" mid-way — torn tail and all — and is resumed with a
+/// declared Restart gap over the blind window. The resumed store's
+/// replay, and the full analysis over it, must equal the uninterrupted
+/// run with the windowed snapshots removed and the gap added — nothing
+/// else may differ.
+#[test]
+fn crashed_and_resumed_store_replays_byte_identical_modulo_gap() {
+    let full = world(11).run_trace(3600.0, 10.0);
+    assert!(full.len() > 150, "need a substantial trace");
+    let (crash_at, resume_at) = (80usize, 120usize);
+
+    let config = StoreConfig {
+        segment_max_bytes: 4096,
+        ..StoreConfig::default()
+    };
+
+    // (a) The uninterrupted reference store.
+    let a = tmp_dir("uninterrupted");
+    let mut w = StoreWriter::create(&a, full.meta.clone(), config.clone()).unwrap();
+    for s in &full.snapshots {
+        w.append_snapshot(s).unwrap();
+    }
+    w.finalize().unwrap();
+    let reference = read_trace(&a).unwrap();
+
+    // (b) Crash after `crash_at` snapshots: the writer is dropped
+    // without finalize and the final segment gets a torn record tail.
+    let b = tmp_dir("crashed");
+    let mut w = StoreWriter::create(&b, full.meta.clone(), config.clone()).unwrap();
+    for s in &full.snapshots[..crash_at] {
+        w.append_snapshot(s).unwrap();
+    }
+    let last_seg = w.watermark().segment;
+    drop(w);
+    {
+        let seg = b.join(format!("seg-{last_seg:06}.slg"));
+        let mut f = std::fs::OpenOptions::new().append(true).open(seg).unwrap();
+        f.write_all(&[1, 0, 0, 0, 9, 1, 2, 3]).unwrap(); // half a record
+    }
+
+    // Resume: repair the tail, declare the blind window, re-poll only
+    // the remainder.
+    let (mut w, state) = StoreWriter::open_for_resume(&b, config).unwrap();
+    assert!(state.truncated_bytes > 0, "the torn tail must be repaired");
+    assert_eq!(state.snapshots, crash_at as u64);
+    let blind_start = state.last_t.unwrap();
+    let blind_end = full.snapshots[resume_at].t;
+    let gap = GapRecord::new(GapCause::Restart, blind_start, blind_end);
+    w.append_gap(&gap).unwrap();
+    for s in &full.snapshots[resume_at..] {
+        w.append_snapshot(s).unwrap();
+    }
+    w.finalize().unwrap();
+
+    // Both stores verify clean end to end.
+    assert!(verify(&a).unwrap().sealed);
+    let report = verify(&b).unwrap();
+    assert!(report.sealed);
+    assert_eq!(
+        report.snapshots,
+        (full.len() - (resume_at - crash_at)) as u64
+    );
+    assert_eq!(report.gaps, 1);
+
+    // The replay is the reference minus the blind window plus the gap.
+    let resumed = read_trace(&b).unwrap();
+    let mut expected = Trace::new(reference.meta.clone());
+    for s in &reference.snapshots[..crash_at] {
+        expected.push(s.clone());
+    }
+    for s in &reference.snapshots[resume_at..] {
+        expected.push(s.clone());
+    }
+    expected.record_gap(gap);
+    assert_eq!(resumed, expected);
+    sl_trace::validate(&resumed).unwrap();
+
+    // And the full paper analysis over the resumed store is
+    // byte-identical to the analysis of that expected trace.
+    assert_eq!(analyze_land(&resumed, &[]), analyze_land(&expected, &[]));
+}
+
+/// The socket version: a real crawl against a live land server, killed
+/// mid-flight by dropping its future (all in-process state — delta
+/// decoder, watermark, ticker — is lost, exactly like a SIGKILL), torn
+/// write injected, then a second crawler process-equivalent resumes
+/// from the same store directory.
+#[tokio::test]
+async fn killed_crawl_resumes_from_durable_watermark() {
+    let server = LandServer::bind(
+        "127.0.0.1:0",
+        world(23),
+        ServerConfig {
+            time_scale: 1200.0,
+            map_rate: (1000.0, 1000.0),
+            ..Default::default()
+        },
+    )
+    .await
+    .unwrap();
+    let dir = tmp_dir("killed-crawl");
+
+    // Crawl #1: would run "forever"; the kill arrives after ~2 s wall.
+    let config = CrawlerConfig {
+        seed: 31,
+        store: Some(StoreSink {
+            dir: dir.clone(),
+            config: StoreConfig {
+                segment_max_bytes: 2048,
+                ..StoreConfig::default()
+            },
+        }),
+        ..CrawlerConfig::new(server.addr().to_string(), 1e9)
+    };
+    let killed = tokio::time::timeout(Duration::from_secs(2), Crawler::new(config.clone()).run());
+    assert!(killed.await.is_err(), "the kill must interrupt the crawl");
+
+    // The store survived the kill with at least some durable snapshots,
+    // unsealed. Tear its tail to simulate a write cut mid-record.
+    let partial = read_trace(&dir).unwrap();
+    assert!(!partial.snapshots.is_empty(), "no durable snapshots");
+    let segs = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "slg")
+        })
+        .count();
+    {
+        let seg = dir.join(format!("seg-{:06}.slg", segs - 1));
+        let mut f = std::fs::OpenOptions::new().append(true).open(seg).unwrap();
+        f.write_all(&[2, 0, 0]).unwrap();
+    }
+
+    // Crawl #2: same store dir, finite duration — resumes, re-polls
+    // only the blind window, and seals on clean completion.
+    let config = CrawlerConfig {
+        duration: 600.0,
+        ..config
+    };
+    let result = tokio::time::timeout(Duration::from_secs(30), Crawler::new(config).run())
+        .await
+        .expect("resumed crawl must finish")
+        .unwrap();
+    let resumed_from = result.resumed_from.expect("must resume, not restart");
+    assert_eq!(resumed_from, partial.snapshots.last().unwrap().t);
+
+    // The sealed store verifies, and its replay is one coherent trace:
+    // strictly increasing times, exactly one Restart gap covering the
+    // kill window, and a clean validate.
+    let report = verify(&dir).unwrap();
+    assert!(report.sealed);
+    let trace = read_trace(&dir).unwrap();
+    sl_trace::validate(&trace).unwrap();
+    assert!(trace.len() > partial.len(), "crawl #2 must add snapshots");
+    let restarts: Vec<&GapRecord> = trace
+        .gaps
+        .iter()
+        .filter(|g| g.cause == GapCause::Restart)
+        .collect();
+    assert_eq!(restarts.len(), 1, "gaps: {:?}", trace.gaps);
+    assert_eq!(restarts[0].start, resumed_from);
+    assert!(restarts[0].end > restarts[0].start);
+
+    // The crawler's in-memory trace holds only the post-kill half; the
+    // store holds the union.
+    assert_eq!(
+        trace.len(),
+        partial.len() + result.trace.len(),
+        "store = durable prefix + resumed crawl"
+    );
+
+    // The analysis pipeline consumes the store's replay with the gap
+    // accounted as instrument blindness, not user churn.
+    let analysis = analyze_land(&trace, &result.own_agents);
+    assert_eq!(analysis.land, trace.meta.name);
+
+    // A third crawl against the now-sealed store must refuse with a
+    // typed error rather than silently extending finished data.
+    let config = CrawlerConfig {
+        duration: 100.0,
+        ..CrawlerConfig {
+            seed: 32,
+            store: Some(StoreSink::new(&dir)),
+            ..CrawlerConfig::new(server.addr().to_string(), 100.0)
+        }
+    };
+    match Crawler::new(config).run().await {
+        Err(sl_crawler::CrawlError::Store(msg)) => {
+            assert!(msg.contains("sealed"), "unexpected store error: {msg}");
+        }
+        other => panic!("expected Store error on sealed store, got {other:?}"),
+    }
+}
+
+/// Streaming store consumption bounds memory by window size while
+/// producing exactly the batch pipeline's zone figures — over a store
+/// written by a real (uninterrupted) crawl.
+#[tokio::test]
+async fn streamed_zone_analysis_matches_batch_over_crawled_store() {
+    let server = LandServer::bind(
+        "127.0.0.1:0",
+        world(29),
+        ServerConfig {
+            time_scale: 1200.0,
+            map_rate: (1000.0, 1000.0),
+            ..Default::default()
+        },
+    )
+    .await
+    .unwrap();
+    let dir = tmp_dir("streamed-zones");
+    let config = CrawlerConfig {
+        seed: 41,
+        store: Some(StoreSink {
+            dir: dir.clone(),
+            config: StoreConfig {
+                segment_max_bytes: 2048,
+                ..StoreConfig::default()
+            },
+        }),
+        ..CrawlerConfig::new(server.addr().to_string(), 400.0)
+    };
+    let result = Crawler::new(config).run().await.unwrap();
+    assert!(result.resumed_from.is_none());
+    assert!(verify(&dir).unwrap().sealed);
+
+    let trace = read_trace(&dir).unwrap();
+    let batch = sl_analysis::zone_occupation(&trace, 20.0, &result.own_agents);
+    for window in [1, 16, 4096] {
+        let streamed =
+            sl_analysis::zone_occupation_streaming(&dir, 20.0, &result.own_agents, window).unwrap();
+        assert_eq!(streamed, batch, "window {window}");
+    }
+}
