@@ -60,9 +60,19 @@ pub fn extract_contacts(trace: &Trace, range: f64, exclude: &[UserId]) -> Contac
 }
 
 /// Extract CT / ICT / FT samples from a prepared trace using proximity
-/// edges already computed at the target range. The per-snapshot pair
-/// set and close list are reused across snapshots (sorted vectors with
-/// binary-search membership) — no per-snapshot hash-set churn.
+/// edges already computed at the target range.
+///
+/// This is the dense-index engine: users are pre-interned into the
+/// prepared trace's `u32` universe, per-user state (first seen / first
+/// contact) lives in flat arrays indexed by dense id, and per-pair
+/// state lives in an insert-only open-addressing table keyed by the
+/// packed dense pair. Episode closes are processed **lazily** — when a
+/// pair reappears after an absence, or in one final walk over the
+/// table — so each edge observation costs one table probe instead of
+/// the reference engine's sort + per-open-pair membership scan per
+/// snapshot. Outputs are bit-identical to
+/// [`extract_contacts_prepared_reference`] (property-tested; the
+/// analysis golden digest pins it end to end).
 ///
 /// Recorded measurement gaps ([`sl_trace::GapRecord`]) are honored the
 /// way [`sl_trace::extract_sessions`] honors them — instrument
@@ -80,6 +90,248 @@ pub fn extract_contacts(trace: &Trace, range: f64, exclude: &[UserId]) -> Contac
 pub fn extract_contacts_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> ContactSamples {
     let tau = prep.tau();
     let trace = prep.trace;
+    let n = prep.snapshots.len();
+    let mut out = ContactSamples::default();
+    if n == 0 {
+        return out;
+    }
+    let times: Vec<f64> = prep.snapshots.iter().map(|s| s.t).collect();
+    // Per-user state, flat over the dense universe. Snapshot times are
+    // always finite, so NaN is a free "unset" sentinel.
+    let universe = prep.universe.len();
+    let mut first_seen = vec![f64::NAN; universe];
+    let mut first_contact = vec![f64::NAN; universe];
+    let mut pairs = PairTable::new();
+
+    for k in 0..n {
+        let t = times[k];
+        let dense = &prep.dense[k];
+        for &d in dense {
+            if first_seen[d as usize].is_nan() {
+                first_seen[d as usize] = t;
+            }
+        }
+        for &(i, j) in edges.edges_of(k) {
+            let (lo, hi) = {
+                let (a, b) = (dense[i as usize], dense[j as usize]);
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            };
+            if first_contact[lo as usize].is_nan() {
+                first_contact[lo as usize] = t;
+            }
+            if first_contact[hi as usize].is_nan() {
+                first_contact[hi as usize] = t;
+            }
+            let key = ((lo as u64) << 32) | hi as u64;
+            let (slot, is_new) = pairs.slot(key);
+            let s = &mut pairs.states[slot];
+            if is_new {
+                *s = PairState {
+                    last_seen: k as u32,
+                    count: 1,
+                    prev_end: f64::NAN,
+                };
+                continue;
+            }
+            if s.last_seen as usize == k {
+                // A malformed snapshot can repeat an edge key (duplicate
+                // user entries); the reference's sorted-dedup drops it.
+                continue;
+            }
+            if s.last_seen as usize + 1 == k {
+                s.last_seen = k as u32;
+                s.count += 1;
+                continue;
+            }
+            // The pair reappears after an absence: its previous episode
+            // ended at the first snapshot that missed it. Close (or
+            // censor) that episode now — lazily, but with the same
+            // close instant the snapshot-by-snapshot reference used.
+            let last_t = times[s.last_seen as usize];
+            let close_t = times[s.last_seen as usize + 1];
+            if trace.blind_time(last_t, close_t) > 0.0 {
+                out.censored_contacts += 1;
+                s.prev_end = f64::NAN;
+            } else {
+                out.contact_times.push(s.count as f64 * tau);
+                s.prev_end = last_t;
+            }
+            if !s.prev_end.is_nan() {
+                let ict = t - s.prev_end - trace.blind_time(s.prev_end, t);
+                if ict > 0.0 {
+                    out.inter_contact_times.push(ict);
+                }
+            }
+            s.last_seen = k as u32;
+            s.count = 1;
+        }
+    }
+
+    // Final walk: every tracked pair still carries its last episode.
+    // Open at trace end -> censored; otherwise close at the first
+    // absent snapshot, exactly as during the scan.
+    for idx in 0..pairs.keys.len() {
+        if pairs.keys[idx] == EMPTY_PAIR {
+            continue;
+        }
+        let s = &pairs.states[idx];
+        if s.last_seen as usize == n - 1 {
+            out.censored_contacts += 1;
+        } else {
+            let last_t = times[s.last_seen as usize];
+            let close_t = times[s.last_seen as usize + 1];
+            if trace.blind_time(last_t, close_t) > 0.0 {
+                out.censored_contacts += 1;
+            } else {
+                out.contact_times.push(s.count as f64 * tau);
+            }
+        }
+    }
+
+    for d in 0..universe {
+        let t0 = first_seen[d];
+        if t0.is_nan() {
+            continue;
+        }
+        let tc = first_contact[d];
+        if tc.is_nan() {
+            out.never_contacted += 1;
+        } else {
+            // The wait for a first neighbor excludes time the crawler
+            // was not looking (zero on gapless traces).
+            out.first_contact_times
+                .push(tc - t0 - trace.blind_time(t0, tc));
+        }
+    }
+
+    // Deterministic output order regardless of table layout.
+    out.contact_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.inter_contact_times
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out.first_contact_times
+        .sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out
+}
+
+/// Unoccupied pair-table slot. Real keys pack two dense ids `< 2^32 - 1`
+/// (a dense universe can never reach `u32::MAX` users), so `u64::MAX`
+/// is unreachable.
+const EMPTY_PAIR: u64 = u64::MAX;
+
+/// Multiply-shift slot hash for a power-of-two table of `cap` slots.
+/// Taking the **high** bits of the product matters: low bits of `x * C`
+/// depend only on the low bits of `x`, and packed dense-id pairs keep
+/// all their entropy in the low bits — masking the product would pack
+/// every key into a tiny slot prefix and turn linear probing into one
+/// giant cluster.
+fn hash_slot(key: u64, cap: usize) -> usize {
+    let h = (key ^ (key >> 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> (64 - cap.trailing_zeros())) as usize
+}
+
+/// Per-pair contact state: the open (or last) episode plus the ICT
+/// baseline left by the previous clean close (NaN = none).
+#[derive(Debug, Clone, Copy)]
+struct PairState {
+    /// Snapshot index the pair was last seen in range.
+    last_seen: u32,
+    /// Observed snapshots of the current episode.
+    count: u32,
+    /// End instant of the previous cleanly-closed episode.
+    prev_end: f64,
+}
+
+/// Insert-only open-addressing table: packed dense pair -> state slot.
+/// Mirrors the `CsrScratch` arena idea — flat storage, no per-key
+/// allocation, Fibonacci hashing, linear probing.
+struct PairTable {
+    keys: Vec<u64>,
+    states: Vec<PairState>,
+    items: usize,
+}
+
+impl PairTable {
+    fn new() -> Self {
+        PairTable {
+            keys: vec![EMPTY_PAIR; 1024],
+            states: vec![
+                PairState {
+                    last_seen: 0,
+                    count: 0,
+                    prev_end: f64::NAN,
+                };
+                1024
+            ],
+            items: 0,
+        }
+    }
+
+    /// Slot of `key`, inserting an uninitialized state when absent.
+    /// Returns `(slot, inserted_now)`.
+    fn slot(&mut self, key: u64) -> (usize, bool) {
+        if self.items * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut slot = hash_slot(key, self.keys.len());
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return (slot, false);
+            }
+            if k == EMPTY_PAIR {
+                self.keys[slot] = key;
+                self.items += 1;
+                return (slot, true);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_PAIR; new_cap]);
+        let old_states = std::mem::replace(
+            &mut self.states,
+            vec![
+                PairState {
+                    last_seen: 0,
+                    count: 0,
+                    prev_end: f64::NAN,
+                };
+                new_cap
+            ],
+        );
+        let mask = new_cap - 1;
+        for (k, s) in old_keys.into_iter().zip(old_states) {
+            if k == EMPTY_PAIR {
+                continue;
+            }
+            let mut slot = hash_slot(k, new_cap);
+            while self.keys[slot] != EMPTY_PAIR {
+                slot = (slot + 1) & mask;
+            }
+            self.keys[slot] = k;
+            self.states[slot] = s;
+        }
+    }
+}
+
+/// The original hash-map contact engine, retained verbatim as the
+/// oracle [`extract_contacts_prepared`] is property-tested against:
+/// per-snapshot sorted pair sets, eager episode closes, `UserId`-keyed
+/// maps. Semantics documented on [`extract_contacts_prepared`] — the
+/// two are bit-for-bit interchangeable.
+pub fn extract_contacts_prepared_reference(
+    prep: &PreparedTrace,
+    edges: &RangeEdges,
+) -> ContactSamples {
+    let tau = prep.tau();
+    let trace = prep.trace;
 
     let mut open: HashMap<(UserId, UserId), OpenContact> = HashMap::new();
     let mut last_end: HashMap<(UserId, UserId), f64> = HashMap::new();
@@ -92,7 +344,8 @@ pub fn extract_contacts_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> Co
     let mut now_pairs: Vec<(UserId, UserId)> = Vec::new();
     let mut closed: Vec<(UserId, UserId)> = Vec::new();
 
-    for (snap, snap_edges) in prep.snapshots.iter().zip(&edges.per_snapshot) {
+    for (k, snap) in prep.snapshots.iter().enumerate() {
+        let snap_edges = edges.edges_of(k);
         for &user in &snap.users {
             first_seen.entry(user).or_insert(snap.t);
         }
@@ -464,6 +717,73 @@ mod tests {
         assert_eq!(c.contact_times, vec![40.0]);
         assert_eq!(c.censored_contacts, 0);
         assert!(c.inter_contact_times.is_empty());
+    }
+
+    /// Assert the dense engine and the reference agree bit for bit on
+    /// `t`, at both paper ranges.
+    fn assert_engines_agree(t: &Trace, exclude: &[UserId]) {
+        let prep = PreparedTrace::new(t, exclude);
+        for range in [10.0, 80.0] {
+            let edges = prep.edges_at(range);
+            assert_eq!(
+                extract_contacts_prepared(&prep, &edges),
+                extract_contacts_prepared_reference(&prep, &edges),
+                "range {range}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_engine_matches_reference_on_gap_schedules() {
+        use sl_trace::{GapCause, GapRecord};
+        // Every gap-interaction schedule from the unit tests above, the
+        // single-snapshot and empty traces, and a duplicate-user trace.
+        assert_engines_agree(&Trace::new(LandMeta::standard("T", 10.0)), &[]);
+        assert_engines_agree(&trace_of(&[&[(1, 0.0), (2, 5.0)]]), &[]);
+        let mut censored = trace_at(&[
+            (10.0, &[(1, 0.0), (2, 5.0)]),
+            (20.0, &[(1, 0.0), (2, 5.0)]),
+            (50.0, &[(1, 0.0), (2, 100.0)]),
+            (60.0, &[(1, 0.0), (2, 100.0)]),
+        ]);
+        censored.record_gap(GapRecord::new(GapCause::Stall, 20.0, 50.0));
+        assert_engines_agree(&censored, &[]);
+        let mut baseline = trace_at(&[
+            (10.0, &[(1, 0.0), (2, 5.0)]),
+            (20.0, &[(1, 0.0), (2, 5.0)]),
+            (30.0, &[(1, 0.0), (2, 100.0)]),
+            (40.0, &[(1, 0.0), (2, 5.0)]),
+            (50.0, &[(1, 0.0), (2, 5.0)]),
+            (100.0, &[(1, 0.0), (2, 100.0)]),
+            (110.0, &[(1, 0.0), (2, 5.0)]),
+        ]);
+        baseline.record_gap(GapRecord::new(GapCause::Disconnect, 50.0, 100.0));
+        assert_engines_agree(&baseline, &[]);
+        let mut straddle = trace_at(&[
+            (10.0, &[(1, 0.0), (2, 5.0)]),
+            (20.0, &[(1, 0.0), (2, 5.0)]),
+            (60.0, &[(1, 0.0), (2, 5.0)]),
+            (70.0, &[(1, 0.0), (2, 5.0)]),
+            (80.0, &[(1, 0.0), (2, 100.0)]),
+        ]);
+        straddle.record_gap(GapRecord::new(GapCause::Stall, 20.0, 60.0));
+        assert_engines_agree(&straddle, &[]);
+    }
+
+    #[test]
+    fn dense_engine_matches_reference_with_duplicate_users() {
+        // Malformed input: user 1 appears twice in one snapshot, which
+        // creates self-pairs and repeated pair keys. Both engines must
+        // degrade identically.
+        let mut t = Trace::new(LandMeta::standard("T", 10.0));
+        for k in 1..=3i64 {
+            let mut s = Snapshot::new(k as f64 * 10.0);
+            s.push(UserId(1), Position::new(0.0, 0.0, 22.0));
+            s.push(UserId(2), Position::new(5.0, 0.0, 22.0));
+            s.push(UserId(1), Position::new(2.0, 0.0, 22.0));
+            t.push(s);
+        }
+        assert_engines_agree(&t, &[]);
     }
 
     #[test]

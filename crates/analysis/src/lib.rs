@@ -46,13 +46,17 @@ pub mod report;
 pub mod spatial;
 pub mod trips;
 
-pub use contacts::{extract_contacts, extract_contacts_prepared, ContactSamples};
+pub use contacts::{
+    extract_contacts, extract_contacts_prepared, extract_contacts_prepared_reference,
+    ContactSamples,
+};
 pub use coverage::{coverage_report, covered_only, CoverageReport, IntervalCoverage};
 pub use los::{los_metrics, los_metrics_prepared, los_metrics_prepared_reference, LosMetrics};
 pub use mobility_metrics::{mobility_metrics, MobilityMetrics};
 pub use pipeline::{analyze_land, paper_figures, LandAnalysis};
 pub use prep::{
-    prepared_windows, PreparedSnapshot, PreparedTrace, PreparedWindows, RangeEdges, SnapshotFilter,
+    prepared_windows, streamed_edges, EdgeStream, PreparedSnapshot, PreparedTrace, PreparedWindows,
+    RangeEdges, SnapshotFilter, StreamedEdges,
 };
 pub use relations::{RelationEdge, RelationGraph};
 pub use report::{Figure, FigureSet};

@@ -72,7 +72,7 @@ pub fn los_metrics_prepared(prep: &PreparedTrace, edges: &RangeEdges) -> LosMetr
             if snap.is_empty() {
                 return None;
             }
-            g.rebuild(snap.len(), &edges.per_snapshot[i]);
+            g.rebuild(snap.len(), edges.edges_of(i));
             let mut degrees = Vec::with_capacity(snap.len());
             let mut zero_count = 0usize;
             for d in g.degrees() {
@@ -104,7 +104,7 @@ pub fn los_metrics_prepared_reference(prep: &PreparedTrace, edges: &RangeEdges) 
         if snap.is_empty() {
             return None;
         }
-        let g = Graph::from_edges(snap.len(), &edges.per_snapshot[i]);
+        let g = Graph::from_edges(snap.len(), edges.edges_of(i));
         let mut degrees = Vec::with_capacity(snap.len());
         let mut zero_count = 0usize;
         for d in g.degrees() {

@@ -11,10 +11,11 @@
 //! carries its contact *frequency* (number of distinct contact
 //! episodes) and *strength* (total time in contact).
 
+use crate::prep::PreparedTrace;
 use serde::{Deserialize, Serialize};
-use sl_graph::{proximity_edges, Graph};
+use sl_graph::Graph;
 use sl_trace::{Trace, UserId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// One pair's aggregated contact history.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -72,64 +73,60 @@ impl RelationGraph {
         min_total_time: f64,
         exclude: &[UserId],
     ) -> Self {
-        let excluded: HashSet<UserId> = exclude.iter().copied().collect();
+        let prep = PreparedTrace::new(trace, exclude);
+        let range_edges = prep.edges_at(range);
         let tau = trace.meta.tau;
 
-        // Aggregate per-pair episode counts and total contact time by
-        // replaying the same sampled-contact semantics the temporal
-        // analysis uses.
+        // Aggregate per-pair episode counts and total contact time over
+        // the shared delta-amortized edge extraction, with pairs keyed
+        // by their packed dense ids — the same sampled-contact
+        // semantics the temporal analysis uses: an episode continues
+        // exactly while the pair is in range at consecutive snapshots.
         struct PairAgg {
             contacts: u32,
             total_time: f64,
             first_met: f64,
             last_met: f64,
+            /// Snapshot index last seen in range; `u32::MAX` = never.
+            last_seen: u32,
         }
-        let mut pairs: HashMap<(UserId, UserId), PairAgg> = HashMap::new();
-        // Pairs currently in an open episode — kept separately so the
-        // closing sweep scans O(open) per snapshot, not O(all pairs
-        // ever seen) (which grows without bound over a 24 h trace).
-        let mut open: HashSet<(UserId, UserId)> = HashSet::new();
+        let mut pairs: HashMap<u64, PairAgg> = HashMap::new();
 
-        for snap in &trace.snapshots {
-            let mut users = Vec::with_capacity(snap.entries.len());
-            let mut points = Vec::with_capacity(snap.entries.len());
-            for obs in &snap.entries {
-                if excluded.contains(&obs.user) || obs.pos.is_seated_sentinel() {
-                    continue;
-                }
-                users.push(obs.user);
-                points.push(obs.pos.xy());
-            }
-            let mut now: HashSet<(UserId, UserId)> = HashSet::new();
-            for (i, j) in proximity_edges(&points, range) {
-                let (a, b) = (users[i as usize], users[j as usize]);
-                now.insert(if a < b { (a, b) } else { (b, a) });
-            }
-            // Close episodes that ended.
-            open.retain(|key| now.contains(key));
-            // Extend/open current episodes; every in-contact snapshot
-            // contributes τ seconds of strength.
-            for key in now {
+        for (k, snap) in prep.snapshots.iter().enumerate() {
+            let dense = &prep.dense[k];
+            for &(i, j) in range_edges.edges_of(k) {
+                let (a, b) = (dense[i as usize], dense[j as usize]);
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                let key = ((lo as u64) << 32) | hi as u64;
                 let agg = pairs.entry(key).or_insert(PairAgg {
                     contacts: 0,
                     total_time: 0.0,
                     first_met: snap.t,
                     last_met: snap.t,
+                    last_seen: u32::MAX,
                 });
-                if open.insert(key) {
+                if agg.last_seen == k as u32 {
+                    // Repeated edge key within one snapshot (malformed
+                    // duplicate user entries) — counts once, as the old
+                    // hash-set path deduped implicitly.
+                    continue;
+                }
+                let continuing = agg.last_seen != u32::MAX && agg.last_seen as usize + 1 == k;
+                if !continuing {
                     agg.contacts += 1;
                 }
                 agg.total_time += tau;
                 agg.last_met = snap.t;
+                agg.last_seen = k as u32;
             }
         }
 
         let mut edges: Vec<RelationEdge> = pairs
             .into_iter()
             .filter(|(_, agg)| agg.contacts >= min_contacts && agg.total_time >= min_total_time)
-            .map(|((a, b), agg)| RelationEdge {
-                a,
-                b,
+            .map(|(key, agg)| RelationEdge {
+                a: prep.universe[(key >> 32) as usize],
+                b: prep.universe[(key as u32) as usize],
                 contacts: agg.contacts,
                 total_time: agg.total_time,
                 first_met: agg.first_met,

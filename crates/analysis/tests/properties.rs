@@ -36,6 +36,53 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
     })
 }
 
+/// Arbitrary traces **with recorded measurement gaps**: runs of skipped
+/// snapshot slots become holes in the time axis, usually (but not
+/// always) covered by a [`sl_trace::GapRecord`] — so censoring,
+/// blind-time subtraction, and gap-free absences all get exercised.
+fn arb_gappy_trace() -> impl Strategy<Value = Trace> {
+    use sl_trace::{GapCause, GapRecord};
+    let slot = (
+        prop::bool::weighted(0.7), // snapshot present in this slot?
+        prop::bool::weighted(0.7), // if a hole ends here, record a gap?
+        prop::collection::btree_map(
+            0u32..30,
+            (0.0f64..256.0, 0.0f64..256.0, prop::bool::weighted(0.1)),
+            0..10,
+        ),
+    );
+    prop::collection::vec(slot, 2..30).prop_map(|slots| {
+        let mut trace = Trace::new(LandMeta::standard("Gappy", 10.0));
+        let mut prev_t: Option<f64> = None;
+        let mut hole = false;
+        for (k, (present, record, users)) in slots.into_iter().enumerate() {
+            let t = (k as f64 + 1.0) * 10.0;
+            if !present {
+                hole = true;
+                continue;
+            }
+            if hole && record {
+                if let Some(p) = prev_t {
+                    trace.record_gap(GapRecord::new(GapCause::Stall, p, t));
+                }
+            }
+            hole = false;
+            let mut s = Snapshot::new(t);
+            for (u, (x, y, seated)) in users {
+                let pos = if seated {
+                    Position::SEATED
+                } else {
+                    Position::new(x, y, 22.0)
+                };
+                s.push(UserId(u), pos);
+            }
+            trace.push(s);
+            prev_t = Some(t);
+        }
+        trace
+    })
+}
+
 /// The gap-naive contact extractor exactly as it was before blind-time
 /// awareness: close every vanished pair with a fabricated `k·τ` sample,
 /// keep its ICT baseline, and never subtract blindness. On gapless
@@ -60,12 +107,12 @@ fn gap_naive_contacts(trace: &Trace, range: f64) -> sl_analysis::ContactSamples 
     let mut now_pairs: Vec<(UserId, UserId)> = Vec::new();
     let mut closed: Vec<(UserId, UserId)> = Vec::new();
 
-    for (snap, snap_edges) in prep.snapshots.iter().zip(&edges.per_snapshot) {
+    for (k, snap) in prep.snapshots.iter().enumerate() {
         for &user in &snap.users {
             first_seen.entry(user).or_insert(snap.t);
         }
         now_pairs.clear();
-        for &(i, j) in snap_edges {
+        for &(i, j) in edges.edges_of(k) {
             let (a, b) = (snap.users[i as usize], snap.users[j as usize]);
             let key = if a < b { (a, b) } else { (b, a) };
             now_pairs.push(key);
@@ -137,6 +184,49 @@ proptest! {
         let gap_aware = extract_contacts(&trace, range, &[]);
         let reference = gap_naive_contacts(&trace, range);
         prop_assert_eq!(gap_aware, reference);
+    }
+
+    #[test]
+    fn dense_contact_engine_matches_reference(trace in arb_trace(), range in 1.0f64..120.0) {
+        // The dense-index lazy-close engine against the retained
+        // eager hash-map reference: bit-identical CT/ICT/FT samples and
+        // censoring counts on arbitrary gapless traces.
+        let prep = sl_analysis::prep::PreparedTrace::new(&trace, &[]);
+        let edges = prep.edges_at(range);
+        let dense = sl_analysis::extract_contacts_prepared(&prep, &edges);
+        let reference = sl_analysis::extract_contacts_prepared_reference(&prep, &edges);
+        prop_assert_eq!(dense, reference);
+    }
+
+    #[test]
+    fn dense_contact_engine_matches_reference_on_gappy_traces(
+        trace in arb_gappy_trace(),
+        range in 1.0f64..120.0
+    ) {
+        // Same equivalence across recorded measurement gaps: lazy
+        // closes must censor and subtract blind time exactly like the
+        // snapshot-by-snapshot reference.
+        let prep = sl_analysis::prep::PreparedTrace::new(&trace, &[]);
+        let edges = prep.edges_at(range);
+        let dense = sl_analysis::extract_contacts_prepared(&prep, &edges);
+        let reference = sl_analysis::extract_contacts_prepared_reference(&prep, &edges);
+        prop_assert_eq!(dense, reference);
+    }
+
+    #[test]
+    fn delta_edge_extraction_matches_fresh_sweep(trace in arb_gappy_trace(), range in 1.0f64..120.0) {
+        // The delta-amortized EdgeStream (incremental grid + pair
+        // carry-over) against the from-scratch per-snapshot sweep:
+        // byte-identical RangeEdges, including the self-interning
+        // streaming entry point.
+        let prep = sl_analysis::prep::PreparedTrace::new(&trace, &[]);
+        let delta = prep.edges_at(range);
+        let fresh = prep.edges_at_fresh(range);
+        prop_assert_eq!(&delta, &fresh);
+        let mut stream = sl_analysis::EdgeStream::new(range);
+        for (k, snap) in prep.snapshots.iter().enumerate() {
+            prop_assert_eq!(stream.push(snap), fresh.edges_of(k), "snapshot {}", k);
+        }
     }
 
     #[test]

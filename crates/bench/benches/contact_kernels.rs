@@ -1,0 +1,50 @@
+//! Contact-engine micro-bench: the retained hash-map reference
+//! extractor against the dense-index engine, and the per-snapshot
+//! fresh sweep against the delta-amortized `EdgeStream`, on the same
+//! Fig. 1 fixture at both paper ranges. This is the per-kernel view
+//! behind the `contacts_*` entries of the `kernels` section of
+//! `BENCH_analysis.json` (which times the stages end to end on the
+//! large fixture).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sl_analysis::prep::PreparedTrace;
+use sl_analysis::{extract_contacts_prepared, extract_contacts_prepared_reference, EdgeStream};
+use sl_bench::dance_fixture;
+
+fn bench_contact_kernels(c: &mut Criterion) {
+    let trace = dance_fixture();
+    let prep = PreparedTrace::new(&trace, &[]);
+
+    for range in [10.0, 80.0] {
+        let edges = prep.edges_at(range);
+        let mut group = c.benchmark_group(format!("contact_kernels_r{range:.0}"));
+        group.sample_size(20);
+
+        group.bench_function("edges_fresh_sweep", |b| {
+            b.iter(|| prep.edges_at_fresh(range))
+        });
+        group.bench_function("edges_delta_stream", |b| b.iter(|| prep.edges_at(range)));
+        group.bench_function("edges_stream_push", |b| {
+            b.iter(|| {
+                let mut stream = EdgeStream::new(range);
+                let mut total = 0usize;
+                for snap in &prep.snapshots {
+                    total += stream.push(snap).len();
+                }
+                total
+            })
+        });
+
+        group.bench_function("contacts_reference", |b| {
+            b.iter(|| extract_contacts_prepared_reference(&prep, &edges))
+        });
+        group.bench_function("contacts_dense", |b| {
+            b.iter(|| extract_contacts_prepared(&prep, &edges))
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_contact_kernels);
+criterion_main!(benches);

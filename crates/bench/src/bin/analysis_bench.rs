@@ -19,9 +19,11 @@
 //! The report is written as JSON (default `BENCH_analysis.json`): wall
 //! time per stage (best of `--iters`), throughput in snapshots/s, and
 //! the parallel-over-serial speedup, plus a `kernels` section timing
-//! the retained naive LOS implementation against the production CSR
-//! kernels on the same inputs (old-vs-new kernel speedup, single
-//! thread). A `metrics.json` sibling carries the process-wide
+//! the retained naive implementations against the production kernels
+//! on the same inputs (old-vs-new kernel speedup, single thread): the
+//! adjacency-list LOS reference vs the CSR kernels, and the hash-map
+//! contact extractor vs the dense-index engine. A `metrics.json`
+//! sibling carries the process-wide
 //! observability registry (per-stage pipeline span timings among it)
 //! for the same run.
 
@@ -29,7 +31,8 @@ use sl_analysis::pipeline::{analyze_land, RB, RW, ZONE_L};
 use sl_analysis::prep::{PreparedTrace, RangeEdges};
 use sl_analysis::spatial::zone_occupation_prepared;
 use sl_analysis::{
-    extract_contacts_prepared, los_metrics_prepared, los_metrics_prepared_reference,
+    extract_contacts_prepared, extract_contacts_prepared_reference, los_metrics_prepared,
+    los_metrics_prepared_reference,
 };
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -147,23 +150,23 @@ impl StageReport {
 }
 
 /// One old-vs-new kernel comparison: the same prepared trace and edge
-/// lists pushed through the retained naive LOS implementation and the
-/// CSR kernel path, serially (one thread), after asserting the two
-/// outputs are identical. The speedup is a first-class recorded field
-/// of `BENCH_analysis.json`, not a README claim.
+/// lists pushed through a retained naive reference implementation and
+/// its production replacement, serially (one thread), after asserting
+/// the two outputs are identical. The speedup is a first-class recorded
+/// field of `BENCH_analysis.json`, not a README claim.
 struct KernelReport {
     stage: String,
     naive_serial_secs: f64,
-    csr_serial_secs: f64,
+    fast_serial_secs: f64,
     speedup: f64,
 }
 
 impl KernelReport {
     fn json(&self) -> String {
         format!(
-            "{{ \"stage\": {:?}, \"naive_serial_secs\": {}, \"csr_serial_secs\": {}, \
+            "{{ \"stage\": {:?}, \"naive_serial_secs\": {}, \"fast_serial_secs\": {}, \
              \"speedup\": {} }}",
-            self.stage, self.naive_serial_secs, self.csr_serial_secs, self.speedup
+            self.stage, self.naive_serial_secs, self.fast_serial_secs, self.speedup
         )
     }
 }
@@ -253,36 +256,32 @@ fn stage<R: PartialEq>(
     report
 }
 
-/// Time the naive LOS kernels against the CSR kernels on the same
-/// prepared trace, one thread each (kernel speedup, not parallelism),
-/// asserting bit-identical outputs first.
-fn kernel_stage(
+/// Time a retained naive kernel against its production replacement on
+/// the same prepared inputs, one thread each (kernel speedup, not
+/// parallelism), asserting bit-identical outputs first.
+fn kernel_stage<R: PartialEq>(
     name: &str,
     iters: usize,
-    prep: &PreparedTrace,
-    edges: &RangeEdges,
+    naive: impl Fn() -> R,
+    fast: impl Fn() -> R,
 ) -> KernelReport {
-    let naive = sl_par::with_threads(1, || los_metrics_prepared_reference(prep, edges));
-    let fast = sl_par::with_threads(1, || los_metrics_prepared(prep, edges));
+    let naive_out = sl_par::with_threads(1, &naive);
+    let fast_out = sl_par::with_threads(1, &fast);
     assert!(
-        naive == fast,
-        "kernel comparison {name}: CSR output differs from the naive reference"
+        naive_out == fast_out,
+        "kernel comparison {name}: fast output differs from the naive reference"
     );
-    let naive_serial_secs = time_best(iters, || {
-        sl_par::with_threads(1, || los_metrics_prepared_reference(prep, edges))
-    });
-    let csr_serial_secs = time_best(iters, || {
-        sl_par::with_threads(1, || los_metrics_prepared(prep, edges))
-    });
+    let naive_serial_secs = time_best(iters, || sl_par::with_threads(1, &naive));
+    let fast_serial_secs = time_best(iters, || sl_par::with_threads(1, &fast));
     let report = KernelReport {
         stage: name.to_string(),
         naive_serial_secs,
-        csr_serial_secs,
-        speedup: naive_serial_secs / csr_serial_secs,
+        fast_serial_secs,
+        speedup: naive_serial_secs / fast_serial_secs,
     };
     println!(
-        "  {:<16} naive  {:>8.3} s   csr      {:>8.3} s   speedup {:>5.2}x",
-        report.stage, report.naive_serial_secs, report.csr_serial_secs, report.speedup
+        "  {:<16} naive  {:>8.3} s   fast     {:>8.3} s   speedup {:>5.2}x",
+        report.stage, report.naive_serial_secs, report.fast_serial_secs, report.speedup
     );
     report
 }
@@ -320,8 +319,8 @@ fn main() {
         stage("prep", n, args.iters, || {
             PreparedTrace::new(&trace, &[]).snapshots
         }),
-        stage("edges_rb", n, args.iters, || prep.edges_at(RB).per_snapshot),
-        stage("edges_rw", n, args.iters, || prep.edges_at(RW).per_snapshot),
+        stage("edges_rb", n, args.iters, || prep.edges_at(RB)),
+        stage("edges_rw", n, args.iters, || prep.edges_at(RW)),
         stage("contacts_rb", n, args.iters, || {
             extract_contacts_prepared(&prep, &edges_rb)
         }),
@@ -360,22 +359,49 @@ fn main() {
             .iter()
             .map(|&i| prep.snapshots[i].clone())
             .collect(),
+        universe: prep.universe.clone(),
+        dense: kernel_idx.iter().map(|&i| prep.dense[i].clone()).collect(),
+        has_duplicate_users: prep.has_duplicate_users,
     };
-    let subsample = |edges: &RangeEdges| RangeEdges {
-        range: edges.range,
-        per_snapshot: kernel_idx
+    let subsample = |edges: &RangeEdges| {
+        let lists: Vec<Vec<(u32, u32)>> = kernel_idx
             .iter()
-            .map(|&i| edges.per_snapshot[i].clone())
-            .collect(),
+            .map(|&i| edges.edges_of(i).to_vec())
+            .collect();
+        RangeEdges::from_lists(edges.range, &lists)
     };
+    let kedges_rb = subsample(&edges_rb);
+    let kedges_rw = subsample(&edges_rw);
     println!(
-        "Old-vs-new LOS kernels ({} of {} snapshots, single thread, same prepared inputs):",
+        "Old-vs-new kernels ({} of {} snapshots, single thread, same prepared inputs):",
         kernel_idx.len(),
         prep.snapshots.len()
     );
     let kernels = vec![
-        kernel_stage("los_rb", args.iters, &kernel_prep, &subsample(&edges_rb)),
-        kernel_stage("los_rw", args.iters, &kernel_prep, &subsample(&edges_rw)),
+        kernel_stage(
+            "los_rb",
+            args.iters,
+            || los_metrics_prepared_reference(&kernel_prep, &kedges_rb),
+            || los_metrics_prepared(&kernel_prep, &kedges_rb),
+        ),
+        kernel_stage(
+            "los_rw",
+            args.iters,
+            || los_metrics_prepared_reference(&kernel_prep, &kedges_rw),
+            || los_metrics_prepared(&kernel_prep, &kedges_rw),
+        ),
+        kernel_stage(
+            "contacts_rb",
+            args.iters,
+            || extract_contacts_prepared_reference(&kernel_prep, &kedges_rb),
+            || extract_contacts_prepared(&kernel_prep, &kedges_rb),
+        ),
+        kernel_stage(
+            "contacts_rw",
+            args.iters,
+            || extract_contacts_prepared_reference(&kernel_prep, &kedges_rw),
+            || extract_contacts_prepared(&kernel_prep, &kedges_rw),
+        ),
     ];
 
     let report = BenchReport {

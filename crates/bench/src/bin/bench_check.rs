@@ -16,10 +16,14 @@
 //!   shows up as the share climbing back regardless of host speed. The
 //!   guard asserts `current_share <= baseline_share * max_share_ratio`
 //!   for `los_rb` and `los_rw`.
-//! * **kernel speedup** — `naive_serial_secs / csr_serial_secs` from
+//! * **kernel speedup** — `naive_serial_secs / fast_serial_secs` from
 //!   the `kernels` section, a within-run ratio by construction. The
-//!   guard asserts **every** recorded comparison (`los_rb` and
-//!   `los_rw`) stays at or above `--min-kernel-speedup`.
+//!   guard asserts **every** recorded comparison (the LOS stages and
+//!   the contact-engine stages) stays at or above the floor:
+//!   `--min-kernel-speedup` globally, overridable per stage with
+//!   repeatable `--kernel-floor STAGE=RATIO` arguments (the contact
+//!   engine and the CSR kernels sit at very different multiples, so
+//!   one global floor would either under-guard one or flake the other).
 //!
 //! The share guard defaults to both LOS stages; `--share-stage` (repeatable)
 //! narrows it. CI guards only the `los_rw` share — `los_rb` is a ~5 s
@@ -40,7 +44,22 @@ struct Args {
     current: PathBuf,
     max_share_ratio: f64,
     min_kernel_speedup: f64,
+    /// Per-stage overrides of the global kernel-speedup floor.
+    kernel_floors: Vec<(String, f64)>,
     share_stages: Vec<String>,
+}
+
+impl Args {
+    /// The speedup floor that applies to `stage`: its `--kernel-floor`
+    /// override if one was given, the global `--min-kernel-speedup`
+    /// otherwise.
+    fn kernel_floor(&self, stage: &str) -> f64 {
+        self.kernel_floors
+            .iter()
+            .find(|(s, _)| s == stage)
+            .map(|&(_, f)| f)
+            .unwrap_or(self.min_kernel_speedup)
+    }
 }
 
 fn parse_args() -> Args {
@@ -48,6 +67,7 @@ fn parse_args() -> Args {
     let mut current = None;
     let mut max_share_ratio = 1.25;
     let mut min_kernel_speedup = 5.0;
+    let mut kernel_floors: Vec<(String, f64)> = Vec::new();
     let mut share_stages: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -74,11 +94,25 @@ fn parse_args() -> Args {
                     .filter(|&s: &f64| s > 0.0)
                     .unwrap_or_else(|| die("--min-kernel-speedup needs a positive number"));
             }
+            "--kernel-floor" => {
+                let spec = it
+                    .next()
+                    .unwrap_or_else(|| die("--kernel-floor needs STAGE=RATIO"));
+                let Some((stage, ratio)) = spec.split_once('=') else {
+                    die("--kernel-floor needs STAGE=RATIO");
+                };
+                let ratio: f64 = ratio
+                    .parse()
+                    .ok()
+                    .filter(|&r: &f64| r > 0.0)
+                    .unwrap_or_else(|| die("--kernel-floor ratio must be a positive number"));
+                kernel_floors.push((stage.to_string(), ratio));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench_check --baseline FILE --current FILE \
                      [--max-share-ratio R] [--min-kernel-speedup S] \
-                     [--share-stage STAGE]..."
+                     [--kernel-floor STAGE=RATIO]... [--share-stage STAGE]..."
                 );
                 std::process::exit(0);
             }
@@ -93,6 +127,7 @@ fn parse_args() -> Args {
         current: current.unwrap_or_else(|| die("--current is required")),
         max_share_ratio,
         min_kernel_speedup,
+        kernel_floors,
         share_stages,
     }
 }
@@ -228,14 +263,12 @@ fn main() -> ExitCode {
         );
     }
     for entry in &current_kernels {
+        let floor = args.kernel_floor(&entry.stage);
         match entry.get("speedup") {
             Some(speedup) => check(
                 &format!("{} kernel speedup", entry.stage),
-                speedup >= args.min_kernel_speedup,
-                format!(
-                    "{speedup:.2}x naive-over-CSR (floor {:.2}x)",
-                    args.min_kernel_speedup
-                ),
+                speedup >= floor,
+                format!("{speedup:.2}x naive-over-fast (floor {floor:.2}x)"),
             ),
             None => check(
                 &format!("{} kernel speedup", entry.stage),
@@ -256,7 +289,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{array_entries, stage_share};
+    use super::{array_entries, stage_share, Args};
 
     const DOC: &str = r#"{
   "seed": 42,
@@ -266,7 +299,8 @@ mod tests {
     { "stage": "analyze_land", "serial_secs": 100.0, "parallel_secs": 95.0 }
   ],
   "kernels": [
-    { "stage": "los_rw", "naive_serial_secs": 75.0, "csr_serial_secs": 5.0, "speedup": 15.0 }
+    { "stage": "los_rw", "naive_serial_secs": 75.0, "fast_serial_secs": 5.0, "speedup": 15.0 },
+    { "stage": "contacts_rw", "naive_serial_secs": 4.0, "fast_serial_secs": 1.0, "speedup": 4.0 }
   ]
 }
 "#;
@@ -282,8 +316,25 @@ mod tests {
     #[test]
     fn parses_kernel_entries() {
         let kernels = array_entries(DOC, "kernels");
-        assert_eq!(kernels.len(), 1);
+        assert_eq!(kernels.len(), 2);
         assert_eq!(kernels[0].get("speedup"), Some(15.0));
+        assert_eq!(kernels[1].stage, "contacts_rw");
+        assert_eq!(kernels[1].get("speedup"), Some(4.0));
+    }
+
+    #[test]
+    fn kernel_floor_overrides_fall_back_to_global() {
+        let args = Args {
+            baseline: "b".into(),
+            current: "c".into(),
+            max_share_ratio: 1.25,
+            min_kernel_speedup: 5.0,
+            kernel_floors: vec![("contacts_rw".to_string(), 3.0)],
+            share_stages: vec![],
+        };
+        assert_eq!(args.kernel_floor("contacts_rw"), 3.0);
+        assert_eq!(args.kernel_floor("los_rw"), 5.0);
+        assert_eq!(args.kernel_floor("unknown"), 5.0);
     }
 
     #[test]

@@ -32,4 +32,7 @@ pub use components::connected_components;
 pub use csr::{CsrGraph, CsrScratch};
 pub use graph::Graph;
 pub use metrics::{clustering_coefficients, diameter_largest_component, mean_clustering};
-pub use spatial::{proximity_edges, proximity_graph, GridIndex};
+pub use spatial::{
+    pairs_within_sorted, pairs_within_sorted_into, proximity_edges, proximity_graph, GridIndex,
+    SweepScratch,
+};

@@ -7,122 +7,328 @@
 //! 24 h trace holds 8 640 snapshots per land and the contact extractor
 //! touches every one at two ranges — the grid keeps the whole analysis
 //! linear instead of quadratic.
+//!
+//! Two extraction strategies share one distance contract:
+//!
+//! * [`GridIndex`] — a hashed uniform grid (cell side = query radius)
+//!   with an **incremental** API: [`GridIndex::insert`],
+//!   [`GridIndex::remove`] and [`GridIndex::move_point`] relink a point
+//!   between cell buckets in O(bucket), so a delta stream of
+//!   join/leave/move events updates the index without a rebuild, and
+//!   [`GridIndex::for_each_within`] answers the "who is near this
+//!   avatar now" query the delta-amortized edge extractor asks.
+//! * [`pairs_within_sorted`] — a sort-based sweep over a whole
+//!   snapshot, emitting the canonical ascending `(i, j)` edge list
+//!   directly. It is the allocation-light full-extraction path (and
+//!   the reference the incremental path is checked against).
+//!
+//! Every distance test — grid, sweep, or point query — is computed on
+//! the **raw** coordinates (`dx*dx + dy*dy <= r*r` with no origin
+//! shift), so pair membership is a pure function of the two endpoints
+//! and the radius. That purity is what makes incremental reuse exact:
+//! a pair whose endpoints did not move bit-for-bit cannot change
+//! membership, whatever happened to the rest of the snapshot.
 
 use crate::graph::Graph;
 
-/// Uniform-grid spatial index over 2-D points.
+/// Sentinel bucket index: the id is not currently present.
+const ABSENT: u32 = u32::MAX;
+/// Sentinel cell-table key: slot unoccupied. Packed keys offset the
+/// signed cell coordinates into `[0, 2^32)`, and both halves equal to
+/// `u32::MAX` would need a cell coordinate of `i32::MAX` — excluded by
+/// the clamp in `cell_coords`.
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// Uniform-grid spatial index over 2-D points with stable caller-chosen
+/// `u32` ids.
 ///
 /// Cell side equals the query radius, so a radius query only visits the
-/// 3×3 neighborhood of the query point's cell.
+/// 3×3 neighborhood of the query point's cell. Cells are addressed by
+/// `floor(coord / cell)` through an open-addressing hash table, so the
+/// index needs no bounding box: points may lie anywhere (including
+/// negative coordinates) and may be inserted, removed, or moved at any
+/// time. Buckets of vacated cells are kept (empty) in the table, which
+/// keeps removal tombstone-free; memory is bounded by the number of
+/// distinct cells ever occupied.
 #[derive(Debug, Clone)]
 pub struct GridIndex {
     cell: f64,
-    nx: usize,
-    ny: usize,
-    /// Per-cell point indices.
-    cells: Vec<Vec<u32>>,
+    r2: f64,
+    /// Open-addressing cell table: packed cell coordinate -> bucket.
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    /// Occupied table slots (grow trigger).
+    table_items: usize,
+    /// Point-id buckets, one per cell ever occupied.
+    buckets: Vec<Vec<u32>>,
+    /// Per-id position (valid only while present).
     points: Vec<(f64, f64)>,
+    /// Bucket currently holding each id; [`ABSENT`] when not present.
+    bucket_of: Vec<u32>,
+    /// Number of present points.
+    len: usize,
+}
+
+/// Packed cell coordinates of a point: `floor(v / cell)` per axis,
+/// offset into unsigned range. The clamp keeps absurd (but finite)
+/// coordinates addressable without overflow; it can only merge cells
+/// at the far clamp boundary, which adds candidates, never loses them
+/// relative to the exact distance test.
+fn cell_key(cell: f64, (x, y): (f64, f64)) -> u64 {
+    let c = |v: f64| ((v / cell).floor() as i64).clamp(-(1 << 31), (1 << 31) - 2);
+    let cx = (c(x) + (1 << 31)) as u64;
+    let cy = (c(y) + (1 << 31)) as u64;
+    (cx << 32) | cy
+}
+
+/// Neighbor cell key at offset `(dx, dy)` from `key` (no re-derivation
+/// from coordinates, so neighbor math is exact integer arithmetic).
+fn key_offset(key: u64, dx: i64, dy: i64) -> u64 {
+    let cx = (key >> 32) as i64 + dx;
+    let cy = (key & 0xFFFF_FFFF) as i64 + dy;
+    if !(0..=u32::MAX as i64 - 1).contains(&cx) || !(0..=u32::MAX as i64 - 1).contains(&cy) {
+        return EMPTY_KEY;
+    }
+    ((cx as u64) << 32) | cy as u64
+}
+
+/// Multiply-shift slot hash for a power-of-two table of `cap` slots.
+/// The slot must come from the **high** bits of the product: low bits
+/// of `x * C` depend only on the low bits of `x`, and both key shapes
+/// here concentrate their entropy there (XORed cell coordinates share
+/// an offset that cancels; packed dense ids are small), which would
+/// collapse the whole key set onto a tiny slot prefix and degenerate
+/// linear probing into one giant cluster.
+fn hash_slot(key: u64, cap: usize) -> usize {
+    let h = (key ^ (key >> 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> (64 - cap.trailing_zeros())) as usize
 }
 
 impl GridIndex {
-    /// Build an index for `points` with the given query radius. Points
-    /// may lie anywhere; coordinates are clamped into the bounding box
-    /// of the data for cell assignment.
-    pub fn new(points: &[(f64, f64)], radius: f64) -> Self {
+    /// Empty index answering queries at `radius`.
+    pub fn with_radius(radius: f64) -> Self {
         assert!(radius > 0.0 && radius.is_finite(), "radius must be > 0");
-        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
-        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-        for &(x, y) in points {
-            assert!(x.is_finite() && y.is_finite(), "points must be finite");
-            min_x = min_x.min(x);
-            min_y = min_y.min(y);
-            max_x = max_x.max(x);
-            max_y = max_y.max(y);
-        }
-        if points.is_empty() {
-            return GridIndex {
-                cell: radius,
-                nx: 1,
-                ny: 1,
-                cells: vec![Vec::new()],
-                points: Vec::new(),
-            };
-        }
-        let w = (max_x - min_x).max(radius);
-        let h = (max_y - min_y).max(radius);
-        let nx = ((w / radius).ceil() as usize).max(1);
-        let ny = ((h / radius).ceil() as usize).max(1);
-        let mut idx = GridIndex {
+        GridIndex {
             cell: radius,
-            nx,
-            ny,
-            cells: vec![Vec::new(); nx * ny],
-            points: points.to_vec(),
-        };
-        // Shift into the bounding box origin for stable cell math.
-        for (i, &(x, y)) in points.iter().enumerate() {
-            let c = idx.cell_of(x - min_x, y - min_y);
-            idx.cells[c].push(i as u32);
+            r2: radius * radius,
+            keys: vec![EMPTY_KEY; 16],
+            vals: vec![0; 16],
+            table_items: 0,
+            buckets: Vec::new(),
+            points: Vec::new(),
+            bucket_of: Vec::new(),
+            len: 0,
         }
-        // Keep the origin by storing shifted coordinates alongside.
-        idx.points = points
-            .iter()
-            .map(|&(x, y)| (x - min_x, y - min_y))
-            .collect();
+    }
+
+    /// Build an index for `points` with the given query radius; point
+    /// `i` gets id `i`.
+    pub fn new(points: &[(f64, f64)], radius: f64) -> Self {
+        let mut idx = GridIndex::with_radius(radius);
+        for (i, &p) in points.iter().enumerate() {
+            idx.insert(i as u32, p);
+        }
         idx
     }
 
-    fn cell_of(&self, x: f64, y: f64) -> usize {
-        let cx = ((x / self.cell) as usize).min(self.nx - 1);
-        let cy = ((y / self.cell) as usize).min(self.ny - 1);
-        cy * self.nx + cx
-    }
-
-    /// Number of indexed points.
+    /// Number of present points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.len
     }
 
-    /// True when no points are indexed.
+    /// True when no points are present.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.len == 0
     }
 
-    /// All unordered pairs `(i, j)` with `i < j` whose distance is at
-    /// most `radius` (the radius the index was built with).
-    pub fn pairs_within(&self) -> Vec<(u32, u32)> {
-        let mut out = Vec::new();
-        let r2 = self.cell * self.cell;
-        for cy in 0..self.ny {
-            for cx in 0..self.nx {
-                let here = &self.cells[cy * self.nx + cx];
-                // Pairs within this cell.
-                for (a, &i) in here.iter().enumerate() {
-                    for &j in &here[a + 1..] {
-                        if self.dist2(i, j) <= r2 {
-                            out.push((i.min(j), i.max(j)));
-                        }
+    /// Whether `id` is currently present.
+    pub fn contains(&self, id: u32) -> bool {
+        (id as usize) < self.bucket_of.len() && self.bucket_of[id as usize] != ABSENT
+    }
+
+    /// Position of a present id.
+    pub fn position(&self, id: u32) -> Option<(f64, f64)> {
+        self.contains(id).then(|| self.points[id as usize])
+    }
+
+    /// Table slot of `key`: `Ok(slot)` when mapped, `Err(slot)` with
+    /// the insertion slot otherwise.
+    fn probe(&self, key: u64) -> Result<usize, usize> {
+        let mask = self.keys.len() - 1;
+        let mut slot = hash_slot(key, self.keys.len());
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return Ok(slot);
+            }
+            if k == EMPTY_KEY {
+                return Err(slot);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Bucket for `key`, creating (or reusing a vacated) one on demand.
+    fn bucket_for_insert(&mut self, key: u64) -> u32 {
+        if self.table_items * 8 >= self.keys.len() * 7 {
+            self.grow_table();
+        }
+        match self.probe(key) {
+            Ok(slot) => self.vals[slot],
+            Err(slot) => {
+                let b = self.buckets.len() as u32;
+                self.buckets.push(Vec::new());
+                self.keys[slot] = key;
+                self.vals[slot] = b;
+                self.table_items += 1;
+                b
+            }
+        }
+    }
+
+    fn grow_table(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_cap]);
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY_KEY {
+                let slot = self.probe(k).unwrap_err();
+                self.keys[slot] = k;
+                self.vals[slot] = v;
+            }
+        }
+    }
+
+    fn ensure_id(&mut self, id: u32) {
+        let need = id as usize + 1;
+        if self.bucket_of.len() < need {
+            self.bucket_of.resize(need, ABSENT);
+            self.points.resize(need, (0.0, 0.0));
+        }
+    }
+
+    /// Insert a point under `id`. Panics if `id` is already present or
+    /// the coordinates are not finite.
+    pub fn insert(&mut self, id: u32, p: (f64, f64)) {
+        assert!(p.0.is_finite() && p.1.is_finite(), "points must be finite");
+        self.ensure_id(id);
+        assert!(
+            self.bucket_of[id as usize] == ABSENT,
+            "id {id} already present"
+        );
+        let b = self.bucket_for_insert(cell_key(self.cell, p));
+        self.buckets[b as usize].push(id);
+        self.bucket_of[id as usize] = b;
+        self.points[id as usize] = p;
+        self.len += 1;
+    }
+
+    /// Remove a present point. Panics if `id` is absent.
+    pub fn remove(&mut self, id: u32) {
+        let b = self.bucket_of[id as usize];
+        assert!(b != ABSENT, "id {id} not present");
+        let bucket = &mut self.buckets[b as usize];
+        let pos = bucket.iter().position(|&x| x == id).expect("id in bucket");
+        bucket.swap_remove(pos);
+        self.bucket_of[id as usize] = ABSENT;
+        self.len -= 1;
+    }
+
+    /// Move a present point to `p`, relinking it between cell buckets
+    /// only when the cell actually changed.
+    pub fn move_point(&mut self, id: u32, p: (f64, f64)) {
+        assert!(p.0.is_finite() && p.1.is_finite(), "points must be finite");
+        let b = self.bucket_of[id as usize];
+        assert!(b != ABSENT, "id {id} not present");
+        let old_key = cell_key(self.cell, self.points[id as usize]);
+        let new_key = cell_key(self.cell, p);
+        self.points[id as usize] = p;
+        if old_key == new_key {
+            return;
+        }
+        let bucket = &mut self.buckets[b as usize];
+        let pos = bucket.iter().position(|&x| x == id).expect("id in bucket");
+        bucket.swap_remove(pos);
+        let nb = self.bucket_for_insert(new_key);
+        self.buckets[nb as usize].push(id);
+        self.bucket_of[id as usize] = nb;
+    }
+
+    /// Visit every present point within `radius` of `p` (3×3 cell
+    /// neighborhood + exact distance test on raw coordinates). The
+    /// query point itself is not special: an id stored at `p` is
+    /// visited too — callers filter their own id.
+    pub fn for_each_within(&self, p: (f64, f64), mut f: impl FnMut(u32)) {
+        let center = cell_key(self.cell, p);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let key = key_offset(center, dx, dy);
+                if key == EMPTY_KEY {
+                    continue;
+                }
+                let Ok(slot) = self.probe(key) else { continue };
+                for &id in &self.buckets[self.vals[slot] as usize] {
+                    let (x, y) = self.points[id as usize];
+                    let (ddx, ddy) = (x - p.0, y - p.1);
+                    if ddx * ddx + ddy * ddy <= self.r2 {
+                        f(id);
                     }
                 }
-                // Pairs against forward neighbor cells only (E, SW, S, SE)
-                // so each cell pair is visited once.
-                for (dx, dy) in [(1isize, 0isize), (-1, 1), (0, 1), (1, 1)] {
-                    let (ncx, ncy) = (cx as isize + dx, cy as isize + dy);
-                    if ncx < 0 || ncy < 0 || ncx >= self.nx as isize || ncy >= self.ny as isize {
-                        continue;
+            }
+        }
+    }
+
+    /// All unordered pairs `(lo, hi)` of present ids whose distance is
+    /// at most `radius` (the radius the index was built with). Order is
+    /// deterministic for a given op history but otherwise unspecified —
+    /// sort for a canonical list (or use [`pairs_within_sorted`]).
+    pub fn pairs_within(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        self.for_each_pair_within(|lo, hi| out.push((lo, hi)));
+        out
+    }
+
+    /// Visit every unordered in-range pair `(lo, hi)`, `lo < hi`, of
+    /// present ids exactly once, without allocating. Order is
+    /// deterministic for a given op history but otherwise unspecified.
+    pub fn for_each_pair_within(&self, mut out: impl FnMut(u32, u32)) {
+        for slot in 0..self.keys.len() {
+            let key = self.keys[slot];
+            if key == EMPTY_KEY {
+                continue;
+            }
+            let here = &self.buckets[self.vals[slot] as usize];
+            if here.is_empty() {
+                continue;
+            }
+            // Pairs within this cell.
+            for (a, &i) in here.iter().enumerate() {
+                for &j in &here[a + 1..] {
+                    if self.dist2(i, j) <= self.r2 {
+                        out(i.min(j), i.max(j));
                     }
-                    let there = &self.cells[ncy as usize * self.nx + ncx as usize];
-                    for &i in here {
-                        for &j in there {
-                            if self.dist2(i, j) <= r2 {
-                                out.push((i.min(j), i.max(j)));
-                            }
+                }
+            }
+            // Pairs against forward neighbor cells only (E, SW, S, SE)
+            // so each cell pair is visited once.
+            for (dx, dy) in [(1i64, 0i64), (-1, 1), (0, 1), (1, 1)] {
+                let nkey = key_offset(key, dx, dy);
+                if nkey == EMPTY_KEY {
+                    continue;
+                }
+                let Ok(nslot) = self.probe(nkey) else {
+                    continue;
+                };
+                let there = &self.buckets[self.vals[nslot] as usize];
+                for &i in here {
+                    for &j in there {
+                        if self.dist2(i, j) <= self.r2 {
+                            out(i.min(j), i.max(j));
                         }
                     }
                 }
             }
         }
-        out
     }
 
     fn dist2(&self, i: u32, j: u32) -> f64 {
@@ -131,6 +337,74 @@ impl GridIndex {
         let (dx, dy) = (xi - xj, yi - yj);
         dx * dx + dy * dy
     }
+}
+
+/// Reusable buffers for [`pairs_within_sorted_into`], so a caller
+/// sweeping thousands of snapshots allocates the order array once.
+#[derive(Debug, Default, Clone)]
+pub struct SweepScratch {
+    order: Vec<u32>,
+}
+
+/// Sort-based sweep: all unordered pairs `(i, j)`, `i < j`, of `points`
+/// within `radius`, appended to `out` in **ascending canonical order**.
+/// `out` is cleared first.
+///
+/// Points are swept in x order; for each point only the forward window
+/// with `dx*dx <= r*r` is tested, so the cost is O(n log n + n·w) with
+/// w the mean window width — and zero allocation beyond the reused
+/// scratch. The distance test is the same raw-coordinate expression as
+/// [`GridIndex`]'s, so the two extractors agree bit for bit.
+pub fn pairs_within_sorted_into(
+    points: &[(f64, f64)],
+    radius: f64,
+    scratch: &mut SweepScratch,
+    out: &mut Vec<(u32, u32)>,
+) {
+    assert!(radius > 0.0 && radius.is_finite(), "radius must be > 0");
+    out.clear();
+    let n = points.len();
+    if n < 2 {
+        return;
+    }
+    let r2 = radius * radius;
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..n as u32);
+    order.sort_unstable_by(|&a, &b| {
+        points[a as usize]
+            .0
+            .total_cmp(&points[b as usize].0)
+            .then(a.cmp(&b))
+    });
+    for (a, &i) in order.iter().enumerate() {
+        let (xi, yi) = points[i as usize];
+        assert!(xi.is_finite() && yi.is_finite(), "points must be finite");
+        for &j in &order[a + 1..] {
+            let (xj, yj) = points[j as usize];
+            let dx = xj - xi;
+            // dx >= 0 by sweep order; dx² > r² alone already fails the
+            // distance test (dy² >= 0), and every later point is even
+            // farther in x.
+            if dx * dx > r2 {
+                break;
+            }
+            let dy = yj - yi;
+            if dx * dx + dy * dy <= r2 {
+                out.push((i.min(j), i.max(j)));
+            }
+        }
+    }
+    out.sort_unstable();
+}
+
+/// [`pairs_within_sorted_into`] with owned buffers: the canonical
+/// ascending edge list of one snapshot.
+pub fn pairs_within_sorted(points: &[(f64, f64)], radius: f64) -> Vec<(u32, u32)> {
+    let mut scratch = SweepScratch::default();
+    let mut out = Vec::new();
+    pairs_within_sorted_into(points, radius, &mut scratch, &mut out);
+    out
 }
 
 /// All unordered index pairs within `radius` of each other.
@@ -177,26 +451,44 @@ mod tests {
                 .map(|_| (rng.range_f64(0.0, 256.0), rng.range_f64(0.0, 256.0)))
                 .collect();
             for r in [10.0, 80.0, 300.0] {
-                let got = sorted(proximity_edges(&points, r));
                 let want = sorted(brute_force(&points, r));
-                assert_eq!(got, want, "n={n} r={r}");
+                let got = sorted(proximity_edges(&points, r));
+                assert_eq!(got, want, "grid: n={n} r={r}");
+                let sweep = pairs_within_sorted(&points, r);
+                assert_eq!(sweep, want, "sweep: n={n} r={r}");
             }
         }
     }
 
     #[test]
+    fn sweep_is_canonically_sorted_without_dedup() {
+        let mut rng = sl_stats::rng::Rng::new(7);
+        let points: Vec<(f64, f64)> = (0..120)
+            .map(|_| (rng.range_f64(0.0, 100.0), rng.range_f64(0.0, 100.0)))
+            .collect();
+        let edges = pairs_within_sorted(&points, 15.0);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "sorted, no dupes");
+    }
+
+    #[test]
     fn exact_boundary_inclusive() {
         let points = [(0.0, 0.0), (10.0, 0.0), (10.0 + 1e-9, 0.0)];
-        let edges = sorted(proximity_edges(&points, 10.0));
-        // (0,1) at exactly r is included; (0,2) just beyond is not.
-        assert!(edges.contains(&(0, 1)));
-        assert!(!edges.contains(&(0, 2)));
+        for edges in [
+            sorted(proximity_edges(&points, 10.0)),
+            pairs_within_sorted(&points, 10.0),
+        ] {
+            // (0,1) at exactly r is included; (0,2) just beyond is not.
+            assert!(edges.contains(&(0, 1)));
+            assert!(!edges.contains(&(0, 2)));
+        }
     }
 
     #[test]
     fn empty_and_singleton() {
         assert!(proximity_edges(&[], 10.0).is_empty());
         assert!(proximity_edges(&[(5.0, 5.0)], 10.0).is_empty());
+        assert!(pairs_within_sorted(&[], 10.0).is_empty());
+        assert!(pairs_within_sorted(&[(5.0, 5.0)], 10.0).is_empty());
     }
 
     #[test]
@@ -218,7 +510,89 @@ mod tests {
     #[test]
     fn negative_coordinates_supported() {
         let points = [(-100.0, -100.0), (-95.0, -100.0), (100.0, 100.0)];
-        let edges = sorted(proximity_edges(&points, 10.0));
-        assert_eq!(edges, vec![(0, 1)]);
+        assert_eq!(sorted(proximity_edges(&points, 10.0)), vec![(0, 1)]);
+        assert_eq!(pairs_within_sorted(&points, 10.0), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn incremental_ops_match_fresh_build() {
+        let mut rng = sl_stats::rng::Rng::new(99);
+        let r = 12.0;
+        let mut grid = GridIndex::with_radius(r);
+        // Live set mirrored outside the index.
+        let mut live: Vec<Option<(f64, f64)>> = vec![None; 64];
+        for step in 0..400 {
+            let id = (rng.next_u64() % 64) as u32;
+            let p = (rng.range_f64(-50.0, 200.0), rng.range_f64(-50.0, 200.0));
+            match live[id as usize] {
+                None => {
+                    grid.insert(id, p);
+                    live[id as usize] = Some(p);
+                }
+                Some(_) if rng.next_u64() % 2 == 0 => {
+                    grid.move_point(id, p);
+                    live[id as usize] = Some(p);
+                }
+                Some(_) => {
+                    grid.remove(id);
+                    live[id as usize] = None;
+                }
+            }
+            // Fresh build over the same live points, same ids.
+            let mut fresh = GridIndex::with_radius(r);
+            let mut points = Vec::new();
+            for (i, lp) in live.iter().enumerate() {
+                if let Some(q) = lp {
+                    fresh.insert(i as u32, *q);
+                    points.push((i as u32, *q));
+                }
+            }
+            assert_eq!(grid.len(), fresh.len(), "step {step}");
+            assert_eq!(
+                sorted(grid.pairs_within()),
+                sorted(fresh.pairs_within()),
+                "step {step}"
+            );
+            // Point queries agree with a linear scan.
+            if let Some((qid, qp)) = points.first().copied() {
+                let mut got = Vec::new();
+                grid.for_each_within(qp, |i| got.push(i));
+                got.sort_unstable();
+                let mut want: Vec<u32> = points
+                    .iter()
+                    .filter(|&&(_, op)| {
+                        let (dx, dy) = (op.0 - qp.0, op.1 - qp.1);
+                        dx * dx + dy * dy <= r * r
+                    })
+                    .map(|&(i, _)| i)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "step {step} query around id {qid}");
+            }
+        }
+    }
+
+    #[test]
+    fn move_within_cell_keeps_bucket() {
+        let mut grid = GridIndex::with_radius(10.0);
+        grid.insert(3, (5.0, 5.0));
+        grid.move_point(3, (6.0, 6.0)); // same 10 m cell
+        assert_eq!(grid.position(3), Some((6.0, 6.0)));
+        let mut seen = Vec::new();
+        grid.for_each_within((6.0, 6.0), |i| seen.push(i));
+        assert_eq!(seen, vec![3]);
+    }
+
+    #[test]
+    fn vacated_cells_stay_queryable() {
+        let mut grid = GridIndex::with_radius(10.0);
+        grid.insert(0, (0.0, 0.0));
+        grid.remove(0);
+        assert!(grid.is_empty());
+        assert!(!grid.contains(0));
+        assert!(grid.pairs_within().is_empty());
+        grid.insert(0, (0.0, 0.0));
+        grid.insert(1, (3.0, 0.0));
+        assert_eq!(sorted(grid.pairs_within()), vec![(0, 1)]);
     }
 }

@@ -7,8 +7,8 @@
 
 use proptest::prelude::*;
 use sl_graph::{
-    clustering_coefficients, connected_components, diameter_largest_component, proximity_edges,
-    proximity_graph, CsrGraph, CsrScratch, Graph,
+    clustering_coefficients, connected_components, diameter_largest_component, pairs_within_sorted,
+    proximity_edges, proximity_graph, CsrGraph, CsrScratch, Graph, GridIndex,
 };
 
 fn brute_force(points: &[(f64, f64)], r: f64) -> Vec<(u32, u32)> {
@@ -69,6 +69,61 @@ proptest! {
         got.sort_unstable();
         want.sort_unstable();
         prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sweep_matches_brute_force_sorted(points in arb_points(80), r in 1.0f64..120.0) {
+        // The sort-based sweep must agree with brute force AND come out
+        // already canonically sorted (callers rely on the order for
+        // byte-identical delta merges).
+        let got = pairs_within_sorted(&points, r);
+        let mut want = brute_force(&points, r);
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn incremental_grid_matches_fresh_build(
+        initial in arb_points(40),
+        ops in prop::collection::vec((0u32..60, 0.0f64..256.0, 0.0f64..256.0, 0u8..3), 0..120),
+        r in 1.0f64..120.0,
+    ) {
+        // Random insert/move/remove sequences against a from-scratch
+        // rebuild of the surviving point set: identical sorted pairs.
+        let mut grid = GridIndex::with_radius(r);
+        let mut live: std::collections::BTreeMap<u32, (f64, f64)> = Default::default();
+        for (i, &p) in initial.iter().enumerate() {
+            grid.insert(i as u32, p);
+            live.insert(i as u32, p);
+        }
+        for (id, x, y, op) in ops {
+            match op {
+                0 => {
+                    grid.remove(id);
+                    live.remove(&id);
+                }
+                1 if live.contains_key(&id) => {
+                    grid.move_point(id, (x, y));
+                    live.insert(id, (x, y));
+                }
+                _ => {
+                    if let std::collections::btree_map::Entry::Vacant(e) = live.entry(id) {
+                        grid.insert(id, (x, y));
+                        e.insert((x, y));
+                    }
+                }
+            }
+        }
+        let mut fresh = GridIndex::with_radius(r);
+        for (&id, &p) in &live {
+            fresh.insert(id, p);
+        }
+        let mut got = grid.pairs_within();
+        let mut want = fresh.pairs_within();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(grid.len(), live.len());
     }
 
     #[test]

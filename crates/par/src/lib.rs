@@ -119,10 +119,11 @@ where
 /// scratch per worker instead of reallocating them for each of the
 /// thousands of snapshot graphs in a trace.
 ///
-/// Scheduling is dynamic in small index chunks (amortizing the shared
-/// counter while staying fine-grained enough for the heavily skewed
-/// per-snapshot costs); the index-ordered reduction is the same as
-/// [`par_map`]'s.
+/// Scheduling is guided: each fetch claims a chunk proportional to the
+/// work still unclaimed, so the start is coarse (little counter
+/// traffic) and the tail degenerates to single items (no straggler can
+/// strand a fixed-size chunk of the heavily skewed per-snapshot
+/// costs); the index-ordered reduction is the same as [`par_map`]'s.
 pub fn par_map_with<T, S, U, I, F>(items: &[T], init: I, f: F) -> Vec<U>
 where
     T: Sync,
@@ -140,12 +141,27 @@ where
             .collect();
     }
 
-    // Chunked dynamic scheduling: workers grab `chunk` consecutive
-    // indices per fetch. Small enough that one expensive item cannot
-    // strand work behind it, large enough to keep counter traffic off
-    // the hot path. Degenerates to per-item scheduling on short inputs.
-    let chunk = (items.len() / (threads * 32)).max(1);
+    // Guided dynamic scheduling: each fetch claims a chunk proportional
+    // to the *remaining* work (`remaining / (threads * 4)`, floor 1).
+    // Early fetches are coarse, keeping counter traffic off the hot
+    // path; the tail shrinks down to single items, so a run of
+    // expensive late items (dense evening snapshots) cannot strand a
+    // whole fixed-size chunk behind one straggler worker.
     let next = AtomicUsize::new(0);
+    let claim = |start0: usize| -> Option<(usize, usize)> {
+        let mut start = start0;
+        loop {
+            if start >= items.len() {
+                return None;
+            }
+            let chunk = ((items.len() - start) / (threads * 4)).max(1);
+            let end = (start + chunk).min(items.len());
+            match next.compare_exchange_weak(start, end, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return Some((start, end)),
+                Err(cur) => start = cur,
+            }
+        }
+    };
     let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -155,12 +171,7 @@ where
                 THREAD_OVERRIDE.with(|c| c.set(1));
                 let mut state = init();
                 let mut local: Vec<(usize, U)> = Vec::new();
-                loop {
-                    let start = next.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= items.len() {
-                        break;
-                    }
-                    let end = (start + chunk).min(items.len());
+                while let Some((start, end)) = claim(next.load(Ordering::Relaxed)) {
                     for (off, item) in items[start..end].iter().enumerate() {
                         let i = start + off;
                         local.push((i, f(&mut state, i, item)));
